@@ -1,0 +1,99 @@
+//! Criterion bench for Fig. 5: per-application baseline vs initial vs
+//! subsequent computation (small fixed inputs — the full sweep lives in
+//! the `repro` binary).
+//!
+//! Times fold in the simulated SGX overhead accrued on the platform clock,
+//! like the `repro` binary does.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use speed_bench::apps::{App, DedupEnv};
+use speed_enclave::CostModel;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    for app in App::ALL {
+        let size = app.fig5_sizes()[0];
+        let input = app.generate_input(size, 99);
+
+        group.bench_function(BenchmarkId::new("baseline", format!("{app:?}")), |b| {
+            let env = DedupEnv::new(CostModel::default_sgx());
+            let enclave = env.platform.create_enclave(b"bench-baseline").unwrap();
+            b.iter_custom(|iters| {
+                let sim_before = env.platform.clock().total_ns();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(
+                        enclave.ecall("app_main", || app.compute(&input)),
+                    );
+                }
+                let sim = env.platform.clock().total_ns() - sim_before;
+                start.elapsed() + Duration::from_nanos(sim)
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("initial", format!("{app:?}")), |b| {
+            // Every iteration must be a miss: vary the input per iteration.
+            let env = DedupEnv::new(CostModel::default_sgx());
+            let runtime = env.runtime(b"bench-initial");
+            let identity = runtime.resolve(&app.desc()).unwrap();
+            let mut seed = 0u64;
+            b.iter_custom(|iters| {
+                // Input generation stays outside the measured window.
+                let inputs: Vec<Vec<u8>> = (0..iters)
+                    .map(|k| app.generate_input(size, 1_000_000 + seed + k))
+                    .collect();
+                seed += iters;
+                let sim_before = env.platform.clock().total_ns();
+                let start = Instant::now();
+                for fresh in &inputs {
+                    std::hint::black_box(
+                        runtime
+                            .execute_raw(&identity, fresh, |bytes| app.compute(bytes))
+                            .expect("store reachable"),
+                    );
+                }
+                let sim = env.platform.clock().total_ns() - sim_before;
+                start.elapsed() + Duration::from_nanos(sim)
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("subsequent", format!("{app:?}")), |b| {
+            let env = DedupEnv::new(CostModel::default_sgx());
+            let runtime = env.runtime(b"bench-subsequent");
+            let identity = runtime.resolve(&app.desc()).unwrap();
+            // Prime the store once.
+            runtime
+                .execute_raw(&identity, &input, |bytes| app.compute(bytes))
+                .expect("store reachable");
+            b.iter_custom(|iters| {
+                let sim_before = env.platform.clock().total_ns();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(
+                        runtime
+                            .execute_raw(&identity, &input, |_| unreachable!("must hit"))
+                            .expect("store reachable"),
+                    );
+                }
+                let sim = env.platform.clock().total_ns() - sim_before;
+                start.elapsed() + Duration::from_nanos(sim)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_apps
+}
+criterion_main!(benches);

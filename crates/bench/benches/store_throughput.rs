@@ -1,0 +1,106 @@
+//! Criterion bench for Fig. 6: ResultStore GET/PUT throughput with and
+//! without SGX at the paper's result sizes.
+//!
+//! Measured time is wall clock **plus** the simulated SGX overhead accrued
+//! on the platform clock (world switches, boundary copies) — `iter_custom`
+//! folds both in, matching how the `repro` binary reports Fig. 6.
+//!
+//! The PUT benches run against a small-capacity store so steady-state LRU
+//! eviction bounds memory: the measured operation is "PUT under
+//! replacement", the regime a long-running store lives in.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use speed_bench::apps::DedupEnv;
+use speed_enclave::CostModel;
+use speed_store::StoreConfig;
+use speed_wire::{AppId, CompTag, Message, Record};
+
+fn tag_of(i: u64) -> CompTag {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&i.to_le_bytes());
+    CompTag::from_bytes(bytes)
+}
+
+fn record_of(size: usize) -> Record {
+    Record {
+        challenge: vec![1; 32],
+        wrapped_key: [2; 16],
+        nonce: [3; 12],
+        boxed_result: vec![4; size],
+    }
+}
+
+/// Store bounded to 512 entries / 768 MiB: big enough that lookups are
+/// realistic, small enough that unbounded PUT streams stay in memory.
+fn bounded_env(model: CostModel) -> DedupEnv {
+    DedupEnv::with_store_config(model, StoreConfig::with_capacity(512, 768 << 20))
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    for (label, model) in
+        [("sgx", CostModel::default_sgx()), ("no_sgx", CostModel::no_sgx())]
+    {
+        for size in [1usize << 10, 10 << 10, 100 << 10, 1 << 20] {
+            group.throughput(Throughput::Bytes(size as u64));
+
+            group.bench_function(BenchmarkId::new(format!("put_{label}"), size), |b| {
+                let env = bounded_env(model);
+                let mut i = 0u64;
+                b.iter_custom(|iters| {
+                    let sim_before = env.platform.clock().total_ns();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        i += 1;
+                        env.store.handle(Message::PutRequest {
+                            app: AppId(1),
+                            tag: tag_of(i),
+                            record: record_of(size),
+                        });
+                    }
+                    let sim = env.platform.clock().total_ns() - sim_before;
+                    start.elapsed() + Duration::from_nanos(sim)
+                })
+            });
+
+            group.bench_function(BenchmarkId::new(format!("get_{label}"), size), |b| {
+                let env = bounded_env(model);
+                for i in 0..128u64 {
+                    env.store.handle(Message::PutRequest {
+                        app: AppId(1),
+                        tag: tag_of(i),
+                        record: record_of(size),
+                    });
+                }
+                let mut i = 0u64;
+                b.iter_custom(|iters| {
+                    let sim_before = env.platform.clock().total_ns();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        i = (i + 1) % 128;
+                        env.store.handle(Message::GetRequest {
+                            app: AppId(2),
+                            tag: tag_of(i),
+                        });
+                    }
+                    let sim = env.platform.clock().total_ns() - sim_before;
+                    start.elapsed() + Duration::from_nanos(sim)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_store
+}
+criterion_main!(benches);

@@ -1,0 +1,486 @@
+//! Ablation experiments for the design choices DESIGN.md calls out.
+//!
+//! 1. **RCE vs single key** (§III-B vs §III-C): what does keyless
+//!    cross-application sharing cost per call?
+//! 2. **Synchronous vs asynchronous PUT** (§IV-B remark on processing PUT
+//!    "in a separated thread"): how much initial-computation latency does
+//!    the async worker hide?
+//! 3. **World-switch cost sensitivity**: how does store latency scale as
+//!    ECALL/OCALL costs grow (the HotCalls/Eleos motivation)?
+//! 4. **In-process vs TCP transport**: what does the dedicated-server
+//!    deployment cost per GET?
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use speed_core::{AdaptiveConfig, DedupMode, DedupOutcome, DedupPolicy};
+use speed_crypto::Key128;
+use speed_enclave::{CostModel, Platform};
+use speed_store::server::{StoreServer, TcpStoreClient};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::{AppId, CompTag, Message, Record, SessionAuthority};
+
+use crate::apps::{App, DedupEnv};
+use crate::harness::{fmt_duration, measure, render_table};
+
+/// Result of the protection-scheme ablation.
+#[derive(Clone, Debug)]
+pub struct RceAblation {
+    /// Mean initial-computation time under cross-app RCE.
+    pub rce_initial: Duration,
+    /// Mean subsequent-computation time under cross-app RCE.
+    pub rce_subsequent: Duration,
+    /// Mean initial-computation time under the single-key scheme.
+    pub single_initial: Duration,
+    /// Mean subsequent-computation time under the single-key scheme.
+    pub single_subsequent: Duration,
+    /// Mean initial-computation time under deterministic convergent
+    /// encryption.
+    pub convergent_initial: Duration,
+    /// Mean subsequent-computation time under convergent encryption.
+    pub convergent_subsequent: Duration,
+}
+
+/// Measures RCE vs single-key per-call cost on the compression app.
+pub fn rce_vs_single_key(trials: usize) -> RceAblation {
+    let app = App::Deflate;
+    let size = 256 << 10;
+
+    let run_mode = |mode: DedupMode| -> (Duration, Duration) {
+        let env = DedupEnv::new(CostModel::default_sgx());
+        let runtime = env.runtime_with(b"ablation-rce", mode, false);
+        let identity = runtime.resolve(&app.desc()).expect("registered");
+        let mut initial = Duration::ZERO;
+        let mut subsequent = Duration::ZERO;
+        for t in 0..trials {
+            let input = app.generate_input(size, 0xAB << 8 | t as u64);
+            let (_, init_elapsed) = measure(&env.platform, || {
+                runtime
+                    .execute_raw(&identity, &input, |bytes| app.compute(bytes))
+                    .expect("store reachable")
+            });
+            initial += init_elapsed;
+            let (outcome, subsq_elapsed) = measure(&env.platform, || {
+                runtime
+                    .execute_raw(&identity, &input, |_| panic!("must hit"))
+                    .expect("store reachable")
+                    .1
+            });
+            assert_eq!(outcome, DedupOutcome::Hit);
+            subsequent += subsq_elapsed;
+        }
+        (initial / trials as u32, subsequent / trials as u32)
+    };
+
+    let (rce_initial, rce_subsequent) = run_mode(DedupMode::CrossApp);
+    let (single_initial, single_subsequent) =
+        run_mode(DedupMode::SingleKey(Key128::from_bytes([9u8; 16])));
+    let (convergent_initial, convergent_subsequent) = run_mode(DedupMode::Convergent);
+    RceAblation {
+        rce_initial,
+        rce_subsequent,
+        single_initial,
+        single_subsequent,
+        convergent_initial,
+        convergent_subsequent,
+    }
+}
+
+/// Renders the RCE ablation.
+pub fn render_rce(result: &RceAblation) -> String {
+    let rows = vec![
+        vec![
+            "cross-app RCE".to_string(),
+            fmt_duration(result.rce_initial),
+            fmt_duration(result.rce_subsequent),
+        ],
+        vec![
+            "convergent (CE)".to_string(),
+            fmt_duration(result.convergent_initial),
+            fmt_duration(result.convergent_subsequent),
+        ],
+        vec![
+            "single key".to_string(),
+            fmt_duration(result.single_initial),
+            fmt_duration(result.single_subsequent),
+        ],
+    ];
+    format!(
+        "Ablation — result protection scheme (compression, 256KB)\n{}",
+        render_table(&["scheme", "Init. Comp.", "Subsq. Comp."], &rows)
+    )
+}
+
+/// Result of the sync-vs-async PUT ablation.
+#[derive(Clone, Debug)]
+pub struct AsyncAblation {
+    /// Mean initial-computation latency with synchronous PUT.
+    pub sync_initial: Duration,
+    /// Mean initial-computation latency with the async PUT worker.
+    pub async_initial: Duration,
+    /// Raw (baseline) computation time, for reference.
+    pub baseline: Duration,
+}
+
+/// Measures initial-computation latency with and without the async PUT
+/// worker (compression at 4 MB — a large result makes the PUT roundtrip
+/// worth hiding).
+pub fn sync_vs_async_put(trials: usize) -> AsyncAblation {
+    let app = App::Deflate;
+    let size = 4 << 20;
+
+    let run_config = |async_put: bool| -> Duration {
+        let env = DedupEnv::new(CostModel::default_sgx());
+        let runtime = env.runtime_with(b"ablation-async", DedupMode::CrossApp, async_put);
+        let identity = runtime.resolve(&app.desc()).expect("registered");
+        let mut total = Duration::ZERO;
+        for t in 0..trials {
+            let input = app.generate_input(size, 0xA5 << 8 | t as u64);
+            let (_, elapsed) = measure(&env.platform, || {
+                runtime
+                    .execute_raw(&identity, &input, |bytes| app.compute(bytes))
+                    .expect("store reachable")
+            });
+            total += elapsed;
+        }
+        runtime.flush();
+        total / trials as u32
+    };
+
+    let baseline = {
+        let env = DedupEnv::new(CostModel::default_sgx());
+        let enclave = env.platform.create_enclave(b"ablation-baseline").expect("epc");
+        let mut total = Duration::ZERO;
+        for t in 0..trials {
+            let input = app.generate_input(size, 0xA5 << 8 | t as u64);
+            let (_, elapsed) = measure(&env.platform, || {
+                enclave.ecall("app_main", || app.compute(&input))
+            });
+            total += elapsed;
+        }
+        total / trials as u32
+    };
+
+    AsyncAblation {
+        sync_initial: run_config(false),
+        async_initial: run_config(true),
+        baseline,
+    }
+}
+
+/// Renders the async ablation.
+pub fn render_async(result: &AsyncAblation) -> String {
+    let rel = |d: Duration| {
+        format!("{:.1}%", d.as_secs_f64() / result.baseline.as_secs_f64() * 100.0)
+    };
+    let rows = vec![
+        vec!["baseline (no SPEED)".to_string(), fmt_duration(result.baseline), "100%".into()],
+        vec![
+            "sync PUT".to_string(),
+            fmt_duration(result.sync_initial),
+            rel(result.sync_initial),
+        ],
+        vec![
+            "async PUT".to_string(),
+            fmt_duration(result.async_initial),
+            rel(result.async_initial),
+        ],
+    ];
+    format!(
+        "Ablation — initial computation with sync vs async PUT (compression, 4MB)\n{}",
+        render_table(&["configuration", "Init. Comp.", "vs baseline"], &rows)
+    )
+}
+
+/// One point of the switch-cost sensitivity sweep.
+#[derive(Clone, Debug)]
+pub struct SwitchPoint {
+    /// Multiplier applied to the default ECALL/OCALL costs.
+    pub multiplier: u64,
+    /// Time for 100 1 KB GETs at that cost.
+    pub get_time: Duration,
+}
+
+/// Sweeps ECALL/OCALL cost multipliers (0, 1, 4, 16×) and measures 1 KB
+/// GET batches.
+pub fn switch_cost_sensitivity() -> Vec<SwitchPoint> {
+    [0u64, 1, 4, 16]
+        .iter()
+        .map(|&multiplier| {
+            let base = CostModel::default_sgx();
+            let model = CostModel {
+                ecall_ns: base.ecall_ns * multiplier,
+                ocall_ns: base.ocall_ns * multiplier,
+                ..base
+            };
+            let env = DedupEnv::with_store_config(model, StoreConfig::default());
+            for i in 0..100usize {
+                let mut tag = [1u8; 32];
+                tag[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                env.store.handle(Message::PutRequest {
+                    app: AppId(1),
+                    tag: CompTag::from_bytes(tag),
+                    record: Record {
+                        challenge: vec![0; 32],
+                        wrapped_key: [0; 16],
+                        nonce: [0; 12],
+                        boxed_result: vec![7; 1 << 10],
+                    },
+                });
+            }
+            let (_, get_time) = measure(&env.platform, || {
+                for i in 0..100usize {
+                    let mut tag = [1u8; 32];
+                    tag[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                    env.store.handle(Message::GetRequest {
+                        app: AppId(2),
+                        tag: CompTag::from_bytes(tag),
+                    });
+                }
+            });
+            SwitchPoint { multiplier, get_time }
+        })
+        .collect()
+}
+
+/// Renders the switch-cost sweep.
+pub fn render_switch(points: &[SwitchPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![format!("{}x", p.multiplier), fmt_duration(p.get_time)])
+        .collect();
+    format!(
+        "Ablation — world-switch cost sensitivity (100 GETs, 1KB)\n{}",
+        render_table(&["ECALL/OCALL cost", "GET batch time"], &rows)
+    )
+}
+
+/// Result of the transport ablation.
+#[derive(Clone, Debug)]
+pub struct TransportAblation {
+    /// Mean per-GET latency through the in-process secure channel.
+    pub in_process: Duration,
+    /// Mean per-GET latency over loopback TCP (attested handshake, sealed
+    /// frames).
+    pub tcp: Duration,
+}
+
+/// Measures in-process vs TCP GET latency (1 KB records, 100 ops each).
+pub fn transport_comparison() -> TransportAblation {
+    let ops = 100usize;
+    let record = Record {
+        challenge: vec![0; 32],
+        wrapped_key: [0; 16],
+        nonce: [0; 12],
+        boxed_result: vec![3; 1 << 10],
+    };
+
+    // Shared store, populated once.
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let authority = Arc::new(SessionAuthority::new());
+    for i in 0..ops {
+        let mut tag = [2u8; 32];
+        tag[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: CompTag::from_bytes(tag),
+            record: record.clone(),
+        });
+    }
+
+    // In-process client.
+    let app_enclave = platform.create_enclave(b"transport-inproc").unwrap();
+    let mut in_proc_client = speed_core::InProcessClient::connect(
+        Arc::clone(&store),
+        &authority,
+        &platform,
+        &app_enclave,
+    )
+    .unwrap();
+    use speed_core::StoreClient;
+    let (_, in_proc_total) = measure(&platform, || {
+        for i in 0..ops {
+            let mut tag = [2u8; 32];
+            tag[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            let response = in_proc_client
+                .roundtrip(&Message::GetRequest {
+                    app: AppId(3),
+                    tag: CompTag::from_bytes(tag),
+                })
+                .expect("in-process roundtrip");
+            assert!(matches!(response, Message::GetResponse(b) if b.found));
+        }
+    });
+
+    // TCP client over loopback.
+    let server = StoreServer::spawn(
+        Arc::clone(&store),
+        Arc::clone(&platform),
+        Arc::clone(&authority),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let tcp_enclave = platform.create_enclave(b"transport-tcp").unwrap();
+    let mut tcp_client =
+        TcpStoreClient::connect(server.addr(), &platform, &tcp_enclave, &authority)
+            .expect("connect");
+    let (_, tcp_total) = measure(&platform, || {
+        for i in 0..ops {
+            let mut tag = [2u8; 32];
+            tag[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            let response = tcp_client
+                .roundtrip(&Message::GetRequest {
+                    app: AppId(4),
+                    tag: CompTag::from_bytes(tag),
+                })
+                .expect("tcp roundtrip");
+            assert!(matches!(response, Message::GetResponse(b) if b.found));
+        }
+    });
+    server.shutdown();
+
+    TransportAblation {
+        in_process: in_proc_total / ops as u32,
+        tcp: tcp_total / ops as u32,
+    }
+}
+
+/// Renders the transport ablation.
+pub fn render_transport(result: &TransportAblation) -> String {
+    let rows = vec![
+        vec!["in-process".to_string(), fmt_duration(result.in_process)],
+        vec!["TCP loopback".to_string(), fmt_duration(result.tcp)],
+    ];
+    format!(
+        "Ablation — store transport (per 1KB GET)\n{}",
+        render_table(&["transport", "latency"], &rows)
+    )
+}
+
+/// Result of the adaptive-policy ablation (§VII future work).
+#[derive(Clone, Debug)]
+pub struct AdaptiveAblation {
+    /// Total time for the low-redundancy cheap workload under
+    /// always-dedup.
+    pub always: Duration,
+    /// Same workload under the adaptive policy.
+    pub adaptive: Duration,
+    /// Same workload with no SPEED at all (the floor).
+    pub baseline: Duration,
+    /// How many of the adaptive runtime's calls were bypassed.
+    pub bypassed: u64,
+}
+
+/// A worst case for always-on deduplication: a *cheap* function over
+/// all-distinct inputs (zero redundancy), where every call pays the dedup
+/// overhead and never collects a hit. The adaptive policy detects this and
+/// bypasses the store.
+pub fn adaptive_policy(calls: usize) -> AdaptiveAblation {
+    let app = App::Deflate;
+    let size = 8 << 10; // small input: compression is fast, overhead matters
+
+    let run_policy = |policy: Option<DedupPolicy>| -> (Duration, u64) {
+        let env = DedupEnv::new(CostModel::default_sgx());
+        match policy {
+            None => {
+                let enclave =
+                    env.platform.create_enclave(b"adaptive-baseline").expect("epc");
+                let mut total = Duration::ZERO;
+                for i in 0..calls {
+                    let input = app.generate_input(size, 0xADA0 + i as u64);
+                    let (_, elapsed) = measure(&env.platform, || {
+                        enclave.ecall("app_main", || app.compute(&input))
+                    });
+                    total += elapsed;
+                }
+                (total, 0)
+            }
+            Some(policy) => {
+                let mut builder = speed_core::DedupRuntime::builder(
+                    Arc::clone(&env.platform),
+                    b"adaptive-ablation",
+                )
+                .in_process_store(Arc::clone(&env.store), Arc::clone(&env.authority))
+                .policy(policy);
+                for library in DedupEnv::trusted_libraries() {
+                    builder = builder.trusted_library(library);
+                }
+                let runtime = builder.build().expect("runtime");
+                let identity = runtime.resolve(&app.desc()).expect("registered");
+                let mut total = Duration::ZERO;
+                for i in 0..calls {
+                    let input = app.generate_input(size, 0xADA0 + i as u64);
+                    let (_, elapsed) = measure(&env.platform, || {
+                        runtime
+                            .execute_raw(&identity, &input, |bytes| app.compute(bytes))
+                            .expect("store reachable")
+                    });
+                    total += elapsed;
+                }
+                (total, runtime.stats().bypasses)
+            }
+        }
+    };
+
+    let (baseline, _) = run_policy(None);
+    let (always, _) = run_policy(Some(DedupPolicy::Always));
+    let (adaptive, bypassed) = run_policy(Some(DedupPolicy::Adaptive(AdaptiveConfig {
+        min_speedup: 1.0,
+        warmup_calls: 3,
+        probe_interval: 16,
+        ewma_alpha: 0.3,
+    })));
+    AdaptiveAblation { always, adaptive, baseline, bypassed }
+}
+
+/// Renders the adaptive ablation.
+pub fn render_adaptive(result: &AdaptiveAblation, calls: usize) -> String {
+    let rows = vec![
+        vec!["no SPEED".to_string(), fmt_duration(result.baseline), "-".into()],
+        vec!["always dedup".to_string(), fmt_duration(result.always), "0".into()],
+        vec![
+            "adaptive".to_string(),
+            fmt_duration(result.adaptive),
+            result.bypassed.to_string(),
+        ],
+    ];
+    format!(
+        "Ablation — adaptive policy on a zero-redundancy cheap workload \
+         ({calls} calls, 8KB compression)\n{}",
+        render_table(&["policy", "total time", "bypassed"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_cost_is_monotonic() {
+        let points = switch_cost_sensitivity();
+        assert_eq!(points.len(), 4);
+        // 16x switches must cost more than 0x.
+        assert!(points[3].get_time > points[0].get_time);
+    }
+
+    #[test]
+    fn transport_comparison_runs() {
+        let result = transport_comparison();
+        assert!(result.tcp > Duration::ZERO);
+        assert!(result.in_process > Duration::ZERO);
+    }
+
+    #[test]
+    fn async_put_not_slower_than_sync() {
+        let result = sync_vs_async_put(2);
+        // Async hides PUT latency; allow generous noise margin.
+        assert!(
+            result.async_initial
+                < result.sync_initial + Duration::from_millis(200),
+            "async {:?} vs sync {:?}",
+            result.async_initial,
+            result.sync_initial
+        );
+    }
+}

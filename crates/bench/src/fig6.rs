@@ -1,0 +1,173 @@
+//! Fig. 6 — throughput of the encrypted `ResultStore`'s two operations
+//! (GET and PUT), with and without SGX, for result sizes 1 KB–1 MB.
+//!
+//! "Fig. 6 shows the time cost of processing 100 times of each operation
+//! at ResultStore, where the incoming data are all different. […] the
+//! speed of each operation with SGX is much slower when facing a small
+//! sized result […] and the gap is getting smaller with the growth of
+//! result size."
+
+use std::time::Duration;
+
+use speed_enclave::CostModel;
+use speed_store::StoreConfig;
+use speed_wire::{AppId, CompTag, Message, Record};
+
+use crate::apps::DedupEnv;
+use crate::harness::{fmt_bytes, fmt_duration, measure, render_table};
+
+/// The paper's result sizes.
+pub const SIZES: [usize; 4] = [1 << 10, 10 << 10, 100 << 10, 1 << 20];
+
+/// Operations per measured batch (the paper uses 100).
+pub const OPS: usize = 100;
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// Result size in bytes.
+    pub size: usize,
+    /// Time for 100 PUTs with SGX.
+    pub put_sgx: Duration,
+    /// Time for 100 GETs with SGX.
+    pub get_sgx: Duration,
+    /// Time for 100 PUTs without SGX.
+    pub put_plain: Duration,
+    /// Time for 100 GETs without SGX.
+    pub get_plain: Duration,
+}
+
+fn record_of(size: usize, fill: u8) -> Record {
+    Record {
+        challenge: vec![fill; 32],
+        wrapped_key: [fill; 16],
+        nonce: [fill; 12],
+        boxed_result: vec![fill; size],
+    }
+}
+
+fn tag_of(i: usize, round: u8) -> CompTag {
+    let mut bytes = [round; 32];
+    bytes[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    CompTag::from_bytes(bytes)
+}
+
+fn run_one(model: CostModel, size: usize) -> (Duration, Duration) {
+    let env = DedupEnv::with_store_config(model, StoreConfig::default());
+    let store = &env.store;
+
+    // 100 PUTs of all-different records.
+    let (_, put_time) = measure(&env.platform, || {
+        for i in 0..OPS {
+            let response = store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag_of(i, 1),
+                record: record_of(size, (i % 251) as u8),
+            });
+            assert!(matches!(response, Message::PutResponse(b) if b.accepted));
+        }
+    });
+
+    // 100 GETs of those records.
+    let (_, get_time) = measure(&env.platform, || {
+        for i in 0..OPS {
+            let response =
+                store.handle(Message::GetRequest { app: AppId(2), tag: tag_of(i, 1) });
+            assert!(matches!(response, Message::GetResponse(b) if b.found));
+        }
+    });
+    (put_time, get_time)
+}
+
+/// Runs the full Fig. 6 sweep.
+pub fn run() -> Vec<Fig6Row> {
+    SIZES
+        .iter()
+        .map(|&size| {
+            let (put_sgx, get_sgx) = run_one(CostModel::default_sgx(), size);
+            let (put_plain, get_plain) = run_one(CostModel::no_sgx(), size);
+            Fig6Row { size, put_sgx, get_sgx, put_plain, get_plain }
+        })
+        .collect()
+}
+
+/// Renders the figure data (time per 100 operations).
+pub fn render(rows: &[Fig6Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let overhead = |sgx: Duration, plain: Duration| {
+                format!("{:.2}x", sgx.as_secs_f64() / plain.as_secs_f64().max(1e-12))
+            };
+            vec![
+                fmt_bytes(row.size),
+                fmt_duration(row.put_sgx),
+                fmt_duration(row.put_plain),
+                overhead(row.put_sgx, row.put_plain),
+                fmt_duration(row.get_sgx),
+                fmt_duration(row.get_plain),
+                overhead(row.get_sgx, row.get_plain),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 6 — ResultStore: time per {OPS} operations\n{}",
+        render_table(
+            &[
+                "size",
+                "PUT (SGX)",
+                "PUT (no SGX)",
+                "PUT ovh",
+                "GET (SGX)",
+                "GET (no SGX)",
+                "GET ovh",
+            ],
+            &table_rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgx_is_slower_and_gap_narrows() {
+        let small = {
+            let (put_sgx, get_sgx) = run_one(CostModel::default_sgx(), 1 << 10);
+            let (put_plain, get_plain) = run_one(CostModel::no_sgx(), 1 << 10);
+            Fig6Row { size: 1 << 10, put_sgx, get_sgx, put_plain, get_plain }
+        };
+        // With SGX both ops carry world-switch cost.
+        assert!(small.put_sgx > small.put_plain);
+        assert!(small.get_sgx > small.get_plain);
+
+        let large = {
+            let (put_sgx, get_sgx) = run_one(CostModel::default_sgx(), 1 << 20);
+            let (put_plain, get_plain) = run_one(CostModel::no_sgx(), 1 << 20);
+            Fig6Row { size: 1 << 20, put_sgx, get_sgx, put_plain, get_plain }
+        };
+        // Relative gap narrows as the result grows (paper's observation).
+        let rel = |row: &Fig6Row| row.get_sgx.as_secs_f64() / row.get_plain.as_secs_f64();
+        assert!(
+            rel(&large) < rel(&small),
+            "gap did not narrow: small {:.2} large {:.2}",
+            rel(&small),
+            rel(&large)
+        );
+    }
+
+    #[test]
+    fn render_mentions_all_sizes() {
+        let rows = vec![Fig6Row {
+            size: 1 << 10,
+            put_sgx: Duration::from_millis(2),
+            get_sgx: Duration::from_millis(1),
+            put_plain: Duration::from_micros(500),
+            get_plain: Duration::from_micros(300),
+        }];
+        let text = render(&rows);
+        assert!(text.contains("1KB"));
+        assert!(text.contains("PUT (SGX)"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Timing utilities shared by all experiments.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use speed_enclave::Platform;
+
+/// Measures `f`, returning its output and the elapsed *total* time:
+/// wall-clock plus the simulated SGX overhead accrued on `platform`'s
+/// clock during the call.
+pub fn measure<R>(platform: &Platform, f: impl FnOnce() -> R) -> (R, Duration) {
+    let sim_before = platform.clock().total_ns();
+    let start = Instant::now();
+    let result = f();
+    let wall = start.elapsed();
+    let sim = platform.clock().total_ns() - sim_before;
+    (result, wall + Duration::from_nanos(sim))
+}
+
+/// Runs `f` `trials` times and returns the mean duration (the paper
+/// reports the mean of 10 trials).
+pub fn mean_duration(
+    platform: &Platform,
+    trials: usize,
+    mut f: impl FnMut(),
+) -> Duration {
+    assert!(trials > 0);
+    let mut total = Duration::ZERO;
+    for _ in 0..trials {
+        let (_, elapsed) = measure(platform, &mut f);
+        total += elapsed;
+    }
+    total / trials as u32
+}
+
+/// Pretty-prints a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Formats a byte count like the paper's axes (1KB … 1MB).
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{}MB", bytes / (1024 * 1024))
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Renders an aligned text table: header row plus data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let divider: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+    out.push_str(&"-".repeat(divider));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Renders horizontal ASCII bars: one row per `(label, value)`, scaled so
+/// `full_scale` occupies `width` characters. Values beyond full scale are
+/// clipped with a `>` marker.
+pub fn render_bars(rows: &[(String, f64)], full_scale: f64, width: usize) -> String {
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let fraction = (value / full_scale).max(0.0);
+        let clipped = fraction.min(1.0);
+        let filled = (clipped * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_width$} |{}{}{}\n",
+            "█".repeat(filled),
+            " ".repeat(width - filled),
+            if fraction > 1.0 { ">" } else { "|" },
+        ));
+    }
+    out
+}
+
+/// A platform pair for experiments: one hosting applications, one hosting
+/// the store (the paper's two-machine setup collapses onto one platform
+/// when `colocated`).
+pub struct TestBed {
+    /// Platform the application enclaves run on.
+    pub app_platform: Arc<Platform>,
+    /// Platform the store enclave runs on (same as `app_platform` when
+    /// co-located).
+    pub store_platform: Arc<Platform>,
+}
+
+impl TestBed {
+    /// A co-located deployment with the given cost model.
+    pub fn colocated(model: speed_enclave::CostModel) -> TestBed {
+        let platform = Platform::new(model);
+        TestBed { app_platform: Arc::clone(&platform), store_platform: platform }
+    }
+
+    /// Total simulated overhead across both platforms.
+    pub fn simulated_ns(&self) -> u64 {
+        if Arc::ptr_eq(&self.app_platform, &self.store_platform) {
+            self.app_platform.clock().total_ns()
+        } else {
+            self.app_platform.clock().total_ns() + self.store_platform.clock().total_ns()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_enclave::CostModel;
+
+    #[test]
+    fn measure_includes_simulated_time() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"t").unwrap();
+        let (_, with_sim) = measure(&platform, || {
+            enclave.ecall("x", || {});
+        });
+        assert!(with_sim >= Duration::from_nanos(CostModel::default_sgx().ecall_ns));
+    }
+
+    #[test]
+    fn mean_of_trials() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let mean = mean_duration(&platform, 5, || {
+            std::hint::black_box(42 + 1);
+        });
+        assert!(mean < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_bytes(1024), "1KB");
+        assert_eq!(fmt_bytes(2 * 1024 * 1024), "2MB");
+        assert_eq!(fmt_bytes(100), "100B");
+    }
+
+    #[test]
+    fn bars_scale_and_clip() {
+        let rows = vec![
+            ("half".to_string(), 0.5),
+            ("full".to_string(), 1.0),
+            ("over".to_string(), 1.5),
+        ];
+        let chart = render_bars(&rows, 1.0, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(&"█".repeat(5)));
+        assert!(lines[1].contains(&"█".repeat(10)));
+        assert!(lines[2].ends_with('>'));
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let table = render_table(
+            &["col", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("col"));
+        assert!(lines[1].starts_with('-'));
+    }
+}

@@ -1,0 +1,179 @@
+//! Store clients: how a `DedupRuntime` reaches its `ResultStore`.
+//!
+//! Two deployments from the paper are supported:
+//!
+//! - [`InProcessClient`] — store co-located on the same machine (§IV-B:
+//!   "we consider deploying ResultStore at the same machine of the
+//!   outsourced applications"). Requests still traverse the attested
+//!   [`SecureChannel`] so the same bytes are protected as in the remote
+//!   case.
+//! - [`TcpClient`] — store on a dedicated server over TCP (the two-machine
+//!   evaluation setup, and the master-store deployment).
+
+use std::fmt;
+use std::sync::Arc;
+
+use speed_enclave::{Enclave, Platform};
+use speed_store::server::TcpStoreClient;
+use speed_store::ResultStore;
+use speed_wire::{
+    from_bytes, to_bytes, Message, SecureChannel, SessionAuthority,
+};
+
+use crate::error::CoreError;
+
+/// A synchronous request/response connection to a `ResultStore`.
+///
+/// Implementations must be [`Send`] so the asynchronous PUT worker can own
+/// one.
+pub trait StoreClient: Send + fmt::Debug {
+    /// Sends `request` and waits for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on transport, channel, or protocol failure.
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError>;
+}
+
+/// An in-process client: requests are sealed through a [`SecureChannel`],
+/// opened by the store-side channel end, handled, and the response sealed
+/// back — byte-for-byte what would cross a network.
+pub struct InProcessClient {
+    store: Arc<ResultStore>,
+    app_channel: SecureChannel,
+    store_channel: SecureChannel,
+}
+
+impl fmt::Debug for InProcessClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InProcessClient")
+            .field("sent", &self.app_channel.sent())
+            .finish_non_exhaustive()
+    }
+}
+
+impl InProcessClient {
+    /// Establishes an attested channel between `app_enclave` and the
+    /// store's enclave, both hosted on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Channel`] if attestation fails.
+    pub fn connect(
+        store: Arc<ResultStore>,
+        authority: &SessionAuthority,
+        platform: &Platform,
+        app_enclave: &Enclave,
+    ) -> Result<Self, CoreError> {
+        let (app_channel, store_channel) = authority
+            .establish((platform, app_enclave), (platform, store.enclave()))?;
+        Ok(InProcessClient { store, app_channel, store_channel })
+    }
+
+    /// Establishes a channel for a cross-platform (two-machine) deployment
+    /// where the store lives on `store_platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Channel`] if attestation fails.
+    pub fn connect_remote(
+        store: Arc<ResultStore>,
+        authority: &SessionAuthority,
+        app_platform: &Platform,
+        app_enclave: &Enclave,
+        store_platform: &Platform,
+    ) -> Result<Self, CoreError> {
+        let (app_channel, store_channel) = authority.establish(
+            (app_platform, app_enclave),
+            (store_platform, store.enclave()),
+        )?;
+        Ok(InProcessClient { store, app_channel, store_channel })
+    }
+}
+
+impl StoreClient for InProcessClient {
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError> {
+        let sealed = self.app_channel.seal_message(&to_bytes(request));
+        let opened = self.store_channel.open_message(&sealed)?;
+        let request: Message = from_bytes(&opened)?;
+        let response = self.store.handle(request);
+        let sealed_response = self.store_channel.seal_message(&to_bytes(&response));
+        let response_bytes = self.app_channel.open_message(&sealed_response)?;
+        Ok(from_bytes(&response_bytes)?)
+    }
+}
+
+/// A TCP client for a remote [`speed_store::server::StoreServer`].
+#[derive(Debug)]
+pub struct TcpClient {
+    inner: TcpStoreClient,
+}
+
+impl TcpClient {
+    /// Connects to the store server at `addr`, presenting `app_enclave`'s
+    /// attestation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] on connection or attestation failure.
+    pub fn connect(
+        addr: std::net::SocketAddr,
+        platform: &Platform,
+        app_enclave: &Enclave,
+        authority: &SessionAuthority,
+    ) -> Result<Self, CoreError> {
+        let inner = TcpStoreClient::connect(addr, platform, app_enclave, authority)?;
+        Ok(TcpClient { inner })
+    }
+}
+
+impl StoreClient for TcpClient {
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError> {
+        Ok(self.inner.roundtrip(request)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_enclave::CostModel;
+    use speed_store::StoreConfig;
+    use speed_wire::{AppId, CompTag};
+
+    #[test]
+    fn in_process_roundtrip() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let authority = SessionAuthority::with_seed(3);
+        let enclave = platform.create_enclave(b"app").unwrap();
+        let mut client =
+            InProcessClient::connect(store, &authority, &platform, &enclave).unwrap();
+        let response = client
+            .roundtrip(&Message::GetRequest {
+                app: AppId(1),
+                tag: CompTag::from_bytes([0; 32]),
+            })
+            .unwrap();
+        assert!(matches!(response, Message::GetResponse(b) if !b.found));
+    }
+
+    #[test]
+    fn cross_platform_roundtrip() {
+        let app_platform = Platform::new(CostModel::no_sgx());
+        let store_platform = Platform::new(CostModel::no_sgx());
+        let store =
+            Arc::new(ResultStore::new(&store_platform, StoreConfig::default()).unwrap());
+        let authority = SessionAuthority::with_seed(4);
+        let enclave = app_platform.create_enclave(b"app").unwrap();
+        let mut client = InProcessClient::connect_remote(
+            store,
+            &authority,
+            &app_platform,
+            &enclave,
+            &store_platform,
+        )
+        .unwrap();
+        let response = client.roundtrip(&Message::StatsRequest).unwrap();
+        assert!(matches!(response, Message::StatsResponse(_)));
+    }
+}

@@ -1,0 +1,276 @@
+//! Function descriptions and trusted-library verification.
+//!
+//! "A direct approach is to connect the code and data together, and then
+//! compute the tag via a hash function. But in practice, this might become
+//! less effective when considering the difference caused by developer or
+//! compiler […]. Therefore, to enhance the adaptability, our DedupRuntime
+//! takes the following two inputs. The first one is the *description* of a
+//! marked function, which includes library family, version number, function
+//! signature […]. With these, DedupRuntime can verify that the application
+//! indeed owns the actual code of the function by scanning the underlying
+//! trusted library, and derive a universally unique value for function
+//! identification." (§IV-B)
+
+use std::collections::HashMap;
+use std::fmt;
+
+use speed_crypto::{Digest, Sha256};
+
+/// The developer-facing description of a deduplicable function, e.g.
+/// `("zlib", "1.2.11", "int deflate(...)")` as in the paper's Fig. 4.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FuncDesc {
+    library: String,
+    version: String,
+    signature: String,
+}
+
+impl FuncDesc {
+    /// Describes a function by library family, version, and signature.
+    pub fn new(
+        library: impl Into<String>,
+        version: impl Into<String>,
+        signature: impl Into<String>,
+    ) -> Self {
+        FuncDesc {
+            library: library.into(),
+            version: version.into(),
+            signature: signature.into(),
+        }
+    }
+
+    /// The library family, e.g. `"zlib"`.
+    pub fn library(&self) -> &str {
+        &self.library
+    }
+
+    /// The library version, e.g. `"1.2.11"`.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// The function signature, e.g. `"int deflate(...)"`.
+    pub fn signature(&self) -> &str {
+        &self.signature
+    }
+}
+
+impl fmt::Display for FuncDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(\"{}\", \"{}\", {})", self.library, self.version, self.signature)
+    }
+}
+
+/// The universally unique value identifying a verified function: binds the
+/// description *and* the hash of the actual code found in the trusted
+/// library, so identical descriptions over different code never collide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncIdentity(Digest);
+
+impl FuncIdentity {
+    /// The raw 32-byte identity.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+}
+
+impl fmt::Debug for FuncIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FuncIdentity({}…)", &self.0.to_hex()[..12])
+    }
+}
+
+/// A trusted library: a named, versioned collection of functions whose code
+/// has been ported into the enclave (the paper's footnote: "the required
+/// library itself (e.g., zlib) should be available as a trusted library,
+/// i.e., properly ported, at the applications").
+#[derive(Clone, Debug)]
+pub struct TrustedLibrary {
+    name: String,
+    version: String,
+    functions: HashMap<String, Digest>,
+}
+
+impl TrustedLibrary {
+    /// Creates an empty trusted library.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Self {
+        TrustedLibrary {
+            name: name.into(),
+            version: version.into(),
+            functions: HashMap::new(),
+        }
+    }
+
+    /// The library family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The library version.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// Registers a function by signature with its code bytes. The code is
+    /// hashed immediately; the bytes are not retained.
+    pub fn register(&mut self, signature: impl Into<String>, code: &[u8]) -> &mut Self {
+        self.functions
+            .insert(signature.into(), Sha256::digest_parts(&[b"func-code", code]));
+        self
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the library has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    fn code_hash(&self, signature: &str) -> Option<Digest> {
+        self.functions.get(signature).copied()
+    }
+}
+
+/// The set of trusted libraries registered with one runtime.
+#[derive(Clone, Debug, Default)]
+pub struct LibraryRegistry {
+    libraries: HashMap<(String, String), TrustedLibrary>,
+}
+
+impl LibraryRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        LibraryRegistry::default()
+    }
+
+    /// Adds a library (replacing any same-name-and-version registration).
+    pub fn add(&mut self, library: TrustedLibrary) {
+        self.libraries
+            .insert((library.name.clone(), library.version.clone()), library);
+    }
+
+    /// Verifies that `desc` names a function present in a registered
+    /// trusted library, returning its unique identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::FunctionNotTrusted`] if the library or
+    /// function is unknown.
+    pub fn resolve(&self, desc: &FuncDesc) -> Result<FuncIdentity, crate::CoreError> {
+        let library = self
+            .libraries
+            .get(&(desc.library.clone(), desc.version.clone()))
+            .ok_or_else(|| crate::CoreError::FunctionNotTrusted {
+                library: desc.library.clone(),
+                signature: desc.signature.clone(),
+            })?;
+        let code_hash = library.code_hash(&desc.signature).ok_or_else(|| {
+            crate::CoreError::FunctionNotTrusted {
+                library: desc.library.clone(),
+                signature: desc.signature.clone(),
+            }
+        })?;
+        Ok(FuncIdentity(Sha256::digest_parts(&[
+            b"func-identity",
+            desc.library.as_bytes(),
+            desc.version.as_bytes(),
+            desc.signature.as_bytes(),
+            code_hash.as_bytes(),
+        ])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(signature: &str, code: &[u8]) -> LibraryRegistry {
+        let mut library = TrustedLibrary::new("zlib", "1.2.11");
+        library.register(signature, code);
+        let mut registry = LibraryRegistry::new();
+        registry.add(library);
+        registry
+    }
+
+    #[test]
+    fn resolve_known_function() {
+        let registry = registry_with("int deflate(...)", b"deflate-code");
+        let desc = FuncDesc::new("zlib", "1.2.11", "int deflate(...)");
+        assert!(registry.resolve(&desc).is_ok());
+    }
+
+    #[test]
+    fn unknown_library_is_rejected() {
+        let registry = registry_with("int deflate(...)", b"code");
+        let desc = FuncDesc::new("libpng", "1.0", "png_read(...)");
+        assert!(matches!(
+            registry.resolve(&desc),
+            Err(crate::CoreError::FunctionNotTrusted { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_signature_is_rejected() {
+        let registry = registry_with("int deflate(...)", b"code");
+        let desc = FuncDesc::new("zlib", "1.2.11", "int inflate(...)");
+        assert!(registry.resolve(&desc).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let registry = registry_with("int deflate(...)", b"code");
+        let desc = FuncDesc::new("zlib", "1.2.12", "int deflate(...)");
+        assert!(registry.resolve(&desc).is_err());
+    }
+
+    #[test]
+    fn identity_depends_on_code() {
+        let r1 = registry_with("f()", b"code v1");
+        let r2 = registry_with("f()", b"code v2");
+        let desc = FuncDesc::new("zlib", "1.2.11", "f()");
+        assert_ne!(
+            r1.resolve(&desc).unwrap().as_bytes(),
+            r2.resolve(&desc).unwrap().as_bytes()
+        );
+    }
+
+    #[test]
+    fn identity_is_stable_across_registries() {
+        let r1 = registry_with("f()", b"same code");
+        let r2 = registry_with("f()", b"same code");
+        let desc = FuncDesc::new("zlib", "1.2.11", "f()");
+        assert_eq!(
+            r1.resolve(&desc).unwrap().as_bytes(),
+            r2.resolve(&desc).unwrap().as_bytes()
+        );
+    }
+
+    #[test]
+    fn identity_depends_on_signature_and_version() {
+        let mut library = TrustedLibrary::new("lib", "1");
+        library.register("f()", b"code");
+        library.register("g()", b"code");
+        let mut registry = LibraryRegistry::new();
+        registry.add(library.clone());
+        let f = registry.resolve(&FuncDesc::new("lib", "1", "f()")).unwrap();
+        let g = registry.resolve(&FuncDesc::new("lib", "1", "g()")).unwrap();
+        assert_ne!(f.as_bytes(), g.as_bytes());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let desc = FuncDesc::new("zlib", "1.2.11", "int deflate(...)");
+        assert_eq!(desc.to_string(), "(\"zlib\", \"1.2.11\", int deflate(...))");
+    }
+
+    #[test]
+    fn library_len_tracks_registration() {
+        let mut library = TrustedLibrary::new("lib", "1");
+        assert!(library.is_empty());
+        library.register("a()", b"1").register("b()", b"2");
+        assert_eq!(library.len(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! Adaptive deduplication strategy — the paper's stated future direction
+//! (§VII): "explore an automatic extension to enable the application to
+//! adjust its deduplication strategy via dynamic analyzing the underlying
+//! computations during its runtime."
+//!
+//! The evaluation shows deduplication pays off only when the computation
+//! is slow relative to the crypto/communication overhead (SIFT: 90×;
+//! compression: barely 4×; paper conclusion: "SPEED is more suitable for
+//! deduplicating a time-consuming function"). The adaptive policy measures
+//! both sides *per function* at runtime and bypasses deduplication for
+//! functions where it cannot win, re-probing periodically in case the
+//! trade-off shifts (input sizes change, store warms up).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::func::FuncIdentity;
+
+/// When the runtime consults the store vs. executes directly.
+#[derive(Clone, Debug)]
+pub enum DedupPolicy {
+    /// Always deduplicate (the paper's prototype behaviour).
+    Always,
+    /// Measure per-function costs and bypass deduplication where it loses.
+    Adaptive(AdaptiveConfig),
+}
+
+impl Default for DedupPolicy {
+    fn default() -> Self {
+        DedupPolicy::Always
+    }
+}
+
+/// Tuning knobs for [`DedupPolicy::Adaptive`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Deduplicate only while `expected compute time ≥ min_speedup ×
+    /// expected dedup cost`. 1.0 means "dedup whenever it breaks even".
+    pub min_speedup: f64,
+    /// Number of initial calls per function that always deduplicate, to
+    /// gather measurements before any bypass decision.
+    pub warmup_calls: u64,
+    /// While bypassing, one call in `probe_interval` still deduplicates to
+    /// refresh the measurements.
+    pub probe_interval: u64,
+    /// Exponential-moving-average weight for new samples (0, 1].
+    pub ewma_alpha: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_speedup: 1.0,
+            warmup_calls: 3,
+            probe_interval: 16,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Ewma {
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    fn update(&mut self, sample: f64, alpha: f64) {
+        if self.initialized {
+            self.value = alpha * sample + (1.0 - alpha) * self.value;
+        } else {
+            self.value = sample;
+            self.initialized = true;
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FuncProfile {
+    compute_ns: Ewma,
+    dedup_overhead_ns: Ewma,
+    calls: u64,
+    bypassed_since_probe: u64,
+}
+
+/// What the policy decided for one call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyDecision {
+    /// Go through the full dedup protocol.
+    Dedup,
+    /// Execute directly; deduplication is not expected to pay off.
+    Bypass,
+}
+
+/// Per-function cost profiles driving adaptive decisions.
+#[derive(Debug, Default)]
+pub struct AdaptiveProfiler {
+    profiles: Mutex<HashMap<FuncIdentity, FuncProfile>>,
+}
+
+impl AdaptiveProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        AdaptiveProfiler::default()
+    }
+
+    /// Decides whether this call should deduplicate.
+    pub fn decide(&self, func: &FuncIdentity, config: &AdaptiveConfig) -> PolicyDecision {
+        let mut profiles = self.profiles.lock();
+        let profile = profiles.entry(*func).or_default();
+        profile.calls += 1;
+        if profile.calls <= config.warmup_calls
+            || !profile.compute_ns.initialized
+            || !profile.dedup_overhead_ns.initialized
+        {
+            return PolicyDecision::Dedup;
+        }
+        let worth_it = profile.compute_ns.value
+            >= config.min_speedup * profile.dedup_overhead_ns.value;
+        if worth_it {
+            profile.bypassed_since_probe = 0;
+            return PolicyDecision::Dedup;
+        }
+        // Periodic probe while bypassing, so a shift in the trade-off is
+        // noticed.
+        profile.bypassed_since_probe += 1;
+        if profile.bypassed_since_probe >= config.probe_interval {
+            profile.bypassed_since_probe = 0;
+            PolicyDecision::Dedup
+        } else {
+            PolicyDecision::Bypass
+        }
+    }
+
+    /// Records the pure computation time of one executed call.
+    pub fn record_compute(&self, func: &FuncIdentity, ns: u64, config: &AdaptiveConfig) {
+        let mut profiles = self.profiles.lock();
+        let profile = profiles.entry(*func).or_default();
+        profile.compute_ns.update(ns as f64, config.ewma_alpha);
+    }
+
+    /// Records the dedup overhead of one call: for a hit, the entire call
+    /// time (tag + GET + decrypt); for a miss, call time minus compute
+    /// time (tag + GET + encrypt + PUT).
+    pub fn record_dedup_overhead(
+        &self,
+        func: &FuncIdentity,
+        ns: u64,
+        config: &AdaptiveConfig,
+    ) {
+        let mut profiles = self.profiles.lock();
+        let profile = profiles.entry(*func).or_default();
+        profile.dedup_overhead_ns.update(ns as f64, config.ewma_alpha);
+    }
+
+    /// The profiled `(compute_ns, dedup_overhead_ns)` estimates, if both
+    /// sides have been observed.
+    pub fn estimates(&self, func: &FuncIdentity) -> Option<(f64, f64)> {
+        let profiles = self.profiles.lock();
+        let profile = profiles.get(func)?;
+        (profile.compute_ns.initialized && profile.dedup_overhead_ns.initialized)
+            .then_some((profile.compute_ns.value, profile.dedup_overhead_ns.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncDesc, LibraryRegistry, TrustedLibrary};
+
+    fn identity(tag: &str) -> FuncIdentity {
+        let mut library = TrustedLibrary::new("lib", "1");
+        library.register("f()", tag.as_bytes());
+        let mut registry = LibraryRegistry::new();
+        registry.add(library);
+        registry.resolve(&FuncDesc::new("lib", "1", "f()")).unwrap()
+    }
+
+    #[test]
+    fn warmup_always_dedups() {
+        let profiler = AdaptiveProfiler::new();
+        let config = AdaptiveConfig::default();
+        let func = identity("warm");
+        for _ in 0..config.warmup_calls {
+            assert_eq!(profiler.decide(&func, &config), PolicyDecision::Dedup);
+        }
+    }
+
+    #[test]
+    fn fast_function_gets_bypassed() {
+        let profiler = AdaptiveProfiler::new();
+        let config = AdaptiveConfig::default();
+        let func = identity("fast");
+        // Compute is 10µs but dedup costs 1ms: not worth it.
+        for _ in 0..5 {
+            profiler.decide(&func, &config);
+            profiler.record_compute(&func, 10_000, &config);
+            profiler.record_dedup_overhead(&func, 1_000_000, &config);
+        }
+        assert_eq!(profiler.decide(&func, &config), PolicyDecision::Bypass);
+    }
+
+    #[test]
+    fn slow_function_keeps_dedup() {
+        let profiler = AdaptiveProfiler::new();
+        let config = AdaptiveConfig::default();
+        let func = identity("slow");
+        for _ in 0..5 {
+            profiler.decide(&func, &config);
+            profiler.record_compute(&func, 50_000_000, &config);
+            profiler.record_dedup_overhead(&func, 1_000_000, &config);
+        }
+        assert_eq!(profiler.decide(&func, &config), PolicyDecision::Dedup);
+    }
+
+    #[test]
+    fn bypassed_function_is_probed_periodically() {
+        let profiler = AdaptiveProfiler::new();
+        let config = AdaptiveConfig { probe_interval: 4, ..AdaptiveConfig::default() };
+        let func = identity("probe");
+        for _ in 0..5 {
+            profiler.decide(&func, &config);
+            profiler.record_compute(&func, 1_000, &config);
+            profiler.record_dedup_overhead(&func, 1_000_000, &config);
+        }
+        let mut decisions = Vec::new();
+        for _ in 0..8 {
+            decisions.push(profiler.decide(&func, &config));
+        }
+        assert!(decisions.contains(&PolicyDecision::Bypass));
+        assert!(decisions.contains(&PolicyDecision::Dedup), "{decisions:?}");
+    }
+
+    #[test]
+    fn trade_off_shift_reverses_decision() {
+        let profiler = AdaptiveProfiler::new();
+        let config = AdaptiveConfig { probe_interval: 2, ..AdaptiveConfig::default() };
+        let func = identity("shift");
+        // Initially fast → bypass.
+        for _ in 0..5 {
+            profiler.decide(&func, &config);
+            profiler.record_compute(&func, 1_000, &config);
+            profiler.record_dedup_overhead(&func, 1_000_000, &config);
+        }
+        assert_eq!(profiler.decide(&func, &config), PolicyDecision::Bypass);
+        // Workload becomes much heavier (probes keep measuring).
+        for _ in 0..30 {
+            if profiler.decide(&func, &config) == PolicyDecision::Dedup {
+                profiler.record_compute(&func, 100_000_000, &config);
+                profiler.record_dedup_overhead(&func, 1_000_000, &config);
+            } else {
+                profiler.record_compute(&func, 100_000_000, &config);
+            }
+        }
+        assert_eq!(profiler.decide(&func, &config), PolicyDecision::Dedup);
+    }
+
+    #[test]
+    fn profiles_are_per_function() {
+        let profiler = AdaptiveProfiler::new();
+        let config = AdaptiveConfig::default();
+        let fast = identity("fast-fn");
+        let slow = identity("slow-fn");
+        for _ in 0..5 {
+            profiler.decide(&fast, &config);
+            profiler.record_compute(&fast, 1_000, &config);
+            profiler.record_dedup_overhead(&fast, 1_000_000, &config);
+            profiler.decide(&slow, &config);
+            profiler.record_compute(&slow, 100_000_000, &config);
+            profiler.record_dedup_overhead(&slow, 1_000_000, &config);
+        }
+        assert_eq!(profiler.decide(&fast, &config), PolicyDecision::Bypass);
+        assert_eq!(profiler.decide(&slow, &config), PolicyDecision::Dedup);
+    }
+
+    #[test]
+    fn estimates_exposed() {
+        let profiler = AdaptiveProfiler::new();
+        let config = AdaptiveConfig::default();
+        let func = identity("est");
+        assert!(profiler.estimates(&func).is_none());
+        profiler.record_compute(&func, 2_000, &config);
+        profiler.record_dedup_overhead(&func, 500, &config);
+        let (compute, overhead) = profiler.estimates(&func).unwrap();
+        assert_eq!(compute, 2_000.0);
+        assert_eq!(overhead, 500.0);
+    }
+}

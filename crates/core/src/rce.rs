@@ -1,0 +1,335 @@
+//! Result protection: the randomized-convergent-encryption construction of
+//! §III-C, plus the basic single-key scheme of §III-B.
+//!
+//! Encryption (Algorithm 1, lines 5–9):
+//!
+//! ```text
+//! r  ←$ {0,1}*                  // challenge message
+//! h  ← Hash(func, m, r)         // secondary key
+//! k  ← AES.KeyGen(1^λ)          // fresh random result key
+//! [res] ← AES.Enc(k, res)       // AES-GCM: confidentiality + integrity
+//! [k]   ← k ⊕ h                 // one-time-pad wrap
+//! ```
+//!
+//! Recovery (Algorithm 2, lines 4–6, and the Fig. 3 verification protocol):
+//! an application recomputes `h' ← Hash(func, m, r)` from its *own* code and
+//! input; if it does not perform the identical computation, `k' = [k] ⊕ h'`
+//! is wrong and AES-GCM decryption returns `⊥`.
+
+use speed_crypto::{AesGcm128, Key128, Nonce, SystemRng};
+use speed_wire::Record;
+
+use crate::error::CoreError;
+use crate::func::FuncIdentity;
+use crate::tag::secondary_key;
+
+/// Length in bytes of the challenge message `r`.
+pub const CHALLENGE_LEN: usize = 32;
+
+/// Associated data bound into every result ciphertext, versioning the
+/// scheme.
+const RESULT_AAD: &[u8] = b"speed-result-v1";
+
+/// Encrypts a freshly computed result for publication (initial computation,
+/// Algorithm 1).
+///
+/// Returns the [`Record`] to send in the `PUT_REQUEST`.
+pub fn encrypt_result(
+    func: &FuncIdentity,
+    input: &[u8],
+    result: &[u8],
+    rng: &mut SystemRng,
+) -> Record {
+    let challenge = rng.gen_challenge(CHALLENGE_LEN);
+    let h = secondary_key(func, input, &challenge);
+    let k = rng.gen_key();
+    let nonce = rng.gen_nonce();
+    let cipher = AesGcm128::new(&k);
+    let boxed_result = cipher.seal(&nonce, RESULT_AAD, result);
+    let wrapped_key = *k.xor_pad(&h).as_bytes();
+    Record { challenge, wrapped_key, nonce: *nonce.as_bytes(), boxed_result }
+}
+
+/// Recovers a stored result (subsequent computation, Algorithm 2).
+///
+/// # Errors
+///
+/// Returns [`CoreError::VerificationFailed`] if this application does not
+/// own the identical `(func, m)` — i.e. the recovered key fails to
+/// authenticate the ciphertext — or if the record was tampered with outside
+/// the enclave.
+pub fn recover_result(
+    func: &FuncIdentity,
+    input: &[u8],
+    record: &Record,
+) -> Result<Vec<u8>, CoreError> {
+    let h = secondary_key(func, input, &record.challenge);
+    let k = Key128::from_bytes(record.wrapped_key).xor_pad(&h);
+    let cipher = AesGcm128::new(&k);
+    let nonce = Nonce::from_bytes(record.nonce);
+    cipher
+        .open(&nonce, RESULT_AAD, &record.boxed_result)
+        .map_err(|_| CoreError::VerificationFailed)
+}
+
+/// Encrypts a result under classic *convergent encryption* (the original
+/// deterministic MLE of Douceur et al., which RCE improves upon): the key
+/// is derived directly from the computation, `k = H(func, m)`, with no
+/// challenge message and no wrapped key.
+///
+/// Compared to the paper's RCE construction this saves one hash and the
+/// key-wrap XOR, but the key is *deterministic*: anyone who can enumerate
+/// candidate `(func, m)` pairs can confirm guesses offline once they hold
+/// the ciphertext — exactly the predictable-message weakness §III-D's
+/// brute-force discussion warns about. Provided for the scheme ablation.
+pub fn encrypt_result_convergent(
+    func: &FuncIdentity,
+    input: &[u8],
+    result: &[u8],
+    rng: &mut SystemRng,
+) -> Record {
+    let key = convergent_key(func, input);
+    let nonce = rng.gen_nonce();
+    let cipher = AesGcm128::new(&key);
+    let boxed_result = cipher.seal(&nonce, RESULT_AAD, result);
+    Record {
+        challenge: Vec::new(),
+        wrapped_key: [0u8; 16],
+        nonce: *nonce.as_bytes(),
+        boxed_result,
+    }
+}
+
+/// Recovers a result encrypted with [`encrypt_result_convergent`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::VerificationFailed`] if the caller does not own
+/// the identical `(func, m)` or the ciphertext was tampered with.
+pub fn recover_result_convergent(
+    func: &FuncIdentity,
+    input: &[u8],
+    record: &Record,
+) -> Result<Vec<u8>, CoreError> {
+    let key = convergent_key(func, input);
+    let cipher = AesGcm128::new(&key);
+    let nonce = Nonce::from_bytes(record.nonce);
+    cipher
+        .open(&nonce, RESULT_AAD, &record.boxed_result)
+        .map_err(|_| CoreError::VerificationFailed)
+}
+
+fn convergent_key(func: &FuncIdentity, input: &[u8]) -> Key128 {
+    let digest = speed_crypto::Sha256::digest_parts(&[
+        b"convergent-key",
+        func.as_bytes(),
+        input,
+    ]);
+    Key128::from_bytes(digest.truncate16())
+}
+
+/// Encrypts a result under a fixed system-wide key (the basic design of
+/// §III-B). The challenge field is unused (empty) in this mode.
+pub fn encrypt_result_single_key(
+    key: &Key128,
+    result: &[u8],
+    rng: &mut SystemRng,
+) -> Record {
+    let nonce = rng.gen_nonce();
+    let cipher = AesGcm128::new(key);
+    let boxed_result = cipher.seal(&nonce, RESULT_AAD, result);
+    Record {
+        challenge: Vec::new(),
+        wrapped_key: [0u8; 16],
+        nonce: *nonce.as_bytes(),
+        boxed_result,
+    }
+}
+
+/// Recovers a result encrypted under the system-wide key.
+///
+/// # Errors
+///
+/// Returns [`CoreError::VerificationFailed`] if the key is wrong or the
+/// ciphertext was tampered with.
+pub fn recover_result_single_key(
+    key: &Key128,
+    record: &Record,
+) -> Result<Vec<u8>, CoreError> {
+    let cipher = AesGcm128::new(key);
+    let nonce = Nonce::from_bytes(record.nonce);
+    cipher
+        .open(&nonce, RESULT_AAD, &record.boxed_result)
+        .map_err(|_| CoreError::VerificationFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncDesc, LibraryRegistry, TrustedLibrary};
+    use proptest::prelude::*;
+
+    fn identity(code: &[u8]) -> FuncIdentity {
+        let mut library = TrustedLibrary::new("lib", "1");
+        library.register("f()", code);
+        let mut registry = LibraryRegistry::new();
+        registry.add(library);
+        registry.resolve(&FuncDesc::new("lib", "1", "f()")).unwrap()
+    }
+
+    #[test]
+    fn same_computation_recovers_result() {
+        let func = identity(b"code");
+        let mut rng = SystemRng::seeded(1);
+        let record = encrypt_result(&func, b"input", b"the result", &mut rng);
+        assert_eq!(recover_result(&func, b"input", &record).unwrap(), b"the result");
+    }
+
+    #[test]
+    fn wrong_input_fails_verification() {
+        let func = identity(b"code");
+        let mut rng = SystemRng::seeded(1);
+        let record = encrypt_result(&func, b"input", b"the result", &mut rng);
+        assert!(matches!(
+            recover_result(&func, b"other input", &record),
+            Err(CoreError::VerificationFailed)
+        ));
+    }
+
+    #[test]
+    fn wrong_code_fails_verification() {
+        let alice = identity(b"real code");
+        let mallory = identity(b"fake code");
+        let mut rng = SystemRng::seeded(1);
+        let record = encrypt_result(&alice, b"input", b"secret result", &mut rng);
+        assert!(matches!(
+            recover_result(&mallory, b"input", &record),
+            Err(CoreError::VerificationFailed)
+        ));
+    }
+
+    #[test]
+    fn tampered_record_fields_fail() {
+        let func = identity(b"code");
+        let mut rng = SystemRng::seeded(2);
+        let record = encrypt_result(&func, b"m", b"res", &mut rng);
+
+        let mut tampered = record.clone();
+        tampered.boxed_result[0] ^= 1;
+        assert!(recover_result(&func, b"m", &tampered).is_err());
+
+        let mut tampered = record.clone();
+        tampered.wrapped_key[0] ^= 1;
+        assert!(recover_result(&func, b"m", &tampered).is_err());
+
+        let mut tampered = record.clone();
+        tampered.challenge[0] ^= 1;
+        assert!(recover_result(&func, b"m", &tampered).is_err());
+
+        let mut tampered = record;
+        tampered.nonce[0] ^= 1;
+        assert!(recover_result(&func, b"m", &tampered).is_err());
+    }
+
+    #[test]
+    fn encryptions_are_randomized() {
+        // RCE is a *randomized* MLE: same computation, different ciphertexts.
+        let func = identity(b"code");
+        let mut rng = SystemRng::seeded(3);
+        let r1 = encrypt_result(&func, b"m", b"res", &mut rng);
+        let r2 = encrypt_result(&func, b"m", b"res", &mut rng);
+        assert_ne!(r1.boxed_result, r2.boxed_result);
+        assert_ne!(r1.challenge, r2.challenge);
+        // Both decrypt to the same result for eligible applications.
+        assert_eq!(recover_result(&func, b"m", &r1).unwrap(), b"res");
+        assert_eq!(recover_result(&func, b"m", &r2).unwrap(), b"res");
+    }
+
+    #[test]
+    fn empty_result_roundtrips() {
+        let func = identity(b"code");
+        let mut rng = SystemRng::seeded(4);
+        let record = encrypt_result(&func, b"m", b"", &mut rng);
+        assert_eq!(recover_result(&func, b"m", &record).unwrap(), b"");
+    }
+
+    #[test]
+    fn convergent_mode_roundtrips() {
+        let func = identity(b"code");
+        let mut rng = SystemRng::seeded(11);
+        let record = encrypt_result_convergent(&func, b"m", b"res", &mut rng);
+        assert_eq!(recover_result_convergent(&func, b"m", &record).unwrap(), b"res");
+        assert!(recover_result_convergent(&func, b"other", &record).is_err());
+        assert!(recover_result_convergent(&identity(b"bad"), b"m", &record).is_err());
+    }
+
+    #[test]
+    fn convergent_key_is_deterministic_rce_key_is_not() {
+        // The security-relevant distinction: CE keys repeat across
+        // encryptions of the same computation; RCE keys are fresh.
+        let func = identity(b"code");
+        let mut rng = SystemRng::seeded(12);
+        let ce1 = encrypt_result_convergent(&func, b"m", b"res", &mut rng);
+        let ce2 = encrypt_result_convergent(&func, b"m", b"res", &mut rng);
+        // Same key, different nonce ⇒ ciphertexts differ but an attacker
+        // testing a guessed (func, m) derives the SAME key both times.
+        assert_eq!(convergent_key(&func, b"m"), convergent_key(&func, b"m"));
+        assert_ne!(ce1.boxed_result, ce2.boxed_result); // nonce still random
+
+        let rce1 = encrypt_result(&func, b"m", b"res", &mut rng);
+        let rce2 = encrypt_result(&func, b"m", b"res", &mut rng);
+        assert_ne!(rce1.challenge, rce2.challenge);
+        assert_ne!(rce1.wrapped_key, rce2.wrapped_key);
+    }
+
+    #[test]
+    fn single_key_mode_roundtrips() {
+        let key = Key128::from_bytes([7u8; 16]);
+        let mut rng = SystemRng::seeded(5);
+        let record = encrypt_result_single_key(&key, b"res", &mut rng);
+        assert_eq!(recover_result_single_key(&key, &record).unwrap(), b"res");
+    }
+
+    #[test]
+    fn single_key_mode_is_brittle_across_keys() {
+        // The §III-B discussion: one compromised/changed key breaks all
+        // sharing — demonstrated by failure under a different key.
+        let mut rng = SystemRng::seeded(6);
+        let record =
+            encrypt_result_single_key(&Key128::from_bytes([1u8; 16]), b"res", &mut rng);
+        assert!(recover_result_single_key(&Key128::from_bytes([2u8; 16]), &record).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary_results(input: Vec<u8>, result: Vec<u8>, seed: u64) {
+            let func = identity(b"code");
+            let mut rng = SystemRng::seeded(seed);
+            let record = encrypt_result(&func, &input, &result, &mut rng);
+            prop_assert_eq!(recover_result(&func, &input, &record).unwrap(), result);
+        }
+
+        #[test]
+        fn prop_wrong_input_never_decrypts(
+            input: Vec<u8>,
+            other: Vec<u8>,
+            result: Vec<u8>,
+            seed: u64,
+        ) {
+            prop_assume!(input != other);
+            let func = identity(b"code");
+            let mut rng = SystemRng::seeded(seed);
+            let record = encrypt_result(&func, &input, &result, &mut rng);
+            prop_assert!(recover_result(&func, &other, &record).is_err());
+        }
+
+        #[test]
+        fn prop_ciphertext_leaks_only_length(result: Vec<u8>, seed: u64) {
+            let func = identity(b"code");
+            let mut rng = SystemRng::seeded(seed);
+            let record = encrypt_result(&func, b"m", &result, &mut rng);
+            // GCM ciphertext length = plaintext length + 16-byte tag.
+            prop_assert_eq!(record.boxed_result.len(), result.len() + 16);
+        }
+    }
+}

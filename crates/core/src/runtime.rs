@@ -1,0 +1,965 @@
+//! The secure deduplication runtime (§IV-B).
+//!
+//! `DedupRuntime` is "a trusted library linked against application enclaves"
+//! that intercepts marked computations, performs duplicate checking against
+//! the `ResultStore`, and either reuses the stored result or executes the
+//! function and publishes the encrypted result. GETs are synchronous (the
+//! OCALL waits for the `GET_RESPONSE`); PUTs can be processed "in a
+//! separated thread for better efficiency" — the asynchronous PUT worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use speed_crypto::{Key128, SystemRng};
+use speed_enclave::{Enclave, Platform};
+use speed_store::ResultStore;
+use speed_wire::{AppId, Message, SessionAuthority};
+
+use crate::client::{InProcessClient, StoreClient, TcpClient};
+use crate::error::CoreError;
+use crate::func::{FuncDesc, FuncIdentity, LibraryRegistry, TrustedLibrary};
+use crate::policy::{AdaptiveProfiler, DedupPolicy, PolicyDecision};
+use crate::rce;
+use crate::tag::tag_for;
+
+/// How results are protected before leaving the enclave.
+#[derive(Clone, Debug)]
+pub enum DedupMode {
+    /// The main design (§III-C): cross-application RCE, no shared key.
+    CrossApp,
+    /// The basic design (§III-B): one system-wide secret key. Only
+    /// applications configured with the same key can reuse results, and a
+    /// single compromise exposes everything — kept for the ablation
+    /// experiments.
+    SingleKey(Key128),
+    /// Classic deterministic convergent encryption (`k = H(func, m)`).
+    /// Cheaper than RCE by one hash and the key wrap, but offline
+    /// brute-force confirmable for predictable computations — see
+    /// [`crate::rce::encrypt_result_convergent`]. For the scheme ablation.
+    Convergent,
+}
+
+/// What happened on one marked function call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// The result was found and reused without executing the function.
+    Hit,
+    /// The computation was fresh: executed and published.
+    Miss,
+    /// A record existed but failed the Fig. 3 verification protocol (wrong
+    /// code/input binding or tampering); the function was executed locally
+    /// and nothing was published.
+    MissAfterFailedVerify,
+    /// The adaptive policy decided deduplication cannot pay off for this
+    /// function; it was executed directly without consulting the store.
+    BypassedByPolicy,
+}
+
+/// Counters describing a runtime's activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Marked calls intercepted.
+    pub calls: u64,
+    /// Calls satisfied from the store.
+    pub hits: u64,
+    /// Calls that executed the function.
+    pub misses: u64,
+    /// Records that failed result verification.
+    pub verify_failures: u64,
+    /// PUTs rejected by the store (quota etc.).
+    pub rejected_puts: u64,
+    /// Plaintext result bytes reused instead of recomputed.
+    pub reused_bytes: u64,
+    /// Calls executed directly because the adaptive policy bypassed
+    /// deduplication.
+    pub bypasses: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    calls: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    verify_failures: AtomicU64,
+    rejected_puts: AtomicU64,
+    reused_bytes: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+/// The asynchronous PUT worker: a background thread draining a channel of
+/// `PUT_REQUEST`s through its own store connection.
+struct AsyncPutter {
+    sender: Option<Sender<Message>>,
+    pending: Arc<(Mutex<u64>, Condvar)>,
+    rejected: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for AsyncPutter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncPutter").finish_non_exhaustive()
+    }
+}
+
+impl AsyncPutter {
+    fn spawn(mut client: Box<dyn StoreClient>) -> Self {
+        let (sender, receiver) = unbounded::<Message>();
+        let pending = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let pending_worker = Arc::clone(&pending);
+        let rejected_worker = Arc::clone(&rejected);
+        let handle = std::thread::spawn(move || {
+            while let Ok(message) = receiver.recv() {
+                let response = client.roundtrip(&message);
+                if let Ok(Message::PutResponse(body)) = response {
+                    if !body.accepted {
+                        rejected_worker.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let (lock, cvar) = &*pending_worker;
+                let mut count = lock.lock();
+                *count -= 1;
+                cvar.notify_all();
+            }
+        });
+        AsyncPutter {
+            sender: Some(sender),
+            pending,
+            rejected,
+            handle: Some(handle),
+        }
+    }
+
+    fn submit(&self, message: Message) -> Result<(), CoreError> {
+        let (lock, _) = &*self.pending;
+        *lock.lock() += 1;
+        match self.sender.as_ref().expect("sender lives until drop").send(message) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                let (lock, cvar) = &*self.pending;
+                *lock.lock() -= 1;
+                cvar.notify_all();
+                Err(CoreError::AsyncPutClosed)
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let (lock, cvar) = &*self.pending;
+        let mut count = lock.lock();
+        while *count > 0 {
+            cvar.wait(&mut count);
+        }
+    }
+}
+
+impl Drop for AsyncPutter {
+    fn drop(&mut self) {
+        self.sender.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+enum ClientSpec {
+    InProcess { store: Arc<ResultStore>, authority: Arc<SessionAuthority> },
+    InProcessRemote {
+        store: Arc<ResultStore>,
+        authority: Arc<SessionAuthority>,
+        store_platform: Arc<Platform>,
+    },
+    Tcp { addr: std::net::SocketAddr, authority: Arc<SessionAuthority> },
+    Custom(Box<dyn StoreClient>),
+}
+
+impl std::fmt::Debug for ClientSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ClientSpec::InProcess { .. } => "InProcess",
+            ClientSpec::InProcessRemote { .. } => "InProcessRemote",
+            ClientSpec::Tcp { .. } => "Tcp",
+            ClientSpec::Custom(_) => "Custom",
+        };
+        write!(f, "ClientSpec::{name}")
+    }
+}
+
+/// Builder for [`DedupRuntime`].
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    platform: Arc<Platform>,
+    app_code: Vec<u8>,
+    client_spec: Option<ClientSpec>,
+    registry: LibraryRegistry,
+    mode: DedupMode,
+    policy: DedupPolicy,
+    async_put: bool,
+    app_id: Option<u64>,
+    rng_seed: Option<u64>,
+}
+
+impl RuntimeBuilder {
+    fn new(platform: Arc<Platform>, app_code: &[u8]) -> Self {
+        RuntimeBuilder {
+            platform,
+            app_code: app_code.to_vec(),
+            client_spec: None,
+            registry: LibraryRegistry::new(),
+            mode: DedupMode::CrossApp,
+            policy: DedupPolicy::Always,
+            async_put: false,
+            app_id: None,
+            rng_seed: None,
+        }
+    }
+
+    /// Connects to an in-process store co-located on the same platform.
+    pub fn in_process_store(
+        mut self,
+        store: Arc<ResultStore>,
+        authority: Arc<SessionAuthority>,
+    ) -> Self {
+        self.client_spec = Some(ClientSpec::InProcess { store, authority });
+        self
+    }
+
+    /// Connects to a store whose enclave lives on another platform (the
+    /// two-machine deployment) without going through TCP.
+    pub fn remote_store(
+        mut self,
+        store: Arc<ResultStore>,
+        authority: Arc<SessionAuthority>,
+        store_platform: Arc<Platform>,
+    ) -> Self {
+        self.client_spec =
+            Some(ClientSpec::InProcessRemote { store, authority, store_platform });
+        self
+    }
+
+    /// Connects to a TCP store server.
+    pub fn tcp_store(
+        mut self,
+        addr: std::net::SocketAddr,
+        authority: Arc<SessionAuthority>,
+    ) -> Self {
+        self.client_spec = Some(ClientSpec::Tcp { addr, authority });
+        self
+    }
+
+    /// Uses a custom [`StoreClient`] (e.g. a test double). Asynchronous PUT
+    /// is unavailable with a custom client.
+    pub fn client(mut self, client: Box<dyn StoreClient>) -> Self {
+        self.client_spec = Some(ClientSpec::Custom(client));
+        self
+    }
+
+    /// Registers a trusted library whose functions may be marked.
+    pub fn trusted_library(mut self, library: TrustedLibrary) -> Self {
+        self.registry.add(library);
+        self
+    }
+
+    /// Selects the result-protection mode (default: [`DedupMode::CrossApp`]).
+    pub fn mode(mut self, mode: DedupMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the deduplication policy (default: [`DedupPolicy::Always`]).
+    /// [`DedupPolicy::Adaptive`] implements the paper's §VII future
+    /// direction: per-function dynamic analysis of whether deduplication
+    /// pays off.
+    pub fn policy(mut self, policy: DedupPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the asynchronous PUT worker thread.
+    pub fn async_put(mut self, enabled: bool) -> Self {
+        self.async_put = enabled;
+        self
+    }
+
+    /// Overrides the application id (defaults to the enclave id).
+    pub fn app_id(mut self, id: u64) -> Self {
+        self.app_id = Some(id);
+        self
+    }
+
+    /// Seeds the runtime RNG for reproducible experiments.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = Some(seed);
+        self
+    }
+
+    /// Creates the application enclave, connects the store client(s), and
+    /// builds the runtime.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::UnexpectedResponse`] if no store was configured, or
+    ///   async PUT was requested with a custom client.
+    /// - [`CoreError::Enclave`] / [`CoreError::Channel`] /
+    ///   [`CoreError::Store`] on enclave creation or connection failure.
+    pub fn build(self) -> Result<Arc<DedupRuntime>, CoreError> {
+        let enclave = self.platform.create_enclave(&self.app_code)?;
+        let spec = self.client_spec.ok_or_else(|| {
+            CoreError::UnexpectedResponse("no store configured on builder".into())
+        })?;
+
+        let (main_client, async_putter) = match spec {
+            ClientSpec::Custom(client) => {
+                if self.async_put {
+                    return Err(CoreError::UnexpectedResponse(
+                        "async put requires a reconnectable store client".into(),
+                    ));
+                }
+                (client, None)
+            }
+            spec => {
+                let main_client = Self::make_client(&spec, &self.platform, &enclave)?;
+                let async_putter = if self.async_put {
+                    let put_client = Self::make_client(&spec, &self.platform, &enclave)?;
+                    Some(AsyncPutter::spawn(put_client))
+                } else {
+                    None
+                };
+                (main_client, async_putter)
+            }
+        };
+
+        let app_id = AppId(self.app_id.unwrap_or_else(|| enclave.id()));
+        let rng = match self.rng_seed {
+            Some(seed) => SystemRng::seeded(seed),
+            None => SystemRng::new(),
+        };
+
+        Ok(Arc::new(DedupRuntime {
+            enclave,
+            app_id,
+            registry: self.registry,
+            client: Mutex::new(main_client),
+            mode: self.mode,
+            policy: self.policy,
+            profiler: AdaptiveProfiler::new(),
+            rng: Mutex::new(rng),
+            stats: AtomicStats::default(),
+            async_putter,
+        }))
+    }
+
+    fn make_client(
+        spec: &ClientSpec,
+        platform: &Arc<Platform>,
+        enclave: &Arc<Enclave>,
+    ) -> Result<Box<dyn StoreClient>, CoreError> {
+        match spec {
+            ClientSpec::InProcess { store, authority } => Ok(Box::new(
+                InProcessClient::connect(Arc::clone(store), authority, platform, enclave)?,
+            )),
+            ClientSpec::InProcessRemote { store, authority, store_platform } => {
+                Ok(Box::new(InProcessClient::connect_remote(
+                    Arc::clone(store),
+                    authority,
+                    platform,
+                    enclave,
+                    store_platform,
+                )?))
+            }
+            ClientSpec::Tcp { addr, authority } => {
+                Ok(Box::new(TcpClient::connect(*addr, platform, enclave, authority)?))
+            }
+            ClientSpec::Custom(_) => Err(CoreError::UnexpectedResponse(
+                "custom clients are moved at build time".into(),
+            )),
+        }
+    }
+}
+
+/// The secure deduplication runtime linked against one application enclave.
+#[derive(Debug)]
+pub struct DedupRuntime {
+    enclave: Arc<Enclave>,
+    app_id: AppId,
+    registry: LibraryRegistry,
+    client: Mutex<Box<dyn StoreClient>>,
+    mode: DedupMode,
+    policy: DedupPolicy,
+    profiler: AdaptiveProfiler,
+    rng: Mutex<SystemRng>,
+    stats: AtomicStats,
+    async_putter: Option<AsyncPutter>,
+}
+
+impl DedupRuntime {
+    /// Starts building a runtime for an application whose enclave code
+    /// identity is `app_code`, hosted on `platform`.
+    pub fn builder(platform: Arc<Platform>, app_code: &[u8]) -> RuntimeBuilder {
+        RuntimeBuilder::new(platform, app_code)
+    }
+
+    /// The application's enclave.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// The application id used for store quota accounting.
+    pub fn app_id(&self) -> AppId {
+        self.app_id
+    }
+
+    /// Resolves a function description against the registered trusted
+    /// libraries (the verification step of §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FunctionNotTrusted`] if the function is absent.
+    pub fn resolve(&self, desc: &FuncDesc) -> Result<FuncIdentity, CoreError> {
+        self.registry.resolve(desc)
+    }
+
+    /// Runs one marked computation over serialized input bytes.
+    ///
+    /// Implements Algorithms 1 and 2: derives the tag inside the enclave,
+    /// queries the store through an OCALL, reuses the result on a verified
+    /// hit, otherwise executes `compute` and publishes the encrypted
+    /// result.
+    ///
+    /// Returns the serialized result and what happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on store/transport failures. A record that
+    /// fails verification is *not* an error: the function is executed
+    /// locally and [`DedupOutcome::MissAfterFailedVerify`] is reported.
+    pub fn execute_raw(
+        &self,
+        identity: &FuncIdentity,
+        input: &[u8],
+        compute: impl FnOnce(&[u8]) -> Vec<u8>,
+    ) -> Result<(Vec<u8>, DedupOutcome), CoreError> {
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+
+        // Adaptive policy (§VII future work): bypass the store entirely
+        // for functions where deduplication cannot pay off.
+        let adaptive = match &self.policy {
+            DedupPolicy::Always => None,
+            DedupPolicy::Adaptive(config) => Some(*config),
+        };
+        if let Some(config) = &adaptive {
+            if self.profiler.decide(identity, config) == PolicyDecision::Bypass {
+                self.stats.bypasses.fetch_add(1, Ordering::Relaxed);
+                let started = std::time::Instant::now();
+                let result = self.enclave.ecall("direct_execute", || compute(input));
+                self.profiler.record_compute(
+                    identity,
+                    started.elapsed().as_nanos() as u64,
+                    config,
+                );
+                return Ok((result, DedupOutcome::BypassedByPolicy));
+            }
+        }
+
+        let call_started = std::time::Instant::now();
+        let outcome = self.enclave.ecall("dedup_execute", || {
+            // Inside the application enclave: derive the tag from the
+            // verified function identity and the input data.
+            let tag = tag_for(identity, input);
+
+            // OCALL: synchronous GET roundtrip (tag out, record back).
+            let get_request = Message::GetRequest { app: self.app_id, tag };
+            let response = self.enclave.ocall_with_bytes("get_request", 48, 0, || {
+                self.client.lock().roundtrip(&get_request)
+            })?;
+
+            let body = match response {
+                Message::GetResponse(body) => body,
+                other => {
+                    return Err(CoreError::UnexpectedResponse(format!("{other:?}")))
+                }
+            };
+
+            if let Some(record) = body.record {
+                self.enclave.charge_boundary_bytes(record.wire_size());
+                let recovered = match &self.mode {
+                    DedupMode::CrossApp => rce::recover_result(identity, input, &record),
+                    DedupMode::SingleKey(key) => {
+                        rce::recover_result_single_key(key, &record)
+                    }
+                    DedupMode::Convergent => {
+                        rce::recover_result_convergent(identity, input, &record)
+                    }
+                };
+                match recovered {
+                    Ok(result) => {
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .reused_bytes
+                            .fetch_add(result.len() as u64, Ordering::Relaxed);
+                        return Ok((result, DedupOutcome::Hit, 0u64));
+                    }
+                    Err(CoreError::VerificationFailed) => {
+                        // Fig. 3: ⊥ ⇒ behave as a miss, but do not publish
+                        // (the tag slot is taken; overwriting is the store's
+                        // anti-poisoning policy decision).
+                        self.stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        let compute_started = std::time::Instant::now();
+                        let result = compute(input);
+                        let compute_ns = compute_started.elapsed().as_nanos() as u64;
+                        return Ok((
+                            result,
+                            DedupOutcome::MissAfterFailedVerify,
+                            compute_ns,
+                        ));
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+
+            // Fresh computation: execute inside the enclave.
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let compute_started = std::time::Instant::now();
+            let result = compute(input);
+            let compute_ns = compute_started.elapsed().as_nanos() as u64;
+
+            // Encrypt and publish.
+            let record = {
+                let mut rng = self.rng.lock();
+                match &self.mode {
+                    DedupMode::CrossApp => {
+                        rce::encrypt_result(identity, input, &result, &mut rng)
+                    }
+                    DedupMode::SingleKey(key) => {
+                        rce::encrypt_result_single_key(key, &result, &mut rng)
+                    }
+                    DedupMode::Convergent => {
+                        rce::encrypt_result_convergent(identity, input, &result, &mut rng)
+                    }
+                }
+            };
+            let record_size = record.wire_size();
+            let put_request = Message::PutRequest { app: self.app_id, tag, record };
+
+            match &self.async_putter {
+                Some(putter) => {
+                    // Asynchronous PUT: enqueue and return immediately; the
+                    // worker thread performs the OCALL on its own channel.
+                    putter.submit(put_request)?;
+                }
+                None => {
+                    let response = self
+                        .enclave
+                        .ocall_with_bytes("put_request", record_size + 48, 1, || {
+                            self.client.lock().roundtrip(&put_request)
+                        })?;
+                    match response {
+                        Message::PutResponse(body) => {
+                            if !body.accepted {
+                                self.stats.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        other => {
+                            return Err(CoreError::UnexpectedResponse(format!(
+                                "{other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+
+            Ok((result, DedupOutcome::Miss, compute_ns))
+        });
+
+        let (result, outcome, compute_ns) = outcome?;
+        if let Some(config) = &adaptive {
+            let total_ns = call_started.elapsed().as_nanos() as u64;
+            match outcome {
+                DedupOutcome::Hit => {
+                    self.profiler.record_dedup_overhead(identity, total_ns, config)
+                }
+                DedupOutcome::Miss | DedupOutcome::MissAfterFailedVerify => {
+                    self.profiler.record_compute(identity, compute_ns, config);
+                    self.profiler.record_dedup_overhead(
+                        identity,
+                        total_ns.saturating_sub(compute_ns),
+                        config,
+                    );
+                }
+                DedupOutcome::BypassedByPolicy => {
+                    unreachable!("bypass returns before the dedup path")
+                }
+            }
+        }
+        Ok((result, outcome))
+    }
+
+    /// Convenience: resolve + execute in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`resolve`](DedupRuntime::resolve) and
+    /// [`execute_raw`](DedupRuntime::execute_raw).
+    pub fn execute(
+        &self,
+        desc: &FuncDesc,
+        input: &[u8],
+        compute: impl FnOnce(&[u8]) -> Vec<u8>,
+    ) -> Result<(Vec<u8>, DedupOutcome), CoreError> {
+        let identity = self.resolve(desc)?;
+        self.execute_raw(&identity, input, compute)
+    }
+
+    /// Waits until all asynchronous PUTs submitted so far have completed.
+    /// No-op when async PUT is disabled.
+    pub fn flush(&self) {
+        if let Some(putter) = &self.async_putter {
+            putter.flush();
+        }
+    }
+
+    /// A snapshot of the runtime counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let async_rejected = self
+            .async_putter
+            .as_ref()
+            .map_or(0, |p| p.rejected.load(Ordering::Relaxed));
+        RuntimeStats {
+            calls: self.stats.calls.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            verify_failures: self.stats.verify_failures.load(Ordering::Relaxed),
+            rejected_puts: self.stats.rejected_puts.load(Ordering::Relaxed)
+                + async_rejected,
+            reused_bytes: self.stats.reused_bytes.load(Ordering::Relaxed),
+            bypasses: self.stats.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The adaptive profiler's `(compute_ns, dedup_overhead_ns)` estimates
+    /// for a function, once both have been observed.
+    pub fn profile_estimates(&self, identity: &FuncIdentity) -> Option<(f64, f64)> {
+        self.profiler.estimates(identity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_enclave::CostModel;
+    use speed_store::StoreConfig;
+    use std::sync::atomic::AtomicUsize;
+
+    fn setup() -> (Arc<Platform>, Arc<ResultStore>, Arc<SessionAuthority>) {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let authority = Arc::new(SessionAuthority::with_seed(5));
+        (platform, store, authority)
+    }
+
+    fn library() -> TrustedLibrary {
+        let mut lib = TrustedLibrary::new("testlib", "1.0");
+        lib.register("double()", b"double code");
+        lib.register("reverse()", b"reverse code");
+        lib
+    }
+
+    fn desc_double() -> FuncDesc {
+        FuncDesc::new("testlib", "1.0", "double()")
+    }
+
+    fn runtime(
+        platform: &Arc<Platform>,
+        store: &Arc<ResultStore>,
+        authority: &Arc<SessionAuthority>,
+        code: &[u8],
+    ) -> Arc<DedupRuntime> {
+        DedupRuntime::builder(Arc::clone(platform), code)
+            .in_process_store(Arc::clone(store), Arc::clone(authority))
+            .trusted_library(library())
+            .rng_seed(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn initial_then_subsequent_computation() {
+        let (platform, store, authority) = setup();
+        let rt = runtime(&platform, &store, &authority, b"app-1");
+        let executions = AtomicUsize::new(0);
+        let compute = |input: &[u8]| {
+            executions.fetch_add(1, Ordering::Relaxed);
+            input.iter().map(|b| b.wrapping_mul(2)).collect()
+        };
+
+        let (result, outcome) = rt.execute(&desc_double(), b"\x01\x02", compute).unwrap();
+        assert_eq!(result, vec![2, 4]);
+        assert_eq!(outcome, DedupOutcome::Miss);
+
+        let (result, outcome) = rt
+            .execute(&desc_double(), b"\x01\x02", |_| panic!("must not execute"))
+            .unwrap();
+        assert_eq!(result, vec![2, 4]);
+        assert_eq!(outcome, DedupOutcome::Hit);
+        assert_eq!(executions.load(Ordering::Relaxed), 1);
+
+        let stats = rt.stats();
+        assert_eq!((stats.calls, stats.hits, stats.misses), (2, 1, 1));
+        assert_eq!(stats.reused_bytes, 2);
+    }
+
+    #[test]
+    fn cross_application_sharing() {
+        let (platform, store, authority) = setup();
+        let rt_a = runtime(&platform, &store, &authority, b"app-a");
+        let rt_b = runtime(&platform, &store, &authority, b"app-b");
+
+        rt_a.execute(&desc_double(), b"shared", |input| input.to_vec()).unwrap();
+        // A *different application* with the same trusted library and input
+        // reuses A's result without re-executing.
+        let (result, outcome) = rt_b
+            .execute(&desc_double(), b"shared", |_| panic!("should dedup"))
+            .unwrap();
+        assert_eq!(result, b"shared");
+        assert_eq!(outcome, DedupOutcome::Hit);
+    }
+
+    #[test]
+    fn different_function_does_not_collide() {
+        let (platform, store, authority) = setup();
+        let rt = runtime(&platform, &store, &authority, b"app");
+        rt.execute(&desc_double(), b"x", |_| vec![1]).unwrap();
+        let (result, outcome) = rt
+            .execute(&FuncDesc::new("testlib", "1.0", "reverse()"), b"x", |_| vec![2])
+            .unwrap();
+        assert_eq!(result, vec![2]);
+        assert_eq!(outcome, DedupOutcome::Miss);
+    }
+
+    #[test]
+    fn untrusted_function_is_rejected() {
+        let (platform, store, authority) = setup();
+        let rt = runtime(&platform, &store, &authority, b"app");
+        let err = rt
+            .execute(&FuncDesc::new("evil", "6.6", "backdoor()"), b"x", |_| vec![])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::FunctionNotTrusted { .. }));
+        // The rejected call never reaches the dedup path.
+        assert_eq!(rt.stats().calls, 0);
+        assert_eq!(rt.stats().misses, 0);
+    }
+
+    #[test]
+    fn single_key_mode_intra_app_dedup() {
+        let (platform, store, authority) = setup();
+        let key = Key128::from_bytes([9u8; 16]);
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"sk-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .mode(DedupMode::SingleKey(key))
+            .build()
+            .unwrap();
+        rt.execute(&desc_double(), b"in", |i| i.to_vec()).unwrap();
+        let (_, outcome) = rt
+            .execute(&desc_double(), b"in", |_| panic!("dedup"))
+            .unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+    }
+
+    #[test]
+    fn single_key_mode_wrong_key_fails_verification() {
+        let (platform, store, authority) = setup();
+        let rt_good = DedupRuntime::builder(Arc::clone(&platform), b"good")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .mode(DedupMode::SingleKey(Key128::from_bytes([1u8; 16])))
+            .build()
+            .unwrap();
+        let rt_other = DedupRuntime::builder(Arc::clone(&platform), b"other")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .mode(DedupMode::SingleKey(Key128::from_bytes([2u8; 16])))
+            .build()
+            .unwrap();
+
+        rt_good.execute(&desc_double(), b"m", |_| vec![42]).unwrap();
+        // The single-key brittleness (§III-B): a different key cannot reuse.
+        let (result, outcome) = rt_other
+            .execute(&desc_double(), b"m", |_| vec![43])
+            .unwrap();
+        assert_eq!(result, vec![43]);
+        assert_eq!(outcome, DedupOutcome::MissAfterFailedVerify);
+        assert_eq!(rt_other.stats().verify_failures, 1);
+    }
+
+    #[test]
+    fn convergent_mode_cross_app_dedup() {
+        let (platform, store, authority) = setup();
+        let build = |code: &[u8]| {
+            DedupRuntime::builder(Arc::clone(&platform), code)
+                .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+                .trusted_library(library())
+                .mode(DedupMode::Convergent)
+                .build()
+                .unwrap()
+        };
+        let rt_a = build(b"ce-app-a");
+        let rt_b = build(b"ce-app-b");
+        let identity = rt_a.resolve(&desc_double()).unwrap();
+        rt_a.execute_raw(&identity, b"shared", |d| d.to_vec()).unwrap();
+        let identity_b = rt_b.resolve(&desc_double()).unwrap();
+        let (result, outcome) = rt_b
+            .execute_raw(&identity_b, b"shared", |_| panic!("must reuse"))
+            .unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+        assert_eq!(result, b"shared");
+    }
+
+    #[test]
+    fn convergent_and_rce_records_do_not_cross_decrypt() {
+        let (platform, store, authority) = setup();
+        let ce = DedupRuntime::builder(Arc::clone(&platform), b"ce")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .mode(DedupMode::Convergent)
+            .build()
+            .unwrap();
+        let rce_rt = DedupRuntime::builder(Arc::clone(&platform), b"rce")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .build()
+            .unwrap();
+        let identity = ce.resolve(&desc_double()).unwrap();
+        ce.execute_raw(&identity, b"m", |d| d.to_vec()).unwrap();
+        // The RCE runtime finds the CE record but cannot verify it.
+        let identity_rce = rce_rt.resolve(&desc_double()).unwrap();
+        let (_, outcome) = rce_rt
+            .execute_raw(&identity_rce, b"m", |d| d.to_vec())
+            .unwrap();
+        assert_eq!(outcome, DedupOutcome::MissAfterFailedVerify);
+    }
+
+    #[test]
+    fn async_put_publishes_after_flush() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"async-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .async_put(true)
+            .build()
+            .unwrap();
+        let (_, outcome) = rt.execute(&desc_double(), b"x", |i| i.to_vec()).unwrap();
+        assert_eq!(outcome, DedupOutcome::Miss);
+        rt.flush();
+        assert_eq!(store.stats().puts, 1);
+
+        // After the flush the result is reusable.
+        let (_, outcome) = rt
+            .execute(&desc_double(), b"x", |_| panic!("dedup"))
+            .unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+    }
+
+    #[test]
+    fn ecall_ocall_pattern_matches_paper() {
+        let (platform, store, authority) = setup();
+        let rt = runtime(&platform, &store, &authority, b"count-app");
+        let before = rt.enclave().stats();
+        rt.execute(&desc_double(), b"y", |i| i.to_vec()).unwrap();
+        let after = rt.enclave().stats();
+        // One ECALL into the dedup routine; two OCALLs (GET + sync PUT).
+        assert_eq!(after.ecalls - before.ecalls, 1);
+        assert_eq!(after.ocalls - before.ocalls, 2);
+
+        rt.execute(&desc_double(), b"y", |_| panic!()).unwrap();
+        let hit_stats = rt.enclave().stats();
+        // Hit path: one ECALL, one OCALL (GET only).
+        assert_eq!(hit_stats.ecalls - after.ecalls, 1);
+        assert_eq!(hit_stats.ocalls - after.ocalls, 1);
+    }
+
+    #[test]
+    fn adaptive_policy_bypasses_cheap_function() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"adaptive-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .policy(DedupPolicy::Adaptive(crate::AdaptiveConfig {
+                min_speedup: 1.0,
+                warmup_calls: 2,
+                probe_interval: 100,
+                ewma_alpha: 0.5,
+            }))
+            .build()
+            .unwrap();
+        let identity = rt.resolve(&desc_double()).unwrap();
+
+        // A trivially cheap function with all-distinct inputs: every dedup
+        // attempt is a miss, so overhead dominates and the policy should
+        // start bypassing.
+        let mut bypassed = false;
+        for i in 0..40u32 {
+            let input = i.to_le_bytes();
+            let (_, outcome) =
+                rt.execute_raw(&identity, &input, |d| d.to_vec()).unwrap();
+            if outcome == DedupOutcome::BypassedByPolicy {
+                bypassed = true;
+            }
+        }
+        assert!(bypassed, "cheap function never got bypassed");
+        assert!(rt.stats().bypasses > 0);
+        let (compute, overhead) = rt.profile_estimates(&identity).unwrap();
+        assert!(compute < overhead, "compute {compute} overhead {overhead}");
+    }
+
+    #[test]
+    fn adaptive_policy_keeps_dedup_for_expensive_function() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"adaptive-slow")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .policy(DedupPolicy::Adaptive(crate::AdaptiveConfig::default()))
+            .build()
+            .unwrap();
+        let identity = rt.resolve(&desc_double()).unwrap();
+
+        // Expensive compute (2 ms busy loop): dedup overhead is tiny in
+        // comparison, so the policy must keep deduplicating.
+        let slow = |input: &[u8]| {
+            let start = std::time::Instant::now();
+            while start.elapsed() < std::time::Duration::from_millis(2) {
+                std::hint::black_box(0u8);
+            }
+            input.to_vec()
+        };
+        for i in 0..10u32 {
+            let (_, outcome) =
+                rt.execute_raw(&identity, &i.to_le_bytes(), slow).unwrap();
+            assert_ne!(outcome, DedupOutcome::BypassedByPolicy, "call {i}");
+        }
+        // And repeated inputs still hit.
+        let (_, outcome) = rt
+            .execute_raw(&identity, &0u32.to_le_bytes(), |_| panic!("hit"))
+            .unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+        assert_eq!(rt.stats().bypasses, 0);
+    }
+
+    #[test]
+    fn builder_requires_store() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let result = DedupRuntime::builder(platform, b"no-store").build();
+        assert!(matches!(result, Err(CoreError::UnexpectedResponse(_))));
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let (platform, store, authority) = setup();
+        let rt = runtime(&platform, &store, &authority, b"fresh");
+        assert_eq!(rt.stats(), RuntimeStats::default());
+    }
+}

@@ -1,0 +1,84 @@
+//! Tag and secondary-key derivation (Algorithm 1 lines 1 and 6).
+
+use speed_crypto::Sha256;
+use speed_wire::CompTag;
+
+use crate::func::FuncIdentity;
+
+/// Derives the duplicate-checking tag `t ← Hash(func, m)`.
+///
+/// Two computations are considered duplicates iff their tags are equal, so
+/// the tag binds both the verified function identity and the serialized
+/// input (length-prefixed to rule out concatenation ambiguity).
+pub fn tag_for(func: &FuncIdentity, input: &[u8]) -> CompTag {
+    let digest = Sha256::digest_parts(&[b"comp-tag", func.as_bytes(), input]);
+    CompTag::from_bytes(digest.into_bytes())
+}
+
+/// Derives the secondary key `h ← Hash(func, m, r)` that wraps the random
+/// result-encryption key. Truncated to 16 bytes to match the AES-128 key it
+/// pads (Algorithm 1 line 6, Algorithm 2 line 4).
+pub fn secondary_key(func: &FuncIdentity, input: &[u8], challenge: &[u8]) -> [u8; 16] {
+    Sha256::digest_parts(&[b"secondary-key", func.as_bytes(), input, challenge])
+        .truncate16()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncDesc, LibraryRegistry, TrustedLibrary};
+
+    fn identity(code: &[u8]) -> FuncIdentity {
+        let mut library = TrustedLibrary::new("lib", "1");
+        library.register("f()", code);
+        let mut registry = LibraryRegistry::new();
+        registry.add(library);
+        registry.resolve(&FuncDesc::new("lib", "1", "f()")).unwrap()
+    }
+
+    #[test]
+    fn same_func_same_input_same_tag() {
+        let f = identity(b"code");
+        assert_eq!(tag_for(&f, b"input"), tag_for(&f, b"input"));
+    }
+
+    #[test]
+    fn different_input_different_tag() {
+        let f = identity(b"code");
+        assert_ne!(tag_for(&f, b"input-a"), tag_for(&f, b"input-b"));
+    }
+
+    #[test]
+    fn different_code_different_tag() {
+        assert_ne!(
+            tag_for(&identity(b"code v1"), b"input"),
+            tag_for(&identity(b"code v2"), b"input")
+        );
+    }
+
+    #[test]
+    fn secondary_key_depends_on_challenge() {
+        let f = identity(b"code");
+        let h1 = secondary_key(&f, b"input", b"challenge-1");
+        let h2 = secondary_key(&f, b"input", b"challenge-2");
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn secondary_key_depends_on_func_and_input() {
+        let f = identity(b"code");
+        let g = identity(b"other");
+        let r = b"challenge";
+        assert_ne!(secondary_key(&f, b"input", r), secondary_key(&g, b"input", r));
+        assert_ne!(secondary_key(&f, b"a", r), secondary_key(&f, b"b", r));
+    }
+
+    #[test]
+    fn tag_and_secondary_key_are_domain_separated() {
+        // Even with identical material, the tag and h must differ.
+        let f = identity(b"code");
+        let tag = tag_for(&f, b"m");
+        let h = secondary_key(&f, b"m", b"");
+        assert_ne!(&tag.as_bytes()[..16], &h);
+    }
+}

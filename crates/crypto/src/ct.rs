@@ -1,0 +1,47 @@
+/// Compares two byte slices in constant time with respect to their contents.
+///
+/// Returns `false` immediately if the lengths differ (lengths are public in
+/// every use inside this workspace: MACs, GCM tags, and SHA-256 digests all
+/// have fixed, known sizes).
+///
+/// # Example
+///
+/// ```
+/// use speed_crypto::ct_eq;
+///
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tag-longer"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"a", b"a"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"a", b"b"));
+        assert!(!ct_eq(b"aa", b"a"));
+        let mut v = vec![7u8; 32];
+        let w = v.clone();
+        v[31] ^= 0x80;
+        assert!(!ct_eq(&v, &w));
+    }
+}

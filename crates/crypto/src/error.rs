@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic routines in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AEAD ciphertext failed authentication (the `⊥` outcome in the
+    /// paper's Fig. 3 verification protocol).
+    AuthenticationFailed,
+    /// A ciphertext buffer is too short to contain the authentication tag.
+    CiphertextTooShort,
+    /// A key, nonce, or digest had an unexpected length.
+    InvalidLength {
+        /// The length the routine expected.
+        expected: usize,
+        /// The length it was given.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => {
+                write!(f, "ciphertext failed authentication")
+            }
+            CryptoError::CiphertextTooShort => {
+                write!(f, "ciphertext shorter than the authentication tag")
+            }
+            CryptoError::InvalidLength { expected, actual } => {
+                write!(f, "invalid length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let msgs = [
+            CryptoError::AuthenticationFailed.to_string(),
+            CryptoError::CiphertextTooShort.to_string(),
+            CryptoError::InvalidLength { expected: 16, actual: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,382 @@
+//! NIST SP 800-38D AES-GCM-128 authenticated encryption with associated data.
+
+use crate::aes::{ctr_xor, Aes128, BLOCK_LEN};
+use crate::ct::ct_eq;
+use crate::error::CryptoError;
+use crate::types::{AuthTag, Key128, Nonce, TAG_LEN};
+
+/// AES-GCM-128 AEAD cipher, the scheme the paper uses for result
+/// encryption (`AES.Enc` / `AES.Dec` in Algorithms 1 and 2).
+///
+/// Ciphertexts produced by [`seal`](AesGcm128::seal) carry the 16-byte
+/// authentication tag appended to the encrypted payload, matching the
+/// paper's `[res]` notation which "covers its authentication code and
+/// initialization vector" (§III-B) — the IV travels separately as a
+/// [`Nonce`].
+///
+/// # Example
+///
+/// ```
+/// use speed_crypto::{AesGcm128, Key128, Nonce};
+///
+/// let cipher = AesGcm128::new(&Key128::from_bytes([7u8; 16]));
+/// let nonce = Nonce::from_bytes([0u8; 12]);
+/// let boxed = cipher.seal(&nonce, b"header", b"secret");
+/// assert_eq!(cipher.open(&nonce, b"header", &boxed).unwrap(), b"secret");
+/// assert!(cipher.open(&nonce, b"tampered", &boxed).is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AesGcm128 {
+    cipher: Aes128,
+    h: u128,
+}
+
+impl AesGcm128 {
+    /// Initialises the cipher and its GHASH subkey `H = E(K, 0¹²⁸)`.
+    pub fn new(key: &Key128) -> Self {
+        let cipher = Aes128::new(key);
+        let mut h_block = [0u8; BLOCK_LEN];
+        cipher.encrypt_block(&mut h_block);
+        AesGcm128 { cipher, h: u128::from_be_bytes(h_block) }
+    }
+
+    /// Encrypts `plaintext`, authenticating it together with `aad`.
+    ///
+    /// Returns `ciphertext || tag` (the tag is the final [`TAG_LEN`] bytes).
+    pub fn seal(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let j0 = self.j0(nonce);
+        let mut out = plaintext.to_vec();
+        ctr_xor(&self.cipher, &j0, &mut out);
+        let tag = self.compute_tag(&j0, aad, &out);
+        out.extend_from_slice(tag.as_bytes());
+        out
+    }
+
+    /// Decrypts `boxed` (`ciphertext || tag`) and verifies the tag over the
+    /// ciphertext and `aad`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CryptoError::CiphertextTooShort`] if `boxed` is shorter than the tag.
+    /// - [`CryptoError::AuthenticationFailed`] if the tag does not verify
+    ///   (the `⊥` outcome of the paper's verification protocol).
+    pub fn open(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        boxed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if boxed.len() < TAG_LEN {
+            return Err(CryptoError::CiphertextTooShort);
+        }
+        let (ciphertext, tag_bytes) = boxed.split_at(boxed.len() - TAG_LEN);
+        let j0 = self.j0(nonce);
+        let expected = self.compute_tag(&j0, aad, ciphertext);
+        if !ct_eq(expected.as_bytes(), tag_bytes) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        ctr_xor(&self.cipher, &j0, &mut out);
+        Ok(out)
+    }
+
+    /// Verifies the tag of `boxed` over `aad` without decrypting.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`open`](AesGcm128::open).
+    pub fn verify(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        boxed: &[u8],
+    ) -> Result<(), CryptoError> {
+        if boxed.len() < TAG_LEN {
+            return Err(CryptoError::CiphertextTooShort);
+        }
+        let (ciphertext, tag_bytes) = boxed.split_at(boxed.len() - TAG_LEN);
+        let j0 = self.j0(nonce);
+        let expected = self.compute_tag(&j0, aad, ciphertext);
+        if !ct_eq(expected.as_bytes(), tag_bytes) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        Ok(())
+    }
+
+    fn j0(&self, nonce: &Nonce) -> [u8; BLOCK_LEN] {
+        // 96-bit IV fast path: J0 = IV || 0^31 || 1.
+        let mut j0 = [0u8; BLOCK_LEN];
+        j0[..12].copy_from_slice(nonce.as_bytes());
+        j0[15] = 1;
+        j0
+    }
+
+    fn compute_tag(&self, j0: &[u8; BLOCK_LEN], aad: &[u8], ciphertext: &[u8]) -> AuthTag {
+        let s = self.ghash(aad, ciphertext);
+        let mut tag_block = *j0;
+        self.cipher.encrypt_block(&mut tag_block);
+        let mut tag = [0u8; TAG_LEN];
+        let s_bytes = s.to_be_bytes();
+        for i in 0..TAG_LEN {
+            tag[i] = tag_block[i] ^ s_bytes[i];
+        }
+        AuthTag::from_bytes(tag)
+    }
+
+    fn ghash(&self, aad: &[u8], ciphertext: &[u8]) -> u128 {
+        let mut y = 0u128;
+        for chunk in aad.chunks(BLOCK_LEN) {
+            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        for chunk in ciphertext.chunks(BLOCK_LEN) {
+            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        let lengths =
+            ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        gf128_mul(y ^ lengths, self.h)
+    }
+}
+
+fn block_to_u128(chunk: &[u8]) -> u128 {
+    let mut block = [0u8; BLOCK_LEN];
+    block[..chunk.len()].copy_from_slice(chunk);
+    u128::from_be_bytes(block)
+}
+
+/// Multiplication in GF(2¹²⁸) with the GCM polynomial, MSB-first bit order.
+fn gf128_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn key_from_hex(s: &str) -> Key128 {
+        Key128::from_slice(&from_hex(s)).unwrap()
+    }
+
+    fn nonce_from_hex(s: &str) -> Nonce {
+        Nonce::from_slice(&from_hex(s)).unwrap()
+    }
+
+    // NIST GCM spec, test case 1: all-zero key and IV, empty everything.
+    #[test]
+    fn nist_test_case_1() {
+        let cipher = AesGcm128::new(&key_from_hex("00000000000000000000000000000000"));
+        let nonce = nonce_from_hex("000000000000000000000000");
+        let boxed = cipher.seal(&nonce, b"", b"");
+        assert_eq!(boxed, from_hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    // NIST GCM spec, test case 2: one zero plaintext block.
+    #[test]
+    fn nist_test_case_2() {
+        let cipher = AesGcm128::new(&key_from_hex("00000000000000000000000000000000"));
+        let nonce = nonce_from_hex("000000000000000000000000");
+        let boxed = cipher.seal(&nonce, b"", &[0u8; 16]);
+        assert_eq!(
+            boxed,
+            from_hex(
+                "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+            )
+        );
+        assert_eq!(cipher.open(&nonce, b"", &boxed).unwrap(), vec![0u8; 16]);
+    }
+
+    // NIST GCM spec, test case 3: four plaintext blocks.
+    #[test]
+    fn nist_test_case_3() {
+        let cipher = AesGcm128::new(&key_from_hex("feffe9928665731c6d6a8f9467308308"));
+        let nonce = nonce_from_hex("cafebabefacedbaddecaf888");
+        let plaintext = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let boxed = cipher.seal(&nonce, b"", &plaintext);
+        let expected_ct = from_hex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+        );
+        assert_eq!(&boxed[..plaintext.len()], &expected_ct[..]);
+        assert_eq!(
+            &boxed[plaintext.len()..],
+            &from_hex("4d5c2af327cd64a62cf35abd2ba6fab4")[..]
+        );
+    }
+
+    // NIST GCM spec, test case 4: with associated data and a partial block.
+    #[test]
+    fn nist_test_case_4() {
+        let cipher = AesGcm128::new(&key_from_hex("feffe9928665731c6d6a8f9467308308"));
+        let nonce = nonce_from_hex("cafebabefacedbaddecaf888");
+        let plaintext = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let boxed = cipher.seal(&nonce, &aad, &plaintext);
+        let expected_ct = from_hex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+        );
+        assert_eq!(&boxed[..plaintext.len()], &expected_ct[..]);
+        assert_eq!(
+            &boxed[plaintext.len()..],
+            &from_hex("5bc94fbc3221a5db94fae95ae7121a47")[..]
+        );
+        assert_eq!(cipher.open(&nonce, &aad, &boxed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([9u8; 16]));
+        let nonce = Nonce::from_bytes([1u8; 12]);
+        let boxed = cipher.seal(&nonce, b"aad", b"hello world");
+        for i in 0..boxed.len() {
+            let mut corrupted = boxed.clone();
+            corrupted[i] ^= 0x01;
+            assert_eq!(
+                cipher.open(&nonce, b"aad", &corrupted),
+                Err(CryptoError::AuthenticationFailed),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let alice = AesGcm128::new(&Key128::from_bytes([1u8; 16]));
+        let mallory = AesGcm128::new(&Key128::from_bytes([2u8; 16]));
+        let nonce = Nonce::from_bytes([0u8; 12]);
+        let boxed = alice.seal(&nonce, b"", b"secret");
+        assert_eq!(
+            mallory.open(&nonce, b"", &boxed),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([1u8; 16]));
+        let boxed = cipher.seal(&Nonce::from_bytes([0u8; 12]), b"", b"secret");
+        assert_eq!(
+            cipher.open(&Nonce::from_bytes([1u8; 12]), b"", &boxed),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn short_ciphertext_is_rejected() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([1u8; 16]));
+        let nonce = Nonce::from_bytes([0u8; 12]);
+        assert_eq!(
+            cipher.open(&nonce, b"", &[0u8; 15]),
+            Err(CryptoError::CiphertextTooShort)
+        );
+    }
+
+    #[test]
+    fn verify_without_decrypt() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([5u8; 16]));
+        let nonce = Nonce::from_bytes([5u8; 12]);
+        let boxed = cipher.seal(&nonce, b"meta", b"payload");
+        assert!(cipher.verify(&nonce, b"meta", &boxed).is_ok());
+        assert!(cipher.verify(&nonce, b"other", &boxed).is_err());
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip_with_aad() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([3u8; 16]));
+        let nonce = Nonce::from_bytes([3u8; 12]);
+        let boxed = cipher.seal(&nonce, b"only-aad", b"");
+        assert_eq!(boxed.len(), TAG_LEN);
+        assert_eq!(cipher.open(&nonce, b"only-aad", &boxed).unwrap(), b"");
+    }
+
+    #[test]
+    fn large_odd_length_roundtrip() {
+        let cipher = AesGcm128::new(&Key128::from_bytes([8u8; 16]));
+        let nonce = Nonce::from_bytes([8u8; 12]);
+        let plaintext: Vec<u8> = (0..100_003u32).map(|i| (i % 251) as u8).collect();
+        let boxed = cipher.seal(&nonce, b"", &plaintext);
+        assert_eq!(cipher.open(&nonce, b"", &boxed).unwrap(), plaintext);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_seal_open_roundtrip(
+                key in prop::array::uniform16(any::<u8>()),
+                nonce in prop::array::uniform12(any::<u8>()),
+                aad in prop::collection::vec(any::<u8>(), 0..64),
+                plaintext in prop::collection::vec(any::<u8>(), 0..512),
+            ) {
+                let cipher = AesGcm128::new(&Key128::from_bytes(key));
+                let nonce = Nonce::from_bytes(nonce);
+                let boxed = cipher.seal(&nonce, &aad, &plaintext);
+                prop_assert_eq!(boxed.len(), plaintext.len() + TAG_LEN);
+                prop_assert_eq!(cipher.open(&nonce, &aad, &boxed).unwrap(), plaintext);
+            }
+
+            #[test]
+            fn prop_different_aad_rejected(
+                key in prop::array::uniform16(any::<u8>()),
+                aad_a in prop::collection::vec(any::<u8>(), 0..32),
+                aad_b in prop::collection::vec(any::<u8>(), 0..32),
+                plaintext in prop::collection::vec(any::<u8>(), 0..128),
+            ) {
+                prop_assume!(aad_a != aad_b);
+                let cipher = AesGcm128::new(&Key128::from_bytes(key));
+                let nonce = Nonce::from_bytes([0u8; 12]);
+                let boxed = cipher.seal(&nonce, &aad_a, &plaintext);
+                prop_assert!(cipher.open(&nonce, &aad_b, &boxed).is_err());
+            }
+
+            #[test]
+            fn prop_hostile_boxed_never_panics(
+                key in prop::array::uniform16(any::<u8>()),
+                boxed in prop::collection::vec(any::<u8>(), 0..256),
+            ) {
+                let cipher = AesGcm128::new(&Key128::from_bytes(key));
+                let nonce = Nonce::from_bytes([1u8; 12]);
+                let _ = cipher.open(&nonce, b"aad", &boxed);
+            }
+
+            #[test]
+            fn prop_ciphertext_differs_from_plaintext(
+                plaintext in prop::collection::vec(any::<u8>(), 16..256),
+            ) {
+                let cipher = AesGcm128::new(&Key128::from_bytes([5u8; 16]));
+                let nonce = Nonce::from_bytes([5u8; 12]);
+                let boxed = cipher.seal(&nonce, b"", &plaintext);
+                prop_assert_ne!(&boxed[..plaintext.len()], &plaintext[..]);
+            }
+        }
+    }
+}

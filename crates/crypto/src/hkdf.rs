@@ -1,0 +1,111 @@
+//! RFC 5869 HKDF (extract-and-expand) over HMAC-SHA256.
+//!
+//! Used to derive enclave sealing keys from measurements and session keys
+//! for the secure channel between `DedupRuntime` and `ResultStore`.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: derives a pseudorandom key from `salt` and `ikm`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm).into_bytes()
+}
+
+/// HKDF-Expand: expands `prk` with `info` into `out_len` bytes.
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32`, the RFC 5869 limit.
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * DIGEST_LEN, "hkdf output length exceeds RFC 5869 limit");
+    let mut out = Vec::with_capacity(out_len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < out_len {
+        let mut h = HmacSha256::new(prk);
+        h.update(&previous);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        previous = block.as_bytes().to_vec();
+        let take = (out_len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&block.as_bytes()[..take]);
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// One-shot HKDF: extract then expand.
+///
+/// # Example
+///
+/// ```
+/// let key = speed_crypto::hkdf::derive(b"salt", b"secret", b"session", 16);
+/// assert_eq!(key.len(), 16);
+/// ```
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn to_hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = from_hex("000102030405060708090a0b0c");
+        let info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3: zero-length salt and info.
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let okm = derive(b"", &ikm, b"", 42);
+        assert_eq!(
+            to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_is_deterministic_and_prefix_consistent() {
+        let prk = extract(b"salt", b"ikm");
+        let long = expand(&prk, b"info", 64);
+        let short = expand(&prk, b"info", 16);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds RFC 5869 limit")]
+    fn expand_rejects_oversize() {
+        let prk = extract(b"s", b"i");
+        let _ = expand(&prk, b"", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! From-scratch cryptographic primitives for the SPEED reproduction.
+//!
+//! The SPEED paper uses the crypto library shipped with the Intel SGX SDK:
+//! SHA-256 as the collision-resistant hash and AES-GCM-128 as the
+//! authenticated encryption scheme (§II-D, §V-A). This crate reimplements the
+//! same algorithms in pure Rust so the whole system is self-contained:
+//!
+//! - [`Sha256`] — FIPS 180-4 SHA-256 with an incremental API.
+//! - [`aes::Aes128`] — FIPS 197 AES-128 block cipher.
+//! - [`AesGcm128`] — NIST SP 800-38D AES-GCM-128 AEAD.
+//! - [`hmac::HmacSha256`] — RFC 2104 HMAC over SHA-256.
+//! - [`hkdf`] — RFC 5869 HKDF for session-key derivation in the secure
+//!   channel.
+//! - [`ct_eq`] — constant-time comparison for tags and MACs.
+//! - [`SystemRng`] — CSPRNG handle used for keys, nonces, and the RCE
+//!   challenge message `r`.
+//!
+//! All primitives are validated against published test vectors (FIPS 180-4,
+//! FIPS 197, NIST GCM, RFC 4231, RFC 5869) in the unit tests.
+//!
+//! # Example
+//!
+//! ```
+//! use speed_crypto::{AesGcm128, Key128, Nonce, Sha256};
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(digest.as_bytes().len(), 32);
+//!
+//! let key = Key128::from_bytes([0u8; 16]);
+//! let cipher = AesGcm128::new(&key);
+//! let nonce = Nonce::from_bytes([1u8; 12]);
+//! let sealed = cipher.seal(&nonce, b"associated", b"plaintext");
+//! let opened = cipher.open(&nonce, b"associated", &sealed).unwrap();
+//! assert_eq!(opened, b"plaintext");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+mod ct;
+mod error;
+mod gcm;
+pub mod hkdf;
+pub mod hmac;
+mod rng;
+mod sha256;
+mod types;
+
+pub use ct::ct_eq;
+pub use error::CryptoError;
+pub use gcm::AesGcm128;
+pub use rng::{fill_random, random_key, random_nonce, SystemRng};
+pub use sha256::{Digest, Sha256, DIGEST_LEN};
+pub use types::{AuthTag, Key128, Nonce, KEY_LEN, NONCE_LEN, TAG_LEN};

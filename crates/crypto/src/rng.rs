@@ -1,0 +1,138 @@
+//! Randomness sources for keys, nonces, and the RCE challenge message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::types::{Key128, Nonce, KEY_LEN, NONCE_LEN};
+
+/// A cryptographically seeded PRNG handle.
+///
+/// [`SystemRng::new`] seeds from OS entropy; [`SystemRng::seeded`] creates a
+/// deterministic instance for reproducible tests and benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use speed_crypto::SystemRng;
+///
+/// let mut rng = SystemRng::seeded(42);
+/// let key = rng.gen_key();
+/// let nonce = rng.gen_nonce();
+/// assert_ne!(key.as_bytes(), &[0u8; 16]);
+/// let _ = nonce;
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemRng {
+    inner: StdRng,
+}
+
+impl SystemRng {
+    /// Creates a generator seeded from operating-system entropy.
+    pub fn new() -> Self {
+        SystemRng { inner: StdRng::from_entropy() }
+    }
+
+    /// Creates a deterministic generator from an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        SystemRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// Generates a random AES-128 key (`AES.KeyGen(1^λ)` in Algorithm 1).
+    pub fn gen_key(&mut self) -> Key128 {
+        let mut bytes = [0u8; KEY_LEN];
+        self.inner.fill_bytes(&mut bytes);
+        Key128::from_bytes(bytes)
+    }
+
+    /// Generates a random GCM nonce.
+    pub fn gen_nonce(&mut self) -> Nonce {
+        let mut bytes = [0u8; NONCE_LEN];
+        self.inner.fill_bytes(&mut bytes);
+        Nonce::from_bytes(bytes)
+    }
+
+    /// Generates the RCE challenge message `r ←$ {0,1}*` (Algorithm 1,
+    /// line 5) as `len` random bytes.
+    pub fn gen_challenge(&mut self, len: usize) -> Vec<u8> {
+        let mut bytes = vec![0u8; len];
+        self.inner.fill_bytes(&mut bytes);
+        bytes
+    }
+
+    /// Samples a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        self.inner.gen_range(0..bound)
+    }
+}
+
+impl Default for SystemRng {
+    fn default() -> Self {
+        SystemRng::new()
+    }
+}
+
+/// Fills `buf` from a fresh OS-seeded generator.
+pub fn fill_random(buf: &mut [u8]) {
+    SystemRng::new().fill(buf);
+}
+
+/// Generates one random key from OS entropy.
+pub fn random_key() -> Key128 {
+    SystemRng::new().gen_key()
+}
+
+/// Generates one random nonce from OS entropy.
+pub fn random_nonce() -> Nonce {
+    SystemRng::new().gen_nonce()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = SystemRng::seeded(7);
+        let mut b = SystemRng::seeded(7);
+        assert_eq!(a.gen_key(), b.gen_key());
+        assert_eq!(a.gen_challenge(33), b.gen_challenge(33));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SystemRng::seeded(1);
+        let mut b = SystemRng::seeded(2);
+        assert_ne!(a.gen_key(), b.gen_key());
+    }
+
+    #[test]
+    fn consecutive_keys_differ() {
+        let mut rng = SystemRng::seeded(3);
+        assert_ne!(rng.gen_key(), rng.gen_key());
+    }
+
+    #[test]
+    fn challenge_has_requested_length() {
+        let mut rng = SystemRng::seeded(4);
+        assert_eq!(rng.gen_challenge(0).len(), 0);
+        assert_eq!(rng.gen_challenge(32).len(), 32);
+        assert_eq!(rng.gen_challenge(1000).len(), 1000);
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = SystemRng::seeded(5);
+        for _ in 0..100 {
+            assert!(rng.gen_range(10) < 10);
+        }
+    }
+}

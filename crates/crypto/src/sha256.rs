@@ -1,0 +1,374 @@
+//! FIPS 180-4 SHA-256 with an incremental (init/update/finalize) API.
+
+use std::fmt;
+
+/// Length in bytes of a SHA-256 digest.
+pub const DIGEST_LEN: usize = 32;
+
+const BLOCK_LEN: usize = 64;
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+    0x1f83d9ab, 0x5be0cd19,
+];
+
+/// A SHA-256 digest value.
+///
+/// Wraps the 32 output bytes; formats as lowercase hex.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest([u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Wraps raw digest bytes.
+    pub fn from_bytes(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Consumes the digest and returns the raw bytes.
+    pub fn into_bytes(self) -> [u8; DIGEST_LEN] {
+        self.0
+    }
+
+    /// Returns the lowercase hex encoding of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in &self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Truncates the digest to its first 16 bytes, e.g. for use as a
+    /// key-wrapping pad in the RCE construction.
+    pub fn truncate16(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&self.0[..16]);
+        out
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// An incremental SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use speed_crypto::Sha256;
+///
+/// let mut hasher = Sha256::new();
+/// hasher.update(b"ab");
+/// hasher.update(b"c");
+/// assert_eq!(hasher.finalize(), Sha256::digest(b"abc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; BLOCK_LEN],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 { state: H0, buffer: [0u8; BLOCK_LEN], buffer_len: 0, total_len: 0 }
+    }
+
+    /// One-shot convenience: hash `data` in a single call.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Hashes several byte strings with unambiguous (length-prefixed)
+    /// concatenation.
+    ///
+    /// Used for the paper's multi-input hashes `H(func, m)` and
+    /// `H(func, m, r)`; the length framing prevents ambiguity between e.g.
+    /// `("ab", "c")` and `("a", "bc")`.
+    pub fn digest_parts(parts: &[&[u8]]) -> Digest {
+        let mut h = Sha256::new();
+        for part in parts {
+            h.update(&(part.len() as u64).to_be_bytes());
+            h.update(part);
+        }
+        h.finalize()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let take = (BLOCK_LEN - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take]
+                .copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(&data[..BLOCK_LEN]);
+            self.compress(&block);
+            data = &data[BLOCK_LEN..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian message length.
+        self.update_padding_byte();
+        while self.buffer_len != 56 {
+            self.update_zero_byte();
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        self.buffer[56..64].copy_from_slice(&len_bytes);
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn update_padding_byte(&mut self) {
+        self.buffer[self.buffer_len] = 0x80;
+        self.buffer_len += 1;
+        if self.buffer_len == BLOCK_LEN {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer_len = 0;
+        }
+    }
+
+    fn update_zero_byte(&mut self) {
+        self.buffer[self.buffer_len] = 0;
+        self.buffer_len += 1;
+        if self.buffer_len == BLOCK_LEN {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7)
+                ^ w[i - 15].rotate_right(18)
+                ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17)
+                ^ w[i - 2].rotate_right(19)
+                ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: Digest) -> String {
+        digest.to_hex()
+    }
+
+    #[test]
+    fn fips_empty_string() {
+        assert_eq!(
+            hex(Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn fips_abc() {
+        assert_eq!(
+            hex(Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn fips_two_block_message() {
+        assert_eq!(
+            hex(Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(Sha256::digest(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_for_all_split_points() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let reference = Sha256::digest(&data);
+        for split in 0..data.len() {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), reference, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn digest_parts_is_unambiguous() {
+        let a = Sha256::digest_parts(&[b"ab", b"c"]);
+        let b = Sha256::digest_parts(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+        let c = Sha256::digest_parts(&[b"abc"]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn digest_display_and_debug() {
+        let d = Sha256::digest(b"abc");
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert!(format!("{d:?}").starts_with("Digest("));
+    }
+
+    #[test]
+    fn truncate16_is_prefix() {
+        let d = Sha256::digest(b"xyz");
+        assert_eq!(&d.truncate16()[..], &d.as_bytes()[..16]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_incremental_equals_oneshot(
+                data in prop::collection::vec(any::<u8>(), 0..1024),
+                split in any::<prop::sample::Index>(),
+            ) {
+                let at = split.index(data.len() + 1);
+                let mut h = Sha256::new();
+                h.update(&data[..at]);
+                h.update(&data[at..]);
+                prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+            }
+
+            #[test]
+            fn prop_parts_differ_from_concat(
+                a in prop::collection::vec(any::<u8>(), 1..64),
+                b in prop::collection::vec(any::<u8>(), 1..64),
+            ) {
+                // Length framing: parts hashing is not plain concatenation.
+                let concat = [a.clone(), b.clone()].concat();
+                prop_assert_ne!(
+                    Sha256::digest_parts(&[&a, &b]),
+                    Sha256::digest(&concat)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+use std::fmt;
+
+/// Length in bytes of an AES-128 key.
+pub const KEY_LEN: usize = 16;
+/// Length in bytes of a GCM nonce (the 96-bit fast path of SP 800-38D).
+pub const NONCE_LEN: usize = 12;
+/// Length in bytes of a GCM authentication tag.
+pub const TAG_LEN: usize = 16;
+
+/// A 128-bit AES key.
+///
+/// The `Debug` implementation never prints key material.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Key128([u8; KEY_LEN]);
+
+impl Key128 {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        Key128(bytes)
+    }
+
+    /// Parses a key from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::InvalidLength`] if `bytes` is not
+    /// exactly [`KEY_LEN`] bytes long.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, crate::CryptoError> {
+        let arr: [u8; KEY_LEN] =
+            bytes.try_into().map_err(|_| crate::CryptoError::InvalidLength {
+                expected: KEY_LEN,
+                actual: bytes.len(),
+            })?;
+        Ok(Key128(arr))
+    }
+
+    /// Returns the raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+
+    /// XORs this key with a 16-byte pad, returning the result.
+    ///
+    /// This is the one-time-pad step of the paper's RCE construction:
+    /// `[k] ← k ⊕ h` (Algorithm 1, line 9) and its inverse
+    /// `k ← [k] ⊕ h` (Algorithm 2, line 5).
+    pub fn xor_pad(&self, pad: &[u8; KEY_LEN]) -> Key128 {
+        let mut out = [0u8; KEY_LEN];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(pad.iter())) {
+            *o = a ^ b;
+        }
+        Key128(out)
+    }
+}
+
+impl fmt::Debug for Key128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key128(<redacted>)")
+    }
+}
+
+/// A 96-bit GCM nonce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Nonce([u8; NONCE_LEN]);
+
+impl Nonce {
+    /// Wraps raw nonce bytes.
+    pub fn from_bytes(bytes: [u8; NONCE_LEN]) -> Self {
+        Nonce(bytes)
+    }
+
+    /// Parses a nonce from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::InvalidLength`] if `bytes` is not
+    /// exactly [`NONCE_LEN`] bytes long.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, crate::CryptoError> {
+        let arr: [u8; NONCE_LEN] =
+            bytes.try_into().map_err(|_| crate::CryptoError::InvalidLength {
+                expected: NONCE_LEN,
+                actual: bytes.len(),
+            })?;
+        Ok(Nonce(arr))
+    }
+
+    /// Returns the raw nonce bytes.
+    pub fn as_bytes(&self) -> &[u8; NONCE_LEN] {
+        &self.0
+    }
+}
+
+/// A 128-bit GCM authentication tag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AuthTag([u8; TAG_LEN]);
+
+impl AuthTag {
+    /// Wraps raw tag bytes.
+    pub fn from_bytes(bytes: [u8; TAG_LEN]) -> Self {
+        AuthTag(bytes)
+    }
+
+    /// Returns the raw tag bytes.
+    pub fn as_bytes(&self) -> &[u8; TAG_LEN] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_debug_redacts() {
+        let key = Key128::from_bytes([0xAB; 16]);
+        let dbg = format!("{key:?}");
+        assert!(!dbg.contains("AB"));
+        assert!(!dbg.contains("171"));
+        assert!(dbg.contains("redacted"));
+    }
+
+    #[test]
+    fn key_from_slice_rejects_bad_length() {
+        let err = Key128::from_slice(&[0u8; 7]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::CryptoError::InvalidLength { expected: 16, actual: 7 }
+        );
+    }
+
+    #[test]
+    fn nonce_from_slice_roundtrip() {
+        let nonce = Nonce::from_slice(&[3u8; 12]).unwrap();
+        assert_eq!(nonce.as_bytes(), &[3u8; 12]);
+        assert!(Nonce::from_slice(&[0u8; 11]).is_err());
+    }
+
+    #[test]
+    fn xor_pad_is_involutive() {
+        let key = Key128::from_bytes([0x5A; 16]);
+        let pad = [0xC3; 16];
+        assert_eq!(key.xor_pad(&pad).xor_pad(&pad), key);
+    }
+
+    #[test]
+    fn xor_pad_with_zero_is_identity() {
+        let key = Key128::from_bytes([0x77; 16]);
+        assert_eq!(key.xor_pad(&[0u8; 16]), key);
+    }
+}

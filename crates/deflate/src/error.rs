@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from decompression of malformed or hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeflateError {
+    /// The stream does not start with the container magic.
+    BadMagic,
+    /// The stream ended before the encoded data did.
+    Truncated,
+    /// The stream is structurally invalid (bad symbol, distance, length).
+    Corrupt(String),
+    /// A Huffman code table in the header is invalid (over-subscribed or
+    /// describes no symbols while data follows).
+    BadCodeTable(String),
+}
+
+impl fmt::Display for DeflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeflateError::BadMagic => write!(f, "not a speed-deflate stream"),
+            DeflateError::Truncated => write!(f, "unexpected end of stream"),
+            DeflateError::Corrupt(why) => write!(f, "corrupt stream: {why}"),
+            DeflateError::BadCodeTable(why) => write!(f, "invalid code table: {why}"),
+        }
+    }
+}
+
+impl Error for DeflateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DeflateError::BadMagic.to_string().contains("speed-deflate"));
+        assert!(DeflateError::Corrupt("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,384 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Codes are canonical (determined entirely by the code-length vector), so
+//! only the lengths travel in the stream header. Encoding emits each code
+//! MSB-first (like RFC 1951), which with the LSB-first bit I/O means the
+//! encoder writes the bit-reversed code word.
+
+use std::collections::BinaryHeap;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::DeflateError;
+
+/// Builds code lengths from symbol frequencies, limited to `max_len` bits.
+///
+/// Zero-frequency symbols get length 0 (absent from the code).
+fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    let nonzero = freqs.iter().filter(|&&f| f > 0).count();
+    let mut lengths = vec![0u8; freqs.len()];
+    match nonzero {
+        0 => return lengths,
+        1 => {
+            let idx = freqs.iter().position(|&f| f > 0).expect("one nonzero");
+            lengths[idx] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths_attempt = huffman_depths(&scaled);
+        let too_deep = lengths_attempt.iter().any(|&l| l > max_len);
+        if !too_deep {
+            for (out, len) in lengths.iter_mut().zip(lengths_attempt) {
+                *out = len;
+            }
+            return lengths;
+        }
+        // Flatten the distribution and retry; converges because all
+        // frequencies approach 1 (balanced tree of depth ⌈log₂ n⌉ ≤ 15 for
+        // every alphabet in this crate).
+        for f in scaled.iter_mut() {
+            if *f > 0 {
+                *f = (*f / 2).max(1);
+            }
+        }
+    }
+}
+
+/// Classic two-queue-free Huffman via a binary heap; returns leaf depths.
+fn huffman_depths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct HeapNode {
+        freq: u64,
+        node: usize,
+    }
+    impl Ord for HeapNode {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by frequency; ties by node index for determinism.
+            other.freq.cmp(&self.freq).then(other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for HeapNode {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = freqs.len();
+    // parents[i] for internal nodes; leaves are 0..n, internal n..
+    let mut parents: Vec<usize> = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    for (i, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            heap.push(HeapNode { freq: f, node: i });
+        }
+    }
+    let mut next_internal = n;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        parents.push(usize::MAX);
+        let internal = next_internal;
+        next_internal += 1;
+        parents[a.node] = internal;
+        parents[b.node] = internal;
+        heap.push(HeapNode { freq: a.freq + b.freq, node: internal });
+    }
+    let mut depths = vec![0u8; n];
+    for i in 0..n {
+        if freqs[i] == 0 {
+            continue;
+        }
+        let mut depth = 0u8;
+        let mut node = i;
+        while parents[node] != usize::MAX {
+            node = parents[node];
+            depth += 1;
+        }
+        depths[i] = depth;
+    }
+    depths
+}
+
+/// Assigns canonical code words for a length vector.
+///
+/// Returns `codes[symbol]` holding the MSB-first code value.
+fn assign_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut length_count = vec![0u32; usize::from(max_len) + 1];
+    for &l in lengths {
+        if l > 0 {
+            length_count[usize::from(l)] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; usize::from(max_len) + 2];
+    let mut code = 0u32;
+    for len in 1..=usize::from(max_len) {
+        code = (code + length_count[len - 1]) << 1;
+        next_code[len] = code;
+    }
+    let mut codes = vec![0u32; lengths.len()];
+    for (symbol, &len) in lengths.iter().enumerate() {
+        if len > 0 {
+            codes[symbol] = next_code[usize::from(len)];
+            next_code[usize::from(len)] += 1;
+        }
+    }
+    codes
+}
+
+fn reverse_bits(value: u32, len: u8) -> u32 {
+    let mut out = 0u32;
+    for i in 0..len {
+        out |= ((value >> i) & 1) << (len - 1 - i);
+    }
+    out
+}
+
+/// An encoder-side canonical Huffman code.
+#[derive(Debug, Clone)]
+pub struct CanonicalCode {
+    lengths: Vec<u8>,
+    reversed_codes: Vec<u32>,
+}
+
+impl CanonicalCode {
+    /// Builds a length-limited canonical code from frequencies.
+    pub fn from_frequencies(freqs: &[u64], max_len: u8) -> Self {
+        let lengths = build_lengths(freqs, max_len);
+        let codes = assign_codes(&lengths);
+        let reversed_codes = codes
+            .iter()
+            .zip(&lengths)
+            .map(|(&c, &l)| reverse_bits(c, l))
+            .collect();
+        CanonicalCode { lengths, reversed_codes }
+    }
+
+    /// The code-length vector (what travels in the stream header).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Writes `symbol`'s code word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `symbol` has no code (zero frequency at build).
+    pub fn write(&self, writer: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "symbol {symbol} has no code");
+        writer.write_bits(self.reversed_codes[symbol], len);
+    }
+}
+
+/// A decoder for a canonical Huffman code, reconstructed from lengths.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    // Per length L: the first canonical code value and the index into
+    // `symbols` where codes of length L begin.
+    first_code: Vec<u32>,
+    first_index: Vec<u32>,
+    counts: Vec<u32>,
+    symbols: Vec<u16>,
+    max_len: u8,
+}
+
+impl Decoder {
+    /// Validates `lengths` (Kraft inequality) and builds the decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeflateError::BadCodeTable`] for over-subscribed tables.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, DeflateError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            // Empty code: tolerated, but any read fails.
+            return Ok(Decoder {
+                first_code: vec![0; 2],
+                first_index: vec![0; 2],
+                counts: vec![0; 2],
+                symbols: Vec::new(),
+                max_len: 0,
+            });
+        }
+        let mut counts = vec![0u32; usize::from(max_len) + 1];
+        for &l in lengths {
+            if l > 0 {
+                counts[usize::from(l)] += 1;
+            }
+        }
+        // Kraft check: sum of 2^(max-len) must not exceed 2^max.
+        let mut kraft: u64 = 0;
+        for len in 1..=usize::from(max_len) {
+            kraft += u64::from(counts[len]) << (usize::from(max_len) - len);
+        }
+        if kraft > 1u64 << usize::from(max_len) {
+            return Err(DeflateError::BadCodeTable("over-subscribed lengths".into()));
+        }
+
+        let mut first_code = vec![0u32; usize::from(max_len) + 2];
+        let mut first_index = vec![0u32; usize::from(max_len) + 2];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=usize::from(max_len) {
+            code = (code + counts[len - 1]) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            index += counts[len];
+        }
+        let mut symbols = vec![0u16; index as usize];
+        let mut next_index = first_index.clone();
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len > 0 {
+                symbols[next_index[usize::from(len)] as usize] = symbol as u16;
+                next_index[usize::from(len)] += 1;
+            }
+        }
+        Ok(Decoder { first_code, first_index, counts, symbols, max_len })
+    }
+
+    /// Reads one symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeflateError::Corrupt`] for invalid code words or
+    /// [`DeflateError::Truncated`] at end of stream.
+    pub fn read(&self, reader: &mut BitReader<'_>) -> Result<usize, DeflateError> {
+        if self.max_len == 0 {
+            return Err(DeflateError::BadCodeTable("empty code table".into()));
+        }
+        let mut code = 0u32;
+        for len in 1..=usize::from(self.max_len) {
+            code = (code << 1) | reader.read_bit()?;
+            let count = self.counts[len];
+            if count > 0 && code >= self.first_code[len] && code - self.first_code[len] < count
+            {
+                let idx = self.first_index[len] + (code - self.first_code[len]);
+                return Ok(usize::from(self.symbols[idx as usize]));
+            }
+        }
+        Err(DeflateError::Corrupt("invalid huffman code word".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(freqs: &[u64], stream: &[usize]) {
+        let code = CanonicalCode::from_frequencies(freqs, 15);
+        let mut writer = BitWriter::new();
+        for &symbol in stream {
+            code.write(&mut writer, symbol);
+        }
+        let bytes = writer.into_bytes();
+        let decoder = Decoder::from_lengths(code.lengths()).unwrap();
+        let mut reader = BitReader::new(&bytes);
+        for &symbol in stream {
+            assert_eq!(decoder.read(&mut reader).unwrap(), symbol);
+        }
+    }
+
+    #[test]
+    fn two_symbol_roundtrip() {
+        roundtrip(&[5, 3], &[0, 1, 0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip() {
+        let freqs = [1000, 1, 1, 1, 500, 250, 125, 60];
+        let stream: Vec<usize> = (0..200).map(|i| i % 8).collect();
+        roundtrip(&freqs, &stream);
+    }
+
+    #[test]
+    fn single_symbol_gets_length_one() {
+        let code = CanonicalCode::from_frequencies(&[0, 42, 0], 15);
+        assert_eq!(code.lengths(), &[0, 1, 0]);
+        roundtrip(&[0, 42, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_code_is_shorter_for_frequent_symbols() {
+        let code = CanonicalCode::from_frequencies(&[1_000_000, 1, 1, 1], 15);
+        assert!(code.lengths()[0] < code.lengths()[1]);
+    }
+
+    #[test]
+    fn length_limit_is_respected() {
+        // Fibonacci-like frequencies force deep trees without limiting.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let code = CanonicalCode::from_frequencies(&freqs, 15);
+        assert!(code.lengths().iter().all(|&l| l <= 15));
+        // Still decodable.
+        let stream: Vec<usize> = (0..40).collect();
+        let mut writer = BitWriter::new();
+        for &s in &stream {
+            code.write(&mut writer, s);
+        }
+        let decoder = Decoder::from_lengths(code.lengths()).unwrap();
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        for &s in &stream {
+            assert_eq!(decoder.read(&mut reader).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_table_rejected() {
+        // Three codes of length 1 is impossible.
+        assert!(matches!(
+            Decoder::from_lengths(&[1, 1, 1]),
+            Err(DeflateError::BadCodeTable(_))
+        ));
+    }
+
+    #[test]
+    fn empty_table_reads_fail() {
+        let decoder = Decoder::from_lengths(&[0, 0, 0]).unwrap();
+        let mut reader = BitReader::new(&[0xFF]);
+        assert!(decoder.read(&mut reader).is_err());
+    }
+
+    #[test]
+    fn kraft_complete_table_accepted() {
+        // Lengths {1, 2, 2}: exactly complete.
+        let decoder = Decoder::from_lengths(&[1, 2, 2]).unwrap();
+        let mut writer = BitWriter::new();
+        let code = CanonicalCode::from_frequencies(&[4, 1, 1], 15);
+        assert_eq!(code.lengths(), &[1, 2, 2]);
+        for s in [0usize, 1, 2, 0] {
+            code.write(&mut writer, s);
+        }
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        for s in [0usize, 1, 2, 0] {
+            assert_eq!(decoder.read(&mut reader).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn reverse_bits_examples() {
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b10, 2), 0b01);
+        assert_eq!(reverse_bits(0b1100, 4), 0b0011);
+        assert_eq!(reverse_bits(0, 0), 0);
+    }
+
+    #[test]
+    fn canonical_codes_are_deterministic() {
+        let a = CanonicalCode::from_frequencies(&[3, 3, 3, 3], 15);
+        let b = CanonicalCode::from_frequencies(&[3, 3, 3, 3], 15);
+        assert_eq!(a.lengths(), b.lengths());
+    }
+}

@@ -1,0 +1,396 @@
+//! A DEFLATE-style compressor/decompressor — the reproduction's stand-in
+//! for `zlib`'s `deflate(·)` (use case 2 of the SPEED paper, §V-A).
+//!
+//! The pipeline mirrors RFC 1951 structurally: an LZ77 stage with hash-chain
+//! match finding produces literal/match tokens, which are entropy-coded with
+//! canonical Huffman codes (separate literal/length and distance alphabets,
+//! length-limited to 15 bits, code tables carried in the block header). The
+//! container format is this crate's own, so byte streams are not
+//! interoperable with zlib — the *computational profile* (which is what the
+//! deduplication experiments exercise) matches: fast, input-linear
+//! compression whose runtime is comparable to the crypto overhead SPEED
+//! adds, which is why Fig. 5b shows only a ~4× dedup speedup.
+//!
+//! # Example
+//!
+//! ```
+//! use speed_deflate::{compress, decompress, Level};
+//!
+//! let data = b"hello hello hello hello hello ".repeat(40);
+//! let packed = compress(&data, Level::Default);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(decompress(&packed).unwrap(), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitio;
+mod error;
+mod huffman;
+mod lz77;
+
+pub use error::DeflateError;
+pub use lz77::Level;
+
+use bitio::{BitReader, BitWriter};
+use huffman::{CanonicalCode, Decoder};
+use lz77::{tokenize, Token, MAX_DISTANCE, MAX_MATCH, MIN_MATCH};
+
+const MAGIC: &[u8; 4] = b"SPDF";
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: usize = 256;
+/// Size of the literal/length alphabet: 256 literals + EOB + 29 length codes.
+const LITLEN_SYMBOLS: usize = 286;
+/// Size of the distance alphabet.
+const DIST_SYMBOLS: usize = 30;
+
+/// Base match lengths for length codes 257..=285 (RFC 1951 table).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83,
+    99, 115, 131, 163, 195, 227, 258,
+];
+/// Extra bits for each length code.
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5,
+    5, 0,
+];
+/// Base distances for distance codes 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769,
+    1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+/// Extra bits for each distance code.
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11,
+    12, 12, 13, 13,
+];
+
+fn length_code(len: u16) -> (usize, u8, u16) {
+    debug_assert!((MIN_MATCH as u16..=MAX_MATCH as u16).contains(&len));
+    // Find the last code whose base is <= len.
+    let mut code = LENGTH_BASE.partition_point(|&b| b <= len) - 1;
+    // Length 258 has its own code (28) with no extra bits.
+    if len == 258 {
+        code = 28;
+    }
+    (257 + code, LENGTH_EXTRA[code], len - LENGTH_BASE[code])
+}
+
+fn dist_code(dist: u16) -> (usize, u8, u16) {
+    debug_assert!((1..=MAX_DISTANCE as u16).contains(&dist));
+    let code = DIST_BASE.partition_point(|&b| b <= dist) - 1;
+    (code, DIST_EXTRA[code], dist - DIST_BASE[code])
+}
+
+/// Compresses `data` at the given effort level.
+///
+/// The output always carries a 9-byte header (magic, mode, original
+/// length); incompressible data falls back to stored mode with ~1%
+/// overhead.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let tokens = tokenize(data, level);
+
+    // Token → symbol frequencies.
+    let mut litlen_freq = [0u64; LITLEN_SYMBOLS];
+    let mut dist_freq = [0u64; DIST_SYMBOLS];
+    for token in &tokens {
+        match *token {
+            Token::Literal(byte) => litlen_freq[byte as usize] += 1,
+            Token::Match { len, dist } => {
+                litlen_freq[length_code(len).0] += 1;
+                dist_freq[dist_code(dist).0] += 1;
+            }
+        }
+    }
+    litlen_freq[EOB] += 1;
+
+    let litlen_code = CanonicalCode::from_frequencies(&litlen_freq, 15);
+    let dist_code_table = CanonicalCode::from_frequencies(&dist_freq, 15);
+
+    let mut writer = BitWriter::new();
+    // Header: code lengths as nibble pairs (fits because max length 15).
+    write_lengths(&mut writer, litlen_code.lengths());
+    write_lengths(&mut writer, dist_code_table.lengths());
+
+    for token in &tokens {
+        match *token {
+            Token::Literal(byte) => litlen_code.write(&mut writer, byte as usize),
+            Token::Match { len, dist } => {
+                let (lcode, lextra, lbits) = length_code(len);
+                litlen_code.write(&mut writer, lcode);
+                writer.write_bits(u32::from(lbits), lextra);
+                let (dcode, dextra, dbits) = dist_code(dist);
+                dist_code_table.write(&mut writer, dcode);
+                writer.write_bits(u32::from(dbits), dextra);
+            }
+        }
+    }
+    litlen_code.write(&mut writer, EOB);
+    let packed = writer.into_bytes();
+
+    let mut out = Vec::with_capacity(packed.len() + 16);
+    out.extend_from_slice(MAGIC);
+    let use_stored = packed.len() >= data.len();
+    out.push(u8::from(use_stored));
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    if use_stored {
+        out.extend_from_slice(data);
+    } else {
+        out.extend_from_slice(&packed);
+    }
+    out
+}
+
+fn write_lengths(writer: &mut BitWriter, lengths: &[u8]) {
+    for &len in lengths {
+        writer.write_bits(u32::from(len), 4);
+    }
+}
+
+fn read_lengths(reader: &mut BitReader<'_>, count: usize) -> Result<Vec<u8>, DeflateError> {
+    (0..count)
+        .map(|_| reader.read_bits(4).map(|b| b as u8))
+        .collect::<Result<Vec<u8>, _>>()
+}
+
+/// Decompresses data produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`DeflateError`] on malformed or truncated input, including
+/// hostile streams (bad magic, invalid codes, out-of-range distances).
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
+    if data.len() < 9 {
+        return Err(DeflateError::Truncated);
+    }
+    if &data[..4] != MAGIC {
+        return Err(DeflateError::BadMagic);
+    }
+    let stored = match data[4] {
+        0 => false,
+        1 => true,
+        other => return Err(DeflateError::Corrupt(format!("bad mode byte {other}"))),
+    };
+    let original_len =
+        u32::from_le_bytes(data[5..9].try_into().expect("sized")) as usize;
+    let payload = &data[9..];
+
+    if stored {
+        if payload.len() != original_len {
+            return Err(DeflateError::Corrupt(format!(
+                "stored block length {} != declared {original_len}",
+                payload.len()
+            )));
+        }
+        return Ok(payload.to_vec());
+    }
+
+    let mut reader = BitReader::new(payload);
+    let litlen_lengths = read_lengths(&mut reader, LITLEN_SYMBOLS)?;
+    let dist_lengths = read_lengths(&mut reader, DIST_SYMBOLS)?;
+    let litlen_decoder = Decoder::from_lengths(&litlen_lengths)?;
+    let dist_decoder = Decoder::from_lengths(&dist_lengths)?;
+
+    let mut out: Vec<u8> = Vec::with_capacity(original_len.min(1 << 24));
+    loop {
+        let symbol = litlen_decoder.read(&mut reader)?;
+        match symbol {
+            0..=255 => out.push(symbol as u8),
+            256 => break,
+            257..=285 => {
+                let idx = symbol - 257;
+                let extra = reader.read_bits(LENGTH_EXTRA[idx])?;
+                let len = usize::from(LENGTH_BASE[idx]) + extra as usize;
+                let dsym = dist_decoder.read(&mut reader)?;
+                if dsym >= DIST_SYMBOLS {
+                    return Err(DeflateError::Corrupt(format!(
+                        "distance symbol {dsym} out of range"
+                    )));
+                }
+                let dextra = reader.read_bits(DIST_EXTRA[dsym])?;
+                let dist = usize::from(DIST_BASE[dsym]) + dextra as usize;
+                if dist > out.len() {
+                    return Err(DeflateError::Corrupt(format!(
+                        "distance {dist} exceeds output length {}",
+                        out.len()
+                    )));
+                }
+                if out.len() + len > original_len {
+                    return Err(DeflateError::Corrupt(
+                        "output exceeds declared length".into(),
+                    ));
+                }
+                let start = out.len() - dist;
+                // Byte-by-byte copy: overlapping matches are legal LZ77.
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            other => {
+                return Err(DeflateError::Corrupt(format!(
+                    "literal/length symbol {other} out of range"
+                )))
+            }
+        }
+        if out.len() > original_len {
+            return Err(DeflateError::Corrupt("output exceeds declared length".into()));
+        }
+    }
+    if out.len() != original_len {
+        return Err(DeflateError::Corrupt(format!(
+            "output length {} != declared {original_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// The compression ratio `compressed/original` (1.0 means no gain).
+pub fn ratio(original: &[u8], compressed: &[u8]) -> f64 {
+    if original.is_empty() {
+        return 1.0;
+    }
+    compressed.len() as f64 / original.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let packed = compress(b"", Level::Default);
+        assert_eq!(decompress(&packed).unwrap(), b"");
+    }
+
+    #[test]
+    fn single_byte_roundtrip() {
+        let packed = compress(b"x", Level::Default);
+        assert_eq!(decompress(&packed).unwrap(), b"x");
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data = b"abcabcabcabcabcabcabcabcabcabcabcabc".repeat(100);
+        let packed = compress(&data, Level::Default);
+        assert!(packed.len() < data.len() / 5, "{} vs {}", packed.len(), data.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn text_like_data_roundtrip() {
+        let data = "the quick brown fox jumps over the lazy dog. "
+            .repeat(50)
+            .into_bytes();
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let packed = compress(&data, level);
+            assert_eq!(decompress(&packed).unwrap(), data, "level {level:?}");
+            assert!(packed.len() < data.len());
+        }
+    }
+
+    #[test]
+    fn random_data_falls_back_to_stored() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut data = vec![0u8; 10_000];
+        rng.fill_bytes(&mut data);
+        let packed = compress(&data, Level::Default);
+        // Stored mode: 9 bytes of header overhead only.
+        assert_eq!(packed.len(), data.len() + 9);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn long_match_and_far_distance() {
+        // A long run (match length 258 path) followed by a far repeat.
+        let mut data = vec![b'a'; 1000];
+        data.extend_from_slice(&vec![b'b'; 20_000]);
+        data.extend_from_slice(&vec![b'a'; 1000]);
+        let packed = compress(&data, Level::Best);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let data = b"determinism matters for dedup tags".repeat(20);
+        assert_eq!(compress(&data, Level::Default), compress(&data, Level::Default));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(decompress(b"NOPE\x00\x00\x00\x00\x00"), Err(DeflateError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let packed = compress(b"hello world hello world", Level::Default);
+        for cut in 0..packed.len().min(9) {
+            assert!(decompress(&packed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_stream_never_panics() {
+        let data = b"some reasonably compressible data data data".repeat(10);
+        let packed = compress(&data, Level::Default);
+        for i in 9..packed.len() {
+            let mut corrupted = packed.clone();
+            corrupted[i] ^= 0xFF;
+            // Any outcome but a panic is acceptable; often an error.
+            let _ = decompress(&corrupted);
+        }
+    }
+
+    #[test]
+    fn length_code_table_is_consistent() {
+        for len in MIN_MATCH as u16..=MAX_MATCH as u16 {
+            let (code, extra, bits) = length_code(len);
+            assert!((257..=285).contains(&code), "len {len}");
+            let idx = code - 257;
+            assert_eq!(u16::from(LENGTH_BASE[idx]) + bits, len);
+            assert!(bits < (1 << extra) || extra == 0 && bits == 0);
+        }
+    }
+
+    #[test]
+    fn dist_code_table_is_consistent() {
+        for dist in 1..=MAX_DISTANCE as u16 {
+            let (code, extra, bits) = dist_code(dist);
+            assert!(code < 30);
+            assert_eq!(DIST_BASE[code] + bits, dist);
+            assert!(bits < (1 << extra) || extra == 0 && bits == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_roundtrip_arbitrary(data: Vec<u8>) {
+            let packed = compress(&data, Level::Default);
+            prop_assert_eq!(decompress(&packed).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_roundtrip_repetitive(seed in 0u64..1000, len in 0usize..5000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let alphabet = b"abcd";
+            let data: Vec<u8> =
+                (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect();
+            for level in [Level::Fast, Level::Default, Level::Best] {
+                let packed = compress(&data, level);
+                prop_assert_eq!(decompress(&packed).unwrap(), data.clone());
+            }
+        }
+
+        #[test]
+        fn prop_hostile_input_never_panics(data: Vec<u8>) {
+            let _ = decompress(&data);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! LZ77 tokenization with hash-chain match finding and optional lazy
+//! matching, structurally equivalent to zlib's deflate front end.
+
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (RFC 1951).
+pub const MAX_MATCH: usize = 258;
+/// Maximum back-reference distance (32 KiB window).
+pub const MAX_DISTANCE: usize = 32 * 1024;
+
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Compression effort level, controlling match-search depth and lazy
+/// evaluation — the analogue of zlib levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// Shallow chains, greedy parsing (zlib ~1).
+    Fast,
+    /// Moderate chains, lazy parsing (zlib ~6).
+    #[default]
+    Default,
+    /// Deep chains, lazy parsing (zlib ~9).
+    Best,
+}
+
+impl Level {
+    fn max_chain(self) -> usize {
+        match self {
+            Level::Fast => 8,
+            Level::Default => 64,
+            Level::Best => 512,
+        }
+    }
+
+    fn lazy(self) -> bool {
+        !matches!(self, Level::Fast)
+    }
+
+    /// Matches at least this long stop the search early.
+    fn good_enough(self) -> usize {
+        match self {
+            Level::Fast => 16,
+            Level::Default => 64,
+            Level::Best => MAX_MATCH,
+        }
+    }
+}
+
+/// One LZ77 token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference of `len` bytes starting `dist` bytes back.
+    Match {
+        /// Match length in `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance in `1..=MAX_DISTANCE`.
+        dist: u16,
+    },
+}
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = (usize::from(data[pos]) << 16)
+        | (usize::from(data[pos + 1]) << 8)
+        | usize::from(data[pos + 2]);
+    (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) & (HASH_SIZE - 1)
+}
+
+struct Matcher<'a> {
+    data: &'a [u8],
+    head: Vec<i64>,
+    prev: Vec<i64>,
+    max_chain: usize,
+    good_enough: usize,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(data: &'a [u8], level: Level) -> Self {
+        Matcher {
+            data,
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; data.len()],
+            max_chain: level.max_chain(),
+            good_enough: level.good_enough(),
+        }
+    }
+
+    fn insert(&mut self, pos: usize) {
+        if pos + MIN_MATCH > self.data.len() {
+            return;
+        }
+        let h = hash3(self.data, pos);
+        self.prev[pos] = self.head[h];
+        self.head[h] = pos as i64;
+    }
+
+    /// Finds the longest match at `pos`, returning `(len, dist)`.
+    fn find(&self, pos: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > self.data.len() {
+            return None;
+        }
+        let max_len = (self.data.len() - pos).min(MAX_MATCH);
+        let h = hash3(self.data, pos);
+        let mut candidate = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = 0usize;
+        while candidate >= 0 && chain < self.max_chain {
+            let cand = candidate as usize;
+            if pos - cand > MAX_DISTANCE {
+                break;
+            }
+            // Quick reject: compare the byte past the current best first.
+            if best_len < max_len
+                && self.data[cand + best_len] == self.data[pos + best_len]
+            {
+                let mut len = 0usize;
+                while len < max_len && self.data[cand + len] == self.data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cand;
+                    if len >= self.good_enough {
+                        break;
+                    }
+                }
+            }
+            candidate = self.prev[cand];
+            chain += 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    }
+}
+
+/// Tokenizes `data` with greedy or lazy LZ77 parsing per `level`.
+pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 3);
+    let mut matcher = Matcher::new(data, level);
+    let lazy = level.lazy();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let found = matcher.find(pos);
+        match found {
+            Some((len, dist)) => {
+                // Lazy evaluation: if the next position has a strictly
+                // longer match, emit a literal instead (zlib's trick).
+                let mut take = true;
+                if lazy && len < MAX_MATCH && pos + 1 < data.len() {
+                    matcher.insert(pos);
+                    if let Some((next_len, _)) = matcher.find(pos + 1) {
+                        if next_len > len {
+                            tokens.push(Token::Literal(data[pos]));
+                            pos += 1;
+                            take = false;
+                        }
+                    }
+                    if take {
+                        tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                        // First position was already inserted above.
+                        for p in pos + 1..pos + len {
+                            matcher.insert(p);
+                        }
+                        pos += len;
+                    }
+                } else {
+                    tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                    for p in pos..pos + len {
+                        matcher.insert(p);
+                    }
+                    pos += len;
+                }
+            }
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                matcher.insert(pos);
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expands tokens back to bytes (reference implementation for tests).
+#[cfg(test)]
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - usize::from(dist);
+                for i in 0..usize::from(len) {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn literal_only_for_unique_bytes() {
+        let data = b"abcdefgh";
+        let tokens = tokenize(data, Level::Default);
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn repeated_pattern_produces_matches() {
+        let data = b"abcabcabcabcabc";
+        let tokens = tokenize(data, Level::Default);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(detokenize(&tokens), data);
+        assert!(tokens.len() < data.len());
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        // "aaaa..." uses a dist-1 overlapping match.
+        let data = vec![b'a'; 300];
+        let tokens = tokenize(&data, Level::Default);
+        assert_eq!(detokenize(&tokens), data);
+        let has_overlap = tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { dist: 1, .. }));
+        assert!(has_overlap);
+    }
+
+    #[test]
+    fn max_match_length_respected() {
+        let data = vec![b'z'; 4096];
+        for token in tokenize(&data, Level::Best) {
+            if let Token::Match { len, dist } = token {
+                assert!(usize::from(len) <= MAX_MATCH);
+                assert!(usize::from(dist) <= MAX_DISTANCE);
+                assert!(usize::from(len) >= MIN_MATCH);
+            }
+        }
+    }
+
+    #[test]
+    fn all_levels_roundtrip() {
+        let data: Vec<u8> = (0..5000u32).map(|i| ((i * i) % 7) as u8 + b'a').collect();
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            assert_eq!(detokenize(&tokenize(&data, level)), data, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn better_level_never_more_tokens_on_redundant_data() {
+        let data = b"the cat sat on the mat; the cat sat on the hat".repeat(50);
+        let fast = tokenize(&data, Level::Fast).len();
+        let best = tokenize(&data, Level::Best).len();
+        assert!(best <= fast, "best {best} vs fast {fast}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(tokenize(b"", Level::Default).is_empty());
+        assert_eq!(detokenize(&tokenize(b"a", Level::Default)), b"a");
+        assert_eq!(detokenize(&tokenize(b"ab", Level::Default)), b"ab");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_tokenize_detokenize_roundtrip(data: Vec<u8>) {
+            for level in [Level::Fast, Level::Default, Level::Best] {
+                prop_assert_eq!(detokenize(&tokenize(&data, level)), data.clone());
+            }
+        }
+    }
+}

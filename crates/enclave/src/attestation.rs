@@ -1,0 +1,295 @@
+//! Local and remote attestation.
+//!
+//! SPEED assumes "the integrity of an application is correctly verified
+//! before actually running with hardware enclaves" (§II-B), achievable via
+//! SGX's two attestation forms. The simulator provides both:
+//!
+//! - **Local attestation**: a [`Report`] MACed with a platform report key
+//!   that only enclaves on the same platform can derive — verifiable by any
+//!   other enclave on that platform.
+//! - **Remote attestation**: a [`Quote`] endorsed by a simulated
+//!   [`AttestationService`] (standing in for Intel IAS), verifiable by
+//!   anyone holding the service's verification context.
+
+use speed_crypto::{hkdf, hmac::HmacSha256, SystemRng};
+
+use crate::enclave::Enclave;
+use crate::error::EnclaveError;
+use crate::measurement::Measurement;
+use crate::platform::Platform;
+
+/// User data bound into a report (e.g. a channel-establishment public value).
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// A local attestation report: the simulator's `EREPORT` output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Measurement of the reporting enclave.
+    pub measurement: Measurement,
+    /// Caller-chosen data bound into the report (key-exchange material).
+    pub report_data: [u8; REPORT_DATA_LEN],
+    mac: [u8; 32],
+}
+
+impl Report {
+    /// Serializes the report for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + REPORT_DATA_LEN + 32);
+        out.extend_from_slice(self.measurement.as_bytes());
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses a report from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::AttestationFailed`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EnclaveError> {
+        if bytes.len() != 32 + REPORT_DATA_LEN + 32 {
+            return Err(EnclaveError::AttestationFailed(format!(
+                "report must be {} bytes, got {}",
+                32 + REPORT_DATA_LEN + 32,
+                bytes.len()
+            )));
+        }
+        let digest_bytes: [u8; 32] = bytes[..32].try_into().expect("sized");
+        let mut report_data = [0u8; REPORT_DATA_LEN];
+        report_data.copy_from_slice(&bytes[32..32 + REPORT_DATA_LEN]);
+        let mut mac = [0u8; 32];
+        mac.copy_from_slice(&bytes[32 + REPORT_DATA_LEN..]);
+        Ok(Report {
+            measurement: Measurement::from_raw_digest(digest_bytes),
+            report_data,
+            mac,
+        })
+    }
+}
+
+fn report_key(platform: &Platform) -> Vec<u8> {
+    hkdf::derive(b"sgx-report-key", platform.fuse_secret(), b"local-attestation", 32)
+}
+
+/// Produces a local attestation report for `enclave` with `report_data`.
+pub fn create_report(
+    platform: &Platform,
+    enclave: &Enclave,
+    report_data: &[u8; REPORT_DATA_LEN],
+) -> Report {
+    let key = report_key(platform);
+    let mut mac_input = Vec::with_capacity(32 + REPORT_DATA_LEN);
+    mac_input.extend_from_slice(enclave.measurement().as_bytes());
+    mac_input.extend_from_slice(report_data);
+    let mac = HmacSha256::mac(&key, &mac_input).into_bytes();
+    Report { measurement: enclave.measurement(), report_data: *report_data, mac }
+}
+
+/// Verifies a local report on the same platform.
+///
+/// # Errors
+///
+/// Returns [`EnclaveError::AttestationFailed`] if the MAC does not verify
+/// (report from another platform, or tampered).
+pub fn verify_report(platform: &Platform, report: &Report) -> Result<(), EnclaveError> {
+    let key = report_key(platform);
+    let mut mac_input = Vec::with_capacity(32 + REPORT_DATA_LEN);
+    mac_input.extend_from_slice(report.measurement.as_bytes());
+    mac_input.extend_from_slice(&report.report_data);
+    if HmacSha256::verify(&key, &mac_input, &report.mac) {
+        Ok(())
+    } else {
+        Err(EnclaveError::AttestationFailed("report mac mismatch".into()))
+    }
+}
+
+/// A remote attestation quote: a report endorsed by the attestation service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Quote {
+    /// The attested measurement.
+    pub measurement: Measurement,
+    /// Report data carried through from the report.
+    pub report_data: [u8; REPORT_DATA_LEN],
+    signature: [u8; 32],
+}
+
+impl Quote {
+    /// Serializes the quote for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + REPORT_DATA_LEN + 32);
+        out.extend_from_slice(self.measurement.as_bytes());
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a quote from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::AttestationFailed`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EnclaveError> {
+        if bytes.len() != 32 + REPORT_DATA_LEN + 32 {
+            return Err(EnclaveError::AttestationFailed(format!(
+                "quote must be {} bytes, got {}",
+                32 + REPORT_DATA_LEN + 32,
+                bytes.len()
+            )));
+        }
+        let digest_bytes: [u8; 32] = bytes[..32].try_into().expect("sized");
+        let mut report_data = [0u8; REPORT_DATA_LEN];
+        report_data.copy_from_slice(&bytes[32..32 + REPORT_DATA_LEN]);
+        let mut signature = [0u8; 32];
+        signature.copy_from_slice(&bytes[32 + REPORT_DATA_LEN..]);
+        Ok(Quote {
+            measurement: Measurement::from_raw_digest(digest_bytes),
+            report_data,
+            signature,
+        })
+    }
+}
+
+/// A simulated attestation service (the role Intel IAS / DCAP plays for
+/// real SGX): it endorses reports from platforms it knows and lets remote
+/// parties verify the endorsement.
+#[derive(Debug)]
+pub struct AttestationService {
+    signing_key: [u8; 32],
+}
+
+impl AttestationService {
+    /// Creates a service with a random signing key.
+    pub fn new() -> Self {
+        let mut rng = SystemRng::new();
+        let mut signing_key = [0u8; 32];
+        rng.fill(&mut signing_key);
+        AttestationService { signing_key }
+    }
+
+    /// Creates a deterministic service for tests.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut rng = SystemRng::seeded(seed);
+        let mut signing_key = [0u8; 32];
+        rng.fill(&mut signing_key);
+        AttestationService { signing_key }
+    }
+
+    /// Endorses a (platform-verified) report into a quote.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnclaveError::AttestationFailed`] if the report does
+    /// not verify on `platform` first.
+    pub fn quote(
+        &self,
+        platform: &Platform,
+        report: &Report,
+    ) -> Result<Quote, EnclaveError> {
+        verify_report(platform, report)?;
+        let mut input = Vec::with_capacity(32 + REPORT_DATA_LEN);
+        input.extend_from_slice(report.measurement.as_bytes());
+        input.extend_from_slice(&report.report_data);
+        let signature = HmacSha256::mac(&self.signing_key, &input).into_bytes();
+        Ok(Quote {
+            measurement: report.measurement,
+            report_data: report.report_data,
+            signature,
+        })
+    }
+
+    /// Verifies a quote produced by this service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::AttestationFailed`] on signature mismatch.
+    pub fn verify_quote(&self, quote: &Quote) -> Result<(), EnclaveError> {
+        let mut input = Vec::with_capacity(32 + REPORT_DATA_LEN);
+        input.extend_from_slice(quote.measurement.as_bytes());
+        input.extend_from_slice(&quote.report_data);
+        if HmacSha256::verify(&self.signing_key, &input, &quote.signature) {
+            Ok(())
+        } else {
+            Err(EnclaveError::AttestationFailed("quote signature mismatch".into()))
+        }
+    }
+}
+
+impl Default for AttestationService {
+    fn default() -> Self {
+        AttestationService::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn setup() -> (std::sync::Arc<Platform>, std::sync::Arc<Enclave>) {
+        let platform = Platform::new(CostModel::no_sgx());
+        let enclave = platform.create_enclave(b"attested-app").unwrap();
+        (platform, enclave)
+    }
+
+    #[test]
+    fn local_report_verifies_on_same_platform() {
+        let (platform, enclave) = setup();
+        let report = create_report(&platform, &enclave, &[7u8; REPORT_DATA_LEN]);
+        assert!(verify_report(&platform, &report).is_ok());
+    }
+
+    #[test]
+    fn report_fails_on_other_platform() {
+        let (platform, enclave) = setup();
+        let other = Platform::new(CostModel::no_sgx());
+        let report = create_report(&platform, &enclave, &[0u8; REPORT_DATA_LEN]);
+        assert!(verify_report(&other, &report).is_err());
+    }
+
+    #[test]
+    fn tampered_report_data_fails() {
+        let (platform, enclave) = setup();
+        let mut report = create_report(&platform, &enclave, &[0u8; REPORT_DATA_LEN]);
+        report.report_data[0] ^= 1;
+        assert!(verify_report(&platform, &report).is_err());
+    }
+
+    #[test]
+    fn report_wire_roundtrip() {
+        let (platform, enclave) = setup();
+        let report = create_report(&platform, &enclave, &[9u8; REPORT_DATA_LEN]);
+        let parsed = Report::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(verify_report(&platform, &parsed).is_ok());
+        assert!(Report::from_bytes(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn quote_lifecycle() {
+        let (platform, enclave) = setup();
+        let service = AttestationService::with_seed(1);
+        let report = create_report(&platform, &enclave, &[1u8; REPORT_DATA_LEN]);
+        let quote = service.quote(&platform, &report).unwrap();
+        assert!(service.verify_quote(&quote).is_ok());
+        assert_eq!(quote.measurement, enclave.measurement());
+    }
+
+    #[test]
+    fn quote_from_wrong_service_fails() {
+        let (platform, enclave) = setup();
+        let s1 = AttestationService::with_seed(1);
+        let s2 = AttestationService::with_seed(2);
+        let report = create_report(&platform, &enclave, &[1u8; REPORT_DATA_LEN]);
+        let quote = s1.quote(&platform, &report).unwrap();
+        assert!(s2.verify_quote(&quote).is_err());
+    }
+
+    #[test]
+    fn service_refuses_invalid_report() {
+        let (platform, enclave) = setup();
+        let service = AttestationService::with_seed(1);
+        let mut report = create_report(&platform, &enclave, &[1u8; REPORT_DATA_LEN]);
+        report.report_data[5] ^= 0xFF;
+        assert!(service.quote(&platform, &report).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! The simulated enclave: measured code identity, metered world switches,
+//! and EPC-accounted memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cost::{CostModel, SimClock};
+use crate::epc::EpcAllocator;
+use crate::error::EnclaveError;
+use crate::measurement::Measurement;
+
+/// Counters describing one enclave's boundary traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnclaveStats {
+    /// Number of `ECALL`s performed (host → enclave).
+    pub ecalls: u64,
+    /// Number of `OCALL`s performed (enclave → host).
+    pub ocalls: u64,
+    /// Bytes copied across the boundary in either direction.
+    pub boundary_bytes: u64,
+    /// Simulated nanoseconds charged by this enclave's switches/copies.
+    pub charged_ns: u64,
+}
+
+/// A simulated SGX enclave.
+///
+/// Created via [`crate::Platform::create_enclave`]. Closures passed to
+/// [`ecall`](Enclave::ecall) run "inside" the enclave; closures passed to
+/// [`ocall`](Enclave::ocall) model the enclave calling out to the untrusted
+/// host. Both charge the platform's [`SimClock`] per the [`CostModel`].
+#[derive(Debug)]
+pub struct Enclave {
+    id: u64,
+    measurement: Measurement,
+    clock: Arc<SimClock>,
+    epc: Arc<EpcAllocator>,
+    model: CostModel,
+    ecalls: AtomicU64,
+    ocalls: AtomicU64,
+    boundary_bytes: AtomicU64,
+    charged_ns: AtomicU64,
+    epc_committed: AtomicU64,
+}
+
+impl Enclave {
+    pub(crate) fn new(
+        id: u64,
+        measurement: Measurement,
+        clock: Arc<SimClock>,
+        epc: Arc<EpcAllocator>,
+        model: CostModel,
+        initial_commit: usize,
+    ) -> Result<Self, EnclaveError> {
+        epc.commit(initial_commit)?;
+        Ok(Enclave {
+            id,
+            measurement,
+            clock,
+            epc,
+            model,
+            ecalls: AtomicU64::new(0),
+            ocalls: AtomicU64::new(0),
+            boundary_bytes: AtomicU64::new(0),
+            charged_ns: AtomicU64::new(0),
+            epc_committed: AtomicU64::new(initial_commit as u64),
+        })
+    }
+
+    /// This enclave's platform-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This enclave's code measurement (`MRENCLAVE`).
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// The cost model in force for this enclave.
+    pub fn cost_model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Enters the enclave (`ECALL`), runs `body` inside, and returns its
+    /// result. Charges one world-switch entry plus exit.
+    ///
+    /// `_name` labels the call for debugging; it mirrors the named ECALL
+    /// table of the SGX SDK's EDL files.
+    pub fn ecall<R>(&self, _name: &str, body: impl FnOnce() -> R) -> R {
+        self.charge(self.model.ecall_ns);
+        self.ecalls.fetch_add(1, Ordering::Relaxed);
+        body()
+    }
+
+    /// Enters the enclave passing `args_len` bytes of marshalled arguments
+    /// and returning `ret_len` bytes, charging boundary-copy costs.
+    pub fn ecall_with_bytes<R>(
+        &self,
+        name: &str,
+        args_len: usize,
+        ret_len: usize,
+        body: impl FnOnce() -> R,
+    ) -> R {
+        self.charge_copy(args_len + ret_len);
+        self.ecall(name, body)
+    }
+
+    /// Leaves the enclave (`OCALL`) to run `body` in the untrusted host.
+    pub fn ocall<R>(&self, _name: &str, body: impl FnOnce() -> R) -> R {
+        self.charge(self.model.ocall_ns);
+        self.ocalls.fetch_add(1, Ordering::Relaxed);
+        body()
+    }
+
+    /// Leaves the enclave with `args_len` bytes out and `ret_len` bytes
+    /// back, charging boundary-copy costs.
+    pub fn ocall_with_bytes<R>(
+        &self,
+        name: &str,
+        args_len: usize,
+        ret_len: usize,
+        body: impl FnOnce() -> R,
+    ) -> R {
+        self.charge_copy(args_len + ret_len);
+        self.ocall(name, body)
+    }
+
+    /// Charges boundary-copy cost for `bytes` bytes without a world switch
+    /// (used when a payload's size is only known after an `OCALL` returns).
+    pub fn charge_boundary_bytes(&self, bytes: usize) {
+        self.charge_copy(bytes);
+    }
+
+    /// Commits `bytes` of additional protected memory for this enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::EpcExhausted`] if the platform EPC cannot
+    /// satisfy the commit.
+    pub fn commit_memory(&self, bytes: usize) -> Result<(), EnclaveError> {
+        self.epc.commit(bytes)?;
+        self.epc_committed.fetch_add(bytes as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Releases `bytes` of protected memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::InvalidFree`] when releasing more than this
+    /// enclave committed.
+    pub fn release_memory(&self, bytes: usize) -> Result<(), EnclaveError> {
+        let committed = self.epc_committed.load(Ordering::Relaxed);
+        if bytes as u64 > committed {
+            return Err(EnclaveError::InvalidFree {
+                requested: bytes,
+                allocated: committed as usize,
+            });
+        }
+        self.epc.release(bytes)?;
+        self.epc_committed.fetch_sub(bytes as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Returns a snapshot of this enclave's counters.
+    pub fn stats(&self) -> EnclaveStats {
+        EnclaveStats {
+            ecalls: self.ecalls.load(Ordering::Relaxed),
+            ocalls: self.ocalls.load(Ordering::Relaxed),
+            boundary_bytes: self.boundary_bytes.load(Ordering::Relaxed),
+            charged_ns: self.charged_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The simulated clock shared with the platform.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    fn charge(&self, ns: u64) {
+        self.clock.charge_ns(ns);
+        self.charged_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn charge_copy(&self, bytes: usize) {
+        let ns = self.model.boundary_copy_ns(bytes);
+        self.boundary_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.charge(ns);
+    }
+}
+
+impl Drop for Enclave {
+    fn drop(&mut self) {
+        // Return committed pages to the platform; ignore errors per
+        // C-DTOR-FAIL (destructors never fail).
+        let committed = self.epc_committed.load(Ordering::Relaxed) as usize;
+        let _ = self.epc.release(committed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn ecall_runs_body_and_counts() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"code").unwrap();
+        let out = enclave.ecall("double", || 21 * 2);
+        assert_eq!(out, 42);
+        let stats = enclave.stats();
+        assert_eq!(stats.ecalls, 1);
+        assert_eq!(stats.ocalls, 0);
+        assert_eq!(stats.charged_ns, CostModel::default_sgx().ecall_ns);
+    }
+
+    #[test]
+    fn ocall_counts_separately() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"code").unwrap();
+        enclave.ocall("send", || ());
+        enclave.ocall("recv", || ());
+        assert_eq!(enclave.stats().ocalls, 2);
+    }
+
+    #[test]
+    fn byte_variants_charge_copy_costs() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"code").unwrap();
+        enclave.ecall_with_bytes("put", 1 << 20, 64, || ());
+        let stats = enclave.stats();
+        assert_eq!(stats.boundary_bytes, (1 << 20) + 64);
+        assert!(stats.charged_ns > CostModel::default_sgx().ecall_ns);
+    }
+
+    #[test]
+    fn no_sgx_model_charges_nothing() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let enclave = platform.create_enclave(b"code").unwrap();
+        enclave.ecall_with_bytes("put", 1 << 20, 1 << 20, || ());
+        enclave.ocall("out", || ());
+        assert_eq!(enclave.stats().charged_ns, 0);
+    }
+
+    #[test]
+    fn memory_commit_release_cycle() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"code").unwrap();
+        enclave.commit_memory(1 << 16).unwrap();
+        enclave.release_memory(1 << 16).unwrap();
+        assert!(matches!(
+            enclave.release_memory(1 << 30),
+            Err(EnclaveError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_returns_pages_to_platform() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let before = platform.epc().stats().committed_pages;
+        {
+            let enclave = platform.create_enclave(b"code").unwrap();
+            enclave.commit_memory(1 << 20).unwrap();
+            assert!(platform.epc().stats().committed_pages > before);
+        }
+        assert_eq!(platform.epc().stats().committed_pages, before);
+    }
+
+    #[test]
+    fn nested_ecall_ocall_pattern() {
+        // DedupRuntime's pattern: inside the enclave, OCALL out to the
+        // network, then continue inside.
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"app").unwrap();
+        let result = enclave.ecall("dedup_call", || {
+            let response = enclave.ocall("get_request", || 7u32);
+            response + 1
+        });
+        assert_eq!(result, 8);
+        let stats = enclave.stats();
+        assert_eq!((stats.ecalls, stats.ocalls), (1, 1));
+    }
+}

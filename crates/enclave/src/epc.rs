@@ -1,0 +1,245 @@
+//! Enclave Page Cache accounting.
+//!
+//! SGX1 machines of the paper's era expose a fixed EPC (128 MiB configured,
+//! ~90 MiB usable after SGX metadata — §V-A of the paper). When enclaves
+//! commit more memory than the usable EPC, the SGX driver pages 4 KiB
+//! chunks in and out at significant cost. This module models that with an
+//! allocator that tracks resident pages and charges page-fault penalties to
+//! the simulated clock once the working set exceeds the usable limit.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cost::{CostModel, SimClock};
+use crate::error::EnclaveError;
+
+/// EPC page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Default configured EPC size (128 MiB), matching the paper's setup.
+pub const DEFAULT_EPC_BYTES: usize = 128 * 1024 * 1024;
+
+/// Default usable EPC after SGX structure overhead (~90 MiB).
+pub const DEFAULT_USABLE_BYTES: usize = 90 * 1024 * 1024;
+
+/// Counters describing EPC behaviour so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpcStats {
+    /// Pages currently committed across all enclaves.
+    pub committed_pages: usize,
+    /// High-water mark of committed pages.
+    pub peak_pages: usize,
+    /// Page faults charged because the working set exceeded usable EPC.
+    pub page_faults: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    committed_pages: usize,
+    peak_pages: usize,
+    page_faults: u64,
+}
+
+/// A shared EPC allocator for one simulated platform.
+#[derive(Debug)]
+pub struct EpcAllocator {
+    usable_pages: usize,
+    total_pages: usize,
+    inner: Mutex<Inner>,
+    clock: Arc<SimClock>,
+    model: CostModel,
+}
+
+impl EpcAllocator {
+    /// Creates an allocator with explicit sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usable_bytes > total_bytes` or either is zero.
+    pub fn new(
+        total_bytes: usize,
+        usable_bytes: usize,
+        model: CostModel,
+        clock: Arc<SimClock>,
+    ) -> Self {
+        assert!(total_bytes > 0 && usable_bytes > 0, "epc sizes must be nonzero");
+        assert!(usable_bytes <= total_bytes, "usable epc exceeds total epc");
+        EpcAllocator {
+            usable_pages: usable_bytes / PAGE_SIZE,
+            total_pages: total_bytes / PAGE_SIZE,
+            inner: Mutex::new(Inner { committed_pages: 0, peak_pages: 0, page_faults: 0 }),
+            clock,
+            model,
+        }
+    }
+
+    /// Creates an allocator with the paper's default sizes.
+    pub fn with_defaults(model: CostModel, clock: Arc<SimClock>) -> Self {
+        EpcAllocator::new(DEFAULT_EPC_BYTES, DEFAULT_USABLE_BYTES, model, clock)
+    }
+
+    /// Commits `bytes` of enclave memory, rounding up to whole pages.
+    ///
+    /// Beyond the usable EPC the commit still succeeds (the SGX driver pages
+    /// to untrusted memory), but every page past the limit charges a
+    /// page-fault penalty. Commits beyond *four times* the usable EPC fail,
+    /// modelling the practical collapse of a thrashing enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::EpcExhausted`] if the commit would exceed the
+    /// thrash ceiling.
+    pub fn commit(&self, bytes: usize) -> Result<(), EnclaveError> {
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        let mut inner = self.inner.lock();
+        let ceiling = self.usable_pages * 4;
+        if inner.committed_pages + pages > ceiling {
+            return Err(EnclaveError::EpcExhausted {
+                requested: bytes,
+                available: (ceiling - inner.committed_pages) * PAGE_SIZE,
+            });
+        }
+        let before = inner.committed_pages;
+        inner.committed_pages += pages;
+        inner.peak_pages = inner.peak_pages.max(inner.committed_pages);
+        // Pages past the usable limit each fault once on first touch.
+        let over_before = before.saturating_sub(self.usable_pages);
+        let over_after = inner.committed_pages.saturating_sub(self.usable_pages);
+        let faults = (over_after - over_before) as u64;
+        if faults > 0 {
+            inner.page_faults += faults;
+            self.clock.charge_ns(faults * self.model.page_fault_ns);
+        }
+        Ok(())
+    }
+
+    /// Releases `bytes` of committed memory (rounded up to pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::InvalidFree`] when freeing more than is
+    /// committed.
+    pub fn release(&self, bytes: usize) -> Result<(), EnclaveError> {
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        let mut inner = self.inner.lock();
+        if pages > inner.committed_pages {
+            return Err(EnclaveError::InvalidFree {
+                requested: bytes,
+                allocated: inner.committed_pages * PAGE_SIZE,
+            });
+        }
+        inner.committed_pages -= pages;
+        Ok(())
+    }
+
+    /// Returns a snapshot of the allocator counters.
+    pub fn stats(&self) -> EpcStats {
+        let inner = self.inner.lock();
+        EpcStats {
+            committed_pages: inner.committed_pages,
+            peak_pages: inner.peak_pages,
+            page_faults: inner.page_faults,
+        }
+    }
+
+    /// Usable EPC in bytes before paging kicks in.
+    pub fn usable_bytes(&self) -> usize {
+        self.usable_pages * PAGE_SIZE
+    }
+
+    /// Total configured EPC in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total_pages * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allocator(total: usize, usable: usize) -> EpcAllocator {
+        EpcAllocator::new(total, usable, CostModel::default_sgx(), SimClock::new())
+    }
+
+    #[test]
+    fn commit_within_usable_has_no_faults() {
+        let epc = allocator(1 << 20, 1 << 19);
+        epc.commit(100_000).unwrap();
+        let stats = epc.stats();
+        assert_eq!(stats.page_faults, 0);
+        assert_eq!(stats.committed_pages, 100_000usize.div_ceil(PAGE_SIZE));
+    }
+
+    #[test]
+    fn commit_past_usable_charges_faults() {
+        let clock = SimClock::new();
+        let epc = EpcAllocator::new(
+            1 << 20,
+            1 << 19,
+            CostModel::default_sgx(),
+            Arc::clone(&clock),
+        );
+        epc.commit(1 << 19).unwrap();
+        assert_eq!(epc.stats().page_faults, 0);
+        epc.commit(PAGE_SIZE * 3).unwrap();
+        assert_eq!(epc.stats().page_faults, 3);
+        assert_eq!(clock.total_ns(), 3 * CostModel::default_sgx().page_fault_ns);
+    }
+
+    #[test]
+    fn commit_past_thrash_ceiling_fails() {
+        let epc = allocator(1 << 20, 1 << 19);
+        let err = epc.commit((1 << 19) * 5).unwrap_err();
+        assert!(matches!(err, EnclaveError::EpcExhausted { .. }));
+    }
+
+    #[test]
+    fn release_returns_pages() {
+        let epc = allocator(1 << 20, 1 << 19);
+        epc.commit(PAGE_SIZE * 10).unwrap();
+        epc.release(PAGE_SIZE * 4).unwrap();
+        assert_eq!(epc.stats().committed_pages, 6);
+    }
+
+    #[test]
+    fn release_more_than_committed_fails() {
+        let epc = allocator(1 << 20, 1 << 19);
+        epc.commit(PAGE_SIZE).unwrap();
+        assert!(matches!(
+            epc.release(PAGE_SIZE * 2),
+            Err(EnclaveError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let epc = allocator(1 << 20, 1 << 19);
+        epc.commit(PAGE_SIZE * 8).unwrap();
+        epc.release(PAGE_SIZE * 8).unwrap();
+        epc.commit(PAGE_SIZE * 2).unwrap();
+        let stats = epc.stats();
+        assert_eq!(stats.peak_pages, 8);
+        assert_eq!(stats.committed_pages, 2);
+    }
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let epc = EpcAllocator::with_defaults(CostModel::default_sgx(), SimClock::new());
+        assert_eq!(epc.total_bytes(), 128 * 1024 * 1024);
+        assert_eq!(epc.usable_bytes(), 90 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "usable epc exceeds total epc")]
+    fn usable_cannot_exceed_total() {
+        let _ = allocator(1 << 19, 1 << 20);
+    }
+
+    #[test]
+    fn zero_byte_commit_is_noop() {
+        let epc = allocator(1 << 20, 1 << 19);
+        epc.commit(0).unwrap();
+        assert_eq!(epc.stats().committed_pages, 0);
+    }
+}

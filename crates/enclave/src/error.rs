@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the enclave simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnclaveError {
+    /// The EPC cannot satisfy an allocation even after paging.
+    EpcExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently available (including pageable headroom).
+        available: usize,
+    },
+    /// An attestation report or quote failed verification.
+    AttestationFailed(String),
+    /// Unsealing failed: wrong enclave identity or corrupted blob.
+    UnsealFailed,
+    /// A referenced untrusted blob does not exist (e.g. freed or forged id).
+    UnknownBlob(u64),
+    /// Attempted to free EPC pages that were not allocated.
+    InvalidFree {
+        /// Bytes the caller tried to free.
+        requested: usize,
+        /// Bytes actually allocated.
+        allocated: usize,
+    },
+}
+
+impl fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnclaveError::EpcExhausted { requested, available } => write!(
+                f,
+                "enclave page cache exhausted: requested {requested} bytes, \
+                 {available} available"
+            ),
+            EnclaveError::AttestationFailed(why) => {
+                write!(f, "attestation failed: {why}")
+            }
+            EnclaveError::UnsealFailed => write!(f, "unsealing failed"),
+            EnclaveError::UnknownBlob(id) => {
+                write!(f, "unknown untrusted blob id {id}")
+            }
+            EnclaveError::InvalidFree { requested, allocated } => write!(
+                f,
+                "invalid epc free: requested {requested} bytes with only \
+                 {allocated} allocated"
+            ),
+        }
+    }
+}
+
+impl Error for EnclaveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EnclaveError::UnsealFailed.to_string().contains("unsealing"));
+        assert!(EnclaveError::UnknownBlob(7).to_string().contains('7'));
+        assert!(EnclaveError::EpcExhausted { requested: 10, available: 5 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EnclaveError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! A software simulator of the Intel SGX enclave abstractions that SPEED
+//! depends on.
+//!
+//! The SPEED paper (§II-D, §IV-A) relies on four SGX properties:
+//!
+//! 1. **Isolated execution with limited protected memory.** The Enclave Page
+//!    Cache (EPC) is capped (128 MiB, ~90 MiB usable, on the paper's
+//!    machines), which is why SPEED keeps only small metadata inside the
+//!    enclave and stores result ciphertexts outside. Modelled by
+//!    [`EpcAllocator`] with 4 KiB-page accounting and paging penalties.
+//! 2. **Expensive world switches.** Every `ECALL`/`OCALL` costs thousands of
+//!    cycles; Fig. 6 of the paper shows this as the gap between the
+//!    with-SGX and without-SGX store throughput. Modelled by [`CostModel`]
+//!    and charged to a [`SimClock`] on every [`Enclave::ecall`] /
+//!    [`Enclave::ocall`].
+//! 3. **Code identity (measurement).** `MRENCLAVE` binds an enclave to the
+//!    hash of its code. Modelled by [`Measurement`] (SHA-256 of the code
+//!    identity bytes).
+//! 4. **Sealing and attestation.** Sealing keys are derived from the
+//!    measurement ([`sealing`]); local and remote attestation produce
+//!    verifiable reports ([`attestation`]).
+//!
+//! The simulator never claims hardware protection — it reproduces the
+//! *performance shape* and *key-derivation semantics* of SGX so the rest of
+//! the system exercises the same code paths as the paper's prototype.
+//!
+//! # Example
+//!
+//! ```
+//! use speed_enclave::{CostModel, Platform};
+//!
+//! let platform = Platform::new(CostModel::default_sgx());
+//! let enclave = platform.create_enclave(b"my-app-code-v1").unwrap();
+//! let result = enclave.ecall("add", || 2 + 2);
+//! assert_eq!(result, 4);
+//! assert_eq!(enclave.stats().ecalls, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+mod cost;
+mod enclave;
+mod epc;
+mod error;
+mod measurement;
+mod platform;
+pub mod sealing;
+mod untrusted;
+
+pub use cost::{CostModel, SimClock};
+pub use enclave::{Enclave, EnclaveStats};
+pub use epc::{EpcAllocator, EpcStats, PAGE_SIZE};
+pub use error::EnclaveError;
+pub use measurement::Measurement;
+pub use platform::Platform;
+pub use untrusted::{BlobId, UntrustedMemory};

@@ -1,0 +1,80 @@
+use std::fmt;
+
+use speed_crypto::{Digest, Sha256};
+
+/// An enclave measurement — the simulator's `MRENCLAVE`.
+///
+/// Computed as the SHA-256 digest of the enclave's code identity bytes, so
+/// two enclaves built from identical code have identical measurements and
+/// any code change yields a different one. SPEED's attestation assumption
+/// (§II-B: "the integrity of an application is correctly verified before
+/// actually running") reduces to checking this value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Measurement(Digest);
+
+impl Measurement {
+    /// Measures `code` (any canonical byte representation of the enclave's
+    /// contents).
+    pub fn of_code(code: &[u8]) -> Self {
+        Measurement(Sha256::digest_parts(&[b"mrenclave", code]))
+    }
+
+    /// Returns the 32-byte digest value.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+
+    /// Returns the underlying digest.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+
+    /// Reconstructs a measurement from raw digest bytes, for wire decoding.
+    ///
+    /// The value is *not* recomputed from code; verifiers must compare it
+    /// against a locally computed [`Measurement::of_code`] before trusting it.
+    pub fn from_raw_digest(bytes: [u8; 32]) -> Self {
+        Measurement(Digest::from_bytes(bytes))
+    }
+}
+
+impl fmt::Debug for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Measurement({})", &self.0.to_hex()[..16])
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_code_same_measurement() {
+        assert_eq!(Measurement::of_code(b"app v1"), Measurement::of_code(b"app v1"));
+    }
+
+    #[test]
+    fn different_code_different_measurement() {
+        assert_ne!(Measurement::of_code(b"app v1"), Measurement::of_code(b"app v2"));
+    }
+
+    #[test]
+    fn measurement_differs_from_raw_hash() {
+        // Domain separation: MRENCLAVE is not simply SHA-256(code).
+        let m = Measurement::of_code(b"code");
+        assert_ne!(m.digest(), Sha256::digest(b"code"));
+    }
+
+    #[test]
+    fn debug_is_abbreviated() {
+        let dbg = format!("{:?}", Measurement::of_code(b"x"));
+        assert!(dbg.len() < 40);
+        assert!(dbg.starts_with("Measurement("));
+    }
+}

@@ -1,0 +1,201 @@
+//! A simulated SGX-capable machine: shared EPC, simulated clock, untrusted
+//! memory, and platform secrets for sealing/attestation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use speed_crypto::SystemRng;
+
+use crate::cost::{CostModel, SimClock};
+use crate::enclave::Enclave;
+use crate::epc::EpcAllocator;
+use crate::error::EnclaveError;
+use crate::measurement::Measurement;
+use crate::untrusted::UntrustedMemory;
+
+/// Initial EPC commit for a freshly created enclave (code + stack + heap
+/// floor), roughly matching a minimal SGX SDK enclave footprint.
+const INITIAL_ENCLAVE_COMMIT: usize = 2 * 1024 * 1024;
+
+/// A simulated SGX platform (one physical machine).
+///
+/// Owns the EPC, the simulated clock, an untrusted memory arena, and the
+/// per-platform fuse secrets from which sealing and report keys derive.
+///
+/// # Example
+///
+/// ```
+/// use speed_enclave::{CostModel, Platform};
+///
+/// let platform = Platform::new(CostModel::default_sgx());
+/// let a = platform.create_enclave(b"app-a").unwrap();
+/// let b = platform.create_enclave(b"app-a").unwrap();
+/// // Same code ⇒ same measurement, even across enclave instances.
+/// assert_eq!(a.measurement(), b.measurement());
+/// ```
+#[derive(Debug)]
+pub struct Platform {
+    clock: Arc<SimClock>,
+    epc: Arc<EpcAllocator>,
+    untrusted: Arc<UntrustedMemory>,
+    model: CostModel,
+    next_enclave_id: AtomicU64,
+    fuse_secret: [u8; 32],
+}
+
+impl Platform {
+    /// Creates a platform with the paper's default EPC sizes and a random
+    /// fuse secret.
+    pub fn new(model: CostModel) -> Arc<Self> {
+        Platform::with_seed(model, None)
+    }
+
+    /// Creates a platform whose fuse secret derives from `seed`, for
+    /// reproducible sealing tests. `None` uses OS entropy.
+    pub fn with_seed(model: CostModel, seed: Option<u64>) -> Arc<Self> {
+        Platform::with_epc(
+            model,
+            seed,
+            crate::epc::DEFAULT_EPC_BYTES,
+            crate::epc::DEFAULT_USABLE_BYTES,
+        )
+    }
+
+    /// Creates a platform with explicit EPC sizes — for failure-injection
+    /// tests (tiny EPC) or modelling larger-EPC hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usable_bytes > total_bytes` or either is zero.
+    pub fn with_epc(
+        model: CostModel,
+        seed: Option<u64>,
+        total_bytes: usize,
+        usable_bytes: usize,
+    ) -> Arc<Self> {
+        let clock = SimClock::new();
+        let mut rng = match seed {
+            Some(s) => SystemRng::seeded(s),
+            None => SystemRng::new(),
+        };
+        let mut fuse_secret = [0u8; 32];
+        rng.fill(&mut fuse_secret);
+        Arc::new(Platform {
+            epc: Arc::new(EpcAllocator::new(
+                total_bytes,
+                usable_bytes,
+                model,
+                Arc::clone(&clock),
+            )),
+            clock,
+            untrusted: Arc::new(UntrustedMemory::new()),
+            model,
+            next_enclave_id: AtomicU64::new(1),
+            fuse_secret,
+        })
+    }
+
+    /// Loads and measures an enclave from its code identity bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::EpcExhausted`] if the EPC cannot hold another
+    /// enclave's initial footprint.
+    pub fn create_enclave(&self, code: &[u8]) -> Result<Arc<Enclave>, EnclaveError> {
+        let id = self.next_enclave_id.fetch_add(1, Ordering::Relaxed);
+        let enclave = Enclave::new(
+            id,
+            Measurement::of_code(code),
+            Arc::clone(&self.clock),
+            Arc::clone(&self.epc),
+            self.model,
+            INITIAL_ENCLAVE_COMMIT,
+        )?;
+        Ok(Arc::new(enclave))
+    }
+
+    /// The platform-wide simulated clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The shared EPC allocator.
+    pub fn epc(&self) -> &Arc<EpcAllocator> {
+        &self.epc
+    }
+
+    /// The untrusted host memory arena.
+    pub fn untrusted(&self) -> &Arc<UntrustedMemory> {
+        &self.untrusted
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Platform fuse secret (never leaves the "hardware"; used by sealing
+    /// and attestation key derivation).
+    pub(crate) fn fuse_secret(&self) -> &[u8; 32] {
+        &self.fuse_secret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_ids_are_unique() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let a = platform.create_enclave(b"x").unwrap();
+        let b = platform.create_enclave(b"x").unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn creation_commits_epc() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let before = platform.epc().stats().committed_pages;
+        let _enclave = platform.create_enclave(b"x").unwrap();
+        assert!(platform.epc().stats().committed_pages > before);
+    }
+
+    #[test]
+    fn seeded_platforms_share_fuse_secret() {
+        let a = Platform::with_seed(CostModel::no_sgx(), Some(1));
+        let b = Platform::with_seed(CostModel::no_sgx(), Some(1));
+        assert_eq!(a.fuse_secret(), b.fuse_secret());
+        let c = Platform::with_seed(CostModel::no_sgx(), Some(2));
+        assert_ne!(a.fuse_secret(), c.fuse_secret());
+    }
+
+    #[test]
+    fn tiny_epc_exhausts() {
+        // 4 MiB EPC cannot host three 2 MiB-footprint enclaves once the
+        // thrash ceiling is reached.
+        let platform =
+            Platform::with_epc(CostModel::default_sgx(), Some(1), 4 << 20, 2 << 20);
+        let mut enclaves = Vec::new();
+        let mut failed = false;
+        for i in 0..8 {
+            match platform.create_enclave(format!("app-{i}").as_bytes()) {
+                Ok(enclave) => enclaves.push(enclave),
+                Err(crate::EnclaveError::EpcExhausted { .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(failed, "epc never exhausted");
+        assert!(!enclaves.is_empty(), "no enclave fit at all");
+    }
+
+    #[test]
+    fn untrusted_memory_is_shared() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let id = platform.untrusted().store(vec![1, 2, 3]);
+        assert_eq!(platform.untrusted().load(id), Some(vec![1, 2, 3]));
+    }
+}

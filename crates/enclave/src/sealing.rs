@@ -1,0 +1,202 @@
+//! Enclave data sealing.
+//!
+//! SGX enclaves persist secrets outside the enclave by *sealing* them:
+//! encrypting with a key derived inside the CPU from the platform fuse
+//! secret and the enclave's identity. Two policies exist; the simulator
+//! implements both:
+//!
+//! - [`SealPolicy::MrEnclave`] — only the *exact same code* on the same
+//!   platform can unseal.
+//! - [`SealPolicy::MrSigner`] — any enclave from the same "signer" can
+//!   unseal (modelled with an explicit signer label).
+
+use speed_crypto::{hkdf, AesGcm128, Key128, Nonce, SystemRng};
+
+use crate::enclave::Enclave;
+use crate::error::EnclaveError;
+use crate::platform::Platform;
+
+/// Key-derivation policy for sealing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SealPolicy {
+    /// Bind to the exact enclave measurement.
+    MrEnclave,
+    /// Bind to a signer identity shared by a family of enclaves.
+    MrSigner(String),
+}
+
+/// A sealed blob: nonce plus AES-GCM ciphertext (tag appended).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedData {
+    nonce: [u8; 12],
+    boxed: Vec<u8>,
+}
+
+impl SealedData {
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.nonce.len() + self.boxed.len()
+    }
+
+    /// Whether the sealed payload is empty (tag-only).
+    pub fn is_empty(&self) -> bool {
+        self.boxed.len() <= speed_crypto::TAG_LEN
+    }
+
+    /// Flattens to bytes (`nonce || ciphertext || tag`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.boxed);
+        out
+    }
+
+    /// Parses from bytes produced by [`to_bytes`](SealedData::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::UnsealFailed`] if `bytes` is too short.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EnclaveError> {
+        if bytes.len() < 12 + speed_crypto::TAG_LEN {
+            return Err(EnclaveError::UnsealFailed);
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&bytes[..12]);
+        Ok(SealedData { nonce, boxed: bytes[12..].to_vec() })
+    }
+}
+
+fn seal_key(platform: &Platform, enclave: &Enclave, policy: &SealPolicy) -> Key128 {
+    let identity: Vec<u8> = match policy {
+        SealPolicy::MrEnclave => enclave.measurement().as_bytes().to_vec(),
+        SealPolicy::MrSigner(signer) => {
+            let mut v = b"signer:".to_vec();
+            v.extend_from_slice(signer.as_bytes());
+            v
+        }
+    };
+    let okm = hkdf::derive(b"sgx-seal-key", platform.fuse_secret(), &identity, 16);
+    Key128::from_slice(&okm).expect("hkdf produced 16 bytes")
+}
+
+/// Seals `plaintext` for later recovery under `policy`.
+pub fn seal(
+    platform: &Platform,
+    enclave: &Enclave,
+    policy: &SealPolicy,
+    aad: &[u8],
+    plaintext: &[u8],
+) -> SealedData {
+    let key = seal_key(platform, enclave, policy);
+    let cipher = AesGcm128::new(&key);
+    let mut rng = SystemRng::new();
+    let nonce = rng.gen_nonce();
+    let boxed = cipher.seal(&nonce, aad, plaintext);
+    SealedData { nonce: *nonce.as_bytes(), boxed }
+}
+
+/// Unseals data previously produced by [`seal`].
+///
+/// # Errors
+///
+/// Returns [`EnclaveError::UnsealFailed`] if the calling enclave's identity
+/// does not satisfy the policy the data was sealed under, or the blob was
+/// tampered with.
+pub fn unseal(
+    platform: &Platform,
+    enclave: &Enclave,
+    policy: &SealPolicy,
+    aad: &[u8],
+    sealed: &SealedData,
+) -> Result<Vec<u8>, EnclaveError> {
+    let key = seal_key(platform, enclave, policy);
+    let cipher = AesGcm128::new(&key);
+    let nonce = Nonce::from_bytes(sealed.nonce);
+    cipher.open(&nonce, aad, &sealed.boxed).map_err(|_| EnclaveError::UnsealFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn seal_unseal_roundtrip_mrenclave() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let enclave = platform.create_enclave(b"app").unwrap();
+        let sealed = seal(&platform, &enclave, &SealPolicy::MrEnclave, b"v1", b"secret");
+        let opened =
+            unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"v1", &sealed).unwrap();
+        assert_eq!(opened, b"secret");
+    }
+
+    #[test]
+    fn different_code_cannot_unseal_mrenclave() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let a = platform.create_enclave(b"app-a").unwrap();
+        let b = platform.create_enclave(b"app-b").unwrap();
+        let sealed = seal(&platform, &a, &SealPolicy::MrEnclave, b"", b"secret");
+        assert_eq!(
+            unseal(&platform, &b, &SealPolicy::MrEnclave, b"", &sealed),
+            Err(EnclaveError::UnsealFailed)
+        );
+    }
+
+    #[test]
+    fn same_signer_can_unseal_mrsigner() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let a = platform.create_enclave(b"app-a").unwrap();
+        let b = platform.create_enclave(b"app-b").unwrap();
+        let policy = SealPolicy::MrSigner("vendor".into());
+        let sealed = seal(&platform, &a, &policy, b"", b"shared secret");
+        assert_eq!(unseal(&platform, &b, &policy, b"", &sealed).unwrap(), b"shared secret");
+    }
+
+    #[test]
+    fn different_signer_cannot_unseal() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let a = platform.create_enclave(b"app").unwrap();
+        let sealed = seal(&platform, &a, &SealPolicy::MrSigner("v1".into()), b"", b"s");
+        assert!(unseal(&platform, &a, &SealPolicy::MrSigner("v2".into()), b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn different_platform_cannot_unseal() {
+        let p1 = Platform::with_seed(CostModel::no_sgx(), Some(1));
+        let p2 = Platform::with_seed(CostModel::no_sgx(), Some(2));
+        let e1 = p1.create_enclave(b"app").unwrap();
+        let e2 = p2.create_enclave(b"app").unwrap();
+        let sealed = seal(&p1, &e1, &SealPolicy::MrEnclave, b"", b"s");
+        assert!(unseal(&p2, &e2, &SealPolicy::MrEnclave, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn tampered_sealed_blob_is_rejected() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let enclave = platform.create_enclave(b"app").unwrap();
+        let sealed = seal(&platform, &enclave, &SealPolicy::MrEnclave, b"", b"secret");
+        let mut bytes = sealed.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        let reparsed = SealedData::from_bytes(&bytes).unwrap();
+        assert!(unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"", &reparsed).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let enclave = platform.create_enclave(b"app").unwrap();
+        let sealed = seal(&platform, &enclave, &SealPolicy::MrEnclave, b"aad", b"data");
+        let parsed = SealedData::from_bytes(&sealed.to_bytes()).unwrap();
+        assert_eq!(parsed, sealed);
+        assert!(SealedData::from_bytes(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn wrong_aad_is_rejected() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let enclave = platform.create_enclave(b"app").unwrap();
+        let sealed = seal(&platform, &enclave, &SealPolicy::MrEnclave, b"v1", b"data");
+        assert!(unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"v2", &sealed).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Untrusted host memory.
+//!
+//! SPEED's `ResultStore` keeps only small metadata inside the enclave and
+//! places the actual result ciphertexts in *untrusted* memory, holding a
+//! pointer in the in-enclave dictionary (§III-B, §IV-B). This module models
+//! that region: a blob arena anyone on the platform (including a simulated
+//! adversary) can read and overwrite — which is precisely why everything
+//! stored here must be encrypted and authenticated.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// An opaque handle to a blob in untrusted memory — the "pointer" the
+/// paper's metadata dictionary keeps per entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlobId(u64);
+
+impl BlobId {
+    /// Returns the raw id value (for wire encoding).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a handle from a raw id (from wire decoding).
+    pub fn from_raw(raw: u64) -> Self {
+        BlobId(raw)
+    }
+}
+
+/// An arena of byte blobs living outside any enclave.
+#[derive(Debug, Default)]
+pub struct UntrustedMemory {
+    blobs: RwLock<HashMap<u64, Vec<u8>>>,
+    next_id: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl UntrustedMemory {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        UntrustedMemory::default()
+    }
+
+    /// Stores a blob and returns its handle.
+    pub fn store(&self, data: Vec<u8>) -> BlobId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.blobs.write().insert(id, data);
+        BlobId(id)
+    }
+
+    /// Reads a copy of the blob, or `None` if it does not exist.
+    pub fn load(&self, id: BlobId) -> Option<Vec<u8>> {
+        self.blobs.read().get(&id.0).cloned()
+    }
+
+    /// Removes a blob, returning it if present.
+    pub fn remove(&self, id: BlobId) -> Option<Vec<u8>> {
+        let removed = self.blobs.write().remove(&id.0);
+        if let Some(ref data) = removed {
+            self.bytes.fetch_sub(data.len() as u64, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Overwrites a blob *without any authorization* — models an adversary
+    /// with root access tampering with data outside the enclave (threat
+    /// model, §II-B). Returns `false` if the blob does not exist.
+    pub fn tamper(&self, id: BlobId, mutate: impl FnOnce(&mut Vec<u8>)) -> bool {
+        let mut blobs = self.blobs.write();
+        match blobs.get_mut(&id.0) {
+            Some(data) => {
+                let before = data.len() as u64;
+                mutate(data);
+                let after = data.len() as u64;
+                if after >= before {
+                    self.bytes.fetch_add(after - before, Ordering::Relaxed);
+                } else {
+                    self.bytes.fetch_sub(before - after, Ordering::Relaxed);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of blobs currently stored.
+    pub fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.read().is_empty()
+    }
+
+    /// Total bytes currently stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mem = UntrustedMemory::new();
+        let id = mem.store(vec![1, 2, 3]);
+        assert_eq!(mem.load(id), Some(vec![1, 2, 3]));
+        assert_eq!(mem.len(), 1);
+        assert_eq!(mem.total_bytes(), 3);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mem = UntrustedMemory::new();
+        let a = mem.store(vec![1]);
+        let b = mem.store(vec![1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let mem = UntrustedMemory::new();
+        let id = mem.store(vec![0u8; 100]);
+        assert_eq!(mem.total_bytes(), 100);
+        assert_eq!(mem.remove(id), Some(vec![0u8; 100]));
+        assert_eq!(mem.total_bytes(), 0);
+        assert!(mem.is_empty());
+        assert_eq!(mem.load(id), None);
+    }
+
+    #[test]
+    fn tamper_mutates_in_place() {
+        let mem = UntrustedMemory::new();
+        let id = mem.store(vec![0u8; 4]);
+        assert!(mem.tamper(id, |d| d[0] = 0xFF));
+        assert_eq!(mem.load(id).unwrap()[0], 0xFF);
+        assert!(!mem.tamper(BlobId::from_raw(999), |_| {}));
+    }
+
+    #[test]
+    fn tamper_tracks_size_changes() {
+        let mem = UntrustedMemory::new();
+        let id = mem.store(vec![0u8; 10]);
+        mem.tamper(id, |d| d.truncate(4));
+        assert_eq!(mem.total_bytes(), 4);
+        mem.tamper(id, |d| d.extend_from_slice(&[1u8; 16]));
+        assert_eq!(mem.total_bytes(), 20);
+    }
+
+    #[test]
+    fn blob_id_raw_roundtrip() {
+        let id = BlobId::from_raw(42);
+        assert_eq!(id.raw(), 42);
+    }
+}

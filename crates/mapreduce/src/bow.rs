@@ -1,0 +1,238 @@
+//! The bag-of-words job (`bow_mapper` in the paper's Fig. 4): tokenize web
+//! pages, strip markup, count word occurrences.
+
+use crate::framework::{run_job, Job, JobConfig};
+
+/// Bag-of-words configuration.
+#[derive(Clone, Debug)]
+pub struct BowConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Drop words shorter than this many bytes.
+    pub min_word_len: usize,
+    /// Lowercase tokens before counting.
+    pub lowercase: bool,
+}
+
+impl Default for BowConfig {
+    fn default() -> Self {
+        BowConfig { workers: 4, min_word_len: 1, lowercase: true }
+    }
+}
+
+/// Tokenizes one document: strips `<...>` markup spans, splits on
+/// non-alphanumeric bytes, optionally lowercases.
+pub fn tokenize(document: &str, config: &BowConfig) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_tag = false;
+    for ch in document.chars() {
+        match ch {
+            '<' => {
+                in_tag = true;
+                flush(&mut current, &mut tokens, config);
+            }
+            '>' if in_tag => in_tag = false,
+            _ if in_tag => {}
+            c if c.is_alphanumeric() => {
+                if config.lowercase {
+                    current.extend(c.to_lowercase());
+                } else {
+                    current.push(c);
+                }
+            }
+            _ => flush(&mut current, &mut tokens, config),
+        }
+    }
+    flush(&mut current, &mut tokens, config);
+    tokens
+}
+
+fn flush(current: &mut String, tokens: &mut Vec<String>, config: &BowConfig) {
+    if current.len() >= config.min_word_len && !current.is_empty() {
+        tokens.push(std::mem::take(current));
+    } else {
+        current.clear();
+    }
+}
+
+struct BowJob<'a> {
+    config: &'a BowConfig,
+}
+
+impl Job for BowJob<'_> {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+
+    fn map(&self, input: &String, emit: &mut dyn FnMut(String, u64)) {
+        for token in tokenize(input, self.config) {
+            emit(token, 1);
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn reduce(&self, _key: &String, values: Vec<u64>) -> u64 {
+        values.into_iter().sum()
+    }
+}
+
+/// Computes the bag-of-words of `documents`: `(word, count)` sorted by
+/// word.
+pub fn bag_of_words(documents: &[String], config: &BowConfig) -> Vec<(String, u64)> {
+    run_job(
+        &BowJob { config },
+        documents,
+        &JobConfig { map_workers: config.workers, reduce_partitions: config.workers },
+    )
+}
+
+/// Serializes a BoW result compactly (for dedup storage).
+pub fn counts_to_bytes(counts: &[(String, u64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(counts.len() as u32).to_le_bytes());
+    for (word, count) in counts {
+        out.extend_from_slice(&(word.len() as u32).to_le_bytes());
+        out.extend_from_slice(word.as_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+    }
+    out
+}
+
+/// Parses bytes produced by [`counts_to_bytes`]. Returns `None` on
+/// malformed input.
+pub fn counts_from_bytes(bytes: &[u8]) -> Option<Vec<(String, u64)>> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let out = bytes.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(out)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let mut counts = Vec::with_capacity(count.min(65536));
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let word = String::from_utf8(take(&mut pos, len)?.to_vec()).ok()?;
+        let value = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        counts.push((word, value));
+    }
+    (pos == bytes.len()).then_some(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn counts_words_across_documents() {
+        let counts = bag_of_words(
+            &docs(&["apple banana apple", "banana cherry"]),
+            &BowConfig::default(),
+        );
+        assert_eq!(
+            counts,
+            vec![
+                ("apple".to_string(), 2),
+                ("banana".to_string(), 2),
+                ("cherry".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn html_markup_is_stripped() {
+        let counts = bag_of_words(
+            &docs(&["<html><body class=\"x\">hello world</body></html>"]),
+            &BowConfig::default(),
+        );
+        let words: Vec<&str> = counts.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn lowercase_folding() {
+        let counts = bag_of_words(&docs(&["Rust RUST rust"]), &BowConfig::default());
+        assert_eq!(counts, vec![("rust".to_string(), 3)]);
+        let sensitive = bag_of_words(
+            &docs(&["Rust rust"]),
+            &BowConfig { lowercase: false, ..BowConfig::default() },
+        );
+        assert_eq!(sensitive.len(), 2);
+    }
+
+    #[test]
+    fn min_word_length_filters() {
+        let counts = bag_of_words(
+            &docs(&["a an the elephant"]),
+            &BowConfig { min_word_len: 3, ..BowConfig::default() },
+        );
+        let words: Vec<&str> = counts.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, vec!["elephant", "the"]);
+    }
+
+    #[test]
+    fn punctuation_splits_tokens() {
+        let tokens = tokenize("hello,world!foo-bar", &BowConfig::default());
+        assert_eq!(tokens, vec!["hello", "world", "foo", "bar"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let tokens = tokenize("naïve café ΣΟΦΙΑ", &BowConfig::default());
+        assert_eq!(tokens, vec!["naïve", "café", "σοφια"]);
+    }
+
+    #[test]
+    fn empty_documents() {
+        assert!(bag_of_words(&[], &BowConfig::default()).is_empty());
+        assert!(bag_of_words(&docs(&["", "<x>"]), &BowConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let documents: Vec<String> = (0..50)
+            .map(|i| format!("word{} shared common word{}", i % 5, i % 11))
+            .collect();
+        let reference =
+            bag_of_words(&documents, &BowConfig { workers: 1, ..BowConfig::default() });
+        for workers in [2, 4, 8] {
+            let result =
+                bag_of_words(&documents, &BowConfig { workers, ..BowConfig::default() });
+            assert_eq!(result, reference);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let counts = vec![
+            ("alpha".to_string(), 3u64),
+            ("beta".to_string(), 1),
+            ("γάμμα".to_string(), 9999),
+        ];
+        let bytes = counts_to_bytes(&counts);
+        assert_eq!(counts_from_bytes(&bytes).unwrap(), counts);
+    }
+
+    #[test]
+    fn serialization_rejects_malformed() {
+        assert!(counts_from_bytes(&[1, 2]).is_none());
+        let mut bytes = counts_to_bytes(&[("x".to_string(), 1)]);
+        bytes.push(0);
+        assert!(counts_from_bytes(&bytes).is_none());
+        bytes.pop();
+        bytes.pop();
+        assert!(counts_from_bytes(&bytes).is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! The generic map/shuffle/reduce execution engine.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::Mutex;
+
+/// A MapReduce job definition.
+///
+/// `map` emits key/value pairs per input; `combine` (optional) folds values
+/// worker-locally before the shuffle; `reduce` folds all values of one key
+/// into the output.
+pub trait Job: Sync {
+    /// One input record (a document, a file, a packet trace…).
+    type Input: Sync;
+    /// Intermediate key.
+    type Key: Ord + Hash + Clone + Send;
+    /// Intermediate value.
+    type Value: Send;
+    /// Final per-key output.
+    type Output: Send;
+
+    /// Emits intermediate pairs for one input.
+    fn map(&self, input: &Self::Input, emit: &mut dyn FnMut(Self::Key, Self::Value));
+
+    /// Whether this job defines a combiner. When `true`,
+    /// [`combine`](Job::combine) must be implemented and must be
+    /// associative and commutative.
+    fn has_combiner(&self) -> bool {
+        false
+    }
+
+    /// Folds two intermediate values worker-locally (the combiner). Only
+    /// called when [`has_combiner`](Job::has_combiner) returns `true`.
+    fn combine(&self, _a: Self::Value, b: Self::Value) -> Self::Value {
+        b
+    }
+
+    /// Folds all values of `key` into the final output.
+    fn reduce(&self, key: &Self::Key, values: Vec<Self::Value>) -> Self::Output;
+}
+
+/// Execution configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct JobConfig {
+    /// Worker threads for the map phase (≥1).
+    pub map_workers: usize,
+    /// Reduce partitions processed in parallel (≥1).
+    pub reduce_partitions: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig { map_workers: 4, reduce_partitions: 4 }
+    }
+}
+
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % partitions as u64) as usize
+}
+
+/// Runs `job` over `inputs`, returning `(key, output)` pairs sorted by key.
+///
+/// Deterministic: the output is independent of worker count and scheduling
+/// (values are gathered in input order within each partition before
+/// reducing when no combiner is used; with a combiner, the combine
+/// operation is expected to be associative and commutative).
+pub fn run_job<J: Job>(
+    job: &J,
+    inputs: &[J::Input],
+    config: &JobConfig,
+) -> Vec<(J::Key, J::Output)> {
+    let map_workers = config.map_workers.max(1);
+    let partitions = config.reduce_partitions.max(1);
+
+    // Map phase: workers claim input chunks and build per-partition maps.
+    // Values are tagged with input index so shuffle output is
+    // deterministic regardless of worker interleaving.
+    type Tagged<V> = (usize, V);
+    let partition_tables: Vec<Mutex<HashMap<J::Key, Vec<Tagged<J::Value>>>>> =
+        (0..partitions).map(|_| Mutex::new(HashMap::new())).collect();
+
+    let chunk_size = inputs.len().div_ceil(map_workers).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (worker_idx, chunk) in inputs.chunks(chunk_size).enumerate() {
+            let tables = &partition_tables;
+            scope.spawn(move |_| {
+                let base = worker_idx * chunk_size;
+                // Worker-local accumulation to keep lock contention low.
+                let mut local: Vec<HashMap<J::Key, Vec<Tagged<J::Value>>>> =
+                    (0..partitions).map(|_| HashMap::new()).collect();
+                for (offset, input) in chunk.iter().enumerate() {
+                    let input_idx = base + offset;
+                    let combining = job.has_combiner();
+                    job.map(input, &mut |key, value| {
+                        let p = partition_of(&key, partitions);
+                        let slot = local[p].entry(key).or_default();
+                        match slot.pop() {
+                            Some((_, last)) if combining => {
+                                slot.push((input_idx, job.combine(last, value)));
+                            }
+                            Some(previous) => {
+                                slot.push(previous);
+                                slot.push((input_idx, value));
+                            }
+                            None => slot.push((input_idx, value)),
+                        }
+                    });
+                }
+                for (p, table) in local.into_iter().enumerate() {
+                    let mut shared = tables[p].lock();
+                    for (key, mut values) in table {
+                        shared.entry(key).or_default().append(&mut values);
+                    }
+                }
+            });
+        }
+    })
+    .expect("map worker panicked");
+
+    // Reduce phase: partitions in parallel.
+    let results: Vec<Mutex<Vec<(J::Key, J::Output)>>> =
+        (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
+    crossbeam::thread::scope(|scope| {
+        for (p, table) in partition_tables.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let table = std::mem::take(&mut *table.lock());
+                let mut out = Vec::with_capacity(table.len());
+                for (key, mut tagged) in table {
+                    // Deterministic value order: by input index.
+                    tagged.sort_by_key(|(idx, _)| *idx);
+                    let values = tagged.into_iter().map(|(_, v)| v).collect();
+                    let output = job.reduce(&key, values);
+                    out.push((key, output));
+                }
+                *results[p].lock() = out;
+            });
+        }
+    })
+    .expect("reduce worker panicked");
+
+    let mut merged: Vec<(J::Key, J::Output)> =
+        results.into_iter().flat_map(|m| m.into_inner()).collect();
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct WordCount;
+
+    impl Job for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+
+        fn map(&self, input: &String, emit: &mut dyn FnMut(String, u64)) {
+            for word in input.split_whitespace() {
+                emit(word.to_string(), 1);
+            }
+        }
+
+        fn has_combiner(&self) -> bool {
+            true
+        }
+
+        fn combine(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+
+        fn reduce(&self, _key: &String, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+    }
+
+    /// A job without a combiner, to exercise the value-gathering path.
+    struct Concatenate;
+
+    impl Job for Concatenate {
+        type Input = (String, String);
+        type Key = String;
+        type Value = String;
+        type Output = String;
+
+        fn map(&self, input: &(String, String), emit: &mut dyn FnMut(String, String)) {
+            emit(input.0.clone(), input.1.clone());
+        }
+
+        fn reduce(&self, _key: &String, values: Vec<String>) -> String {
+            values.join(",")
+        }
+    }
+
+    #[test]
+    fn word_count_basics() {
+        let inputs =
+            vec!["a b a".to_string(), "b c".to_string(), "a".to_string()];
+        let counts = run_job(&WordCount, &inputs, &JobConfig::default());
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let counts = run_job(&WordCount, &[], &JobConfig::default());
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn output_independent_of_worker_count() {
+        let inputs: Vec<String> = (0..100)
+            .map(|i| format!("w{} w{} shared", i % 7, i % 3))
+            .collect();
+        let reference = run_job(
+            &WordCount,
+            &inputs,
+            &JobConfig { map_workers: 1, reduce_partitions: 1 },
+        );
+        for workers in [2, 3, 8] {
+            for partitions in [1, 2, 5] {
+                let result = run_job(
+                    &WordCount,
+                    &inputs,
+                    &JobConfig { map_workers: workers, reduce_partitions: partitions },
+                );
+                assert_eq!(result, reference, "{workers} workers, {partitions} parts");
+            }
+        }
+    }
+
+    #[test]
+    fn no_combiner_preserves_input_order() {
+        let inputs = vec![
+            ("k".to_string(), "first".to_string()),
+            ("k".to_string(), "second".to_string()),
+            ("other".to_string(), "x".to_string()),
+            ("k".to_string(), "third".to_string()),
+        ];
+        for workers in [1, 2, 4] {
+            let result = run_job(
+                &Concatenate,
+                &inputs,
+                &JobConfig { map_workers: workers, reduce_partitions: 3 },
+            );
+            let k = result.iter().find(|(key, _)| key == "k").unwrap();
+            assert_eq!(k.1, "first,second,third", "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_inputs() {
+        let inputs = vec!["solo".to_string()];
+        let counts = run_job(
+            &WordCount,
+            &inputs,
+            &JobConfig { map_workers: 16, reduce_partitions: 16 },
+        );
+        assert_eq!(counts, vec![("solo".to_string(), 1)]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Inverted-index construction — the paper's §I "index building for fast
+//! queries" workload, as a second MapReduce job over the same framework.
+
+use crate::bow::{tokenize, BowConfig};
+use crate::framework::{run_job, Job, JobConfig};
+
+/// One posting: which document, how many occurrences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// Document index in the input batch.
+    pub doc: u32,
+    /// Occurrences of the term in that document.
+    pub count: u32,
+}
+
+/// An inverted index: term → postings sorted by document.
+pub type InvertedIndex = Vec<(String, Vec<Posting>)>;
+
+struct IndexJob<'a> {
+    config: &'a BowConfig,
+}
+
+impl Job for IndexJob<'_> {
+    type Input = (u32, String);
+    type Key = String;
+    type Value = Posting;
+    type Output = Vec<Posting>;
+
+    fn map(&self, input: &(u32, String), emit: &mut dyn FnMut(String, Posting)) {
+        let (doc, text) = input;
+        let mut counts: std::collections::HashMap<String, u32> =
+            std::collections::HashMap::new();
+        for token in tokenize(text, self.config) {
+            *counts.entry(token).or_insert(0) += 1;
+        }
+        for (term, count) in counts {
+            emit(term, Posting { doc: *doc, count });
+        }
+    }
+
+    fn reduce(&self, _key: &String, mut values: Vec<Posting>) -> Vec<Posting> {
+        values.sort_by_key(|p| p.doc);
+        values
+    }
+}
+
+/// Builds an inverted index over `documents` (terms sorted, postings
+/// sorted by document id).
+pub fn inverted_index(
+    documents: &[String],
+    config: &BowConfig,
+) -> InvertedIndex {
+    let inputs: Vec<(u32, String)> = documents
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i as u32, d.clone()))
+        .collect();
+    run_job(
+        &IndexJob { config },
+        &inputs,
+        &JobConfig { map_workers: config.workers, reduce_partitions: config.workers },
+    )
+}
+
+/// Looks up the documents containing `term` in an index built by
+/// [`inverted_index`]. Returns an empty slice for absent terms.
+pub fn lookup<'a>(index: &'a InvertedIndex, term: &str) -> &'a [Posting] {
+    match index.binary_search_by(|(t, _)| t.as_str().cmp(term)) {
+        Ok(at) => &index[at].1,
+        Err(_) => &[],
+    }
+}
+
+/// TF-IDF score of `term` in document `doc` against an index over
+/// `total_docs` documents. Zero when the term or document is absent.
+pub fn tf_idf(index: &InvertedIndex, term: &str, doc: u32, total_docs: usize) -> f64 {
+    let postings = lookup(index, term);
+    if postings.is_empty() || total_docs == 0 {
+        return 0.0;
+    }
+    let tf = postings
+        .iter()
+        .find(|p| p.doc == doc)
+        .map_or(0.0, |p| f64::from(p.count));
+    if tf == 0.0 {
+        return 0.0;
+    }
+    let idf = (total_docs as f64 / postings.len() as f64).ln().max(0.0);
+    tf * idf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn config() -> BowConfig {
+        BowConfig::default()
+    }
+
+    #[test]
+    fn postings_track_documents_and_counts() {
+        let index = inverted_index(
+            &docs(&["apple banana apple", "banana", "cherry apple"]),
+            &config(),
+        );
+        let apple = lookup(&index, "apple");
+        assert_eq!(
+            apple,
+            &[Posting { doc: 0, count: 2 }, Posting { doc: 2, count: 1 }]
+        );
+        let banana = lookup(&index, "banana");
+        assert_eq!(banana.len(), 2);
+        assert!(lookup(&index, "durian").is_empty());
+    }
+
+    #[test]
+    fn terms_are_sorted_for_binary_search() {
+        let index = inverted_index(&docs(&["zebra apple mango"]), &config());
+        let terms: Vec<&str> = index.iter().map(|(t, _)| t.as_str()).collect();
+        let mut sorted = terms.clone();
+        sorted.sort_unstable();
+        assert_eq!(terms, sorted);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let documents: Vec<String> =
+            (0..40).map(|i| format!("term{} shared word{}", i % 7, i % 3)).collect();
+        let reference = inverted_index(
+            &documents,
+            &BowConfig { workers: 1, ..BowConfig::default() },
+        );
+        for workers in [2, 4] {
+            let result = inverted_index(
+                &documents,
+                &BowConfig { workers, ..BowConfig::default() },
+            );
+            assert_eq!(result, reference);
+        }
+    }
+
+    #[test]
+    fn tf_idf_prefers_rare_terms() {
+        // "common" appears everywhere (idf = ln(1) = 0); "rare" once.
+        let index = inverted_index(
+            &docs(&["common rare", "common", "common", "common"]),
+            &config(),
+        );
+        assert_eq!(tf_idf(&index, "common", 0, 4), 0.0);
+        assert!(tf_idf(&index, "rare", 0, 4) > 1.0);
+        assert_eq!(tf_idf(&index, "rare", 1, 4), 0.0);
+        assert_eq!(tf_idf(&index, "missing", 0, 4), 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_empty_index() {
+        assert!(inverted_index(&[], &config()).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! A threaded MapReduce framework with a bag-of-words job — the
+//! reproduction's stand-in for the `mapreduce` C++ library whose
+//! `Mapper(·)` the SPEED paper customizes into `bow_mapper(·)` (use case 4,
+//! §V-A: BoW over 300,000 CommonCrawl web pages).
+//!
+//! The framework ([`run_job`]) is generic: a [`Job`] defines `map`,
+//! optional `combine`, and `reduce`; execution fans map tasks across worker
+//! threads (crossbeam scoped threads), shuffles by key hash, and reduces
+//! partitions in parallel — the same structure as the paper's library.
+//!
+//! # Example
+//!
+//! ```
+//! use speed_mapreduce::{bag_of_words, BowConfig};
+//!
+//! let pages = vec![
+//!     "<html><body>the quick brown fox</body></html>".to_string(),
+//!     "the lazy dog and the quick fox".to_string(),
+//! ];
+//! let counts = bag_of_words(&pages, &BowConfig::default());
+//! let the = counts.iter().find(|(w, _)| w == "the").unwrap();
+//! assert_eq!(the.1, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bow;
+mod framework;
+mod index;
+
+pub use bow::{bag_of_words, counts_from_bytes, counts_to_bytes, tokenize, BowConfig};
+pub use framework::{run_job, Job, JobConfig};
+pub use index::{inverted_index, lookup, tf_idf, InvertedIndex, Posting};

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from pattern compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatcherError {
+    /// A regex pattern failed to parse.
+    BadPattern {
+        /// The offending pattern.
+        pattern: String,
+        /// Byte offset of the problem.
+        at: usize,
+        /// What went wrong.
+        why: String,
+    },
+    /// A rule set contained a duplicate rule id.
+    DuplicateRuleId(u32),
+    /// An empty literal pattern (would match everywhere).
+    EmptyPattern,
+}
+
+impl fmt::Display for MatcherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatcherError::BadPattern { pattern, at, why } => {
+                write!(f, "bad pattern `{pattern}` at byte {at}: {why}")
+            }
+            MatcherError::DuplicateRuleId(id) => write!(f, "duplicate rule id {id}"),
+            MatcherError::EmptyPattern => write!(f, "empty literal pattern"),
+        }
+    }
+}
+
+impl Error for MatcherError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let err = MatcherError::BadPattern {
+            pattern: "a(".into(),
+            at: 2,
+            why: "unclosed group".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("a("));
+        assert!(msg.contains("unclosed group"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Multi-pattern matching — the reproduction's stand-in for `libpcre`'s
+//! `pcre_exec(·)` driven by Snort rules (use case 3 of the SPEED paper,
+//! §V-A: "over 4 million valid network packets […] and over 3,700 patterns
+//! from Snort rules").
+//!
+//! Two engines compose, as in real intrusion-detection pipelines:
+//!
+//! - [`AhoCorasick`] — a failure-link automaton matching thousands of
+//!   literal patterns in one pass over the payload.
+//! - [`Regex`] — a backtracking engine for a PCRE subset (literals, `.`,
+//!   classes, escapes, `*` `+` `?` quantifiers, alternation, groups,
+//!   anchors), used for rules that need more than literals.
+//! - [`RuleSet`] — Snort-style rules mixing both kinds, with a
+//!   [`RuleSet::scan`] entry point whose cost is linear in
+//!   `rules × payload` for the regex part — the expensive, highly
+//!   deduplicable computation of Fig. 5c.
+//!
+//! # Example
+//!
+//! ```
+//! use speed_matcher::{Rule, RuleSet};
+//!
+//! let rules = RuleSet::compile(vec![
+//!     Rule::literal(1, "cmd.exe"),
+//!     Rule::regex(2, r"GET /admin/.*\.php").unwrap(),
+//! ])
+//! .unwrap();
+//! let matches = rules.scan(b"GET /admin/login.php HTTP/1.1");
+//! assert_eq!(matches.len(), 1);
+//! assert_eq!(matches[0].rule_id, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aho;
+mod error;
+mod regex;
+mod rules;
+
+pub use aho::{AhoCorasick, LiteralMatch};
+pub use error::MatcherError;
+pub use regex::Regex;
+pub use rules::{Rule, RuleMatch, RuleSet};

@@ -1,0 +1,768 @@
+//! A backtracking regex engine for a PCRE subset.
+//!
+//! Supported syntax: literals, `.`, character classes (`[a-z]`, `[^0-9]`),
+//! escapes (`\d \D \w \W \s \S \n \r \t \xHH` and escaped metacharacters),
+//! quantifiers `*` `+` `?` `{m}` `{m,}` `{m,n}` (greedy), alternation `|`,
+//! non-capturing groups `(...)`, and anchors `^` `$`.
+//!
+//! Patterns compile to a small instruction set executed by a backtracking
+//! VM with an explicit stack and a step budget (hostile patterns cannot
+//! hang the scanner — they run out of budget and report "no match").
+
+use crate::error::MatcherError;
+
+const MAX_REPEAT_EXPANSION: u32 = 256;
+const STEP_BUDGET_PER_BYTE: usize = 512;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ClassSpec {
+    negated: bool,
+    ranges: Vec<(u8, u8)>,
+}
+
+impl ClassSpec {
+    fn matches(&self, byte: u8) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= byte && byte <= hi);
+        inside != self.negated
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Inst {
+    Char(u8),
+    Any,
+    Class(u16),
+    Split(u32, u32),
+    Jmp(u32),
+    AnchorStart,
+    AnchorEnd,
+    Accept,
+}
+
+/// A compiled regular expression.
+///
+/// # Example
+///
+/// ```
+/// use speed_matcher::Regex;
+///
+/// let re = Regex::new(r"^GET /[a-z]+\.(php|cgi)").unwrap();
+/// assert!(re.is_match(b"GET /index.php HTTP/1.1"));
+/// assert!(!re.is_match(b"POST /index.php HTTP/1.1"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Regex {
+    pattern: String,
+    program: Vec<Inst>,
+    classes: Vec<ClassSpec>,
+    anchored_start: bool,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    classes: Vec<ClassSpec>,
+}
+
+#[derive(Clone, Debug)]
+enum Ast {
+    Empty,
+    Literal(u8),
+    Any,
+    Class(u16),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    AnchorStart,
+    AnchorEnd,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, why: impl Into<String>) -> MatcherError {
+        MatcherError::BadPattern {
+            pattern: String::from_utf8_lossy(self.bytes).into_owned(),
+            at: self.pos,
+            why: why.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        Some(byte)
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, MatcherError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, MatcherError> {
+        let mut parts = Vec::new();
+        while let Some(byte) = self.peek() {
+            if byte == b'|' || byte == b')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, MatcherError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                (0, None)
+            }
+            Some(b'+') => {
+                self.bump();
+                (1, None)
+            }
+            Some(b'?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                self.bump();
+                let (min, max) = self.parse_bounds()?;
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::AnchorStart | Ast::AnchorEnd) {
+            return Err(self.error("quantifier on anchor"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.error("repeat bound max < min"));
+            }
+            if max > MAX_REPEAT_EXPANSION {
+                return Err(self.error("repeat bound too large"));
+            }
+        }
+        if min > MAX_REPEAT_EXPANSION {
+            return Err(self.error("repeat bound too large"));
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), MatcherError> {
+        let min = self.parse_number()?;
+        match self.bump() {
+            Some(b'}') => Ok((min, Some(min))),
+            Some(b',') => {
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    Ok((min, None))
+                } else {
+                    let max = self.parse_number()?;
+                    match self.bump() {
+                        Some(b'}') => Ok((min, Some(max))),
+                        _ => Err(self.error("expected `}` after repeat bounds")),
+                    }
+                }
+            }
+            _ => Err(self.error("expected `,` or `}` in repeat bounds")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, MatcherError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf-8")
+            .parse()
+            .map_err(|_| self.error("number too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, MatcherError> {
+        match self.bump().ok_or_else(|| self.error("unexpected end of pattern"))? {
+            b'(' => {
+                // Accept non-capturing prefix `?:` for PCRE compatibility.
+                if self.peek() == Some(b'?') {
+                    self.bump();
+                    if self.bump() != Some(b':') {
+                        return Err(self.error("only (?:...) groups supported"));
+                    }
+                }
+                let inner = self.parse_alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.error("unclosed group"));
+                }
+                Ok(inner)
+            }
+            b')' => Err(self.error("unmatched `)`")),
+            b'[' => {
+                let class = self.parse_class()?;
+                Ok(self.intern_class(class))
+            }
+            b'.' => Ok(Ast::Any),
+            b'^' => Ok(Ast::AnchorStart),
+            b'$' => Ok(Ast::AnchorEnd),
+            b'\\' => {
+                let class_or_literal = self.parse_escape()?;
+                Ok(class_or_literal)
+            }
+            b'*' | b'+' | b'?' => Err(self.error("quantifier with nothing to repeat")),
+            byte => Ok(Ast::Literal(byte)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, MatcherError> {
+        let byte = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+        Ok(match byte {
+            b'd' => self.intern_class(ClassSpec { negated: false, ranges: vec![(b'0', b'9')] }),
+            b'D' => self.intern_class(ClassSpec { negated: true, ranges: vec![(b'0', b'9')] }),
+            b'w' => self.intern_class(ClassSpec {
+                negated: false,
+                ranges: word_ranges(),
+            }),
+            b'W' => self.intern_class(ClassSpec { negated: true, ranges: word_ranges() }),
+            b's' => self.intern_class(ClassSpec {
+                negated: false,
+                ranges: space_ranges(),
+            }),
+            b'S' => self.intern_class(ClassSpec { negated: true, ranges: space_ranges() }),
+            b'n' => Ast::Literal(b'\n'),
+            b'r' => Ast::Literal(b'\r'),
+            b't' => Ast::Literal(b'\t'),
+            b'0' => Ast::Literal(0),
+            b'x' => {
+                let hi = self.bump().ok_or_else(|| self.error("truncated \\x escape"))?;
+                let lo = self.bump().ok_or_else(|| self.error("truncated \\x escape"))?;
+                let value = (hex_value(hi).ok_or_else(|| self.error("bad hex digit"))?
+                    << 4)
+                    | hex_value(lo).ok_or_else(|| self.error("bad hex digit"))?;
+                Ast::Literal(value)
+            }
+            other => Ast::Literal(other),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<ClassSpec, MatcherError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let byte = self.bump().ok_or_else(|| self.error("unclosed class"))?;
+            if byte == b']' {
+                if ranges.is_empty() {
+                    // PCRE treats a leading `]` as a literal.
+                    ranges.push((b']', b']'));
+                    continue;
+                }
+                break;
+            }
+            let lo = if byte == b'\\' {
+                match self.parse_escape()? {
+                    Ast::Literal(b) => ClassAtom::Byte(b),
+                    Ast::Class(idx) => ClassAtom::Nested(idx),
+                    _ => return Err(self.error("bad class escape")),
+                }
+            } else {
+                ClassAtom::Byte(byte)
+            };
+            match lo {
+                ClassAtom::Nested(idx) => {
+                    // Fold a nested \d/\w/\s into this class's ranges.
+                    let nested = self.classes[usize::from(idx)].clone();
+                    if nested.negated {
+                        return Err(self.error("negated escape inside class"));
+                    }
+                    ranges.extend(nested.ranges);
+                }
+                ClassAtom::Byte(lo) => {
+                    if self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).copied() != Some(b']')
+                        && self.bytes.get(self.pos + 1).is_some()
+                    {
+                        self.bump();
+                        let hi_byte =
+                            self.bump().ok_or_else(|| self.error("unclosed range"))?;
+                        let hi = if hi_byte == b'\\' {
+                            match self.parse_escape()? {
+                                Ast::Literal(b) => b,
+                                _ => return Err(self.error("bad range bound")),
+                            }
+                        } else {
+                            hi_byte
+                        };
+                        if hi < lo {
+                            return Err(self.error("reversed range"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        Ok(ClassSpec { negated, ranges })
+    }
+
+    fn intern_class(&mut self, class: ClassSpec) -> Ast {
+        let idx = self.classes.len() as u16;
+        self.classes.push(class);
+        Ast::Class(idx)
+    }
+}
+
+enum ClassAtom {
+    Byte(u8),
+    Nested(u16),
+}
+
+fn word_ranges() -> Vec<(u8, u8)> {
+    vec![(b'a', b'z'), (b'A', b'Z'), (b'0', b'9'), (b'_', b'_')]
+}
+
+fn space_ranges() -> Vec<(u8, u8)> {
+    vec![(b' ', b' '), (b'\t', b'\t'), (b'\n', b'\n'), (b'\r', b'\r'), (0x0B, 0x0C)]
+}
+
+fn hex_value(byte: u8) -> Option<u8> {
+    match byte {
+        b'0'..=b'9' => Some(byte - b'0'),
+        b'a'..=b'f' => Some(byte - b'a' + 10),
+        b'A'..=b'F' => Some(byte - b'A' + 10),
+        _ => None,
+    }
+}
+
+struct Compiler {
+    program: Vec<Inst>,
+}
+
+impl Compiler {
+    fn emit(&mut self, inst: Inst) -> u32 {
+        self.program.push(inst);
+        (self.program.len() - 1) as u32
+    }
+
+    fn compile(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(b) => {
+                self.emit(Inst::Char(*b));
+            }
+            Ast::Any => {
+                self.emit(Inst::Any);
+            }
+            Ast::Class(idx) => {
+                self.emit(Inst::Class(*idx));
+            }
+            Ast::AnchorStart => {
+                self.emit(Inst::AnchorStart);
+            }
+            Ast::AnchorEnd => {
+                self.emit(Inst::AnchorEnd);
+            }
+            Ast::Concat(parts) => {
+                for part in parts {
+                    self.compile(part);
+                }
+            }
+            Ast::Alt(branches) => {
+                // split b1, split b2, ... with jumps to the join point.
+                let mut jumps = Vec::new();
+                for (i, branch) in branches.iter().enumerate() {
+                    if i + 1 < branches.len() {
+                        let split = self.emit(Inst::Split(0, 0));
+                        self.compile(branch);
+                        jumps.push(self.emit(Inst::Jmp(0)));
+                        let next = self.program.len() as u32;
+                        self.program[split as usize] = Inst::Split(split + 1, next);
+                    } else {
+                        self.compile(branch);
+                    }
+                }
+                let join = self.program.len() as u32;
+                for jump in jumps {
+                    self.program[jump as usize] = Inst::Jmp(join);
+                }
+            }
+            Ast::Repeat { node, min, max } => {
+                // Mandatory copies.
+                for _ in 0..*min {
+                    self.compile(node);
+                }
+                match max {
+                    None => {
+                        // Greedy loop: split(body, exit); body; jmp split.
+                        let split = self.emit(Inst::Split(0, 0));
+                        self.compile(node);
+                        self.emit(Inst::Jmp(split));
+                        let exit = self.program.len() as u32;
+                        self.program[split as usize] = Inst::Split(split + 1, exit);
+                    }
+                    Some(max) => {
+                        // Optional copies: each guarded by a split to exit.
+                        let mut splits = Vec::new();
+                        for _ in *min..*max {
+                            splits.push(self.emit(Inst::Split(0, 0)));
+                            self.compile(node);
+                        }
+                        let exit = self.program.len() as u32;
+                        for split in splits {
+                            self.program[split as usize] = Inst::Split(split + 1, exit);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatcherError::BadPattern`] with the byte offset of the
+    /// problem.
+    pub fn new(pattern: &str) -> Result<Self, MatcherError> {
+        let mut parser = Parser { bytes: pattern.as_bytes(), pos: 0, classes: Vec::new() };
+        let ast = parser.parse_alternation()?;
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters (unmatched `)`?)"));
+        }
+        let mut compiler = Compiler { program: Vec::new() };
+        compiler.compile(&ast);
+        compiler.emit(Inst::Accept);
+        let anchored_start = matches!(compiler.program.first(), Some(Inst::AnchorStart));
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program: compiler.program,
+            classes: parser.classes,
+            anchored_start,
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Returns whether the pattern matches anywhere in `haystack`
+    /// (unanchored search, like `pcre_exec`).
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// Finds the first match, returning `(start, end)` byte offsets.
+    pub fn find(&self, haystack: &[u8]) -> Option<(usize, usize)> {
+        let budget = STEP_BUDGET_PER_BYTE * (haystack.len() + 16);
+        let starts: Box<dyn Iterator<Item = usize>> = if self.anchored_start {
+            Box::new(std::iter::once(0))
+        } else {
+            Box::new(0..=haystack.len())
+        };
+        let mut steps = 0usize;
+        for start in starts {
+            if let Some(end) = self.match_at(haystack, start, &mut steps, budget) {
+                return Some((start, end));
+            }
+            if steps >= budget {
+                return None;
+            }
+        }
+        None
+    }
+
+    fn match_at(
+        &self,
+        haystack: &[u8],
+        start: usize,
+        steps: &mut usize,
+        budget: usize,
+    ) -> Option<usize> {
+        // Backtracking VM with an explicit stack of (pc, pos).
+        let mut stack: Vec<(u32, usize)> = vec![(0, start)];
+        while let Some((mut pc, mut pos)) = stack.pop() {
+            loop {
+                *steps += 1;
+                if *steps >= budget {
+                    return None;
+                }
+                match self.program[pc as usize] {
+                    Inst::Accept => return Some(pos),
+                    Inst::Char(expected) => {
+                        if haystack.get(pos) == Some(&expected) {
+                            pc += 1;
+                            pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Inst::Any => {
+                        if pos < haystack.len() {
+                            pc += 1;
+                            pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Inst::Class(idx) => {
+                        let matched = haystack
+                            .get(pos)
+                            .is_some_and(|&b| self.classes[usize::from(idx)].matches(b));
+                        if matched {
+                            pc += 1;
+                            pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Inst::AnchorStart => {
+                        if pos == 0 {
+                            pc += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Inst::AnchorEnd => {
+                        if pos == haystack.len() {
+                            pc += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Inst::Jmp(target) => pc = target,
+                    Inst::Split(primary, alternative) => {
+                        stack.push((alternative, pos));
+                        pc = primary;
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matches(pattern: &str, haystack: &str) -> bool {
+        Regex::new(pattern).unwrap().is_match(haystack.as_bytes())
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(matches("abc", "xxabcxx"));
+        assert!(!matches("abc", "ab c"));
+    }
+
+    #[test]
+    fn dot_matches_any_byte() {
+        assert!(matches("a.c", "abc"));
+        assert!(matches("a.c", "a\0c"));
+        assert!(!matches("a.c", "ac"));
+    }
+
+    #[test]
+    fn star_quantifier() {
+        assert!(matches("ab*c", "ac"));
+        assert!(matches("ab*c", "abbbbc"));
+        assert!(!matches("ab*c", "adc"));
+    }
+
+    #[test]
+    fn plus_quantifier() {
+        assert!(!matches("ab+c", "ac"));
+        assert!(matches("ab+c", "abc"));
+        assert!(matches("ab+c", "abbbc"));
+    }
+
+    #[test]
+    fn question_quantifier() {
+        assert!(matches("colou?r", "color"));
+        assert!(matches("colou?r", "colour"));
+        assert!(!matches("colou?r", "colouur"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        assert!(matches("a{3}", "aaa"));
+        assert!(!matches("^a{3}$", "aa"));
+        assert!(matches("a{2,4}", "aaa"));
+        assert!(matches("^a{2,}$", "aaaaa"));
+        assert!(!matches("^a{2,4}$", "aaaaa"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(matches("cat|dog", "hotdog stand"));
+        assert!(matches("(ab|cd)+", "xxabcdab"));
+        assert!(matches("a(?:b|c)d", "acd"));
+        assert!(!matches("^(ab|cd)$", "ad"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(matches("[a-f]+", "deadbeef"));
+        assert!(!matches("^[a-f]+$", "xyz"));
+        assert!(matches("[^0-9]", "a"));
+        assert!(!matches("^[^0-9]+$", "123"));
+        assert!(matches("[]x]", "]")); // leading ] is literal
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(matches(r"\d+", "abc123"));
+        assert!(!matches(r"^\d+$", "abc"));
+        assert!(matches(r"\w+", "word_1"));
+        assert!(matches(r"\s", "a b"));
+        assert!(matches(r"\.", "a.b"));
+        assert!(!matches(r"^\.$", "x"));
+        assert!(matches(r"\x41", "A"));
+        assert!(matches(r"a\nb", "a\nb"));
+    }
+
+    #[test]
+    fn class_with_escape_inside() {
+        assert!(matches(r"^[\d\s]+$", "1 2 3"));
+        assert!(!matches(r"^[\d\s]+$", "1a2"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(matches("^start", "start of line"));
+        assert!(!matches("^start", "a start"));
+        assert!(matches("end$", "the end"));
+        assert!(!matches("end$", "end of story"));
+        assert!(matches("^exact$", "exact"));
+    }
+
+    #[test]
+    fn unanchored_find_positions() {
+        let re = Regex::new("world").unwrap();
+        assert_eq!(re.find(b"hello world"), Some((6, 11)));
+        assert_eq!(re.find(b"nothing"), None);
+    }
+
+    #[test]
+    fn greedy_matching_end() {
+        let re = Regex::new("a+").unwrap();
+        assert_eq!(re.find(b"caaat"), Some((1, 4)));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert!(matches("", ""));
+        assert!(matches("", "anything"));
+    }
+
+    #[test]
+    fn snort_like_patterns() {
+        assert!(matches(r"GET /.*\.php", "GET /admin/index.php HTTP/1.1"));
+        assert!(matches(
+            r"^User-Agent: (curl|wget)/\d",
+            "User-Agent: curl/7.88"
+        ));
+        let re = Regex::new(r"\x00\x01\x86\xa5").unwrap();
+        assert!(re.is_match(&[0x00, 0x01, 0x86, 0xa5, b'x']));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        for (pattern, fragment) in [
+            ("a(", "unclosed group"),
+            ("a)", "trailing"),
+            ("*a", "nothing to repeat"),
+            ("[a-", "unclosed"),
+            ("[z-a]", "reversed range"),
+            (r"\x4", "truncated"),
+            ("a{4,2}", "max < min"),
+            ("a{99999}", "too large"),
+        ] {
+            let err = Regex::new(pattern).unwrap_err();
+            match err {
+                MatcherError::BadPattern { why, .. } => {
+                    assert!(why.contains(fragment), "pattern {pattern}: {why}")
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pathological_pattern_terminates() {
+        // (a+)+b against aaaa…a — classic catastrophic backtracking; the
+        // step budget must keep this fast and return "no match".
+        let re = Regex::new("(a+)+b").unwrap();
+        let haystack = vec![b'a'; 64];
+        let start = std::time::Instant::now();
+        assert!(!re.is_match(&haystack));
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn alternation_binds_looser_than_concat() {
+        // `ab|cd` is (ab)|(cd), not a(b|c)d.
+        assert!(matches("^ab|cd$", "ab"));
+        assert!(matches("^ab|cd$", "cd"));
+        assert!(!matches("^(ab|cd)$", "ad"));
+        assert!(!matches("^(ab|cd)$", "abd"));
+    }
+
+    #[test]
+    fn nested_groups_with_quantifiers() {
+        assert!(matches("^(a(bc)*d)+$", "adabcd"));
+        assert!(matches("^(a(bc)*d)+$", "abcbcd"));
+        assert!(!matches("^(a(bc)*d)+$", "abcbc"));
+    }
+
+    #[test]
+    fn class_with_escaped_bounds() {
+        assert!(matches(r"^[\x30-\x39]+$", "0123456789"));
+        assert!(!matches(r"^[\x30-\x39]+$", "12a"));
+        assert!(matches(r"^[\t\n ]+$", " \t\n"));
+    }
+
+    #[test]
+    fn open_ended_bounded_repeat() {
+        assert!(matches("^a{3,}$", "aaaa"));
+        assert!(!matches("^a{3,}$", "aa"));
+    }
+
+    #[test]
+    fn dollar_inside_alternation() {
+        assert!(matches("end$|stop", "will stop now"));
+        assert!(matches("end$|stop", "the end"));
+        assert!(!matches("^(end$|stop)$", "endx"));
+    }
+
+    #[test]
+    fn binary_input_matching() {
+        let re = Regex::new(r"\x00{4}").unwrap();
+        assert!(re.is_match(&[1, 0, 0, 0, 0, 1]));
+        assert!(!re.is_match(&[1, 0, 0, 1]));
+    }
+}

@@ -1,0 +1,325 @@
+//! Snort-style rule sets combining literal and regex patterns.
+
+use std::collections::HashSet;
+
+use crate::aho::AhoCorasick;
+use crate::error::MatcherError;
+use crate::regex::Regex;
+
+/// One detection rule.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    id: u32,
+    kind: RuleKind,
+    message: String,
+}
+
+#[derive(Clone, Debug)]
+enum RuleKind {
+    Literal(Vec<u8>),
+    LiteralNoCase(Vec<u8>),
+    Regex(Regex),
+}
+
+impl Rule {
+    /// A literal content rule (Snort `content:"..."`).
+    pub fn literal(id: u32, content: impl AsRef<[u8]>) -> Self {
+        Rule {
+            id,
+            kind: RuleKind::Literal(content.as_ref().to_vec()),
+            message: String::new(),
+        }
+    }
+
+    /// A case-insensitive literal content rule (Snort
+    /// `content:"..."; nocase;`).
+    pub fn literal_nocase(id: u32, content: impl AsRef<[u8]>) -> Self {
+        Rule {
+            id,
+            kind: RuleKind::LiteralNoCase(content.as_ref().to_vec()),
+            message: String::new(),
+        }
+    }
+
+    /// A regex rule (Snort `pcre:"/.../"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatcherError::BadPattern`] if the pattern fails to compile.
+    pub fn regex(id: u32, pattern: &str) -> Result<Self, MatcherError> {
+        Ok(Rule { id, kind: RuleKind::Regex(Regex::new(pattern)?), message: String::new() })
+    }
+
+    /// Attaches a human-readable alert message.
+    pub fn with_message(mut self, message: impl Into<String>) -> Self {
+        self.message = message.into();
+        self
+    }
+
+    /// The rule id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The alert message (may be empty).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// One alert produced by a scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleMatch {
+    /// Which rule fired.
+    pub rule_id: u32,
+    /// Byte offset where the match ends (literals) or starts (regexes).
+    pub offset: usize,
+}
+
+/// A compiled rule set: case-sensitive and case-insensitive literals fused
+/// into two Aho-Corasick automata, regexes evaluated per rule — the
+/// standard IDS fast-path/slow-path split.
+#[derive(Clone, Debug)]
+pub struct RuleSet {
+    automaton: AhoCorasick,
+    literal_ids: Vec<u32>,
+    nocase_automaton: AhoCorasick,
+    nocase_ids: Vec<u32>,
+    regex_rules: Vec<(u32, Regex)>,
+    rule_count: usize,
+}
+
+impl RuleSet {
+    /// Compiles `rules` into a scanner.
+    ///
+    /// # Errors
+    ///
+    /// - [`MatcherError::DuplicateRuleId`] if two rules share an id.
+    /// - [`MatcherError::EmptyPattern`] for empty literal content.
+    pub fn compile(rules: Vec<Rule>) -> Result<Self, MatcherError> {
+        let mut seen = HashSet::new();
+        let mut literals = Vec::new();
+        let mut literal_ids = Vec::new();
+        let mut nocase_literals = Vec::new();
+        let mut nocase_ids = Vec::new();
+        let mut regex_rules = Vec::new();
+        let rule_count = rules.len();
+        for rule in rules {
+            if !seen.insert(rule.id) {
+                return Err(MatcherError::DuplicateRuleId(rule.id));
+            }
+            match rule.kind {
+                RuleKind::Literal(content) => {
+                    if content.is_empty() {
+                        return Err(MatcherError::EmptyPattern);
+                    }
+                    literals.push(content);
+                    literal_ids.push(rule.id);
+                }
+                RuleKind::LiteralNoCase(content) => {
+                    if content.is_empty() {
+                        return Err(MatcherError::EmptyPattern);
+                    }
+                    nocase_literals.push(content);
+                    nocase_ids.push(rule.id);
+                }
+                RuleKind::Regex(regex) => regex_rules.push((rule.id, regex)),
+            }
+        }
+        Ok(RuleSet {
+            automaton: AhoCorasick::new(&literals),
+            literal_ids,
+            nocase_automaton: AhoCorasick::with_case(&nocase_literals, true),
+            nocase_ids,
+            regex_rules,
+            rule_count,
+        })
+    }
+
+    /// Total number of rules.
+    pub fn len(&self) -> usize {
+        self.rule_count
+    }
+
+    /// Whether the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rule_count == 0
+    }
+
+    /// Scans `payload`, returning each fired rule once (first occurrence).
+    pub fn scan(&self, payload: &[u8]) -> Vec<RuleMatch> {
+        let mut fired = HashSet::new();
+        let mut out = Vec::new();
+        self.automaton.for_each_match(payload, |m| {
+            let id = self.literal_ids[m.pattern];
+            if fired.insert(id) {
+                out.push(RuleMatch { rule_id: id, offset: m.end });
+            }
+            true
+        });
+        self.nocase_automaton.for_each_match(payload, |m| {
+            let id = self.nocase_ids[m.pattern];
+            if fired.insert(id) {
+                out.push(RuleMatch { rule_id: id, offset: m.end });
+            }
+            true
+        });
+        for (id, regex) in &self.regex_rules {
+            if let Some((start, _)) = regex.find(payload) {
+                if fired.insert(*id) {
+                    out.push(RuleMatch { rule_id: *id, offset: start });
+                }
+            }
+        }
+        out.sort_by_key(|m| m.rule_id);
+        out
+    }
+
+    /// Scans a batch of packets, returning `(packet_index, matches)` for
+    /// packets that fired at least one rule — the virus-scanner workload of
+    /// the paper's evaluation.
+    pub fn scan_packets<'a>(
+        &self,
+        packets: impl IntoIterator<Item = &'a [u8]>,
+    ) -> Vec<(usize, Vec<RuleMatch>)> {
+        packets
+            .into_iter()
+            .enumerate()
+            .filter_map(|(idx, payload)| {
+                let matches = self.scan(payload);
+                (!matches.is_empty()).then_some((idx, matches))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ruleset() -> RuleSet {
+        RuleSet::compile(vec![
+            Rule::literal(1, "EICAR").with_message("test virus"),
+            Rule::literal(2, "cmd.exe"),
+            Rule::regex(3, r"SELECT .+ FROM .+ WHERE").unwrap(),
+            Rule::regex(4, r"^\x7fELF").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn literal_rules_fire() {
+        let rs = ruleset();
+        let matches = rs.scan(b"download cmd.exe now");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].rule_id, 2);
+    }
+
+    #[test]
+    fn regex_rules_fire() {
+        let rs = ruleset();
+        let matches = rs.scan(b"SELECT name FROM users WHERE id=1");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].rule_id, 3);
+    }
+
+    #[test]
+    fn anchored_regex_respects_position() {
+        let rs = ruleset();
+        assert_eq!(rs.scan(b"\x7fELF binary").len(), 1);
+        assert!(rs.scan(b"not \x7fELF").is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_fire_sorted() {
+        let rs = ruleset();
+        let matches = rs.scan(b"EICAR cmd.exe SELECT a FROM b WHERE c");
+        let ids: Vec<u32> = matches.iter().map(|m| m.rule_id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn each_rule_fires_once() {
+        let rs = ruleset();
+        let matches = rs.scan(b"EICAR EICAR EICAR");
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn clean_payload_fires_nothing() {
+        let rs = ruleset();
+        assert!(rs.scan(b"perfectly innocent traffic").is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let err = RuleSet::compile(vec![Rule::literal(7, "a"), Rule::literal(7, "b")])
+            .unwrap_err();
+        assert_eq!(err, MatcherError::DuplicateRuleId(7));
+    }
+
+    #[test]
+    fn empty_literal_rejected() {
+        assert_eq!(
+            RuleSet::compile(vec![Rule::literal(1, "")]).unwrap_err(),
+            MatcherError::EmptyPattern
+        );
+    }
+
+    #[test]
+    fn scan_packets_reports_only_hits() {
+        let rs = ruleset();
+        let packets: Vec<&[u8]> = vec![b"clean", b"has cmd.exe", b"clean", b"EICAR!"];
+        let report = rs.scan_packets(packets);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].0, 1);
+        assert_eq!(report[1].0, 3);
+    }
+
+    #[test]
+    fn large_rule_set_scan() {
+        let mut rules: Vec<Rule> =
+            (0..2000).map(|i| Rule::literal(i, format!("malware-sig-{i:04}"))).collect();
+        rules.push(Rule::regex(5000, r"evil-[0-9]{4}-payload").unwrap());
+        let rs = RuleSet::compile(rules).unwrap();
+        assert_eq!(rs.len(), 2001);
+        let matches =
+            rs.scan(b"xx malware-sig-1234 yy evil-9999-payload zz");
+        assert_eq!(matches.len(), 2);
+        assert!(matches.iter().any(|m| m.rule_id == 1234));
+        assert!(matches.iter().any(|m| m.rule_id == 5000));
+    }
+
+    #[test]
+    fn nocase_rules_fold_case() {
+        let rs = RuleSet::compile(vec![
+            Rule::literal(1, "Exact"),
+            Rule::literal_nocase(2, "AnyCase"),
+        ])
+        .unwrap();
+        // Case-sensitive rule only fires on exact case.
+        assert!(rs.scan(b"prefix Exact suffix").iter().any(|m| m.rule_id == 1));
+        assert!(rs.scan(b"prefix exact suffix").is_empty());
+        // Nocase rule fires on any casing.
+        for payload in [&b"xx ANYCASE yy"[..], b"xx anycase yy", b"xx AnYcAsE yy"] {
+            let matches = rs.scan(payload);
+            assert_eq!(matches.len(), 1, "{payload:?}");
+            assert_eq!(matches[0].rule_id, 2);
+        }
+    }
+
+    #[test]
+    fn empty_nocase_literal_rejected() {
+        assert_eq!(
+            RuleSet::compile(vec![Rule::literal_nocase(1, "")]).unwrap_err(),
+            MatcherError::EmptyPattern
+        );
+    }
+
+    #[test]
+    fn message_accessor() {
+        let rule = Rule::literal(1, "x").with_message("alert!");
+        assert_eq!(rule.message(), "alert!");
+        assert_eq!(rule.id(), 1);
+    }
+}

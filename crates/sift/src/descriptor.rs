@@ -1,0 +1,314 @@
+//! Orientation assignment and 128-D descriptor extraction.
+
+use std::f32::consts::PI;
+
+use crate::image::GrayImage;
+use crate::keypoint::Keypoint;
+use crate::pyramid::ScaleSpace;
+
+/// A finished SIFT feature: location, scale, orientation, and the 128-byte
+/// descriptor (4×4 spatial bins × 8 orientations, normalized, clipped at
+/// 0.2, renormalized, quantized to `u8` like Lowe's reference output).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Feature {
+    /// Column in input-image coordinates.
+    pub x: f32,
+    /// Row in input-image coordinates.
+    pub y: f32,
+    /// Characteristic scale in input-image units.
+    pub sigma: f32,
+    /// Dominant gradient orientation in radians, `[-π, π)`.
+    pub orientation: f32,
+    /// The 128-dimensional descriptor.
+    pub descriptor: [u8; 128],
+}
+
+const ORI_BINS: usize = 36;
+const DESC_WIDTH: usize = 4;
+const DESC_ORI_BINS: usize = 8;
+
+/// Computes oriented descriptors for each keypoint (keypoints whose
+/// support window falls outside the image are dropped).
+pub fn describe(space: &ScaleSpace, keypoints: &[Keypoint]) -> Vec<Feature> {
+    let mut features = Vec::with_capacity(keypoints.len());
+    for kp in keypoints {
+        let gaussian = &space.octaves[kp.octave].gaussians[kp.scale];
+        let local_sigma = space.octaves[kp.octave].sigmas[kp.scale];
+        for orientation in dominant_orientations(gaussian, kp, local_sigma) {
+            if let Some(descriptor) =
+                build_descriptor(gaussian, kp, local_sigma, orientation)
+            {
+                let (x, y) =
+                    space.to_input_coords(kp.octave, kp.refined_x(), kp.refined_y());
+                features.push(Feature {
+                    x,
+                    y,
+                    sigma: kp.sigma,
+                    orientation,
+                    descriptor,
+                });
+            }
+        }
+    }
+    features
+}
+
+/// Finds the dominant gradient orientation(s) around a keypoint: peaks of a
+/// 36-bin histogram weighted by gradient magnitude and a Gaussian window;
+/// secondary peaks within 80% of the maximum spawn extra features.
+fn dominant_orientations(
+    image: &GrayImage,
+    kp: &Keypoint,
+    local_sigma: f32,
+) -> Vec<f32> {
+    let window_sigma = 1.5 * local_sigma;
+    let radius = (window_sigma * 3.0).ceil() as isize;
+    let mut histogram = [0.0f32; ORI_BINS];
+
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let x = kp.x as isize + dx;
+            let y = kp.y as isize + dy;
+            if x < 1
+                || y < 1
+                || x >= image.width() as isize - 1
+                || y >= image.height() as isize - 1
+            {
+                continue;
+            }
+            let (gx, gy) = image.gradient(x as usize, y as usize);
+            let magnitude = (gx * gx + gy * gy).sqrt();
+            if magnitude == 0.0 {
+                continue;
+            }
+            let weight =
+                (-((dx * dx + dy * dy) as f32) / (2.0 * window_sigma * window_sigma))
+                    .exp();
+            let angle = gy.atan2(gx); // [-π, π]
+            let bin = angle_to_bin(angle, ORI_BINS);
+            histogram[bin] += magnitude * weight;
+        }
+    }
+
+    smooth_histogram(&mut histogram);
+    let max = histogram.iter().cloned().fold(0.0f32, f32::max);
+    if max <= 0.0 {
+        return Vec::new();
+    }
+    let mut orientations = Vec::new();
+    for bin in 0..ORI_BINS {
+        let left = histogram[(bin + ORI_BINS - 1) % ORI_BINS];
+        let right = histogram[(bin + 1) % ORI_BINS];
+        let value = histogram[bin];
+        if value >= 0.8 * max && value > left && value > right {
+            // Parabolic interpolation of the peak.
+            let offset = 0.5 * (left - right) / (left - 2.0 * value + right);
+            let bin_f = bin as f32 + offset;
+            orientations.push(bin_to_angle(bin_f, ORI_BINS));
+        }
+    }
+    if orientations.is_empty() {
+        // Plateau histogram: fall back to the max bin.
+        let bin = histogram
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .map(|(i, _)| i)
+            .expect("nonempty histogram");
+        orientations.push(bin_to_angle(bin as f32, ORI_BINS));
+    }
+    orientations
+}
+
+fn angle_to_bin(angle: f32, bins: usize) -> usize {
+    let normalized = (angle + PI) / (2.0 * PI); // [0, 1]
+    ((normalized * bins as f32) as usize).min(bins - 1)
+}
+
+fn bin_to_angle(bin: f32, bins: usize) -> f32 {
+    let mut angle = (bin + 0.5) / bins as f32 * 2.0 * PI - PI;
+    if angle >= PI {
+        angle -= 2.0 * PI;
+    }
+    if angle < -PI {
+        angle += 2.0 * PI;
+    }
+    angle
+}
+
+fn smooth_histogram(histogram: &mut [f32; ORI_BINS]) {
+    let original = *histogram;
+    for i in 0..ORI_BINS {
+        let prev = original[(i + ORI_BINS - 1) % ORI_BINS];
+        let next = original[(i + 1) % ORI_BINS];
+        histogram[i] = 0.25 * prev + 0.5 * original[i] + 0.25 * next;
+    }
+}
+
+/// Builds the 4×4×8 descriptor in a rotated, scale-relative frame.
+fn build_descriptor(
+    image: &GrayImage,
+    kp: &Keypoint,
+    local_sigma: f32,
+    orientation: f32,
+) -> Option<[u8; 128]> {
+    let bin_width = 3.0 * local_sigma;
+    let radius = (bin_width * (DESC_WIDTH as f32) * 2f32.sqrt() / 2.0).ceil() as isize + 1;
+    let (sin_o, cos_o) = orientation.sin_cos();
+    let mut raw = [0.0f32; DESC_WIDTH * DESC_WIDTH * DESC_ORI_BINS];
+
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let x = kp.x as isize + dx;
+            let y = kp.y as isize + dy;
+            if x < 1
+                || y < 1
+                || x >= image.width() as isize - 1
+                || y >= image.height() as isize - 1
+            {
+                continue;
+            }
+            // Rotate the offset into the keypoint frame.
+            let rx = (cos_o * dx as f32 + sin_o * dy as f32) / bin_width;
+            let ry = (-sin_o * dx as f32 + cos_o * dy as f32) / bin_width;
+            // Spatial bin coordinates in [0, 4).
+            let bx = rx + DESC_WIDTH as f32 / 2.0 - 0.5;
+            let by = ry + DESC_WIDTH as f32 / 2.0 - 0.5;
+            if bx <= -1.0 || bx >= DESC_WIDTH as f32 || by <= -1.0 || by >= DESC_WIDTH as f32
+            {
+                continue;
+            }
+            let (gx, gy) = image.gradient(x as usize, y as usize);
+            let magnitude = (gx * gx + gy * gy).sqrt();
+            if magnitude == 0.0 {
+                continue;
+            }
+            let angle = {
+                let mut a = gy.atan2(gx) - orientation;
+                while a < -PI {
+                    a += 2.0 * PI;
+                }
+                while a >= PI {
+                    a -= 2.0 * PI;
+                }
+                a
+            };
+            let weight = (-(rx * rx + ry * ry) / (0.5 * DESC_WIDTH as f32).powi(2)).exp();
+            let contribution = magnitude * weight;
+            let ob = (angle + PI) / (2.0 * PI) * DESC_ORI_BINS as f32;
+
+            // Trilinear interpolation into (bx, by, ob).
+            let x0 = bx.floor();
+            let y0 = by.floor();
+            let o0 = ob.floor();
+            for (xi, wx) in [(x0, 1.0 - (bx - x0)), (x0 + 1.0, bx - x0)] {
+                if xi < 0.0 || xi >= DESC_WIDTH as f32 {
+                    continue;
+                }
+                for (yi, wy) in [(y0, 1.0 - (by - y0)), (y0 + 1.0, by - y0)] {
+                    if yi < 0.0 || yi >= DESC_WIDTH as f32 {
+                        continue;
+                    }
+                    for (oi, wo) in [(o0, 1.0 - (ob - o0)), (o0 + 1.0, ob - o0)] {
+                        let obin = (oi as usize) % DESC_ORI_BINS;
+                        let idx = (yi as usize * DESC_WIDTH + xi as usize)
+                            * DESC_ORI_BINS
+                            + obin;
+                        raw[idx] += contribution * wx * wy * wo;
+                    }
+                }
+            }
+        }
+    }
+
+    // Normalize → clip at 0.2 → renormalize → quantize.
+    let norm = raw.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm <= 1e-6 {
+        return None;
+    }
+    for v in raw.iter_mut() {
+        *v = (*v / norm).min(0.2);
+    }
+    let norm = raw.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+    let mut descriptor = [0u8; 128];
+    for (out, v) in descriptor.iter_mut().zip(&raw) {
+        *out = ((v / norm) * 512.0).round().min(255.0) as u8;
+    }
+    Some(descriptor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiftParams;
+
+    fn blob(cx: f32, cy: f32) -> GrayImage {
+        GrayImage::from_fn(64, 64, |x, y| {
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            (-(dx * dx + dy * dy) / 40.0).exp()
+        })
+    }
+
+    fn features_for(image: &GrayImage) -> Vec<Feature> {
+        let params = SiftParams::default();
+        let space = ScaleSpace::build(image, &params);
+        let keypoints = crate::keypoint::detect(&space, &params);
+        describe(&space, &keypoints)
+    }
+
+    #[test]
+    fn descriptors_have_unit_like_energy() {
+        for feature in features_for(&blob(32.0, 32.0)) {
+            let energy: f64 = feature
+                .descriptor
+                .iter()
+                .map(|&b| (f64::from(b) / 512.0).powi(2))
+                .sum();
+            // Clipping makes energy ≤ 1; it should remain substantial.
+            assert!(energy > 0.5 && energy < 1.3, "energy {energy}");
+        }
+    }
+
+    #[test]
+    fn orientation_in_range() {
+        for feature in features_for(&blob(30.0, 34.0)) {
+            assert!((-PI..PI).contains(&feature.orientation));
+        }
+    }
+
+    #[test]
+    fn angle_bin_roundtrip() {
+        for bin in 0..ORI_BINS {
+            let angle = bin_to_angle(bin as f32, ORI_BINS);
+            assert_eq!(angle_to_bin(angle, ORI_BINS), bin);
+        }
+    }
+
+    #[test]
+    fn rotated_gradient_rotates_orientation() {
+        // A diagonal ramp has a well-defined gradient direction.
+        let ramp_x = GrayImage::from_fn(64, 64, |x, y| {
+            let dx = x as f32 - 32.0;
+            let dy = y as f32 - 32.0;
+            (-(dx * dx + dy * dy) / 60.0).exp() * (1.0 + 0.3 * (x as f32 / 64.0))
+        });
+        let features = features_for(&ramp_x);
+        // Just verify the pipeline produces stable, finite orientations.
+        for f in features {
+            assert!(f.orientation.is_finite());
+        }
+    }
+
+    #[test]
+    fn symmetric_blob_descriptor_is_symmetric_ish() {
+        let features = features_for(&blob(32.0, 32.0));
+        assert!(!features.is_empty());
+        // A radially symmetric blob: descriptor mass should be spread over
+        // many bins, not concentrated in one.
+        for f in &features {
+            let nonzero = f.descriptor.iter().filter(|&&b| b > 0).count();
+            assert!(nonzero > 16, "only {nonzero} nonzero bins");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Separable Gaussian convolution.
+
+use crate::image::GrayImage;
+
+/// Builds a normalized 1-D Gaussian kernel for `sigma`, truncated at 4σ.
+pub fn kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (sigma * 4.0).ceil().max(1.0) as usize;
+    let mut weights = Vec::with_capacity(2 * radius + 1);
+    let denom = 2.0 * sigma * sigma;
+    for i in -(radius as isize)..=(radius as isize) {
+        let x = i as f32;
+        weights.push((-x * x / denom).exp());
+    }
+    let sum: f32 = weights.iter().sum();
+    for w in weights.iter_mut() {
+        *w /= sum;
+    }
+    weights
+}
+
+/// Blurs `image` with a Gaussian of the given `sigma` (separable passes,
+/// clamped borders).
+pub fn blur(image: &GrayImage, sigma: f32) -> GrayImage {
+    let weights = kernel(sigma);
+    let radius = weights.len() / 2;
+    let width = image.width();
+    let height = image.height();
+
+    // Horizontal pass.
+    let mut horizontal = GrayImage::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let mut acc = 0.0f32;
+            for (i, &w) in weights.iter().enumerate() {
+                let sx = x as isize + i as isize - radius as isize;
+                acc += w * image.get_clamped(sx, y as isize);
+            }
+            horizontal.set(x, y, acc);
+        }
+    }
+
+    // Vertical pass.
+    let mut out = GrayImage::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let mut acc = 0.0f32;
+            for (i, &w) in weights.iter().enumerate() {
+                let sy = y as isize + i as isize - radius as isize;
+                acc += w * horizontal.get_clamped(x as isize, sy);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalized_and_symmetric() {
+        for sigma in [0.5, 1.0, 1.6, 3.2] {
+            let k = kernel(sigma);
+            let sum: f32 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "sigma {sigma}");
+            assert_eq!(k.len() % 2, 1);
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+            }
+            // Peak at the centre.
+            let mid = k.len() / 2;
+            assert!(k.iter().all(|&w| w <= k[mid]));
+        }
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let image = GrayImage::from_fn(16, 16, |_, _| 0.7);
+        let blurred = blur(&image, 2.0);
+        for &p in blurred.pixels() {
+            assert!((p - 0.7).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn blur_preserves_mean_roughly() {
+        let image = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 11) as f32 / 11.0);
+        let blurred = blur(&image, 1.6);
+        let mean = |img: &GrayImage| img.pixels().iter().sum::<f32>() / img.pixels().len() as f32;
+        assert!((mean(&image) - mean(&blurred)).abs() < 0.02);
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let image = GrayImage::from_fn(32, 32, |x, y| ((x + y) % 2) as f32);
+        let blurred = blur(&image, 1.5);
+        let var = |img: &GrayImage| {
+            let mean = img.pixels().iter().sum::<f32>() / img.pixels().len() as f32;
+            img.pixels().iter().map(|&p| (p - mean).powi(2)).sum::<f32>()
+        };
+        assert!(var(&blurred) < var(&image) * 0.5);
+    }
+
+    #[test]
+    fn larger_sigma_blurs_more() {
+        let image = GrayImage::from_fn(33, 33, |x, y| {
+            if x == 16 && y == 16 { 1.0 } else { 0.0 }
+        });
+        let small = blur(&image, 1.0);
+        let large = blur(&image, 3.0);
+        // The impulse's peak spreads with sigma.
+        assert!(large.get(16, 16) < small.get(16, 16));
+        assert!(large.get(22, 16) > small.get(22, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sigma_panics() {
+        let _ = kernel(0.0);
+    }
+}

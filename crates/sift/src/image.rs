@@ -1,0 +1,193 @@
+//! Grayscale float images.
+
+/// A grayscale image with `f32` pixels in `[0, 1]` (values outside the
+/// range are tolerated; SIFT only cares about local differences).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        GrayImage { width, height, pixels: vec![0.0; width * height] }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, f: impl Fn(usize, usize) -> f32) -> Self {
+        let mut image = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                image.pixels[y * width + x] = f(x, y);
+            }
+        }
+        image
+    }
+
+    /// Creates an image from row-major 8-bit luma bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != width * height`.
+    pub fn from_luma8(width: usize, height: usize, bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), width * height, "luma buffer size mismatch");
+        let mut image = GrayImage::new(width, height);
+        for (pixel, &byte) in image.pixels.iter_mut().zip(bytes) {
+            *pixel = f32::from(byte) / 255.0;
+        }
+        image
+    }
+
+    /// Serializes to row-major 8-bit luma (clamped to `[0, 1]`).
+    pub fn to_luma8(&self) -> Vec<u8> {
+        self.pixels.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8).collect()
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reads the pixel at `(x, y)`, clamping coordinates to the border
+    /// (convenient for convolution edge handling).
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[y * self.width + x]
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Writes the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Raw pixel slice (row-major).
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Downsamples by 2 (taking every other pixel), for octave
+    /// construction.
+    pub fn downsample2(&self) -> GrayImage {
+        let width = (self.width / 2).max(1);
+        let height = (self.height / 2).max(1);
+        GrayImage::from_fn(width, height, |x, y| self.get(x * 2, y * 2))
+    }
+
+    /// Per-pixel difference `self - other` (for DoG).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn subtract(&self, other: &GrayImage) -> GrayImage {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "dimension mismatch"
+        );
+        let mut out = self.clone();
+        for (o, p) in out.pixels.iter_mut().zip(&other.pixels) {
+            *o -= p;
+        }
+        out
+    }
+
+    /// Gradient (dx, dy) at `(x, y)` via central differences.
+    pub fn gradient(&self, x: usize, y: usize) -> (f32, f32) {
+        let dx = self.get_clamped(x as isize + 1, y as isize)
+            - self.get_clamped(x as isize - 1, y as isize);
+        let dy = self.get_clamped(x as isize, y as isize + 1)
+            - self.get_clamped(x as isize, y as isize - 1);
+        (dx * 0.5, dy * 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let image = GrayImage::from_fn(4, 3, |x, y| (x + 10 * y) as f32);
+        assert_eq!(image.get(2, 1), 12.0);
+        assert_eq!(image.width(), 4);
+        assert_eq!(image.height(), 3);
+    }
+
+    #[test]
+    fn clamped_access_at_borders() {
+        let image = GrayImage::from_fn(3, 3, |x, y| (x + y) as f32);
+        assert_eq!(image.get_clamped(-5, -5), image.get(0, 0));
+        assert_eq!(image.get_clamped(10, 10), image.get(2, 2));
+    }
+
+    #[test]
+    fn luma8_roundtrip() {
+        let bytes: Vec<u8> = (0..64).map(|i| (i * 4) as u8).collect();
+        let image = GrayImage::from_luma8(8, 8, &bytes);
+        assert_eq!(image.to_luma8(), bytes);
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let image = GrayImage::from_fn(8, 6, |x, y| (x * y) as f32);
+        let small = image.downsample2();
+        assert_eq!((small.width(), small.height()), (4, 3));
+        assert_eq!(small.get(1, 1), image.get(2, 2));
+    }
+
+    #[test]
+    fn subtract_computes_dog() {
+        let a = GrayImage::from_fn(4, 4, |x, _| x as f32);
+        let b = GrayImage::from_fn(4, 4, |_, y| y as f32);
+        let d = a.subtract(&b);
+        assert_eq!(d.get(3, 1), 2.0);
+    }
+
+    #[test]
+    fn gradient_of_ramp() {
+        let image = GrayImage::from_fn(5, 5, |x, _| 2.0 * x as f32);
+        let (dx, dy) = image.gradient(2, 2);
+        assert!((dx - 2.0).abs() < 1e-6);
+        assert!(dy.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        GrayImage::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = GrayImage::new(0, 5);
+    }
+}

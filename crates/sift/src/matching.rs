@@ -1,0 +1,163 @@
+//! Descriptor matching — the standard consumer of SIFT features (object
+//! recognition, image stitching, 3D modelling: the applications the paper
+//! lists for use case 1).
+//!
+//! Implements Lowe's nearest-neighbour matching with the ratio test: a
+//! query descriptor matches its nearest neighbour only when the nearest is
+//! sufficiently closer than the second nearest.
+
+use crate::descriptor::Feature;
+
+/// One accepted correspondence between two feature sets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Match {
+    /// Index into the query feature set.
+    pub query: usize,
+    /// Index into the train feature set.
+    pub train: usize,
+    /// Squared Euclidean distance between the descriptors.
+    pub distance_sq: u32,
+}
+
+/// Squared Euclidean distance between two 128-byte descriptors.
+pub fn descriptor_distance_sq(a: &[u8; 128], b: &[u8; 128]) -> u32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = i32::from(x) - i32::from(y);
+            (d * d) as u32
+        })
+        .sum()
+}
+
+/// Matches `query` features against `train` features with Lowe's ratio
+/// test (`ratio` is typically 0.8; lower is stricter).
+///
+/// Brute-force `O(|query| × |train|)` search — appropriate for the feature
+/// counts the synthetic workloads produce.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not in `(0, 1]`.
+pub fn match_features(query: &[Feature], train: &[Feature], ratio: f32) -> Vec<Match> {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let ratio_sq = ratio * ratio;
+    let mut matches = Vec::new();
+    for (qi, q) in query.iter().enumerate() {
+        let mut best: Option<(usize, u32)> = None;
+        let mut second_best: u32 = u32::MAX;
+        for (ti, t) in train.iter().enumerate() {
+            let d = descriptor_distance_sq(&q.descriptor, &t.descriptor);
+            match best {
+                Some((_, best_d)) if d >= best_d => second_best = second_best.min(d),
+                _ => {
+                    if let Some((_, prev)) = best {
+                        second_best = second_best.min(prev);
+                    }
+                    best = Some((ti, d));
+                }
+            }
+        }
+        if let Some((ti, best_d)) = best {
+            // Ratio test: accept only when clearly better than the runner-up.
+            let passes = second_best == u32::MAX
+                || (best_d as f32) < ratio_sq * second_best as f32;
+            if passes {
+                matches.push(Match { query: qi, train: ti, distance_sq: best_d });
+            }
+        }
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sift, GrayImage, SiftParams};
+
+    fn scene(offset_x: f32, offset_y: f32) -> GrayImage {
+        GrayImage::from_fn(96, 96, |x, y| {
+            let blob = |cx: f32, cy: f32, r: f32, a: f32| {
+                let dx = x as f32 - cx - offset_x;
+                let dy = y as f32 - cy - offset_y;
+                a * (-(dx * dx + dy * dy) / (r * r)).exp()
+            };
+            blob(30.0, 30.0, 5.0, 1.0) + blob(60.0, 40.0, 7.0, 0.8) + blob(40.0, 65.0, 4.0, 0.9)
+        })
+    }
+
+    #[test]
+    fn identical_images_match_fully() {
+        let features = sift(&scene(0.0, 0.0), &SiftParams::default());
+        assert!(!features.is_empty());
+        let matches = match_features(&features, &features, 0.9);
+        // Every feature matches itself at distance 0.
+        assert_eq!(matches.len(), features.len());
+        for m in &matches {
+            assert_eq!(m.query, m.train);
+            assert_eq!(m.distance_sq, 0);
+        }
+    }
+
+    #[test]
+    fn shifted_scene_still_matches() {
+        let original = sift(&scene(0.0, 0.0), &SiftParams::default());
+        let shifted = sift(&scene(4.0, 3.0), &SiftParams::default());
+        assert!(!original.is_empty() && !shifted.is_empty());
+        let matches = match_features(&original, &shifted, 0.85);
+        assert!(
+            !matches.is_empty(),
+            "no correspondences between shifted scenes ({} vs {} features)",
+            original.len(),
+            shifted.len()
+        );
+        // Matched pairs should be displaced by roughly the shift.
+        let mut plausible = 0;
+        for m in &matches {
+            let dx = shifted[m.train].x - original[m.query].x;
+            let dy = shifted[m.train].y - original[m.query].y;
+            if (dx - 4.0).abs() < 4.0 && (dy - 3.0).abs() < 4.0 {
+                plausible += 1;
+            }
+        }
+        assert!(plausible * 2 >= matches.len(), "{plausible}/{}", matches.len());
+    }
+
+    #[test]
+    fn unrelated_images_match_little() {
+        let scene_features = sift(&scene(0.0, 0.0), &SiftParams::default());
+        let noise = GrayImage::from_fn(96, 96, |x, y| {
+            (((x * 31 + y * 17) % 13) as f32) / 13.0
+        });
+        let noise_features = sift(&noise, &SiftParams::default());
+        let matches = match_features(&scene_features, &noise_features, 0.7);
+        assert!(
+            matches.len() <= scene_features.len() / 2,
+            "{} matches out of {} features against noise",
+            matches.len(),
+            scene_features.len()
+        );
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let a = [0u8; 128];
+        let mut b = [0u8; 128];
+        b[0] = 3;
+        b[127] = 4;
+        assert_eq!(descriptor_distance_sq(&a, &a), 0);
+        assert_eq!(descriptor_distance_sq(&a, &b), 25);
+        assert_eq!(descriptor_distance_sq(&b, &a), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn invalid_ratio_panics() {
+        let _ = match_features(&[], &[], 0.0);
+    }
+
+    #[test]
+    fn empty_sets_match_nothing() {
+        assert!(match_features(&[], &[], 0.8).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Gaussian scale-space and difference-of-Gaussians pyramids.
+
+use crate::gaussian::blur;
+use crate::image::GrayImage;
+use crate::SiftParams;
+
+/// One octave: `scales_per_octave + 3` Gaussian images and the
+/// `scales_per_octave + 2` DoG images between them.
+#[derive(Debug)]
+pub struct Octave {
+    /// Gaussian-blurred images at increasing sigma.
+    pub gaussians: Vec<GrayImage>,
+    /// Differences of adjacent Gaussians.
+    pub dogs: Vec<GrayImage>,
+    /// The sigma of each Gaussian level, in *octave-local pixel units*
+    /// (multiply by `2^octave` for input-image units).
+    pub sigmas: Vec<f32>,
+}
+
+/// The full scale space of an image.
+#[derive(Debug)]
+pub struct ScaleSpace {
+    /// Octaves from full resolution downward.
+    pub octaves: Vec<Octave>,
+    /// Scales per octave (`S`), as configured.
+    pub scales_per_octave: usize,
+}
+
+impl ScaleSpace {
+    /// Builds the pyramid per Lowe: each octave has `S + 3` Gaussian levels
+    /// with sigma ratio `2^(1/S)`; the next octave starts from the level
+    /// with twice the base sigma, downsampled 2×.
+    pub fn build(image: &GrayImage, params: &SiftParams) -> ScaleSpace {
+        let s = params.scales_per_octave;
+        assert!(s >= 1, "need at least one scale per octave");
+        let k = 2f32.powf(1.0 / s as f32);
+        let levels = s + 3;
+
+        let min_dim = image.width().min(image.height());
+        let max_octaves_by_size =
+            (min_dim as f32 / 8.0).log2().floor().max(1.0) as usize;
+        let octave_count = params.max_octaves.min(max_octaves_by_size).max(1);
+
+        let mut octaves = Vec::with_capacity(octave_count);
+        let mut base = blur(image, params.sigma0);
+        // Each octave restarts at sigma0 in its own (downsampled) pixel
+        // units: level `s` reaches 2·sigma0, and halving the resolution
+        // brings it back to sigma0.
+        let base_sigma = params.sigma0;
+
+        for _ in 0..octave_count {
+            let mut gaussians = Vec::with_capacity(levels);
+            let mut sigmas = Vec::with_capacity(levels);
+            gaussians.push(base.clone());
+            sigmas.push(base_sigma);
+            let mut sigma = base_sigma;
+            for _ in 1..levels {
+                let next_sigma = sigma * k;
+                // Incremental blur: sigma_delta² = next² - current².
+                let delta = (next_sigma * next_sigma - sigma * sigma).sqrt();
+                let blurred = blur(gaussians.last().expect("nonempty"), delta);
+                gaussians.push(blurred);
+                sigmas.push(next_sigma);
+                sigma = next_sigma;
+            }
+            let dogs = gaussians
+                .windows(2)
+                .map(|pair| pair[1].subtract(&pair[0]))
+                .collect();
+
+            // Next octave: level `s` has local sigma 2·sigma0, which after
+            // 2× downsampling is sigma0 in the new octave's pixel units.
+            let next_base = gaussians[s].downsample2();
+            octaves.push(Octave { gaussians, dogs, sigmas });
+            if next_base.width() < 8 || next_base.height() < 8 {
+                break;
+            }
+            base = next_base;
+        }
+
+        ScaleSpace { octaves, scales_per_octave: s }
+    }
+
+    /// The sigma (in input-image units) of level `scale` in `octave`,
+    /// accounting for downsampling.
+    pub fn absolute_sigma(&self, octave: usize, scale: usize) -> f32 {
+        self.octaves[octave].sigmas[scale] * (1 << octave) as f32
+    }
+
+    /// Converts octave-local pixel coordinates to input-image coordinates.
+    pub fn to_input_coords(&self, octave: usize, x: f32, y: f32) -> (f32, f32) {
+        let factor = (1 << octave) as f32;
+        (x * factor, y * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image() -> GrayImage {
+        GrayImage::from_fn(64, 64, |x, y| ((x * 3 + y * 7) % 13) as f32 / 13.0)
+    }
+
+    #[test]
+    fn level_counts_match_lowe() {
+        let params = SiftParams::default();
+        let space = ScaleSpace::build(&test_image(), &params);
+        assert!(!space.octaves.is_empty());
+        for octave in &space.octaves {
+            assert_eq!(octave.gaussians.len(), params.scales_per_octave + 3);
+            assert_eq!(octave.dogs.len(), params.scales_per_octave + 2);
+            assert_eq!(octave.sigmas.len(), octave.gaussians.len());
+        }
+    }
+
+    #[test]
+    fn octaves_halve_resolution() {
+        let space = ScaleSpace::build(&test_image(), &SiftParams::default());
+        for pair in space.octaves.windows(2) {
+            assert_eq!(pair[1].gaussians[0].width(), pair[0].gaussians[0].width() / 2);
+        }
+    }
+
+    #[test]
+    fn sigmas_increase_geometrically() {
+        let params = SiftParams::default();
+        let space = ScaleSpace::build(&test_image(), &params);
+        let k = 2f32.powf(1.0 / params.scales_per_octave as f32);
+        for octave in &space.octaves {
+            for pair in octave.sigmas.windows(2) {
+                assert!((pair[1] / pair[0] - k).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn octave_base_sigma_doubles_in_absolute_units() {
+        let space = ScaleSpace::build(&test_image(), &SiftParams::default());
+        if space.octaves.len() >= 2 {
+            let ratio = space.absolute_sigma(1, 0) / space.absolute_sigma(0, 0);
+            assert!((ratio - 2.0).abs() < 1e-4);
+            // Octave-boundary consistency: level S of octave 0 and level 0
+            // of octave 1 represent the same absolute sigma.
+            let s = space.scales_per_octave;
+            assert!(
+                (space.absolute_sigma(0, s) - space.absolute_sigma(1, 0)).abs() < 1e-4
+            );
+        }
+    }
+
+    #[test]
+    fn octave_count_bounded_by_size() {
+        let tiny = GrayImage::from_fn(16, 16, |x, _| x as f32);
+        let space = ScaleSpace::build(&tiny, &SiftParams::default());
+        assert_eq!(space.octaves.len(), 1);
+    }
+
+    #[test]
+    fn coordinate_mapping_scales_by_octave() {
+        let space = ScaleSpace::build(&test_image(), &SiftParams::default());
+        assert_eq!(space.to_input_coords(0, 5.0, 7.0), (5.0, 7.0));
+        assert_eq!(space.to_input_coords(1, 5.0, 7.0), (10.0, 14.0));
+    }
+
+    #[test]
+    fn dog_of_constant_is_zero() {
+        let flat = GrayImage::from_fn(64, 64, |_, _| 0.4);
+        let space = ScaleSpace::build(&flat, &SiftParams::default());
+        for octave in &space.octaves {
+            for dog in &octave.dogs {
+                assert!(dog.pixels().iter().all(|&p| p.abs() < 1e-4));
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! `speedctl` — operate a SPEED `ResultStore` from the command line.
+//!
+//! The server and its clients derive their attestation trust from a shared
+//! deployment secret (`--secret`), standing in for provisioning both sides
+//! with the same attestation-service identity.
+//!
+//! ```text
+//! # terminal 1: run a store server
+//! speedctl serve --addr 127.0.0.1:7700 --secret 42
+//!
+//! # terminal 2: poke it
+//! speedctl put   --addr 127.0.0.1:7700 --secret 42 --tag 0a0a --data "hello"
+//! speedctl get   --addr 127.0.0.1:7700 --secret 42 --tag 0a0a
+//! speedctl stats --addr 127.0.0.1:7700 --secret 42
+//! speedctl bench --addr 127.0.0.1:7700 --secret 42 --ops 200 --size 4096
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use speed_enclave::{CostModel, Platform};
+use speed_store::server::{StoreServer, TcpStoreClient};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::{AppId, CompTag, Message, Record, SessionAuthority};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: speedctl <command> [flags]\n\
+         commands:\n\
+           serve   --addr HOST:PORT --secret N [--no-sgx] [--max-entries N]\n\
+                   [--max-bytes N] [--ttl-ms N]\n\
+           stats   --addr HOST:PORT --secret N\n\
+           get     --addr HOST:PORT --secret N --tag HEX\n\
+           put     --addr HOST:PORT --secret N --tag HEX --data STRING\n\
+           bench   --addr HOST:PORT --secret N [--ops N] [--size BYTES]\n\
+         notes:\n\
+           --secret is the shared deployment secret both sides derive their\n\
+           attestation trust from; --tag is zero-padded to 32 bytes"
+    );
+    std::process::exit(2)
+}
+
+struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        values.insert(name.to_string(), iter.next().cloned().expect("peeked"));
+                    }
+                    _ => switches.push(name.to_string()),
+                }
+            } else {
+                eprintln!("unexpected argument `{arg}`");
+                usage();
+            }
+        }
+        Flags { values, switches }
+    }
+
+    fn required(&self, name: &str) -> &str {
+        match self.values.get(name) {
+            Some(value) => value,
+            None => {
+                eprintln!("missing required flag --{name}");
+                usage();
+            }
+        }
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.values.get(name).map(|raw| match raw.parse() {
+            Ok(value) => value,
+            Err(_) => {
+                eprintln!("invalid value for --{name}: `{raw}`");
+                usage();
+            }
+        })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn parse_tag(hex: &str) -> CompTag {
+    if hex.len() % 2 != 0 || hex.len() > 64 {
+        eprintln!("--tag must be an even-length hex string of at most 64 chars");
+        usage();
+    }
+    let mut bytes = [0u8; 32];
+    for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+        let pair = std::str::from_utf8(chunk).expect("hex ascii");
+        bytes[i] = match u8::from_str_radix(pair, 16) {
+            Ok(byte) => byte,
+            Err(_) => {
+                eprintln!("invalid hex in --tag: `{pair}`");
+                usage();
+            }
+        };
+    }
+    CompTag::from_bytes(bytes)
+}
+
+fn connect(flags: &Flags) -> TcpStoreClient {
+    let addr: std::net::SocketAddr = match flags.required("addr").parse() {
+        Ok(addr) => addr,
+        Err(_) => {
+            eprintln!("invalid --addr");
+            usage();
+        }
+    };
+    let secret: u64 = flags.get_parsed("secret").unwrap_or_else(|| usage());
+    let authority = SessionAuthority::with_seed(secret);
+    let platform = Platform::new(CostModel::default_sgx());
+    let enclave = platform
+        .create_enclave(b"speedctl-client")
+        .expect("client enclave fits");
+    match TcpStoreClient::connect(addr, &platform, &enclave, &authority) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("connect failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_serve(flags: &Flags) {
+    let secret: u64 = flags.get_parsed("secret").unwrap_or_else(|| usage());
+    let addr = flags.required("addr").to_string();
+    let model = if flags.has("no-sgx") { CostModel::no_sgx() } else { CostModel::default_sgx() };
+    let config = StoreConfig {
+        max_entries: flags.get_parsed("max-entries").unwrap_or(1_000_000),
+        max_stored_bytes: flags.get_parsed("max-bytes").unwrap_or(8 << 30),
+        ttl_ms: flags.get_parsed("ttl-ms"),
+        ..StoreConfig::default()
+    };
+
+    let platform = Platform::new(model);
+    let store = Arc::new(ResultStore::new(&platform, config).expect("store fits in epc"));
+    let authority = Arc::new(SessionAuthority::with_seed(secret));
+    let server = StoreServer::spawn(
+        Arc::clone(&store),
+        Arc::clone(&platform),
+        authority,
+        &addr,
+    )
+    .expect("bind listen address");
+    println!("speed result store listening on {}", server.addr());
+    println!("enclave measurement: {}", store.enclave().measurement());
+    println!("press ctrl-c to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        let stats = store.stats();
+        println!(
+            "[stats] entries={} gets={} hits={} puts={} rejected={} bytes={}",
+            stats.entries, stats.gets, stats.hits, stats.puts, stats.rejected_puts,
+            stats.stored_bytes
+        );
+    }
+}
+
+fn cmd_stats(flags: &Flags) {
+    let mut client = connect(flags);
+    match client.roundtrip(&Message::StatsRequest) {
+        Ok(Message::StatsResponse(stats)) => {
+            println!("entries:       {}", stats.entries);
+            println!("gets:          {}", stats.gets);
+            println!("hits:          {}", stats.hits);
+            println!("puts:          {}", stats.puts);
+            println!("rejected puts: {}", stats.rejected_puts);
+            println!("stored bytes:  {}", stats.stored_bytes);
+        }
+        Ok(other) => eprintln!("unexpected response: {other:?}"),
+        Err(e) => eprintln!("request failed: {e}"),
+    }
+}
+
+fn cmd_get(flags: &Flags) {
+    let tag = parse_tag(flags.required("tag"));
+    let mut client = connect(flags);
+    match client.roundtrip(&Message::GetRequest { app: AppId(0xC71), tag }) {
+        Ok(Message::GetResponse(body)) => {
+            if let Some(record) = body.record {
+                println!("found: {} ciphertext bytes", record.boxed_result.len());
+                println!("challenge: {} bytes", record.challenge.len());
+            } else {
+                println!("not found");
+                std::process::exit(3);
+            }
+        }
+        Ok(other) => eprintln!("unexpected response: {other:?}"),
+        Err(e) => eprintln!("request failed: {e}"),
+    }
+}
+
+fn cmd_put(flags: &Flags) {
+    let tag = parse_tag(flags.required("tag"));
+    let data = flags.required("data").as_bytes().to_vec();
+    let mut client = connect(flags);
+    // speedctl stores raw bytes in the record body; real applications go
+    // through DedupRuntime, which encrypts. This is an operator tool for
+    // smoke-testing a deployment.
+    let record = Record {
+        challenge: vec![0u8; 32],
+        wrapped_key: [0u8; 16],
+        nonce: [0u8; 12],
+        boxed_result: data,
+    };
+    match client.roundtrip(&Message::PutRequest { app: AppId(0xC71), tag, record }) {
+        Ok(Message::PutResponse(body)) => {
+            if body.accepted {
+                println!("accepted{}", body.reason.map(|r| format!(" ({r})")).unwrap_or_default());
+            } else {
+                println!("rejected: {}", body.reason.unwrap_or_default());
+                std::process::exit(4);
+            }
+        }
+        Ok(other) => eprintln!("unexpected response: {other:?}"),
+        Err(e) => eprintln!("request failed: {e}"),
+    }
+}
+
+fn cmd_bench(flags: &Flags) {
+    let ops: usize = flags.get_parsed("ops").unwrap_or(100);
+    let size: usize = flags.get_parsed("size").unwrap_or(1024);
+    let mut client = connect(flags);
+
+    let record = |i: usize| Record {
+        challenge: vec![0u8; 32],
+        wrapped_key: [0u8; 16],
+        nonce: [0u8; 12],
+        boxed_result: vec![(i % 251) as u8; size],
+    };
+    let tag = |i: usize| {
+        let mut bytes = [0xBEu8; 32];
+        bytes[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        CompTag::from_bytes(bytes)
+    };
+
+    let start = std::time::Instant::now();
+    for i in 0..ops {
+        client
+            .roundtrip(&Message::PutRequest {
+                app: AppId(0xBE7C),
+                tag: tag(i),
+                record: record(i),
+            })
+            .expect("put");
+    }
+    let put_elapsed = start.elapsed();
+
+    let start = std::time::Instant::now();
+    for i in 0..ops {
+        let response = client
+            .roundtrip(&Message::GetRequest { app: AppId(0xBE7C), tag: tag(i) })
+            .expect("get");
+        assert!(matches!(response, Message::GetResponse(b) if b.found));
+    }
+    let get_elapsed = start.elapsed();
+
+    println!("{ops} PUTs of {size} B: {put_elapsed:?} ({:?}/op)", put_elapsed / ops as u32);
+    println!("{ops} GETs of {size} B: {get_elapsed:?} ({:?}/op)", get_elapsed / ops as u32);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let flags = Flags::parse(&args[1..]);
+    match command.as_str() {
+        "serve" => cmd_serve(&flags),
+        "stats" => cmd_stats(&flags),
+        "get" => cmd_get(&flags),
+        "put" => cmd_put(&flags),
+        "bench" => cmd_bench(&flags),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_switches() {
+        let flags = Flags::parse(&args(&[
+            "--addr",
+            "127.0.0.1:7700",
+            "--no-sgx",
+            "--secret",
+            "42",
+        ]));
+        assert_eq!(flags.required("addr"), "127.0.0.1:7700");
+        assert_eq!(flags.get_parsed::<u64>("secret"), Some(42));
+        assert!(flags.has("no-sgx"));
+        assert!(!flags.has("sgx"));
+        assert_eq!(flags.get_parsed::<u64>("ttl-ms"), None);
+    }
+
+    #[test]
+    fn consecutive_switches_parse() {
+        let flags = Flags::parse(&args(&["--no-sgx", "--verbose"]));
+        assert!(flags.has("no-sgx"));
+        assert!(flags.has("verbose"));
+    }
+
+    #[test]
+    fn tag_parses_and_pads() {
+        let tag = parse_tag("0a0b");
+        assert_eq!(tag.as_bytes()[0], 0x0a);
+        assert_eq!(tag.as_bytes()[1], 0x0b);
+        assert_eq!(tag.as_bytes()[2], 0);
+        let full = parse_tag(&"ff".repeat(32));
+        assert_eq!(full.as_bytes(), &[0xff; 32]);
+    }
+}

@@ -1,0 +1,320 @@
+//! The in-enclave metadata dictionary.
+//!
+//! "The main data structure used here is an enclave-protected dictionary
+//! storing previous computation results keyed by the tag t. To maximize the
+//! utility of limited enclave memory, the dictionary entry is designed to be
+//! small: it maintains some metadata (e.g. challenge message r and
+//! authentication MAC), and a pointer to the real result ciphertexts that
+//! are kept outside the enclave." (§IV-B)
+
+use std::collections::{BTreeMap, HashMap};
+
+use speed_enclave::BlobId;
+use speed_wire::{AppId, CompTag};
+
+/// One dictionary entry: small metadata plus the pointer to the
+/// outside-enclave ciphertext.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DictEntry {
+    /// The RCE challenge message `r`.
+    pub challenge: Vec<u8>,
+    /// The wrapped result key `[k] = k ⊕ h`.
+    pub wrapped_key: [u8; 16],
+    /// GCM nonce of the result ciphertext.
+    pub nonce: [u8; 12],
+    /// Pointer to the ciphertext blob in untrusted memory.
+    pub blob: BlobId,
+    /// Length of the ciphertext blob in bytes.
+    pub boxed_len: u32,
+    /// Application that published the entry (for quota reclamation).
+    pub owner: AppId,
+    /// Times this entry satisfied a GET.
+    pub hits: u64,
+    /// Logical-millisecond timestamp of insertion (drives TTL expiry).
+    pub created_ms: u64,
+    lru_seq: u64,
+}
+
+impl DictEntry {
+    /// Approximate in-enclave footprint of this entry in bytes, used for
+    /// EPC accounting.
+    pub fn enclave_footprint(&self) -> usize {
+        // tag key (32) + challenge + fixed fields + map overhead estimate.
+        32 + self.challenge.len() + 16 + 12 + 8 + 4 + 8 + 8 + 64
+    }
+}
+
+/// An LRU-evicting dictionary keyed by computation tag.
+///
+/// Lives logically inside the store's enclave; all mutating access happens
+/// under an `ECALL` in [`crate::ResultStore`].
+#[derive(Debug, Default)]
+pub struct MetadataDict {
+    entries: HashMap<CompTag, DictEntry>,
+    lru: BTreeMap<u64, CompTag>,
+    next_seq: u64,
+    stored_bytes: u64,
+}
+
+impl MetadataDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        MetadataDict::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total ciphertext bytes referenced by entries.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Looks up `tag`, bumping its recency and hit count on success.
+    pub fn get(&mut self, tag: &CompTag) -> Option<&DictEntry> {
+        let next_seq = self.next_seq;
+        let entry = self.entries.get_mut(tag)?;
+        self.lru.remove(&entry.lru_seq);
+        entry.lru_seq = next_seq;
+        entry.hits += 1;
+        self.lru.insert(next_seq, *tag);
+        self.next_seq += 1;
+        Some(&*entry)
+    }
+
+    /// Looks up `tag` without touching recency or hit counts (for sync).
+    pub fn peek(&self, tag: &CompTag) -> Option<&DictEntry> {
+        self.entries.get(tag)
+    }
+
+    /// Inserts an entry. Returns the previous entry's blob pointer if the
+    /// tag was already present (the caller frees the orphaned blob) —
+    /// duplicate tags can race between applications; only one ciphertext
+    /// version is kept (the first one wins, matching the paper's remark
+    /// that "only one version of result ciphertext needs to be stored").
+    pub fn insert(
+        &mut self,
+        tag: CompTag,
+        challenge: Vec<u8>,
+        wrapped_key: [u8; 16],
+        nonce: [u8; 12],
+        blob: BlobId,
+        boxed_len: u32,
+        owner: AppId,
+        created_ms: u64,
+    ) -> Option<BlobId> {
+        if self.entries.contains_key(&tag) {
+            // First writer wins; reject the new blob.
+            return Some(blob);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.lru.insert(seq, tag);
+        self.stored_bytes += u64::from(boxed_len);
+        self.entries.insert(
+            tag,
+            DictEntry {
+                challenge,
+                wrapped_key,
+                nonce,
+                blob,
+                boxed_len,
+                owner,
+                hits: 0,
+                created_ms,
+                lru_seq: seq,
+            },
+        );
+        None
+    }
+
+    /// Removes `tag`, returning its entry.
+    pub fn remove(&mut self, tag: &CompTag) -> Option<DictEntry> {
+        let entry = self.entries.remove(tag)?;
+        self.lru.remove(&entry.lru_seq);
+        self.stored_bytes -= u64::from(entry.boxed_len);
+        Some(entry)
+    }
+
+    /// Evicts the least-recently-used entry, returning it with its tag.
+    pub fn evict_lru(&mut self) -> Option<(CompTag, DictEntry)> {
+        let (&seq, &tag) = self.lru.iter().next()?;
+        self.lru.remove(&seq);
+        let entry = self.entries.remove(&tag).expect("lru index out of sync");
+        self.stored_bytes -= u64::from(entry.boxed_len);
+        Some((tag, entry))
+    }
+
+    /// Overwrites the hit counter of an entry (snapshot restore). Returns
+    /// `false` if the tag is absent.
+    pub fn restore_hits(&mut self, tag: &CompTag, hits: u64) -> bool {
+        match self.entries.get_mut(tag) {
+            Some(entry) => {
+                entry.hits = hits;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over `(tag, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CompTag, &DictEntry)> {
+        self.entries.iter()
+    }
+
+    /// Entries with at least `min_hits` hits, most popular first — the
+    /// master-store sync selection.
+    pub fn popular(&self, min_hits: u64) -> Vec<(CompTag, DictEntry)> {
+        let mut selected: Vec<(CompTag, DictEntry)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.hits >= min_hits)
+            .map(|(t, e)| (*t, e.clone()))
+            .collect();
+        selected.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then(a.0.cmp(&b.0)));
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(n: u8) -> CompTag {
+        CompTag::from_bytes([n; 32])
+    }
+
+    fn insert_basic(dict: &mut MetadataDict, n: u8, len: u32) -> Option<BlobId> {
+        dict.insert(
+            tag(n),
+            vec![n; 32],
+            [n; 16],
+            [n; 12],
+            BlobId::from_raw(u64::from(n)),
+            len,
+            AppId(1),
+            0,
+        )
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut dict = MetadataDict::new();
+        assert!(insert_basic(&mut dict, 1, 100).is_none());
+        let entry = dict.get(&tag(1)).unwrap();
+        assert_eq!(entry.challenge, vec![1; 32]);
+        assert_eq!(entry.hits, 1);
+        assert_eq!(dict.len(), 1);
+        assert_eq!(dict.stored_bytes(), 100);
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let mut dict = MetadataDict::new();
+        assert!(dict.get(&tag(9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_first_writer_wins() {
+        let mut dict = MetadataDict::new();
+        assert!(insert_basic(&mut dict, 1, 10).is_none());
+        let rejected = dict.insert(
+            tag(1),
+            vec![2; 32],
+            [2; 16],
+            [2; 12],
+            BlobId::from_raw(99),
+            20,
+            AppId(2),
+            0,
+        );
+        assert_eq!(rejected, Some(BlobId::from_raw(99)));
+        assert_eq!(dict.peek(&tag(1)).unwrap().challenge, vec![1; 32]);
+        assert_eq!(dict.stored_bytes(), 10);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut dict = MetadataDict::new();
+        for n in 1..=3 {
+            insert_basic(&mut dict, n, 10);
+        }
+        // Touch 1 so 2 becomes the LRU.
+        dict.get(&tag(1));
+        let (evicted_tag, _) = dict.evict_lru().unwrap();
+        assert_eq!(evicted_tag, tag(2));
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn evict_on_empty_is_none() {
+        let mut dict = MetadataDict::new();
+        assert!(dict.evict_lru().is_none());
+    }
+
+    #[test]
+    fn remove_updates_bytes() {
+        let mut dict = MetadataDict::new();
+        insert_basic(&mut dict, 1, 64);
+        insert_basic(&mut dict, 2, 36);
+        assert_eq!(dict.stored_bytes(), 100);
+        let entry = dict.remove(&tag(1)).unwrap();
+        assert_eq!(entry.boxed_len, 64);
+        assert_eq!(dict.stored_bytes(), 36);
+        assert!(dict.remove(&tag(1)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_bump_hits() {
+        let mut dict = MetadataDict::new();
+        insert_basic(&mut dict, 1, 10);
+        dict.peek(&tag(1));
+        dict.peek(&tag(1));
+        assert_eq!(dict.peek(&tag(1)).unwrap().hits, 0);
+    }
+
+    #[test]
+    fn popular_sorts_by_hits() {
+        let mut dict = MetadataDict::new();
+        for n in 1..=3 {
+            insert_basic(&mut dict, n, 10);
+        }
+        for _ in 0..5 {
+            dict.get(&tag(2));
+        }
+        dict.get(&tag(3));
+        let popular = dict.popular(1);
+        assert_eq!(popular.len(), 2);
+        assert_eq!(popular[0].0, tag(2));
+        assert_eq!(popular[1].0, tag(3));
+        assert_eq!(dict.popular(100).len(), 0);
+    }
+
+    #[test]
+    fn eviction_order_is_full_lru() {
+        let mut dict = MetadataDict::new();
+        for n in 1..=5 {
+            insert_basic(&mut dict, n, 1);
+        }
+        dict.get(&tag(1));
+        dict.get(&tag(3));
+        let order: Vec<CompTag> =
+            std::iter::from_fn(|| dict.evict_lru().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![tag(2), tag(4), tag(5), tag(1), tag(3)]);
+    }
+
+    #[test]
+    fn footprint_is_small() {
+        let mut dict = MetadataDict::new();
+        insert_basic(&mut dict, 1, 1_000_000);
+        // A 1 MB result only costs ~200 bytes of enclave memory.
+        assert!(dict.peek(&tag(1)).unwrap().enclave_footprint() < 256);
+    }
+}

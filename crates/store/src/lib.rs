@@ -1,0 +1,69 @@
+//! The encrypted `ResultStore` of SPEED (§IV-B).
+//!
+//! The store manages previously computed, encrypted results keyed by the
+//! computation tag `t`. Its structure mirrors the paper's prototype:
+//!
+//! - **In-enclave metadata dictionary** ([`MetadataDict`]): small entries
+//!   (challenge `r`, wrapped key `[k]`, GCM nonce, and a *pointer* to the
+//!   ciphertext) kept inside protected memory.
+//! - **Outside-enclave ciphertext heap**: the actual `[res]` bytes live in
+//!   [`speed_enclave::UntrustedMemory`] — they are AES-GCM protected, so
+//!   confidentiality and integrity survive outside the enclave.
+//! - **Request handling** ([`ResultStore::handle`]): "the main body of
+//!   encrypted ResultStore runs outside the enclave. Upon receiving a
+//!   request, ResultStore first applies preliminary parsing, and then
+//!   delegates the request to one of two customized ECALLs" — exactly the
+//!   flow implemented here, with boundary-copy and world-switch costs
+//!   charged to the platform's simulated clock.
+//! - **DoS mitigation** ([`QuotaPolicy`]): the rate-limiting / quota
+//!   mechanism sketched in §III-D to stop a malicious application from
+//!   polluting the store with useless results.
+//! - **Master-store synchronization** ([`sync`]): the §IV-B Remark — a
+//!   dedicated master store periodically pulls popular entries from
+//!   machine-local stores; tags are deterministic so only one ciphertext
+//!   version is ever kept.
+//! - **TCP deployment** ([`server::StoreServer`]): a framed, attested,
+//!   AES-GCM-protected network front end.
+//!
+//! # Example
+//!
+//! ```
+//! use speed_enclave::{CostModel, Platform};
+//! use speed_store::{ResultStore, StoreConfig};
+//! use speed_wire::{AppId, CompTag, Message, Record};
+//!
+//! let platform = Platform::new(CostModel::default_sgx());
+//! let store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
+//! let tag = CompTag::from_bytes([7u8; 32]);
+//!
+//! // First lookup misses…
+//! let response = store.handle(Message::GetRequest { app: AppId(1), tag });
+//! assert!(matches!(response, Message::GetResponse(body) if !body.found));
+//!
+//! // …after a PUT it hits.
+//! let record = Record {
+//!     challenge: vec![0u8; 32],
+//!     wrapped_key: [0u8; 16],
+//!     nonce: [0u8; 12],
+//!     boxed_result: vec![1, 2, 3],
+//! };
+//! store.handle(Message::PutRequest { app: AppId(1), tag, record });
+//! let response = store.handle(Message::GetRequest { app: AppId(1), tag });
+//! assert!(matches!(response, Message::GetResponse(body) if body.found));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dict;
+mod error;
+pub mod persist;
+mod quota;
+pub mod server;
+mod store;
+pub mod sync;
+
+pub use dict::{DictEntry, MetadataDict};
+pub use error::StoreError;
+pub use quota::{QuotaDecision, QuotaPolicy, QuotaTracker};
+pub use store::{AccessControl, ResultStore, StoreConfig};

@@ -1,0 +1,183 @@
+//! Store persistence via enclave sealing.
+//!
+//! A `ResultStore` restart would otherwise lose every cached result. This
+//! module snapshots the dictionary *and* the referenced ciphertexts into a
+//! single blob sealed under the store enclave's identity
+//! ([`SealPolicy::MrEnclave`]): only a store enclave running the identical
+//! code on the same platform can restore it. Records inside are themselves
+//! RCE-protected, so sealing here adds rollback/integrity protection for
+//! the snapshot as a whole rather than confidentiality of individual
+//! results.
+
+use speed_enclave::sealing::{seal, unseal, SealedData, SealPolicy};
+use speed_enclave::Platform;
+use speed_wire::{Reader, SyncEntry, WireDecode, WireEncode, WireError, Writer};
+
+use crate::store::{ResultStore, StoreConfig};
+use crate::StoreError;
+
+const SNAPSHOT_AAD: &[u8] = b"speed-store-snapshot-v1";
+
+fn encode_entries(entries: &[SyncEntry]) -> Vec<u8> {
+    let mut writer = Writer::new();
+    let count = u32::try_from(entries.len()).expect("snapshot too large");
+    count.encode(&mut writer);
+    for entry in entries {
+        entry.encode(&mut writer);
+    }
+    writer.into_bytes()
+}
+
+fn decode_entries(bytes: &[u8]) -> Result<Vec<SyncEntry>, WireError> {
+    let mut reader = Reader::new(bytes);
+    let count = u32::decode(&mut reader)? as usize;
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        entries.push(SyncEntry::decode(&mut reader)?);
+    }
+    reader.finish()?;
+    Ok(entries)
+}
+
+/// Snapshots the entire store (metadata + ciphertexts + hit counts) into a
+/// blob sealed to the store enclave's identity.
+pub fn snapshot(platform: &Platform, store: &ResultStore) -> Vec<u8> {
+    let entries = store.export_popular(0);
+    let payload = encode_entries(&entries);
+    seal(platform, store.enclave(), &SealPolicy::MrEnclave, SNAPSHOT_AAD, &payload)
+        .to_bytes()
+}
+
+/// Restores a store from a sealed snapshot, preserving hit counts.
+///
+/// # Errors
+///
+/// - [`StoreError::Enclave`] if unsealing fails (snapshot from a different
+///   store code version or platform, or tampered bytes).
+/// - [`StoreError::Protocol`] if the payload is malformed.
+pub fn restore(
+    platform: &Platform,
+    config: StoreConfig,
+    sealed_bytes: &[u8],
+) -> Result<ResultStore, StoreError> {
+    let store = ResultStore::new(platform, config)?;
+    let sealed = SealedData::from_bytes(sealed_bytes)?;
+    let payload =
+        unseal(platform, store.enclave(), &SealPolicy::MrEnclave, SNAPSHOT_AAD, &sealed)?;
+    let entries =
+        decode_entries(&payload).map_err(|e| StoreError::Protocol(e.to_string()))?;
+    store.import_entries(entries);
+    Ok(store)
+}
+
+/// Validates the outer sealed container without unsealing, returning its
+/// size. Only the owner enclave can read the contents.
+pub fn snapshot_size(sealed_bytes: &[u8]) -> Option<usize> {
+    SealedData::from_bytes(sealed_bytes).ok().map(|s| s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_enclave::CostModel;
+    use speed_wire::{AppId, CompTag, Message, Record};
+
+    fn tag(n: u8) -> CompTag {
+        CompTag::from_bytes([n; 32])
+    }
+
+    fn record(n: u8) -> Record {
+        Record {
+            challenge: vec![n; 32],
+            wrapped_key: [n; 16],
+            nonce: [n; 12],
+            boxed_result: vec![n; 40],
+        }
+    }
+
+    fn populated_store(platform: &Platform) -> ResultStore {
+        let store = ResultStore::new(platform, StoreConfig::default()).unwrap();
+        for n in 1..=5u8 {
+            store.handle(Message::PutRequest { app: AppId(1), tag: tag(n), record: record(n) });
+        }
+        // Give entry 1 some popularity.
+        for _ in 0..3 {
+            store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        }
+        store
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = populated_store(&platform);
+        let sealed = snapshot(&platform, &store);
+        drop(store);
+
+        let restored = restore(&platform, StoreConfig::default(), &sealed).unwrap();
+        assert_eq!(restored.stats().entries, 5);
+        // Data intact.
+        let response =
+            restored.handle(Message::GetRequest { app: AppId(2), tag: tag(3) });
+        match response {
+            Message::GetResponse(body) => {
+                assert_eq!(body.record.unwrap().boxed_result, vec![3u8; 40]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Popularity preserved: entry 1 still syncs as popular.
+        let popular = restored.export_popular(3);
+        assert_eq!(popular.len(), 1);
+        assert_eq!(popular[0].tag, tag(1));
+    }
+
+    #[test]
+    fn tampered_snapshot_rejected() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = populated_store(&platform);
+        let mut sealed = snapshot(&platform, &store);
+        let mid = sealed.len() / 2;
+        sealed[mid] ^= 0xFF;
+        assert!(restore(&platform, StoreConfig::default(), &sealed).is_err());
+    }
+
+    #[test]
+    fn snapshot_bound_to_platform() {
+        let platform_a = Platform::new(CostModel::no_sgx());
+        let platform_b = Platform::new(CostModel::no_sgx());
+        let store = populated_store(&platform_a);
+        let sealed = snapshot(&platform_a, &store);
+        assert!(restore(&platform_b, StoreConfig::default(), &sealed).is_err());
+    }
+
+    #[test]
+    fn empty_store_snapshots_fine() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
+        let sealed = snapshot(&platform, &store);
+        let restored = restore(&platform, StoreConfig::default(), &sealed).unwrap();
+        assert_eq!(restored.stats().entries, 0);
+    }
+
+    #[test]
+    fn results_recoverable_after_restore() {
+        // Full-stack check: an RCE-protected record still decrypts after a
+        // seal/restore cycle (the record bytes must be bit-identical).
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = populated_store(&platform);
+        let original = match store.handle(Message::GetRequest { app: AppId(1), tag: tag(2) })
+        {
+            Message::GetResponse(body) => body.record.unwrap(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let sealed = snapshot(&platform, &store);
+        let restored = restore(&platform, StoreConfig::default(), &sealed).unwrap();
+        let recovered = match restored
+            .handle(Message::GetRequest { app: AppId(9), tag: tag(2) })
+        {
+            Message::GetResponse(body) => body.record.unwrap(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(original, recovered);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-application quota and rate limiting.
+//!
+//! "A malicious application may issue a large number of 'update' requests
+//! for polluting the ResultStore with useless results. To defend against it,
+//! we can adopt the rate-limiting strategy into SPEED, which involves a
+//! quota mechanism to limit the cache space for each application." (§III-D)
+
+use std::collections::HashMap;
+
+use speed_wire::AppId;
+
+/// Limits applied to each application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaPolicy {
+    /// Maximum live entries an application may own.
+    pub max_entries_per_app: u64,
+    /// Maximum total ciphertext bytes an application may have stored.
+    pub max_bytes_per_app: u64,
+    /// Maximum PUT requests per window.
+    pub max_puts_per_window: u64,
+    /// Rate-limit window length in milliseconds.
+    pub window_ms: u64,
+}
+
+impl QuotaPolicy {
+    /// Effectively unlimited (benchmarking configuration).
+    pub fn unlimited() -> Self {
+        QuotaPolicy {
+            max_entries_per_app: u64::MAX,
+            max_bytes_per_app: u64::MAX,
+            max_puts_per_window: u64::MAX,
+            window_ms: 1_000,
+        }
+    }
+}
+
+impl Default for QuotaPolicy {
+    fn default() -> Self {
+        QuotaPolicy {
+            max_entries_per_app: 100_000,
+            max_bytes_per_app: 4 * 1024 * 1024 * 1024,
+            max_puts_per_window: 10_000,
+            window_ms: 1_000,
+        }
+    }
+}
+
+/// The outcome of a quota check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// The request may proceed.
+    Allow,
+    /// The request must be rejected with the given reason.
+    Deny(String),
+}
+
+impl QuotaDecision {
+    /// Whether the decision allows the request.
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, QuotaDecision::Allow)
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct AppUsage {
+    entries: u64,
+    bytes: u64,
+    window_start_ms: u64,
+    puts_in_window: u64,
+}
+
+/// Tracks per-application usage against a [`QuotaPolicy`].
+///
+/// Time is injected by the caller (`now_ms`) so the tracker is fully
+/// deterministic in tests; the store feeds it a monotonic millisecond clock.
+#[derive(Debug)]
+pub struct QuotaTracker {
+    policy: QuotaPolicy,
+    usage: HashMap<AppId, AppUsage>,
+}
+
+impl QuotaTracker {
+    /// Creates a tracker for `policy`.
+    pub fn new(policy: QuotaPolicy) -> Self {
+        QuotaTracker { policy, usage: HashMap::new() }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> QuotaPolicy {
+        self.policy
+    }
+
+    /// Checks whether `app` may PUT `bytes` more ciphertext at `now_ms`,
+    /// and records the PUT if allowed.
+    pub fn check_put(&mut self, app: AppId, bytes: u64, now_ms: u64) -> QuotaDecision {
+        let usage = self.usage.entry(app).or_default();
+        if now_ms.saturating_sub(usage.window_start_ms) >= self.policy.window_ms {
+            usage.window_start_ms = now_ms;
+            usage.puts_in_window = 0;
+        }
+        if usage.puts_in_window >= self.policy.max_puts_per_window {
+            return QuotaDecision::Deny(format!(
+                "rate limit: {} puts in current window",
+                usage.puts_in_window
+            ));
+        }
+        if usage.entries >= self.policy.max_entries_per_app {
+            return QuotaDecision::Deny(format!(
+                "entry quota: {} entries stored",
+                usage.entries
+            ));
+        }
+        if usage.bytes.saturating_add(bytes) > self.policy.max_bytes_per_app {
+            return QuotaDecision::Deny(format!(
+                "byte quota: {} bytes stored, {} requested",
+                usage.bytes, bytes
+            ));
+        }
+        usage.puts_in_window += 1;
+        usage.entries += 1;
+        usage.bytes += bytes;
+        QuotaDecision::Allow
+    }
+
+    /// Returns quota for an entry that was evicted or replaced.
+    pub fn release(&mut self, app: AppId, bytes: u64) {
+        if let Some(usage) = self.usage.get_mut(&app) {
+            usage.entries = usage.entries.saturating_sub(1);
+            usage.bytes = usage.bytes.saturating_sub(bytes);
+        }
+    }
+
+    /// Current (entries, bytes) charged to `app`.
+    pub fn usage(&self, app: AppId) -> (u64, u64) {
+        self.usage.get(&app).map_or((0, 0), |u| (u.entries, u.bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_policy() -> QuotaPolicy {
+        QuotaPolicy {
+            max_entries_per_app: 3,
+            max_bytes_per_app: 100,
+            max_puts_per_window: 2,
+            window_ms: 1_000,
+        }
+    }
+
+    #[test]
+    fn allows_within_limits() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        assert!(tracker.check_put(AppId(1), 10, 0).is_allowed());
+        assert_eq!(tracker.usage(AppId(1)), (1, 10));
+    }
+
+    #[test]
+    fn rate_limit_trips_within_window() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        assert!(tracker.check_put(AppId(1), 1, 0).is_allowed());
+        assert!(tracker.check_put(AppId(1), 1, 100).is_allowed());
+        let denied = tracker.check_put(AppId(1), 1, 200);
+        assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("rate limit")));
+    }
+
+    #[test]
+    fn rate_limit_resets_after_window() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        tracker.check_put(AppId(1), 1, 0);
+        tracker.check_put(AppId(1), 1, 1);
+        assert!(!tracker.check_put(AppId(1), 1, 2).is_allowed());
+        assert!(tracker.check_put(AppId(1), 1, 1_000).is_allowed());
+    }
+
+    #[test]
+    fn entry_quota_trips() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        for i in 0..3u64 {
+            assert!(tracker.check_put(AppId(1), 1, i * 1_000).is_allowed());
+        }
+        let denied = tracker.check_put(AppId(1), 1, 10_000);
+        assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("entry quota")));
+    }
+
+    #[test]
+    fn byte_quota_trips() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        assert!(tracker.check_put(AppId(1), 90, 0).is_allowed());
+        let denied = tracker.check_put(AppId(1), 20, 1_000);
+        assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("byte quota")));
+    }
+
+    #[test]
+    fn quotas_are_per_app() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        tracker.check_put(AppId(1), 90, 0);
+        assert!(tracker.check_put(AppId(2), 90, 0).is_allowed());
+    }
+
+    #[test]
+    fn release_returns_quota() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        tracker.check_put(AppId(1), 90, 0);
+        tracker.release(AppId(1), 90);
+        assert_eq!(tracker.usage(AppId(1)), (0, 0));
+        assert!(tracker.check_put(AppId(1), 90, 2_000).is_allowed());
+    }
+
+    #[test]
+    fn release_unknown_app_is_noop() {
+        let mut tracker = QuotaTracker::new(small_policy());
+        tracker.release(AppId(42), 10);
+        assert_eq!(tracker.usage(AppId(42)), (0, 0));
+    }
+
+    #[test]
+    fn unlimited_policy_never_denies() {
+        let mut tracker = QuotaTracker::new(QuotaPolicy::unlimited());
+        for i in 0..1_000u64 {
+            assert!(tracker.check_put(AppId(1), 1 << 20, i).is_allowed());
+        }
+    }
+}

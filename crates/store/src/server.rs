@@ -1,0 +1,409 @@
+//! TCP front end for a [`ResultStore`].
+//!
+//! Deploys the store on a dedicated endpoint (the paper's two-machine setup,
+//! §V-A). Each connection runs an attested handshake — the client sends its
+//! quote, the server replies with its own — after which all messages travel
+//! AES-GCM sealed inside length-prefixed frames.
+//!
+//! Handshake wire format (plaintext frames, authenticity provided by the
+//! quotes themselves):
+//!
+//! 1. client → server: `client_quote` bytes (each side obtains its quote
+//!    from the [`SessionAuthority`]'s attestation service on its own
+//!    platform)
+//! 2. server → client: `server_quote` bytes
+//!
+//! Both sides then derive the session key from the verified quote pair. In
+//! a real deployment this is an attested TLS or SIGMA exchange; the
+//! authority models the verifier role (see [`speed_wire::SessionAuthority`]).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use speed_enclave::attestation::{create_report, Quote, REPORT_DATA_LEN};
+use speed_enclave::Platform;
+use speed_wire::frame::{read_frame, write_frame};
+use speed_wire::{from_bytes, to_bytes, Message, Role, SecureChannel, SessionAuthority};
+
+use crate::store::ResultStore;
+use crate::StoreError;
+
+/// A running TCP store server.
+///
+/// Dropping the handle signals shutdown and joins the acceptor thread.
+#[derive(Debug)]
+pub struct StoreServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl StoreServer {
+    /// Spawns a server for `store` listening on `bind_addr` (use port 0 for
+    /// an ephemeral port; the bound address is available via
+    /// [`addr`](StoreServer::addr)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if binding fails.
+    pub fn spawn(
+        store: Arc<ResultStore>,
+        platform: Arc<Platform>,
+        authority: Arc<SessionAuthority>,
+        bind_addr: &str,
+    ) -> Result<Self, StoreError> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+
+        let acceptor = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nonblocking(false).ok();
+                        stream.set_nodelay(true).ok();
+                        // A short read timeout lets workers notice shutdown
+                        // even while a client connection stays open idle.
+                        stream
+                            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+                            .ok();
+                        let store = Arc::clone(&store);
+                        let platform = Arc::clone(&platform);
+                        let authority = Arc::clone(&authority);
+                        let worker_shutdown = Arc::clone(&shutdown_flag);
+                        workers.push(std::thread::spawn(move || {
+                            // Connection errors just drop the connection.
+                            let _ = serve_connection(
+                                stream,
+                                &store,
+                                &platform,
+                                &authority,
+                                &worker_shutdown,
+                            );
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+        });
+
+        Ok(StoreServer { addr, shutdown, acceptor: Some(acceptor) })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and waits for the acceptor to finish.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Waits (with the stream's short read timeout) until data is readable,
+/// the peer hung up, or shutdown was requested. Returns `Ok(true)` when a
+/// frame is ready to read.
+fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> Result<bool, StoreError> {
+    let mut probe = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(false), // peer closed
+            Ok(_) => return Ok(true),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(50);
+const FRAME_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+fn serve_connection(
+    mut stream: TcpStream,
+    store: &ResultStore,
+    platform: &Platform,
+    authority: &SessionAuthority,
+    shutdown: &AtomicBool,
+) -> Result<(), StoreError> {
+    // Wait for the client's handshake frame, then read it with the longer
+    // in-frame timeout (a peek-then-read pattern so the short idle timeout
+    // can never truncate a frame mid-read).
+    if !wait_readable(&stream, shutdown)? {
+        return Ok(());
+    }
+    stream.set_read_timeout(Some(FRAME_TIMEOUT)).ok();
+    let mut channel = server_handshake(&mut stream, store, platform, authority)?;
+    stream.set_read_timeout(Some(IDLE_TIMEOUT)).ok();
+
+    loop {
+        if !wait_readable(&stream, shutdown)? {
+            return Ok(());
+        }
+        stream.set_read_timeout(Some(FRAME_TIMEOUT)).ok();
+        let sealed = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let request_bytes = channel
+            .open_message(&sealed)
+            .map_err(|e| StoreError::Protocol(e.to_string()))?;
+        let request: Message =
+            from_bytes(&request_bytes).map_err(|e| StoreError::Protocol(e.to_string()))?;
+        let response = store.handle(request);
+        let sealed_response = channel.seal_message(&to_bytes(&response));
+        write_frame(&mut stream, &sealed_response)?;
+        stream.set_read_timeout(Some(IDLE_TIMEOUT)).ok();
+    }
+}
+
+fn server_handshake(
+    stream: &mut TcpStream,
+    store: &ResultStore,
+    platform: &Platform,
+    authority: &SessionAuthority,
+) -> Result<SecureChannel, StoreError> {
+    let client_quote_bytes = read_frame(&mut *stream)?;
+    let client_quote = Quote::from_bytes(&client_quote_bytes)
+        .map_err(|e| StoreError::Protocol(e.to_string()))?;
+    authority
+        .service()
+        .verify_quote(&client_quote)
+        .map_err(|e| StoreError::Protocol(format!("client attestation: {e}")))?;
+
+    let report_data = [0u8; REPORT_DATA_LEN];
+    let server_report = create_report(platform, store.enclave(), &report_data);
+    let server_quote = authority
+        .service()
+        .quote(platform, &server_report)
+        .map_err(|e| StoreError::Protocol(format!("server attestation: {e}")))?;
+    write_frame(&mut *stream, &server_quote.to_bytes())?;
+
+    let key = authority
+        .session_key(&client_quote, &server_quote)
+        .map_err(|e| StoreError::Protocol(e.to_string()))?;
+    Ok(SecureChannel::from_session_key(key, Role::Server))
+}
+
+/// Client-side connection to a [`StoreServer`]. Lives here (rather than in
+/// `speed-core`) so the handshake logic stays in one module.
+#[derive(Debug)]
+pub struct TcpStoreClient {
+    stream: TcpStream,
+    channel: SecureChannel,
+}
+
+impl TcpStoreClient {
+    /// Connects and runs the attested handshake.
+    ///
+    /// `identity` is the client enclave whose report is presented;
+    /// `platform` hosts it; `authority` must be the same authority the
+    /// server trusts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on connection failure or
+    /// [`StoreError::Protocol`] if attestation fails.
+    pub fn connect(
+        addr: SocketAddr,
+        platform: &Platform,
+        identity: &speed_enclave::Enclave,
+        authority: &SessionAuthority,
+    ) -> Result<Self, StoreError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+
+        let report_data = [0u8; REPORT_DATA_LEN];
+        let client_report = create_report(platform, identity, &report_data);
+        let client_quote = authority
+            .service()
+            .quote(platform, &client_report)
+            .map_err(|e| StoreError::Protocol(e.to_string()))?;
+        write_frame(&mut stream, &client_quote.to_bytes())?;
+
+        let server_quote_bytes = read_frame(&mut stream)?;
+        let server_quote = Quote::from_bytes(&server_quote_bytes)
+            .map_err(|e| StoreError::Protocol(e.to_string()))?;
+        authority
+            .service()
+            .verify_quote(&server_quote)
+            .map_err(|e| StoreError::Protocol(format!("server attestation: {e}")))?;
+
+        let key = authority
+            .session_key(&client_quote, &server_quote)
+            .map_err(|e| StoreError::Protocol(e.to_string()))?;
+        Ok(TcpStoreClient {
+            stream,
+            channel: SecureChannel::from_session_key(key, Role::Client),
+        })
+    }
+
+    /// Sends `request` and waits for the response (synchronous, like the
+    /// paper's prototype).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on stream failure or
+    /// [`StoreError::Protocol`] on channel/codec violations.
+    pub fn roundtrip(&mut self, request: &Message) -> Result<Message, StoreError> {
+        let sealed = self.channel.seal_message(&to_bytes(request));
+        write_frame(&mut self.stream, &sealed)?;
+        let sealed_response = read_frame(&mut self.stream)?;
+        let response_bytes = self
+            .channel
+            .open_message(&sealed_response)
+            .map_err(|e| StoreError::Protocol(e.to_string()))?;
+        from_bytes(&response_bytes).map_err(|e| StoreError::Protocol(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use speed_enclave::CostModel;
+    use speed_wire::{AppId, CompTag, Record};
+
+    fn setup() -> (Arc<Platform>, Arc<ResultStore>, Arc<SessionAuthority>, StoreServer) {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store =
+            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let authority = Arc::new(SessionAuthority::with_seed(11));
+        let server = StoreServer::spawn(
+            Arc::clone(&store),
+            Arc::clone(&platform),
+            Arc::clone(&authority),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        (platform, store, authority, server)
+    }
+
+    fn sample_record() -> Record {
+        Record {
+            challenge: vec![9u8; 32],
+            wrapped_key: [8u8; 16],
+            nonce: [7u8; 12],
+            boxed_result: vec![6u8; 40],
+        }
+    }
+
+    #[test]
+    fn tcp_put_get_roundtrip() {
+        let (platform, _store, authority, server) = setup();
+        let app_enclave = platform.create_enclave(b"tcp-client-app").unwrap();
+        let mut client =
+            TcpStoreClient::connect(server.addr(), &platform, &app_enclave, &authority)
+                .unwrap();
+
+        let tag = CompTag::from_bytes([5u8; 32]);
+        let miss = client
+            .roundtrip(&Message::GetRequest { app: AppId(1), tag })
+            .unwrap();
+        assert!(matches!(miss, Message::GetResponse(b) if !b.found));
+
+        let put = client
+            .roundtrip(&Message::PutRequest { app: AppId(1), tag, record: sample_record() })
+            .unwrap();
+        assert!(matches!(put, Message::PutResponse(b) if b.accepted));
+
+        let hit = client
+            .roundtrip(&Message::GetRequest { app: AppId(1), tag })
+            .unwrap();
+        match hit {
+            Message::GetResponse(body) => {
+                assert!(body.found);
+                assert_eq!(body.record.unwrap(), sample_record());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_state() {
+        let (platform, _store, authority, server) = setup();
+        let e1 = platform.create_enclave(b"client-1").unwrap();
+        let e2 = platform.create_enclave(b"client-2").unwrap();
+        let mut c1 =
+            TcpStoreClient::connect(server.addr(), &platform, &e1, &authority).unwrap();
+        let mut c2 =
+            TcpStoreClient::connect(server.addr(), &platform, &e2, &authority).unwrap();
+
+        let tag = CompTag::from_bytes([1u8; 32]);
+        c1.roundtrip(&Message::PutRequest { app: AppId(1), tag, record: sample_record() })
+            .unwrap();
+        let hit = c2.roundtrip(&Message::GetRequest { app: AppId(2), tag }).unwrap();
+        assert!(matches!(hit, Message::GetResponse(b) if b.found));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_over_tcp() {
+        let (platform, _store, authority, server) = setup();
+        let enclave = platform.create_enclave(b"stats-client").unwrap();
+        let mut client =
+            TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority).unwrap();
+        let tag = CompTag::from_bytes([2u8; 32]);
+        client
+            .roundtrip(&Message::PutRequest { app: AppId(1), tag, record: sample_record() })
+            .unwrap();
+        let stats = client.roundtrip(&Message::StatsRequest).unwrap();
+        assert!(matches!(stats, Message::StatsResponse(b) if b.puts == 1 && b.entries == 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_authority_fails_handshake() {
+        let (platform, _store, _authority, server) = setup();
+        let rogue_authority = SessionAuthority::with_seed(999);
+        let enclave = platform.create_enclave(b"rogue").unwrap();
+        // The server rejects the rogue quote and drops the connection, so
+        // either the handshake or the first roundtrip fails.
+        let result =
+            TcpStoreClient::connect(server.addr(), &platform, &enclave, &rogue_authority);
+        match result {
+            Err(_) => {}
+            Ok(mut client) => {
+                let tag = CompTag::from_bytes([3u8; 32]);
+                assert!(client
+                    .roundtrip(&Message::GetRequest { app: AppId(1), tag })
+                    .is_err());
+            }
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,783 @@
+//! The `ResultStore` proper: request parsing outside the enclave, dictionary
+//! access inside it (§IV-B).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use speed_enclave::{Enclave, EnclaveError, Platform, UntrustedMemory};
+use speed_wire::{
+    AppId, CompTag, GetResponseBody, Message, PutResponseBody, Record, StatsBody,
+    SyncEntry,
+};
+
+use crate::dict::MetadataDict;
+use crate::quota::{QuotaDecision, QuotaPolicy, QuotaTracker};
+use crate::StoreError;
+
+/// Code identity of the store enclave (what remote parties attest against).
+pub const STORE_ENCLAVE_CODE: &[u8] = b"speed-result-store-enclave-v1";
+
+/// Who may use the store — the "controlled deduplication" extension the
+/// paper sketches in §III-D ("to ensure that only authorized applications
+/// can access ResultStore, it requires an additional authorization
+/// mechanism").
+#[derive(Clone, Debug, Default)]
+pub enum AccessControl {
+    /// Any application may GET and PUT (the paper's prototype default).
+    #[default]
+    Open,
+    /// Only the listed application ids may GET or PUT; everyone else gets
+    /// a protocol error.
+    Allowlist(std::collections::HashSet<u64>),
+}
+
+impl AccessControl {
+    fn permits(&self, app: AppId) -> bool {
+        match self {
+            AccessControl::Open => true,
+            AccessControl::Allowlist(allowed) => allowed.contains(&app.0),
+        }
+    }
+}
+
+/// Configuration for a [`ResultStore`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Maximum number of dictionary entries before LRU eviction.
+    pub max_entries: usize,
+    /// Maximum total ciphertext bytes before LRU eviction.
+    pub max_stored_bytes: u64,
+    /// Per-application quota policy.
+    pub quota: QuotaPolicy,
+    /// Which applications may use the store.
+    pub access: AccessControl,
+    /// Entry time-to-live in logical milliseconds (each request advances
+    /// the logical clock by 1 ms); `None` disables expiry.
+    pub ttl_ms: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_entries: 1_000_000,
+            max_stored_bytes: 8 * 1024 * 1024 * 1024,
+            quota: QuotaPolicy::default(),
+            access: AccessControl::Open,
+            ttl_ms: None,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A small-capacity config for eviction tests.
+    pub fn with_capacity(max_entries: usize, max_stored_bytes: u64) -> Self {
+        StoreConfig {
+            max_entries,
+            max_stored_bytes,
+            quota: QuotaPolicy::unlimited(),
+            access: AccessControl::Open,
+            ttl_ms: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    gets: AtomicU64,
+    hits: AtomicU64,
+    puts: AtomicU64,
+    rejected_puts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Page-pooled EPC accounting for dictionary metadata: entries are tens of
+/// bytes, so the enclave heap commits pages as byte usage crosses page
+/// boundaries instead of a page per entry.
+#[derive(Debug, Default)]
+struct MetaHeap {
+    bytes: usize,
+    committed: usize,
+}
+
+impl MetaHeap {
+    fn reserve(
+        &mut self,
+        enclave: &Enclave,
+        bytes: usize,
+    ) -> Result<(), EnclaveError> {
+        let new_bytes = self.bytes + bytes;
+        let needed = new_bytes.div_ceil(speed_enclave::PAGE_SIZE)
+            * speed_enclave::PAGE_SIZE;
+        if needed > self.committed {
+            enclave.commit_memory(needed - self.committed)?;
+            self.committed = needed;
+        }
+        self.bytes = new_bytes;
+        Ok(())
+    }
+
+    fn release(&mut self, enclave: &Enclave, bytes: usize) {
+        self.bytes = self.bytes.saturating_sub(bytes);
+        let needed = self.bytes.div_ceil(speed_enclave::PAGE_SIZE)
+            * speed_enclave::PAGE_SIZE;
+        if needed < self.committed {
+            let _ = enclave.release_memory(self.committed - needed);
+            self.committed = needed;
+        }
+    }
+}
+
+/// The encrypted result store.
+///
+/// Thread-safe: the TCP front end serves concurrent connections against one
+/// shared instance.
+#[derive(Debug)]
+pub struct ResultStore {
+    enclave: Arc<Enclave>,
+    untrusted: Arc<UntrustedMemory>,
+    dict: Mutex<MetadataDict>,
+    meta_heap: Mutex<MetaHeap>,
+    quota: Mutex<QuotaTracker>,
+    config: StoreConfig,
+    counters: Counters,
+    logical_ms: AtomicU64,
+}
+
+impl ResultStore {
+    /// Creates a store whose enclave runs on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Enclave`] if the platform cannot host the
+    /// store enclave.
+    pub fn new(platform: &Platform, config: StoreConfig) -> Result<Self, StoreError> {
+        let enclave = platform.create_enclave(STORE_ENCLAVE_CODE)?;
+        Ok(ResultStore {
+            enclave,
+            untrusted: Arc::clone(platform.untrusted()),
+            dict: Mutex::new(MetadataDict::new()),
+            meta_heap: Mutex::new(MetaHeap::default()),
+            quota: Mutex::new(QuotaTracker::new(config.quota)),
+            config,
+            counters: Counters::default(),
+            logical_ms: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's enclave (for attestation by clients).
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// Handles one protocol message, returning the response message.
+    ///
+    /// Mirrors the paper's flow: preliminary parsing happens outside the
+    /// enclave (the caller decoded the message), then the request is
+    /// delegated to a `GET` or `PUT` ECALL that marshals data across the
+    /// boundary and touches the in-enclave dictionary.
+    pub fn handle(&self, message: Message) -> Message {
+        match message {
+            Message::GetRequest { app, tag } => {
+                if !self.config.access.permits(app) {
+                    return Message::Error(format!("app {} not authorized", app.0));
+                }
+                Message::GetResponse(self.handle_get(app, tag))
+            }
+            Message::PutRequest { app, tag, record } => {
+                if !self.config.access.permits(app) {
+                    return Message::Error(format!("app {} not authorized", app.0));
+                }
+                Message::PutResponse(self.handle_put(app, tag, record))
+            }
+            Message::StatsRequest => Message::StatsResponse(self.stats()),
+            Message::SyncPull { min_hits } => {
+                Message::SyncBatch(self.export_popular(min_hits))
+            }
+            Message::SyncBatch(entries) => {
+                let mut accepted = 0u64;
+                for entry in entries {
+                    if self
+                        .handle_put(AppId(u64::MAX), entry.tag, entry.record)
+                        .accepted
+                    {
+                        accepted += 1;
+                    }
+                }
+                Message::PutResponse(PutResponseBody {
+                    accepted: true,
+                    reason: Some(format!("merged {accepted} entries")),
+                })
+            }
+            other => Message::Error(format!("unexpected message: {other:?}")),
+        }
+    }
+
+    fn handle_get(&self, _app: AppId, tag: CompTag) -> GetResponseBody {
+        self.counters.gets.fetch_add(1, Ordering::Relaxed);
+        let now_ms = self.tick();
+        // GET ECALL: tag goes in (32 B), metadata comes out.
+        let (meta, expired) = self.enclave.ecall_with_bytes("store_get", 32, 128, || {
+            let mut dict = self.dict.lock();
+            if let Some(ttl) = self.config.ttl_ms {
+                let is_expired = dict
+                    .peek(&tag)
+                    .is_some_and(|entry| now_ms.saturating_sub(entry.created_ms) >= ttl);
+                if is_expired {
+                    return (None, dict.remove(&tag));
+                }
+            }
+            let meta = dict.get(&tag).map(|entry| {
+                (entry.challenge.clone(), entry.wrapped_key, entry.nonce, entry.blob,
+                 entry.boxed_len)
+            });
+            (meta, None)
+        });
+        if let Some(entry) = expired {
+            self.untrusted.remove(entry.blob);
+            self.quota.lock().release(entry.owner, u64::from(entry.boxed_len));
+            self.release_entry_memory(&entry);
+        }
+        match meta {
+            Some((challenge, wrapped_key, nonce, blob, boxed_len)) => {
+                // The ciphertext itself is read from untrusted memory by the
+                // host side — no boundary crossing for the bulk bytes.
+                match self.untrusted.load(blob) {
+                    Some(boxed_result) => {
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        GetResponseBody {
+                            found: true,
+                            record: Some(Record {
+                                challenge,
+                                wrapped_key,
+                                nonce,
+                                boxed_result,
+                            }),
+                        }
+                    }
+                    None => {
+                        // Blob vanished (hostile deletion outside the
+                        // enclave). Drop the dangling metadata and miss.
+                        let _ = boxed_len;
+                        self.enclave.ecall("store_drop_dangling", || {
+                            let mut dict = self.dict.lock();
+                            if let Some(entry) = dict.remove(&tag) {
+                                self.release_entry_memory(&entry);
+                            }
+                        });
+                        GetResponseBody { found: false, record: None }
+                    }
+                }
+            }
+            None => GetResponseBody { found: false, record: None },
+        }
+    }
+
+    fn handle_put(&self, app: AppId, tag: CompTag, record: Record) -> PutResponseBody {
+        self.counters.puts.fetch_add(1, Ordering::Relaxed);
+        let now_ms = self.tick();
+        let boxed_len = record.boxed_result.len() as u64;
+
+        let decision = self.quota.lock().check_put(app, boxed_len, now_ms);
+        if let QuotaDecision::Deny(reason) = decision {
+            self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+            return PutResponseBody { accepted: false, reason: Some(reason) };
+        }
+
+        // Bulk ciphertext goes straight to untrusted memory.
+        let blob = self.untrusted.store(record.boxed_result);
+
+        // PUT ECALL: metadata (challenge, [k], nonce, pointer) crosses the
+        // boundary into the dictionary.
+        let meta_len = record.challenge.len() + 16 + 12 + 8;
+        let result: Result<Option<speed_enclave::BlobId>, EnclaveError> =
+            self.enclave.ecall_with_bytes("store_put", meta_len, 1, || {
+                let mut dict = self.dict.lock();
+                let entry_footprint = 32 + record.challenge.len() + 120;
+                self.meta_heap.lock().reserve(&self.enclave, entry_footprint)?;
+                let rejected = dict.insert(
+                    tag,
+                    record.challenge.clone(),
+                    record.wrapped_key,
+                    record.nonce,
+                    blob,
+                    boxed_len as u32,
+                    app,
+                    now_ms,
+                );
+                if rejected.is_some() {
+                    // Entry already existed; give back the memory we took.
+                    self.meta_heap.lock().release(&self.enclave, entry_footprint);
+                }
+                Ok(rejected)
+            });
+
+        match result {
+            Ok(None) => {
+                self.enforce_capacity();
+                PutResponseBody { accepted: true, reason: None }
+            }
+            Ok(Some(orphan_blob)) => {
+                // Duplicate tag: first writer won; free the new blob and
+                // refund quota.
+                self.untrusted.remove(orphan_blob);
+                self.quota.lock().release(app, boxed_len);
+                PutResponseBody {
+                    accepted: true,
+                    reason: Some("duplicate: existing entry kept".into()),
+                }
+            }
+            Err(e) => {
+                self.untrusted.remove(blob);
+                self.quota.lock().release(app, boxed_len);
+                self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                PutResponseBody { accepted: false, reason: Some(e.to_string()) }
+            }
+        }
+    }
+
+    fn enforce_capacity(&self) {
+        loop {
+            let evicted = self.enclave.ecall("store_evict", || {
+                let mut dict = self.dict.lock();
+                if dict.len() > self.config.max_entries
+                    || dict.stored_bytes() > self.config.max_stored_bytes
+                {
+                    dict.evict_lru()
+                } else {
+                    None
+                }
+            });
+            match evicted {
+                Some((_tag, entry)) => {
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.untrusted.remove(entry.blob);
+                    self.quota.lock().release(entry.owner, u64::from(entry.boxed_len));
+                    self.release_entry_memory(&entry);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn release_entry_memory(&self, entry: &crate::DictEntry) {
+        let footprint = 32 + entry.challenge.len() + 120;
+        self.meta_heap.lock().release(&self.enclave, footprint);
+    }
+
+    /// Imports entries wholesale (snapshot restore), preserving hit counts.
+    /// Returns how many entries were imported.
+    pub fn import_entries(&self, entries: Vec<SyncEntry>) -> usize {
+        let mut imported = 0usize;
+        for entry in entries {
+            let hits = entry.hits;
+            let tag = entry.tag;
+            let response = self.handle_put(AppId(u64::MAX), tag, entry.record);
+            if response.accepted {
+                self.enclave.ecall("store_restore_hits", || {
+                    self.dict.lock().restore_hits(&tag, hits);
+                });
+                imported += 1;
+            }
+        }
+        imported
+    }
+
+    /// Exports entries with at least `min_hits` hits for master-store sync.
+    pub fn export_popular(&self, min_hits: u64) -> Vec<SyncEntry> {
+        let popular = self
+            .enclave
+            .ecall("store_export", || self.dict.lock().popular(min_hits));
+        popular
+            .into_iter()
+            .filter_map(|(tag, entry)| {
+                self.untrusted.load(entry.blob).map(|boxed_result| SyncEntry {
+                    tag,
+                    record: Record {
+                        challenge: entry.challenge,
+                        wrapped_key: entry.wrapped_key,
+                        nonce: entry.nonce,
+                        boxed_result,
+                    },
+                    hits: entry.hits,
+                })
+            })
+            .collect()
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> StatsBody {
+        let dict = self.dict.lock();
+        StatsBody {
+            entries: dict.len() as u64,
+            gets: self.counters.gets.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            puts: self.counters.puts.load(Ordering::Relaxed),
+            rejected_puts: self.counters.rejected_puts.load(Ordering::Relaxed),
+            stored_bytes: dict.stored_bytes(),
+        }
+    }
+
+    /// Number of LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.counters.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Advances and returns the logical millisecond clock used for quota
+    /// windows. Each request advances time by 1 ms; tests may rely on this
+    /// determinism.
+    fn tick(&self) -> u64 {
+        self.logical_ms.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_enclave::CostModel;
+
+    fn record(len: usize, fill: u8) -> Record {
+        Record {
+            challenge: vec![fill; 32],
+            wrapped_key: [fill; 16],
+            nonce: [fill; 12],
+            boxed_result: vec![fill; len],
+        }
+    }
+
+    fn tag(n: u8) -> CompTag {
+        CompTag::from_bytes([n; 32])
+    }
+
+    fn store() -> (Arc<Platform>, ResultStore) {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
+        (platform, store)
+    }
+
+    #[test]
+    fn get_miss_then_put_then_hit() {
+        let (_p, store) = store();
+        let response = store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        assert_eq!(
+            response,
+            Message::GetResponse(GetResponseBody { found: false, record: None })
+        );
+
+        let put = store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(100, 7),
+        });
+        assert!(matches!(put, Message::PutResponse(body) if body.accepted));
+
+        let response = store.handle(Message::GetRequest { app: AppId(2), tag: tag(1) });
+        match response {
+            Message::GetResponse(body) => {
+                assert!(body.found);
+                assert_eq!(body.record.unwrap().boxed_result, vec![7u8; 100]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_track_requests() {
+        let (_p, store) = store();
+        store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        let stats = store.stats();
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.puts, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.stored_bytes, 10);
+    }
+
+    #[test]
+    fn duplicate_put_keeps_first_version() {
+        let (platform, store) = store();
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        let blobs_before = platform.untrusted().len();
+        let response = store.handle(Message::PutRequest {
+            app: AppId(2),
+            tag: tag(1),
+            record: record(10, 2),
+        });
+        assert!(matches!(
+            response,
+            Message::PutResponse(body) if body.accepted && body.reason.is_some()
+        ));
+        // The duplicate's blob was freed.
+        assert_eq!(platform.untrusted().len(), blobs_before);
+        let get = store.handle(Message::GetRequest { app: AppId(3), tag: tag(1) });
+        match get {
+            Message::GetResponse(body) => {
+                assert_eq!(body.record.unwrap().boxed_result, vec![1u8; 10]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store =
+            ResultStore::new(&platform, StoreConfig::with_capacity(2, u64::MAX)).unwrap();
+        for n in 1..=3u8 {
+            store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag(n),
+                record: record(8, n),
+            });
+        }
+        assert_eq!(store.evictions(), 1);
+        // Entry 1 was LRU and is gone; 2 and 3 remain.
+        let miss = store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        assert!(matches!(miss, Message::GetResponse(b) if !b.found));
+        let hit = store.handle(Message::GetRequest { app: AppId(1), tag: tag(3) });
+        assert!(matches!(hit, Message::GetResponse(b) if b.found));
+    }
+
+    #[test]
+    fn byte_capacity_eviction() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store =
+            ResultStore::new(&platform, StoreConfig::with_capacity(usize::MAX, 100)).unwrap();
+        for n in 1..=4u8 {
+            store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag(n),
+                record: record(40, n),
+            });
+        }
+        assert!(store.stats().stored_bytes <= 100);
+        assert!(store.evictions() >= 2);
+    }
+
+    #[test]
+    fn quota_rejection_reported() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let config = StoreConfig {
+            max_entries: 1000,
+            max_stored_bytes: u64::MAX,
+            quota: QuotaPolicy {
+                max_entries_per_app: 2,
+                max_bytes_per_app: u64::MAX,
+                max_puts_per_window: u64::MAX,
+                window_ms: 1_000,
+            },
+            access: AccessControl::Open,
+            ttl_ms: None,
+        };
+        let store = ResultStore::new(&platform, config).unwrap();
+        for n in 1..=2u8 {
+            let r = store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag(n),
+                record: record(8, n),
+            });
+            assert!(matches!(r, Message::PutResponse(b) if b.accepted));
+        }
+        let rejected = store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(3),
+            record: record(8, 3),
+        });
+        match rejected {
+            Message::PutResponse(b) => {
+                assert!(!b.accepted);
+                assert!(b.reason.unwrap().contains("quota"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Another app is unaffected.
+        let ok = store.handle(Message::PutRequest {
+            app: AppId(2),
+            tag: tag(4),
+            record: record(8, 4),
+        });
+        assert!(matches!(ok, Message::PutResponse(b) if b.accepted));
+    }
+
+    #[test]
+    fn hostile_blob_deletion_degrades_to_miss() {
+        let (platform, store) = store();
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        // Adversary wipes all untrusted blobs.
+        let ids: Vec<_> = (0..100).map(speed_enclave::BlobId::from_raw).collect();
+        for id in ids {
+            platform.untrusted().remove(id);
+        }
+        let response = store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        assert!(matches!(response, Message::GetResponse(b) if !b.found));
+        // The dangling metadata was cleaned up.
+        assert_eq!(store.stats().entries, 0);
+    }
+
+    #[test]
+    fn ecall_counters_grow_with_requests() {
+        let (_p, store) = store();
+        let before = store.enclave().stats().ecalls;
+        store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        assert!(store.enclave().stats().ecalls > before);
+    }
+
+    #[test]
+    fn unexpected_message_yields_error() {
+        let (_p, store) = store();
+        let response = store.handle(Message::Error("client-side".into()));
+        assert!(matches!(response, Message::Error(_)));
+    }
+
+    #[test]
+    fn sync_pull_exports_popular_entries() {
+        let (_p, store) = store();
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(2), record: record(10, 2) });
+        // Make tag 1 popular.
+        for _ in 0..3 {
+            store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        }
+        let response = store.handle(Message::SyncPull { min_hits: 2 });
+        match response {
+            Message::SyncBatch(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].tag, tag(1));
+                assert!(entries[0].hits >= 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_batch_merges_entries() {
+        let (_p, source) = store();
+        let (_p2, target) = store();
+        source.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(10, 1),
+        });
+        source.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        let batch = source.export_popular(1);
+        assert_eq!(batch.len(), 1);
+        target.handle(Message::SyncBatch(batch));
+        let hit = target.handle(Message::GetRequest { app: AppId(9), tag: tag(1) });
+        assert!(matches!(hit, Message::GetResponse(b) if b.found));
+    }
+
+    #[test]
+    fn allowlist_blocks_unauthorized_apps() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let config = StoreConfig {
+            access: AccessControl::Allowlist([1u64, 2].into_iter().collect()),
+            ..StoreConfig::default()
+        };
+        let store = ResultStore::new(&platform, config).unwrap();
+
+        // Authorized app can PUT and GET.
+        let ok = store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(8, 1),
+        });
+        assert!(matches!(ok, Message::PutResponse(b) if b.accepted));
+        let ok = store.handle(Message::GetRequest { app: AppId(2), tag: tag(1) });
+        assert!(matches!(ok, Message::GetResponse(b) if b.found));
+
+        // Unauthorized app is refused both ways.
+        let denied = store.handle(Message::GetRequest { app: AppId(3), tag: tag(1) });
+        assert!(matches!(denied, Message::Error(ref m) if m.contains("not authorized")));
+        let denied = store.handle(Message::PutRequest {
+            app: AppId(3),
+            tag: tag(2),
+            record: record(8, 2),
+        });
+        assert!(matches!(denied, Message::Error(_)));
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let config = StoreConfig { ttl_ms: Some(5), ..StoreConfig::default() };
+        let store = ResultStore::new(&platform, config).unwrap();
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(12, 1) });
+
+        // Within TTL (logical clock advances 1 ms per request): hit.
+        let hit = store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        assert!(matches!(hit, Message::GetResponse(b) if b.found));
+
+        // Burn logical time with unrelated requests past the TTL.
+        for n in 10..20u8 {
+            store.handle(Message::GetRequest { app: AppId(1), tag: tag(n) });
+        }
+        let miss = store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        assert!(matches!(miss, Message::GetResponse(b) if !b.found));
+        // The expired entry was fully reclaimed.
+        assert_eq!(store.stats().entries, 0);
+        assert_eq!(store.stats().stored_bytes, 0);
+    }
+
+    #[test]
+    fn no_ttl_means_no_expiry() {
+        let (_p, store) = store();
+        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(8, 1) });
+        for n in 10..60u8 {
+            store.handle(Message::GetRequest { app: AppId(1), tag: tag(n) });
+        }
+        let hit = store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        assert!(matches!(hit, Message::GetResponse(b) if b.found));
+    }
+
+    #[test]
+    fn import_entries_preserves_hits() {
+        let (_p, store) = store();
+        let entries = vec![SyncEntry {
+            tag: tag(1),
+            record: Record {
+                challenge: vec![1; 32],
+                wrapped_key: [1; 16],
+                nonce: [1; 12],
+                boxed_result: vec![1; 10],
+            },
+            hits: 7,
+        }];
+        assert_eq!(store.import_entries(entries), 1);
+        let popular = store.export_popular(7);
+        assert_eq!(popular.len(), 1);
+        assert_eq!(popular[0].hits, 7);
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets_are_safe() {
+        let (_p, store) = store();
+        let store = Arc::new(store);
+        std::thread::scope(|s| {
+            for worker in 0..4u8 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..50u8 {
+                        let t = tag(worker.wrapping_mul(50).wrapping_add(i));
+                        store.handle(Message::PutRequest {
+                            app: AppId(u64::from(worker)),
+                            tag: t,
+                            record: record(16, i),
+                        });
+                        store.handle(Message::GetRequest {
+                            app: AppId(u64::from(worker)),
+                            tag: t,
+                        });
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.puts, 200);
+        assert_eq!(stats.gets, 200);
+    }
+}

@@ -1,0 +1,509 @@
+//! The uniform serialization interface: a compact, deterministic,
+//! length-prefixed binary codec.
+//!
+//! Encoding rules:
+//! - fixed-width integers are little-endian;
+//! - byte strings and collections carry a `u32` length prefix;
+//! - `Option<T>` is a presence byte followed by the value;
+//! - tuples and structs are field-by-field concatenation.
+//!
+//! Determinism matters: the dedup tag is a hash over encoded inputs, so the
+//! same logical value must always encode to the same bytes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Ran out of bytes mid-value.
+    UnexpectedEof {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// An enum discriminant or presence byte had an invalid value.
+    InvalidTag(u8),
+    /// Input was not fully consumed by [`crate::from_bytes`].
+    TrailingBytes(usize),
+    /// A declared length exceeds the remaining input (corrupt or hostile).
+    LengthOverflow(u64),
+    /// A string field contained invalid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::InvalidTag(tag) => write!(f, "invalid discriminant byte {tag:#04x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::LengthOverflow(len) => {
+                write!(f, "declared length {len} exceeds remaining input")
+            }
+            WireError::InvalidUtf8 => write!(f, "string field contained invalid utf-8"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// An append-only encoding buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` exceeds `u32::MAX`.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        let len = u32::try_from(bytes.len()).expect("wire value exceeds 4 GiB");
+        self.put_raw(&len.to_le_bytes());
+        self.put_raw(bytes);
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A cursor over bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` remain.
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LengthOverflow`] if the prefix exceeds the
+    /// remaining input, or [`WireError::UnexpectedEof`] on truncation.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = u32::decode(self)? as usize;
+        if len > self.remaining() {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
+        self.take_raw(len)
+    }
+
+    /// Fails unless all input has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] if bytes remain.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+/// Types encodable with the uniform serialization interface.
+pub trait WireEncode {
+    /// Appends this value's encoding to `writer`.
+    fn encode(&self, writer: &mut Writer);
+}
+
+/// Types decodable with the uniform serialization interface.
+pub trait WireDecode: Sized {
+    /// Decodes one value from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed input.
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+macro_rules! impl_wire_int {
+    ($($ty:ty),*) => {$(
+        impl WireEncode for $ty {
+            fn encode(&self, writer: &mut Writer) {
+                writer.put_raw(&self.to_le_bytes());
+            }
+        }
+        impl WireDecode for $ty {
+            fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+                let raw = reader.take_raw(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(raw.try_into().expect("sized read")))
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl WireEncode for f64 {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_raw(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for f64 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let raw = reader.take_raw(8)?;
+        Ok(f64::from_le_bytes(raw.try_into().expect("sized read")))
+    }
+}
+
+impl WireEncode for f32 {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_raw(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for f32 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let raw = reader.take_raw(4)?;
+        Ok(f32::from_le_bytes(raw.try_into().expect("sized read")))
+    }
+}
+
+impl WireEncode for bool {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_raw(&[u8::from(*self)]);
+    }
+}
+
+impl WireDecode for bool {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.take_raw(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+}
+
+impl WireEncode for [u8] {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_bytes(self);
+    }
+}
+
+impl WireEncode for Vec<u8> {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_bytes(self);
+    }
+}
+
+impl WireDecode for Vec<u8> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(reader.take_bytes()?.to_vec())
+    }
+}
+
+impl WireEncode for str {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_bytes(self.as_bytes());
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_bytes(self.as_bytes());
+    }
+}
+
+impl WireDecode for String {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = reader.take_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+impl<const N: usize> WireEncode for [u8; N] {
+    fn encode(&self, writer: &mut Writer) {
+        writer.put_raw(self);
+    }
+}
+
+impl<const N: usize> WireDecode for [u8; N] {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let raw = reader.take_raw(N)?;
+        Ok(raw.try_into().expect("sized read"))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, writer: &mut Writer) {
+        match self {
+            None => writer.put_raw(&[0]),
+            Some(value) => {
+                writer.put_raw(&[1]);
+                value.encode(writer);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.take_raw(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(reader)?)),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+}
+
+// Generic sequences. `Vec<u8>` has its own faster impl above; this covers
+// vectors of structured values.
+macro_rules! impl_wire_seq {
+    ($($ty:ty),*) => {$(
+        impl WireEncode for Vec<$ty> {
+            fn encode(&self, writer: &mut Writer) {
+                let len = u32::try_from(self.len()).expect("sequence exceeds u32 elements");
+                len.encode(writer);
+                for item in self {
+                    item.encode(writer);
+                }
+            }
+        }
+        impl WireDecode for Vec<$ty> {
+            fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+                let len = u32::decode(reader)? as usize;
+                // Defensive preallocation bound for hostile lengths.
+                let mut out = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    out.push(<$ty>::decode(reader)?);
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+impl_wire_seq!(u16, u32, u64, i32, i64, f32, f64, String, Vec<u8>);
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: WireEncode),+> WireEncode for ($($name,)+) {
+            fn encode(&self, writer: &mut Writer) {
+                $(self.$idx.encode(writer);)+
+            }
+        }
+        impl<$($name: WireDecode),+> WireDecode for ($($name,)+) {
+            fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(reader)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl WireEncode for () {
+    fn encode(&self, _writer: &mut Writer) {}
+}
+
+impl WireDecode for () {
+    fn decode(_reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    #[test]
+    fn integers_roundtrip() {
+        assert_eq!(from_bytes::<u8>(&to_bytes(&7u8)).unwrap(), 7);
+        assert_eq!(from_bytes::<u32>(&to_bytes(&0xDEADBEEFu32)).unwrap(), 0xDEADBEEF);
+        assert_eq!(from_bytes::<i64>(&to_bytes(&-9i64)).unwrap(), -9);
+        assert_eq!(from_bytes::<u64>(&to_bytes(&u64::MAX)).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        assert_eq!(from_bytes::<f64>(&to_bytes(&1.5f64)).unwrap(), 1.5);
+        assert_eq!(from_bytes::<f32>(&to_bytes(&-0.25f32)).unwrap(), -0.25);
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        assert_eq!(from_bytes::<bool>(&[1]).unwrap(), true);
+        assert_eq!(from_bytes::<bool>(&[0]).unwrap(), false);
+        assert_eq!(from_bytes::<bool>(&[2]), Err(WireError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn byte_strings_roundtrip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(from_bytes::<Vec<u8>>(&to_bytes(&v)).unwrap(), v);
+        assert_eq!(from_bytes::<Vec<u8>>(&to_bytes(&Vec::<u8>::new())).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn strings_roundtrip_and_reject_bad_utf8() {
+        let s = String::from("héllo wörld");
+        assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
+        let bad = to_bytes(&vec![0xFFu8, 0xFE]);
+        assert_eq!(from_bytes::<String>(&bad), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        assert_eq!(
+            from_bytes::<Option<u32>>(&to_bytes(&Some(5u32))).unwrap(),
+            Some(5)
+        );
+        assert_eq!(from_bytes::<Option<u32>>(&to_bytes(&None::<u32>)).unwrap(), None);
+        assert_eq!(from_bytes::<Option<u32>>(&[9]), Err(WireError::InvalidTag(9)));
+    }
+
+    #[test]
+    fn fixed_arrays_have_no_length_prefix() {
+        let arr = [1u8, 2, 3, 4];
+        let bytes = to_bytes(&arr);
+        assert_eq!(bytes, vec![1, 2, 3, 4]);
+        assert_eq!(from_bytes::<[u8; 4]>(&bytes).unwrap(), arr);
+    }
+
+    #[test]
+    fn nested_sequences_roundtrip() {
+        let v: Vec<Vec<u8>> = vec![vec![1], vec![], vec![2, 3]];
+        assert_eq!(from_bytes::<Vec<Vec<u8>>>(&to_bytes(&v)).unwrap(), v);
+        let names: Vec<String> = vec!["a".into(), "b".into()];
+        assert_eq!(from_bytes::<Vec<String>>(&to_bytes(&names)).unwrap(), names);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let value = (7u32, String::from("x"), vec![9u8]);
+        let decoded: (u32, String, Vec<u8>) = from_bytes(&to_bytes(&value)).unwrap();
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = to_bytes(&vec![1u8; 100]);
+        for cut in 0..bytes.len() {
+            let err = from_bytes::<Vec<u8>>(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::UnexpectedEof { .. } | WireError::LengthOverflow(_)),
+                "cut={cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = to_bytes(&5u32);
+        bytes.push(0);
+        assert_eq!(from_bytes::<u32>(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_length_does_not_allocate() {
+        // Declared length of ~4 GiB with 4 bytes of payload must fail fast.
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(
+            from_bytes::<Vec<u8>>(&bytes),
+            Err(WireError::LengthOverflow(u32::MAX as u64))
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let value = (vec![3u8, 1, 4], String::from("pi"), Some(159u64));
+        assert_eq!(to_bytes(&value), to_bytes(&value));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_roundtrip(data: Vec<u8>) {
+            prop_assert_eq!(from_bytes::<Vec<u8>>(&to_bytes(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s: String) {
+            prop_assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_tuple_roundtrip(a: u64, b: Vec<u8>, c: Option<String>) {
+            let v = (a, b, c);
+            let d: (u64, Vec<u8>, Option<String>) = from_bytes(&to_bytes(&v)).unwrap();
+            prop_assert_eq!(d, v);
+        }
+
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(data: Vec<u8>) {
+            // Decoding hostile bytes may fail but must not panic.
+            let _ = from_bytes::<Vec<Vec<u8>>>(&data);
+            let _ = from_bytes::<(u32, String)>(&data);
+            let _ = from_bytes::<Option<Vec<u8>>>(&data);
+        }
+    }
+}

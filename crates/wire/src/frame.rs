@@ -1,0 +1,105 @@
+//! Length-prefixed framing for stream transports (TCP deployments of the
+//! `ResultStore`).
+//!
+//! A frame is a 4-byte little-endian length followed by that many payload
+//! bytes. Frames are capped at [`MAX_FRAME_LEN`] to bound allocation under
+//! hostile input.
+
+use std::io::{self, Read, Write};
+
+/// Maximum payload bytes per frame (64 MiB) — larger results should be
+/// chunked by the application.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Writes one frame to `writer`.
+///
+/// A mutable reference to any `Write` works as well (`&mut stream`).
+///
+/// # Errors
+///
+/// Returns an I/O error from the underlying writer, or
+/// [`io::ErrorKind::InvalidInput`] if `payload` exceeds [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds limit", payload.len()),
+        ));
+    }
+    let len = payload.len() as u32;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame from `reader`.
+///
+/// # Errors
+///
+/// Returns an I/O error on stream failure, [`io::ErrorKind::UnexpectedEof`]
+/// on truncation, or [`io::ErrorKind::InvalidData`] if the declared length
+/// exceeds [`MAX_FRAME_LEN`].
+pub fn read_frame<R: Read>(mut reader: R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"three").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"three");
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversize_declared_length_rejected() {
+        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversize_payload_rejected_on_write() {
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        let err = write_frame(Vec::new(), &huge).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

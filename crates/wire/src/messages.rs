@@ -1,0 +1,406 @@
+//! Protocol messages between `DedupRuntime` and `ResultStore` (§IV-B).
+
+use crate::codec::{Reader, WireDecode, WireEncode, WireError, Writer};
+
+/// Length in bytes of a computation tag (SHA-256 output).
+pub const COMP_TAG_LEN: usize = 32;
+
+/// The tag `t ← Hash(func, m)` identifying a computation (Algorithm 1,
+/// line 1). Two computations are duplicates iff their tags are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompTag([u8; COMP_TAG_LEN]);
+
+impl CompTag {
+    /// Wraps raw tag bytes.
+    pub fn from_bytes(bytes: [u8; COMP_TAG_LEN]) -> Self {
+        CompTag(bytes)
+    }
+
+    /// Returns the raw tag bytes.
+    pub fn as_bytes(&self) -> &[u8; COMP_TAG_LEN] {
+        &self.0
+    }
+
+    /// Hex prefix for logging (first 8 bytes).
+    pub fn short_hex(&self) -> String {
+        self.0[..8].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for CompTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CompTag({}…)", self.short_hex())
+    }
+}
+
+impl WireEncode for CompTag {
+    fn encode(&self, writer: &mut Writer) {
+        self.0.encode(writer);
+    }
+}
+
+impl WireDecode for CompTag {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CompTag(<[u8; COMP_TAG_LEN]>::decode(reader)?))
+    }
+}
+
+/// Identity of an application instance, used for quota accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u64);
+
+impl WireEncode for AppId {
+    fn encode(&self, writer: &mut Writer) {
+        self.0.encode(writer);
+    }
+}
+
+impl WireDecode for AppId {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AppId(u64::decode(reader)?))
+    }
+}
+
+/// A stored dedup record: everything a subsequent computation needs to
+/// recover the result (Algorithm 2's `(r, [res], [k])`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// The RCE challenge message `r` picked by the initial computation.
+    pub challenge: Vec<u8>,
+    /// The wrapped result-encryption key `[k] = k ⊕ h`.
+    pub wrapped_key: [u8; 16],
+    /// GCM nonce used for the result ciphertext.
+    pub nonce: [u8; 12],
+    /// The result ciphertext `[res]` (payload plus appended GCM tag).
+    pub boxed_result: Vec<u8>,
+}
+
+impl Record {
+    /// Approximate wire size in bytes, used for quota accounting and
+    /// boundary-copy cost modelling.
+    pub fn wire_size(&self) -> usize {
+        4 + self.challenge.len() + 16 + 12 + 4 + self.boxed_result.len()
+    }
+}
+
+impl WireEncode for Record {
+    fn encode(&self, writer: &mut Writer) {
+        self.challenge.encode(writer);
+        self.wrapped_key.encode(writer);
+        self.nonce.encode(writer);
+        self.boxed_result.encode(writer);
+    }
+}
+
+impl WireDecode for Record {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Record {
+            challenge: Vec::<u8>::decode(reader)?,
+            wrapped_key: <[u8; 16]>::decode(reader)?,
+            nonce: <[u8; 12]>::decode(reader)?,
+            boxed_result: Vec::<u8>::decode(reader)?,
+        })
+    }
+}
+
+/// Body of a `GET_RESPONSE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GetResponseBody {
+    /// Whether the computation had been stored (`true` in Algorithm 2
+    /// line 3, `false` in Algorithm 1 line 3).
+    pub found: bool,
+    /// The record, present iff `found`.
+    pub record: Option<Record>,
+}
+
+/// Body of a `PUT_RESPONSE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PutResponseBody {
+    /// Whether the store accepted the record.
+    pub accepted: bool,
+    /// Human-readable reason when rejected (e.g. quota exceeded).
+    pub reason: Option<String>,
+}
+
+/// Store-side statistics reported to monitoring clients.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsBody {
+    /// Number of entries in the metadata dictionary.
+    pub entries: u64,
+    /// Total GET requests served.
+    pub gets: u64,
+    /// GETs that found a record.
+    pub hits: u64,
+    /// Total PUT requests served.
+    pub puts: u64,
+    /// PUTs rejected (quota, duplicate race, eviction pressure).
+    pub rejected_puts: u64,
+    /// Bytes of result ciphertext held outside the enclave.
+    pub stored_bytes: u64,
+}
+
+/// One entry in a master-store synchronization batch (§IV-B Remark).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyncEntry {
+    /// The computation tag.
+    pub tag: CompTag,
+    /// The stored record.
+    pub record: Record,
+    /// How many times this entry has been hit (popularity for sync
+    /// prioritization).
+    pub hits: u64,
+}
+
+impl WireEncode for SyncEntry {
+    fn encode(&self, writer: &mut Writer) {
+        self.tag.encode(writer);
+        self.record.encode(writer);
+        self.hits.encode(writer);
+    }
+}
+
+impl WireDecode for SyncEntry {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SyncEntry {
+            tag: CompTag::decode(reader)?,
+            record: Record::decode(reader)?,
+            hits: u64::decode(reader)?,
+        })
+    }
+}
+
+/// The protocol envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Message {
+    /// Duplicate check: "has this computation been done before?"
+    GetRequest {
+        /// Requesting application.
+        app: AppId,
+        /// The computation tag.
+        tag: CompTag,
+    },
+    /// Response to [`Message::GetRequest`].
+    GetResponse(GetResponseBody),
+    /// Publish a freshly computed, encrypted result.
+    PutRequest {
+        /// Publishing application.
+        app: AppId,
+        /// The computation tag.
+        tag: CompTag,
+        /// The encrypted record.
+        record: Record,
+    },
+    /// Response to [`Message::PutRequest`].
+    PutResponse(PutResponseBody),
+    /// Request store statistics.
+    StatsRequest,
+    /// Response to [`Message::StatsRequest`].
+    StatsResponse(StatsBody),
+    /// Master-store sync: request entries with at least `min_hits`.
+    SyncPull {
+        /// Popularity threshold.
+        min_hits: u64,
+    },
+    /// Master-store sync: a batch of entries.
+    SyncBatch(Vec<SyncEntry>),
+    /// Protocol-level error (unknown message, malformed body).
+    Error(String),
+}
+
+const TAG_GET_REQUEST: u8 = 1;
+const TAG_GET_RESPONSE: u8 = 2;
+const TAG_PUT_REQUEST: u8 = 3;
+const TAG_PUT_RESPONSE: u8 = 4;
+const TAG_STATS_REQUEST: u8 = 5;
+const TAG_STATS_RESPONSE: u8 = 6;
+const TAG_SYNC_PULL: u8 = 7;
+const TAG_SYNC_BATCH: u8 = 8;
+const TAG_ERROR: u8 = 9;
+
+impl WireEncode for Message {
+    fn encode(&self, writer: &mut Writer) {
+        match self {
+            Message::GetRequest { app, tag } => {
+                TAG_GET_REQUEST.encode(writer);
+                app.encode(writer);
+                tag.encode(writer);
+            }
+            Message::GetResponse(body) => {
+                TAG_GET_RESPONSE.encode(writer);
+                body.found.encode(writer);
+                body.record.encode(writer);
+            }
+            Message::PutRequest { app, tag, record } => {
+                TAG_PUT_REQUEST.encode(writer);
+                app.encode(writer);
+                tag.encode(writer);
+                record.encode(writer);
+            }
+            Message::PutResponse(body) => {
+                TAG_PUT_RESPONSE.encode(writer);
+                body.accepted.encode(writer);
+                body.reason.encode(writer);
+            }
+            Message::StatsRequest => TAG_STATS_REQUEST.encode(writer),
+            Message::StatsResponse(body) => {
+                TAG_STATS_RESPONSE.encode(writer);
+                body.entries.encode(writer);
+                body.gets.encode(writer);
+                body.hits.encode(writer);
+                body.puts.encode(writer);
+                body.rejected_puts.encode(writer);
+                body.stored_bytes.encode(writer);
+            }
+            Message::SyncPull { min_hits } => {
+                TAG_SYNC_PULL.encode(writer);
+                min_hits.encode(writer);
+            }
+            Message::SyncBatch(entries) => {
+                TAG_SYNC_BATCH.encode(writer);
+                let len = u32::try_from(entries.len()).expect("sync batch too large");
+                len.encode(writer);
+                for entry in entries {
+                    entry.encode(writer);
+                }
+            }
+            Message::Error(msg) => {
+                TAG_ERROR.encode(writer);
+                msg.encode(writer);
+            }
+        }
+    }
+}
+
+impl WireDecode for Message {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let discriminant = u8::decode(reader)?;
+        match discriminant {
+            TAG_GET_REQUEST => Ok(Message::GetRequest {
+                app: AppId::decode(reader)?,
+                tag: CompTag::decode(reader)?,
+            }),
+            TAG_GET_RESPONSE => Ok(Message::GetResponse(GetResponseBody {
+                found: bool::decode(reader)?,
+                record: Option::<Record>::decode(reader)?,
+            })),
+            TAG_PUT_REQUEST => Ok(Message::PutRequest {
+                app: AppId::decode(reader)?,
+                tag: CompTag::decode(reader)?,
+                record: Record::decode(reader)?,
+            }),
+            TAG_PUT_RESPONSE => Ok(Message::PutResponse(PutResponseBody {
+                accepted: bool::decode(reader)?,
+                reason: Option::<String>::decode(reader)?,
+            })),
+            TAG_STATS_REQUEST => Ok(Message::StatsRequest),
+            TAG_STATS_RESPONSE => Ok(Message::StatsResponse(StatsBody {
+                entries: u64::decode(reader)?,
+                gets: u64::decode(reader)?,
+                hits: u64::decode(reader)?,
+                puts: u64::decode(reader)?,
+                rejected_puts: u64::decode(reader)?,
+                stored_bytes: u64::decode(reader)?,
+            })),
+            TAG_SYNC_PULL => Ok(Message::SyncPull { min_hits: u64::decode(reader)? }),
+            TAG_SYNC_BATCH => {
+                let len = u32::decode(reader)? as usize;
+                let mut entries = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    entries.push(SyncEntry::decode(reader)?);
+                }
+                Ok(Message::SyncBatch(entries))
+            }
+            TAG_ERROR => Ok(Message::Error(String::decode(reader)?)),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+
+    fn sample_record() -> Record {
+        Record {
+            challenge: vec![1u8; 32],
+            wrapped_key: [2u8; 16],
+            nonce: [3u8; 12],
+            boxed_result: vec![4u8; 50],
+        }
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let messages = vec![
+            Message::GetRequest { app: AppId(7), tag: CompTag::from_bytes([1; 32]) },
+            Message::GetResponse(GetResponseBody { found: false, record: None }),
+            Message::GetResponse(GetResponseBody {
+                found: true,
+                record: Some(sample_record()),
+            }),
+            Message::PutRequest {
+                app: AppId(9),
+                tag: CompTag::from_bytes([2; 32]),
+                record: sample_record(),
+            },
+            Message::PutResponse(PutResponseBody { accepted: true, reason: None }),
+            Message::PutResponse(PutResponseBody {
+                accepted: false,
+                reason: Some("quota exceeded".into()),
+            }),
+            Message::StatsRequest,
+            Message::StatsResponse(StatsBody {
+                entries: 1,
+                gets: 2,
+                hits: 3,
+                puts: 4,
+                rejected_puts: 5,
+                stored_bytes: 6,
+            }),
+            Message::SyncPull { min_hits: 10 },
+            Message::SyncBatch(vec![SyncEntry {
+                tag: CompTag::from_bytes([5; 32]),
+                record: sample_record(),
+                hits: 3,
+            }]),
+            Message::Error("boom".into()),
+        ];
+        for msg in messages {
+            let decoded: Message = from_bytes(&to_bytes(&msg)).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn unknown_discriminant_fails() {
+        assert_eq!(from_bytes::<Message>(&[200]), Err(WireError::InvalidTag(200)));
+    }
+
+    #[test]
+    fn record_wire_size_matches_encoding() {
+        let record = sample_record();
+        assert_eq!(record.wire_size(), to_bytes(&record).len());
+    }
+
+    #[test]
+    fn comp_tag_debug_is_short() {
+        let tag = CompTag::from_bytes([0xAB; 32]);
+        let dbg = format!("{tag:?}");
+        assert!(dbg.len() < 32, "{dbg}");
+        assert!(dbg.contains("abab"));
+    }
+
+    #[test]
+    fn truncated_message_fails_not_panics() {
+        let bytes = to_bytes(&Message::PutRequest {
+            app: AppId(1),
+            tag: CompTag::from_bytes([0; 32]),
+            record: sample_record(),
+        });
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Message>(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Evolving datasets: the paper's second motivating redundancy source —
+//! "incrementally updated datasets are constantly being processed by the
+//! same or similar computing tasks, such as feature extraction for machine
+//! learning, index building for fast queries, and data aggregation for
+//! truth discovery" (§I).
+//!
+//! An [`EvolvingCorpus`] starts from a base set of documents and produces
+//! *epochs*: at each epoch a configurable fraction of documents is mutated
+//! (or replaced) while the rest stay byte-identical — so per-document
+//! computations over consecutive epochs deduplicate on the unchanged part.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text::synthetic_text;
+
+/// Configuration for corpus evolution.
+#[derive(Clone, Debug)]
+pub struct EvolutionConfig {
+    /// Number of documents in the corpus.
+    pub documents: usize,
+    /// Bytes per document.
+    pub document_bytes: usize,
+    /// Fraction of documents changed per epoch, in `[0, 1]`.
+    pub churn: f64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig { documents: 50, document_bytes: 4096, churn: 0.1 }
+    }
+}
+
+/// A corpus that changes a little every epoch.
+#[derive(Clone, Debug)]
+pub struct EvolvingCorpus {
+    documents: Vec<Vec<u8>>,
+    rng: StdRng,
+    config: EvolutionConfig,
+    epoch: u64,
+    changed_last_epoch: usize,
+}
+
+impl EvolvingCorpus {
+    /// Builds the epoch-0 corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `documents` is zero or `churn` is outside `[0, 1]`.
+    pub fn new(config: EvolutionConfig, seed: u64) -> Self {
+        assert!(config.documents > 0, "corpus must be nonempty");
+        assert!((0.0..=1.0).contains(&config.churn), "churn must be in [0, 1]");
+        let documents = (0..config.documents)
+            .map(|i| {
+                synthetic_text(config.document_bytes, seed.wrapping_add(i as u64))
+                    .into_bytes()
+            })
+            .collect();
+        EvolvingCorpus {
+            documents,
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED),
+            config,
+            epoch: 0,
+            changed_last_epoch: 0,
+        }
+    }
+
+    /// The current epoch number (0 before any [`advance`](Self::advance)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Documents of the current epoch.
+    pub fn documents(&self) -> &[Vec<u8>] {
+        &self.documents
+    }
+
+    /// How many documents changed in the last [`advance`](Self::advance).
+    pub fn changed_last_epoch(&self) -> usize {
+        self.changed_last_epoch
+    }
+
+    /// Advances one epoch: roughly `churn × documents` entries are
+    /// regenerated; all others stay byte-identical.
+    pub fn advance(&mut self) {
+        self.epoch += 1;
+        let mut changed = 0usize;
+        for i in 0..self.documents.len() {
+            if self.rng.gen_bool(self.config.churn) {
+                let fresh_seed = self.rng.gen::<u64>();
+                self.documents[i] =
+                    synthetic_text(self.config.document_bytes, fresh_seed).into_bytes();
+                changed += 1;
+            }
+        }
+        self.changed_last_epoch = changed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(churn: f64) -> EvolvingCorpus {
+        EvolvingCorpus::new(
+            EvolutionConfig { documents: 100, document_bytes: 512, churn },
+            7,
+        )
+    }
+
+    #[test]
+    fn deterministic_evolution() {
+        let mut a = corpus(0.2);
+        let mut b = corpus(0.2);
+        for _ in 0..3 {
+            a.advance();
+            b.advance();
+        }
+        assert_eq!(a.documents(), b.documents());
+        assert_eq!(a.epoch(), 3);
+    }
+
+    #[test]
+    fn churn_controls_change_fraction() {
+        let mut c = corpus(0.2);
+        let before = c.documents().to_vec();
+        c.advance();
+        let changed = c
+            .documents()
+            .iter()
+            .zip(&before)
+            .filter(|(now, was)| now != was)
+            .count();
+        assert_eq!(changed, c.changed_last_epoch());
+        assert!((5..=40).contains(&changed), "changed {changed}/100");
+    }
+
+    #[test]
+    fn zero_churn_is_static() {
+        let mut c = corpus(0.0);
+        let before = c.documents().to_vec();
+        c.advance();
+        assert_eq!(c.documents(), &before[..]);
+        assert_eq!(c.changed_last_epoch(), 0);
+    }
+
+    #[test]
+    fn full_churn_replaces_everything_eventually() {
+        let mut c = corpus(1.0);
+        let before = c.documents().to_vec();
+        c.advance();
+        let unchanged = c
+            .documents()
+            .iter()
+            .zip(&before)
+            .filter(|(now, was)| now == was)
+            .count();
+        assert_eq!(unchanged, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn")]
+    fn invalid_churn_panics() {
+        let _ = EvolvingCorpus::new(
+            EvolutionConfig { documents: 1, document_bytes: 8, churn: 2.0 },
+            1,
+        );
+    }
+}

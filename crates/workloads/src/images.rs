@@ -1,0 +1,125 @@
+//! Procedural grayscale images for the SIFT workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use speed_sift::GrayImage;
+
+/// Generates a natural-ish synthetic image: a smooth background gradient,
+/// several Gaussian blobs of varying size/polarity (corner-rich content for
+/// SIFT), and mild pixel noise.
+pub fn synthetic_image(size: usize, seed: u64) -> GrayImage {
+    assert!(size >= 16, "image too small for sift");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let bg_angle: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let (bg_dx, bg_dy) = (bg_angle.cos(), bg_angle.sin());
+    let blob_count = rng.gen_range(6..16);
+    let blobs: Vec<(f32, f32, f32, f32)> = (0..blob_count)
+        .map(|_| {
+            (
+                rng.gen_range(0.1..0.9) * size as f32,
+                rng.gen_range(0.1..0.9) * size as f32,
+                rng.gen_range(2.0..size as f32 / 6.0),
+                rng.gen_range(-0.6..0.9f32),
+            )
+        })
+        .collect();
+    let noise: Vec<f32> =
+        (0..size * size).map(|_| rng.gen_range(-0.02..0.02f32)).collect();
+
+    GrayImage::from_fn(size, size, |x, y| {
+        let fx = x as f32 / size as f32;
+        let fy = y as f32 / size as f32;
+        let mut value = 0.4 + 0.2 * (fx * bg_dx + fy * bg_dy);
+        for &(cx, cy, radius, amplitude) in &blobs {
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            value += amplitude * (-(dx * dx + dy * dy) / (radius * radius)).exp();
+        }
+        (value + noise[y * size + x]).clamp(0.0, 1.0)
+    })
+}
+
+/// Generates a corpus of `count` distinct images at `size`×`size`.
+pub fn image_corpus(count: usize, size: usize, seed: u64) -> Vec<GrayImage> {
+    (0..count)
+        .map(|i| synthetic_image(size, seed.wrapping_add(i as u64 * 0x9E37)))
+        .collect()
+}
+
+/// Serializes an image to luma bytes prefixed with dimensions (the wire
+/// input of the dedup-wrapped `sift()` call).
+pub fn image_to_bytes(image: &GrayImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + image.width() * image.height());
+    out.extend_from_slice(&(image.width() as u32).to_le_bytes());
+    out.extend_from_slice(&(image.height() as u32).to_le_bytes());
+    out.extend_from_slice(&image.to_luma8());
+    out
+}
+
+/// Parses bytes produced by [`image_to_bytes`].
+pub fn image_from_bytes(bytes: &[u8]) -> Option<GrayImage> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let width = u32::from_le_bytes(bytes[..4].try_into().ok()?) as usize;
+    let height = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    if width == 0 || height == 0 || bytes.len() != 8 + width * height {
+        return None;
+    }
+    Some(GrayImage::from_luma8(width, height, &bytes[8..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = synthetic_image(64, 5);
+        let b = synthetic_image(64, 5);
+        assert_eq!(a.pixels(), b.pixels());
+        let c = synthetic_image(64, 6);
+        assert_ne!(a.pixels(), c.pixels());
+    }
+
+    #[test]
+    fn images_are_sift_friendly() {
+        let image = synthetic_image(96, 1);
+        let features = speed_sift::sift(&image, &speed_sift::SiftParams::default());
+        assert!(!features.is_empty(), "synthetic image produced no features");
+    }
+
+    #[test]
+    fn corpus_items_are_distinct() {
+        let corpus = image_corpus(5, 64, 9);
+        for i in 0..corpus.len() {
+            for j in i + 1..corpus.len() {
+                assert_ne!(corpus[i].pixels(), corpus[j].pixels(), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let image = synthetic_image(32, 3);
+        let bytes = image_to_bytes(&image);
+        let parsed = image_from_bytes(&bytes).unwrap();
+        assert_eq!(parsed.to_luma8(), image.to_luma8());
+    }
+
+    #[test]
+    fn byte_parse_rejects_malformed() {
+        assert!(image_from_bytes(&[]).is_none());
+        assert!(image_from_bytes(&[0u8; 8]).is_none());
+        let mut bytes = image_to_bytes(&synthetic_image(16, 0));
+        bytes.pop();
+        assert!(image_from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let image = synthetic_image(48, 11);
+        assert!(image.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic synthetic workload generators for the SPEED reproduction.
+//!
+//! The paper evaluates on external datasets we cannot redistribute (images
+//! "from the Internet", Boost text files, m57/4SICS packet captures, Snort
+//! rules, CommonCrawl WET pages — §V-A). This crate generates seeded
+//! synthetic equivalents that match the properties the experiments
+//! actually exercise:
+//!
+//! - [`images`] — procedural gray images (blobs, gradients, noise) sized
+//!   64–512 px for SIFT.
+//! - [`text`] — word-bank prose with controllable redundancy for
+//!   compression (compressible like real text, unlike pure noise).
+//! - [`packets`] — synthetic packets whose payloads mix clean text,
+//!   binary, and planted attack signatures.
+//! - [`rules`] — Snort-like literal + regex rule sets (thousands of
+//!   rules, as in the paper's 3,700-rule setup).
+//! - [`pages`] — HTML-ish web pages with Zipf-distributed vocabulary for
+//!   BoW.
+//! - [`RequestStream`] — turns a base corpus into a request sequence with
+//!   a configurable duplicate ratio, modelling "repeated input data (even
+//!   from different requesters)".
+//!
+//! Everything is deterministic given a seed: the same seed always yields
+//! byte-identical workloads, which the deduplication experiments require.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evolving;
+pub mod images;
+pub mod packets;
+pub mod pages;
+pub mod rules;
+pub mod text;
+
+mod stream;
+
+pub use evolving::{EvolutionConfig, EvolvingCorpus};
+pub use stream::RequestStream;

@@ -1,0 +1,269 @@
+//! Synthetic network packets for the pattern-matching workload (standing
+//! in for the m57-Patents and 4SICS captures).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text::synthetic_text;
+
+/// A synthetic packet: a fake header plus payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Source/destination pseudo-addresses and ports, for realism in size.
+    pub header: [u8; 20],
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Full wire bytes (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.payload.len());
+        out.extend_from_slice(&self.header);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Configuration for trace generation.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Number of packets.
+    pub count: usize,
+    /// Payload size range in bytes.
+    pub payload_size: (usize, usize),
+    /// Probability a packet carries a planted signature from
+    /// `signatures`.
+    pub malicious_ratio: f64,
+    /// Signature strings to plant (typically drawn from the rule set).
+    pub signatures: Vec<Vec<u8>>,
+    /// Fraction of payloads that are binary noise rather than text.
+    pub binary_ratio: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            count: 1000,
+            payload_size: (200, 1400),
+            malicious_ratio: 0.02,
+            signatures: vec![b"EICAR-STANDARD-ANTIVIRUS-TEST".to_vec()],
+            binary_ratio: 0.3,
+        }
+    }
+}
+
+/// Generates a deterministic packet trace.
+pub fn packet_trace(config: &TraceConfig, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::with_capacity(config.count);
+    for i in 0..config.count {
+        let mut header = [0u8; 20];
+        rng.fill(&mut header);
+        let size = rng.gen_range(config.payload_size.0..=config.payload_size.1);
+        let mut payload = if rng.gen_bool(config.binary_ratio) {
+            let mut bytes = vec![0u8; size];
+            rng.fill(bytes.as_mut_slice());
+            bytes
+        } else {
+            synthetic_text(size, seed ^ (i as u64) << 1).into_bytes()
+        };
+        if !config.signatures.is_empty() && rng.gen_bool(config.malicious_ratio) {
+            let signature = &config.signatures[rng.gen_range(0..config.signatures.len())];
+            if payload.len() > signature.len() {
+                let at = rng.gen_range(0..payload.len() - signature.len());
+                payload[at..at + signature.len()].copy_from_slice(signature);
+            } else {
+                payload = signature.clone();
+            }
+        }
+        packets.push(Packet { header, payload });
+    }
+    packets
+}
+
+const TRACE_MAGIC: &[u8; 4] = b"SPTR";
+
+/// Serializes a packet trace to a writer (a minimal capture format, so
+/// experiment inputs can be recorded once and replayed across runs or
+/// machines).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn save_trace<W: std::io::Write>(
+    mut writer: W,
+    packets: &[Packet],
+) -> std::io::Result<()> {
+    writer.write_all(TRACE_MAGIC)?;
+    writer.write_all(&(packets.len() as u32).to_le_bytes())?;
+    for packet in packets {
+        writer.write_all(&packet.header)?;
+        writer.write_all(&(packet.payload.len() as u32).to_le_bytes())?;
+        writer.write_all(&packet.payload)?;
+    }
+    writer.flush()
+}
+
+/// Loads a packet trace saved by [`save_trace`].
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] on bad magic or structure,
+/// and propagates underlying I/O errors (including `UnexpectedEof` on
+/// truncation).
+pub fn load_trace<R: std::io::Read>(mut reader: R) -> std::io::Result<Vec<Packet>> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != TRACE_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not a speed packet trace",
+        ));
+    }
+    let mut count_bytes = [0u8; 4];
+    reader.read_exact(&mut count_bytes)?;
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    let mut packets = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let mut header = [0u8; 20];
+        reader.read_exact(&mut header)?;
+        let mut len_bytes = [0u8; 4];
+        reader.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > 64 * 1024 * 1024 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "packet payload length implausible",
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload)?;
+        packets.push(Packet { header, payload });
+    }
+    Ok(packets)
+}
+
+/// Concatenates a batch of packets into one scan unit (the dedup-friendly
+/// granularity: a whole capture segment as the input of one marked
+/// computation).
+pub fn batch_payload(packets: &[Packet]) -> Vec<u8> {
+    let total: usize = packets.iter().map(|p| 4 + p.payload.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for packet in packets {
+        out.extend_from_slice(&(packet.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&packet.payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_traces() {
+        let config = TraceConfig::default();
+        let a = packet_trace(&config, 7);
+        let b = packet_trace(&config, 7);
+        assert_eq!(a, b);
+        assert_ne!(packet_trace(&config, 8), a);
+    }
+
+    #[test]
+    fn respects_count_and_sizes() {
+        let config = TraceConfig {
+            count: 50,
+            payload_size: (100, 200),
+            ..TraceConfig::default()
+        };
+        let trace = packet_trace(&config, 1);
+        assert_eq!(trace.len(), 50);
+        for packet in &trace {
+            assert!((100..=200).contains(&packet.payload.len()));
+        }
+    }
+
+    #[test]
+    fn malicious_ratio_plants_signatures() {
+        let signature = b"MALWARE-XYZ".to_vec();
+        let config = TraceConfig {
+            count: 500,
+            malicious_ratio: 0.5,
+            signatures: vec![signature.clone()],
+            ..TraceConfig::default()
+        };
+        let trace = packet_trace(&config, 2);
+        let infected = trace
+            .iter()
+            .filter(|p| {
+                p.payload.windows(signature.len()).any(|w| w == &signature[..])
+            })
+            .count();
+        assert!(infected > 150, "only {infected}/500 infected");
+        assert!(infected < 350, "{infected}/500 infected");
+    }
+
+    #[test]
+    fn zero_malicious_ratio_is_clean() {
+        let signature = b"NEVER-APPEARS-1234567".to_vec();
+        let config = TraceConfig {
+            count: 200,
+            malicious_ratio: 0.0,
+            signatures: vec![signature.clone()],
+            binary_ratio: 0.0,
+            ..TraceConfig::default()
+        };
+        let trace = packet_trace(&config, 3);
+        assert!(trace.iter().all(|p| {
+            !p.payload.windows(signature.len()).any(|w| w == &signature[..])
+        }));
+    }
+
+    #[test]
+    fn batch_payload_framing() {
+        let packets = packet_trace(
+            &TraceConfig { count: 3, ..TraceConfig::default() },
+            4,
+        );
+        let batch = batch_payload(&packets);
+        let expected: usize = packets.iter().map(|p| 4 + p.payload.len()).sum();
+        assert_eq!(batch.len(), expected);
+        // First length prefix parses back.
+        let len = u32::from_le_bytes(batch[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, packets[0].payload.len());
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let packets = packet_trace(&TraceConfig { count: 20, ..TraceConfig::default() }, 9);
+        let mut buffer = Vec::new();
+        save_trace(&mut buffer, &packets).unwrap();
+        let loaded = load_trace(std::io::Cursor::new(&buffer)).unwrap();
+        assert_eq!(loaded, packets);
+    }
+
+    #[test]
+    fn trace_load_rejects_bad_magic() {
+        let err = load_trace(std::io::Cursor::new(b"XXXX\x00\x00\x00\x00")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trace_load_rejects_truncation() {
+        let packets = packet_trace(&TraceConfig { count: 3, ..TraceConfig::default() }, 1);
+        let mut buffer = Vec::new();
+        save_trace(&mut buffer, &packets).unwrap();
+        for cut in [4usize, 8, 20, buffer.len() - 1] {
+            assert!(load_trace(std::io::Cursor::new(&buffer[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn to_bytes_includes_header() {
+        let packets =
+            packet_trace(&TraceConfig { count: 1, ..TraceConfig::default() }, 5);
+        let bytes = packets[0].to_bytes();
+        assert_eq!(bytes.len(), 20 + packets[0].payload.len());
+    }
+}

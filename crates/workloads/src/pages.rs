@@ -1,0 +1,126 @@
+//! Synthetic web pages for the bag-of-words workload (standing in for
+//! CommonCrawl WET records).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VOCAB_SIZE: usize = 2000;
+
+fn vocab_word(index: usize) -> String {
+    // Pronounceable deterministic vocabulary: CV syllables from the index.
+    const CONSONANTS: &[u8] = b"bcdfghjklmnprstvwz";
+    const VOWELS: &[u8] = b"aeiou";
+    let mut word = String::new();
+    let mut n = index + 7;
+    for _ in 0..3 {
+        word.push(char::from(CONSONANTS[n % CONSONANTS.len()]));
+        n /= CONSONANTS.len();
+        word.push(char::from(VOWELS[n % VOWELS.len()]));
+        n /= VOWELS.len();
+        if n == 0 {
+            break;
+        }
+    }
+    word
+}
+
+/// Samples a vocabulary index with Zipf-like popularity (word 0 most
+/// frequent), matching natural-language frequency curves.
+fn zipf_word(rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    // Inverse CDF of a power-law-ish distribution.
+    ((u.powf(3.0)) * VOCAB_SIZE as f64) as usize % VOCAB_SIZE
+}
+
+/// Generates one HTML-ish page with roughly `word_count` body words.
+pub fn synthetic_page(word_count: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let title_words: Vec<String> =
+        (0..rng.gen_range(3..8)).map(|_| vocab_word(zipf_word(&mut rng))).collect();
+    let mut page = String::with_capacity(word_count * 8 + 256);
+    page.push_str("<!DOCTYPE html><html><head><title>");
+    page.push_str(&title_words.join(" "));
+    page.push_str("</title></head><body>");
+    let mut remaining = word_count;
+    while remaining > 0 {
+        let paragraph_len = rng.gen_range(20..80).min(remaining);
+        page.push_str("<p>");
+        for i in 0..paragraph_len {
+            if i > 0 {
+                page.push(' ');
+            }
+            page.push_str(&vocab_word(zipf_word(&mut rng)));
+        }
+        page.push_str("</p>");
+        remaining -= paragraph_len;
+        if rng.gen_bool(0.1) {
+            page.push_str("<div class=\"ad\"><span>sponsored</span></div>");
+        }
+    }
+    page.push_str("</body></html>");
+    page
+}
+
+/// A corpus of `count` distinct pages.
+pub fn page_corpus(count: usize, words_per_page: usize, seed: u64) -> Vec<String> {
+    (0..count)
+        .map(|i| synthetic_page(words_per_page, seed.wrapping_add(i as u64 * 0xC0FFEE)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_mapreduce::{bag_of_words, BowConfig};
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(synthetic_page(100, 1), synthetic_page(100, 1));
+        assert_ne!(synthetic_page(100, 1), synthetic_page(100, 2));
+    }
+
+    #[test]
+    fn looks_like_html() {
+        let page = synthetic_page(50, 3);
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.ends_with("</body></html>"));
+        assert!(page.contains("<p>"));
+    }
+
+    #[test]
+    fn bow_over_pages_has_zipf_head() {
+        let pages = page_corpus(20, 500, 4);
+        let counts = bag_of_words(&pages, &BowConfig::default());
+        assert!(counts.len() > 50, "vocab too small: {}", counts.len());
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        let max = counts.iter().map(|(_, c)| *c).max().unwrap();
+        // The most frequent word should dominate (Zipf head).
+        assert!(max as f64 > total as f64 / counts.len() as f64 * 5.0);
+    }
+
+    #[test]
+    fn word_count_is_approximate() {
+        let page = synthetic_page(300, 5);
+        let body = page
+            .split("<body>")
+            .nth(1)
+            .unwrap()
+            .replace("</p>", " ")
+            .replace("<p>", " ");
+        let words = body
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .count();
+        // Body words plus a few tag/ad words.
+        assert!(words >= 300 && words < 400, "{words}");
+    }
+
+    #[test]
+    fn vocab_words_are_distinct_enough() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..VOCAB_SIZE {
+            set.insert(vocab_word(i));
+        }
+        assert!(set.len() > VOCAB_SIZE / 2, "{} unique", set.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Snort-like rule-set generation (standing in for the paper's ~3,700
+//! Snort rules).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use speed_matcher::{Rule, RuleSet};
+
+const PREFIXES: &[&str] =
+    &["TROJAN", "WORM", "EXPLOIT", "SCAN", "BACKDOOR", "SHELLCODE", "POLICY", "BOTNET"];
+const REGEX_TEMPLATES: &[&str] = &[
+    r"GET /[a-z]{{N}}/.*\.(php|cgi|asp)",
+    r"User-Agent: [A-Za-z]{{N}}bot",
+    r"\x90{{N}}",
+    r"(SELECT|UNION).{1,{N}}FROM",
+    r"cmd=[a-z0-9]{{N}}",
+];
+
+/// Generates `literal_count` literal rules plus `regex_count` regex rules.
+///
+/// Literal signatures look like `"TROJAN-1a2b3c4d"`; regex rules are
+/// instantiated from IDS-style templates. Rule ids are dense from 1.
+pub fn rule_corpus(literal_count: usize, regex_count: usize, seed: u64) -> Vec<Rule> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rules = Vec::with_capacity(literal_count + regex_count);
+    for i in 0..literal_count {
+        let prefix = PREFIXES[rng.gen_range(0..PREFIXES.len())];
+        let token: String =
+            (0..8).map(|_| char::from(b"0123456789abcdef"[rng.gen_range(0..16)])).collect();
+        rules.push(
+            Rule::literal((i + 1) as u32, format!("{prefix}-{token}"))
+                .with_message(format!("{prefix} signature {token}")),
+        );
+    }
+    for j in 0..regex_count {
+        let template = REGEX_TEMPLATES[j % REGEX_TEMPLATES.len()];
+        let n = rng.gen_range(2..9).to_string();
+        let pattern = template.replace("{N}", &n);
+        let rule = Rule::regex((literal_count + j + 1) as u32, &pattern)
+            .expect("template patterns always compile");
+        rules.push(rule);
+    }
+    rules
+}
+
+/// Generates and compiles a rule set in one step.
+pub fn compiled_rules(literal_count: usize, regex_count: usize, seed: u64) -> RuleSet {
+    RuleSet::compile(rule_corpus(literal_count, regex_count, seed))
+        .expect("generated rules are valid")
+}
+
+/// Extracts the literal signature strings, for planting into packet traces.
+pub fn signatures(rules: &[Rule]) -> Vec<Vec<u8>> {
+    // Regenerate from messages: literal rules carry "<PREFIX> signature
+    // <token>" messages.
+    rules
+        .iter()
+        .filter_map(|rule| {
+            let msg = rule.message();
+            let mut parts = msg.split(" signature ");
+            let prefix = parts.next()?;
+            let token = parts.next()?;
+            if PREFIXES.contains(&prefix) {
+                Some(format!("{prefix}-{token}").into_bytes())
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sizes_and_ids() {
+        let rules = rule_corpus(100, 20, 1);
+        assert_eq!(rules.len(), 120);
+        let ids: Vec<u32> = rules.iter().map(|r| r.id()).collect();
+        assert_eq!(ids, (1..=120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compiles_at_paper_scale() {
+        // The paper uses >3,700 rules; make sure that scale compiles.
+        let rules = compiled_rules(3500, 200, 2);
+        assert_eq!(rules.len(), 3700);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rule_corpus(50, 10, 3);
+        let b = rule_corpus(50, 10, 3);
+        let sig_a = signatures(&a);
+        let sig_b = signatures(&b);
+        assert_eq!(sig_a, sig_b);
+        assert_eq!(sig_a.len(), 50);
+    }
+
+    #[test]
+    fn planted_signature_fires() {
+        let rules = rule_corpus(30, 5, 4);
+        let sigs = signatures(&rules);
+        let compiled = RuleSet::compile(rules).unwrap();
+        let mut payload = b"innocent traffic ".to_vec();
+        payload.extend_from_slice(&sigs[7]);
+        payload.extend_from_slice(b" more traffic");
+        let matches = compiled.scan(&payload);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].rule_id, 8);
+    }
+
+    #[test]
+    fn regex_rules_function() {
+        let compiled = compiled_rules(0, 10, 5);
+        // The `cmd=[a-z0-9]{n}` template (n ≤ 8) always fires on this.
+        let matches = compiled.scan(b"payload cmd=abcdefgh09 end");
+        assert!(!matches.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Request streams with controllable redundancy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a sequence of indices into a base corpus such that a target
+/// fraction of requests are repeats of earlier ones — the workload shape
+/// that makes computation deduplication pay off.
+///
+/// # Example
+///
+/// ```
+/// use speed_workloads::RequestStream;
+///
+/// let stream = RequestStream::new(10, 100, 0.8, 42);
+/// let indices = stream.indices();
+/// assert_eq!(indices.len(), 100);
+/// assert!(indices.iter().all(|&i| i < 10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RequestStream {
+    indices: Vec<usize>,
+    distinct: usize,
+}
+
+impl RequestStream {
+    /// Builds a stream of `total` requests over `distinct` base items where
+    /// roughly `duplicate_ratio` of requests (after each item's first
+    /// appearance) repeat an already-seen item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distinct` is zero or `duplicate_ratio` is outside
+    /// `[0, 1]`.
+    pub fn new(distinct: usize, total: usize, duplicate_ratio: f64, seed: u64) -> Self {
+        assert!(distinct > 0, "need at least one distinct item");
+        assert!(
+            (0.0..=1.0).contains(&duplicate_ratio),
+            "duplicate ratio must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices = Vec::with_capacity(total);
+        let mut seen: Vec<usize> = Vec::new();
+        let mut next_fresh = 0usize;
+        for _ in 0..total {
+            let want_repeat = !seen.is_empty() && rng.gen_bool(duplicate_ratio);
+            if want_repeat || next_fresh >= distinct {
+                // Zipf-ish popularity: prefer earlier (popular) items.
+                let pick = zipf_index(&mut rng, seen.len());
+                indices.push(seen[pick]);
+            } else {
+                indices.push(next_fresh);
+                seen.push(next_fresh);
+                next_fresh += 1;
+            }
+        }
+        RequestStream { indices, distinct }
+    }
+
+    /// The request sequence as corpus indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of distinct base items available.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Fraction of requests that repeat an earlier request.
+    pub fn observed_duplicate_ratio(&self) -> f64 {
+        if self.indices.is_empty() {
+            return 0.0;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut repeats = 0usize;
+        for &idx in &self.indices {
+            if !seen.insert(idx) {
+                repeats += 1;
+            }
+        }
+        repeats as f64 / self.indices.len() as f64
+    }
+}
+
+/// Samples an index in `[0, n)` with a Zipf-like bias toward low indices.
+fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-power sampling: u^2 biases toward 0 with a heavy-ish tail.
+    let u: f64 = rng.gen();
+    ((u * u) * n as f64) as usize % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = RequestStream::new(20, 200, 0.5, 7);
+        let b = RequestStream::new(20, 200, 0.5, 7);
+        assert_eq!(a.indices(), b.indices());
+        let c = RequestStream::new(20, 200, 0.5, 8);
+        assert_ne!(a.indices(), c.indices());
+    }
+
+    #[test]
+    fn zero_ratio_yields_all_fresh_until_exhausted() {
+        let stream = RequestStream::new(50, 50, 0.0, 1);
+        let mut sorted = stream.indices().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_eq!(stream.observed_duplicate_ratio(), 0.0);
+    }
+
+    #[test]
+    fn high_ratio_produces_many_repeats() {
+        let stream = RequestStream::new(100, 1000, 0.9, 2);
+        assert!(stream.observed_duplicate_ratio() > 0.8);
+    }
+
+    #[test]
+    fn exhausted_corpus_forces_repeats() {
+        let stream = RequestStream::new(3, 100, 0.0, 3);
+        assert!(stream.observed_duplicate_ratio() > 0.9);
+        assert!(stream.indices().iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn ratio_roughly_matches_request() {
+        let stream = RequestStream::new(10_000, 5_000, 0.5, 4);
+        let observed = stream.observed_duplicate_ratio();
+        assert!((observed - 0.5).abs() < 0.1, "observed {observed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_distinct_panics() {
+        let _ = RequestStream::new(0, 10, 0.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn bad_ratio_panics() {
+        let _ = RequestStream::new(1, 10, 1.5, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Word-bank prose generation for the compression workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORD_BANK: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was",
+    "for", "on", "are", "as", "with", "his", "they", "at", "be", "this", "have",
+    "from", "or", "one", "had", "by", "word", "but", "not", "what", "all", "were",
+    "we", "when", "your", "can", "said", "there", "use", "an", "each", "which",
+    "she", "do", "how", "their", "if", "will", "up", "other", "about", "out",
+    "many", "then", "them", "these", "so", "some", "her", "would", "make", "like",
+    "him", "into", "time", "has", "look", "two", "more", "write", "go", "see",
+    "number", "no", "way", "could", "people", "my", "than", "first", "water",
+    "been", "call", "who", "oil", "its", "now", "find", "long", "down", "day",
+    "did", "get", "come", "made", "may", "part", "system", "compression",
+    "deduplication", "enclave", "computation", "library", "function", "result",
+];
+
+/// Generates roughly `target_bytes` of sentence-structured prose. Real text
+/// compresses 2.5–4× with DEFLATE-class compressors; this does too.
+pub fn synthetic_text(target_bytes: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(target_bytes + 64);
+    let mut sentence_len = 0usize;
+    while out.len() < target_bytes {
+        let word = WORD_BANK[rng.gen_range(0..WORD_BANK.len())];
+        if sentence_len == 0 {
+            let mut chars = word.chars();
+            if let Some(first) = chars.next() {
+                out.extend(first.to_uppercase());
+                out.push_str(chars.as_str());
+            }
+        } else {
+            out.push_str(word);
+        }
+        sentence_len += 1;
+        if sentence_len >= rng.gen_range(6..18) {
+            out.push_str(". ");
+            sentence_len = 0;
+        } else {
+            out.push(' ');
+        }
+    }
+    out.truncate(target_bytes);
+    out
+}
+
+/// A corpus of `count` distinct texts of `target_bytes` each.
+pub fn text_corpus(count: usize, target_bytes: usize, seed: u64) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            synthetic_text(target_bytes, seed.wrapping_add(i as u64 * 0x51AB))
+                .into_bytes()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(synthetic_text(1000, 1), synthetic_text(1000, 1));
+        assert_ne!(synthetic_text(1000, 1), synthetic_text(1000, 2));
+    }
+
+    #[test]
+    fn length_is_exact() {
+        for len in [0, 1, 100, 10_000] {
+            assert_eq!(synthetic_text(len, 3).len(), len);
+        }
+    }
+
+    #[test]
+    fn text_is_compressible_like_prose() {
+        let text = synthetic_text(64 * 1024, 4);
+        let packed = speed_deflate::compress(text.as_bytes(), speed_deflate::Level::Default);
+        let ratio = packed.len() as f64 / text.len() as f64;
+        assert!(ratio < 0.5, "ratio {ratio}");
+        assert!(ratio > 0.05, "suspiciously compressible: {ratio}");
+    }
+
+    #[test]
+    fn corpus_items_differ() {
+        let corpus = text_corpus(4, 512, 5);
+        for i in 0..corpus.len() {
+            for j in i + 1..corpus.len() {
+                assert_ne!(corpus[i], corpus[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sentences_are_structured() {
+        let text = synthetic_text(5000, 6);
+        assert!(text.contains(". "));
+        assert!(text.starts_with(|c: char| c.is_uppercase()));
+    }
+}

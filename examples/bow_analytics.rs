@@ -1,0 +1,77 @@
+//! Incremental text analytics: bag-of-words over web-page crawls (the
+//! paper's use case 4). Crawl snapshots overlap heavily, so per-batch BoW
+//! computations deduplicate across runs.
+//!
+//! ```text
+//! cargo run --release --example bow_analytics
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use speed_core::{Deduplicable, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_enclave::{CostModel, Platform};
+use speed_mapreduce::{bag_of_words, counts_from_bytes, counts_to_bytes, BowConfig};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::SessionAuthority;
+use speed_workloads::pages;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default())?);
+    let authority = Arc::new(SessionAuthority::new());
+
+    let mut mapreduce_lib = TrustedLibrary::new("mapreduce", "1.0");
+    mapreduce_lib.register("Counts bow_mapper(Pages)", b"speed-mapreduce bow v1");
+
+    let runtime = DedupRuntime::builder(Arc::clone(&platform), b"bow-analytics")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(mapreduce_lib)
+        .build()?;
+
+    let dedup_bow = Deduplicable::new(
+        &runtime,
+        FuncDesc::new("mapreduce", "1.0", "Counts bow_mapper(Pages)"),
+        |batch: &Vec<String>| -> Vec<u8> {
+            counts_to_bytes(&bag_of_words(batch, &BowConfig::default()))
+        },
+    )?;
+
+    // The crawler partitions pages into stable batches of 25; two
+    // consecutive "crawls" share most batches (incremental update).
+    let all_pages = pages::page_corpus(150, 150, 11);
+    let batches: Vec<Vec<String>> =
+        all_pages.chunks(25).map(|chunk| chunk.to_vec()).collect();
+
+    let mut aggregate: HashMap<String, u64> = HashMap::new();
+    let mut run_crawl = |label: &str, batch_indices: &[usize]| -> Result<(), Box<dyn std::error::Error>> {
+        let start = std::time::Instant::now();
+        for &idx in batch_indices {
+            let result_bytes = dedup_bow.call(&batches[idx])?;
+            for (word, count) in counts_from_bytes(&result_bytes).expect("valid counts") {
+                *aggregate.entry(word).or_insert(0) += count;
+            }
+        }
+        let stats = runtime.stats();
+        println!(
+            "{label}: {:?} ({} total hits / {} calls so far)",
+            start.elapsed(),
+            stats.hits,
+            stats.calls
+        );
+        Ok(())
+    };
+
+    // First crawl processes batches 0..5; second crawl re-processes 4 of
+    // them plus one new batch.
+    run_crawl("crawl #1 (cold)", &[0, 1, 2, 3, 4])?;
+    run_crawl("crawl #2 (incremental)", &[1, 2, 3, 4, 5])?;
+
+    let mut top: Vec<(&String, &u64)> = aggregate.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("top 10 words across both crawls:");
+    for (word, count) in top.into_iter().take(10) {
+        println!("  {word:<12} {count}");
+    }
+    Ok(())
+}

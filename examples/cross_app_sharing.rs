@@ -1,0 +1,87 @@
+//! Cross-application sharing and its security boundary.
+//!
+//! Demonstrates the heart of the paper's §III-C design: two *different*
+//! applications that own the same trusted library and input share one
+//! stored result without any pre-shared key — while an application whose
+//! library code differs cannot decrypt it, even though it can observe the
+//! ciphertext and all metadata outside the enclave.
+//!
+//! ```text
+//! cargo run --release --example cross_app_sharing
+//! ```
+
+use std::sync::Arc;
+
+use speed_core::{DedupOutcome, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::SessionAuthority;
+
+fn genuine_library() -> TrustedLibrary {
+    let mut lib = TrustedLibrary::new("zlib", "1.2.11");
+    lib.register("int deflate(...)", b"genuine deflate code v1.2.11");
+    lib
+}
+
+fn trojaned_library() -> TrustedLibrary {
+    // Same name, same version, same signature — different code.
+    let mut lib = TrustedLibrary::new("zlib", "1.2.11");
+    lib.register("int deflate(...)", b"trojaned deflate code");
+    lib
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default())?);
+    let authority = Arc::new(SessionAuthority::new());
+    let desc = FuncDesc::new("zlib", "1.2.11", "int deflate(...)");
+    let input = b"confidential corpus shared across applications".to_vec();
+
+    let build = |code: &[u8], library: TrustedLibrary| {
+        DedupRuntime::builder(Arc::clone(&platform), code)
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library)
+            .build()
+            .expect("runtime")
+    };
+
+    // Application A performs the initial computation.
+    let app_a = build(b"application-a", genuine_library());
+    let identity_a = app_a.resolve(&desc)?;
+    let (result_a, outcome_a) = app_a.execute_raw(&identity_a, &input, |data| {
+        speed_deflate::compress(data, speed_deflate::Level::Default)
+    })?;
+    println!("app A: {outcome_a:?} -> {} compressed bytes published", result_a.len());
+
+    // Application B — a different enclave, different binary — performs the
+    // identical computation and reuses A's result with NO shared key.
+    let app_b = build(b"application-b", genuine_library());
+    let identity_b = app_b.resolve(&desc)?;
+    let (result_b, outcome_b) = app_b.execute_raw(&identity_b, &input, |_| {
+        panic!("app B must not recompute")
+    })?;
+    assert_eq!(outcome_b, DedupOutcome::Hit);
+    assert_eq!(result_a, result_b);
+    println!("app B: {outcome_b:?} -> reused A's result (keyless RCE recovery)");
+
+    // Application M claims the same library but its code differs — its
+    // function identity differs, so its tag differs and it can never even
+    // address A's entry; and were it handed the record, key recovery would
+    // fail (Fig. 3).
+    let app_m = build(b"application-m", trojaned_library());
+    let identity_m = app_m.resolve(&desc)?;
+    let (_, outcome_m) = app_m.execute_raw(&identity_m, &input, |data| {
+        speed_deflate::compress(data, speed_deflate::Level::Default)
+    })?;
+    assert_eq!(outcome_m, DedupOutcome::Miss);
+    println!("app M (different code): {outcome_m:?} -> no access to A/B's result");
+
+    // The store never saw plaintext: every stored byte outside the enclave
+    // is AES-GCM ciphertext.
+    let stats = store.stats();
+    println!(
+        "store holds {} entries / {} ciphertext bytes; it learned only tag equality",
+        stats.entries, stats.stored_bytes
+    );
+    Ok(())
+}

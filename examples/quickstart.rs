@@ -1,0 +1,72 @@
+//! Quickstart: make a function deduplicable in 2 lines and watch the
+//! second call skip execution.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use speed_core::{Deduplicable, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::SessionAuthority;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Platform setup: one SGX machine, one encrypted ResultStore. ---
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default())?);
+    let authority = Arc::new(SessionAuthority::new());
+
+    // The application ships a trusted library whose code the runtime can
+    // verify (the paper's §IV-B description/verification step).
+    let mut mathlib = TrustedLibrary::new("mathlib", "1.0.0");
+    mathlib.register("u64 slow_fib(u64)", b"fn slow_fib(n) { naive recursion }");
+
+    let runtime = DedupRuntime::builder(Arc::clone(&platform), b"quickstart-app")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(mathlib)
+        .build()?;
+
+    // --- The 2-line change (paper §IV-C): describe + wrap. -------------
+    let desc = FuncDesc::new("mathlib", "1.0.0", "u64 slow_fib(u64)");
+    let dedup_fib = Deduplicable::new(&runtime, desc, |n: &u64| slow_fib(*n))?;
+
+    // --- Use the wrapped function as normal. ----------------------------
+    let start = std::time::Instant::now();
+    let first = dedup_fib.call(&34)?;
+    let initial_time = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let second = dedup_fib.call(&34)?;
+    let subsequent_time = start.elapsed();
+
+    assert_eq!(first, second);
+    println!("slow_fib(34) = {first}");
+    println!("initial computation:    {initial_time:?} (executed + published)");
+    println!("subsequent computation: {subsequent_time:?} (reused from store)");
+    println!(
+        "speedup: {:.0}x",
+        initial_time.as_secs_f64() / subsequent_time.as_secs_f64().max(1e-9)
+    );
+
+    let stats = runtime.stats();
+    println!(
+        "runtime stats: {} calls, {} hits, {} misses, {} result bytes reused",
+        stats.calls, stats.hits, stats.misses, stats.reused_bytes
+    );
+    let store_stats = store.stats();
+    println!(
+        "store stats: {} entries, {} gets ({} hits), {} puts",
+        store_stats.entries, store_stats.gets, store_stats.hits, store_stats.puts
+    );
+    Ok(())
+}
+
+fn slow_fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        slow_fib(n - 1) + slow_fib(n - 2)
+    }
+}

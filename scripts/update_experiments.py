@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Inject the latest repro_output.txt sections into EXPERIMENTS.md.
+
+Usage: python3 scripts/update_experiments.py
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+repro = (ROOT / "repro_output.txt").read_text()
+experiments = (ROOT / "EXPERIMENTS.md").read_text()
+
+# Split repro output into blocks separated by blank lines between sections.
+blocks = [b.rstrip() for b in repro.split("\n\n\n") if b.strip()]
+# Fallback: the renderer separates sections with single blank lines after
+# each println!(); recover by headers instead.
+headers = {
+    "fig5": [],
+    "table1": None,
+    "fig6": None,
+    "ablations": [],
+}
+current = []
+sections = []
+for line in repro.splitlines():
+    if line.startswith(("Fig. 5 —", "Table I —", "Fig. 6 —", "Ablation —")):
+        if current:
+            sections.append("\n".join(current).rstrip())
+        current = [line]
+    elif current:
+        current.append(line)
+if current:
+    sections.append("\n".join(current).rstrip())
+
+fig5 = [s for s in sections if s.startswith("Fig. 5")]
+table1 = [s for s in sections if s.startswith("Table I")]
+fig6 = [s for s in sections if s.startswith("Fig. 6")]
+ablations = [s for s in sections if s.startswith("Ablation")]
+
+def fence(parts):
+    return "```text\n" + "\n\n".join(parts) + "\n```"
+
+replacements = {
+    "<!-- FIG5_NUMBERS -->": fence(fig5),
+    "<!-- TABLE1_NUMBERS -->": fence(table1),
+    "<!-- FIG6_NUMBERS -->": fence(fig6),
+    "<!-- ABLATION_NUMBERS -->": fence(ablations),
+}
+for marker, content in replacements.items():
+    if marker in experiments:
+        experiments = experiments.replace(marker, content)
+    else:
+        # Re-running: replace the previously injected fenced block that
+        # follows the section heading is out of scope; require markers.
+        raise SystemExit(f"marker {marker} not found; restore it first")
+
+(ROOT / "EXPERIMENTS.md").write_text(experiments)
+print("EXPERIMENTS.md updated:",
+      f"{len(fig5)} fig5 blocks, {len(table1)} table1, {len(fig6)} fig6,",
+      f"{len(ablations)} ablations")

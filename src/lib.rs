@@ -1,0 +1,26 @@
+//! Umbrella crate for the SPEED reproduction workspace.
+//!
+//! This crate exists to host the workspace-spanning integration tests under
+//! `tests/` and the runnable examples under `examples/`. The actual library
+//! surface lives in the member crates, re-exported here for convenience:
+//!
+//! - [`speed_core`] — the paper's contribution: secure computation
+//!   deduplication (`Deduplicable`, `DedupRuntime`, RCE result encryption).
+//! - [`speed_store`] — the encrypted `ResultStore`.
+//! - [`speed_enclave`] — the SGX enclave simulator substrate.
+//! - [`speed_crypto`] — SHA-256 / AES-GCM-128 / HMAC primitives.
+//! - [`speed_wire`] — the uniform serialization interface and wire protocol.
+//! - Use-case libraries: [`speed_sift`], [`speed_deflate`], [`speed_matcher`],
+//!   [`speed_mapreduce`], and the synthetic data generators in
+//!   [`speed_workloads`].
+
+pub use speed_core;
+pub use speed_crypto;
+pub use speed_deflate;
+pub use speed_enclave;
+pub use speed_mapreduce;
+pub use speed_matcher;
+pub use speed_sift;
+pub use speed_store;
+pub use speed_wire;
+pub use speed_workloads;

@@ -1,0 +1,221 @@
+//! End-to-end integration: the full SPEED stack (crypto → enclave → wire →
+//! store → runtime) driving all four evaluation applications.
+
+use std::sync::Arc;
+
+use speed_core::{
+    Deduplicable, DedupMode, DedupOutcome, DedupRuntime, FuncDesc, TrustedLibrary,
+};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::SessionAuthority;
+use speed_workloads::{images, pages, text};
+
+struct World {
+    platform: Arc<Platform>,
+    store: Arc<ResultStore>,
+    authority: Arc<SessionAuthority>,
+}
+
+fn world() -> World {
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let authority = Arc::new(SessionAuthority::new());
+    World { platform, store, authority }
+}
+
+fn libraries() -> Vec<TrustedLibrary> {
+    let mut sift = TrustedLibrary::new("libsiftpp", "0.8.1");
+    sift.register("Keypoints sift(Image)", b"sift code");
+    let mut zlib = TrustedLibrary::new("zlib", "1.2.11");
+    zlib.register("int deflate(...)", b"deflate code");
+    let mut mapreduce = TrustedLibrary::new("mapreduce", "1.0");
+    mapreduce.register("Counts bow_mapper(Pages)", b"bow code");
+    vec![sift, zlib, mapreduce]
+}
+
+fn runtime(world: &World, code: &[u8]) -> Arc<DedupRuntime> {
+    let mut builder = DedupRuntime::builder(Arc::clone(&world.platform), code)
+        .in_process_store(Arc::clone(&world.store), Arc::clone(&world.authority));
+    for library in libraries() {
+        builder = builder.trusted_library(library);
+    }
+    builder.build().unwrap()
+}
+
+#[test]
+fn sift_pipeline_dedups_and_results_match() {
+    let world = world();
+    let rt = runtime(&world, b"sift-app");
+    let dedup_sift = Deduplicable::new(
+        &rt,
+        FuncDesc::new("libsiftpp", "0.8.1", "Keypoints sift(Image)"),
+        |bytes: &Vec<u8>| {
+            let image = images::image_from_bytes(bytes).unwrap();
+            speed_sift::features_to_bytes(&speed_sift::sift(
+                &image,
+                &speed_sift::SiftParams::default(),
+            ))
+        },
+    )
+    .unwrap();
+
+    let image = images::image_to_bytes(&images::synthetic_image(64, 5));
+    let (first, o1) = dedup_sift.call_traced(&image).unwrap();
+    let (second, o2) = dedup_sift.call_traced(&image).unwrap();
+    assert_eq!(o1, DedupOutcome::Miss);
+    assert_eq!(o2, DedupOutcome::Hit);
+    assert_eq!(first, second);
+    assert!(!speed_sift::features_from_bytes(&first).unwrap().is_empty());
+}
+
+#[test]
+fn compression_result_survives_dedup_and_decompresses() {
+    let world = world();
+    let rt = runtime(&world, b"deflate-app");
+    let dedup_deflate = Deduplicable::new(
+        &rt,
+        FuncDesc::new("zlib", "1.2.11", "int deflate(...)"),
+        |data: &Vec<u8>| speed_deflate::compress(data, speed_deflate::Level::Default),
+    )
+    .unwrap();
+
+    let document = text::synthetic_text(100_000, 3).into_bytes();
+    let compressed_first = dedup_deflate.call(&document).unwrap();
+    let compressed_second = dedup_deflate.call(&document).unwrap();
+    assert_eq!(compressed_first, compressed_second);
+    assert_eq!(speed_deflate::decompress(&compressed_first).unwrap(), document);
+}
+
+#[test]
+fn bow_over_pages_roundtrips_through_store() {
+    let world = world();
+    let rt = runtime(&world, b"bow-app");
+    let dedup_bow = Deduplicable::new(
+        &rt,
+        FuncDesc::new("mapreduce", "1.0", "Counts bow_mapper(Pages)"),
+        |batch: &Vec<String>| {
+            speed_mapreduce::counts_to_bytes(&speed_mapreduce::bag_of_words(
+                batch,
+                &speed_mapreduce::BowConfig::default(),
+            ))
+        },
+    )
+    .unwrap();
+
+    let batch = pages::page_corpus(10, 100, 8);
+    let bytes_first = dedup_bow.call(&batch).unwrap();
+    let bytes_second = dedup_bow.call(&batch).unwrap();
+    assert_eq!(bytes_first, bytes_second);
+    let counts = speed_mapreduce::counts_from_bytes(&bytes_first).unwrap();
+    assert!(!counts.is_empty());
+    assert_eq!(rt.stats().hits, 1);
+}
+
+#[test]
+fn cross_application_reuse_without_shared_key() {
+    let world = world();
+    let app_a = runtime(&world, b"app-alpha");
+    let app_b = runtime(&world, b"app-beta");
+    let desc = FuncDesc::new("zlib", "1.2.11", "int deflate(...)");
+    let input = text::synthetic_text(50_000, 9).into_bytes();
+
+    let identity_a = app_a.resolve(&desc).unwrap();
+    let (result_a, _) = app_a
+        .execute_raw(&identity_a, &input, |data| {
+            speed_deflate::compress(data, speed_deflate::Level::Default)
+        })
+        .unwrap();
+
+    let identity_b = app_b.resolve(&desc).unwrap();
+    let (result_b, outcome) = app_b
+        .execute_raw(&identity_b, &input, |_| panic!("B must reuse"))
+        .unwrap();
+    assert_eq!(outcome, DedupOutcome::Hit);
+    assert_eq!(result_a, result_b);
+
+    // Store shows one put, two gets, one hit each… exactly one entry.
+    let stats = world.store.stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.puts, 1);
+}
+
+#[test]
+fn single_key_mode_does_not_share_with_cross_app_mode() {
+    let world = world();
+    let desc = FuncDesc::new("zlib", "1.2.11", "int deflate(...)");
+    let input = b"mixed mode corpus".to_vec();
+
+    let single = {
+        let mut builder =
+            DedupRuntime::builder(Arc::clone(&world.platform), b"single-key-app")
+                .in_process_store(Arc::clone(&world.store), Arc::clone(&world.authority))
+                .mode(DedupMode::SingleKey(speed_crypto::Key128::from_bytes([1; 16])));
+        for library in libraries() {
+            builder = builder.trusted_library(library);
+        }
+        builder.build().unwrap()
+    };
+    let cross = runtime(&world, b"cross-app");
+
+    let id_single = single.resolve(&desc).unwrap();
+    single.execute_raw(&id_single, &input, |d| d.to_vec()).unwrap();
+
+    // The cross-app runtime sees the record but cannot verify it (it was
+    // encrypted under the single key, not RCE) — it recomputes.
+    let id_cross = cross.resolve(&desc).unwrap();
+    let (_, outcome) = cross.execute_raw(&id_cross, &input, |d| d.to_vec()).unwrap();
+    assert_eq!(outcome, DedupOutcome::MissAfterFailedVerify);
+    assert_eq!(cross.stats().verify_failures, 1);
+}
+
+#[test]
+fn distinct_inputs_never_collide() {
+    let world = world();
+    let rt = runtime(&world, b"collision-app");
+    let desc = FuncDesc::new("zlib", "1.2.11", "int deflate(...)");
+    let identity = rt.resolve(&desc).unwrap();
+
+    for i in 0..32u8 {
+        let input = vec![i; 100];
+        let (result, outcome) =
+            rt.execute_raw(&identity, &input, |d| vec![d[0]]).unwrap();
+        assert_eq!(outcome, DedupOutcome::Miss);
+        assert_eq!(result, vec![i]);
+    }
+    // Re-query all 32: every one hits and returns its own result.
+    for i in 0..32u8 {
+        let input = vec![i; 100];
+        let (result, outcome) =
+            rt.execute_raw(&identity, &input, |_| panic!("hit expected")).unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+        assert_eq!(result, vec![i]);
+    }
+}
+
+#[test]
+fn epc_pressure_from_many_entries_is_bounded() {
+    // Metadata stays small even as ciphertexts accumulate outside.
+    let world = world();
+    let rt = runtime(&world, b"epc-app");
+    let desc = FuncDesc::new("zlib", "1.2.11", "int deflate(...)");
+    let identity = rt.resolve(&desc).unwrap();
+
+    let epc_before = world.platform.epc().stats().committed_pages;
+    for i in 0..200u32 {
+        let input = i.to_le_bytes().to_vec();
+        rt.execute_raw(&identity, &input, |_| vec![0u8; 4096]).unwrap();
+    }
+    let epc_after = world.platform.epc().stats().committed_pages;
+    let stats = world.store.stats();
+    assert_eq!(stats.entries, 200);
+    assert_eq!(stats.stored_bytes, 200 * (4096 + 16));
+    // 200 results ≈ 800 KiB of ciphertext outside, but far fewer EPC pages
+    // committed for metadata.
+    let committed_delta_bytes =
+        (epc_after - epc_before) * speed_enclave::PAGE_SIZE;
+    assert!(
+        committed_delta_bytes < 200 * 4096 / 2,
+        "metadata used {committed_delta_bytes} bytes of EPC"
+    );
+}

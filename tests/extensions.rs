@@ -1,0 +1,136 @@
+//! Integration tests for the extension features beyond the paper's
+//! prototype: adaptive deduplication policy (§VII future work), sealed
+//! store persistence, and controlled deduplication (§III-D authorization).
+
+use std::sync::Arc;
+
+use speed_core::{
+    AdaptiveConfig, DedupOutcome, DedupPolicy, DedupRuntime, FuncDesc, TrustedLibrary,
+};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{persist, AccessControl, ResultStore, StoreConfig};
+use speed_wire::SessionAuthority;
+
+fn library() -> TrustedLibrary {
+    let mut lib = TrustedLibrary::new("zlib", "1.2.11");
+    lib.register("int deflate(...)", b"deflate code");
+    lib
+}
+
+fn desc() -> FuncDesc {
+    FuncDesc::new("zlib", "1.2.11", "int deflate(...)")
+}
+
+#[test]
+fn store_survives_restart_via_sealed_snapshot() {
+    let platform = Platform::new(CostModel::default_sgx());
+    let authority = Arc::new(SessionAuthority::new());
+    let input = b"document to survive a restart".to_vec();
+
+    // Day 1: compute and publish, then snapshot and "shut down".
+    let sealed = {
+        let store =
+            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"persist-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .build()
+            .unwrap();
+        let identity = rt.resolve(&desc()).unwrap();
+        rt.execute_raw(&identity, &input, |d| {
+            speed_deflate::compress(d, speed_deflate::Level::Default)
+        })
+        .unwrap();
+        persist::snapshot(&platform, &store)
+    };
+
+    // Day 2: restore into a fresh store and reuse the result — without
+    // ever recomputing.
+    let restored = Arc::new(
+        persist::restore(&platform, StoreConfig::default(), &sealed).unwrap(),
+    );
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"persist-app-reborn")
+        .in_process_store(Arc::clone(&restored), Arc::clone(&authority))
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = rt.resolve(&desc()).unwrap();
+    let (result, outcome) = rt
+        .execute_raw(&identity, &input, |_| panic!("must reuse restored result"))
+        .unwrap();
+    assert_eq!(outcome, DedupOutcome::Hit);
+    assert_eq!(speed_deflate::decompress(&result).unwrap(), input);
+}
+
+#[test]
+fn unauthorized_app_cannot_even_query() {
+    let platform = Platform::new(CostModel::default_sgx());
+    let authority = Arc::new(SessionAuthority::new());
+    let config = StoreConfig {
+        access: AccessControl::Allowlist([100u64].into_iter().collect()),
+        ..StoreConfig::default()
+    };
+    let store = Arc::new(ResultStore::new(&platform, config).unwrap());
+
+    // Authorized application (explicit app id 100) works end to end.
+    let authorized = DedupRuntime::builder(Arc::clone(&platform), b"authorized")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library())
+        .app_id(100)
+        .build()
+        .unwrap();
+    let identity = authorized.resolve(&desc()).unwrap();
+    let (_, outcome) =
+        authorized.execute_raw(&identity, b"data", |d| d.to_vec()).unwrap();
+    assert_eq!(outcome, DedupOutcome::Miss);
+
+    // Unauthorized application: the store refuses its GET, which surfaces
+    // as an error — no information about stored computations leaks.
+    let unauthorized = DedupRuntime::builder(Arc::clone(&platform), b"unauthorized")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library())
+        .app_id(999)
+        .build()
+        .unwrap();
+    let identity = unauthorized.resolve(&desc()).unwrap();
+    let result = unauthorized.execute_raw(&identity, b"data", |d| d.to_vec());
+    assert!(result.is_err());
+}
+
+#[test]
+fn adaptive_policy_full_stack() {
+    let platform = Platform::new(CostModel::default_sgx());
+    let authority = Arc::new(SessionAuthority::new());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"adaptive-integration")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library())
+        .policy(DedupPolicy::Adaptive(AdaptiveConfig {
+            min_speedup: 1.0,
+            warmup_calls: 2,
+            probe_interval: 8,
+            ewma_alpha: 0.4,
+        }))
+        .build()
+        .unwrap();
+    let identity = rt.resolve(&desc()).unwrap();
+
+    // Phase 1: cheap + distinct inputs → policy learns to bypass.
+    for i in 0..30u32 {
+        rt.execute_raw(&identity, &i.to_le_bytes(), |d| d.to_vec()).unwrap();
+    }
+    let bypasses_phase1 = rt.stats().bypasses;
+    assert!(bypasses_phase1 > 0, "policy never bypassed a cheap function");
+
+    // The store was spared most of the useless puts.
+    assert!(store.stats().puts < 30);
+
+    // Phase 2: despite bypassing, probes keep the runtime correct: a
+    // repeated input through a probe call still round-trips properly.
+    for _ in 0..20 {
+        let (result, _) = rt
+            .execute_raw(&identity, b"stable-input", |d| d.to_vec())
+            .unwrap();
+        assert_eq!(result, b"stable-input");
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-crate property-based tests: store invariants under arbitrary
+//! operation sequences, RCE end-to-end properties, and wire-protocol
+//! robustness against hostile bytes.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use speed_core::{DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::{from_bytes, AppId, CompTag, Message, Record, SessionAuthority};
+
+#[derive(Clone, Debug)]
+enum StoreOp {
+    Put { tag_seed: u8, len: u16 },
+    Get { tag_seed: u8 },
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (any::<u8>(), 1u16..2048).prop_map(|(tag_seed, len)| StoreOp::Put { tag_seed, len }),
+        any::<u8>().prop_map(|tag_seed| StoreOp::Get { tag_seed }),
+    ]
+}
+
+fn tag(seed: u8) -> CompTag {
+    CompTag::from_bytes([seed; 32])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever sequence of GETs and PUTs arrives, the store's counters
+    /// stay consistent, stored bytes match live entries, and a GET after
+    /// a successful PUT always returns the first-written record.
+    #[test]
+    fn store_invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(store_op(), 1..120)) {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
+        let mut expected: std::collections::HashMap<CompTag, Vec<u8>> =
+            std::collections::HashMap::new();
+        let mut puts = 0u64;
+        let mut gets = 0u64;
+
+        for op in &ops {
+            match *op {
+                StoreOp::Put { tag_seed, len } => {
+                    puts += 1;
+                    let body = vec![tag_seed; usize::from(len)];
+                    let response = store.handle(Message::PutRequest {
+                        app: AppId(1),
+                        tag: tag(tag_seed),
+                        record: Record {
+                            challenge: vec![tag_seed; 32],
+                            wrapped_key: [tag_seed; 16],
+                            nonce: [tag_seed; 12],
+                            boxed_result: body.clone(),
+                        },
+                    });
+                    prop_assert!(matches!(response, Message::PutResponse(ref b) if b.accepted));
+                    expected.entry(tag(tag_seed)).or_insert(body);
+                }
+                StoreOp::Get { tag_seed } => {
+                    gets += 1;
+                    let response =
+                        store.handle(Message::GetRequest { app: AppId(2), tag: tag(tag_seed) });
+                    match response {
+                        Message::GetResponse(body) => match expected.get(&tag(tag_seed)) {
+                            Some(first_written) => {
+                                prop_assert!(body.found);
+                                prop_assert_eq!(
+                                    &body.record.unwrap().boxed_result,
+                                    first_written
+                                );
+                            }
+                            None => prop_assert!(!body.found),
+                        },
+                        other => return Err(TestCaseError::fail(format!("{other:?}"))),
+                    }
+                }
+            }
+        }
+
+        let stats = store.stats();
+        prop_assert_eq!(stats.puts, puts);
+        prop_assert_eq!(stats.gets, gets);
+        prop_assert_eq!(stats.entries as usize, expected.len());
+        let expected_bytes: u64 =
+            expected.values().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(stats.stored_bytes, expected_bytes);
+    }
+
+    /// Dedup end-to-end with arbitrary inputs: the reused result always
+    /// equals the computed result, for any input bytes.
+    #[test]
+    fn dedup_roundtrip_any_input(input in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let authority = Arc::new(SessionAuthority::new());
+        let mut library = TrustedLibrary::new("lib", "1");
+        library.register("f()", b"code");
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"prop-app")
+            .in_process_store(store, authority)
+            .trusted_library(library)
+            .build()
+            .unwrap();
+        let identity = rt.resolve(&FuncDesc::new("lib", "1", "f()")).unwrap();
+
+        let compute = |d: &[u8]| {
+            let mut out = d.to_vec();
+            out.reverse();
+            out
+        };
+        let (first, _) = rt.execute_raw(&identity, &input, compute).unwrap();
+        let (second, outcome) = rt
+            .execute_raw(&identity, &input, |_| panic!("must hit"))
+            .unwrap();
+        prop_assert_eq!(outcome, speed_core::DedupOutcome::Hit);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Hostile bytes fed to the protocol decoder never panic and never
+    /// produce a structurally invalid message.
+    #[test]
+    fn protocol_decoder_handles_hostile_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(message) = from_bytes::<Message>(&bytes) {
+            // Decoded messages must re-encode to a decodable form.
+            let reencoded = speed_wire::to_bytes(&message);
+            let redecoded: Message = from_bytes(&reencoded).unwrap();
+            prop_assert_eq!(message, redecoded);
+        }
+    }
+
+    /// Sealed data tampered at any single byte never unseals.
+    #[test]
+    fn sealing_detects_any_single_byte_flip(flip_at in 0usize..200, flip_bit in 0u8..8) {
+        use speed_enclave::sealing::{seal, unseal, SealedData, SealPolicy};
+        let platform = Platform::with_seed(CostModel::no_sgx(), Some(3));
+        let enclave = platform.create_enclave(b"prop-seal").unwrap();
+        let sealed =
+            seal(&platform, &enclave, &SealPolicy::MrEnclave, b"aad", &[0x42; 150]);
+        let mut bytes = sealed.to_bytes();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= 1 << flip_bit;
+        let tampered = SealedData::from_bytes(&bytes).unwrap();
+        prop_assert!(unseal(
+            &platform,
+            &enclave,
+            &SealPolicy::MrEnclave,
+            b"aad",
+            &tampered
+        )
+        .is_err());
+    }
+}

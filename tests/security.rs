@@ -1,0 +1,263 @@
+//! Security-property integration tests: the guarantees of §III-D exercised
+//! against an active adversary controlling everything outside the
+//! enclaves.
+
+use std::sync::Arc;
+
+use speed_core::{DedupOutcome, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_enclave::{BlobId, CostModel, Platform};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::{AppId, CompTag, Message, SessionAuthority};
+
+struct World {
+    platform: Arc<Platform>,
+    store: Arc<ResultStore>,
+    authority: Arc<SessionAuthority>,
+}
+
+fn world() -> World {
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let authority = Arc::new(SessionAuthority::new());
+    World { platform, store, authority }
+}
+
+fn library(code: &[u8]) -> TrustedLibrary {
+    let mut lib = TrustedLibrary::new("zlib", "1.2.11");
+    lib.register("int deflate(...)", code);
+    lib
+}
+
+fn runtime(world: &World, app_code: &[u8], lib_code: &[u8]) -> Arc<DedupRuntime> {
+    DedupRuntime::builder(Arc::clone(&world.platform), app_code)
+        .in_process_store(Arc::clone(&world.store), Arc::clone(&world.authority))
+        .trusted_library(library(lib_code))
+        .build()
+        .unwrap()
+}
+
+const DESCRIPTION: (&str, &str, &str) = ("zlib", "1.2.11", "int deflate(...)");
+
+fn desc() -> FuncDesc {
+    FuncDesc::new(DESCRIPTION.0, DESCRIPTION.1, DESCRIPTION.2)
+}
+
+/// Tampering with ciphertext outside the enclave is detected: the victim
+/// recomputes instead of consuming a poisoned result (cache-poisoning
+/// defence, §III-D).
+#[test]
+fn tampered_ciphertext_is_detected_not_consumed() {
+    let world = world();
+    let rt = runtime(&world, b"victim", b"genuine");
+    let identity = rt.resolve(&desc()).unwrap();
+    let input = b"input under attack".to_vec();
+
+    rt.execute_raw(&identity, &input, |_| b"correct result".to_vec()).unwrap();
+
+    // Adversary with root access flips bits in every untrusted blob.
+    let mut tampered_any = false;
+    for raw in 0..64u64 {
+        tampered_any |= world
+            .platform
+            .untrusted()
+            .tamper(BlobId::from_raw(raw), |data| {
+                if let Some(byte) = data.first_mut() {
+                    *byte ^= 0xFF;
+                }
+            });
+    }
+    assert!(tampered_any, "no blobs found to tamper with");
+
+    let (result, outcome) = rt
+        .execute_raw(&identity, &input, |_| b"correct result".to_vec())
+        .unwrap();
+    assert_eq!(outcome, DedupOutcome::MissAfterFailedVerify);
+    assert_eq!(result, b"correct result");
+}
+
+/// The query-forging attack (§III-D): an application that knows the *tag*
+/// of someone else's computation can fetch `(r, [k], [res])` but cannot
+/// decrypt, because it cannot recompute `h = H(func, m, r)` without owning
+/// the same code and input.
+#[test]
+fn query_forging_attacker_cannot_decrypt() {
+    let world = world();
+    let victim = runtime(&world, b"victim-app", b"genuine code");
+    let identity = victim.resolve(&desc()).unwrap();
+    let secret_input = b"the victim's secret input".to_vec();
+    victim
+        .execute_raw(&identity, &secret_input, |_| b"secret result".to_vec())
+        .unwrap();
+
+    // The attacker somehow learned the tag (leakage setting) and queries
+    // the store directly, getting the full record.
+    let tag = speed_core::tag_for(&identity, &secret_input);
+    let response = world.store.handle(Message::GetRequest { app: AppId(666), tag });
+    let record = match response {
+        Message::GetResponse(body) => body.record.expect("record leaked to attacker"),
+        other => panic!("unexpected {other:?}"),
+    };
+
+    // Without the same (func, m) the key cannot be recovered: try with a
+    // different function identity (attacker's own code)…
+    let attacker = runtime(&world, b"attacker-app", b"attacker code");
+    let attacker_identity = attacker.resolve(&desc()).unwrap();
+    assert!(speed_core::rce::recover_result(&attacker_identity, &secret_input, &record)
+        .is_err());
+    // …and with the right code but a guessed input.
+    assert!(speed_core::rce::recover_result(
+        &identity,
+        b"guessed input",
+        &record
+    )
+    .is_err());
+    // The eligible party still recovers fine.
+    assert_eq!(
+        speed_core::rce::recover_result(&identity, &secret_input, &record).unwrap(),
+        b"secret result"
+    );
+}
+
+/// Everything the store holds outside the enclave is ciphertext: the
+/// plaintext result never appears in untrusted memory.
+#[test]
+fn untrusted_memory_never_sees_plaintext() {
+    let world = world();
+    let rt = runtime(&world, b"privacy-app", b"genuine");
+    let identity = rt.resolve(&desc()).unwrap();
+    let plaintext_result = b"EXTREMELY-RECOGNIZABLE-SECRET-RESULT-BYTES".to_vec();
+    rt.execute_raw(&identity, b"in", |_| plaintext_result.clone()).unwrap();
+
+    for raw in 0..64u64 {
+        if let Some(blob) = world.platform.untrusted().load(BlobId::from_raw(raw)) {
+            assert!(
+                !blob
+                    .windows(plaintext_result.len())
+                    .any(|window| window == &plaintext_result[..]),
+                "plaintext result leaked into untrusted blob {raw}"
+            );
+        }
+    }
+}
+
+/// DoS mitigation (§III-D): a malicious application flooding PUTs is
+/// rate-limited; a well-behaved application is unaffected.
+#[test]
+fn put_flood_is_rate_limited_per_app() {
+    let platform = Platform::new(CostModel::default_sgx());
+    let config = StoreConfig {
+        max_entries: 1_000_000,
+        max_stored_bytes: u64::MAX,
+        quota: speed_store::QuotaPolicy {
+            max_entries_per_app: 50,
+            max_bytes_per_app: u64::MAX,
+            max_puts_per_window: u64::MAX,
+            window_ms: 1_000,
+        },
+        access: speed_store::AccessControl::Open,
+        ttl_ms: None,
+    };
+    let store = Arc::new(ResultStore::new(&platform, config).unwrap());
+
+    let flood_record = || speed_wire::Record {
+        challenge: vec![0; 32],
+        wrapped_key: [0; 16],
+        nonce: [0; 12],
+        boxed_result: vec![0xEE; 128],
+    };
+    let mut rejected = 0;
+    for i in 0..200u64 {
+        let mut tag = [0u8; 32];
+        tag[..8].copy_from_slice(&i.to_le_bytes());
+        let response = store.handle(Message::PutRequest {
+            app: AppId(666),
+            tag: CompTag::from_bytes(tag),
+            record: flood_record(),
+        });
+        if matches!(response, Message::PutResponse(body) if !body.accepted) {
+            rejected += 1;
+        }
+    }
+    assert_eq!(rejected, 150, "quota allowed the flood");
+
+    // An honest app still gets service.
+    let mut tag = [9u8; 32];
+    tag[0] = 0xAA;
+    let response = store.handle(Message::PutRequest {
+        app: AppId(7),
+        tag: CompTag::from_bytes(tag),
+        record: flood_record(),
+    });
+    assert!(matches!(response, Message::PutResponse(body) if body.accepted));
+}
+
+/// Replay of secure-channel frames is rejected end to end.
+#[test]
+fn channel_replay_rejected() {
+    let world = world();
+    let enclave = world.platform.create_enclave(b"replay-app").unwrap();
+    let (mut client, mut server) = world
+        .authority
+        .establish(
+            (&world.platform, &enclave),
+            (&world.platform, world.store.enclave()),
+        )
+        .unwrap();
+    let frame = client.seal_message(b"GET something");
+    assert!(server.open_message(&frame).is_ok());
+    assert!(server.open_message(&frame).is_err());
+}
+
+/// The measurement binds code identity: same description, different code →
+/// different tags, so a trojaned library can never address genuine entries.
+#[test]
+fn code_identity_separates_tag_spaces() {
+    let world = world();
+    let genuine = runtime(&world, b"app-1", b"genuine code");
+    let trojaned = runtime(&world, b"app-2", b"trojan code");
+    let input = b"same input".to_vec();
+
+    let genuine_tag =
+        speed_core::tag_for(&genuine.resolve(&desc()).unwrap(), &input);
+    let trojan_tag =
+        speed_core::tag_for(&trojaned.resolve(&desc()).unwrap(), &input);
+    assert_ne!(genuine_tag, trojan_tag);
+}
+
+/// Sealing: store state sealed by the store enclave cannot be unsealed by
+/// a different enclave or platform (used for at-rest persistence).
+#[test]
+fn sealed_state_bound_to_enclave_identity() {
+    use speed_enclave::sealing::{seal, unseal, SealPolicy};
+    let world = world();
+    let other_platform = Platform::new(CostModel::default_sgx());
+    let other_enclave = other_platform.create_enclave(b"other").unwrap();
+
+    let store_enclave = world.store.enclave();
+    let sealed = seal(
+        &world.platform,
+        store_enclave,
+        &SealPolicy::MrEnclave,
+        b"dict-snapshot",
+        b"serialized dictionary",
+    );
+    assert_eq!(
+        unseal(
+            &world.platform,
+            store_enclave,
+            &SealPolicy::MrEnclave,
+            b"dict-snapshot",
+            &sealed
+        )
+        .unwrap(),
+        b"serialized dictionary"
+    );
+    assert!(unseal(
+        &other_platform,
+        &other_enclave,
+        &SealPolicy::MrEnclave,
+        b"dict-snapshot",
+        &sealed
+    )
+    .is_err());
+}
