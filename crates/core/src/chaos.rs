@@ -1,0 +1,351 @@
+//! Deterministic fault injection for the store path.
+//!
+//! [`ChaosClient`] wraps any [`StoreClient`] and injects transport faults
+//! — dropped frames, delays, disconnects, corrupt frames — at rates drawn
+//! from a seeded [`SystemRng`], so resilience experiments and the chaos
+//! integration suite are fully reproducible. A shared [`FaultInjector`]
+//! keeps one fault schedule and one set of counters across the many client
+//! instances a reconnecting runtime creates.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use speed_crypto::SystemRng;
+use speed_store::StoreError;
+use speed_wire::Message;
+
+use crate::client::StoreClient;
+use crate::error::CoreError;
+
+/// Per-round-trip probabilities of each fault kind. The remaining mass is
+/// a fault-free round-trip. Rates are clamped to sum ≤ 1 by evaluation
+/// order (drop, then delay, then disconnect, then corrupt).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRates {
+    /// Request never reaches the store; the caller sees an I/O error.
+    pub drop: f64,
+    /// Round-trip succeeds after an added [`FaultConfig::delay`].
+    pub delay: f64,
+    /// The connection dies: this request and every later one on the same
+    /// client instance fail until the caller reconnects.
+    pub disconnect: f64,
+    /// The request reaches the store (side effects apply!) but the
+    /// response frame is corrupt, so the caller sees a protocol error.
+    pub corrupt: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub const NONE: FaultRates =
+        FaultRates { drop: 0.0, delay: 0.0, disconnect: 0.0, corrupt: 0.0 };
+
+    /// Splits a total fault probability evenly across all four kinds.
+    pub fn uniform(total: f64) -> Self {
+        let each = (total / 4.0).clamp(0.0, 0.25);
+        FaultRates { drop: each, delay: each, disconnect: each, corrupt: each }
+    }
+
+    /// The combined probability that a round-trip is disturbed.
+    pub fn total(&self) -> f64 {
+        self.drop + self.delay + self.disconnect + self.corrupt
+    }
+}
+
+/// What the injector decided for one round-trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass through untouched.
+    None,
+    /// Fail with an I/O error before reaching the store.
+    Drop,
+    /// Sleep, then pass through.
+    Delay,
+    /// Kill this connection permanently.
+    Disconnect,
+    /// Reach the store, then fail with a protocol error.
+    Corrupt,
+}
+
+/// Fault schedule configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probabilities per round-trip.
+    pub rates: FaultRates,
+    /// Added latency for [`Fault::Delay`].
+    pub delay: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { rates: FaultRates::uniform(0.2), delay: Duration::from_millis(2) }
+    }
+}
+
+/// Counters of injected faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Requests dropped before reaching the store.
+    pub drops: u64,
+    /// Requests delayed.
+    pub delays: u64,
+    /// Connections killed.
+    pub disconnects: u64,
+    /// Responses corrupted after the store applied the request.
+    pub corruptions: u64,
+    /// Requests passed through untouched.
+    pub passthroughs: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected (everything except passthroughs).
+    pub fn total(&self) -> u64 {
+        self.drops + self.delays + self.disconnects + self.corruptions
+    }
+}
+
+/// A seeded, shareable source of fault decisions. Wrap it in an `Arc` and
+/// hand it to every [`ChaosClient`] built by a reconnecting client factory:
+/// the schedule continues across reconnects and the counters aggregate.
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: Mutex<SystemRng>,
+    enabled: AtomicBool,
+    drops: AtomicU64,
+    delays: AtomicU64,
+    disconnects: AtomicU64,
+    corruptions: AtomicU64,
+    passthroughs: AtomicU64,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("config", &self.config)
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("counts", &self.counts())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// A deterministic injector: the same seed yields the same fault
+    /// schedule for the same sequence of round-trips.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultInjector {
+            config,
+            rng: Mutex::new(SystemRng::seeded(seed)),
+            enabled: AtomicBool::new(true),
+            drops: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            passthroughs: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns injection on or off (off = all round-trips pass through).
+    /// Lets a test stop the storm and watch the system recover.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The injected delay duration for [`Fault::Delay`].
+    pub fn delay(&self) -> Duration {
+        self.config.delay
+    }
+
+    /// Decides the fault for the next round-trip and counts it.
+    pub fn next_fault(&self) -> Fault {
+        if !self.enabled.load(Ordering::Relaxed) {
+            self.passthroughs.fetch_add(1, Ordering::Relaxed);
+            return Fault::None;
+        }
+        let u = self.rng.lock().expect("injector rng poisoned").gen_f64();
+        let rates = self.config.rates;
+        let mut edge = rates.drop;
+        if u < edge {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return Fault::Drop;
+        }
+        edge += rates.delay;
+        if u < edge {
+            self.delays.fetch_add(1, Ordering::Relaxed);
+            return Fault::Delay;
+        }
+        edge += rates.disconnect;
+        if u < edge {
+            self.disconnects.fetch_add(1, Ordering::Relaxed);
+            return Fault::Disconnect;
+        }
+        edge += rates.corrupt;
+        if u < edge {
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+            return Fault::Corrupt;
+        }
+        self.passthroughs.fetch_add(1, Ordering::Relaxed);
+        Fault::None
+    }
+
+    /// A snapshot of the counters.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            drops: self.drops.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            passthroughs: self.passthroughs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A [`StoreClient`] wrapper injecting the faults an infrastructure can
+/// actually produce. Fault semantics mirror real transports:
+///
+/// - [`Fault::Drop`]: the request is lost in flight — the store never sees
+///   it (safe to retry blindly).
+/// - [`Fault::Corrupt`]: the store *processed* the request but the reply
+///   is garbage — retries must be idempotent, which GET/PUT are.
+/// - [`Fault::Disconnect`]: this client instance is dead for good; only a
+///   reconnect (fresh instance from the factory) recovers.
+pub struct ChaosClient {
+    inner: Box<dyn StoreClient>,
+    injector: std::sync::Arc<FaultInjector>,
+    dead: bool,
+}
+
+impl fmt::Debug for ChaosClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosClient").field("dead", &self.dead).finish_non_exhaustive()
+    }
+}
+
+impl ChaosClient {
+    /// Wraps `inner`, drawing fault decisions from the shared `injector`.
+    pub fn new(
+        inner: Box<dyn StoreClient>,
+        injector: std::sync::Arc<FaultInjector>,
+    ) -> Self {
+        ChaosClient { inner, injector, dead: false }
+    }
+}
+
+impl StoreClient for ChaosClient {
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError> {
+        if self.dead {
+            return Err(CoreError::Store(StoreError::Io(
+                "chaos: connection torn down".into(),
+            )));
+        }
+        match self.injector.next_fault() {
+            Fault::None => self.inner.roundtrip(request),
+            Fault::Drop => {
+                Err(CoreError::Store(StoreError::Io("chaos: frame dropped".into())))
+            }
+            Fault::Delay => {
+                std::thread::sleep(self.injector.delay());
+                self.inner.roundtrip(request)
+            }
+            Fault::Disconnect => {
+                self.dead = true;
+                Err(CoreError::Store(StoreError::Io("chaos: peer disconnected".into())))
+            }
+            Fault::Corrupt => {
+                // The request reached the store — side effects (e.g. a PUT
+                // landing) happen — but the response frame is unreadable.
+                let _ = self.inner.roundtrip(request);
+                Err(CoreError::Store(StoreError::Protocol(
+                    "chaos: corrupt response frame".into(),
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_wire::{AppId, CompTag, GetResponseBody};
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    struct AlwaysOk;
+
+    impl StoreClient for AlwaysOk {
+        fn roundtrip(&mut self, _request: &Message) -> Result<Message, CoreError> {
+            Ok(Message::GetResponse(GetResponseBody { found: false, record: None }))
+        }
+    }
+
+    fn request() -> Message {
+        Message::GetRequest { app: AppId(1), tag: CompTag::from_bytes([1; 32]) }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let config =
+            FaultConfig { rates: FaultRates::uniform(0.4), delay: Duration::ZERO };
+        let a = FaultInjector::new(config, 77);
+        let b = FaultInjector::new(config, 77);
+        let faults_a: Vec<_> = (0..200).map(|_| a.next_fault()).collect();
+        let faults_b: Vec<_> = (0..200).map(|_| b.next_fault()).collect();
+        assert_eq!(faults_a, faults_b);
+        assert!(faults_a.iter().any(|f| *f != Fault::None));
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let config =
+            FaultConfig { rates: FaultRates::uniform(0.4), delay: Duration::ZERO };
+        let injector = FaultInjector::new(config, 3);
+        for _ in 0..2000 {
+            injector.next_fault();
+        }
+        let counts = injector.counts();
+        let observed = counts.total() as f64 / 2000.0;
+        assert!((observed - 0.4).abs() < 0.05, "observed fault rate {observed}");
+        // All four kinds occur.
+        assert!(counts.drops > 0 && counts.delays > 0);
+        assert!(counts.disconnects > 0 && counts.corruptions > 0);
+    }
+
+    #[test]
+    fn disabled_injector_passes_everything_through() {
+        let injector = FaultInjector::new(
+            FaultConfig { rates: FaultRates::uniform(1.0), delay: Duration::ZERO },
+            1,
+        );
+        injector.set_enabled(false);
+        for _ in 0..50 {
+            assert_eq!(injector.next_fault(), Fault::None);
+        }
+        assert_eq!(injector.counts().total(), 0);
+    }
+
+    #[test]
+    fn disconnect_kills_the_instance_for_good() {
+        // disconnect rate 1.0: first call kills, later calls fail dead.
+        let rates = FaultRates { disconnect: 1.0, ..FaultRates::NONE };
+        let injector =
+            Arc::new(FaultInjector::new(FaultConfig { rates, delay: Duration::ZERO }, 5));
+        let mut client = ChaosClient::new(Box::new(AlwaysOk), Arc::clone(&injector));
+        assert!(client.roundtrip(&request()).is_err());
+        // Even with injection disabled the dead connection stays dead.
+        injector.set_enabled(false);
+        assert!(client.roundtrip(&request()).is_err());
+        // A fresh instance (reconnect) works again.
+        let mut fresh = ChaosClient::new(Box::new(AlwaysOk), injector);
+        assert!(fresh.roundtrip(&request()).is_ok());
+    }
+
+    #[test]
+    fn drop_faults_surface_as_store_errors() {
+        let rates = FaultRates { drop: 1.0, ..FaultRates::NONE };
+        let injector =
+            Arc::new(FaultInjector::new(FaultConfig { rates, delay: Duration::ZERO }, 5));
+        let mut client = ChaosClient::new(Box::new(AlwaysOk), injector);
+        let err = client.roundtrip(&request()).unwrap_err();
+        assert!(matches!(err, CoreError::Store(StoreError::Io(_))));
+    }
+}

@@ -16,9 +16,7 @@ use std::sync::Arc;
 use speed_enclave::{Enclave, Platform};
 use speed_store::server::TcpStoreClient;
 use speed_store::ResultStore;
-use speed_wire::{
-    from_bytes, to_bytes, Message, SecureChannel, SessionAuthority,
-};
+use speed_wire::{from_bytes, to_bytes, Message, SecureChannel, SessionAuthority};
 
 use crate::error::CoreError;
 
@@ -65,8 +63,8 @@ impl InProcessClient {
         platform: &Platform,
         app_enclave: &Enclave,
     ) -> Result<Self, CoreError> {
-        let (app_channel, store_channel) = authority
-            .establish((platform, app_enclave), (platform, store.enclave()))?;
+        let (app_channel, store_channel) =
+            authority.establish((platform, app_enclave), (platform, store.enclave()))?;
         Ok(InProcessClient { store, app_channel, store_channel })
     }
 
@@ -83,10 +81,8 @@ impl InProcessClient {
         app_enclave: &Enclave,
         store_platform: &Platform,
     ) -> Result<Self, CoreError> {
-        let (app_channel, store_channel) = authority.establish(
-            (app_platform, app_enclave),
-            (store_platform, store.enclave()),
-        )?;
+        let (app_channel, store_channel) = authority
+            .establish((app_platform, app_enclave), (store_platform, store.enclave()))?;
         Ok(InProcessClient { store, app_channel, store_channel })
     }
 }
@@ -143,7 +139,8 @@ mod tests {
     #[test]
     fn in_process_roundtrip() {
         let platform = Platform::new(CostModel::no_sgx());
-        let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let store =
+            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
         let authority = SessionAuthority::with_seed(3);
         let enclave = platform.create_enclave(b"app").unwrap();
         let mut client =

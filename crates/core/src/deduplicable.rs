@@ -179,7 +179,8 @@ mod tests {
 
     fn runtime() -> Arc<DedupRuntime> {
         let platform = Platform::new(CostModel::default_sgx());
-        let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let store =
+            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
         let authority = Arc::new(SessionAuthority::with_seed(2));
         let mut lib = TrustedLibrary::new("mathlib", "2.0");
         lib.register("sum(Vec<u32>)", b"sum code");
@@ -284,16 +285,14 @@ mod tests {
             },
         )
         .unwrap();
-        let batch =
-            vec![vec![1u32, 2], vec![3], vec![1, 2], vec![3], vec![1, 2]];
+        let batch = vec![vec![1u32, 2], vec![3], vec![1, 2], vec![3], vec![1, 2]];
         let results = sum.call_many(&batch).unwrap();
         assert_eq!(results, vec![3, 3, 3, 3, 3]);
         // Only the two distinct inputs executed.
         assert_eq!(executions.load(Ordering::Relaxed), 2);
 
         let traced = sum.call_many_traced(&batch).unwrap();
-        let hits =
-            traced.iter().filter(|(_, o)| *o == crate::DedupOutcome::Hit).count();
+        let hits = traced.iter().filter(|(_, o)| *o == crate::DedupOutcome::Hit).count();
         assert_eq!(hits, 5); // all five are hits on the second pass
     }
 

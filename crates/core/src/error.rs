@@ -29,6 +29,11 @@ pub enum CoreError {
     UnexpectedResponse(String),
     /// The asynchronous PUT worker has shut down.
     AsyncPutClosed,
+    /// The store could not be reached even after the resilience layer's
+    /// retries/reconnects, or its circuit breaker is open. The runtime
+    /// degrades gracefully on this error (local execution for GETs, replay
+    /// queueing for PUTs) instead of surfacing it to the application.
+    StoreUnavailable(String),
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +57,9 @@ impl fmt::Display for CoreError {
                 write!(f, "unexpected store response: {what}")
             }
             CoreError::AsyncPutClosed => write!(f, "asynchronous put worker closed"),
+            CoreError::StoreUnavailable(why) => {
+                write!(f, "store unavailable: {why}")
+            }
         }
     }
 }

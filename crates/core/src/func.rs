@@ -148,8 +148,7 @@ impl LibraryRegistry {
 
     /// Adds a library (replacing any same-name-and-version registration).
     pub fn add(&mut self, library: TrustedLibrary) {
-        self.libraries
-            .insert((library.name.clone(), library.version.clone()), library);
+        self.libraries.insert((library.name.clone(), library.version.clone()), library);
     }
 
     /// Verifies that `desc` names a function present in a registered
@@ -164,9 +163,9 @@ impl LibraryRegistry {
             .libraries
             .get(&(desc.library.clone(), desc.version.clone()))
             .ok_or_else(|| crate::CoreError::FunctionNotTrusted {
-                library: desc.library.clone(),
-                signature: desc.signature.clone(),
-            })?;
+            library: desc.library.clone(),
+            signature: desc.signature.clone(),
+        })?;
         let code_hash = library.code_hash(&desc.signature).ok_or_else(|| {
             crate::CoreError::FunctionNotTrusted {
                 library: desc.library.clone(),

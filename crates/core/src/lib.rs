@@ -56,19 +56,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
 mod deduplicable;
 mod error;
 mod func;
 mod policy;
 pub mod rce;
+pub mod resilience;
 mod runtime;
 mod tag;
 
+pub use chaos::{
+    ChaosClient, Fault, FaultConfig, FaultCounts, FaultInjector, FaultRates,
+};
 pub use client::{InProcessClient, StoreClient, TcpClient};
 pub use deduplicable::Deduplicable;
 pub use error::CoreError;
 pub use func::{FuncDesc, FuncIdentity, TrustedLibrary};
 pub use policy::{AdaptiveConfig, AdaptiveProfiler, DedupPolicy, PolicyDecision};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, Connector, Deadline, ReplayQueue,
+    ResilienceConfig, ResilienceStats, ResilientClient, RetryPolicy,
+};
 pub use runtime::{DedupMode, DedupOutcome, DedupRuntime, RuntimeBuilder, RuntimeStats};
 pub use tag::{secondary_key, tag_for};

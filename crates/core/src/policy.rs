@@ -13,23 +13,18 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::func::FuncIdentity;
 
 /// When the runtime consults the store vs. executes directly.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub enum DedupPolicy {
     /// Always deduplicate (the paper's prototype behaviour).
+    #[default]
     Always,
     /// Measure per-function costs and bypass deduplication where it loses.
     Adaptive(AdaptiveConfig),
-}
-
-impl Default for DedupPolicy {
-    fn default() -> Self {
-        DedupPolicy::Always
-    }
 }
 
 /// Tuning knobs for [`DedupPolicy::Adaptive`].
@@ -107,7 +102,7 @@ impl AdaptiveProfiler {
 
     /// Decides whether this call should deduplicate.
     pub fn decide(&self, func: &FuncIdentity, config: &AdaptiveConfig) -> PolicyDecision {
-        let mut profiles = self.profiles.lock();
+        let mut profiles = self.profiles.lock().expect("profiler lock poisoned");
         let profile = profiles.entry(*func).or_default();
         profile.calls += 1;
         if profile.calls <= config.warmup_calls
@@ -135,7 +130,7 @@ impl AdaptiveProfiler {
 
     /// Records the pure computation time of one executed call.
     pub fn record_compute(&self, func: &FuncIdentity, ns: u64, config: &AdaptiveConfig) {
-        let mut profiles = self.profiles.lock();
+        let mut profiles = self.profiles.lock().expect("profiler lock poisoned");
         let profile = profiles.entry(*func).or_default();
         profile.compute_ns.update(ns as f64, config.ewma_alpha);
     }
@@ -149,7 +144,7 @@ impl AdaptiveProfiler {
         ns: u64,
         config: &AdaptiveConfig,
     ) {
-        let mut profiles = self.profiles.lock();
+        let mut profiles = self.profiles.lock().expect("profiler lock poisoned");
         let profile = profiles.entry(*func).or_default();
         profile.dedup_overhead_ns.update(ns as f64, config.ewma_alpha);
     }
@@ -157,7 +152,7 @@ impl AdaptiveProfiler {
     /// The profiled `(compute_ns, dedup_overhead_ns)` estimates, if both
     /// sides have been observed.
     pub fn estimates(&self, func: &FuncIdentity) -> Option<(f64, f64)> {
-        let profiles = self.profiles.lock();
+        let profiles = self.profiles.lock().expect("profiler lock poisoned");
         let profile = profiles.get(func)?;
         (profile.compute_ns.initialized && profile.dedup_overhead_ns.initialized)
             .then_some((profile.compute_ns.value, profile.dedup_overhead_ns.value))

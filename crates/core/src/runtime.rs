@@ -8,10 +8,8 @@
 //! separated thread for better efficiency" — the asynchronous PUT worker.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 use speed_crypto::{Key128, SystemRng};
 use speed_enclave::{Enclave, Platform};
@@ -23,6 +21,9 @@ use crate::error::CoreError;
 use crate::func::{FuncDesc, FuncIdentity, LibraryRegistry, TrustedLibrary};
 use crate::policy::{AdaptiveProfiler, DedupPolicy, PolicyDecision};
 use crate::rce;
+use crate::resilience::{
+    Connector, ReplayQueue, ResilienceConfig, ResilienceStats, ResilientClient,
+};
 use crate::tag::tag_for;
 
 /// How results are protected before leaving the enclave.
@@ -76,6 +77,16 @@ pub struct RuntimeStats {
     /// Calls executed directly because the adaptive policy bypassed
     /// deduplication.
     pub bypasses: u64,
+    /// Calls that fell back to local execution (or queued their PUT for
+    /// replay) because the store was unreachable. Always zero without the
+    /// resilience layer.
+    pub degraded_calls: u64,
+    /// Store round-trip attempts retried by the resilience layer.
+    pub retries: u64,
+    /// Circuit-breaker state transitions (closed/open/half-open).
+    pub breaker_transitions: u64,
+    /// Queued PUTs delivered after the store recovered.
+    pub replayed_puts: u64,
 }
 
 #[derive(Debug, Default)]
@@ -87,6 +98,14 @@ struct AtomicStats {
     rejected_puts: AtomicU64,
     reused_bytes: AtomicU64,
     bypasses: AtomicU64,
+    degraded_calls: AtomicU64,
+}
+
+/// Shared state between a runtime and its resilience-wrapped clients.
+#[derive(Debug)]
+struct ResilienceHandles {
+    stats: Arc<ResilienceStats>,
+    replay: Arc<ReplayQueue>,
 }
 
 /// The asynchronous PUT worker: a background thread draining a channel of
@@ -95,6 +114,7 @@ struct AsyncPutter {
     sender: Option<Sender<Message>>,
     pending: Arc<(Mutex<u64>, Condvar)>,
     rejected: Arc<AtomicU64>,
+    degraded: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -105,22 +125,34 @@ impl std::fmt::Debug for AsyncPutter {
 }
 
 impl AsyncPutter {
-    fn spawn(mut client: Box<dyn StoreClient>) -> Self {
-        let (sender, receiver) = unbounded::<Message>();
+    fn spawn(mut client: Box<dyn StoreClient>, replay: Option<Arc<ReplayQueue>>) -> Self {
+        let (sender, receiver) = mpsc::channel::<Message>();
         let pending = Arc::new((Mutex::new(0u64), Condvar::new()));
         let rejected = Arc::new(AtomicU64::new(0));
+        let degraded = Arc::new(AtomicU64::new(0));
         let pending_worker = Arc::clone(&pending);
         let rejected_worker = Arc::clone(&rejected);
+        let degraded_worker = Arc::clone(&degraded);
         let handle = std::thread::spawn(move || {
             while let Ok(message) = receiver.recv() {
                 let response = client.roundtrip(&message);
-                if let Ok(Message::PutResponse(body)) = response {
-                    if !body.accepted {
+                match response {
+                    Ok(Message::PutResponse(body)) if !body.accepted => {
                         rejected_worker.fetch_add(1, Ordering::Relaxed);
                     }
+                    Err(CoreError::StoreUnavailable(_)) => {
+                        // Graceful degradation: park the PUT for replay once
+                        // the store answers again. Without the resilience
+                        // layer the failure is dropped (legacy behavior).
+                        if let Some(replay) = &replay {
+                            degraded_worker.fetch_add(1, Ordering::Relaxed);
+                            replay.push(message);
+                        }
+                    }
+                    _ => {}
                 }
                 let (lock, cvar) = &*pending_worker;
-                let mut count = lock.lock();
+                let mut count = lock.lock().expect("pending lock poisoned");
                 *count -= 1;
                 cvar.notify_all();
             }
@@ -129,18 +161,19 @@ impl AsyncPutter {
             sender: Some(sender),
             pending,
             rejected,
+            degraded,
             handle: Some(handle),
         }
     }
 
     fn submit(&self, message: Message) -> Result<(), CoreError> {
         let (lock, _) = &*self.pending;
-        *lock.lock() += 1;
+        *lock.lock().expect("pending lock poisoned") += 1;
         match self.sender.as_ref().expect("sender lives until drop").send(message) {
             Ok(()) => Ok(()),
             Err(_) => {
                 let (lock, cvar) = &*self.pending;
-                *lock.lock() -= 1;
+                *lock.lock().expect("pending lock poisoned") -= 1;
                 cvar.notify_all();
                 Err(CoreError::AsyncPutClosed)
             }
@@ -149,9 +182,9 @@ impl AsyncPutter {
 
     fn flush(&self) {
         let (lock, cvar) = &*self.pending;
-        let mut count = lock.lock();
+        let mut count = lock.lock().expect("pending lock poisoned");
         while *count > 0 {
-            cvar.wait(&mut count);
+            count = cvar.wait(count).expect("pending lock poisoned");
         }
     }
 }
@@ -166,14 +199,23 @@ impl Drop for AsyncPutter {
 }
 
 enum ClientSpec {
-    InProcess { store: Arc<ResultStore>, authority: Arc<SessionAuthority> },
+    InProcess {
+        store: Arc<ResultStore>,
+        authority: Arc<SessionAuthority>,
+    },
     InProcessRemote {
         store: Arc<ResultStore>,
         authority: Arc<SessionAuthority>,
         store_platform: Arc<Platform>,
     },
-    Tcp { addr: std::net::SocketAddr, authority: Arc<SessionAuthority> },
-    Custom(Box<dyn StoreClient>),
+    Tcp {
+        addr: std::net::SocketAddr,
+        authority: Arc<SessionAuthority>,
+    },
+    // The Mutex cell makes the spec Sync so reconnect closures can share
+    // it; the client is taken out (once) at build time.
+    Custom(Mutex<Option<Box<dyn StoreClient>>>),
+    Factory(Arc<Mutex<Connector>>),
 }
 
 impl std::fmt::Debug for ClientSpec {
@@ -183,6 +225,7 @@ impl std::fmt::Debug for ClientSpec {
             ClientSpec::InProcessRemote { .. } => "InProcessRemote",
             ClientSpec::Tcp { .. } => "Tcp",
             ClientSpec::Custom(_) => "Custom",
+            ClientSpec::Factory(_) => "Factory",
         };
         write!(f, "ClientSpec::{name}")
     }
@@ -200,6 +243,7 @@ pub struct RuntimeBuilder {
     async_put: bool,
     app_id: Option<u64>,
     rng_seed: Option<u64>,
+    resilience: Option<ResilienceConfig>,
 }
 
 impl RuntimeBuilder {
@@ -214,6 +258,7 @@ impl RuntimeBuilder {
             async_put: false,
             app_id: None,
             rng_seed: None,
+            resilience: None,
         }
     }
 
@@ -253,7 +298,26 @@ impl RuntimeBuilder {
     /// Uses a custom [`StoreClient`] (e.g. a test double). Asynchronous PUT
     /// is unavailable with a custom client.
     pub fn client(mut self, client: Box<dyn StoreClient>) -> Self {
-        self.client_spec = Some(ClientSpec::Custom(client));
+        self.client_spec = Some(ClientSpec::Custom(Mutex::new(Some(client))));
+        self
+    }
+
+    /// Uses a connector factory producing freshly connected clients. Each
+    /// invocation must run the full handshake, which makes reconnection —
+    /// and therefore [`RuntimeBuilder::resilience`] and asynchronous PUT —
+    /// available for arbitrary client types (chaos wrappers, test doubles).
+    pub fn client_factory(mut self, factory: Connector) -> Self {
+        self.client_spec = Some(ClientSpec::Factory(Arc::new(Mutex::new(factory))));
+        self
+    }
+
+    /// Wraps every store client in the fault-tolerant resilience layer:
+    /// retry with capped exponential backoff, transparent reconnect with
+    /// re-attestation, a circuit breaker, and graceful degradation (GETs
+    /// fall back to local execution, PUTs are queued for replay). With
+    /// this enabled, store outages never fail a marked call.
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = Some(config);
         self
     }
 
@@ -311,8 +375,25 @@ impl RuntimeBuilder {
             CoreError::UnexpectedResponse("no store configured on builder".into())
         })?;
 
+        let resilience_handles =
+            self.resilience.as_ref().map(|config| ResilienceHandles {
+                stats: Arc::new(ResilienceStats::default()),
+                replay: Arc::new(ReplayQueue::new(config.replay_capacity)),
+            });
+
         let (main_client, async_putter) = match spec {
-            ClientSpec::Custom(client) => {
+            ClientSpec::Custom(cell) => {
+                let client = cell
+                    .into_inner()
+                    .expect("custom client cell poisoned")
+                    .expect("custom client present until build");
+                if self.resilience.is_some() {
+                    return Err(CoreError::UnexpectedResponse(
+                        "resilience requires a reconnectable store client; use \
+                         client_factory instead of client"
+                            .into(),
+                    ));
+                }
                 if self.async_put {
                     return Err(CoreError::UnexpectedResponse(
                         "async put requires a reconnectable store client".into(),
@@ -321,10 +402,32 @@ impl RuntimeBuilder {
                 (client, None)
             }
             spec => {
-                let main_client = Self::make_client(&spec, &self.platform, &enclave)?;
+                let spec = Arc::new(spec);
+                let build_client =
+                    |salt: u64| -> Result<Box<dyn StoreClient>, CoreError> {
+                        match (&self.resilience, &resilience_handles) {
+                            (Some(config), Some(handles)) => {
+                                let mut config = config.clone();
+                                // Distinct jitter streams per client so the sync
+                                // path and the PUT worker do not back off in
+                                // lockstep.
+                                config.jitter_seed = config.jitter_seed.map(|s| s ^ salt);
+                                Ok(Box::new(ResilientClient::new(
+                                    Self::connector_for(&spec, &self.platform, &enclave),
+                                    config,
+                                    Arc::clone(&handles.stats),
+                                    Arc::clone(&handles.replay),
+                                )))
+                            }
+                            _ => Self::make_client(&spec, &self.platform, &enclave),
+                        }
+                    };
+                let main_client = build_client(0)?;
                 let async_putter = if self.async_put {
-                    let put_client = Self::make_client(&spec, &self.platform, &enclave)?;
-                    Some(AsyncPutter::spawn(put_client))
+                    let put_client = build_client(0xA5)?;
+                    let replay =
+                        resilience_handles.as_ref().map(|h| Arc::clone(&h.replay));
+                    Some(AsyncPutter::spawn(put_client, replay))
                 } else {
                     None
                 };
@@ -349,7 +452,21 @@ impl RuntimeBuilder {
             rng: Mutex::new(rng),
             stats: AtomicStats::default(),
             async_putter,
+            resilience: resilience_handles,
         }))
+    }
+
+    /// A connector that rebuilds a client from `spec` on every call — for
+    /// TCP that means a fresh attested handshake with a new session key.
+    fn connector_for(
+        spec: &Arc<ClientSpec>,
+        platform: &Arc<Platform>,
+        enclave: &Arc<Enclave>,
+    ) -> Connector {
+        let spec = Arc::clone(spec);
+        let platform = Arc::clone(platform);
+        let enclave = Arc::clone(enclave);
+        Box::new(move || Self::make_client(&spec, &platform, &enclave))
     }
 
     fn make_client(
@@ -358,9 +475,14 @@ impl RuntimeBuilder {
         enclave: &Arc<Enclave>,
     ) -> Result<Box<dyn StoreClient>, CoreError> {
         match spec {
-            ClientSpec::InProcess { store, authority } => Ok(Box::new(
-                InProcessClient::connect(Arc::clone(store), authority, platform, enclave)?,
-            )),
+            ClientSpec::InProcess { store, authority } => {
+                Ok(Box::new(InProcessClient::connect(
+                    Arc::clone(store),
+                    authority,
+                    platform,
+                    enclave,
+                )?))
+            }
             ClientSpec::InProcessRemote { store, authority, store_platform } => {
                 Ok(Box::new(InProcessClient::connect_remote(
                     Arc::clone(store),
@@ -372,6 +494,9 @@ impl RuntimeBuilder {
             }
             ClientSpec::Tcp { addr, authority } => {
                 Ok(Box::new(TcpClient::connect(*addr, platform, enclave, authority)?))
+            }
+            ClientSpec::Factory(factory) => {
+                (factory.lock().expect("client factory poisoned"))()
             }
             ClientSpec::Custom(_) => Err(CoreError::UnexpectedResponse(
                 "custom clients are moved at build time".into(),
@@ -393,6 +518,7 @@ pub struct DedupRuntime {
     rng: Mutex<SystemRng>,
     stats: AtomicStats,
     async_putter: Option<AsyncPutter>,
+    resilience: Option<ResilienceHandles>,
 }
 
 impl DedupRuntime {
@@ -473,17 +599,26 @@ impl DedupRuntime {
             // OCALL: synchronous GET roundtrip (tag out, record back).
             let get_request = Message::GetRequest { app: self.app_id, tag };
             let response = self.enclave.ocall_with_bytes("get_request", 48, 0, || {
-                self.client.lock().roundtrip(&get_request)
-            })?;
+                self.client.lock().expect("client lock poisoned").roundtrip(&get_request)
+            });
 
-            let body = match response {
-                Message::GetResponse(body) => body,
-                other => {
+            // Graceful degradation (resilience layer only): an unreachable
+            // store is a miss, never an application error — Algorithm 1's
+            // fallback is always "just execute the function".
+            let mut degraded = false;
+            let found = match response {
+                Ok(Message::GetResponse(body)) => body.record,
+                Ok(other) => {
                     return Err(CoreError::UnexpectedResponse(format!("{other:?}")))
                 }
+                Err(CoreError::StoreUnavailable(_)) if self.resilience.is_some() => {
+                    degraded = true;
+                    None
+                }
+                Err(err) => return Err(err),
             };
 
-            if let Some(record) = body.record {
+            if let Some(record) = found {
                 self.enclave.charge_boundary_bytes(record.wire_size());
                 let recovered = match &self.mode {
                     DedupMode::CrossApp => rce::recover_result(identity, input, &record),
@@ -529,7 +664,7 @@ impl DedupRuntime {
 
             // Encrypt and publish.
             let record = {
-                let mut rng = self.rng.lock();
+                let mut rng = self.rng.lock().expect("rng lock poisoned");
                 match &self.mode {
                     DedupMode::CrossApp => {
                         rce::encrypt_result(identity, input, &result, &mut rng)
@@ -552,26 +687,46 @@ impl DedupRuntime {
                     putter.submit(put_request)?;
                 }
                 None => {
-                    let response = self
-                        .enclave
-                        .ocall_with_bytes("put_request", record_size + 48, 1, || {
-                            self.client.lock().roundtrip(&put_request)
-                        })?;
+                    let response = self.enclave.ocall_with_bytes(
+                        "put_request",
+                        record_size + 48,
+                        1,
+                        || {
+                            self.client
+                                .lock()
+                                .expect("client lock poisoned")
+                                .roundtrip(&put_request)
+                        },
+                    );
                     match response {
-                        Message::PutResponse(body) => {
+                        Ok(Message::PutResponse(body)) => {
                             if !body.accepted {
                                 self.stats.rejected_puts.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        other => {
+                        Ok(other) => {
                             return Err(CoreError::UnexpectedResponse(format!(
                                 "{other:?}"
                             )))
                         }
+                        Err(CoreError::StoreUnavailable(_))
+                            if self.resilience.is_some() =>
+                        {
+                            // The result is still correct — park the PUT in
+                            // the bounded replay queue for later delivery.
+                            degraded = true;
+                            if let Some(handles) = &self.resilience {
+                                handles.replay.push(put_request);
+                            }
+                        }
+                        Err(err) => return Err(err),
                     }
                 }
             }
 
+            if degraded {
+                self.stats.degraded_calls.fetch_add(1, Ordering::Relaxed);
+            }
             Ok((result, DedupOutcome::Miss, compute_ns))
         });
 
@@ -624,10 +779,18 @@ impl DedupRuntime {
 
     /// A snapshot of the runtime counters.
     pub fn stats(&self) -> RuntimeStats {
-        let async_rejected = self
-            .async_putter
-            .as_ref()
-            .map_or(0, |p| p.rejected.load(Ordering::Relaxed));
+        let async_rejected =
+            self.async_putter.as_ref().map_or(0, |p| p.rejected.load(Ordering::Relaxed));
+        let async_degraded =
+            self.async_putter.as_ref().map_or(0, |p| p.degraded.load(Ordering::Relaxed));
+        let (retries, breaker_transitions, replayed_puts) = match &self.resilience {
+            Some(handles) => (
+                handles.stats.retries.load(Ordering::Relaxed),
+                handles.stats.breaker_transitions.load(Ordering::Relaxed),
+                handles.stats.replayed_puts.load(Ordering::Relaxed),
+            ),
+            None => (0, 0, 0),
+        };
         RuntimeStats {
             calls: self.stats.calls.load(Ordering::Relaxed),
             hits: self.stats.hits.load(Ordering::Relaxed),
@@ -637,7 +800,24 @@ impl DedupRuntime {
                 + async_rejected,
             reused_bytes: self.stats.reused_bytes.load(Ordering::Relaxed),
             bypasses: self.stats.bypasses.load(Ordering::Relaxed),
+            degraded_calls: self.stats.degraded_calls.load(Ordering::Relaxed)
+                + async_degraded,
+            retries,
+            breaker_transitions,
+            replayed_puts,
         }
+    }
+
+    /// PUTs currently parked in the replay queue, waiting for the store to
+    /// recover. Zero when the resilience layer is not configured.
+    pub fn pending_replays(&self) -> usize {
+        self.resilience.as_ref().map_or(0, |handles| handles.replay.len())
+    }
+
+    /// PUTs evicted from the bounded replay queue because it overflowed
+    /// during an outage. Zero when the resilience layer is not configured.
+    pub fn dropped_replays(&self) -> u64 {
+        self.resilience.as_ref().map_or(0, |handles| handles.replay.dropped())
     }
 
     /// The adaptive profiler's `(compute_ns, dedup_overhead_ns)` estimates
@@ -656,7 +836,8 @@ mod tests {
 
     fn setup() -> (Arc<Platform>, Arc<ResultStore>, Arc<SessionAuthority>) {
         let platform = Platform::new(CostModel::default_sgx());
-        let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let store =
+            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
         let authority = Arc::new(SessionAuthority::with_seed(5));
         (platform, store, authority)
     }
@@ -721,9 +902,8 @@ mod tests {
         rt_a.execute(&desc_double(), b"shared", |input| input.to_vec()).unwrap();
         // A *different application* with the same trusted library and input
         // reuses A's result without re-executing.
-        let (result, outcome) = rt_b
-            .execute(&desc_double(), b"shared", |_| panic!("should dedup"))
-            .unwrap();
+        let (result, outcome) =
+            rt_b.execute(&desc_double(), b"shared", |_| panic!("should dedup")).unwrap();
         assert_eq!(result, b"shared");
         assert_eq!(outcome, DedupOutcome::Hit);
     }
@@ -764,9 +944,8 @@ mod tests {
             .build()
             .unwrap();
         rt.execute(&desc_double(), b"in", |i| i.to_vec()).unwrap();
-        let (_, outcome) = rt
-            .execute(&desc_double(), b"in", |_| panic!("dedup"))
-            .unwrap();
+        let (_, outcome) =
+            rt.execute(&desc_double(), b"in", |_| panic!("dedup")).unwrap();
         assert_eq!(outcome, DedupOutcome::Hit);
     }
 
@@ -788,9 +967,8 @@ mod tests {
 
         rt_good.execute(&desc_double(), b"m", |_| vec![42]).unwrap();
         // The single-key brittleness (§III-B): a different key cannot reuse.
-        let (result, outcome) = rt_other
-            .execute(&desc_double(), b"m", |_| vec![43])
-            .unwrap();
+        let (result, outcome) =
+            rt_other.execute(&desc_double(), b"m", |_| vec![43]).unwrap();
         assert_eq!(result, vec![43]);
         assert_eq!(outcome, DedupOutcome::MissAfterFailedVerify);
         assert_eq!(rt_other.stats().verify_failures, 1);
@@ -812,9 +990,8 @@ mod tests {
         let identity = rt_a.resolve(&desc_double()).unwrap();
         rt_a.execute_raw(&identity, b"shared", |d| d.to_vec()).unwrap();
         let identity_b = rt_b.resolve(&desc_double()).unwrap();
-        let (result, outcome) = rt_b
-            .execute_raw(&identity_b, b"shared", |_| panic!("must reuse"))
-            .unwrap();
+        let (result, outcome) =
+            rt_b.execute_raw(&identity_b, b"shared", |_| panic!("must reuse")).unwrap();
         assert_eq!(outcome, DedupOutcome::Hit);
         assert_eq!(result, b"shared");
     }
@@ -837,9 +1014,8 @@ mod tests {
         ce.execute_raw(&identity, b"m", |d| d.to_vec()).unwrap();
         // The RCE runtime finds the CE record but cannot verify it.
         let identity_rce = rce_rt.resolve(&desc_double()).unwrap();
-        let (_, outcome) = rce_rt
-            .execute_raw(&identity_rce, b"m", |d| d.to_vec())
-            .unwrap();
+        let (_, outcome) =
+            rce_rt.execute_raw(&identity_rce, b"m", |d| d.to_vec()).unwrap();
         assert_eq!(outcome, DedupOutcome::MissAfterFailedVerify);
     }
 
@@ -858,9 +1034,7 @@ mod tests {
         assert_eq!(store.stats().puts, 1);
 
         // After the flush the result is reusable.
-        let (_, outcome) = rt
-            .execute(&desc_double(), b"x", |_| panic!("dedup"))
-            .unwrap();
+        let (_, outcome) = rt.execute(&desc_double(), b"x", |_| panic!("dedup")).unwrap();
         assert_eq!(outcome, DedupOutcome::Hit);
     }
 
@@ -904,8 +1078,7 @@ mod tests {
         let mut bypassed = false;
         for i in 0..40u32 {
             let input = i.to_le_bytes();
-            let (_, outcome) =
-                rt.execute_raw(&identity, &input, |d| d.to_vec()).unwrap();
+            let (_, outcome) = rt.execute_raw(&identity, &input, |d| d.to_vec()).unwrap();
             if outcome == DedupOutcome::BypassedByPolicy {
                 bypassed = true;
             }
@@ -937,16 +1110,223 @@ mod tests {
             input.to_vec()
         };
         for i in 0..10u32 {
-            let (_, outcome) =
-                rt.execute_raw(&identity, &i.to_le_bytes(), slow).unwrap();
+            let (_, outcome) = rt.execute_raw(&identity, &i.to_le_bytes(), slow).unwrap();
             assert_ne!(outcome, DedupOutcome::BypassedByPolicy, "call {i}");
         }
         // And repeated inputs still hit.
-        let (_, outcome) = rt
-            .execute_raw(&identity, &0u32.to_le_bytes(), |_| panic!("hit"))
-            .unwrap();
+        let (_, outcome) =
+            rt.execute_raw(&identity, &0u32.to_le_bytes(), |_| panic!("hit")).unwrap();
         assert_eq!(outcome, DedupOutcome::Hit);
         assert_eq!(rt.stats().bypasses, 0);
+    }
+
+    /// A factory-built in-process client whose availability is switched by
+    /// a shared flag — the store "goes down" and "comes back".
+    fn flaky_factory(
+        platform: &Arc<Platform>,
+        store: &Arc<ResultStore>,
+        authority: &Arc<SessionAuthority>,
+        up: &Arc<std::sync::atomic::AtomicBool>,
+    ) -> crate::resilience::Connector {
+        #[derive(Debug)]
+        struct Gated {
+            inner: InProcessClient,
+            up: Arc<std::sync::atomic::AtomicBool>,
+        }
+        impl StoreClient for Gated {
+            fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError> {
+                if !self.up.load(Ordering::Relaxed) {
+                    return Err(CoreError::UnexpectedResponse("store down".into()));
+                }
+                self.inner.roundtrip(request)
+            }
+        }
+        let platform = Arc::clone(platform);
+        let store = Arc::clone(store);
+        let authority = Arc::clone(authority);
+        let up = Arc::clone(up);
+        // Build a dedicated enclave identity for the channel ends; the
+        // connector runs the full attestation on every call.
+        let enclave = platform.create_enclave(b"flaky-client").unwrap();
+        Box::new(move || {
+            let inner = InProcessClient::connect(
+                Arc::clone(&store),
+                &authority,
+                &platform,
+                &enclave,
+            )?;
+            Ok(Box::new(Gated { inner, up: Arc::clone(&up) }) as Box<dyn StoreClient>)
+        })
+    }
+
+    fn fast_resilience() -> crate::ResilienceConfig {
+        crate::ResilienceConfig {
+            retry: crate::RetryPolicy {
+                max_attempts: 2,
+                base_delay: std::time::Duration::from_micros(100),
+                max_delay: std::time::Duration::from_millis(1),
+                jitter: 0.5,
+            },
+            breaker: crate::BreakerConfig {
+                failure_threshold: 100, // effectively disabled
+                cooldown: std::time::Duration::from_millis(1),
+            },
+            call_budget: std::time::Duration::from_secs(1),
+            replay_capacity: 32,
+            jitter_seed: Some(11),
+        }
+    }
+
+    #[test]
+    fn degraded_get_falls_back_to_local_execution() {
+        let (platform, store, authority) = setup();
+        let up = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"degraded-app")
+            .client_factory(flaky_factory(&platform, &store, &authority, &up))
+            .resilience(fast_resilience())
+            .trusted_library(library())
+            .build()
+            .unwrap();
+
+        // Store down: the call still succeeds, executed locally, and the
+        // PUT is parked for replay.
+        let (result, outcome) = rt
+            .execute(&desc_double(), b"\x03", |input| {
+                input.iter().map(|b| b.wrapping_mul(2)).collect()
+            })
+            .unwrap();
+        assert_eq!(result, vec![6]);
+        assert_eq!(outcome, DedupOutcome::Miss);
+        let stats = rt.stats();
+        assert_eq!(stats.degraded_calls, 1);
+        assert!(stats.retries > 0);
+        assert_eq!(rt.pending_replays(), 1);
+        assert_eq!(store.stats().puts, 0);
+    }
+
+    #[test]
+    fn replay_queue_drains_after_recovery() {
+        let (platform, store, authority) = setup();
+        let up = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"replay-app")
+            .client_factory(flaky_factory(&platform, &store, &authority, &up))
+            .resilience(fast_resilience())
+            .trusted_library(library())
+            .build()
+            .unwrap();
+
+        // Three calls while down: three parked PUTs.
+        for i in 0..3u8 {
+            let (_, outcome) =
+                rt.execute(&desc_double(), &[i], |input| input.to_vec()).unwrap();
+            assert_eq!(outcome, DedupOutcome::Miss);
+        }
+        assert_eq!(rt.pending_replays(), 3);
+
+        // Store recovers: the next successful round-trip drains the queue.
+        up.store(true, Ordering::Relaxed);
+        let (_, outcome) =
+            rt.execute(&desc_double(), &[9], |input| input.to_vec()).unwrap();
+        assert_eq!(outcome, DedupOutcome::Miss);
+        assert_eq!(rt.pending_replays(), 0);
+        assert_eq!(rt.stats().replayed_puts, 3);
+        // The replayed results are now hits.
+        let (_, outcome) =
+            rt.execute(&desc_double(), &[0], |_| panic!("must hit")).unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+    }
+
+    #[test]
+    fn breaker_open_degrades_without_touching_store() {
+        let (platform, store, authority) = setup();
+        let up = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut config = fast_resilience();
+        config.breaker.failure_threshold = 2;
+        config.breaker.cooldown = std::time::Duration::from_secs(60);
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"breaker-app")
+            .client_factory(flaky_factory(&platform, &store, &authority, &up))
+            .resilience(config)
+            .trusted_library(library())
+            .build()
+            .unwrap();
+
+        // First call trips the breaker (2 failed attempts).
+        rt.execute(&desc_double(), b"a", |i| i.to_vec()).unwrap();
+        assert!(rt.stats().breaker_transitions >= 1);
+        let retries_after_trip = rt.stats().retries;
+        // Later calls fail fast: no new retries, still correct results.
+        let (result, outcome) = rt.execute(&desc_double(), b"b", |i| i.to_vec()).unwrap();
+        assert_eq!(result, b"b");
+        assert_eq!(outcome, DedupOutcome::Miss);
+        assert_eq!(rt.stats().retries, retries_after_trip);
+        assert_eq!(rt.stats().degraded_calls, 2);
+    }
+
+    #[test]
+    fn async_put_degrades_to_replay_queue() {
+        let (platform, store, authority) = setup();
+        let up = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"async-degraded")
+            .client_factory(flaky_factory(&platform, &store, &authority, &up))
+            .resilience(fast_resilience())
+            .trusted_library(library())
+            .async_put(true)
+            .build()
+            .unwrap();
+
+        // Warm call while up (also connects the PUT worker's client).
+        rt.execute(&desc_double(), b"warm", |i| i.to_vec()).unwrap();
+        rt.flush();
+        assert_eq!(store.stats().puts, 1);
+
+        // Down: GET degrades and the async PUT lands in the replay queue.
+        up.store(false, Ordering::Relaxed);
+        rt.execute(&desc_double(), b"dark", |i| i.to_vec()).unwrap();
+        rt.flush();
+        assert_eq!(rt.pending_replays(), 1);
+        assert!(rt.stats().degraded_calls >= 1);
+
+        // Recovery: any successful round-trip drains the queue.
+        up.store(true, Ordering::Relaxed);
+        rt.execute(&desc_double(), b"light", |i| i.to_vec()).unwrap();
+        rt.flush();
+        assert_eq!(rt.pending_replays(), 0);
+        let (_, outcome) =
+            rt.execute(&desc_double(), b"dark", |_| panic!("must hit")).unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+    }
+
+    #[test]
+    fn resilience_rejects_moved_custom_client() {
+        let (platform, store, authority) = setup();
+        let client = InProcessClient::connect(
+            Arc::clone(&store),
+            &authority,
+            &platform,
+            &platform.create_enclave(b"c").unwrap(),
+        )
+        .unwrap();
+        let result = DedupRuntime::builder(Arc::clone(&platform), b"custom-res")
+            .client(Box::new(client))
+            .resilience(crate::ResilienceConfig::default())
+            .trusted_library(library())
+            .build();
+        assert!(matches!(result, Err(CoreError::UnexpectedResponse(_))));
+    }
+
+    #[test]
+    fn client_factory_enables_async_put_without_resilience() {
+        let (platform, store, authority) = setup();
+        let up = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"factory-async")
+            .client_factory(flaky_factory(&platform, &store, &authority, &up))
+            .trusted_library(library())
+            .async_put(true)
+            .build()
+            .unwrap();
+        rt.execute(&desc_double(), b"x", |i| i.to_vec()).unwrap();
+        rt.flush();
+        assert_eq!(store.stats().puts, 1);
     }
 
     #[test]

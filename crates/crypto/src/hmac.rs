@@ -136,9 +136,6 @@ mod tests {
 
     #[test]
     fn different_keys_differ() {
-        assert_ne!(
-            HmacSha256::mac(b"key1", b"msg"),
-            HmacSha256::mac(b"key2", b"msg")
-        );
+        assert_ne!(HmacSha256::mac(b"key1", b"msg"), HmacSha256::mac(b"key2", b"msg"));
     }
 }

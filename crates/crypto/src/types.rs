@@ -26,11 +26,9 @@ impl Key128 {
     /// Returns [`crate::CryptoError::InvalidLength`] if `bytes` is not
     /// exactly [`KEY_LEN`] bytes long.
     pub fn from_slice(bytes: &[u8]) -> Result<Self, crate::CryptoError> {
-        let arr: [u8; KEY_LEN] =
-            bytes.try_into().map_err(|_| crate::CryptoError::InvalidLength {
-                expected: KEY_LEN,
-                actual: bytes.len(),
-            })?;
+        let arr: [u8; KEY_LEN] = bytes.try_into().map_err(|_| {
+            crate::CryptoError::InvalidLength { expected: KEY_LEN, actual: bytes.len() }
+        })?;
         Ok(Key128(arr))
     }
 
@@ -76,11 +74,9 @@ impl Nonce {
     /// Returns [`crate::CryptoError::InvalidLength`] if `bytes` is not
     /// exactly [`NONCE_LEN`] bytes long.
     pub fn from_slice(bytes: &[u8]) -> Result<Self, crate::CryptoError> {
-        let arr: [u8; NONCE_LEN] =
-            bytes.try_into().map_err(|_| crate::CryptoError::InvalidLength {
-                expected: NONCE_LEN,
-                actual: bytes.len(),
-            })?;
+        let arr: [u8; NONCE_LEN] = bytes.try_into().map_err(|_| {
+            crate::CryptoError::InvalidLength { expected: NONCE_LEN, actual: bytes.len() }
+        })?;
         Ok(Nonce(arr))
     }
 
@@ -122,10 +118,7 @@ mod tests {
     #[test]
     fn key_from_slice_rejects_bad_length() {
         let err = Key128::from_slice(&[0u8; 7]).unwrap_err();
-        assert_eq!(
-            err,
-            crate::CryptoError::InvalidLength { expected: 16, actual: 7 }
-        );
+        assert_eq!(err, crate::CryptoError::InvalidLength { expected: 16, actual: 7 });
     }
 
     #[test]

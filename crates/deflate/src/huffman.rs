@@ -149,11 +149,8 @@ impl CanonicalCode {
     pub fn from_frequencies(freqs: &[u64], max_len: u8) -> Self {
         let lengths = build_lengths(freqs, max_len);
         let codes = assign_codes(&lengths);
-        let reversed_codes = codes
-            .iter()
-            .zip(&lengths)
-            .map(|(&c, &l)| reverse_bits(c, l))
-            .collect();
+        let reversed_codes =
+            codes.iter().zip(&lengths).map(|(&c, &l)| reverse_bits(c, l)).collect();
         CanonicalCode { lengths, reversed_codes }
     }
 
@@ -212,8 +209,8 @@ impl Decoder {
         }
         // Kraft check: sum of 2^(max-len) must not exceed 2^max.
         let mut kraft: u64 = 0;
-        for len in 1..=usize::from(max_len) {
-            kraft += u64::from(counts[len]) << (usize::from(max_len) - len);
+        for (len, &count) in counts.iter().enumerate().skip(1) {
+            kraft += u64::from(count) << (usize::from(max_len) - len);
         }
         if kraft > 1u64 << usize::from(max_len) {
             return Err(DeflateError::BadCodeTable("over-subscribed lengths".into()));
@@ -254,7 +251,9 @@ impl Decoder {
         for len in 1..=usize::from(self.max_len) {
             code = (code << 1) | reader.read_bit()?;
             let count = self.counts[len];
-            if count > 0 && code >= self.first_code[len] && code - self.first_code[len] < count
+            if count > 0
+                && code >= self.first_code[len]
+                && code - self.first_code[len] < count
             {
                 let idx = self.first_index[len] + (code - self.first_code[len]);
                 return Ok(usize::from(self.symbols[idx as usize]));

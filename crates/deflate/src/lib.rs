@@ -30,6 +30,44 @@ mod error;
 mod huffman;
 mod lz77;
 
+/// Minimal deterministic RNG (SplitMix64) for tests: this crate has no
+/// dependencies, and the tier-1 build must resolve offline.
+#[cfg(test)]
+pub(crate) mod testrand {
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng(seed)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        pub fn fill(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+
+        pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+            let mut v = vec![0u8; self.below(max_len + 1)];
+            self.fill(&mut v);
+            v
+        }
+    }
+}
+
 pub use error::DeflateError;
 pub use lz77::Level;
 
@@ -47,23 +85,22 @@ const DIST_SYMBOLS: usize = 30;
 
 /// Base match lengths for length codes 257..=285 (RFC 1951 table).
 const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83,
-    99, 115, 131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99,
+    115, 131, 163, 195, 227, 258,
 ];
 /// Extra bits for each length code.
 const LENGTH_EXTRA: [u8; 29] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5,
-    5, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
 ];
 /// Base distances for distance codes 0..=29.
 const DIST_BASE: [u16; 30] = [
-    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769,
-    1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025,
+    1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 /// Extra bits for each distance code.
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11,
-    12, 12, 13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12,
+    12, 13, 13,
 ];
 
 fn length_code(len: u16) -> (usize, u8, u16) {
@@ -148,7 +185,10 @@ fn write_lengths(writer: &mut BitWriter, lengths: &[u8]) {
     }
 }
 
-fn read_lengths(reader: &mut BitReader<'_>, count: usize) -> Result<Vec<u8>, DeflateError> {
+fn read_lengths(
+    reader: &mut BitReader<'_>,
+    count: usize,
+) -> Result<Vec<u8>, DeflateError> {
     (0..count)
         .map(|_| reader.read_bits(4).map(|b| b as u8))
         .collect::<Result<Vec<u8>, _>>()
@@ -172,8 +212,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
         1 => true,
         other => return Err(DeflateError::Corrupt(format!("bad mode byte {other}"))),
     };
-    let original_len =
-        u32::from_le_bytes(data[5..9].try_into().expect("sized")) as usize;
+    let original_len = u32::from_le_bytes(data[5..9].try_into().expect("sized")) as usize;
     let payload = &data[9..];
 
     if stored {
@@ -258,7 +297,7 @@ pub fn ratio(original: &[u8], compressed: &[u8]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRng;
 
     #[test]
     fn empty_roundtrip() {
@@ -282,9 +321,8 @@ mod tests {
 
     #[test]
     fn text_like_data_roundtrip() {
-        let data = "the quick brown fox jumps over the lazy dog. "
-            .repeat(50)
-            .into_bytes();
+        let data =
+            "the quick brown fox jumps over the lazy dog. ".repeat(50).into_bytes();
         for level in [Level::Fast, Level::Default, Level::Best] {
             let packed = compress(&data, level);
             assert_eq!(decompress(&packed).unwrap(), data, "level {level:?}");
@@ -294,10 +332,9 @@ mod tests {
 
     #[test]
     fn random_data_falls_back_to_stored() {
-        use rand::{RngCore, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = TestRng::new(1);
         let mut data = vec![0u8; 10_000];
-        rng.fill_bytes(&mut data);
+        rng.fill(&mut data);
         let packed = compress(&data, Level::Default);
         // Stored mode: 9 bytes of header overhead only.
         assert_eq!(packed.len(), data.len() + 9);
@@ -322,7 +359,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(decompress(b"NOPE\x00\x00\x00\x00\x00"), Err(DeflateError::BadMagic)));
+        assert!(matches!(
+            decompress(b"NOPE\x00\x00\x00\x00\x00"),
+            Err(DeflateError::BadMagic)
+        ));
     }
 
     #[test]
@@ -351,7 +391,7 @@ mod tests {
             let (code, extra, bits) = length_code(len);
             assert!((257..=285).contains(&code), "len {len}");
             let idx = code - 257;
-            assert_eq!(u16::from(LENGTH_BASE[idx]) + bits, len);
+            assert_eq!(LENGTH_BASE[idx] + bits, len);
             assert!(bits < (1 << extra) || extra == 0 && bits == 0);
         }
     }
@@ -366,31 +406,36 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn prop_roundtrip_arbitrary(data: Vec<u8>) {
+    #[test]
+    fn prop_roundtrip_arbitrary() {
+        let mut rng = TestRng::new(0xDEF1A7E);
+        for _ in 0..64 {
+            let data = rng.bytes(2048);
             let packed = compress(&data, Level::Default);
-            prop_assert_eq!(decompress(&packed).unwrap(), data);
+            assert_eq!(decompress(&packed).unwrap(), data);
         }
+    }
 
-        #[test]
-        fn prop_roundtrip_repetitive(seed in 0u64..1000, len in 0usize..5000) {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    #[test]
+    fn prop_roundtrip_repetitive() {
+        let mut rng = TestRng::new(0xDEF1A7F);
+        for _ in 0..16 {
+            let len = rng.below(5000);
             let alphabet = b"abcd";
             let data: Vec<u8> =
-                (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect();
+                (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect();
             for level in [Level::Fast, Level::Default, Level::Best] {
                 let packed = compress(&data, level);
-                prop_assert_eq!(decompress(&packed).unwrap(), data.clone());
+                assert_eq!(decompress(&packed).unwrap(), data);
             }
         }
+    }
 
-        #[test]
-        fn prop_hostile_input_never_panics(data: Vec<u8>) {
-            let _ = decompress(&data);
+    #[test]
+    fn prop_hostile_input_never_panics() {
+        let mut rng = TestRng::new(0xBAD);
+        for _ in 0..256 {
+            let _ = decompress(&rng.bytes(512));
         }
     }
 }

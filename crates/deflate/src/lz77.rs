@@ -205,7 +205,7 @@ pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRng;
 
     #[test]
     fn literal_only_for_unique_bytes() {
@@ -230,9 +230,8 @@ mod tests {
         let data = vec![b'a'; 300];
         let tokens = tokenize(&data, Level::Default);
         assert_eq!(detokenize(&tokens), data);
-        let has_overlap = tokens
-            .iter()
-            .any(|t| matches!(t, Token::Match { dist: 1, .. }));
+        let has_overlap =
+            tokens.iter().any(|t| matches!(t, Token::Match { dist: 1, .. }));
         assert!(has_overlap);
     }
 
@@ -271,13 +270,13 @@ mod tests {
         assert_eq!(detokenize(&tokenize(b"ab", Level::Default)), b"ab");
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn prop_tokenize_detokenize_roundtrip(data: Vec<u8>) {
+    #[test]
+    fn prop_tokenize_detokenize_roundtrip() {
+        let mut rng = TestRng::new(0x17_77);
+        for _ in 0..64 {
+            let data = rng.bytes(2048);
             for level in [Level::Fast, Level::Default, Level::Best] {
-                prop_assert_eq!(detokenize(&tokenize(&data, level)), data.clone());
+                assert_eq!(detokenize(&tokenize(&data, level)), data, "{level:?}");
             }
         }
     }

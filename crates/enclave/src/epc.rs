@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::cost::{CostModel, SimClock};
 use crate::error::EnclaveError;
@@ -68,7 +68,11 @@ impl EpcAllocator {
         EpcAllocator {
             usable_pages: usable_bytes / PAGE_SIZE,
             total_pages: total_bytes / PAGE_SIZE,
-            inner: Mutex::new(Inner { committed_pages: 0, peak_pages: 0, page_faults: 0 }),
+            inner: Mutex::new(Inner {
+                committed_pages: 0,
+                peak_pages: 0,
+                page_faults: 0,
+            }),
             clock,
             model,
         }
@@ -92,7 +96,7 @@ impl EpcAllocator {
     /// thrash ceiling.
     pub fn commit(&self, bytes: usize) -> Result<(), EnclaveError> {
         let pages = bytes.div_ceil(PAGE_SIZE);
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("epc lock poisoned");
         let ceiling = self.usable_pages * 4;
         if inner.committed_pages + pages > ceiling {
             return Err(EnclaveError::EpcExhausted {
@@ -122,7 +126,7 @@ impl EpcAllocator {
     /// committed.
     pub fn release(&self, bytes: usize) -> Result<(), EnclaveError> {
         let pages = bytes.div_ceil(PAGE_SIZE);
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("epc lock poisoned");
         if pages > inner.committed_pages {
             return Err(EnclaveError::InvalidFree {
                 requested: bytes,
@@ -135,7 +139,7 @@ impl EpcAllocator {
 
     /// Returns a snapshot of the allocator counters.
     pub fn stats(&self) -> EpcStats {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().expect("epc lock poisoned");
         EpcStats {
             committed_pages: inner.committed_pages,
             peak_pages: inner.peak_pages,

@@ -149,7 +149,10 @@ mod tests {
         let b = platform.create_enclave(b"app-b").unwrap();
         let policy = SealPolicy::MrSigner("vendor".into());
         let sealed = seal(&platform, &a, &policy, b"", b"shared secret");
-        assert_eq!(unseal(&platform, &b, &policy, b"", &sealed).unwrap(), b"shared secret");
+        assert_eq!(
+            unseal(&platform, &b, &policy, b"", &sealed).unwrap(),
+            b"shared secret"
+        );
     }
 
     #[test]
@@ -157,7 +160,8 @@ mod tests {
         let platform = Platform::new(CostModel::no_sgx());
         let a = platform.create_enclave(b"app").unwrap();
         let sealed = seal(&platform, &a, &SealPolicy::MrSigner("v1".into()), b"", b"s");
-        assert!(unseal(&platform, &a, &SealPolicy::MrSigner("v2".into()), b"", &sealed).is_err());
+        assert!(unseal(&platform, &a, &SealPolicy::MrSigner("v2".into()), b"", &sealed)
+            .is_err());
     }
 
     #[test]
@@ -179,7 +183,9 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 1;
         let reparsed = SealedData::from_bytes(&bytes).unwrap();
-        assert!(unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"", &reparsed).is_err());
+        assert!(
+            unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"", &reparsed).is_err()
+        );
     }
 
     #[test]
@@ -197,6 +203,8 @@ mod tests {
         let platform = Platform::new(CostModel::no_sgx());
         let enclave = platform.create_enclave(b"app").unwrap();
         let sealed = seal(&platform, &enclave, &SealPolicy::MrEnclave, b"v1", b"data");
-        assert!(unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"v2", &sealed).is_err());
+        assert!(
+            unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"v2", &sealed).is_err()
+        );
     }
 }

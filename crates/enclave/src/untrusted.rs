@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// An opaque handle to a blob in untrusted memory — the "pointer" the
 /// paper's metadata dictionary keeps per entry.
@@ -47,18 +47,18 @@ impl UntrustedMemory {
     pub fn store(&self, data: Vec<u8>) -> BlobId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.blobs.write().insert(id, data);
+        self.blobs.write().expect("blob lock poisoned").insert(id, data);
         BlobId(id)
     }
 
     /// Reads a copy of the blob, or `None` if it does not exist.
     pub fn load(&self, id: BlobId) -> Option<Vec<u8>> {
-        self.blobs.read().get(&id.0).cloned()
+        self.blobs.read().expect("blob lock poisoned").get(&id.0).cloned()
     }
 
     /// Removes a blob, returning it if present.
     pub fn remove(&self, id: BlobId) -> Option<Vec<u8>> {
-        let removed = self.blobs.write().remove(&id.0);
+        let removed = self.blobs.write().expect("blob lock poisoned").remove(&id.0);
         if let Some(ref data) = removed {
             self.bytes.fetch_sub(data.len() as u64, Ordering::Relaxed);
         }
@@ -69,7 +69,7 @@ impl UntrustedMemory {
     /// with root access tampering with data outside the enclave (threat
     /// model, §II-B). Returns `false` if the blob does not exist.
     pub fn tamper(&self, id: BlobId, mutate: impl FnOnce(&mut Vec<u8>)) -> bool {
-        let mut blobs = self.blobs.write();
+        let mut blobs = self.blobs.write().expect("blob lock poisoned");
         match blobs.get_mut(&id.0) {
             Some(data) => {
                 let before = data.len() as u64;
@@ -88,12 +88,12 @@ impl UntrustedMemory {
 
     /// Number of blobs currently stored.
     pub fn len(&self) -> usize {
-        self.blobs.read().len()
+        self.blobs.read().expect("blob lock poisoned").len()
     }
 
     /// Whether the arena is empty.
     pub fn is_empty(&self) -> bool {
-        self.blobs.read().is_empty()
+        self.blobs.read().expect("blob lock poisoned").is_empty()
     }
 
     /// Total bytes currently stored.

@@ -4,7 +4,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A MapReduce job definition.
 ///
@@ -56,6 +56,11 @@ impl Default for JobConfig {
     }
 }
 
+// Values are tagged with their input index so shuffle output is
+// deterministic regardless of worker interleaving.
+type Tagged<V> = (usize, V);
+type PartitionTable<K, V> = HashMap<K, Vec<Tagged<V>>>;
+
 fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
     let mut hasher = DefaultHasher::new();
     key.hash(&mut hasher);
@@ -77,20 +82,17 @@ pub fn run_job<J: Job>(
     let partitions = config.reduce_partitions.max(1);
 
     // Map phase: workers claim input chunks and build per-partition maps.
-    // Values are tagged with input index so shuffle output is
-    // deterministic regardless of worker interleaving.
-    type Tagged<V> = (usize, V);
-    let partition_tables: Vec<Mutex<HashMap<J::Key, Vec<Tagged<J::Value>>>>> =
+    let partition_tables: Vec<Mutex<PartitionTable<J::Key, J::Value>>> =
         (0..partitions).map(|_| Mutex::new(HashMap::new())).collect();
 
     let chunk_size = inputs.len().div_ceil(map_workers).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (worker_idx, chunk) in inputs.chunks(chunk_size).enumerate() {
             let tables = &partition_tables;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = worker_idx * chunk_size;
                 // Worker-local accumulation to keep lock contention low.
-                let mut local: Vec<HashMap<J::Key, Vec<Tagged<J::Value>>>> =
+                let mut local: Vec<PartitionTable<J::Key, J::Value>> =
                     (0..partitions).map(|_| HashMap::new()).collect();
                 for (offset, input) in chunk.iter().enumerate() {
                     let input_idx = base + offset;
@@ -111,24 +113,25 @@ pub fn run_job<J: Job>(
                     });
                 }
                 for (p, table) in local.into_iter().enumerate() {
-                    let mut shared = tables[p].lock();
+                    let mut shared = tables[p].lock().expect("partition lock poisoned");
                     for (key, mut values) in table {
                         shared.entry(key).or_default().append(&mut values);
                     }
                 }
             });
         }
-    })
-    .expect("map worker panicked");
+    });
 
     // Reduce phase: partitions in parallel.
-    let results: Vec<Mutex<Vec<(J::Key, J::Output)>>> =
+    type Reduced<K, O> = Mutex<Vec<(K, O)>>;
+    let results: Vec<Reduced<J::Key, J::Output>> =
         (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (p, table) in partition_tables.iter().enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
-                let table = std::mem::take(&mut *table.lock());
+            scope.spawn(move || {
+                let table =
+                    std::mem::take(&mut *table.lock().expect("partition lock poisoned"));
                 let mut out = Vec::with_capacity(table.len());
                 for (key, mut tagged) in table {
                     // Deterministic value order: by input index.
@@ -137,14 +140,15 @@ pub fn run_job<J: Job>(
                     let output = job.reduce(&key, values);
                     out.push((key, output));
                 }
-                *results[p].lock() = out;
+                *results[p].lock().expect("result lock poisoned") = out;
             });
         }
-    })
-    .expect("reduce worker panicked");
+    });
 
-    let mut merged: Vec<(J::Key, J::Output)> =
-        results.into_iter().flat_map(|m| m.into_inner()).collect();
+    let mut merged: Vec<(J::Key, J::Output)> = results
+        .into_iter()
+        .flat_map(|m| m.into_inner().expect("result lock poisoned"))
+        .collect();
     merged.sort_by(|a, b| a.0.cmp(&b.0));
     merged
 }
@@ -200,16 +204,11 @@ mod tests {
 
     #[test]
     fn word_count_basics() {
-        let inputs =
-            vec!["a b a".to_string(), "b c".to_string(), "a".to_string()];
+        let inputs = vec!["a b a".to_string(), "b c".to_string(), "a".to_string()];
         let counts = run_job(&WordCount, &inputs, &JobConfig::default());
         assert_eq!(
             counts,
-            vec![
-                ("a".to_string(), 3),
-                ("b".to_string(), 2),
-                ("c".to_string(), 1)
-            ]
+            vec![("a".to_string(), 3), ("b".to_string(), 2), ("c".to_string(), 1)]
         );
     }
 
@@ -221,9 +220,8 @@ mod tests {
 
     #[test]
     fn output_independent_of_worker_count() {
-        let inputs: Vec<String> = (0..100)
-            .map(|i| format!("w{} w{} shared", i % 7, i % 3))
-            .collect();
+        let inputs: Vec<String> =
+            (0..100).map(|i| format!("w{} w{} shared", i % 7, i % 3)).collect();
         let reference = run_job(
             &WordCount,
             &inputs,

@@ -46,15 +46,9 @@ impl Job for IndexJob<'_> {
 
 /// Builds an inverted index over `documents` (terms sorted, postings
 /// sorted by document id).
-pub fn inverted_index(
-    documents: &[String],
-    config: &BowConfig,
-) -> InvertedIndex {
-    let inputs: Vec<(u32, String)> = documents
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (i as u32, d.clone()))
-        .collect();
+pub fn inverted_index(documents: &[String], config: &BowConfig) -> InvertedIndex {
+    let inputs: Vec<(u32, String)> =
+        documents.iter().enumerate().map(|(i, d)| (i as u32, d.clone())).collect();
     run_job(
         &IndexJob { config },
         &inputs,
@@ -78,10 +72,7 @@ pub fn tf_idf(index: &InvertedIndex, term: &str, doc: u32, total_docs: usize) ->
     if postings.is_empty() || total_docs == 0 {
         return 0.0;
     }
-    let tf = postings
-        .iter()
-        .find(|p| p.doc == doc)
-        .map_or(0.0, |p| f64::from(p.count));
+    let tf = postings.iter().find(|p| p.doc == doc).map_or(0.0, |p| f64::from(p.count));
     if tf == 0.0 {
         return 0.0;
     }
@@ -108,10 +99,7 @@ mod tests {
             &config(),
         );
         let apple = lookup(&index, "apple");
-        assert_eq!(
-            apple,
-            &[Posting { doc: 0, count: 2 }, Posting { doc: 2, count: 1 }]
-        );
+        assert_eq!(apple, &[Posting { doc: 0, count: 2 }, Posting { doc: 2, count: 1 }]);
         let banana = lookup(&index, "banana");
         assert_eq!(banana.len(), 2);
         assert!(lookup(&index, "durian").is_empty());
@@ -130,10 +118,8 @@ mod tests {
     fn deterministic_across_worker_counts() {
         let documents: Vec<String> =
             (0..40).map(|i| format!("term{} shared word{}", i % 7, i % 3)).collect();
-        let reference = inverted_index(
-            &documents,
-            &BowConfig { workers: 1, ..BowConfig::default() },
-        );
+        let reference =
+            inverted_index(&documents, &BowConfig { workers: 1, ..BowConfig::default() });
         for workers in [2, 4] {
             let result = inverted_index(
                 &documents,

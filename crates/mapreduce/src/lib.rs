@@ -5,7 +5,7 @@
 //!
 //! The framework ([`run_job`]) is generic: a [`Job`] defines `map`,
 //! optional `combine`, and `reduce`; execution fans map tasks across worker
-//! threads (crossbeam scoped threads), shuffles by key hash, and reduces
+//! threads (std scoped threads), shuffles by key hash, and reduces
 //! partitions in parallel — the same structure as the paper's library.
 //!
 //! # Example

@@ -146,14 +146,11 @@ impl AhoCorasick {
     ) {
         let mut state = 0u32;
         for (pos, &raw) in haystack.iter().enumerate() {
-            let byte =
-                if self.case_insensitive { raw.to_ascii_lowercase() } else { raw };
+            let byte = if self.case_insensitive { raw.to_ascii_lowercase() } else { raw };
             state = self.nodes[state as usize].next[usize::from(byte)];
             for &pattern in &self.nodes[state as usize].outputs {
-                let keep_going = visit(LiteralMatch {
-                    pattern: pattern as usize,
-                    end: pos + 1,
-                });
+                let keep_going =
+                    visit(LiteralMatch { pattern: pattern as usize, end: pos + 1 });
                 if !keep_going {
                     return;
                 }
@@ -271,8 +268,7 @@ mod tests {
     #[test]
     fn throughput_is_rule_count_independent() {
         // Linear scanning: 10× the patterns must not mean 10× the time.
-        let haystack: Vec<u8> =
-            (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let haystack: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
         let small = AhoCorasick::new(
             &(0..100).map(|i| format!("sig{i:05}").into_bytes()).collect::<Vec<_>>(),
         );

@@ -233,18 +233,21 @@ impl<'a> Parser<'a> {
     fn parse_escape(&mut self) -> Result<Ast, MatcherError> {
         let byte = self.bump().ok_or_else(|| self.error("dangling escape"))?;
         Ok(match byte {
-            b'd' => self.intern_class(ClassSpec { negated: false, ranges: vec![(b'0', b'9')] }),
-            b'D' => self.intern_class(ClassSpec { negated: true, ranges: vec![(b'0', b'9')] }),
-            b'w' => self.intern_class(ClassSpec {
-                negated: false,
-                ranges: word_ranges(),
-            }),
+            b'd' => self
+                .intern_class(ClassSpec { negated: false, ranges: vec![(b'0', b'9')] }),
+            b'D' => {
+                self.intern_class(ClassSpec { negated: true, ranges: vec![(b'0', b'9')] })
+            }
+            b'w' => {
+                self.intern_class(ClassSpec { negated: false, ranges: word_ranges() })
+            }
             b'W' => self.intern_class(ClassSpec { negated: true, ranges: word_ranges() }),
-            b's' => self.intern_class(ClassSpec {
-                negated: false,
-                ranges: space_ranges(),
-            }),
-            b'S' => self.intern_class(ClassSpec { negated: true, ranges: space_ranges() }),
+            b's' => {
+                self.intern_class(ClassSpec { negated: false, ranges: space_ranges() })
+            }
+            b'S' => {
+                self.intern_class(ClassSpec { negated: true, ranges: space_ranges() })
+            }
             b'n' => Ast::Literal(b'\n'),
             b'r' => Ast::Literal(b'\r'),
             b't' => Ast::Literal(b'\t'),
@@ -447,7 +450,8 @@ impl Regex {
     /// Returns [`MatcherError::BadPattern`] with the byte offset of the
     /// problem.
     pub fn new(pattern: &str) -> Result<Self, MatcherError> {
-        let mut parser = Parser { bytes: pattern.as_bytes(), pos: 0, classes: Vec::new() };
+        let mut parser =
+            Parser { bytes: pattern.as_bytes(), pos: 0, classes: Vec::new() };
         let ast = parser.parse_alternation()?;
         if parser.pos != parser.bytes.len() {
             return Err(parser.error("trailing characters (unmatched `)`?)"));
@@ -682,10 +686,7 @@ mod tests {
     #[test]
     fn snort_like_patterns() {
         assert!(matches(r"GET /.*\.php", "GET /admin/index.php HTTP/1.1"));
-        assert!(matches(
-            r"^User-Agent: (curl|wget)/\d",
-            "User-Agent: curl/7.88"
-        ));
+        assert!(matches(r"^User-Agent: (curl|wget)/\d", "User-Agent: curl/7.88"));
         let re = Regex::new(r"\x00\x01\x86\xa5").unwrap();
         assert!(re.is_match(&[0x00, 0x01, 0x86, 0xa5, b'x']));
     }

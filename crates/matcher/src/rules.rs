@@ -47,7 +47,11 @@ impl Rule {
     ///
     /// Returns [`MatcherError::BadPattern`] if the pattern fails to compile.
     pub fn regex(id: u32, pattern: &str) -> Result<Self, MatcherError> {
-        Ok(Rule { id, kind: RuleKind::Regex(Regex::new(pattern)?), message: String::new() })
+        Ok(Rule {
+            id,
+            kind: RuleKind::Regex(Regex::new(pattern)?),
+            message: String::new(),
+        })
     }
 
     /// Attaches a human-readable alert message.
@@ -283,8 +287,7 @@ mod tests {
         rules.push(Rule::regex(5000, r"evil-[0-9]{4}-payload").unwrap());
         let rs = RuleSet::compile(rules).unwrap();
         assert_eq!(rs.len(), 2001);
-        let matches =
-            rs.scan(b"xx malware-sig-1234 yy evil-9999-payload zz");
+        let matches = rs.scan(b"xx malware-sig-1234 yy evil-9999-payload zz");
         assert_eq!(matches.len(), 2);
         assert!(matches.iter().any(|m| m.rule_id == 1234));
         assert!(matches.iter().any(|m| m.rule_id == 5000));

@@ -40,13 +40,7 @@ pub fn describe(space: &ScaleSpace, keypoints: &[Keypoint]) -> Vec<Feature> {
             {
                 let (x, y) =
                     space.to_input_coords(kp.octave, kp.refined_x(), kp.refined_y());
-                features.push(Feature {
-                    x,
-                    y,
-                    sigma: kp.sigma,
-                    orientation,
-                    descriptor,
-                });
+                features.push(Feature { x, y, sigma: kp.sigma, orientation, descriptor });
             }
         }
     }
@@ -56,11 +50,7 @@ pub fn describe(space: &ScaleSpace, keypoints: &[Keypoint]) -> Vec<Feature> {
 /// Finds the dominant gradient orientation(s) around a keypoint: peaks of a
 /// 36-bin histogram weighted by gradient magnitude and a Gaussian window;
 /// secondary peaks within 80% of the maximum spawn extra features.
-fn dominant_orientations(
-    image: &GrayImage,
-    kp: &Keypoint,
-    local_sigma: f32,
-) -> Vec<f32> {
+fn dominant_orientations(image: &GrayImage, kp: &Keypoint, local_sigma: f32) -> Vec<f32> {
     let window_sigma = 1.5 * local_sigma;
     let radius = (window_sigma * 3.0).ceil() as isize;
     let mut histogram = [0.0f32; ORI_BINS];
@@ -81,9 +71,9 @@ fn dominant_orientations(
             if magnitude == 0.0 {
                 continue;
             }
-            let weight =
-                (-((dx * dx + dy * dy) as f32) / (2.0 * window_sigma * window_sigma))
-                    .exp();
+            let weight = (-((dx * dx + dy * dy) as f32)
+                / (2.0 * window_sigma * window_sigma))
+                .exp();
             let angle = gy.atan2(gx); // [-π, π]
             let bin = angle_to_bin(angle, ORI_BINS);
             histogram[bin] += magnitude * weight;
@@ -153,7 +143,8 @@ fn build_descriptor(
     orientation: f32,
 ) -> Option<[u8; 128]> {
     let bin_width = 3.0 * local_sigma;
-    let radius = (bin_width * (DESC_WIDTH as f32) * 2f32.sqrt() / 2.0).ceil() as isize + 1;
+    let radius =
+        (bin_width * (DESC_WIDTH as f32) * 2f32.sqrt() / 2.0).ceil() as isize + 1;
     let (sin_o, cos_o) = orientation.sin_cos();
     let mut raw = [0.0f32; DESC_WIDTH * DESC_WIDTH * DESC_ORI_BINS];
 
@@ -174,7 +165,10 @@ fn build_descriptor(
             // Spatial bin coordinates in [0, 4).
             let bx = rx + DESC_WIDTH as f32 / 2.0 - 0.5;
             let by = ry + DESC_WIDTH as f32 / 2.0 - 0.5;
-            if bx <= -1.0 || bx >= DESC_WIDTH as f32 || by <= -1.0 || by >= DESC_WIDTH as f32
+            if bx <= -1.0
+                || bx >= DESC_WIDTH as f32
+                || by <= -1.0
+                || by >= DESC_WIDTH as f32
             {
                 continue;
             }
@@ -260,11 +254,8 @@ mod tests {
     #[test]
     fn descriptors_have_unit_like_energy() {
         for feature in features_for(&blob(32.0, 32.0)) {
-            let energy: f64 = feature
-                .descriptor
-                .iter()
-                .map(|&b| (f64::from(b) / 512.0).powi(2))
-                .sum();
+            let energy: f64 =
+                feature.descriptor.iter().map(|&b| (f64::from(b) / 512.0).powi(2)).sum();
             // Clipping makes energy ≤ 1; it should remain substantial.
             assert!(energy > 0.5 && energy < 1.3, "energy {energy}");
         }

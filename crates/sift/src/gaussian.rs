@@ -86,9 +86,12 @@ mod tests {
 
     #[test]
     fn blur_preserves_mean_roughly() {
-        let image = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 11) as f32 / 11.0);
+        let image =
+            GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 11) as f32 / 11.0);
         let blurred = blur(&image, 1.6);
-        let mean = |img: &GrayImage| img.pixels().iter().sum::<f32>() / img.pixels().len() as f32;
+        let mean = |img: &GrayImage| {
+            img.pixels().iter().sum::<f32>() / img.pixels().len() as f32
+        };
         assert!((mean(&image) - mean(&blurred)).abs() < 0.02);
     }
 
@@ -105,9 +108,8 @@ mod tests {
 
     #[test]
     fn larger_sigma_blurs_more() {
-        let image = GrayImage::from_fn(33, 33, |x, y| {
-            if x == 16 && y == 16 { 1.0 } else { 0.0 }
-        });
+        let image =
+            GrayImage::from_fn(33, 33, |x, y| if x == 16 && y == 16 { 1.0 } else { 0.0 });
         let small = blur(&image, 1.0);
         let large = blur(&image, 3.0);
         // The impulse's peak spreads with sigma.

@@ -148,9 +148,8 @@ mod tests {
         let features = sift(&image, &SiftParams::default());
         assert!(!features.is_empty());
         // The strongest feature should sit near the blob centre.
-        let near_centre = features
-            .iter()
-            .any(|f| (f.x - 32.0).abs() < 6.0 && (f.y - 32.0).abs() < 6.0);
+        let near_centre =
+            features.iter().any(|f| (f.x - 32.0).abs() < 6.0 && (f.y - 32.0).abs() < 6.0);
         assert!(near_centre, "features: {features:?}");
     }
 

@@ -82,7 +82,9 @@ mod tests {
                 let dy = y as f32 - cy - offset_y;
                 a * (-(dx * dx + dy * dy) / (r * r)).exp()
             };
-            blob(30.0, 30.0, 5.0, 1.0) + blob(60.0, 40.0, 7.0, 0.8) + blob(40.0, 65.0, 4.0, 0.9)
+            blob(30.0, 30.0, 5.0, 1.0)
+                + blob(60.0, 40.0, 7.0, 0.8)
+                + blob(40.0, 65.0, 4.0, 0.9)
         })
     }
 
@@ -126,9 +128,8 @@ mod tests {
     #[test]
     fn unrelated_images_match_little() {
         let scene_features = sift(&scene(0.0, 0.0), &SiftParams::default());
-        let noise = GrayImage::from_fn(96, 96, |x, y| {
-            (((x * 31 + y * 17) % 13) as f32) / 13.0
-        });
+        let noise =
+            GrayImage::from_fn(96, 96, |x, y| (((x * 31 + y * 17) % 13) as f32) / 13.0);
         let noise_features = sift(&noise, &SiftParams::default());
         let matches = match_features(&scene_features, &noise_features, 0.7);
         assert!(

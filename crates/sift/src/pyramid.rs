@@ -37,8 +37,7 @@ impl ScaleSpace {
         let levels = s + 3;
 
         let min_dim = image.width().min(image.height());
-        let max_octaves_by_size =
-            (min_dim as f32 / 8.0).log2().floor().max(1.0) as usize;
+        let max_octaves_by_size = (min_dim as f32 / 8.0).log2().floor().max(1.0) as usize;
         let octave_count = params.max_octaves.min(max_octaves_by_size).max(1);
 
         let mut octaves = Vec::with_capacity(octave_count);
@@ -63,10 +62,8 @@ impl ScaleSpace {
                 sigmas.push(next_sigma);
                 sigma = next_sigma;
             }
-            let dogs = gaussians
-                .windows(2)
-                .map(|pair| pair[1].subtract(&pair[0]))
-                .collect();
+            let dogs =
+                gaussians.windows(2).map(|pair| pair[1].subtract(&pair[0])).collect();
 
             // Next octave: level `s` has local sigma 2·sigma0, which after
             // 2× downsampling is sigma0 in the new octave's pixel units.

@@ -29,6 +29,7 @@ fn usage() -> ! {
          commands:\n\
            serve   --addr HOST:PORT --secret N [--no-sgx] [--max-entries N]\n\
                    [--max-bytes N] [--ttl-ms N]\n\
+           ping    --addr HOST:PORT --secret N [--count N]\n\
            stats   --addr HOST:PORT --secret N\n\
            get     --addr HOST:PORT --secret N --tag HEX\n\
            put     --addr HOST:PORT --secret N --tag HEX --data STRING\n\
@@ -54,7 +55,10 @@ impl Flags {
             if let Some(name) = arg.strip_prefix("--") {
                 match iter.peek() {
                     Some(next) if !next.starts_with("--") => {
-                        values.insert(name.to_string(), iter.next().cloned().expect("peeked"));
+                        values.insert(
+                            name.to_string(),
+                            iter.next().cloned().expect("peeked"),
+                        );
                     }
                     _ => switches.push(name.to_string()),
                 }
@@ -92,7 +96,7 @@ impl Flags {
 }
 
 fn parse_tag(hex: &str) -> CompTag {
-    if hex.len() % 2 != 0 || hex.len() > 64 {
+    if !hex.len().is_multiple_of(2) || hex.len() > 64 {
         eprintln!("--tag must be an even-length hex string of at most 64 chars");
         usage();
     }
@@ -121,9 +125,8 @@ fn connect(flags: &Flags) -> TcpStoreClient {
     let secret: u64 = flags.get_parsed("secret").unwrap_or_else(|| usage());
     let authority = SessionAuthority::with_seed(secret);
     let platform = Platform::new(CostModel::default_sgx());
-    let enclave = platform
-        .create_enclave(b"speedctl-client")
-        .expect("client enclave fits");
+    let enclave =
+        platform.create_enclave(b"speedctl-client").expect("client enclave fits");
     match TcpStoreClient::connect(addr, &platform, &enclave, &authority) {
         Ok(client) => client,
         Err(e) => {
@@ -136,7 +139,8 @@ fn connect(flags: &Flags) -> TcpStoreClient {
 fn cmd_serve(flags: &Flags) {
     let secret: u64 = flags.get_parsed("secret").unwrap_or_else(|| usage());
     let addr = flags.required("addr").to_string();
-    let model = if flags.has("no-sgx") { CostModel::no_sgx() } else { CostModel::default_sgx() };
+    let model =
+        if flags.has("no-sgx") { CostModel::no_sgx() } else { CostModel::default_sgx() };
     let config = StoreConfig {
         max_entries: flags.get_parsed("max-entries").unwrap_or(1_000_000),
         max_stored_bytes: flags.get_parsed("max-bytes").unwrap_or(8 << 30),
@@ -147,13 +151,9 @@ fn cmd_serve(flags: &Flags) {
     let platform = Platform::new(model);
     let store = Arc::new(ResultStore::new(&platform, config).expect("store fits in epc"));
     let authority = Arc::new(SessionAuthority::with_seed(secret));
-    let server = StoreServer::spawn(
-        Arc::clone(&store),
-        Arc::clone(&platform),
-        authority,
-        &addr,
-    )
-    .expect("bind listen address");
+    let server =
+        StoreServer::spawn(Arc::clone(&store), Arc::clone(&platform), authority, &addr)
+            .expect("bind listen address");
     println!("speed result store listening on {}", server.addr());
     println!("enclave measurement: {}", store.enclave().measurement());
     println!("press ctrl-c to stop");
@@ -162,10 +162,50 @@ fn cmd_serve(flags: &Flags) {
         let stats = store.stats();
         println!(
             "[stats] entries={} gets={} hits={} puts={} rejected={} bytes={}",
-            stats.entries, stats.gets, stats.hits, stats.puts, stats.rejected_puts,
+            stats.entries,
+            stats.gets,
+            stats.hits,
+            stats.puts,
+            stats.rejected_puts,
             stats.stored_bytes
         );
     }
+}
+
+fn cmd_ping(flags: &Flags) {
+    let count: usize = flags.get_parsed("count").unwrap_or(4).max(1);
+    // Connection time includes the attested handshake (quote exchange and
+    // session-key derivation) — the cost the resilience layer pays on every
+    // reconnect.
+    let start = std::time::Instant::now();
+    let mut client = connect(flags);
+    let handshake = start.elapsed();
+    println!("attested handshake: {handshake:?}");
+
+    let mut worst = std::time::Duration::ZERO;
+    let mut total = std::time::Duration::ZERO;
+    for i in 0..count {
+        let start = std::time::Instant::now();
+        match client.roundtrip(&Message::StatsRequest) {
+            Ok(Message::StatsResponse(_)) => {}
+            Ok(other) => {
+                eprintln!("unexpected response: {other:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("ping {i} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        let rtt = start.elapsed();
+        println!("ping {i}: {rtt:?}");
+        worst = worst.max(rtt);
+        total += rtt;
+    }
+    println!(
+        "{count} attested round-trips: avg {:?}, worst {worst:?}",
+        total / count as u32
+    );
 }
 
 fn cmd_stats(flags: &Flags) {
@@ -218,7 +258,10 @@ fn cmd_put(flags: &Flags) {
     match client.roundtrip(&Message::PutRequest { app: AppId(0xC71), tag, record }) {
         Ok(Message::PutResponse(body)) => {
             if body.accepted {
-                println!("accepted{}", body.reason.map(|r| format!(" ({r})")).unwrap_or_default());
+                println!(
+                    "accepted{}",
+                    body.reason.map(|r| format!(" ({r})")).unwrap_or_default()
+                );
             } else {
                 println!("rejected: {}", body.reason.unwrap_or_default());
                 std::process::exit(4);
@@ -267,8 +310,14 @@ fn cmd_bench(flags: &Flags) {
     }
     let get_elapsed = start.elapsed();
 
-    println!("{ops} PUTs of {size} B: {put_elapsed:?} ({:?}/op)", put_elapsed / ops as u32);
-    println!("{ops} GETs of {size} B: {get_elapsed:?} ({:?}/op)", get_elapsed / ops as u32);
+    println!(
+        "{ops} PUTs of {size} B: {put_elapsed:?} ({:?}/op)",
+        put_elapsed / ops as u32
+    );
+    println!(
+        "{ops} GETs of {size} B: {get_elapsed:?} ({:?}/op)",
+        get_elapsed / ops as u32
+    );
 }
 
 fn main() {
@@ -277,6 +326,7 @@ fn main() {
     let flags = Flags::parse(&args[1..]);
     match command.as_str() {
         "serve" => cmd_serve(&flags),
+        "ping" => cmd_ping(&flags),
         "stats" => cmd_stats(&flags),
         "get" => cmd_get(&flags),
         "put" => cmd_put(&flags),

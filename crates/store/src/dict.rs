@@ -99,6 +99,7 @@ impl MetadataDict {
     /// duplicate tags can race between applications; only one ciphertext
     /// version is kept (the first one wins, matching the paper's remark
     /// that "only one version of result ciphertext needs to be stored").
+    #[allow(clippy::too_many_arguments)] // one parameter per DictEntry field
     pub fn insert(
         &mut self,
         tag: CompTag,

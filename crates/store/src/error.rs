@@ -64,7 +64,9 @@ mod tests {
         assert!(StoreError::QuotaExceeded { app: 3, reason: "too many puts".into() }
             .to_string()
             .contains("app 3"));
-        assert!(StoreError::Protocol("bad frame".into()).to_string().contains("bad frame"));
+        assert!(StoreError::Protocol("bad frame".into())
+            .to_string()
+            .contains("bad frame"));
     }
 
     #[test]

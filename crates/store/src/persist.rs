@@ -9,7 +9,7 @@
 //! the snapshot as a whole rather than confidentiality of individual
 //! results.
 
-use speed_enclave::sealing::{seal, unseal, SealedData, SealPolicy};
+use speed_enclave::sealing::{seal, unseal, SealPolicy, SealedData};
 use speed_enclave::Platform;
 use speed_wire::{Reader, SyncEntry, WireDecode, WireEncode, WireError, Writer};
 
@@ -18,14 +18,19 @@ use crate::StoreError;
 
 const SNAPSHOT_AAD: &[u8] = b"speed-store-snapshot-v1";
 
-fn encode_entries(entries: &[SyncEntry]) -> Vec<u8> {
+fn encode_entries(entries: &[SyncEntry]) -> Result<Vec<u8>, StoreError> {
     let mut writer = Writer::new();
-    let count = u32::try_from(entries.len()).expect("snapshot too large");
+    let count = u32::try_from(entries.len()).map_err(|_| {
+        StoreError::Protocol(format!(
+            "snapshot too large: {} entries exceed the u32 wire limit",
+            entries.len()
+        ))
+    })?;
     count.encode(&mut writer);
     for entry in entries {
         entry.encode(&mut writer);
     }
-    writer.into_bytes()
+    Ok(writer.into_bytes())
 }
 
 fn decode_entries(bytes: &[u8]) -> Result<Vec<SyncEntry>, WireError> {
@@ -41,11 +46,16 @@ fn decode_entries(bytes: &[u8]) -> Result<Vec<SyncEntry>, WireError> {
 
 /// Snapshots the entire store (metadata + ciphertexts + hit counts) into a
 /// blob sealed to the store enclave's identity.
-pub fn snapshot(platform: &Platform, store: &ResultStore) -> Vec<u8> {
+///
+/// # Errors
+///
+/// - [`StoreError::Protocol`] if the store holds more entries than the
+///   snapshot wire format can describe (more than `u32::MAX`).
+pub fn snapshot(platform: &Platform, store: &ResultStore) -> Result<Vec<u8>, StoreError> {
     let entries = store.export_popular(0);
-    let payload = encode_entries(&entries);
-    seal(platform, store.enclave(), &SealPolicy::MrEnclave, SNAPSHOT_AAD, &payload)
-        .to_bytes()
+    let payload = encode_entries(&entries)?;
+    Ok(seal(platform, store.enclave(), &SealPolicy::MrEnclave, SNAPSHOT_AAD, &payload)
+        .to_bytes())
 }
 
 /// Restores a store from a sealed snapshot, preserving hit counts.
@@ -98,7 +108,11 @@ mod tests {
     fn populated_store(platform: &Platform) -> ResultStore {
         let store = ResultStore::new(platform, StoreConfig::default()).unwrap();
         for n in 1..=5u8 {
-            store.handle(Message::PutRequest { app: AppId(1), tag: tag(n), record: record(n) });
+            store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag(n),
+                record: record(n),
+            });
         }
         // Give entry 1 some popularity.
         for _ in 0..3 {
@@ -111,7 +125,7 @@ mod tests {
     fn snapshot_restore_roundtrip() {
         let platform = Platform::new(CostModel::no_sgx());
         let store = populated_store(&platform);
-        let sealed = snapshot(&platform, &store);
+        let sealed = snapshot(&platform, &store).unwrap();
         drop(store);
 
         let restored = restore(&platform, StoreConfig::default(), &sealed).unwrap();
@@ -135,7 +149,7 @@ mod tests {
     fn tampered_snapshot_rejected() {
         let platform = Platform::new(CostModel::no_sgx());
         let store = populated_store(&platform);
-        let mut sealed = snapshot(&platform, &store);
+        let mut sealed = snapshot(&platform, &store).unwrap();
         let mid = sealed.len() / 2;
         sealed[mid] ^= 0xFF;
         assert!(restore(&platform, StoreConfig::default(), &sealed).is_err());
@@ -146,7 +160,7 @@ mod tests {
         let platform_a = Platform::new(CostModel::no_sgx());
         let platform_b = Platform::new(CostModel::no_sgx());
         let store = populated_store(&platform_a);
-        let sealed = snapshot(&platform_a, &store);
+        let sealed = snapshot(&platform_a, &store).unwrap();
         assert!(restore(&platform_b, StoreConfig::default(), &sealed).is_err());
     }
 
@@ -154,7 +168,7 @@ mod tests {
     fn empty_store_snapshots_fine() {
         let platform = Platform::new(CostModel::no_sgx());
         let store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
-        let sealed = snapshot(&platform, &store);
+        let sealed = snapshot(&platform, &store).unwrap();
         let restored = restore(&platform, StoreConfig::default(), &sealed).unwrap();
         assert_eq!(restored.stats().entries, 0);
     }
@@ -165,19 +179,18 @@ mod tests {
         // seal/restore cycle (the record bytes must be bit-identical).
         let platform = Platform::new(CostModel::no_sgx());
         let store = populated_store(&platform);
-        let original = match store.handle(Message::GetRequest { app: AppId(1), tag: tag(2) })
-        {
-            Message::GetResponse(body) => body.record.unwrap(),
-            other => panic!("unexpected {other:?}"),
-        };
-        let sealed = snapshot(&platform, &store);
+        let original =
+            match store.handle(Message::GetRequest { app: AppId(1), tag: tag(2) }) {
+                Message::GetResponse(body) => body.record.unwrap(),
+                other => panic!("unexpected {other:?}"),
+            };
+        let sealed = snapshot(&platform, &store).unwrap();
         let restored = restore(&platform, StoreConfig::default(), &sealed).unwrap();
-        let recovered = match restored
-            .handle(Message::GetRequest { app: AppId(9), tag: tag(2) })
-        {
-            Message::GetResponse(body) => body.record.unwrap(),
-            other => panic!("unexpected {other:?}"),
-        };
+        let recovered =
+            match restored.handle(Message::GetRequest { app: AppId(9), tag: tag(2) }) {
+                Message::GetResponse(body) => body.record.unwrap(),
+                other => panic!("unexpected {other:?}"),
+            };
         assert_eq!(original, recovered);
     }
 }

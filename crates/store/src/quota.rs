@@ -181,7 +181,9 @@ mod tests {
             assert!(tracker.check_put(AppId(1), 1, i * 1_000).is_allowed());
         }
         let denied = tracker.check_put(AppId(1), 1, 10_000);
-        assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("entry quota")));
+        assert!(
+            matches!(denied, QuotaDecision::Deny(ref r) if r.contains("entry quota"))
+        );
     }
 
     #[test]

@@ -181,8 +181,8 @@ fn serve_connection(
         let request_bytes = channel
             .open_message(&sealed)
             .map_err(|e| StoreError::Protocol(e.to_string()))?;
-        let request: Message =
-            from_bytes(&request_bytes).map_err(|e| StoreError::Protocol(e.to_string()))?;
+        let request: Message = from_bytes(&request_bytes)
+            .map_err(|e| StoreError::Protocol(e.to_string()))?;
         let response = store.handle(request);
         let sealed_response = channel.seal_message(&to_bytes(&response));
         write_frame(&mut stream, &sealed_response)?;
@@ -245,6 +245,10 @@ impl TcpStoreClient {
     ) -> Result<Self, StoreError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        // Bound every read: a store that dies mid-frame (or hangs) must
+        // surface as an error the resilience layer can degrade on, not as
+        // a client blocked forever.
+        stream.set_read_timeout(Some(FRAME_TIMEOUT)).ok();
 
         let report_data = [0u8; REPORT_DATA_LEN];
         let client_report = create_report(platform, identity, &report_data);
@@ -330,19 +334,19 @@ mod tests {
                 .unwrap();
 
         let tag = CompTag::from_bytes([5u8; 32]);
-        let miss = client
-            .roundtrip(&Message::GetRequest { app: AppId(1), tag })
-            .unwrap();
+        let miss = client.roundtrip(&Message::GetRequest { app: AppId(1), tag }).unwrap();
         assert!(matches!(miss, Message::GetResponse(b) if !b.found));
 
         let put = client
-            .roundtrip(&Message::PutRequest { app: AppId(1), tag, record: sample_record() })
+            .roundtrip(&Message::PutRequest {
+                app: AppId(1),
+                tag,
+                record: sample_record(),
+            })
             .unwrap();
         assert!(matches!(put, Message::PutResponse(b) if b.accepted));
 
-        let hit = client
-            .roundtrip(&Message::GetRequest { app: AppId(1), tag })
-            .unwrap();
+        let hit = client.roundtrip(&Message::GetRequest { app: AppId(1), tag }).unwrap();
         match hit {
             Message::GetResponse(body) => {
                 assert!(body.found);
@@ -364,8 +368,12 @@ mod tests {
             TcpStoreClient::connect(server.addr(), &platform, &e2, &authority).unwrap();
 
         let tag = CompTag::from_bytes([1u8; 32]);
-        c1.roundtrip(&Message::PutRequest { app: AppId(1), tag, record: sample_record() })
-            .unwrap();
+        c1.roundtrip(&Message::PutRequest {
+            app: AppId(1),
+            tag,
+            record: sample_record(),
+        })
+        .unwrap();
         let hit = c2.roundtrip(&Message::GetRequest { app: AppId(2), tag }).unwrap();
         assert!(matches!(hit, Message::GetResponse(b) if b.found));
         server.shutdown();
@@ -376,14 +384,67 @@ mod tests {
         let (platform, _store, authority, server) = setup();
         let enclave = platform.create_enclave(b"stats-client").unwrap();
         let mut client =
-            TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority).unwrap();
+            TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority)
+                .unwrap();
         let tag = CompTag::from_bytes([2u8; 32]);
         client
-            .roundtrip(&Message::PutRequest { app: AppId(1), tag, record: sample_record() })
+            .roundtrip(&Message::PutRequest {
+                app: AppId(1),
+                tag,
+                record: sample_record(),
+            })
             .unwrap();
         let stats = client.roundtrip(&Message::StatsRequest).unwrap();
-        assert!(matches!(stats, Message::StatsResponse(b) if b.puts == 1 && b.entries == 1));
+        assert!(
+            matches!(stats, Message::StatsResponse(b) if b.puts == 1 && b.entries == 1)
+        );
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_idle_connections_promptly() {
+        let (platform, _store, authority, server) = setup();
+        let e1 = platform.create_enclave(b"idle-1").unwrap();
+        let e2 = platform.create_enclave(b"idle-2").unwrap();
+        let mut c1 =
+            TcpStoreClient::connect(server.addr(), &platform, &e1, &authority).unwrap();
+        let mut c2 =
+            TcpStoreClient::connect(server.addr(), &platform, &e2, &authority).unwrap();
+        // Both connections are now idle between requests — the workers sit
+        // in the 50ms read-timeout poll loop.
+        c1.roundtrip(&Message::StatsRequest).unwrap();
+        c2.roundtrip(&Message::StatsRequest).unwrap();
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "shutdown must join idle workers within a few poll intervals, \
+             took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn client_sees_error_when_server_dies_between_requests() {
+        let (platform, _store, authority, server) = setup();
+        let enclave = platform.create_enclave(b"orphan-client").unwrap();
+        let mut client =
+            TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority)
+                .unwrap();
+        client.roundtrip(&Message::StatsRequest).unwrap();
+
+        server.shutdown();
+        let start = std::time::Instant::now();
+        let result = client.roundtrip(&Message::GetRequest {
+            app: AppId(1),
+            tag: CompTag::from_bytes([4u8; 32]),
+        });
+        assert!(result.is_err(), "round-trip against a dead server must error");
+        assert!(
+            start.elapsed() < FRAME_TIMEOUT + std::time::Duration::from_secs(1),
+            "the error must arrive within the frame timeout, took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

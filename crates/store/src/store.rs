@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use speed_enclave::{Enclave, EnclaveError, Platform, UntrustedMemory};
 use speed_wire::{
@@ -102,14 +102,10 @@ struct MetaHeap {
 }
 
 impl MetaHeap {
-    fn reserve(
-        &mut self,
-        enclave: &Enclave,
-        bytes: usize,
-    ) -> Result<(), EnclaveError> {
+    fn reserve(&mut self, enclave: &Enclave, bytes: usize) -> Result<(), EnclaveError> {
         let new_bytes = self.bytes + bytes;
-        let needed = new_bytes.div_ceil(speed_enclave::PAGE_SIZE)
-            * speed_enclave::PAGE_SIZE;
+        let needed =
+            new_bytes.div_ceil(speed_enclave::PAGE_SIZE) * speed_enclave::PAGE_SIZE;
         if needed > self.committed {
             enclave.commit_memory(needed - self.committed)?;
             self.committed = needed;
@@ -120,8 +116,8 @@ impl MetaHeap {
 
     fn release(&mut self, enclave: &Enclave, bytes: usize) {
         self.bytes = self.bytes.saturating_sub(bytes);
-        let needed = self.bytes.div_ceil(speed_enclave::PAGE_SIZE)
-            * speed_enclave::PAGE_SIZE;
+        let needed =
+            self.bytes.div_ceil(speed_enclave::PAGE_SIZE) * speed_enclave::PAGE_SIZE;
         if needed < self.committed {
             let _ = enclave.release_memory(self.committed - needed);
             self.committed = needed;
@@ -198,9 +194,7 @@ impl ResultStore {
             Message::SyncBatch(entries) => {
                 let mut accepted = 0u64;
                 for entry in entries {
-                    if self
-                        .handle_put(AppId(u64::MAX), entry.tag, entry.record)
-                        .accepted
+                    if self.handle_put(AppId(u64::MAX), entry.tag, entry.record).accepted
                     {
                         accepted += 1;
                     }
@@ -219,7 +213,7 @@ impl ResultStore {
         let now_ms = self.tick();
         // GET ECALL: tag goes in (32 B), metadata comes out.
         let (meta, expired) = self.enclave.ecall_with_bytes("store_get", 32, 128, || {
-            let mut dict = self.dict.lock();
+            let mut dict = self.dict.lock().expect("store lock poisoned");
             if let Some(ttl) = self.config.ttl_ms {
                 let is_expired = dict
                     .peek(&tag)
@@ -229,14 +223,22 @@ impl ResultStore {
                 }
             }
             let meta = dict.get(&tag).map(|entry| {
-                (entry.challenge.clone(), entry.wrapped_key, entry.nonce, entry.blob,
-                 entry.boxed_len)
+                (
+                    entry.challenge.clone(),
+                    entry.wrapped_key,
+                    entry.nonce,
+                    entry.blob,
+                    entry.boxed_len,
+                )
             });
             (meta, None)
         });
         if let Some(entry) = expired {
             self.untrusted.remove(entry.blob);
-            self.quota.lock().release(entry.owner, u64::from(entry.boxed_len));
+            self.quota
+                .lock()
+                .expect("store lock poisoned")
+                .release(entry.owner, u64::from(entry.boxed_len));
             self.release_entry_memory(&entry);
         }
         match meta {
@@ -261,7 +263,7 @@ impl ResultStore {
                         // enclave). Drop the dangling metadata and miss.
                         let _ = boxed_len;
                         self.enclave.ecall("store_drop_dangling", || {
-                            let mut dict = self.dict.lock();
+                            let mut dict = self.dict.lock().expect("store lock poisoned");
                             if let Some(entry) = dict.remove(&tag) {
                                 self.release_entry_memory(&entry);
                             }
@@ -279,7 +281,11 @@ impl ResultStore {
         let now_ms = self.tick();
         let boxed_len = record.boxed_result.len() as u64;
 
-        let decision = self.quota.lock().check_put(app, boxed_len, now_ms);
+        let decision = self
+            .quota
+            .lock()
+            .expect("store lock poisoned")
+            .check_put(app, boxed_len, now_ms);
         if let QuotaDecision::Deny(reason) = decision {
             self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
             return PutResponseBody { accepted: false, reason: Some(reason) };
@@ -293,9 +299,12 @@ impl ResultStore {
         let meta_len = record.challenge.len() + 16 + 12 + 8;
         let result: Result<Option<speed_enclave::BlobId>, EnclaveError> =
             self.enclave.ecall_with_bytes("store_put", meta_len, 1, || {
-                let mut dict = self.dict.lock();
+                let mut dict = self.dict.lock().expect("store lock poisoned");
                 let entry_footprint = 32 + record.challenge.len() + 120;
-                self.meta_heap.lock().reserve(&self.enclave, entry_footprint)?;
+                self.meta_heap
+                    .lock()
+                    .expect("store lock poisoned")
+                    .reserve(&self.enclave, entry_footprint)?;
                 let rejected = dict.insert(
                     tag,
                     record.challenge.clone(),
@@ -308,7 +317,10 @@ impl ResultStore {
                 );
                 if rejected.is_some() {
                     // Entry already existed; give back the memory we took.
-                    self.meta_heap.lock().release(&self.enclave, entry_footprint);
+                    self.meta_heap
+                        .lock()
+                        .expect("store lock poisoned")
+                        .release(&self.enclave, entry_footprint);
                 }
                 Ok(rejected)
             });
@@ -322,7 +334,7 @@ impl ResultStore {
                 // Duplicate tag: first writer won; free the new blob and
                 // refund quota.
                 self.untrusted.remove(orphan_blob);
-                self.quota.lock().release(app, boxed_len);
+                self.quota.lock().expect("store lock poisoned").release(app, boxed_len);
                 PutResponseBody {
                     accepted: true,
                     reason: Some("duplicate: existing entry kept".into()),
@@ -330,7 +342,7 @@ impl ResultStore {
             }
             Err(e) => {
                 self.untrusted.remove(blob);
-                self.quota.lock().release(app, boxed_len);
+                self.quota.lock().expect("store lock poisoned").release(app, boxed_len);
                 self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
                 PutResponseBody { accepted: false, reason: Some(e.to_string()) }
             }
@@ -340,7 +352,7 @@ impl ResultStore {
     fn enforce_capacity(&self) {
         loop {
             let evicted = self.enclave.ecall("store_evict", || {
-                let mut dict = self.dict.lock();
+                let mut dict = self.dict.lock().expect("store lock poisoned");
                 if dict.len() > self.config.max_entries
                     || dict.stored_bytes() > self.config.max_stored_bytes
                 {
@@ -353,7 +365,10 @@ impl ResultStore {
                 Some((_tag, entry)) => {
                     self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                     self.untrusted.remove(entry.blob);
-                    self.quota.lock().release(entry.owner, u64::from(entry.boxed_len));
+                    self.quota
+                        .lock()
+                        .expect("store lock poisoned")
+                        .release(entry.owner, u64::from(entry.boxed_len));
                     self.release_entry_memory(&entry);
                 }
                 None => break,
@@ -363,7 +378,10 @@ impl ResultStore {
 
     fn release_entry_memory(&self, entry: &crate::DictEntry) {
         let footprint = 32 + entry.challenge.len() + 120;
-        self.meta_heap.lock().release(&self.enclave, footprint);
+        self.meta_heap
+            .lock()
+            .expect("store lock poisoned")
+            .release(&self.enclave, footprint);
     }
 
     /// Imports entries wholesale (snapshot restore), preserving hit counts.
@@ -376,7 +394,10 @@ impl ResultStore {
             let response = self.handle_put(AppId(u64::MAX), tag, entry.record);
             if response.accepted {
                 self.enclave.ecall("store_restore_hits", || {
-                    self.dict.lock().restore_hits(&tag, hits);
+                    self.dict
+                        .lock()
+                        .expect("store lock poisoned")
+                        .restore_hits(&tag, hits);
                 });
                 imported += 1;
             }
@@ -386,9 +407,9 @@ impl ResultStore {
 
     /// Exports entries with at least `min_hits` hits for master-store sync.
     pub fn export_popular(&self, min_hits: u64) -> Vec<SyncEntry> {
-        let popular = self
-            .enclave
-            .ecall("store_export", || self.dict.lock().popular(min_hits));
+        let popular = self.enclave.ecall("store_export", || {
+            self.dict.lock().expect("store lock poisoned").popular(min_hits)
+        });
         popular
             .into_iter()
             .filter_map(|(tag, entry)| {
@@ -408,7 +429,7 @@ impl ResultStore {
 
     /// A snapshot of the store's counters.
     pub fn stats(&self) -> StatsBody {
-        let dict = self.dict.lock();
+        let dict = self.dict.lock().expect("store lock poisoned");
         StatsBody {
             entries: dict.len() as u64,
             gets: self.counters.gets.load(Ordering::Relaxed),
@@ -486,7 +507,11 @@ mod tests {
     fn stats_track_requests() {
         let (_p, store) = store();
         store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(10, 1),
+        });
         store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
         let stats = store.stats();
         assert_eq!(stats.gets, 2);
@@ -499,7 +524,11 @@ mod tests {
     #[test]
     fn duplicate_put_keeps_first_version() {
         let (platform, store) = store();
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(10, 1),
+        });
         let blobs_before = platform.untrusted().len();
         let response = store.handle(Message::PutRequest {
             app: AppId(2),
@@ -545,7 +574,8 @@ mod tests {
     fn byte_capacity_eviction() {
         let platform = Platform::new(CostModel::default_sgx());
         let store =
-            ResultStore::new(&platform, StoreConfig::with_capacity(usize::MAX, 100)).unwrap();
+            ResultStore::new(&platform, StoreConfig::with_capacity(usize::MAX, 100))
+                .unwrap();
         for n in 1..=4u8 {
             store.handle(Message::PutRequest {
                 app: AppId(1),
@@ -605,7 +635,11 @@ mod tests {
     #[test]
     fn hostile_blob_deletion_degrades_to_miss() {
         let (platform, store) = store();
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(10, 1),
+        });
         // Adversary wipes all untrusted blobs.
         let ids: Vec<_> = (0..100).map(speed_enclave::BlobId::from_raw).collect();
         for id in ids {
@@ -622,7 +656,11 @@ mod tests {
         let (_p, store) = store();
         let before = store.enclave().stats().ecalls;
         store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(10, 1),
+        });
         assert!(store.enclave().stats().ecalls > before);
     }
 
@@ -636,8 +674,16 @@ mod tests {
     #[test]
     fn sync_pull_exports_popular_entries() {
         let (_p, store) = store();
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(10, 1) });
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(2), record: record(10, 2) });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(10, 1),
+        });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(2),
+            record: record(10, 2),
+        });
         // Make tag 1 popular.
         for _ in 0..3 {
             store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
@@ -706,7 +752,11 @@ mod tests {
         let platform = Platform::new(CostModel::default_sgx());
         let config = StoreConfig { ttl_ms: Some(5), ..StoreConfig::default() };
         let store = ResultStore::new(&platform, config).unwrap();
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(12, 1) });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(12, 1),
+        });
 
         // Within TTL (logical clock advances 1 ms per request): hit.
         let hit = store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
@@ -726,7 +776,11 @@ mod tests {
     #[test]
     fn no_ttl_means_no_expiry() {
         let (_p, store) = store();
-        store.handle(Message::PutRequest { app: AppId(1), tag: tag(1), record: record(8, 1) });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(8, 1),
+        });
         for n in 10..60u8 {
             store.handle(Message::GetRequest { app: AppId(1), tag: tag(n) });
         }

@@ -174,4 +174,26 @@ mod tests {
         daemon.shutdown();
         assert_eq!(master.stats().entries, 2);
     }
+
+    #[test]
+    fn daemon_shutdown_is_prompt_despite_long_interval() {
+        let daemon = SyncDaemon::spawn(
+            vec![new_store()],
+            new_store(),
+            1,
+            Duration::from_secs(3600),
+        );
+        // Let the daemon finish a round so it is deep in its hour-long
+        // sleep when we ask it to stop.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while daemon.rounds() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let start = std::time::Instant::now();
+        daemon.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "shutdown must interrupt the sleep, not wait out the interval"
+        );
+    }
 }

@@ -44,10 +44,9 @@ impl fmt::Display for ChannelError {
         match self {
             ChannelError::Attestation(e) => write!(f, "channel attestation failed: {e}"),
             ChannelError::Crypto(e) => write!(f, "channel crypto failed: {e}"),
-            ChannelError::BadSequence { expected, actual } => write!(
-                f,
-                "bad sequence number: expected {expected}, got {actual}"
-            ),
+            ChannelError::BadSequence { expected, actual } => {
+                write!(f, "bad sequence number: expected {expected}, got {actual}")
+            }
             ChannelError::Malformed => write!(f, "malformed sealed message"),
         }
     }
@@ -146,7 +145,10 @@ impl SecureChannel {
         }
         let seq = u64::from_le_bytes(sealed[..8].try_into().expect("sized"));
         if seq != self.recv_seq {
-            return Err(ChannelError::BadSequence { expected: self.recv_seq, actual: seq });
+            return Err(ChannelError::BadSequence {
+                expected: self.recv_seq,
+                actual: seq,
+            });
         }
         let nonce = nonce_for(self.role.peer(), seq);
         let plaintext = self.cipher.open(&nonce, &sealed[..8], &sealed[8..])?;

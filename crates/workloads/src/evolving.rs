@@ -9,8 +9,7 @@
 //! (or replaced) while the rest stay byte-identical — so per-document
 //! computations over consecutive epochs deduplicate on the unchanged part.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use speed_crypto::SystemRng;
 
 use crate::text::synthetic_text;
 
@@ -35,7 +34,7 @@ impl Default for EvolutionConfig {
 #[derive(Clone, Debug)]
 pub struct EvolvingCorpus {
     documents: Vec<Vec<u8>>,
-    rng: StdRng,
+    rng: SystemRng,
     config: EvolutionConfig,
     epoch: u64,
     changed_last_epoch: usize,
@@ -58,7 +57,7 @@ impl EvolvingCorpus {
             .collect();
         EvolvingCorpus {
             documents,
-            rng: StdRng::seed_from_u64(seed ^ 0x5EED),
+            rng: SystemRng::seeded(seed ^ 0x5EED),
             config,
             epoch: 0,
             changed_last_epoch: 0,
@@ -87,7 +86,7 @@ impl EvolvingCorpus {
         let mut changed = 0usize;
         for i in 0..self.documents.len() {
             if self.rng.gen_bool(self.config.churn) {
-                let fresh_seed = self.rng.gen::<u64>();
+                let fresh_seed = self.rng.next_u64();
                 self.documents[i] =
                     synthetic_text(self.config.document_bytes, fresh_seed).into_bytes();
                 changed += 1;
@@ -125,12 +124,8 @@ mod tests {
         let mut c = corpus(0.2);
         let before = c.documents().to_vec();
         c.advance();
-        let changed = c
-            .documents()
-            .iter()
-            .zip(&before)
-            .filter(|(now, was)| now != was)
-            .count();
+        let changed =
+            c.documents().iter().zip(&before).filter(|(now, was)| now != was).count();
         assert_eq!(changed, c.changed_last_epoch());
         assert!((5..=40).contains(&changed), "changed {changed}/100");
     }
@@ -149,12 +144,8 @@ mod tests {
         let mut c = corpus(1.0);
         let before = c.documents().to_vec();
         c.advance();
-        let unchanged = c
-            .documents()
-            .iter()
-            .zip(&before)
-            .filter(|(now, was)| now == was)
-            .count();
+        let unchanged =
+            c.documents().iter().zip(&before).filter(|(now, was)| now == was).count();
         assert_eq!(unchanged, 0);
     }
 

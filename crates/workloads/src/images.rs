@@ -1,7 +1,6 @@
 //! Procedural grayscale images for the SIFT workload.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use speed_crypto::SystemRng;
 use speed_sift::GrayImage;
 
 /// Generates a natural-ish synthetic image: a smooth background gradient,
@@ -9,23 +8,22 @@ use speed_sift::GrayImage;
 /// SIFT), and mild pixel noise.
 pub fn synthetic_image(size: usize, seed: u64) -> GrayImage {
     assert!(size >= 16, "image too small for sift");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SystemRng::seeded(seed);
 
-    let bg_angle: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let bg_angle: f32 = rng.range_f32(0.0, std::f32::consts::TAU);
     let (bg_dx, bg_dy) = (bg_angle.cos(), bg_angle.sin());
-    let blob_count = rng.gen_range(6..16);
+    let blob_count = rng.range_usize(6, 16);
     let blobs: Vec<(f32, f32, f32, f32)> = (0..blob_count)
         .map(|_| {
             (
-                rng.gen_range(0.1..0.9) * size as f32,
-                rng.gen_range(0.1..0.9) * size as f32,
-                rng.gen_range(2.0..size as f32 / 6.0),
-                rng.gen_range(-0.6..0.9f32),
+                rng.range_f32(0.1, 0.9) * size as f32,
+                rng.range_f32(0.1, 0.9) * size as f32,
+                rng.range_f32(2.0, size as f32 / 6.0),
+                rng.range_f32(-0.6, 0.9),
             )
         })
         .collect();
-    let noise: Vec<f32> =
-        (0..size * size).map(|_| rng.gen_range(-0.02..0.02f32)).collect();
+    let noise: Vec<f32> = (0..size * size).map(|_| rng.range_f32(-0.02, 0.02)).collect();
 
     GrayImage::from_fn(size, size, |x, y| {
         let fx = x as f32 / size as f32;

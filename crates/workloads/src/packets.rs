@@ -1,8 +1,7 @@
 //! Synthetic network packets for the pattern-matching workload (standing
 //! in for the m57-Patents and 4SICS captures).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use speed_crypto::SystemRng;
 
 use crate::text::synthetic_text;
 
@@ -55,12 +54,13 @@ impl Default for TraceConfig {
 
 /// Generates a deterministic packet trace.
 pub fn packet_trace(config: &TraceConfig, seed: u64) -> Vec<Packet> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SystemRng::seeded(seed);
     let mut packets = Vec::with_capacity(config.count);
     for i in 0..config.count {
         let mut header = [0u8; 20];
         rng.fill(&mut header);
-        let size = rng.gen_range(config.payload_size.0..=config.payload_size.1);
+        let size =
+            rng.range_usize_inclusive(config.payload_size.0, config.payload_size.1);
         let mut payload = if rng.gen_bool(config.binary_ratio) {
             let mut bytes = vec![0u8; size];
             rng.fill(bytes.as_mut_slice());
@@ -69,9 +69,10 @@ pub fn packet_trace(config: &TraceConfig, seed: u64) -> Vec<Packet> {
             synthetic_text(size, seed ^ (i as u64) << 1).into_bytes()
         };
         if !config.signatures.is_empty() && rng.gen_bool(config.malicious_ratio) {
-            let signature = &config.signatures[rng.gen_range(0..config.signatures.len())];
+            let signature =
+                &config.signatures[rng.range_usize(0, config.signatures.len())];
             if payload.len() > signature.len() {
-                let at = rng.gen_range(0..payload.len() - signature.len());
+                let at = rng.range_usize(0, payload.len() - signature.len());
                 payload[at..at + signature.len()].copy_from_slice(signature);
             } else {
                 payload = signature.clone();
@@ -172,11 +173,8 @@ mod tests {
 
     #[test]
     fn respects_count_and_sizes() {
-        let config = TraceConfig {
-            count: 50,
-            payload_size: (100, 200),
-            ..TraceConfig::default()
-        };
+        let config =
+            TraceConfig { count: 50, payload_size: (100, 200), ..TraceConfig::default() };
         let trace = packet_trace(&config, 1);
         assert_eq!(trace.len(), 50);
         for packet in &trace {
@@ -196,9 +194,7 @@ mod tests {
         let trace = packet_trace(&config, 2);
         let infected = trace
             .iter()
-            .filter(|p| {
-                p.payload.windows(signature.len()).any(|w| w == &signature[..])
-            })
+            .filter(|p| p.payload.windows(signature.len()).any(|w| w == &signature[..]))
             .count();
         assert!(infected > 150, "only {infected}/500 infected");
         assert!(infected < 350, "{infected}/500 infected");
@@ -222,10 +218,8 @@ mod tests {
 
     #[test]
     fn batch_payload_framing() {
-        let packets = packet_trace(
-            &TraceConfig { count: 3, ..TraceConfig::default() },
-            4,
-        );
+        let packets =
+            packet_trace(&TraceConfig { count: 3, ..TraceConfig::default() }, 4);
         let batch = batch_payload(&packets);
         let expected: usize = packets.iter().map(|p| 4 + p.payload.len()).sum();
         assert_eq!(batch.len(), expected);
@@ -236,7 +230,8 @@ mod tests {
 
     #[test]
     fn trace_file_roundtrip() {
-        let packets = packet_trace(&TraceConfig { count: 20, ..TraceConfig::default() }, 9);
+        let packets =
+            packet_trace(&TraceConfig { count: 20, ..TraceConfig::default() }, 9);
         let mut buffer = Vec::new();
         save_trace(&mut buffer, &packets).unwrap();
         let loaded = load_trace(std::io::Cursor::new(&buffer)).unwrap();
@@ -251,7 +246,8 @@ mod tests {
 
     #[test]
     fn trace_load_rejects_truncation() {
-        let packets = packet_trace(&TraceConfig { count: 3, ..TraceConfig::default() }, 1);
+        let packets =
+            packet_trace(&TraceConfig { count: 3, ..TraceConfig::default() }, 1);
         let mut buffer = Vec::new();
         save_trace(&mut buffer, &packets).unwrap();
         for cut in [4usize, 8, 20, buffer.len() - 1] {

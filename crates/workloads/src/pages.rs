@@ -1,8 +1,7 @@
 //! Synthetic web pages for the bag-of-words workload (standing in for
 //! CommonCrawl WET records).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use speed_crypto::SystemRng;
 
 const VOCAB_SIZE: usize = 2000;
 
@@ -26,24 +25,24 @@ fn vocab_word(index: usize) -> String {
 
 /// Samples a vocabulary index with Zipf-like popularity (word 0 most
 /// frequent), matching natural-language frequency curves.
-fn zipf_word(rng: &mut StdRng) -> usize {
-    let u: f64 = rng.gen_range(0.0f64..1.0);
+fn zipf_word(rng: &mut SystemRng) -> usize {
+    let u: f64 = rng.gen_f64();
     // Inverse CDF of a power-law-ish distribution.
     ((u.powf(3.0)) * VOCAB_SIZE as f64) as usize % VOCAB_SIZE
 }
 
 /// Generates one HTML-ish page with roughly `word_count` body words.
 pub fn synthetic_page(word_count: usize, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SystemRng::seeded(seed);
     let title_words: Vec<String> =
-        (0..rng.gen_range(3..8)).map(|_| vocab_word(zipf_word(&mut rng))).collect();
+        (0..rng.range_usize(3, 8)).map(|_| vocab_word(zipf_word(&mut rng))).collect();
     let mut page = String::with_capacity(word_count * 8 + 256);
     page.push_str("<!DOCTYPE html><html><head><title>");
     page.push_str(&title_words.join(" "));
     page.push_str("</title></head><body>");
     let mut remaining = word_count;
     while remaining > 0 {
-        let paragraph_len = rng.gen_range(20..80).min(remaining);
+        let paragraph_len = rng.range_usize(20, 80).min(remaining);
         page.push_str("<p>");
         for i in 0..paragraph_len {
             if i > 0 {
@@ -101,18 +100,12 @@ mod tests {
     #[test]
     fn word_count_is_approximate() {
         let page = synthetic_page(300, 5);
-        let body = page
-            .split("<body>")
-            .nth(1)
-            .unwrap()
-            .replace("</p>", " ")
-            .replace("<p>", " ");
-        let words = body
-            .split(|c: char| !c.is_alphanumeric())
-            .filter(|w| !w.is_empty())
-            .count();
+        let body =
+            page.split("<body>").nth(1).unwrap().replace("</p>", " ").replace("<p>", " ");
+        let words =
+            body.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()).count();
         // Body words plus a few tag/ad words.
-        assert!(words >= 300 && words < 400, "{words}");
+        assert!((300..400).contains(&words), "{words}");
     }
 
     #[test]

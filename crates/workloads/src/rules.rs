@@ -1,8 +1,7 @@
 //! Snort-like rule-set generation (standing in for the paper's ~3,700
 //! Snort rules).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use speed_crypto::SystemRng;
 use speed_matcher::{Rule, RuleSet};
 
 const PREFIXES: &[&str] =
@@ -20,12 +19,13 @@ const REGEX_TEMPLATES: &[&str] = &[
 /// Literal signatures look like `"TROJAN-1a2b3c4d"`; regex rules are
 /// instantiated from IDS-style templates. Rule ids are dense from 1.
 pub fn rule_corpus(literal_count: usize, regex_count: usize, seed: u64) -> Vec<Rule> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SystemRng::seeded(seed);
     let mut rules = Vec::with_capacity(literal_count + regex_count);
     for i in 0..literal_count {
-        let prefix = PREFIXES[rng.gen_range(0..PREFIXES.len())];
-        let token: String =
-            (0..8).map(|_| char::from(b"0123456789abcdef"[rng.gen_range(0..16)])).collect();
+        let prefix = PREFIXES[rng.range_usize(0, PREFIXES.len())];
+        let token: String = (0..8)
+            .map(|_| char::from(b"0123456789abcdef"[rng.range_usize(0, 16)]))
+            .collect();
         rules.push(
             Rule::literal((i + 1) as u32, format!("{prefix}-{token}"))
                 .with_message(format!("{prefix} signature {token}")),
@@ -33,7 +33,7 @@ pub fn rule_corpus(literal_count: usize, regex_count: usize, seed: u64) -> Vec<R
     }
     for j in 0..regex_count {
         let template = REGEX_TEMPLATES[j % REGEX_TEMPLATES.len()];
-        let n = rng.gen_range(2..9).to_string();
+        let n = rng.range_usize(2, 9).to_string();
         let pattern = template.replace("{N}", &n);
         let rule = Rule::regex((literal_count + j + 1) as u32, &pattern)
             .expect("template patterns always compile");

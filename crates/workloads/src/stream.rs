@@ -1,7 +1,6 @@
 //! Request streams with controllable redundancy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use speed_crypto::SystemRng;
 
 /// Generates a sequence of indices into a base corpus such that a target
 /// fraction of requests are repeats of earlier ones — the workload shape
@@ -38,7 +37,7 @@ impl RequestStream {
             (0.0..=1.0).contains(&duplicate_ratio),
             "duplicate ratio must be in [0, 1]"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SystemRng::seeded(seed);
         let mut indices = Vec::with_capacity(total);
         let mut seen: Vec<usize> = Vec::new();
         let mut next_fresh = 0usize;
@@ -84,10 +83,10 @@ impl RequestStream {
 }
 
 /// Samples an index in `[0, n)` with a Zipf-like bias toward low indices.
-fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+fn zipf_index(rng: &mut SystemRng, n: usize) -> usize {
     debug_assert!(n > 0);
     // Inverse-power sampling: u^2 biases toward 0 with a heavy-ish tail.
-    let u: f64 = rng.gen();
+    let u: f64 = rng.gen_f64();
     ((u * u) * n as f64) as usize % n
 }
 

@@ -1,30 +1,125 @@
 //! Word-bank prose generation for the compression workload.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use speed_crypto::SystemRng;
 
 const WORD_BANK: &[&str] = &[
-    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was",
-    "for", "on", "are", "as", "with", "his", "they", "at", "be", "this", "have",
-    "from", "or", "one", "had", "by", "word", "but", "not", "what", "all", "were",
-    "we", "when", "your", "can", "said", "there", "use", "an", "each", "which",
-    "she", "do", "how", "their", "if", "will", "up", "other", "about", "out",
-    "many", "then", "them", "these", "so", "some", "her", "would", "make", "like",
-    "him", "into", "time", "has", "look", "two", "more", "write", "go", "see",
-    "number", "no", "way", "could", "people", "my", "than", "first", "water",
-    "been", "call", "who", "oil", "its", "now", "find", "long", "down", "day",
-    "did", "get", "come", "made", "may", "part", "system", "compression",
-    "deduplication", "enclave", "computation", "library", "function", "result",
+    "the",
+    "of",
+    "and",
+    "a",
+    "to",
+    "in",
+    "is",
+    "you",
+    "that",
+    "it",
+    "he",
+    "was",
+    "for",
+    "on",
+    "are",
+    "as",
+    "with",
+    "his",
+    "they",
+    "at",
+    "be",
+    "this",
+    "have",
+    "from",
+    "or",
+    "one",
+    "had",
+    "by",
+    "word",
+    "but",
+    "not",
+    "what",
+    "all",
+    "were",
+    "we",
+    "when",
+    "your",
+    "can",
+    "said",
+    "there",
+    "use",
+    "an",
+    "each",
+    "which",
+    "she",
+    "do",
+    "how",
+    "their",
+    "if",
+    "will",
+    "up",
+    "other",
+    "about",
+    "out",
+    "many",
+    "then",
+    "them",
+    "these",
+    "so",
+    "some",
+    "her",
+    "would",
+    "make",
+    "like",
+    "him",
+    "into",
+    "time",
+    "has",
+    "look",
+    "two",
+    "more",
+    "write",
+    "go",
+    "see",
+    "number",
+    "no",
+    "way",
+    "could",
+    "people",
+    "my",
+    "than",
+    "first",
+    "water",
+    "been",
+    "call",
+    "who",
+    "oil",
+    "its",
+    "now",
+    "find",
+    "long",
+    "down",
+    "day",
+    "did",
+    "get",
+    "come",
+    "made",
+    "may",
+    "part",
+    "system",
+    "compression",
+    "deduplication",
+    "enclave",
+    "computation",
+    "library",
+    "function",
+    "result",
 ];
 
 /// Generates roughly `target_bytes` of sentence-structured prose. Real text
 /// compresses 2.5–4× with DEFLATE-class compressors; this does too.
 pub fn synthetic_text(target_bytes: usize, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SystemRng::seeded(seed);
     let mut out = String::with_capacity(target_bytes + 64);
     let mut sentence_len = 0usize;
     while out.len() < target_bytes {
-        let word = WORD_BANK[rng.gen_range(0..WORD_BANK.len())];
+        let word = WORD_BANK[rng.range_usize(0, WORD_BANK.len())];
         if sentence_len == 0 {
             let mut chars = word.chars();
             if let Some(first) = chars.next() {
@@ -35,7 +130,7 @@ pub fn synthetic_text(target_bytes: usize, seed: u64) -> String {
             out.push_str(word);
         }
         sentence_len += 1;
-        if sentence_len >= rng.gen_range(6..18) {
+        if sentence_len >= rng.range_usize(6, 18) {
             out.push_str(". ");
             sentence_len = 0;
         } else {
@@ -76,7 +171,8 @@ mod tests {
     #[test]
     fn text_is_compressible_like_prose() {
         let text = synthetic_text(64 * 1024, 4);
-        let packed = speed_deflate::compress(text.as_bytes(), speed_deflate::Level::Default);
+        let packed =
+            speed_deflate::compress(text.as_bytes(), speed_deflate::Level::Default);
         let ratio = packed.len() as f64 / text.len() as f64;
         assert!(ratio < 0.5, "ratio {ratio}");
         assert!(ratio > 0.05, "suspiciously compressible: {ratio}");

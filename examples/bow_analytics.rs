@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use speed_core::{Deduplicable, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_core::{DedupRuntime, Deduplicable, FuncDesc, TrustedLibrary};
 use speed_enclave::{CostModel, Platform};
 use speed_mapreduce::{bag_of_words, counts_from_bytes, counts_to_bytes, BowConfig};
 use speed_store::{ResultStore, StoreConfig};
@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         all_pages.chunks(25).map(|chunk| chunk.to_vec()).collect();
 
     let mut aggregate: HashMap<String, u64> = HashMap::new();
-    let mut run_crawl = |label: &str, batch_indices: &[usize]| -> Result<(), Box<dyn std::error::Error>> {
+    let mut run_crawl = |label: &str,
+                         batch_indices: &[usize]|
+     -> Result<(), Box<dyn std::error::Error>> {
         let start = std::time::Instant::now();
         for &idx in batch_indices {
             let result_bytes = dedup_bow.call(&batches[idx])?;

@@ -57,9 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // identical computation and reuses A's result with NO shared key.
     let app_b = build(b"application-b", genuine_library());
     let identity_b = app_b.resolve(&desc)?;
-    let (result_b, outcome_b) = app_b.execute_raw(&identity_b, &input, |_| {
-        panic!("app B must not recompute")
-    })?;
+    let (result_b, outcome_b) =
+        app_b.execute_raw(&identity_b, &input, |_| panic!("app B must not recompute"))?;
     assert_eq!(outcome_b, DedupOutcome::Hit);
     assert_eq!(result_a, result_b);
     println!("app B: {outcome_b:?} -> reused A's result (keyless RCE recovery)");

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use speed_core::{Deduplicable, DedupOutcome, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_core::{DedupOutcome, DedupRuntime, Deduplicable, FuncDesc, TrustedLibrary};
 use speed_enclave::{CostModel, Platform};
 use speed_store::{ResultStore, StoreConfig};
 use speed_wire::SessionAuthority;
@@ -40,10 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 8 distinct images; 30 extraction requests, 65% duplicates.
-    let corpus: Vec<Vec<u8>> = images::image_corpus(8, 96, 42)
-        .iter()
-        .map(images::image_to_bytes)
-        .collect();
+    let corpus: Vec<Vec<u8>> =
+        images::image_corpus(8, 96, 42).iter().map(images::image_to_bytes).collect();
     let stream = RequestStream::new(corpus.len(), 30, 0.65, 4242);
 
     let mut hit_time = std::time::Duration::ZERO;

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use speed_core::{Deduplicable, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_core::{DedupRuntime, Deduplicable, FuncDesc, TrustedLibrary};
 use speed_enclave::{CostModel, Platform};
 use speed_store::{ResultStore, StoreConfig};
 use speed_wire::SessionAuthority;

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use speed_core::{Deduplicable, DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_core::{DedupRuntime, Deduplicable, FuncDesc, TrustedLibrary};
 use speed_enclave::{CostModel, Platform};
 use speed_matcher::RuleSet;
 use speed_store::{ResultStore, StoreConfig};
@@ -48,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut alerts = Vec::new();
             let mut pos = 0usize;
             while pos + 4 <= batch.len() {
-                let len = u32::from_le_bytes(batch[pos..pos + 4].try_into().unwrap())
-                    as usize;
+                let len =
+                    u32::from_le_bytes(batch[pos..pos + 4].try_into().unwrap()) as usize;
                 pos += 4;
                 let end = (pos + len).min(batch.len());
                 for matched in scan_rules.scan(&batch[pos..end]) {

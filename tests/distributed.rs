@@ -53,9 +53,8 @@ fn dedup_over_tcp_store() {
 
     // A different process's runtime, over its own TCP connection, reuses.
     let identity_b = rt_b.resolve(&desc()).unwrap();
-    let (result_b, outcome_b) = rt_b
-        .execute_raw(&identity_b, &input, |_| panic!("must reuse over tcp"))
-        .unwrap();
+    let (result_b, outcome_b) =
+        rt_b.execute_raw(&identity_b, &input, |_| panic!("must reuse over tcp")).unwrap();
     assert_eq!(outcome_b, DedupOutcome::Hit);
     assert_eq!(result_a, result_b);
 
@@ -113,9 +112,8 @@ fn two_machine_deployment_over_tcp() {
         .build()
         .unwrap();
     let identity = rt.resolve(&desc()).unwrap();
-    let (result, outcome) = rt
-        .execute_raw(&identity, b"cross-machine input", |d| d.to_vec())
-        .unwrap();
+    let (result, outcome) =
+        rt.execute_raw(&identity, b"cross-machine input", |d| d.to_vec()).unwrap();
     assert_eq!(outcome, DedupOutcome::Miss);
     assert_eq!(result, b"cross-machine input");
 
@@ -142,10 +140,8 @@ fn master_store_collects_popular_results_from_machines() {
     let machine_1 = Platform::new(CostModel::default_sgx());
     let machine_2 = Platform::new(CostModel::default_sgx());
     let master_machine = Platform::new(CostModel::default_sgx());
-    let local_1 =
-        Arc::new(ResultStore::new(&machine_1, StoreConfig::default()).unwrap());
-    let local_2 =
-        Arc::new(ResultStore::new(&machine_2, StoreConfig::default()).unwrap());
+    let local_1 = Arc::new(ResultStore::new(&machine_1, StoreConfig::default()).unwrap());
+    let local_2 = Arc::new(ResultStore::new(&machine_2, StoreConfig::default()).unwrap());
     let master =
         Arc::new(ResultStore::new(&master_machine, StoreConfig::default()).unwrap());
     let authority = Arc::new(SessionAuthority::new());
@@ -236,11 +232,12 @@ fn concurrent_applications_share_one_store() {
         let store = Arc::clone(&store);
         let authority = Arc::clone(&authority);
         handles.push(std::thread::spawn(move || {
-            let rt = DedupRuntime::builder(platform, format!("worker-{worker}").as_bytes())
-                .in_process_store(store, authority)
-                .trusted_library(library())
-                .build()
-                .unwrap();
+            let rt =
+                DedupRuntime::builder(platform, format!("worker-{worker}").as_bytes())
+                    .in_process_store(store, authority)
+                    .trusted_library(library())
+                    .build()
+                    .unwrap();
             let identity = rt.resolve(&desc()).unwrap();
             let mut hits = 0u32;
             // All workers compute the same 20 inputs.

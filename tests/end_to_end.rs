@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use speed_core::{
-    Deduplicable, DedupMode, DedupOutcome, DedupRuntime, FuncDesc, TrustedLibrary,
+    DedupMode, DedupOutcome, DedupRuntime, Deduplicable, FuncDesc, TrustedLibrary,
 };
 use speed_enclave::{CostModel, Platform};
 use speed_store::{ResultStore, StoreConfig};
@@ -128,9 +128,8 @@ fn cross_application_reuse_without_shared_key() {
         .unwrap();
 
     let identity_b = app_b.resolve(&desc).unwrap();
-    let (result_b, outcome) = app_b
-        .execute_raw(&identity_b, &input, |_| panic!("B must reuse"))
-        .unwrap();
+    let (result_b, outcome) =
+        app_b.execute_raw(&identity_b, &input, |_| panic!("B must reuse")).unwrap();
     assert_eq!(outcome, DedupOutcome::Hit);
     assert_eq!(result_a, result_b);
 
@@ -212,8 +211,7 @@ fn epc_pressure_from_many_entries_is_bounded() {
     assert_eq!(stats.stored_bytes, 200 * (4096 + 16));
     // 200 results ≈ 800 KiB of ciphertext outside, but far fewer EPC pages
     // committed for metadata.
-    let committed_delta_bytes =
-        (epc_after - epc_before) * speed_enclave::PAGE_SIZE;
+    let committed_delta_bytes = (epc_after - epc_before) * speed_enclave::PAGE_SIZE;
     assert!(
         committed_delta_bytes < 200 * 4096 / 2,
         "metadata used {committed_delta_bytes} bytes of EPC"

@@ -41,14 +41,13 @@ fn store_survives_restart_via_sealed_snapshot() {
             speed_deflate::compress(d, speed_deflate::Level::Default)
         })
         .unwrap();
-        persist::snapshot(&platform, &store)
+        persist::snapshot(&platform, &store).unwrap()
     };
 
     // Day 2: restore into a fresh store and reuse the result — without
     // ever recomputing.
-    let restored = Arc::new(
-        persist::restore(&platform, StoreConfig::default(), &sealed).unwrap(),
-    );
+    let restored =
+        Arc::new(persist::restore(&platform, StoreConfig::default(), &sealed).unwrap());
     let rt = DedupRuntime::builder(Arc::clone(&platform), b"persist-app-reborn")
         .in_process_store(Arc::clone(&restored), Arc::clone(&authority))
         .trusted_library(library())
@@ -128,9 +127,8 @@ fn adaptive_policy_full_stack() {
     // Phase 2: despite bypassing, probes keep the runtime correct: a
     // repeated input through a probe call still round-trips properly.
     for _ in 0..20 {
-        let (result, _) = rt
-            .execute_raw(&identity, b"stable-input", |d| d.to_vec())
-            .unwrap();
+        let (result, _) =
+            rt.execute_raw(&identity, b"stable-input", |d| d.to_vec()).unwrap();
         assert_eq!(result, b"stable-input");
     }
 }

@@ -1,11 +1,12 @@
-//! Cross-crate property-based tests: store invariants under arbitrary
+//! Cross-crate property-style tests: store invariants under randomized
 //! operation sequences, RCE end-to-end properties, and wire-protocol
-//! robustness against hostile bytes.
+//! robustness against hostile bytes. Driven by a seeded `SystemRng` so the
+//! suite is deterministic and needs no external property-testing crate.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use speed_core::{DedupRuntime, FuncDesc, TrustedLibrary};
+use speed_crypto::SystemRng;
 use speed_enclave::{CostModel, Platform};
 use speed_store::{ResultStore, StoreConfig};
 use speed_wire::{from_bytes, AppId, CompTag, Message, Record, SessionAuthority};
@@ -16,25 +17,30 @@ enum StoreOp {
     Get { tag_seed: u8 },
 }
 
-fn store_op() -> impl Strategy<Value = StoreOp> {
-    prop_oneof![
-        (any::<u8>(), 1u16..2048).prop_map(|(tag_seed, len)| StoreOp::Put { tag_seed, len }),
-        any::<u8>().prop_map(|tag_seed| StoreOp::Get { tag_seed }),
-    ]
+fn random_ops(rng: &mut SystemRng, count: usize) -> Vec<StoreOp> {
+    (0..count)
+        .map(|_| {
+            let tag_seed = (rng.next_u32() & 0xFF) as u8;
+            if rng.gen_bool(0.5) {
+                StoreOp::Put { tag_seed, len: rng.range_usize(1, 2048) as u16 }
+            } else {
+                StoreOp::Get { tag_seed }
+            }
+        })
+        .collect()
 }
 
 fn tag(seed: u8) -> CompTag {
     CompTag::from_bytes([seed; 32])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Whatever sequence of GETs and PUTs arrives, the store's counters
-    /// stay consistent, stored bytes match live entries, and a GET after
-    /// a successful PUT always returns the first-written record.
-    #[test]
-    fn store_invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(store_op(), 1..120)) {
+/// Whatever sequence of GETs and PUTs arrives, the store's counters stay
+/// consistent, stored bytes match live entries, and a GET after a
+/// successful PUT always returns the first-written record.
+#[test]
+fn store_invariants_hold_under_arbitrary_ops() {
+    let mut rng = SystemRng::seeded(0x07051);
+    for _case in 0..32 {
         let platform = Platform::new(CostModel::no_sgx());
         let store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
         let mut expected: std::collections::HashMap<CompTag, Vec<u8>> =
@@ -42,6 +48,8 @@ proptest! {
         let mut puts = 0u64;
         let mut gets = 0u64;
 
+        let op_count = rng.range_usize(1, 120);
+        let ops = random_ops(&mut rng, op_count);
         for op in &ops {
             match *op {
                 StoreOp::Put { tag_seed, len } => {
@@ -57,45 +65,54 @@ proptest! {
                             boxed_result: body.clone(),
                         },
                     });
-                    prop_assert!(matches!(response, Message::PutResponse(ref b) if b.accepted));
+                    assert!(
+                        matches!(response, Message::PutResponse(ref b) if b.accepted)
+                    );
                     expected.entry(tag(tag_seed)).or_insert(body);
                 }
                 StoreOp::Get { tag_seed } => {
                     gets += 1;
-                    let response =
-                        store.handle(Message::GetRequest { app: AppId(2), tag: tag(tag_seed) });
+                    let response = store.handle(Message::GetRequest {
+                        app: AppId(2),
+                        tag: tag(tag_seed),
+                    });
                     match response {
-                        Message::GetResponse(body) => match expected.get(&tag(tag_seed)) {
-                            Some(first_written) => {
-                                prop_assert!(body.found);
-                                prop_assert_eq!(
-                                    &body.record.unwrap().boxed_result,
-                                    first_written
-                                );
+                        Message::GetResponse(body) => {
+                            match expected.get(&tag(tag_seed)) {
+                                Some(first_written) => {
+                                    assert!(body.found);
+                                    assert_eq!(
+                                        &body.record.unwrap().boxed_result,
+                                        first_written
+                                    );
+                                }
+                                None => assert!(!body.found),
                             }
-                            None => prop_assert!(!body.found),
-                        },
-                        other => return Err(TestCaseError::fail(format!("{other:?}"))),
+                        }
+                        other => panic!("{other:?}"),
                     }
                 }
             }
         }
 
         let stats = store.stats();
-        prop_assert_eq!(stats.puts, puts);
-        prop_assert_eq!(stats.gets, gets);
-        prop_assert_eq!(stats.entries as usize, expected.len());
-        let expected_bytes: u64 =
-            expected.values().map(|v| v.len() as u64).sum();
-        prop_assert_eq!(stats.stored_bytes, expected_bytes);
+        assert_eq!(stats.puts, puts);
+        assert_eq!(stats.gets, gets);
+        assert_eq!(stats.entries as usize, expected.len());
+        let expected_bytes: u64 = expected.values().map(|v| v.len() as u64).sum();
+        assert_eq!(stats.stored_bytes, expected_bytes);
     }
+}
 
-    /// Dedup end-to-end with arbitrary inputs: the reused result always
-    /// equals the computed result, for any input bytes.
-    #[test]
-    fn dedup_roundtrip_any_input(input in prop::collection::vec(any::<u8>(), 0..4096)) {
+/// Dedup end-to-end with arbitrary inputs: the reused result always equals
+/// the computed result, for any input bytes.
+#[test]
+fn dedup_roundtrip_any_input() {
+    let mut rng = SystemRng::seeded(0x07052);
+    for _case in 0..16 {
         let platform = Platform::new(CostModel::no_sgx());
-        let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let store =
+            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
         let authority = Arc::new(SessionAuthority::new());
         let mut library = TrustedLibrary::new("lib", "1");
         library.register("f()", b"code");
@@ -106,50 +123,60 @@ proptest! {
             .unwrap();
         let identity = rt.resolve(&FuncDesc::new("lib", "1", "f()")).unwrap();
 
+        let mut input = vec![0u8; rng.range_usize_inclusive(0, 4096)];
+        rng.fill(&mut input);
         let compute = |d: &[u8]| {
             let mut out = d.to_vec();
             out.reverse();
             out
         };
         let (first, _) = rt.execute_raw(&identity, &input, compute).unwrap();
-        let (second, outcome) = rt
-            .execute_raw(&identity, &input, |_| panic!("must hit"))
-            .unwrap();
-        prop_assert_eq!(outcome, speed_core::DedupOutcome::Hit);
-        prop_assert_eq!(first, second);
+        let (second, outcome) =
+            rt.execute_raw(&identity, &input, |_| panic!("must hit")).unwrap();
+        assert_eq!(outcome, speed_core::DedupOutcome::Hit);
+        assert_eq!(first, second);
     }
+}
 
-    /// Hostile bytes fed to the protocol decoder never panic and never
-    /// produce a structurally invalid message.
-    #[test]
-    fn protocol_decoder_handles_hostile_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Hostile bytes fed to the protocol decoder never panic and never produce
+/// a structurally invalid message.
+#[test]
+fn protocol_decoder_handles_hostile_bytes() {
+    let mut rng = SystemRng::seeded(0x07053);
+    for _case in 0..256 {
+        let mut bytes = vec![0u8; rng.range_usize_inclusive(0, 512)];
+        rng.fill(&mut bytes);
         if let Ok(message) = from_bytes::<Message>(&bytes) {
             // Decoded messages must re-encode to a decodable form.
             let reencoded = speed_wire::to_bytes(&message);
             let redecoded: Message = from_bytes(&reencoded).unwrap();
-            prop_assert_eq!(message, redecoded);
+            assert_eq!(message, redecoded);
         }
     }
+}
 
-    /// Sealed data tampered at any single byte never unseals.
-    #[test]
-    fn sealing_detects_any_single_byte_flip(flip_at in 0usize..200, flip_bit in 0u8..8) {
-        use speed_enclave::sealing::{seal, unseal, SealedData, SealPolicy};
-        let platform = Platform::with_seed(CostModel::no_sgx(), Some(3));
-        let enclave = platform.create_enclave(b"prop-seal").unwrap();
-        let sealed =
-            seal(&platform, &enclave, &SealPolicy::MrEnclave, b"aad", &[0x42; 150]);
-        let mut bytes = sealed.to_bytes();
-        let at = flip_at % bytes.len();
-        bytes[at] ^= 1 << flip_bit;
-        let tampered = SealedData::from_bytes(&bytes).unwrap();
-        prop_assert!(unseal(
-            &platform,
-            &enclave,
-            &SealPolicy::MrEnclave,
-            b"aad",
-            &tampered
-        )
-        .is_err());
+/// Sealed data tampered at any single byte never unseals.
+#[test]
+fn sealing_detects_any_single_byte_flip() {
+    use speed_enclave::sealing::{seal, unseal, SealPolicy, SealedData};
+    let platform = Platform::with_seed(CostModel::no_sgx(), Some(3));
+    let enclave = platform.create_enclave(b"prop-seal").unwrap();
+    let sealed = seal(&platform, &enclave, &SealPolicy::MrEnclave, b"aad", &[0x42; 150]);
+    let reference = sealed.to_bytes();
+
+    let mut rng = SystemRng::seeded(0x07054);
+    for _case in 0..64 {
+        let mut bytes = reference.clone();
+        let at = rng.range_usize(0, bytes.len());
+        let bit = rng.range_usize(0, 8) as u8;
+        bytes[at] ^= 1 << bit;
+        let Ok(tampered) = SealedData::from_bytes(&bytes) else {
+            continue; // header corruption may fail to parse — also a detection
+        };
+        assert!(
+            unseal(&platform, &enclave, &SealPolicy::MrEnclave, b"aad", &tampered)
+                .is_err(),
+            "flip at byte {at} bit {bit} unsealed"
+        );
     }
 }

@@ -57,10 +57,8 @@ fn tampered_ciphertext_is_detected_not_consumed() {
     // Adversary with root access flips bits in every untrusted blob.
     let mut tampered_any = false;
     for raw in 0..64u64 {
-        tampered_any |= world
-            .platform
-            .untrusted()
-            .tamper(BlobId::from_raw(raw), |data| {
+        tampered_any |=
+            world.platform.untrusted().tamper(BlobId::from_raw(raw), |data| {
                 if let Some(byte) = data.first_mut() {
                     *byte ^= 0xFF;
                 }
@@ -68,9 +66,8 @@ fn tampered_ciphertext_is_detected_not_consumed() {
     }
     assert!(tampered_any, "no blobs found to tamper with");
 
-    let (result, outcome) = rt
-        .execute_raw(&identity, &input, |_| b"correct result".to_vec())
-        .unwrap();
+    let (result, outcome) =
+        rt.execute_raw(&identity, &input, |_| b"correct result".to_vec()).unwrap();
     assert_eq!(outcome, DedupOutcome::MissAfterFailedVerify);
     assert_eq!(result, b"correct result");
 }
@@ -85,9 +82,7 @@ fn query_forging_attacker_cannot_decrypt() {
     let victim = runtime(&world, b"victim-app", b"genuine code");
     let identity = victim.resolve(&desc()).unwrap();
     let secret_input = b"the victim's secret input".to_vec();
-    victim
-        .execute_raw(&identity, &secret_input, |_| b"secret result".to_vec())
-        .unwrap();
+    victim.execute_raw(&identity, &secret_input, |_| b"secret result".to_vec()).unwrap();
 
     // The attacker somehow learned the tag (leakage setting) and queries
     // the store directly, getting the full record.
@@ -105,12 +100,9 @@ fn query_forging_attacker_cannot_decrypt() {
     assert!(speed_core::rce::recover_result(&attacker_identity, &secret_input, &record)
         .is_err());
     // …and with the right code but a guessed input.
-    assert!(speed_core::rce::recover_result(
-        &identity,
-        b"guessed input",
-        &record
-    )
-    .is_err());
+    assert!(
+        speed_core::rce::recover_result(&identity, b"guessed input", &record).is_err()
+    );
     // The eligible party still recovers fine.
     assert_eq!(
         speed_core::rce::recover_result(&identity, &secret_input, &record).unwrap(),
@@ -198,10 +190,7 @@ fn channel_replay_rejected() {
     let enclave = world.platform.create_enclave(b"replay-app").unwrap();
     let (mut client, mut server) = world
         .authority
-        .establish(
-            (&world.platform, &enclave),
-            (&world.platform, world.store.enclave()),
-        )
+        .establish((&world.platform, &enclave), (&world.platform, world.store.enclave()))
         .unwrap();
     let frame = client.seal_message(b"GET something");
     assert!(server.open_message(&frame).is_ok());
@@ -217,10 +206,8 @@ fn code_identity_separates_tag_spaces() {
     let trojaned = runtime(&world, b"app-2", b"trojan code");
     let input = b"same input".to_vec();
 
-    let genuine_tag =
-        speed_core::tag_for(&genuine.resolve(&desc()).unwrap(), &input);
-    let trojan_tag =
-        speed_core::tag_for(&trojaned.resolve(&desc()).unwrap(), &input);
+    let genuine_tag = speed_core::tag_for(&genuine.resolve(&desc()).unwrap(), &input);
+    let trojan_tag = speed_core::tag_for(&trojaned.resolve(&desc()).unwrap(), &input);
     assert_ne!(genuine_tag, trojan_tag);
 }
 
