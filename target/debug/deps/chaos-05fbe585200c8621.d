@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-05fbe585200c8621.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-05fbe585200c8621.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-8ffd40ed85383d97.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-8ffd40ed85383d97: tests/chaos.rs
+
+tests/chaos.rs:

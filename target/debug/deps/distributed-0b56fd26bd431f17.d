@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed-0b56fd26bd431f17.d: tests/distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed-0b56fd26bd431f17.rmeta: tests/distributed.rs Cargo.toml
+
+tests/distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

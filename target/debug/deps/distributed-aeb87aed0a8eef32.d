@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-aeb87aed0a8eef32.d: tests/distributed.rs
+
+/root/repo/target/debug/deps/distributed-aeb87aed0a8eef32: tests/distributed.rs
+
+tests/distributed.rs:

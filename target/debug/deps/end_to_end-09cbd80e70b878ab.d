@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-09cbd80e70b878ab.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-09cbd80e70b878ab: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-011d315123afffdb.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-011d315123afffdb.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

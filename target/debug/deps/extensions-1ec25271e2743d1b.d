@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1ec25271e2743d1b.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1ec25271e2743d1b: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-832ac8db32cc7dd3.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-832ac8db32cc7dd3.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

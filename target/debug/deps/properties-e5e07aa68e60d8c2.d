@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e5e07aa68e60d8c2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e5e07aa68e60d8c2: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security-6e287189642569ae.d: tests/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity-6e287189642569ae.rmeta: tests/security.rs Cargo.toml
+
+tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

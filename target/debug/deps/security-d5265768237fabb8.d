@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-d5265768237fabb8.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-d5265768237fabb8: tests/security.rs
+
+tests/security.rs:

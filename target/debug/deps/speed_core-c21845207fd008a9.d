@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/speed_core-c21845207fd008a9.d: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/deduplicable.rs crates/core/src/error.rs crates/core/src/func.rs crates/core/src/policy.rs crates/core/src/rce.rs crates/core/src/resilience.rs crates/core/src/runtime.rs crates/core/src/tag.rs
+
+/root/repo/target/debug/deps/speed_core-c21845207fd008a9: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/deduplicable.rs crates/core/src/error.rs crates/core/src/func.rs crates/core/src/policy.rs crates/core/src/rce.rs crates/core/src/resilience.rs crates/core/src/runtime.rs crates/core/src/tag.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/deduplicable.rs:
+crates/core/src/error.rs:
+crates/core/src/func.rs:
+crates/core/src/policy.rs:
+crates/core/src/rce.rs:
+crates/core/src/resilience.rs:
+crates/core/src/runtime.rs:
+crates/core/src/tag.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/speed_core-eae4d120b8635cfa.d: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/deduplicable.rs crates/core/src/error.rs crates/core/src/func.rs crates/core/src/policy.rs crates/core/src/rce.rs crates/core/src/resilience.rs crates/core/src/runtime.rs crates/core/src/tag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_core-eae4d120b8635cfa.rmeta: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/deduplicable.rs crates/core/src/error.rs crates/core/src/func.rs crates/core/src/policy.rs crates/core/src/rce.rs crates/core/src/resilience.rs crates/core/src/runtime.rs crates/core/src/tag.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/deduplicable.rs:
+crates/core/src/error.rs:
+crates/core/src/func.rs:
+crates/core/src/policy.rs:
+crates/core/src/rce.rs:
+crates/core/src/resilience.rs:
+crates/core/src/runtime.rs:
+crates/core/src/tag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

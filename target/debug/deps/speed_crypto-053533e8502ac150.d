@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/speed_crypto-053533e8502ac150.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs
+
+/root/repo/target/debug/deps/libspeed_crypto-053533e8502ac150.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs
+
+/root/repo/target/debug/deps/libspeed_crypto-053533e8502ac150.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/types.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/speed_crypto-bed8817e30bf3c60.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_crypto-bed8817e30bf3c60.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

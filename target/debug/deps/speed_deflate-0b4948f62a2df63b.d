@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/speed_deflate-0b4948f62a2df63b.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_deflate-0b4948f62a2df63b.rmeta: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs Cargo.toml
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/error.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/lz77.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

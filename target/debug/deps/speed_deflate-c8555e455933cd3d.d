@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speed_deflate-c8555e455933cd3d.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+/root/repo/target/debug/deps/speed_deflate-c8555e455933cd3d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/error.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/lz77.rs:

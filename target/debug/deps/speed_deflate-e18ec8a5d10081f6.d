@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/speed_deflate-e18ec8a5d10081f6.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+/root/repo/target/debug/deps/libspeed_deflate-e18ec8a5d10081f6.rlib: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+/root/repo/target/debug/deps/libspeed_deflate-e18ec8a5d10081f6.rmeta: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/error.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/lz77.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/speed_enclave-05b842c6c4f6d6a4.d: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/cost.rs crates/enclave/src/enclave.rs crates/enclave/src/epc.rs crates/enclave/src/error.rs crates/enclave/src/measurement.rs crates/enclave/src/platform.rs crates/enclave/src/sealing.rs crates/enclave/src/untrusted.rs
+
+/root/repo/target/debug/deps/speed_enclave-05b842c6c4f6d6a4: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/cost.rs crates/enclave/src/enclave.rs crates/enclave/src/epc.rs crates/enclave/src/error.rs crates/enclave/src/measurement.rs crates/enclave/src/platform.rs crates/enclave/src/sealing.rs crates/enclave/src/untrusted.rs
+
+crates/enclave/src/lib.rs:
+crates/enclave/src/attestation.rs:
+crates/enclave/src/cost.rs:
+crates/enclave/src/enclave.rs:
+crates/enclave/src/epc.rs:
+crates/enclave/src/error.rs:
+crates/enclave/src/measurement.rs:
+crates/enclave/src/platform.rs:
+crates/enclave/src/sealing.rs:
+crates/enclave/src/untrusted.rs:

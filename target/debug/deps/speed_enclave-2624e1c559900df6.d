@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/speed_enclave-2624e1c559900df6.d: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/cost.rs crates/enclave/src/enclave.rs crates/enclave/src/epc.rs crates/enclave/src/error.rs crates/enclave/src/measurement.rs crates/enclave/src/platform.rs crates/enclave/src/sealing.rs crates/enclave/src/untrusted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_enclave-2624e1c559900df6.rmeta: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/cost.rs crates/enclave/src/enclave.rs crates/enclave/src/epc.rs crates/enclave/src/error.rs crates/enclave/src/measurement.rs crates/enclave/src/platform.rs crates/enclave/src/sealing.rs crates/enclave/src/untrusted.rs Cargo.toml
+
+crates/enclave/src/lib.rs:
+crates/enclave/src/attestation.rs:
+crates/enclave/src/cost.rs:
+crates/enclave/src/enclave.rs:
+crates/enclave/src/epc.rs:
+crates/enclave/src/error.rs:
+crates/enclave/src/measurement.rs:
+crates/enclave/src/platform.rs:
+crates/enclave/src/sealing.rs:
+crates/enclave/src/untrusted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

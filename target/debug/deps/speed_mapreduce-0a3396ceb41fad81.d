@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/speed_mapreduce-0a3396ceb41fad81.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+/root/repo/target/debug/deps/libspeed_mapreduce-0a3396ceb41fad81.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+/root/repo/target/debug/deps/libspeed_mapreduce-0a3396ceb41fad81.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/bow.rs:
+crates/mapreduce/src/framework.rs:
+crates/mapreduce/src/index.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/speed_mapreduce-72c3e58009a419a2.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+/root/repo/target/debug/deps/speed_mapreduce-72c3e58009a419a2: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/bow.rs:
+crates/mapreduce/src/framework.rs:
+crates/mapreduce/src/index.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/speed_mapreduce-8447dd02175dfab8.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_mapreduce-8447dd02175dfab8.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/bow.rs:
+crates/mapreduce/src/framework.rs:
+crates/mapreduce/src/index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

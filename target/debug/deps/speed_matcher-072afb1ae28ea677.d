@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/speed_matcher-072afb1ae28ea677.d: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_matcher-072afb1ae28ea677.rmeta: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs Cargo.toml
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/aho.rs:
+crates/matcher/src/error.rs:
+crates/matcher/src/regex.rs:
+crates/matcher/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

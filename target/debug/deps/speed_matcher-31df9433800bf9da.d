@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speed_matcher-31df9433800bf9da.d: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+/root/repo/target/debug/deps/speed_matcher-31df9433800bf9da: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/aho.rs:
+crates/matcher/src/error.rs:
+crates/matcher/src/regex.rs:
+crates/matcher/src/rules.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/speed_matcher-f5550c5b7b47b31c.d: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+/root/repo/target/debug/deps/libspeed_matcher-f5550c5b7b47b31c.rlib: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+/root/repo/target/debug/deps/libspeed_matcher-f5550c5b7b47b31c.rmeta: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/aho.rs:
+crates/matcher/src/error.rs:
+crates/matcher/src/regex.rs:
+crates/matcher/src/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speed_repro-a578e646492bac80.d: src/lib.rs
+
+/root/repo/target/debug/deps/speed_repro-a578e646492bac80: src/lib.rs
+
+src/lib.rs:

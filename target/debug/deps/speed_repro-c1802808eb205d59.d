@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/speed_repro-c1802808eb205d59.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspeed_repro-c1802808eb205d59.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspeed_repro-c1802808eb205d59.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speed_repro-e756681ea3e5be50.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_repro-e756681ea3e5be50.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/speed_sift-6a08116d941ca49d.d: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_sift-6a08116d941ca49d.rmeta: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs Cargo.toml
+
+crates/sift/src/lib.rs:
+crates/sift/src/descriptor.rs:
+crates/sift/src/gaussian.rs:
+crates/sift/src/image.rs:
+crates/sift/src/keypoint.rs:
+crates/sift/src/matching.rs:
+crates/sift/src/pyramid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/speed_sift-814b318e9b392497.d: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+/root/repo/target/debug/deps/speed_sift-814b318e9b392497: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+crates/sift/src/lib.rs:
+crates/sift/src/descriptor.rs:
+crates/sift/src/gaussian.rs:
+crates/sift/src/image.rs:
+crates/sift/src/keypoint.rs:
+crates/sift/src/matching.rs:
+crates/sift/src/pyramid.rs:

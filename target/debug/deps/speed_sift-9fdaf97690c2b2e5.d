@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/speed_sift-9fdaf97690c2b2e5.d: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+/root/repo/target/debug/deps/libspeed_sift-9fdaf97690c2b2e5.rlib: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+/root/repo/target/debug/deps/libspeed_sift-9fdaf97690c2b2e5.rmeta: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+crates/sift/src/lib.rs:
+crates/sift/src/descriptor.rs:
+crates/sift/src/gaussian.rs:
+crates/sift/src/image.rs:
+crates/sift/src/keypoint.rs:
+crates/sift/src/matching.rs:
+crates/sift/src/pyramid.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/speed_store-9c27620fcaa6c0e0.d: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_store-9c27620fcaa6c0e0.rmeta: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/dict.rs:
+crates/store/src/error.rs:
+crates/store/src/persist.rs:
+crates/store/src/quota.rs:
+crates/store/src/server.rs:
+crates/store/src/store.rs:
+crates/store/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/speed_store-ba0994596a40e822.d: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+/root/repo/target/debug/deps/speed_store-ba0994596a40e822: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+crates/store/src/lib.rs:
+crates/store/src/dict.rs:
+crates/store/src/error.rs:
+crates/store/src/persist.rs:
+crates/store/src/quota.rs:
+crates/store/src/server.rs:
+crates/store/src/store.rs:
+crates/store/src/sync.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/speed_store-cb5fb3036d4ad670.d: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+/root/repo/target/debug/deps/libspeed_store-cb5fb3036d4ad670.rlib: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+/root/repo/target/debug/deps/libspeed_store-cb5fb3036d4ad670.rmeta: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+crates/store/src/lib.rs:
+crates/store/src/dict.rs:
+crates/store/src/error.rs:
+crates/store/src/persist.rs:
+crates/store/src/quota.rs:
+crates/store/src/server.rs:
+crates/store/src/store.rs:
+crates/store/src/sync.rs:

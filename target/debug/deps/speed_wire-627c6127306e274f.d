@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speed_wire-627c6127306e274f.d: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+/root/repo/target/debug/deps/speed_wire-627c6127306e274f: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/channel.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/frame.rs:
+crates/wire/src/messages.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/speed_wire-838f4b9c3045d140.d: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_wire-838f4b9c3045d140.rmeta: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/channel.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/frame.rs:
+crates/wire/src/messages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/speed_wire-b832007fed22b6c8.d: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+/root/repo/target/debug/deps/libspeed_wire-b832007fed22b6c8.rlib: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+/root/repo/target/debug/deps/libspeed_wire-b832007fed22b6c8.rmeta: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/channel.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/frame.rs:
+crates/wire/src/messages.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/speed_workloads-340d506a0f327d67.d: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+/root/repo/target/debug/deps/libspeed_workloads-340d506a0f327d67.rlib: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+/root/repo/target/debug/deps/libspeed_workloads-340d506a0f327d67.rmeta: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/evolving.rs:
+crates/workloads/src/images.rs:
+crates/workloads/src/packets.rs:
+crates/workloads/src/pages.rs:
+crates/workloads/src/rules.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/stream.rs:

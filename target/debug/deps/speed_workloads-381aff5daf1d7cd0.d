@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/speed_workloads-381aff5daf1d7cd0.d: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_workloads-381aff5daf1d7cd0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/evolving.rs:
+crates/workloads/src/images.rs:
+crates/workloads/src/packets.rs:
+crates/workloads/src/pages.rs:
+crates/workloads/src/rules.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

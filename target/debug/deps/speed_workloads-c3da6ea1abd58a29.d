@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/speed_workloads-c3da6ea1abd58a29.d: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+/root/repo/target/debug/deps/speed_workloads-c3da6ea1abd58a29: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/evolving.rs:
+crates/workloads/src/images.rs:
+crates/workloads/src/packets.rs:
+crates/workloads/src/pages.rs:
+crates/workloads/src/rules.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedctl-3b3cdf992c43afe0.d: crates/store/src/bin/speedctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedctl-3b3cdf992c43afe0.rmeta: crates/store/src/bin/speedctl.rs Cargo.toml
+
+crates/store/src/bin/speedctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

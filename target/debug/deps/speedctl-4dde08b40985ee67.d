@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedctl-4dde08b40985ee67.d: crates/store/src/bin/speedctl.rs
+
+/root/repo/target/debug/deps/speedctl-4dde08b40985ee67: crates/store/src/bin/speedctl.rs
+
+crates/store/src/bin/speedctl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedctl-634a598c9200cff4.d: crates/store/src/bin/speedctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedctl-634a598c9200cff4.rmeta: crates/store/src/bin/speedctl.rs Cargo.toml
+
+crates/store/src/bin/speedctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedctl-bd9991c9140551df.d: crates/store/src/bin/speedctl.rs
+
+/root/repo/target/debug/deps/speedctl-bd9991c9140551df: crates/store/src/bin/speedctl.rs
+
+crates/store/src/bin/speedctl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bow_analytics-0132529b16cfde72.d: examples/bow_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbow_analytics-0132529b16cfde72.rmeta: examples/bow_analytics.rs Cargo.toml
+
+examples/bow_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bow_analytics-5ea999a8129f9566.d: examples/bow_analytics.rs
+
+/root/repo/target/debug/examples/bow_analytics-5ea999a8129f9566: examples/bow_analytics.rs
+
+examples/bow_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_gateway-d46c696a05cef41e.d: examples/compression_gateway.rs
+
+/root/repo/target/debug/examples/compression_gateway-d46c696a05cef41e: examples/compression_gateway.rs
+
+examples/compression_gateway.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compression_gateway-f77f803af41ad6cf.d: examples/compression_gateway.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompression_gateway-f77f803af41ad6cf.rmeta: examples/compression_gateway.rs Cargo.toml
+
+examples/compression_gateway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

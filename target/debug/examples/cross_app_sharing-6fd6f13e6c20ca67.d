@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_app_sharing-6fd6f13e6c20ca67.d: examples/cross_app_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_app_sharing-6fd6f13e6c20ca67.rmeta: examples/cross_app_sharing.rs Cargo.toml
+
+examples/cross_app_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

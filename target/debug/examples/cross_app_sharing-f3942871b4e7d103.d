@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_app_sharing-f3942871b4e7d103.d: examples/cross_app_sharing.rs
+
+/root/repo/target/debug/examples/cross_app_sharing-f3942871b4e7d103: examples/cross_app_sharing.rs
+
+examples/cross_app_sharing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/degraded_mode-992bb34a3e1a04b8.d: examples/degraded_mode.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdegraded_mode-992bb34a3e1a04b8.rmeta: examples/degraded_mode.rs Cargo.toml
+
+examples/degraded_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/degraded_mode-b3926f1d356d913a.d: examples/degraded_mode.rs
+
+/root/repo/target/debug/examples/degraded_mode-b3926f1d356d913a: examples/degraded_mode.rs
+
+examples/degraded_mode.rs:

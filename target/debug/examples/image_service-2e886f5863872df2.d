@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_service-2e886f5863872df2.d: examples/image_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_service-2e886f5863872df2.rmeta: examples/image_service.rs Cargo.toml
+
+examples/image_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_service-f27068f92efb88e1.d: examples/image_service.rs
+
+/root/repo/target/debug/examples/image_service-f27068f92efb88e1: examples/image_service.rs
+
+examples/image_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_indexing-c99906f0bf378587.d: examples/incremental_indexing.rs
+
+/root/repo/target/debug/examples/incremental_indexing-c99906f0bf378587: examples/incremental_indexing.rs
+
+examples/incremental_indexing.rs:

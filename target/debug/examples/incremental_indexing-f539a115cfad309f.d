@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_indexing-f539a115cfad309f.d: examples/incremental_indexing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_indexing-f539a115cfad309f.rmeta: examples/incremental_indexing.rs Cargo.toml
+
+examples/incremental_indexing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-96b0d83cc933bc20.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-96b0d83cc933bc20.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d747a3490e6e5e44.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d747a3490e6e5e44: examples/quickstart.rs
+
+examples/quickstart.rs:

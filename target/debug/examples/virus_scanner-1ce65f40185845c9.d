@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/virus_scanner-1ce65f40185845c9.d: examples/virus_scanner.rs
+
+/root/repo/target/debug/examples/virus_scanner-1ce65f40185845c9: examples/virus_scanner.rs
+
+examples/virus_scanner.rs:

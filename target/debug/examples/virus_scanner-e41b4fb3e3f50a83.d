@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/virus_scanner-e41b4fb3e3f50a83.d: examples/virus_scanner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvirus_scanner-e41b4fb3e3f50a83.rmeta: examples/virus_scanner.rs Cargo.toml
+
+examples/virus_scanner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

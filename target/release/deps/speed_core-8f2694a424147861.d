@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/speed_core-8f2694a424147861.d: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/deduplicable.rs crates/core/src/error.rs crates/core/src/func.rs crates/core/src/policy.rs crates/core/src/rce.rs crates/core/src/resilience.rs crates/core/src/runtime.rs crates/core/src/tag.rs
+
+/root/repo/target/release/deps/libspeed_core-8f2694a424147861.rlib: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/deduplicable.rs crates/core/src/error.rs crates/core/src/func.rs crates/core/src/policy.rs crates/core/src/rce.rs crates/core/src/resilience.rs crates/core/src/runtime.rs crates/core/src/tag.rs
+
+/root/repo/target/release/deps/libspeed_core-8f2694a424147861.rmeta: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/deduplicable.rs crates/core/src/error.rs crates/core/src/func.rs crates/core/src/policy.rs crates/core/src/rce.rs crates/core/src/resilience.rs crates/core/src/runtime.rs crates/core/src/tag.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/deduplicable.rs:
+crates/core/src/error.rs:
+crates/core/src/func.rs:
+crates/core/src/policy.rs:
+crates/core/src/rce.rs:
+crates/core/src/resilience.rs:
+crates/core/src/runtime.rs:
+crates/core/src/tag.rs:

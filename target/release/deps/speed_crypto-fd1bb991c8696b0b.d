@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/speed_crypto-fd1bb991c8696b0b.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs
+
+/root/repo/target/release/deps/libspeed_crypto-fd1bb991c8696b0b.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs
+
+/root/repo/target/release/deps/libspeed_crypto-fd1bb991c8696b0b.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ct.rs crates/crypto/src/error.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/types.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/speed_deflate-da102dd205103381.d: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+/root/repo/target/release/deps/libspeed_deflate-da102dd205103381.rlib: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+/root/repo/target/release/deps/libspeed_deflate-da102dd205103381.rmeta: crates/deflate/src/lib.rs crates/deflate/src/bitio.rs crates/deflate/src/error.rs crates/deflate/src/huffman.rs crates/deflate/src/lz77.rs
+
+crates/deflate/src/lib.rs:
+crates/deflate/src/bitio.rs:
+crates/deflate/src/error.rs:
+crates/deflate/src/huffman.rs:
+crates/deflate/src/lz77.rs:

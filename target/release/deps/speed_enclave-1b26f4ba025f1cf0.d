@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/speed_enclave-1b26f4ba025f1cf0.d: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/cost.rs crates/enclave/src/enclave.rs crates/enclave/src/epc.rs crates/enclave/src/error.rs crates/enclave/src/measurement.rs crates/enclave/src/platform.rs crates/enclave/src/sealing.rs crates/enclave/src/untrusted.rs
+
+/root/repo/target/release/deps/libspeed_enclave-1b26f4ba025f1cf0.rlib: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/cost.rs crates/enclave/src/enclave.rs crates/enclave/src/epc.rs crates/enclave/src/error.rs crates/enclave/src/measurement.rs crates/enclave/src/platform.rs crates/enclave/src/sealing.rs crates/enclave/src/untrusted.rs
+
+/root/repo/target/release/deps/libspeed_enclave-1b26f4ba025f1cf0.rmeta: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/cost.rs crates/enclave/src/enclave.rs crates/enclave/src/epc.rs crates/enclave/src/error.rs crates/enclave/src/measurement.rs crates/enclave/src/platform.rs crates/enclave/src/sealing.rs crates/enclave/src/untrusted.rs
+
+crates/enclave/src/lib.rs:
+crates/enclave/src/attestation.rs:
+crates/enclave/src/cost.rs:
+crates/enclave/src/enclave.rs:
+crates/enclave/src/epc.rs:
+crates/enclave/src/error.rs:
+crates/enclave/src/measurement.rs:
+crates/enclave/src/platform.rs:
+crates/enclave/src/sealing.rs:
+crates/enclave/src/untrusted.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/speed_mapreduce-a14af53a22b0acc8.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+/root/repo/target/release/deps/libspeed_mapreduce-a14af53a22b0acc8.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+/root/repo/target/release/deps/libspeed_mapreduce-a14af53a22b0acc8.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/bow.rs crates/mapreduce/src/framework.rs crates/mapreduce/src/index.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/bow.rs:
+crates/mapreduce/src/framework.rs:
+crates/mapreduce/src/index.rs:

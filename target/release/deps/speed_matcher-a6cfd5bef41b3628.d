@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/speed_matcher-a6cfd5bef41b3628.d: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+/root/repo/target/release/deps/libspeed_matcher-a6cfd5bef41b3628.rlib: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+/root/repo/target/release/deps/libspeed_matcher-a6cfd5bef41b3628.rmeta: crates/matcher/src/lib.rs crates/matcher/src/aho.rs crates/matcher/src/error.rs crates/matcher/src/regex.rs crates/matcher/src/rules.rs
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/aho.rs:
+crates/matcher/src/error.rs:
+crates/matcher/src/regex.rs:
+crates/matcher/src/rules.rs:

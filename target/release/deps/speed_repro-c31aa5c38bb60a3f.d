@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/speed_repro-c31aa5c38bb60a3f.d: src/lib.rs
+
+/root/repo/target/release/deps/libspeed_repro-c31aa5c38bb60a3f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspeed_repro-c31aa5c38bb60a3f.rmeta: src/lib.rs
+
+src/lib.rs:

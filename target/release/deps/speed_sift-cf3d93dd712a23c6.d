@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/speed_sift-cf3d93dd712a23c6.d: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+/root/repo/target/release/deps/libspeed_sift-cf3d93dd712a23c6.rlib: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+/root/repo/target/release/deps/libspeed_sift-cf3d93dd712a23c6.rmeta: crates/sift/src/lib.rs crates/sift/src/descriptor.rs crates/sift/src/gaussian.rs crates/sift/src/image.rs crates/sift/src/keypoint.rs crates/sift/src/matching.rs crates/sift/src/pyramid.rs
+
+crates/sift/src/lib.rs:
+crates/sift/src/descriptor.rs:
+crates/sift/src/gaussian.rs:
+crates/sift/src/image.rs:
+crates/sift/src/keypoint.rs:
+crates/sift/src/matching.rs:
+crates/sift/src/pyramid.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/speed_store-eca6ef76ff2b6243.d: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+/root/repo/target/release/deps/libspeed_store-eca6ef76ff2b6243.rlib: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+/root/repo/target/release/deps/libspeed_store-eca6ef76ff2b6243.rmeta: crates/store/src/lib.rs crates/store/src/dict.rs crates/store/src/error.rs crates/store/src/persist.rs crates/store/src/quota.rs crates/store/src/server.rs crates/store/src/store.rs crates/store/src/sync.rs
+
+crates/store/src/lib.rs:
+crates/store/src/dict.rs:
+crates/store/src/error.rs:
+crates/store/src/persist.rs:
+crates/store/src/quota.rs:
+crates/store/src/server.rs:
+crates/store/src/store.rs:
+crates/store/src/sync.rs:

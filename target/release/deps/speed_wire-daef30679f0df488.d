@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/speed_wire-daef30679f0df488.d: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+/root/repo/target/release/deps/libspeed_wire-daef30679f0df488.rlib: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+/root/repo/target/release/deps/libspeed_wire-daef30679f0df488.rmeta: crates/wire/src/lib.rs crates/wire/src/channel.rs crates/wire/src/codec.rs crates/wire/src/frame.rs crates/wire/src/messages.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/channel.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/frame.rs:
+crates/wire/src/messages.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/speed_workloads-75c918ef70ff5913.d: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+/root/repo/target/release/deps/libspeed_workloads-75c918ef70ff5913.rlib: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+/root/repo/target/release/deps/libspeed_workloads-75c918ef70ff5913.rmeta: crates/workloads/src/lib.rs crates/workloads/src/evolving.rs crates/workloads/src/images.rs crates/workloads/src/packets.rs crates/workloads/src/pages.rs crates/workloads/src/rules.rs crates/workloads/src/text.rs crates/workloads/src/stream.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/evolving.rs:
+crates/workloads/src/images.rs:
+crates/workloads/src/packets.rs:
+crates/workloads/src/pages.rs:
+crates/workloads/src/rules.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speedctl-7f7cbb23428264fc.d: crates/store/src/bin/speedctl.rs
+
+/root/repo/target/release/deps/speedctl-7f7cbb23428264fc: crates/store/src/bin/speedctl.rs
+
+crates/store/src/bin/speedctl.rs:

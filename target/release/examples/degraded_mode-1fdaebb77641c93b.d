@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/degraded_mode-1fdaebb77641c93b.d: examples/degraded_mode.rs
+
+/root/repo/target/release/examples/degraded_mode-1fdaebb77641c93b: examples/degraded_mode.rs
+
+examples/degraded_mode.rs:
