@@ -1,0 +1,250 @@
+//! Bounded in-enclave hot-tag cache.
+//!
+//! A marked computation whose tag was recently resolved — from the store or
+//! by local execution — can be answered again without any enclave
+//! transition or network round-trip at all: the plaintext result never
+//! leaves the application enclave, so caching it inside is safe. The cache
+//! is strictly bounded (entries and bytes) because it competes with the
+//! application for scarce EPC; its pages are charged against the enclave's
+//! memory budget the same way the store's metadata heap is.
+
+use std::collections::{BTreeMap, HashMap};
+
+use speed_enclave::Enclave;
+use speed_wire::CompTag;
+
+/// Size limits for the in-enclave hot-tag cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotCacheConfig {
+    /// Maximum cached results.
+    pub max_entries: usize,
+    /// Maximum total plaintext result bytes held by the cache.
+    pub max_bytes: usize,
+}
+
+impl Default for HotCacheConfig {
+    fn default() -> Self {
+        // Small by default: EPC is ~92 MiB usable on v1 hardware and the
+        // application's own working set comes first.
+        HotCacheConfig { max_entries: 1024, max_bytes: 4 * 1024 * 1024 }
+    }
+}
+
+/// Fixed bookkeeping overhead charged per entry on top of the result bytes
+/// (tag key, LRU index node, map slots).
+const ENTRY_OVERHEAD: usize = 32 + 64;
+
+#[derive(Debug)]
+struct CacheEntry {
+    result: Vec<u8>,
+    lru_seq: u64,
+}
+
+/// The cache proper. Callers hold it behind a `Mutex`; all methods take
+/// `&mut self`.
+#[derive(Debug)]
+pub(crate) struct HotTagCache {
+    config: HotCacheConfig,
+    entries: HashMap<CompTag, CacheEntry>,
+    lru: BTreeMap<u64, CompTag>,
+    seq: u64,
+    bytes: usize,
+    /// EPC bytes currently committed for the cache (page granularity).
+    committed: usize,
+}
+
+impl HotTagCache {
+    pub(crate) fn new(config: HotCacheConfig) -> Self {
+        HotTagCache {
+            config,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            seq: 0,
+            bytes: 0,
+            committed: 0,
+        }
+    }
+
+    /// Looks up `tag`, bumping its recency. Returns a copy of the result.
+    pub(crate) fn get(&mut self, tag: &CompTag) -> Option<Vec<u8>> {
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = self.entries.get_mut(tag)?;
+        self.lru.remove(&entry.lru_seq);
+        entry.lru_seq = seq;
+        self.lru.insert(seq, *tag);
+        Some(entry.result.clone())
+    }
+
+    /// Caches `result` under `tag`, evicting LRU entries as needed to stay
+    /// within the configured bounds, and charging the enclave's memory
+    /// budget for the pages the cache occupies.
+    ///
+    /// Results larger than the whole cache, and results that cannot be
+    /// charged to the enclave (EPC exhausted), are silently not cached —
+    /// the cache is an accelerator, never a correctness dependency.
+    pub(crate) fn insert(&mut self, enclave: &Enclave, tag: CompTag, result: &[u8]) {
+        let footprint = result.len() + ENTRY_OVERHEAD;
+        if footprint > self.config.max_bytes || self.config.max_entries == 0 {
+            return;
+        }
+        if self.entries.contains_key(&tag) {
+            // Already cached (results for a tag are immutable); just bump.
+            let _ = self.get(&tag);
+            return;
+        }
+        while self.entries.len() >= self.config.max_entries
+            || self.bytes + footprint > self.config.max_bytes
+        {
+            if !self.evict_lru(enclave) {
+                return;
+            }
+        }
+        while self.reserve(enclave, footprint).is_err() {
+            // EPC exhausted: shed cache weight rather than failing the call;
+            // an empty cache that still cannot reserve gives up silently.
+            if !self.evict_lru(enclave) {
+                return;
+            }
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.bytes += footprint;
+        self.entries.insert(tag, CacheEntry { result: result.to_vec(), lru_seq: seq });
+        self.lru.insert(seq, tag);
+    }
+
+    /// Number of cached results.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn evict_lru(&mut self, enclave: &Enclave) -> bool {
+        let Some((&seq, &tag)) = self.lru.iter().next() else {
+            return false;
+        };
+        self.lru.remove(&seq);
+        if let Some(entry) = self.entries.remove(&tag) {
+            self.release(enclave, entry.result.len() + ENTRY_OVERHEAD);
+        }
+        true
+    }
+
+    /// Page-pooled commit: only crossing a page boundary touches the
+    /// enclave memory budget.
+    fn reserve(
+        &mut self,
+        enclave: &Enclave,
+        bytes: usize,
+    ) -> Result<(), speed_enclave::EnclaveError> {
+        let new_bytes = self.bytes + bytes;
+        let needed =
+            new_bytes.div_ceil(speed_enclave::PAGE_SIZE) * speed_enclave::PAGE_SIZE;
+        if needed > self.committed {
+            enclave.commit_memory(needed - self.committed)?;
+            self.committed = needed;
+        }
+        Ok(())
+    }
+
+    fn release(&mut self, enclave: &Enclave, bytes: usize) {
+        self.bytes = self.bytes.saturating_sub(bytes);
+        let needed =
+            self.bytes.div_ceil(speed_enclave::PAGE_SIZE) * speed_enclave::PAGE_SIZE;
+        if needed < self.committed {
+            let _ = enclave.release_memory(self.committed - needed);
+            self.committed = needed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speed_enclave::{CostModel, Platform};
+
+    fn tag(n: u8) -> CompTag {
+        CompTag::from_bytes([n; 32])
+    }
+
+    fn enclave() -> std::sync::Arc<Enclave> {
+        Platform::new(CostModel::no_sgx()).create_enclave(b"cache-test").unwrap()
+    }
+
+    #[test]
+    fn get_miss_then_insert_then_hit() {
+        let enclave = enclave();
+        let mut cache = HotTagCache::new(HotCacheConfig::default());
+        assert_eq!(cache.get(&tag(1)), None);
+        cache.insert(&enclave, tag(1), b"result");
+        assert_eq!(cache.get(&tag(1)).as_deref(), Some(b"result".as_slice()));
+    }
+
+    #[test]
+    fn entry_bound_evicts_lru() {
+        let enclave = enclave();
+        let mut cache =
+            HotTagCache::new(HotCacheConfig { max_entries: 2, max_bytes: 1 << 20 });
+        cache.insert(&enclave, tag(1), b"a");
+        cache.insert(&enclave, tag(2), b"b");
+        // Touch 1 so 2 becomes LRU.
+        cache.get(&tag(1));
+        cache.insert(&enclave, tag(3), b"c");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&tag(1)).is_some());
+        assert!(cache.get(&tag(2)).is_none());
+        assert!(cache.get(&tag(3)).is_some());
+    }
+
+    #[test]
+    fn byte_bound_evicts_until_fit() {
+        let enclave = enclave();
+        let mut cache = HotTagCache::new(HotCacheConfig {
+            max_entries: 100,
+            max_bytes: 3 * (100 + ENTRY_OVERHEAD),
+        });
+        for n in 1..=3u8 {
+            cache.insert(&enclave, tag(n), &[n; 100]);
+        }
+        assert_eq!(cache.len(), 3);
+        cache.insert(&enclave, tag(4), &[4u8; 100]);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&tag(1)).is_none(), "oldest entry evicted");
+    }
+
+    #[test]
+    fn oversized_result_is_not_cached() {
+        let enclave = enclave();
+        let mut cache =
+            HotTagCache::new(HotCacheConfig { max_entries: 8, max_bytes: 64 });
+        cache.insert(&enclave, tag(1), &vec![0u8; 1024]);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_single_entry() {
+        let enclave = enclave();
+        let mut cache = HotTagCache::new(HotCacheConfig::default());
+        cache.insert(&enclave, tag(1), b"r");
+        cache.insert(&enclave, tag(1), b"r");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn memory_is_charged_and_released() {
+        let enclave = enclave();
+        let before = enclave.committed_bytes();
+        let mut cache =
+            HotTagCache::new(HotCacheConfig { max_entries: 4, max_bytes: 1 << 20 });
+        for n in 1..=4u8 {
+            cache.insert(&enclave, tag(n), &vec![n; 8 * 1024]);
+        }
+        assert!(enclave.committed_bytes() > before);
+        // Evict everything by inserting over the entry bound.
+        for n in 5..=8u8 {
+            cache.insert(&enclave, tag(n), &[n]);
+        }
+        assert!(enclave.committed_bytes() < before + 64 * 1024);
+    }
+}

@@ -61,6 +61,7 @@ mod client;
 mod deduplicable;
 mod error;
 mod func;
+mod hotcache;
 mod policy;
 pub mod rce;
 pub mod resilience;
@@ -74,10 +75,14 @@ pub use client::{InProcessClient, StoreClient, TcpClient};
 pub use deduplicable::Deduplicable;
 pub use error::CoreError;
 pub use func::{FuncDesc, FuncIdentity, TrustedLibrary};
+pub use hotcache::HotCacheConfig;
 pub use policy::{AdaptiveConfig, AdaptiveProfiler, DedupPolicy, PolicyDecision};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Connector, Deadline, ReplayQueue,
     ResilienceConfig, ResilienceStats, ResilientClient, RetryPolicy,
 };
-pub use runtime::{DedupMode, DedupOutcome, DedupRuntime, RuntimeBuilder, RuntimeStats};
+pub use runtime::{
+    BatchCall, BatchCompute, DedupMode, DedupOutcome, DedupRuntime, RuntimeBuilder,
+    RuntimeStats,
+};
 pub use tag::{secondary_key, tag_for};

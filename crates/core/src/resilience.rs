@@ -245,7 +245,8 @@ impl ReplayQueue {
     /// Enqueues a message for later replay; evicts the oldest entry when
     /// full. Returns `false` if an eviction occurred.
     pub fn push(&self, message: Message) -> bool {
-        let mut queue = self.inner.lock().expect("replay queue poisoned");
+        let mut queue =
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut clean = true;
         while queue.len() >= self.capacity {
             queue.pop_front();
@@ -258,7 +259,8 @@ impl ReplayQueue {
 
     /// Puts a message back at the head (a replay attempt that failed).
     pub fn push_front(&self, message: Message) {
-        let mut queue = self.inner.lock().expect("replay queue poisoned");
+        let mut queue =
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if queue.len() >= self.capacity {
             queue.pop_back();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -268,12 +270,12 @@ impl ReplayQueue {
 
     /// Takes the oldest queued message.
     pub fn pop(&self) -> Option<Message> {
-        self.inner.lock().expect("replay queue poisoned").pop_front()
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop_front()
     }
 
     /// Messages currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("replay queue poisoned").len()
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Whether the queue is empty.

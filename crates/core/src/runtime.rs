@@ -14,17 +14,27 @@ use std::sync::{Arc, Condvar, Mutex};
 use speed_crypto::{Key128, SystemRng};
 use speed_enclave::{Enclave, Platform};
 use speed_store::ResultStore;
-use speed_wire::{AppId, Message, SessionAuthority};
+use speed_wire::{AppId, BatchItem, BatchStatus, Message, SessionAuthority};
 
 use crate::client::{InProcessClient, StoreClient, TcpClient};
 use crate::error::CoreError;
 use crate::func::{FuncDesc, FuncIdentity, LibraryRegistry, TrustedLibrary};
+use crate::hotcache::{HotCacheConfig, HotTagCache};
 use crate::policy::{AdaptiveProfiler, DedupPolicy, PolicyDecision};
 use crate::rce;
 use crate::resilience::{
     Connector, ReplayQueue, ResilienceConfig, ResilienceStats, ResilientClient,
 };
 use crate::tag::tag_for;
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// A panicking marked computation (user closure) must not take the whole
+/// runtime down with it: every critical section here is panic-consistent,
+/// so later calls recover the guard and keep working.
+fn lock_recover<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// How results are protected before leaving the enclave.
 #[derive(Clone, Debug)]
@@ -57,6 +67,45 @@ pub enum DedupOutcome {
     /// The adaptive policy decided deduplication cannot pay off for this
     /// function; it was executed directly without consulting the store.
     BypassedByPolicy,
+    /// The result was served from the in-enclave hot-tag cache: no enclave
+    /// transition for the lookup, no store round-trip at all. Only occurs
+    /// when [`RuntimeBuilder::hot_cache`] is enabled.
+    HitLocalCache,
+}
+
+/// The boxed compute fallback carried by a [`BatchCall`].
+pub type BatchCompute<'a> = Box<dyn FnOnce(&[u8]) -> Vec<u8> + 'a>;
+
+/// One marked call in a [`DedupRuntime::execute_batch`] batch: the verified
+/// function identity, the serialized input, and the compute fallback for
+/// when no stored result can be reused.
+pub struct BatchCall<'a> {
+    /// The verified function identity (see [`DedupRuntime::resolve`]).
+    pub identity: FuncIdentity,
+    /// Serialized input bytes.
+    pub input: &'a [u8],
+    /// Executed (inside the enclave) when the stored result cannot be
+    /// reused for this item.
+    pub compute: BatchCompute<'a>,
+}
+
+impl<'a> BatchCall<'a> {
+    /// Creates a batch call.
+    pub fn new(
+        identity: FuncIdentity,
+        input: &'a [u8],
+        compute: impl FnOnce(&[u8]) -> Vec<u8> + 'a,
+    ) -> Self {
+        BatchCall { identity, input, compute: Box::new(compute) }
+    }
+}
+
+impl std::fmt::Debug for BatchCall<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchCall")
+            .field("input_len", &self.input.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Counters describing a runtime's activity.
@@ -87,6 +136,12 @@ pub struct RuntimeStats {
     pub breaker_transitions: u64,
     /// Queued PUTs delivered after the store recovered.
     pub replayed_puts: u64,
+    /// Calls satisfied by the in-enclave hot-tag cache (no store
+    /// round-trip). Always zero unless the cache is enabled.
+    pub cache_hits: u64,
+    /// Hot-tag cache lookups that missed. Always zero unless the cache is
+    /// enabled.
+    pub cache_misses: u64,
 }
 
 #[derive(Debug, Default)]
@@ -99,6 +154,8 @@ struct AtomicStats {
     reused_bytes: AtomicU64,
     bypasses: AtomicU64,
     degraded_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// Shared state between a runtime and its resilience-wrapped clients.
@@ -140,19 +197,44 @@ impl AsyncPutter {
                     Ok(Message::PutResponse(body)) if !body.accepted => {
                         rejected_worker.fetch_add(1, Ordering::Relaxed);
                     }
+                    Ok(Message::BatchResponse(results)) => {
+                        let rejected = results
+                            .iter()
+                            .filter(|r| r.status == BatchStatus::Rejected)
+                            .count() as u64;
+                        rejected_worker.fetch_add(rejected, Ordering::Relaxed);
+                    }
                     Err(CoreError::StoreUnavailable(_)) => {
                         // Graceful degradation: park the PUT for replay once
                         // the store answers again. Without the resilience
                         // layer the failure is dropped (legacy behavior).
                         if let Some(replay) = &replay {
                             degraded_worker.fetch_add(1, Ordering::Relaxed);
-                            replay.push(message);
+                            match message {
+                                // A failed batch degrades item by item, so
+                                // partial replay capacity still saves the
+                                // newest results.
+                                Message::BatchRequest { app, items } => {
+                                    for item in items {
+                                        if let BatchItem::Put { tag, record } = item {
+                                            replay.push(Message::PutRequest {
+                                                app,
+                                                tag,
+                                                record,
+                                            });
+                                        }
+                                    }
+                                }
+                                other => {
+                                    replay.push(other);
+                                }
+                            }
                         }
                     }
                     _ => {}
                 }
                 let (lock, cvar) = &*pending_worker;
-                let mut count = lock.lock().expect("pending lock poisoned");
+                let mut count = lock_recover(lock);
                 *count -= 1;
                 cvar.notify_all();
             }
@@ -168,12 +250,12 @@ impl AsyncPutter {
 
     fn submit(&self, message: Message) -> Result<(), CoreError> {
         let (lock, _) = &*self.pending;
-        *lock.lock().expect("pending lock poisoned") += 1;
+        *lock_recover(lock) += 1;
         match self.sender.as_ref().expect("sender lives until drop").send(message) {
             Ok(()) => Ok(()),
             Err(_) => {
                 let (lock, cvar) = &*self.pending;
-                *lock.lock().expect("pending lock poisoned") -= 1;
+                *lock_recover(lock) -= 1;
                 cvar.notify_all();
                 Err(CoreError::AsyncPutClosed)
             }
@@ -182,9 +264,9 @@ impl AsyncPutter {
 
     fn flush(&self) {
         let (lock, cvar) = &*self.pending;
-        let mut count = lock.lock().expect("pending lock poisoned");
+        let mut count = lock_recover(lock);
         while *count > 0 {
-            count = cvar.wait(count).expect("pending lock poisoned");
+            count = cvar.wait(count).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -244,6 +326,7 @@ pub struct RuntimeBuilder {
     app_id: Option<u64>,
     rng_seed: Option<u64>,
     resilience: Option<ResilienceConfig>,
+    hot_cache: Option<HotCacheConfig>,
 }
 
 impl RuntimeBuilder {
@@ -259,6 +342,7 @@ impl RuntimeBuilder {
             app_id: None,
             rng_seed: None,
             resilience: None,
+            hot_cache: None,
         }
     }
 
@@ -360,6 +444,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the bounded in-enclave hot-tag cache: a result recently
+    /// resolved for a tag — reused from the store or computed locally — is
+    /// answered again with no enclave transition and no store round-trip.
+    /// Off by default because the cache competes with the application for
+    /// EPC; its pages are charged against the enclave's memory budget.
+    pub fn hot_cache(mut self, config: HotCacheConfig) -> Self {
+        self.hot_cache = Some(config);
+        self
+    }
+
     /// Creates the application enclave, connects the store client(s), and
     /// builds the runtime.
     ///
@@ -453,6 +547,7 @@ impl RuntimeBuilder {
             stats: AtomicStats::default(),
             async_putter,
             resilience: resilience_handles,
+            hot_cache: self.hot_cache.map(|c| Mutex::new(HotTagCache::new(c))),
         }))
     }
 
@@ -495,9 +590,7 @@ impl RuntimeBuilder {
             ClientSpec::Tcp { addr, authority } => {
                 Ok(Box::new(TcpClient::connect(*addr, platform, enclave, authority)?))
             }
-            ClientSpec::Factory(factory) => {
-                (factory.lock().expect("client factory poisoned"))()
-            }
+            ClientSpec::Factory(factory) => (lock_recover(factory))(),
             ClientSpec::Custom(_) => Err(CoreError::UnexpectedResponse(
                 "custom clients are moved at build time".into(),
             )),
@@ -519,6 +612,7 @@ pub struct DedupRuntime {
     stats: AtomicStats,
     async_putter: Option<AsyncPutter>,
     resilience: Option<ResilienceHandles>,
+    hot_cache: Option<Mutex<HotTagCache>>,
 }
 
 impl DedupRuntime {
@@ -596,10 +690,23 @@ impl DedupRuntime {
             // verified function identity and the input data.
             let tag = tag_for(identity, input);
 
+            // Hot-tag cache: a recently resolved result is answered without
+            // leaving the enclave — no OCALL, no store round-trip.
+            if let Some(cache) = &self.hot_cache {
+                if let Some(result) = lock_recover(cache).get(&tag) {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .reused_bytes
+                        .fetch_add(result.len() as u64, Ordering::Relaxed);
+                    return Ok((result, DedupOutcome::HitLocalCache, 0u64));
+                }
+                self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+
             // OCALL: synchronous GET roundtrip (tag out, record back).
             let get_request = Message::GetRequest { app: self.app_id, tag };
             let response = self.enclave.ocall_with_bytes("get_request", 48, 0, || {
-                self.client.lock().expect("client lock poisoned").roundtrip(&get_request)
+                lock_recover(&self.client).roundtrip(&get_request)
             });
 
             // Graceful degradation (resilience layer only): an unreachable
@@ -635,6 +742,9 @@ impl DedupRuntime {
                         self.stats
                             .reused_bytes
                             .fetch_add(result.len() as u64, Ordering::Relaxed);
+                        if let Some(cache) = &self.hot_cache {
+                            lock_recover(cache).insert(&self.enclave, tag, &result);
+                        }
                         return Ok((result, DedupOutcome::Hit, 0u64));
                     }
                     Err(CoreError::VerificationFailed) => {
@@ -661,10 +771,13 @@ impl DedupRuntime {
             let compute_started = std::time::Instant::now();
             let result = compute(input);
             let compute_ns = compute_started.elapsed().as_nanos() as u64;
+            if let Some(cache) = &self.hot_cache {
+                lock_recover(cache).insert(&self.enclave, tag, &result);
+            }
 
             // Encrypt and publish.
             let record = {
-                let mut rng = self.rng.lock().expect("rng lock poisoned");
+                let mut rng = lock_recover(&self.rng);
                 match &self.mode {
                     DedupMode::CrossApp => {
                         rce::encrypt_result(identity, input, &result, &mut rng)
@@ -691,12 +804,7 @@ impl DedupRuntime {
                         "put_request",
                         record_size + 48,
                         1,
-                        || {
-                            self.client
-                                .lock()
-                                .expect("client lock poisoned")
-                                .roundtrip(&put_request)
-                        },
+                        || lock_recover(&self.client).roundtrip(&put_request),
                     );
                     match response {
                         Ok(Message::PutResponse(body)) => {
@@ -734,7 +842,7 @@ impl DedupRuntime {
         if let Some(config) = &adaptive {
             let total_ns = call_started.elapsed().as_nanos() as u64;
             match outcome {
-                DedupOutcome::Hit => {
+                DedupOutcome::Hit | DedupOutcome::HitLocalCache => {
                     self.profiler.record_dedup_overhead(identity, total_ns, config)
                 }
                 DedupOutcome::Miss | DedupOutcome::MissAfterFailedVerify => {
@@ -751,6 +859,287 @@ impl DedupRuntime {
             }
         }
         Ok((result, outcome))
+    }
+
+    /// Runs a batch of marked computations with O(1) enclave transitions
+    /// and at most one network round-trip per direction.
+    ///
+    /// Where [`execute_raw`](DedupRuntime::execute_raw) costs one ECALL
+    /// plus one or two OCALLs *per call*, this pipelines the whole batch:
+    ///
+    /// 1. one ECALL covers tag derivation, hot-cache lookups, and all
+    ///    cryptographic work for every item;
+    /// 2. one OCALL sends a single [`Message::BatchRequest`] carrying every
+    ///    unresolved GET (one network round-trip);
+    /// 3. misses are computed locally and their records are published in a
+    ///    single batched PUT — one more OCALL, or zero with async PUT.
+    ///
+    /// A batch that is answered entirely by the hot-tag cache performs no
+    /// OCALL at all. Results are returned in call order.
+    ///
+    /// Degradation is **per item**, matching the resilience layer's
+    /// contract: when the store is unreachable, every unresolved item falls
+    /// back to local execution and its PUT is parked in the replay queue as
+    /// an individual `PUT_REQUEST`, so partial replay capacity still saves
+    /// the newest results.
+    ///
+    /// The batch path does not consult the adaptive policy profiler;
+    /// callers batching work have already decided deduplication pays off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on store/transport failures when no resilience
+    /// layer is configured (with resilience, store outages degrade instead
+    /// of failing). Items that fail record verification are not errors —
+    /// they are reported as [`DedupOutcome::MissAfterFailedVerify`].
+    pub fn execute_batch(
+        &self,
+        calls: Vec<BatchCall<'_>>,
+    ) -> Result<Vec<(Vec<u8>, DedupOutcome)>, CoreError> {
+        if calls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = calls.len();
+        self.stats.calls.fetch_add(n as u64, Ordering::Relaxed);
+
+        // ONE ECALL for the whole batch.
+        let outcome = self.enclave.ecall("dedup_execute_batch", || {
+            let mut identities = Vec::with_capacity(n);
+            let mut inputs = Vec::with_capacity(n);
+            let mut computes = Vec::with_capacity(n);
+            for call in calls {
+                identities.push(call.identity);
+                inputs.push(call.input);
+                computes.push(Some(call.compute));
+            }
+            let tags: Vec<_> = identities
+                .iter()
+                .zip(&inputs)
+                .map(|(identity, input)| tag_for(identity, input))
+                .collect();
+
+            // Phase 1: hot-tag cache, no boundary crossing.
+            let mut slots: Vec<Option<(Vec<u8>, DedupOutcome)>> = vec![None; n];
+            let mut pending: Vec<usize> = Vec::with_capacity(n);
+            if let Some(cache) = &self.hot_cache {
+                let mut cache = lock_recover(cache);
+                for i in 0..n {
+                    match cache.get(&tags[i]) {
+                        Some(result) => {
+                            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            self.stats
+                                .reused_bytes
+                                .fetch_add(result.len() as u64, Ordering::Relaxed);
+                            slots[i] = Some((result, DedupOutcome::HitLocalCache));
+                        }
+                        None => {
+                            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            pending.push(i);
+                        }
+                    }
+                }
+            } else {
+                pending.extend(0..n);
+            }
+
+            // Phase 2: ONE OCALL resolves every unresolved tag against the
+            // store in a single network round-trip.
+            let mut degraded = false;
+            let mut found: Vec<Option<speed_wire::Record>> = Vec::new();
+            if !pending.is_empty() {
+                let get_items: Vec<BatchItem> =
+                    pending.iter().map(|&i| BatchItem::Get { tag: tags[i] }).collect();
+                let args_len = 48 * get_items.len();
+                let request =
+                    Message::BatchRequest { app: self.app_id, items: get_items };
+                let response = self.enclave.ocall_with_bytes(
+                    "batch_get_request",
+                    args_len,
+                    0,
+                    || lock_recover(&self.client).roundtrip(&request),
+                );
+                found = match response {
+                    Ok(Message::BatchResponse(results))
+                        if results.len() == pending.len() =>
+                    {
+                        results.into_iter().map(|r| r.record).collect()
+                    }
+                    Ok(other) => {
+                        return Err(CoreError::UnexpectedResponse(format!("{other:?}")))
+                    }
+                    Err(CoreError::StoreUnavailable(_)) if self.resilience.is_some() => {
+                        // Per-item degradation: every unresolved item falls
+                        // back to local execution below.
+                        degraded = true;
+                        vec![None; pending.len()]
+                    }
+                    Err(err) => return Err(err),
+                };
+            }
+
+            // Phase 3: verify hits, compute misses, collect batched PUTs.
+            let mut put_items: Vec<BatchItem> = Vec::new();
+            for (slot_pos, &i) in pending.iter().enumerate() {
+                let identity = &identities[i];
+                let input = inputs[i];
+                if let Some(record) = found.get_mut(slot_pos).and_then(Option::take) {
+                    self.enclave.charge_boundary_bytes(record.wire_size());
+                    let recovered = match &self.mode {
+                        DedupMode::CrossApp => {
+                            rce::recover_result(identity, input, &record)
+                        }
+                        DedupMode::SingleKey(key) => {
+                            rce::recover_result_single_key(key, &record)
+                        }
+                        DedupMode::Convergent => {
+                            rce::recover_result_convergent(identity, input, &record)
+                        }
+                    };
+                    match recovered {
+                        Ok(result) => {
+                            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            self.stats
+                                .reused_bytes
+                                .fetch_add(result.len() as u64, Ordering::Relaxed);
+                            if let Some(cache) = &self.hot_cache {
+                                lock_recover(cache).insert(
+                                    &self.enclave,
+                                    tags[i],
+                                    &result,
+                                );
+                            }
+                            slots[i] = Some((result, DedupOutcome::Hit));
+                            continue;
+                        }
+                        Err(CoreError::VerificationFailed) => {
+                            // Fig. 3: ⊥ ⇒ execute locally, publish nothing.
+                            self.stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            let compute =
+                                computes[i].take().expect("each compute runs once");
+                            let result = compute(input);
+                            slots[i] =
+                                Some((result, DedupOutcome::MissAfterFailedVerify));
+                            continue;
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+
+                // Miss (or degraded): execute inside the enclave.
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                if degraded {
+                    self.stats.degraded_calls.fetch_add(1, Ordering::Relaxed);
+                }
+                let compute = computes[i].take().expect("each compute runs once");
+                let result = compute(input);
+                if let Some(cache) = &self.hot_cache {
+                    lock_recover(cache).insert(&self.enclave, tags[i], &result);
+                }
+                let record = {
+                    let mut rng = lock_recover(&self.rng);
+                    match &self.mode {
+                        DedupMode::CrossApp => {
+                            rce::encrypt_result(identity, input, &result, &mut rng)
+                        }
+                        DedupMode::SingleKey(key) => {
+                            rce::encrypt_result_single_key(key, &result, &mut rng)
+                        }
+                        DedupMode::Convergent => rce::encrypt_result_convergent(
+                            identity, input, &result, &mut rng,
+                        ),
+                    }
+                };
+                put_items.push(BatchItem::Put { tag: tags[i], record });
+                slots[i] = Some((result, DedupOutcome::Miss));
+            }
+
+            // Phase 4: publish every fresh record in one batched PUT.
+            if !put_items.is_empty() {
+                if degraded {
+                    // The store is already known unreachable: park each PUT
+                    // individually so replay delivers item by item.
+                    if let Some(handles) = &self.resilience {
+                        for item in put_items {
+                            if let BatchItem::Put { tag, record } = item {
+                                handles.replay.push(Message::PutRequest {
+                                    app: self.app_id,
+                                    tag,
+                                    record,
+                                });
+                            }
+                        }
+                    }
+                } else {
+                    let wire_len: usize =
+                        put_items.iter().map(BatchItem::wire_size).sum();
+                    let put_request =
+                        Message::BatchRequest { app: self.app_id, items: put_items };
+                    match &self.async_putter {
+                        Some(putter) => putter.submit(put_request)?,
+                        None => {
+                            let response = self.enclave.ocall_with_bytes(
+                                "batch_put_request",
+                                wire_len + 48,
+                                0,
+                                || lock_recover(&self.client).roundtrip(&put_request),
+                            );
+                            match response {
+                                Ok(Message::BatchResponse(results)) => {
+                                    let rejected = results
+                                        .iter()
+                                        .filter(|r| r.status == BatchStatus::Rejected)
+                                        .count()
+                                        as u64;
+                                    self.stats
+                                        .rejected_puts
+                                        .fetch_add(rejected, Ordering::Relaxed);
+                                }
+                                Ok(other) => {
+                                    return Err(CoreError::UnexpectedResponse(format!(
+                                        "{other:?}"
+                                    )))
+                                }
+                                Err(CoreError::StoreUnavailable(_))
+                                    if self.resilience.is_some() =>
+                                {
+                                    // The batch PUT failed as a unit, but it
+                                    // degrades item by item into the replay
+                                    // queue.
+                                    if let (
+                                        Some(handles),
+                                        Message::BatchRequest { app, items },
+                                    ) = (&self.resilience, put_request)
+                                    {
+                                        for item in items {
+                                            if let BatchItem::Put { tag, record } = item {
+                                                self.stats
+                                                    .degraded_calls
+                                                    .fetch_add(1, Ordering::Relaxed);
+                                                handles.replay.push(
+                                                    Message::PutRequest {
+                                                        app,
+                                                        tag,
+                                                        record,
+                                                    },
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                                Err(err) => return Err(err),
+                            }
+                        }
+                    }
+                }
+            }
+
+            Ok(slots
+                .into_iter()
+                .map(|slot| slot.expect("every batch slot resolved"))
+                .collect::<Vec<_>>())
+        });
+        outcome
     }
 
     /// Convenience: resolve + execute in one call.
@@ -805,6 +1194,8 @@ impl DedupRuntime {
             retries,
             breaker_transitions,
             replayed_puts,
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -1334,6 +1725,234 @@ mod tests {
         let platform = Platform::new(CostModel::no_sgx());
         let result = DedupRuntime::builder(platform, b"no-store").build();
         assert!(matches!(result, Err(CoreError::UnexpectedResponse(_))));
+    }
+
+    #[test]
+    fn batch_of_hits_costs_two_transitions_and_one_roundtrip() {
+        let (platform, store, authority) = setup();
+        let seeder = runtime(&platform, &store, &authority, b"seed-app");
+        let identity = seeder.resolve(&desc_double()).unwrap();
+        let inputs: Vec<[u8; 4]> = (0..8u32).map(|i| i.to_le_bytes()).collect();
+        for input in &inputs {
+            seeder.execute_raw(&identity, input, |d| d.to_vec()).unwrap();
+        }
+
+        let rt = runtime(&platform, &store, &authority, b"batch-app");
+        let identity = rt.resolve(&desc_double()).unwrap();
+        let store_gets_before = store.stats().gets;
+        let before = rt.enclave().stats();
+        let calls = inputs
+            .iter()
+            .map(|input| {
+                BatchCall::new(identity, input.as_slice(), |_| panic!("all hits"))
+            })
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        let after = rt.enclave().stats();
+
+        assert_eq!(results.len(), 8);
+        for (i, (result, outcome)) in results.iter().enumerate() {
+            assert_eq!(*outcome, DedupOutcome::Hit, "item {i}");
+            assert_eq!(result, &inputs[i].to_vec(), "item {i}");
+        }
+        // The paper-motivating claim: N lookups, O(1) transitions. One
+        // ECALL into the batch routine, one OCALL for the batched GET.
+        assert_eq!(after.ecalls - before.ecalls, 1);
+        assert_eq!(after.ocalls - before.ocalls, 1);
+        assert!(after.transitions() - before.transitions() <= 2);
+        // And a single store-side batch message served all 8 lookups.
+        assert_eq!(store.stats().gets - store_gets_before, 8);
+        assert_eq!(rt.stats().hits, 8);
+    }
+
+    #[test]
+    fn batch_mixed_hits_and_misses_in_order() {
+        let (platform, store, authority) = setup();
+        let seeder = runtime(&platform, &store, &authority, b"seed-mixed");
+        let identity = seeder.resolve(&desc_double()).unwrap();
+        // Seed even inputs only.
+        for i in (0..6u32).step_by(2) {
+            seeder.execute_raw(&identity, &i.to_le_bytes(), |d| d.to_vec()).unwrap();
+        }
+
+        let rt = runtime(&platform, &store, &authority, b"mixed-app");
+        let identity = rt.resolve(&desc_double()).unwrap();
+        let inputs: Vec<[u8; 4]> = (0..6u32).map(|i| i.to_le_bytes()).collect();
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity, input.as_slice(), |d| d.to_vec()))
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+
+        for (i, (result, outcome)) in results.iter().enumerate() {
+            let expected =
+                if i % 2 == 0 { DedupOutcome::Hit } else { DedupOutcome::Miss };
+            assert_eq!(*outcome, expected, "item {i}");
+            assert_eq!(result, &inputs[i].to_vec(), "item {i}");
+        }
+        let stats = rt.stats();
+        assert_eq!((stats.calls, stats.hits, stats.misses), (6, 3, 3));
+
+        // The batched PUTs landed: everything hits now.
+        let calls = inputs
+            .iter()
+            .map(|input| {
+                BatchCall::new(identity, input.as_slice(), |_| panic!("all stored"))
+            })
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::Hit));
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let (platform, store, authority) = setup();
+        let rt = runtime(&platform, &store, &authority, b"empty-batch");
+        let before = rt.enclave().stats();
+        let results = rt.execute_batch(Vec::new()).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(rt.enclave().stats().transitions(), before.transitions());
+        assert_eq!(rt.stats().calls, 0);
+    }
+
+    #[test]
+    fn hot_cache_serves_repeats_without_ocalls() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"cache-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .hot_cache(crate::HotCacheConfig::default())
+            .build()
+            .unwrap();
+
+        let (_, outcome) = rt.execute(&desc_double(), b"warm", |i| i.to_vec()).unwrap();
+        assert_eq!(outcome, DedupOutcome::Miss);
+        let store_gets = store.stats().gets;
+
+        let before = rt.enclave().stats();
+        let (result, outcome) =
+            rt.execute(&desc_double(), b"warm", |_| panic!("cached")).unwrap();
+        let after = rt.enclave().stats();
+        assert_eq!(result, b"warm");
+        assert_eq!(outcome, DedupOutcome::HitLocalCache);
+        // One ECALL (the dedup routine), zero OCALLs, zero store traffic.
+        assert_eq!(after.ocalls - before.ocalls, 0);
+        assert_eq!(store.stats().gets, store_gets);
+        let stats = rt.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.reused_bytes, 4);
+    }
+
+    #[test]
+    fn hot_cache_batch_all_cached_skips_store_entirely() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"cache-batch")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .hot_cache(crate::HotCacheConfig::default())
+            .build()
+            .unwrap();
+        let identity = rt.resolve(&desc_double()).unwrap();
+        let inputs: Vec<[u8; 4]> = (0..4u32).map(|i| i.to_le_bytes()).collect();
+
+        // First batch warms the cache (all misses).
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity, input.as_slice(), |d| d.to_vec()))
+            .collect();
+        rt.execute_batch(calls).unwrap();
+
+        // Second batch: answered in-enclave, not a single OCALL.
+        let store_gets = store.stats().gets;
+        let before = rt.enclave().stats();
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity, input.as_slice(), |_| panic!("cached")))
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        let after = rt.enclave().stats();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::HitLocalCache));
+        assert_eq!(after.ocalls - before.ocalls, 0);
+        assert_eq!(after.ecalls - before.ecalls, 1);
+        assert_eq!(store.stats().gets, store_gets);
+        assert_eq!(rt.stats().cache_hits, 4);
+    }
+
+    #[test]
+    fn batch_degrades_item_by_item_when_store_down() {
+        let (platform, store, authority) = setup();
+        let up = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"batch-degraded")
+            .client_factory(flaky_factory(&platform, &store, &authority, &up))
+            .resilience(fast_resilience())
+            .trusted_library(library())
+            .build()
+            .unwrap();
+        let identity = rt.resolve(&desc_double()).unwrap();
+        let inputs: Vec<[u8; 4]> = (0..3u32).map(|i| i.to_le_bytes()).collect();
+
+        // Store down: every item still succeeds via local execution, and
+        // each PUT is parked individually.
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity, input.as_slice(), |d| d.to_vec()))
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::Miss));
+        assert_eq!(rt.stats().degraded_calls, 3);
+        assert_eq!(rt.pending_replays(), 3);
+        assert_eq!(store.stats().puts, 0);
+
+        // Recovery: one successful round-trip drains the queue item by item.
+        up.store(true, Ordering::Relaxed);
+        rt.execute(&desc_double(), b"recovered", |i| i.to_vec()).unwrap();
+        assert_eq!(rt.pending_replays(), 0);
+        assert_eq!(rt.stats().replayed_puts, 3);
+
+        // The replayed records are now batch hits.
+        let calls = inputs
+            .iter()
+            .map(|input| {
+                BatchCall::new(identity, input.as_slice(), |_| panic!("replayed"))
+            })
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::Hit));
+    }
+
+    #[test]
+    fn batch_async_put_publishes_after_flush() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"batch-async")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .async_put(true)
+            .build()
+            .unwrap();
+        let identity = rt.resolve(&desc_double()).unwrap();
+        let inputs: Vec<[u8; 4]> = (0..5u32).map(|i| i.to_le_bytes()).collect();
+
+        let before = rt.enclave().stats();
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity, input.as_slice(), |d| d.to_vec()))
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        let after = rt.enclave().stats();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::Miss));
+        // Async PUT: the publishing OCALL happens on the worker's channel,
+        // so the caller still paid only 1 ECALL + 1 OCALL.
+        assert_eq!(after.ecalls - before.ecalls, 1);
+        assert_eq!(after.ocalls - before.ocalls, 1);
+
+        rt.flush();
+        assert_eq!(store.stats().puts, 5);
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity, input.as_slice(), |_| panic!("hit")))
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::Hit));
     }
 
     #[test]

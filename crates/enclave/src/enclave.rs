@@ -22,6 +22,14 @@ pub struct EnclaveStats {
     pub charged_ns: u64,
 }
 
+impl EnclaveStats {
+    /// Total world switches (`ECALL`s + `OCALL`s) — the quantity the
+    /// batched request pipeline minimizes.
+    pub fn transitions(&self) -> u64 {
+        self.ecalls + self.ocalls
+    }
+}
+
 /// A simulated SGX enclave.
 ///
 /// Created via [`crate::Platform::create_enclave`]. Closures passed to
@@ -160,6 +168,11 @@ impl Enclave {
         self.epc.release(bytes)?;
         self.epc_committed.fetch_sub(bytes as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Protected bytes currently committed by this enclave.
+    pub fn committed_bytes(&self) -> u64 {
+        self.epc_committed.load(Ordering::Relaxed)
     }
 
     /// Returns a snapshot of this enclave's counters.

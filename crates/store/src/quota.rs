@@ -92,13 +92,19 @@ impl QuotaTracker {
 
     /// Checks whether `app` may PUT `bytes` more ciphertext at `now_ms`,
     /// and records the PUT if allowed.
+    ///
+    /// Every attempt — allowed or denied — counts against the rate-limit
+    /// window: an application hammering the store with oversized or
+    /// otherwise-denied PUTs burns its own request budget and eventually
+    /// trips the rate limit instead of retrying for free.
     pub fn check_put(&mut self, app: AppId, bytes: u64, now_ms: u64) -> QuotaDecision {
         let usage = self.usage.entry(app).or_default();
         if now_ms.saturating_sub(usage.window_start_ms) >= self.policy.window_ms {
             usage.window_start_ms = now_ms;
             usage.puts_in_window = 0;
         }
-        if usage.puts_in_window >= self.policy.max_puts_per_window {
+        usage.puts_in_window = usage.puts_in_window.saturating_add(1);
+        if usage.puts_in_window > self.policy.max_puts_per_window {
             return QuotaDecision::Deny(format!(
                 "rate limit: {} puts in current window",
                 usage.puts_in_window
@@ -116,7 +122,6 @@ impl QuotaTracker {
                 usage.bytes, bytes
             ));
         }
-        usage.puts_in_window += 1;
         usage.entries += 1;
         usage.bytes += bytes;
         QuotaDecision::Allow
@@ -161,6 +166,27 @@ mod tests {
         let mut tracker = QuotaTracker::new(small_policy());
         assert!(tracker.check_put(AppId(1), 1, 0).is_allowed());
         assert!(tracker.check_put(AppId(1), 1, 100).is_allowed());
+        let denied = tracker.check_put(AppId(1), 1, 200);
+        assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("rate limit")));
+    }
+
+    #[test]
+    fn denied_puts_count_against_rate_limit() {
+        // Regression: denied attempts must burn the rate-limit budget, or a
+        // misbehaving app could hammer the store with oversized PUTs forever
+        // without ever tripping the rate limiter.
+        let mut tracker = QuotaTracker::new(small_policy());
+        // Oversized PUT: denied on byte quota, but still counts as attempt #1.
+        let denied = tracker.check_put(AppId(1), 500, 0);
+        assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("byte quota")));
+        assert_eq!(
+            tracker.usage(AppId(1)),
+            (0, 0),
+            "denied PUT must not consume storage quota"
+        );
+        // Attempt #2 (allowed) exhausts the 2-per-window budget.
+        assert!(tracker.check_put(AppId(1), 1, 100).is_allowed());
+        // Attempt #3 is rate-limited even though only one PUT was stored.
         let denied = tracker.check_put(AppId(1), 1, 200);
         assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("rate limit")));
     }

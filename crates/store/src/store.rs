@@ -6,10 +6,10 @@ use std::sync::Arc;
 
 use std::sync::Mutex;
 
-use speed_enclave::{Enclave, EnclaveError, Platform, UntrustedMemory};
+use speed_enclave::{BlobId, Enclave, EnclaveError, Platform, UntrustedMemory};
 use speed_wire::{
-    AppId, CompTag, GetResponseBody, Message, PutResponseBody, Record, StatsBody,
-    SyncEntry,
+    AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
+    PutResponseBody, Record, StatsBody, SyncEntry,
 };
 
 use crate::dict::MetadataDict;
@@ -18,6 +18,16 @@ use crate::StoreError;
 
 /// Code identity of the store enclave (what remote parties attest against).
 pub const STORE_ENCLAVE_CODE: &[u8] = b"speed-result-store-enclave-v1";
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// A poisoned store mutex only means some request died mid-flight; every
+/// critical section below leaves the dictionary/quota/heap in a consistent
+/// state before it can panic, so later requests must keep being served
+/// instead of propagating the panic to every future caller.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Who may use the store — the "controlled deduplication" extension the
 /// paper sketches in §III-D ("to ensure that only authorized applications
@@ -125,6 +135,41 @@ impl MetaHeap {
     }
 }
 
+/// Host-side plan for one batch item, built before the batch ECALL: quota
+/// decisions and bulk ciphertext placement happen outside the enclave, so
+/// the single ECALL only touches dictionary metadata.
+enum BatchPlan {
+    Get {
+        tag: CompTag,
+        now_ms: u64,
+    },
+    Put {
+        tag: CompTag,
+        challenge: Vec<u8>,
+        wrapped_key: [u8; 16],
+        nonce: [u8; 12],
+        blob: BlobId,
+        boxed_len: u64,
+        now_ms: u64,
+    },
+    /// Denied host-side (quota); never enters the enclave.
+    Denied {
+        reason: String,
+    },
+}
+
+/// Per-item outcome of the batch ECALL, resolved to a wire result (and any
+/// required blob/quota cleanup) back on the host side.
+enum BatchOutcome {
+    GetHit { challenge: Vec<u8>, wrapped_key: [u8; 16], nonce: [u8; 12], blob: BlobId },
+    GetMiss,
+    GetExpired(crate::DictEntry),
+    PutInserted,
+    PutDuplicate { orphan: BlobId },
+    PutFailed(String),
+    Denied(String),
+}
+
 /// The encrypted result store.
 ///
 /// Thread-safe: the TCP front end serves concurrent connections against one
@@ -187,6 +232,12 @@ impl ResultStore {
                 }
                 Message::PutResponse(self.handle_put(app, tag, record))
             }
+            Message::BatchRequest { app, items } => {
+                if !self.config.access.permits(app) {
+                    return Message::Error(format!("app {} not authorized", app.0));
+                }
+                Message::BatchResponse(self.handle_batch(app, items))
+            }
             Message::StatsRequest => Message::StatsResponse(self.stats()),
             Message::SyncPull { min_hits } => {
                 Message::SyncBatch(self.export_popular(min_hits))
@@ -213,7 +264,7 @@ impl ResultStore {
         let now_ms = self.tick();
         // GET ECALL: tag goes in (32 B), metadata comes out.
         let (meta, expired) = self.enclave.ecall_with_bytes("store_get", 32, 128, || {
-            let mut dict = self.dict.lock().expect("store lock poisoned");
+            let mut dict = lock_recover(&self.dict);
             if let Some(ttl) = self.config.ttl_ms {
                 let is_expired = dict
                     .peek(&tag)
@@ -235,10 +286,7 @@ impl ResultStore {
         });
         if let Some(entry) = expired {
             self.untrusted.remove(entry.blob);
-            self.quota
-                .lock()
-                .expect("store lock poisoned")
-                .release(entry.owner, u64::from(entry.boxed_len));
+            lock_recover(&self.quota).release(entry.owner, u64::from(entry.boxed_len));
             self.release_entry_memory(&entry);
         }
         match meta {
@@ -263,7 +311,7 @@ impl ResultStore {
                         // enclave). Drop the dangling metadata and miss.
                         let _ = boxed_len;
                         self.enclave.ecall("store_drop_dangling", || {
-                            let mut dict = self.dict.lock().expect("store lock poisoned");
+                            let mut dict = lock_recover(&self.dict);
                             if let Some(entry) = dict.remove(&tag) {
                                 self.release_entry_memory(&entry);
                             }
@@ -281,11 +329,7 @@ impl ResultStore {
         let now_ms = self.tick();
         let boxed_len = record.boxed_result.len() as u64;
 
-        let decision = self
-            .quota
-            .lock()
-            .expect("store lock poisoned")
-            .check_put(app, boxed_len, now_ms);
+        let decision = lock_recover(&self.quota).check_put(app, boxed_len, now_ms);
         if let QuotaDecision::Deny(reason) = decision {
             self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
             return PutResponseBody { accepted: false, reason: Some(reason) };
@@ -299,12 +343,9 @@ impl ResultStore {
         let meta_len = record.challenge.len() + 16 + 12 + 8;
         let result: Result<Option<speed_enclave::BlobId>, EnclaveError> =
             self.enclave.ecall_with_bytes("store_put", meta_len, 1, || {
-                let mut dict = self.dict.lock().expect("store lock poisoned");
+                let mut dict = lock_recover(&self.dict);
                 let entry_footprint = 32 + record.challenge.len() + 120;
-                self.meta_heap
-                    .lock()
-                    .expect("store lock poisoned")
-                    .reserve(&self.enclave, entry_footprint)?;
+                lock_recover(&self.meta_heap).reserve(&self.enclave, entry_footprint)?;
                 let rejected = dict.insert(
                     tag,
                     record.challenge.clone(),
@@ -317,10 +358,7 @@ impl ResultStore {
                 );
                 if rejected.is_some() {
                     // Entry already existed; give back the memory we took.
-                    self.meta_heap
-                        .lock()
-                        .expect("store lock poisoned")
-                        .release(&self.enclave, entry_footprint);
+                    lock_recover(&self.meta_heap).release(&self.enclave, entry_footprint);
                 }
                 Ok(rejected)
             });
@@ -334,7 +372,7 @@ impl ResultStore {
                 // Duplicate tag: first writer won; free the new blob and
                 // refund quota.
                 self.untrusted.remove(orphan_blob);
-                self.quota.lock().expect("store lock poisoned").release(app, boxed_len);
+                lock_recover(&self.quota).release(app, boxed_len);
                 PutResponseBody {
                     accepted: true,
                     reason: Some("duplicate: existing entry kept".into()),
@@ -342,17 +380,224 @@ impl ResultStore {
             }
             Err(e) => {
                 self.untrusted.remove(blob);
-                self.quota.lock().expect("store lock poisoned").release(app, boxed_len);
+                lock_recover(&self.quota).release(app, boxed_len);
                 self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
                 PutResponseBody { accepted: false, reason: Some(e.to_string()) }
             }
         }
     }
 
+    /// Handles a batched request: every dictionary operation in the batch
+    /// runs inside a single `store_batch` ECALL, so a batch of N items
+    /// costs one enclave transition on the store side instead of N.
+    ///
+    /// Results are returned in request order. A quota denial or enclave
+    /// memory failure rejects only the affected item, never the batch.
+    pub fn handle_batch(
+        &self,
+        app: AppId,
+        items: Vec<BatchItem>,
+    ) -> Vec<BatchItemResult> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+
+        // Phase A (host): quota checks and bulk ciphertext straight to
+        // untrusted memory; only metadata will cross the boundary.
+        let mut plans = Vec::with_capacity(items.len());
+        let mut args_len = 0usize;
+        let mut ret_len = 0usize;
+        for item in items {
+            let now_ms = self.tick();
+            match item {
+                BatchItem::Get { tag } => {
+                    self.counters.gets.fetch_add(1, Ordering::Relaxed);
+                    args_len += 32;
+                    ret_len += 128;
+                    plans.push(BatchPlan::Get { tag, now_ms });
+                }
+                BatchItem::Put { tag, record } => {
+                    self.counters.puts.fetch_add(1, Ordering::Relaxed);
+                    let boxed_len = record.boxed_result.len() as u64;
+                    let decision =
+                        lock_recover(&self.quota).check_put(app, boxed_len, now_ms);
+                    if let QuotaDecision::Deny(reason) = decision {
+                        self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                        plans.push(BatchPlan::Denied { reason });
+                        continue;
+                    }
+                    args_len += record.challenge.len() + 16 + 12 + 8;
+                    ret_len += 1;
+                    let blob = self.untrusted.store(record.boxed_result);
+                    plans.push(BatchPlan::Put {
+                        tag,
+                        challenge: record.challenge,
+                        wrapped_key: record.wrapped_key,
+                        nonce: record.nonce,
+                        blob,
+                        boxed_len,
+                        now_ms,
+                    });
+                }
+            }
+        }
+
+        // Phase B: ONE ECALL for the whole batch. The dictionary lock is
+        // taken once, and per-item enclave-memory failures are recorded
+        // instead of aborting the remaining items.
+        let outcomes =
+            self.enclave.ecall_with_bytes("store_batch", args_len, ret_len, || {
+                let mut dict = lock_recover(&self.dict);
+                plans
+                    .iter()
+                    .map(|plan| match plan {
+                        BatchPlan::Denied { reason } => {
+                            BatchOutcome::Denied(reason.clone())
+                        }
+                        BatchPlan::Get { tag, now_ms } => {
+                            if let Some(ttl) = self.config.ttl_ms {
+                                let is_expired = dict.peek(tag).is_some_and(|entry| {
+                                    now_ms.saturating_sub(entry.created_ms) >= ttl
+                                });
+                                if is_expired {
+                                    return match dict.remove(tag) {
+                                        Some(entry) => BatchOutcome::GetExpired(entry),
+                                        None => BatchOutcome::GetMiss,
+                                    };
+                                }
+                            }
+                            match dict.get(tag) {
+                                Some(entry) => BatchOutcome::GetHit {
+                                    challenge: entry.challenge.clone(),
+                                    wrapped_key: entry.wrapped_key,
+                                    nonce: entry.nonce,
+                                    blob: entry.blob,
+                                },
+                                None => BatchOutcome::GetMiss,
+                            }
+                        }
+                        BatchPlan::Put {
+                            tag,
+                            challenge,
+                            wrapped_key,
+                            nonce,
+                            blob,
+                            boxed_len,
+                            now_ms,
+                        } => {
+                            let entry_footprint = 32 + challenge.len() + 120;
+                            let mut meta_heap = lock_recover(&self.meta_heap);
+                            if let Err(e) =
+                                meta_heap.reserve(&self.enclave, entry_footprint)
+                            {
+                                return BatchOutcome::PutFailed(e.to_string());
+                            }
+                            let rejected = dict.insert(
+                                *tag,
+                                challenge.clone(),
+                                *wrapped_key,
+                                *nonce,
+                                *blob,
+                                *boxed_len as u32,
+                                app,
+                                *now_ms,
+                            );
+                            match rejected {
+                                Some(orphan) => {
+                                    meta_heap.release(&self.enclave, entry_footprint);
+                                    BatchOutcome::PutDuplicate { orphan }
+                                }
+                                None => BatchOutcome::PutInserted,
+                            }
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+
+        // Phase C (host): load hit blobs, clean up expired/duplicate/failed
+        // items, and enforce capacity once for the whole batch.
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut dangling: Vec<CompTag> = Vec::new();
+        let mut inserted_any = false;
+        for (outcome, plan) in outcomes.into_iter().zip(plans) {
+            match outcome {
+                BatchOutcome::Denied(reason) => {
+                    results.push(BatchItemResult::rejected(reason));
+                }
+                BatchOutcome::GetMiss => results.push(BatchItemResult::not_found()),
+                BatchOutcome::GetExpired(entry) => {
+                    self.untrusted.remove(entry.blob);
+                    lock_recover(&self.quota)
+                        .release(entry.owner, u64::from(entry.boxed_len));
+                    self.release_entry_memory(&entry);
+                    results.push(BatchItemResult::not_found());
+                }
+                BatchOutcome::GetHit { challenge, wrapped_key, nonce, blob } => {
+                    match self.untrusted.load(blob) {
+                        Some(boxed_result) => {
+                            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                            results.push(BatchItemResult::found(Record {
+                                challenge,
+                                wrapped_key,
+                                nonce,
+                                boxed_result,
+                            }));
+                        }
+                        None => {
+                            // Hostile blob deletion; drop the metadata in one
+                            // follow-up ECALL shared by all dangling items.
+                            if let BatchPlan::Get { tag, .. } = plan {
+                                dangling.push(tag);
+                            }
+                            results.push(BatchItemResult::not_found());
+                        }
+                    }
+                }
+                BatchOutcome::PutInserted => {
+                    inserted_any = true;
+                    results.push(BatchItemResult::accepted());
+                }
+                BatchOutcome::PutDuplicate { orphan } => {
+                    self.untrusted.remove(orphan);
+                    if let BatchPlan::Put { boxed_len, .. } = plan {
+                        lock_recover(&self.quota).release(app, boxed_len);
+                    }
+                    results.push(BatchItemResult {
+                        status: BatchStatus::Accepted,
+                        record: None,
+                        reason: Some("duplicate: existing entry kept".into()),
+                    });
+                }
+                BatchOutcome::PutFailed(reason) => {
+                    if let BatchPlan::Put { blob, boxed_len, .. } = plan {
+                        self.untrusted.remove(blob);
+                        lock_recover(&self.quota).release(app, boxed_len);
+                    }
+                    self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                    results.push(BatchItemResult::rejected(reason));
+                }
+            }
+        }
+        if !dangling.is_empty() {
+            self.enclave.ecall("store_drop_dangling", || {
+                let mut dict = lock_recover(&self.dict);
+                for tag in &dangling {
+                    if let Some(entry) = dict.remove(tag) {
+                        self.release_entry_memory(&entry);
+                    }
+                }
+            });
+        }
+        if inserted_any {
+            self.enforce_capacity();
+        }
+        results
+    }
+
     fn enforce_capacity(&self) {
         loop {
             let evicted = self.enclave.ecall("store_evict", || {
-                let mut dict = self.dict.lock().expect("store lock poisoned");
+                let mut dict = lock_recover(&self.dict);
                 if dict.len() > self.config.max_entries
                     || dict.stored_bytes() > self.config.max_stored_bytes
                 {
@@ -365,9 +610,7 @@ impl ResultStore {
                 Some((_tag, entry)) => {
                     self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                     self.untrusted.remove(entry.blob);
-                    self.quota
-                        .lock()
-                        .expect("store lock poisoned")
+                    lock_recover(&self.quota)
                         .release(entry.owner, u64::from(entry.boxed_len));
                     self.release_entry_memory(&entry);
                 }
@@ -378,10 +621,7 @@ impl ResultStore {
 
     fn release_entry_memory(&self, entry: &crate::DictEntry) {
         let footprint = 32 + entry.challenge.len() + 120;
-        self.meta_heap
-            .lock()
-            .expect("store lock poisoned")
-            .release(&self.enclave, footprint);
+        lock_recover(&self.meta_heap).release(&self.enclave, footprint);
     }
 
     /// Imports entries wholesale (snapshot restore), preserving hit counts.
@@ -394,10 +634,7 @@ impl ResultStore {
             let response = self.handle_put(AppId(u64::MAX), tag, entry.record);
             if response.accepted {
                 self.enclave.ecall("store_restore_hits", || {
-                    self.dict
-                        .lock()
-                        .expect("store lock poisoned")
-                        .restore_hits(&tag, hits);
+                    lock_recover(&self.dict).restore_hits(&tag, hits);
                 });
                 imported += 1;
             }
@@ -407,9 +644,9 @@ impl ResultStore {
 
     /// Exports entries with at least `min_hits` hits for master-store sync.
     pub fn export_popular(&self, min_hits: u64) -> Vec<SyncEntry> {
-        let popular = self.enclave.ecall("store_export", || {
-            self.dict.lock().expect("store lock poisoned").popular(min_hits)
-        });
+        let popular = self
+            .enclave
+            .ecall("store_export", || lock_recover(&self.dict).popular(min_hits));
         popular
             .into_iter()
             .filter_map(|(tag, entry)| {
@@ -429,7 +666,7 @@ impl ResultStore {
 
     /// A snapshot of the store's counters.
     pub fn stats(&self) -> StatsBody {
-        let dict = self.dict.lock().expect("store lock poisoned");
+        let dict = lock_recover(&self.dict);
         StatsBody {
             entries: dict.len() as u64,
             gets: self.counters.gets.load(Ordering::Relaxed),
@@ -805,6 +1042,204 @@ mod tests {
         let popular = store.export_popular(7);
         assert_eq!(popular.len(), 1);
         assert_eq!(popular[0].hits, 7);
+    }
+
+    #[test]
+    fn batch_of_gets_costs_one_ecall() {
+        let (_p, store) = store();
+        for n in 1..=3u8 {
+            store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag(n),
+                record: record(10, n),
+            });
+        }
+        let ecalls_before = store.enclave().stats().ecalls;
+        let response = store.handle(Message::BatchRequest {
+            app: AppId(2),
+            items: (1..=4u8).map(|n| BatchItem::Get { tag: tag(n) }).collect(),
+        });
+        let ecalls_after = store.enclave().stats().ecalls;
+        assert_eq!(
+            ecalls_after - ecalls_before,
+            1,
+            "a batch of GETs must enter the enclave exactly once"
+        );
+        match response {
+            Message::BatchResponse(results) => {
+                assert_eq!(results.len(), 4);
+                for (i, result) in results.iter().take(3).enumerate() {
+                    assert_eq!(result.status, BatchStatus::Found, "item {i}");
+                    let rec = result.record.as_ref().unwrap();
+                    assert_eq!(rec.boxed_result, vec![(i + 1) as u8; 10]);
+                }
+                assert_eq!(results[3].status, BatchStatus::NotFound);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_put_then_get_same_tag_hits_within_batch() {
+        let (_p, store) = store();
+        let response = store.handle(Message::BatchRequest {
+            app: AppId(1),
+            items: vec![
+                BatchItem::Get { tag: tag(1) },
+                BatchItem::Put { tag: tag(1), record: record(10, 7) },
+                BatchItem::Get { tag: tag(1) },
+            ],
+        });
+        match response {
+            Message::BatchResponse(results) => {
+                assert_eq!(results[0].status, BatchStatus::NotFound);
+                assert_eq!(results[1].status, BatchStatus::Accepted);
+                assert_eq!(results[2].status, BatchStatus::Found);
+                assert_eq!(
+                    results[2].record.as_ref().unwrap().boxed_result,
+                    vec![7u8; 10]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn batch_duplicate_put_refunds_quota() {
+        let (platform, store) = store();
+        let blobs_before = platform.untrusted().len();
+        let response = store.handle(Message::BatchRequest {
+            app: AppId(1),
+            items: vec![
+                BatchItem::Put { tag: tag(1), record: record(10, 1) },
+                BatchItem::Put { tag: tag(1), record: record(10, 2) },
+            ],
+        });
+        match response {
+            Message::BatchResponse(results) => {
+                assert_eq!(results[0].status, BatchStatus::Accepted);
+                assert_eq!(results[1].status, BatchStatus::Accepted);
+                assert!(results[1].reason.as_ref().unwrap().contains("duplicate"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Only the first blob remains; the duplicate's was freed.
+        assert_eq!(platform.untrusted().len(), blobs_before + 1);
+        // First writer won.
+        let get = store.handle(Message::GetRequest { app: AppId(2), tag: tag(1) });
+        match get {
+            Message::GetResponse(b) => {
+                assert_eq!(b.record.unwrap().boxed_result, vec![1u8; 10]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_quota_denial_rejects_item_not_batch() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let config = StoreConfig {
+            quota: QuotaPolicy {
+                max_entries_per_app: 1,
+                max_bytes_per_app: u64::MAX,
+                max_puts_per_window: u64::MAX,
+                window_ms: 1_000,
+            },
+            ..StoreConfig::default()
+        };
+        let store = ResultStore::new(&platform, config).unwrap();
+        let response = store.handle(Message::BatchRequest {
+            app: AppId(1),
+            items: vec![
+                BatchItem::Put { tag: tag(1), record: record(8, 1) },
+                BatchItem::Put { tag: tag(2), record: record(8, 2) },
+                BatchItem::Get { tag: tag(1) },
+            ],
+        });
+        match response {
+            Message::BatchResponse(results) => {
+                assert_eq!(results[0].status, BatchStatus::Accepted);
+                assert_eq!(results[1].status, BatchStatus::Rejected);
+                assert!(results[1].reason.as_ref().unwrap().contains("quota"));
+                // The rest of the batch is unaffected by the denial.
+                assert_eq!(results[2].status, BatchStatus::Found);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(store.stats().rejected_puts, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (_p, store) = store();
+        let ecalls_before = store.enclave().stats().ecalls;
+        let response =
+            store.handle(Message::BatchRequest { app: AppId(1), items: Vec::new() });
+        assert_eq!(store.enclave().stats().ecalls, ecalls_before);
+        assert!(matches!(response, Message::BatchResponse(r) if r.is_empty()));
+    }
+
+    #[test]
+    fn batch_respects_access_control() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let config = StoreConfig {
+            access: AccessControl::Allowlist([1u64].into_iter().collect()),
+            ..StoreConfig::default()
+        };
+        let store = ResultStore::new(&platform, config).unwrap();
+        let denied = store.handle(Message::BatchRequest {
+            app: AppId(9),
+            items: vec![BatchItem::Get { tag: tag(1) }],
+        });
+        assert!(matches!(denied, Message::Error(ref m) if m.contains("not authorized")));
+    }
+
+    #[test]
+    fn batch_ttl_expiry_and_cleanup() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let config = StoreConfig { ttl_ms: Some(3), ..StoreConfig::default() };
+        let store = ResultStore::new(&platform, config).unwrap();
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(12, 1),
+        });
+        // Burn logical time past the TTL, then batch-GET the stale tag.
+        for n in 10..20u8 {
+            store.handle(Message::GetRequest { app: AppId(1), tag: tag(n) });
+        }
+        let response = store.handle(Message::BatchRequest {
+            app: AppId(1),
+            items: vec![BatchItem::Get { tag: tag(1) }],
+        });
+        match response {
+            Message::BatchResponse(results) => {
+                assert_eq!(results[0].status, BatchStatus::NotFound);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The expired entry was fully reclaimed.
+        assert_eq!(store.stats().entries, 0);
+        assert_eq!(store.stats().stored_bytes, 0);
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoned_mutex() {
+        // Regression for the poison-panic bug: a panicking request used to
+        // leave every later request panicking on `.expect("store lock
+        // poisoned")`. `lock_recover` must hand back the guard instead.
+        let mutex = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_recover(&mutex), 7);
+        *lock_recover(&mutex) = 8;
+        assert_eq!(*lock_recover(&mutex), 8);
     }
 
     #[test]

@@ -29,8 +29,8 @@ mod messages;
 pub use channel::{ChannelError, Role, SecureChannel, SessionAuthority};
 pub use codec::{Reader, WireDecode, WireEncode, WireError, Writer};
 pub use messages::{
-    AppId, CompTag, GetResponseBody, Message, PutResponseBody, Record, StatsBody,
-    SyncEntry, COMP_TAG_LEN,
+    AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
+    PutResponseBody, Record, StatsBody, SyncEntry, COMP_TAG_LEN,
 };
 
 /// Encodes any [`WireEncode`] value to a fresh byte vector.

@@ -169,6 +169,164 @@ impl WireDecode for SyncEntry {
     }
 }
 
+/// One operation inside a [`Message::BatchRequest`].
+///
+/// A batch carries N independent GET/PUT operations in one envelope so the
+/// store can serve them with a single enclave entry and the client pays a
+/// single network roundtrip — the switchless-IO observation applied to the
+/// dedup data path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchItem {
+    /// Duplicate check for one tag.
+    Get {
+        /// The computation tag.
+        tag: CompTag,
+    },
+    /// Publish one freshly computed record.
+    Put {
+        /// The computation tag.
+        tag: CompTag,
+        /// The encrypted record.
+        record: Record,
+    },
+}
+
+impl BatchItem {
+    /// Approximate wire size in bytes, used for boundary-copy accounting.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            BatchItem::Get { .. } => 1 + COMP_TAG_LEN,
+            BatchItem::Put { record, .. } => 1 + COMP_TAG_LEN + record.wire_size(),
+        }
+    }
+}
+
+const BATCH_ITEM_GET: u8 = 0;
+const BATCH_ITEM_PUT: u8 = 1;
+
+impl WireEncode for BatchItem {
+    fn encode(&self, writer: &mut Writer) {
+        match self {
+            BatchItem::Get { tag } => {
+                BATCH_ITEM_GET.encode(writer);
+                tag.encode(writer);
+            }
+            BatchItem::Put { tag, record } => {
+                BATCH_ITEM_PUT.encode(writer);
+                tag.encode(writer);
+                record.encode(writer);
+            }
+        }
+    }
+}
+
+impl WireDecode for BatchItem {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(reader)? {
+            BATCH_ITEM_GET => Ok(BatchItem::Get { tag: CompTag::decode(reader)? }),
+            BATCH_ITEM_PUT => Ok(BatchItem::Put {
+                tag: CompTag::decode(reader)?,
+                record: Record::decode(reader)?,
+            }),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+}
+
+/// Per-item status code in a [`Message::BatchResponse`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// GET: the record was found and is attached.
+    Found,
+    /// GET: no record under this tag.
+    NotFound,
+    /// PUT: the record was accepted (or an identical entry already existed).
+    Accepted,
+    /// PUT: the record was rejected (quota, enclave memory, …); see
+    /// [`BatchItemResult::reason`].
+    Rejected,
+}
+
+impl WireEncode for BatchStatus {
+    fn encode(&self, writer: &mut Writer) {
+        let code: u8 = match self {
+            BatchStatus::Found => 0,
+            BatchStatus::NotFound => 1,
+            BatchStatus::Accepted => 2,
+            BatchStatus::Rejected => 3,
+        };
+        code.encode(writer);
+    }
+}
+
+impl WireDecode for BatchStatus {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(reader)? {
+            0 => Ok(BatchStatus::Found),
+            1 => Ok(BatchStatus::NotFound),
+            2 => Ok(BatchStatus::Accepted),
+            3 => Ok(BatchStatus::Rejected),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+}
+
+/// The outcome of one [`BatchItem`], in request order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchItemResult {
+    /// Per-item status code.
+    pub status: BatchStatus,
+    /// The record, present iff `status` is [`BatchStatus::Found`].
+    pub record: Option<Record>,
+    /// Human-readable reason, present when `status` is
+    /// [`BatchStatus::Rejected`].
+    pub reason: Option<String>,
+}
+
+impl BatchItemResult {
+    /// A GET hit carrying its record.
+    pub fn found(record: Record) -> Self {
+        BatchItemResult { status: BatchStatus::Found, record: Some(record), reason: None }
+    }
+
+    /// A GET miss.
+    pub fn not_found() -> Self {
+        BatchItemResult { status: BatchStatus::NotFound, record: None, reason: None }
+    }
+
+    /// An accepted PUT.
+    pub fn accepted() -> Self {
+        BatchItemResult { status: BatchStatus::Accepted, record: None, reason: None }
+    }
+
+    /// A rejected PUT with its reason.
+    pub fn rejected(reason: impl Into<String>) -> Self {
+        BatchItemResult {
+            status: BatchStatus::Rejected,
+            record: None,
+            reason: Some(reason.into()),
+        }
+    }
+}
+
+impl WireEncode for BatchItemResult {
+    fn encode(&self, writer: &mut Writer) {
+        self.status.encode(writer);
+        self.record.encode(writer);
+        self.reason.encode(writer);
+    }
+}
+
+impl WireDecode for BatchItemResult {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BatchItemResult {
+            status: BatchStatus::decode(reader)?,
+            record: Option::<Record>::decode(reader)?,
+            reason: Option::<String>::decode(reader)?,
+        })
+    }
+}
+
 /// The protocol envelope.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -206,6 +364,16 @@ pub enum Message {
     SyncBatch(Vec<SyncEntry>),
     /// Protocol-level error (unknown message, malformed body).
     Error(String),
+    /// N GET/PUT operations served in one roundtrip and one enclave entry.
+    BatchRequest {
+        /// Requesting application.
+        app: AppId,
+        /// The operations, answered in order.
+        items: Vec<BatchItem>,
+    },
+    /// Response to [`Message::BatchRequest`]: one result per item, in
+    /// request order.
+    BatchResponse(Vec<BatchItemResult>),
 }
 
 const TAG_GET_REQUEST: u8 = 1;
@@ -217,6 +385,27 @@ const TAG_STATS_RESPONSE: u8 = 6;
 const TAG_SYNC_PULL: u8 = 7;
 const TAG_SYNC_BATCH: u8 = 8;
 const TAG_ERROR: u8 = 9;
+const TAG_BATCH_REQUEST: u8 = 10;
+const TAG_BATCH_RESPONSE: u8 = 11;
+
+/// Encodes a `u32` length prefix followed by each element.
+fn encode_seq<T: WireEncode>(items: &[T], writer: &mut Writer) {
+    let len = u32::try_from(items.len()).expect("batch too large");
+    len.encode(writer);
+    for item in items {
+        item.encode(writer);
+    }
+}
+
+/// Decodes a `u32`-prefixed sequence with a defensive preallocation bound.
+fn decode_seq<T: WireDecode>(reader: &mut Reader<'_>) -> Result<Vec<T>, WireError> {
+    let len = u32::decode(reader)? as usize;
+    let mut items = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        items.push(T::decode(reader)?);
+    }
+    Ok(items)
+}
 
 impl WireEncode for Message {
     fn encode(&self, writer: &mut Writer) {
@@ -258,15 +447,20 @@ impl WireEncode for Message {
             }
             Message::SyncBatch(entries) => {
                 TAG_SYNC_BATCH.encode(writer);
-                let len = u32::try_from(entries.len()).expect("sync batch too large");
-                len.encode(writer);
-                for entry in entries {
-                    entry.encode(writer);
-                }
+                encode_seq(entries, writer);
             }
             Message::Error(msg) => {
                 TAG_ERROR.encode(writer);
                 msg.encode(writer);
+            }
+            Message::BatchRequest { app, items } => {
+                TAG_BATCH_REQUEST.encode(writer);
+                app.encode(writer);
+                encode_seq(items, writer);
+            }
+            Message::BatchResponse(results) => {
+                TAG_BATCH_RESPONSE.encode(writer);
+                encode_seq(results, writer);
             }
         }
     }
@@ -303,15 +497,13 @@ impl WireDecode for Message {
                 stored_bytes: u64::decode(reader)?,
             })),
             TAG_SYNC_PULL => Ok(Message::SyncPull { min_hits: u64::decode(reader)? }),
-            TAG_SYNC_BATCH => {
-                let len = u32::decode(reader)? as usize;
-                let mut entries = Vec::with_capacity(len.min(1024));
-                for _ in 0..len {
-                    entries.push(SyncEntry::decode(reader)?);
-                }
-                Ok(Message::SyncBatch(entries))
-            }
+            TAG_SYNC_BATCH => Ok(Message::SyncBatch(decode_seq(reader)?)),
             TAG_ERROR => Ok(Message::Error(String::decode(reader)?)),
+            TAG_BATCH_REQUEST => Ok(Message::BatchRequest {
+                app: AppId::decode(reader)?,
+                items: decode_seq(reader)?,
+            }),
+            TAG_BATCH_RESPONSE => Ok(Message::BatchResponse(decode_seq(reader)?)),
             other => Err(WireError::InvalidTag(other)),
         }
     }
@@ -366,6 +558,23 @@ mod tests {
                 hits: 3,
             }]),
             Message::Error("boom".into()),
+            Message::BatchRequest {
+                app: AppId(3),
+                items: vec![
+                    BatchItem::Get { tag: CompTag::from_bytes([6; 32]) },
+                    BatchItem::Put {
+                        tag: CompTag::from_bytes([7; 32]),
+                        record: sample_record(),
+                    },
+                ],
+            },
+            Message::BatchRequest { app: AppId(4), items: vec![] },
+            Message::BatchResponse(vec![
+                BatchItemResult::found(sample_record()),
+                BatchItemResult::not_found(),
+                BatchItemResult::accepted(),
+                BatchItemResult::rejected("quota exceeded"),
+            ]),
         ];
         for msg in messages {
             let decoded: Message = from_bytes(&to_bytes(&msg)).unwrap();
@@ -390,6 +599,38 @@ mod tests {
         let dbg = format!("{tag:?}");
         assert!(dbg.len() < 32, "{dbg}");
         assert!(dbg.contains("abab"));
+    }
+
+    #[test]
+    fn batch_item_wire_size_matches_encoding() {
+        let get = BatchItem::Get { tag: CompTag::from_bytes([1; 32]) };
+        assert_eq!(get.wire_size(), to_bytes(&get).len());
+        let put =
+            BatchItem::Put { tag: CompTag::from_bytes([2; 32]), record: sample_record() };
+        assert_eq!(put.wire_size(), to_bytes(&put).len());
+    }
+
+    #[test]
+    fn batch_status_rejects_junk_codes() {
+        assert_eq!(from_bytes::<BatchStatus>(&[9]), Err(WireError::InvalidTag(9)));
+        assert_eq!(from_bytes::<BatchItem>(&[7]), Err(WireError::InvalidTag(7)));
+    }
+
+    #[test]
+    fn truncated_batch_fails_not_panics() {
+        let bytes = to_bytes(&Message::BatchRequest {
+            app: AppId(1),
+            items: vec![
+                BatchItem::Get { tag: CompTag::from_bytes([0; 32]) },
+                BatchItem::Put {
+                    tag: CompTag::from_bytes([1; 32]),
+                    record: sample_record(),
+                },
+            ],
+        });
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Message>(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

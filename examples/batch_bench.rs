@@ -1,0 +1,214 @@
+//! Benchmarks the batched request pipeline against the per-item path and
+//! emits `BENCH_batch.json`.
+//!
+//! Three scenarios run the same deduplicated request stream (synthetic
+//! text, configurable duplicate ratio) and report enclave transitions,
+//! boundary bytes, simulated SGX time, and wall-clock:
+//!
+//! 1. `per_item`   — one `execute_raw` per request (1 ECALL + ≥1 OCALL each)
+//! 2. `batched`    — `execute_batch` over chunks (≤2 transitions per chunk)
+//! 3. `batched_hot_cache` — batched plus the in-enclave hot-tag cache, so
+//!    repeated tags never leave the enclave at all
+//!
+//! ```text
+//! cargo run --release --example batch_bench            # full corpus
+//! cargo run --release --example batch_bench -- --smoke # CI smoke run
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use speed_core::{BatchCall, DedupRuntime, FuncDesc, HotCacheConfig, TrustedLibrary};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::SessionAuthority;
+use speed_workloads::{text, RequestStream};
+
+const BATCH_SIZE: usize = 32;
+
+fn digest(data: &[u8]) -> Vec<u8> {
+    // A cheap stand-in computation; the bench measures boundary overhead,
+    // not compute.
+    let mut acc = [0u8; 64];
+    for (i, b) in data.iter().enumerate() {
+        acc[i % 64] = acc[i % 64].wrapping_add(*b).rotate_left(3);
+    }
+    acc.to_vec()
+}
+
+struct Scenario {
+    name: &'static str,
+    wall_ms: f64,
+    ecalls: u64,
+    ocalls: u64,
+    boundary_bytes: u64,
+    charged_ns: u64,
+    hits: u64,
+    misses: u64,
+    cache_hits: u64,
+}
+
+impl Scenario {
+    fn transitions(&self) -> u64 {
+        self.ecalls + self.ocalls
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, ",
+                "\"ecalls\": {}, \"ocalls\": {}, \"transitions\": {}, ",
+                "\"boundary_bytes\": {}, \"charged_sgx_ns\": {}, ",
+                "\"store_hits\": {}, \"misses\": {}, \"cache_hits\": {}}}"
+            ),
+            self.name,
+            self.wall_ms,
+            self.ecalls,
+            self.ocalls,
+            self.transitions(),
+            self.boundary_bytes,
+            self.charged_ns,
+            self.hits,
+            self.misses,
+            self.cache_hits,
+        )
+    }
+}
+
+fn run_scenario(
+    name: &'static str,
+    batch: Option<usize>,
+    cache: Option<HotCacheConfig>,
+    requests: &[&Vec<u8>],
+) -> Scenario {
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let authority = Arc::new(SessionAuthority::new());
+
+    let mut library = TrustedLibrary::new("benchlib", "1.0");
+    library.register("bytes digest(bytes)", b"batch bench digest v1");
+
+    let mut builder = DedupRuntime::builder(Arc::clone(&platform), b"batch-bench")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library);
+    if let Some(config) = cache {
+        builder = builder.hot_cache(config);
+    }
+    let runtime = builder.build().unwrap();
+    let identity = runtime
+        .resolve(&FuncDesc::new("benchlib", "1.0", "bytes digest(bytes)"))
+        .unwrap();
+
+    let start = Instant::now();
+    match batch {
+        None => {
+            for request in requests {
+                runtime.execute_raw(&identity, request, digest).unwrap();
+            }
+        }
+        Some(size) => {
+            for chunk in requests.chunks(size) {
+                let calls = chunk
+                    .iter()
+                    .map(|request| BatchCall::new(identity, request.as_slice(), digest))
+                    .collect();
+                runtime.execute_batch(calls).unwrap();
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let enclave = runtime.enclave().stats();
+    let stats = runtime.stats();
+    Scenario {
+        name,
+        wall_ms,
+        ecalls: enclave.ecalls,
+        ocalls: enclave.ocalls,
+        boundary_bytes: enclave.boundary_bytes,
+        charged_ns: enclave.charged_ns,
+        hits: stats.hits,
+        misses: stats.misses,
+        cache_hits: stats.cache_hits,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let (distinct, total, result_bytes) =
+        if smoke { (16, 64, 512) } else { (200, 2000, 4096) };
+    let duplicate_ratio = 0.5;
+
+    let corpus = text::text_corpus(distinct, result_bytes, 7);
+    let stream = RequestStream::new(distinct, total, duplicate_ratio, 11);
+    let requests: Vec<&Vec<u8>> = stream.indices().iter().map(|&i| &corpus[i]).collect();
+
+    println!(
+        "batch bench: {} requests over {} distinct inputs ({} B each, \
+         observed duplicate ratio {:.2}){}",
+        requests.len(),
+        distinct,
+        result_bytes,
+        stream.observed_duplicate_ratio(),
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    let scenarios = [
+        run_scenario("per_item", None, None, &requests),
+        run_scenario("batched", Some(BATCH_SIZE), None, &requests),
+        run_scenario(
+            "batched_hot_cache",
+            Some(BATCH_SIZE),
+            Some(HotCacheConfig::default()),
+            &requests,
+        ),
+    ];
+
+    for scenario in &scenarios {
+        println!(
+            "  {:<18} {:>8} transitions  {:>12} boundary B  \
+             {:>12} sgx ns  {:>9.3} wall ms",
+            scenario.name,
+            scenario.transitions(),
+            scenario.boundary_bytes,
+            scenario.charged_ns,
+            scenario.wall_ms,
+        );
+    }
+
+    let per_item = &scenarios[0];
+    let batched = &scenarios[1];
+    let transition_factor =
+        per_item.transitions() as f64 / batched.transitions().max(1) as f64;
+    let sgx_factor = per_item.charged_ns as f64 / batched.charged_ns.max(1) as f64;
+    println!(
+        "  batched does {transition_factor:.1}x fewer transitions, \
+         {sgx_factor:.1}x less simulated SGX time"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"batch_pipeline\",\n",
+            "  \"config\": {{\"requests\": {}, \"distinct_inputs\": {}, ",
+            "\"input_bytes\": {}, \"duplicate_ratio\": {:.2}, ",
+            "\"batch_size\": {}, \"smoke\": {}}},\n",
+            "  \"scenarios\": [\n{}\n  ],\n",
+            "  \"batched_vs_per_item\": {{\"transition_factor\": {:.2}, ",
+            "\"charged_sgx_ns_factor\": {:.2}}}\n",
+            "}}\n"
+        ),
+        requests.len(),
+        distinct,
+        result_bytes,
+        stream.observed_duplicate_ratio(),
+        BATCH_SIZE,
+        smoke,
+        scenarios.iter().map(Scenario::to_json).collect::<Vec<_>>().join(",\n"),
+        transition_factor,
+        sgx_factor,
+    );
+    std::fs::write("BENCH_batch.json", &json)?;
+    println!("wrote BENCH_batch.json");
+    Ok(())
+}

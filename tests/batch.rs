@@ -1,0 +1,264 @@
+//! Batched pipeline integration: transition/round-trip accounting for
+//! `execute_batch`, concurrent batches over one shared runtime, and
+//! recovery after panic-poisoned locks.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use speed_core::{
+    BatchCall, CoreError, DedupOutcome, DedupRuntime, FuncDesc, InProcessClient,
+    StoreClient, TrustedLibrary,
+};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{ResultStore, StoreConfig};
+use speed_wire::{Message, SessionAuthority};
+
+fn world() -> (Arc<Platform>, Arc<ResultStore>, Arc<SessionAuthority>) {
+    let platform = Platform::new(CostModel::default_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let authority = Arc::new(SessionAuthority::with_seed(42));
+    (platform, store, authority)
+}
+
+fn library() -> TrustedLibrary {
+    let mut lib = TrustedLibrary::new("batchlib", "1.0");
+    lib.register("bytes echo(bytes)", b"echo code");
+    lib
+}
+
+fn desc() -> FuncDesc {
+    FuncDesc::new("batchlib", "1.0", "bytes echo(bytes)")
+}
+
+/// A pass-through client that counts network round-trips, standing in for
+/// the TCP transport (each `roundtrip` is one request/response exchange).
+#[derive(Debug)]
+struct CountingClient {
+    inner: InProcessClient,
+    roundtrips: Arc<AtomicU64>,
+}
+
+impl StoreClient for CountingClient {
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError> {
+        self.roundtrips.fetch_add(1, Ordering::SeqCst);
+        self.inner.roundtrip(request)
+    }
+}
+
+#[test]
+fn batch_of_gets_is_two_transitions_and_one_roundtrip() {
+    let (platform, store, authority) = world();
+
+    // Seed the store with 16 results through an ordinary runtime.
+    let seeder = DedupRuntime::builder(Arc::clone(&platform), b"seeder")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = seeder.resolve(&desc()).unwrap();
+    let inputs: Vec<[u8; 4]> = (0..16u32).map(|i| i.to_le_bytes()).collect();
+    for input in &inputs {
+        seeder.execute_raw(&identity, input, |d| d.to_vec()).unwrap();
+    }
+
+    // The runtime under test counts its network round-trips.
+    let roundtrips = Arc::new(AtomicU64::new(0));
+    let enclave = platform.create_enclave(b"counting-end").unwrap();
+    let inner =
+        InProcessClient::connect(Arc::clone(&store), &authority, &platform, &enclave)
+            .unwrap();
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"batch-counting")
+        .client(Box::new(CountingClient { inner, roundtrips: Arc::clone(&roundtrips) }))
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = rt.resolve(&desc()).unwrap();
+
+    let before = rt.enclave().stats();
+    let calls = inputs
+        .iter()
+        .map(|input| BatchCall::new(identity, input.as_slice(), |_| panic!("hit")))
+        .collect();
+    let results = rt.execute_batch(calls).unwrap();
+    let after = rt.enclave().stats();
+
+    assert_eq!(results.len(), 16);
+    for (i, (result, outcome)) in results.iter().enumerate() {
+        assert_eq!(*outcome, DedupOutcome::Hit, "item {i}");
+        assert_eq!(result, &inputs[i].to_vec(), "item {i}");
+    }
+    // The acceptance bar: N GET lookups in ≤ 2 enclave transitions and a
+    // single network round-trip.
+    assert!(
+        after.transitions() - before.transitions() <= 2,
+        "expected ≤2 transitions, got {}",
+        after.transitions() - before.transitions()
+    );
+    assert_eq!(roundtrips.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn per_item_path_pays_linear_transitions_for_the_same_work() {
+    // The contrast case: the same 16 lookups through `execute_raw` cost a
+    // transition pair per call, which is what batching eliminates.
+    let (platform, store, authority) = world();
+    let seeder = DedupRuntime::builder(Arc::clone(&platform), b"seeder2")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = seeder.resolve(&desc()).unwrap();
+    let inputs: Vec<[u8; 4]> = (0..16u32).map(|i| i.to_le_bytes()).collect();
+    for input in &inputs {
+        seeder.execute_raw(&identity, input, |d| d.to_vec()).unwrap();
+    }
+
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"per-item")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = rt.resolve(&desc()).unwrap();
+    let before = rt.enclave().stats();
+    for input in &inputs {
+        rt.execute_raw(&identity, input, |_| panic!("hit")).unwrap();
+    }
+    let after = rt.enclave().stats();
+    // 16 hits at 1 ECALL + 1 OCALL each.
+    assert_eq!(after.transitions() - before.transitions(), 32);
+}
+
+#[test]
+fn concurrent_batches_share_one_runtime() {
+    let (platform, store, authority) = world();
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"mt-app")
+        .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = rt.resolve(&desc()).unwrap();
+
+    // Seed 8 shared inputs every thread will hit.
+    let shared: Vec<Vec<u8>> = (0..8u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    let calls = shared
+        .iter()
+        .map(|input| BatchCall::new(identity, input.as_slice(), |d| d.to_vec()))
+        .collect();
+    rt.execute_batch(calls).unwrap();
+
+    const THREADS: u32 = 4;
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let rt = &rt;
+            let shared = &shared;
+            s.spawn(move || {
+                // Mixed batch: 8 seeded hits + 8 thread-private misses.
+                let mut inputs: Vec<Vec<u8>> = shared.clone();
+                for i in 0..8u32 {
+                    inputs.push((1000 + tid * 100 + i).to_le_bytes().to_vec());
+                }
+                let calls = inputs
+                    .iter()
+                    .map(|input| {
+                        BatchCall::new(identity, input.as_slice(), |d| d.to_vec())
+                    })
+                    .collect();
+                let results = rt.execute_batch(calls).unwrap();
+                assert_eq!(results.len(), 16);
+                for (i, (result, outcome)) in results.iter().enumerate() {
+                    assert_eq!(result, &inputs[i], "thread {tid} item {i}");
+                    if i < 8 {
+                        assert_eq!(*outcome, DedupOutcome::Hit, "thread {tid} item {i}");
+                    } else {
+                        assert_eq!(*outcome, DedupOutcome::Miss, "thread {tid} item {i}");
+                    }
+                }
+
+                // A panicking marked computation must not wedge the shared
+                // runtime for the other threads.
+                let poison_input = (9000 + tid).to_le_bytes();
+                let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    rt.execute_raw(&identity, &poison_input, |_| {
+                        panic!("injected compute panic")
+                    })
+                }));
+                assert!(panicked.is_err(), "thread {tid} expected a panic");
+            });
+        }
+    });
+
+    // Every counter adds up despite the interleaving and the panics:
+    // seeding (8 misses) + 4×16 batch calls + 4 panicked calls.
+    let stats = rt.stats();
+    assert_eq!(stats.calls, 8 + u64::from(THREADS) * 16 + u64::from(THREADS));
+    assert_eq!(stats.hits, u64::from(THREADS) * 8);
+    // Panicked calls were counted as misses before their closures blew up.
+    assert_eq!(stats.misses, 8 + u64::from(THREADS) * 8 + u64::from(THREADS));
+    assert_eq!(stats.hits + stats.misses, stats.calls);
+
+    // And the runtime still works.
+    let (result, outcome) =
+        rt.execute_raw(&identity, &shared[0], |_| panic!("hit")).unwrap();
+    assert_eq!(result, shared[0]);
+    assert_eq!(outcome, DedupOutcome::Hit);
+}
+
+/// A client that panics on demand *inside* `roundtrip` — while the
+/// runtime's client mutex is held — to poison the lock.
+#[derive(Debug)]
+struct PanickyClient {
+    inner: InProcessClient,
+    panic_next: Arc<AtomicBool>,
+}
+
+impl StoreClient for PanickyClient {
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError> {
+        if self.panic_next.swap(false, Ordering::SeqCst) {
+            panic!("injected client panic");
+        }
+        self.inner.roundtrip(request)
+    }
+}
+
+#[test]
+fn runtime_survives_poisoned_client_lock() {
+    // Regression: a panic while holding the client mutex used to make every
+    // later call panic on `.expect("client lock poisoned")`. The runtime
+    // must recover the lock and keep serving.
+    let (platform, store, authority) = world();
+    let panic_next = Arc::new(AtomicBool::new(false));
+    let enclave = platform.create_enclave(b"panicky-end").unwrap();
+    let inner =
+        InProcessClient::connect(Arc::clone(&store), &authority, &platform, &enclave)
+            .unwrap();
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"poison-app")
+        .client(Box::new(PanickyClient { inner, panic_next: Arc::clone(&panic_next) }))
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = rt.resolve(&desc()).unwrap();
+
+    // Trigger the panic inside the GET round-trip (client lock held).
+    panic_next.store(true, Ordering::SeqCst);
+    let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        rt.execute_raw(&identity, b"boom", |d| d.to_vec())
+    }));
+    assert!(panicked.is_err(), "expected the injected panic to surface");
+
+    // The client mutex is now poisoned; both code paths must still work.
+    let (result, outcome) = rt.execute_raw(&identity, b"after", |d| d.to_vec()).unwrap();
+    assert_eq!(result, b"after");
+    assert_eq!(outcome, DedupOutcome::Miss);
+
+    let inputs: Vec<&[u8]> = vec![b"after", b"fresh"];
+    let calls = inputs
+        .iter()
+        .map(|input| BatchCall::new(identity, input, |d| d.to_vec()))
+        .collect();
+    let results = rt.execute_batch(calls).unwrap();
+    assert_eq!(results[0].1, DedupOutcome::Hit);
+    assert_eq!(results[1].1, DedupOutcome::Miss);
+    assert_eq!(results[0].0, b"after");
+    assert_eq!(results[1].0, b"fresh");
+}
