@@ -14,7 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use speed_crypto::{Key128, SystemRng};
 use speed_enclave::{Enclave, Platform};
 use speed_store::ResultStore;
-use speed_wire::{AppId, BatchItem, BatchStatus, Message, SessionAuthority};
+use speed_wire::{AppId, BatchItem, BatchStatus, Message, SessionAuthority, StatsBody};
 
 use crate::client::{InProcessClient, StoreClient, TcpClient};
 use crate::error::CoreError;
@@ -1199,6 +1199,25 @@ impl DedupRuntime {
         }
     }
 
+    /// Fetches the store's counter snapshot — aggregate totals plus one
+    /// [`speed_wire::ShardStatsBody`] per dictionary shard — over the
+    /// runtime's store connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures, or
+    /// [`CoreError::UnexpectedResponse`] if the store replies with
+    /// anything but a stats response.
+    pub fn store_stats(&self) -> Result<StatsBody, CoreError> {
+        let response = lock_recover(&self.client).roundtrip(&Message::StatsRequest)?;
+        match response {
+            Message::StatsResponse(body) => Ok(body),
+            other => Err(CoreError::UnexpectedResponse(format!(
+                "expected stats response, got {other:?}"
+            ))),
+        }
+    }
+
     /// PUTs currently parked in the replay queue, waiting for the store to
     /// recover. Zero when the resilience layer is not configured.
     pub fn pending_replays(&self) -> usize {
@@ -1960,5 +1979,19 @@ mod tests {
         let (platform, store, authority) = setup();
         let rt = runtime(&platform, &store, &authority, b"fresh");
         assert_eq!(rt.stats(), RuntimeStats::default());
+    }
+
+    #[test]
+    fn store_stats_surface_per_shard_counters() {
+        let (platform, store, authority) = setup();
+        let rt = runtime(&platform, &store, &authority, b"shard-stats");
+        let (_, outcome) =
+            rt.execute(&desc_double(), b"\x05", |input| input.to_vec()).unwrap();
+        assert_eq!(outcome, DedupOutcome::Miss);
+        rt.flush();
+        let stats = rt.store_stats().unwrap();
+        assert_eq!(stats.shards.len(), store.shard_count());
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.shards.iter().map(|s| s.entries).sum::<u64>(), 1);
     }
 }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use speed_enclave::{CostModel, Platform};
-use speed_store::server::{StoreServer, TcpStoreClient};
+use speed_store::server::{ServerConfig, StoreServer, TcpStoreClient};
 use speed_store::{ResultStore, StoreConfig};
 use speed_wire::{AppId, CompTag, Message, Record, SessionAuthority};
 
@@ -28,7 +28,7 @@ fn usage() -> ! {
         "usage: speedctl <command> [flags]\n\
          commands:\n\
            serve   --addr HOST:PORT --secret N [--no-sgx] [--max-entries N]\n\
-                   [--max-bytes N] [--ttl-ms N]\n\
+                   [--max-bytes N] [--ttl-ms N] [--shards N] [--max-workers N]\n\
            ping    --addr HOST:PORT --secret N [--count N]\n\
            stats   --addr HOST:PORT --secret N\n\
            get     --addr HOST:PORT --secret N --tag HEX\n\
@@ -145,29 +145,48 @@ fn cmd_serve(flags: &Flags) {
         max_entries: flags.get_parsed("max-entries").unwrap_or(1_000_000),
         max_stored_bytes: flags.get_parsed("max-bytes").unwrap_or(8 << 30),
         ttl_ms: flags.get_parsed("ttl-ms"),
+        shards: flags.get_parsed("shards").unwrap_or(speed_store::DEFAULT_SHARDS),
         ..StoreConfig::default()
+    };
+    let server_config = ServerConfig {
+        max_workers: flags
+            .get_parsed("max-workers")
+            .unwrap_or(ServerConfig::default().max_workers),
     };
 
     let platform = Platform::new(model);
     let store = Arc::new(ResultStore::new(&platform, config).expect("store fits in epc"));
     let authority = Arc::new(SessionAuthority::with_seed(secret));
-    let server =
-        StoreServer::spawn(Arc::clone(&store), Arc::clone(&platform), authority, &addr)
-            .expect("bind listen address");
+    let server = StoreServer::spawn_with_config(
+        Arc::clone(&store),
+        Arc::clone(&platform),
+        authority,
+        &addr,
+        server_config,
+    )
+    .expect("bind listen address");
     println!("speed result store listening on {}", server.addr());
     println!("enclave measurement: {}", store.enclave().measurement());
+    println!("dictionary shards: {}", store.shard_count());
     println!("press ctrl-c to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(5));
         let stats = store.stats();
+        let pool = server.pool_stats();
         println!(
-            "[stats] entries={} gets={} hits={} puts={} rejected={} bytes={}",
+            "[stats] entries={} gets={} hits={} puts={} rejected={} bytes={} \
+             evictions={} workers={}/{} (peak {}, dropped {})",
             stats.entries,
             stats.gets,
             stats.hits,
             stats.puts,
             stats.rejected_puts,
-            stats.stored_bytes
+            stats.stored_bytes,
+            stats.evictions,
+            pool.active,
+            server_config.max_workers,
+            pool.peak,
+            pool.rejected,
         );
     }
 }
@@ -218,6 +237,19 @@ fn cmd_stats(flags: &Flags) {
             println!("puts:          {}", stats.puts);
             println!("rejected puts: {}", stats.rejected_puts);
             println!("stored bytes:  {}", stats.stored_bytes);
+            println!("evictions:     {}", stats.evictions);
+            println!("shards:        {}", stats.shards.len());
+            for (index, shard) in stats.shards.iter().enumerate() {
+                println!(
+                    "  shard {index:>2}: entries={} bytes={} evictions={} \
+                     contention={} busy_ms={:.3}",
+                    shard.entries,
+                    shard.stored_bytes,
+                    shard.evictions,
+                    shard.lock_contention,
+                    shard.busy_ns as f64 / 1e6,
+                );
+            }
         }
         Ok(other) => eprintln!("unexpected response: {other:?}"),
         Err(e) => eprintln!("request failed: {e}"),

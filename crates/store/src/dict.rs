@@ -6,15 +6,22 @@
 //! small: it maintains some metadata (e.g. challenge message r and
 //! authentication MAC), and a pointer to the real result ciphertexts that
 //! are kept outside the enclave." (§IV-B)
+//!
+//! Lookups take `&self`: hit counting and recency use interior-mutability
+//! atomics so a shard can serve concurrent readers under a read lock. The
+//! LRU index is only rewritten on the (exclusive) write path; reads stamp a
+//! per-entry recency sequence that [`MetadataDict::evict_lru`] reconciles
+//! lazily before evicting.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use speed_enclave::BlobId;
 use speed_wire::{AppId, CompTag};
 
 /// One dictionary entry: small metadata plus the pointer to the
 /// outside-enclave ciphertext.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct DictEntry {
     /// The RCE challenge message `r`.
     pub challenge: Vec<u8>,
@@ -28,14 +35,57 @@ pub struct DictEntry {
     pub boxed_len: u32,
     /// Application that published the entry (for quota reclamation).
     pub owner: AppId,
-    /// Times this entry satisfied a GET.
-    pub hits: u64,
     /// Logical-millisecond timestamp of insertion (drives TTL expiry).
     pub created_ms: u64,
+    /// Times this entry satisfied a GET (atomic so the read path never
+    /// needs an exclusive borrow).
+    hits: AtomicU64,
+    /// Recency sequence of the most recent touch (read-path stamp).
+    last_touch: AtomicU64,
+    /// The key this entry currently occupies in the LRU index. Only the
+    /// write path moves entries in the index, so this may lag
+    /// `last_touch`; eviction reconciles the two.
     lru_seq: u64,
 }
 
+impl Clone for DictEntry {
+    fn clone(&self) -> Self {
+        DictEntry {
+            challenge: self.challenge.clone(),
+            wrapped_key: self.wrapped_key,
+            nonce: self.nonce,
+            blob: self.blob,
+            boxed_len: self.boxed_len,
+            owner: self.owner,
+            created_ms: self.created_ms,
+            hits: AtomicU64::new(self.hits()),
+            last_touch: AtomicU64::new(self.last_touch.load(Ordering::Relaxed)),
+            lru_seq: self.lru_seq,
+        }
+    }
+}
+
+impl PartialEq for DictEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.challenge == other.challenge
+            && self.wrapped_key == other.wrapped_key
+            && self.nonce == other.nonce
+            && self.blob == other.blob
+            && self.boxed_len == other.boxed_len
+            && self.owner == other.owner
+            && self.created_ms == other.created_ms
+            && self.hits() == other.hits()
+    }
+}
+
+impl Eq for DictEntry {}
+
 impl DictEntry {
+    /// Times this entry satisfied a GET.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
     /// Approximate in-enclave footprint of this entry in bytes, used for
     /// EPC accounting.
     pub fn enclave_footprint(&self) -> usize {
@@ -46,13 +96,13 @@ impl DictEntry {
 
 /// An LRU-evicting dictionary keyed by computation tag.
 ///
-/// Lives logically inside the store's enclave; all mutating access happens
-/// under an `ECALL` in [`crate::ResultStore`].
+/// Lives logically inside one shard of the store's enclave; all mutating
+/// access happens under an `ECALL` in [`crate::ResultStore`].
 #[derive(Debug, Default)]
 pub struct MetadataDict {
     entries: HashMap<CompTag, DictEntry>,
     lru: BTreeMap<u64, CompTag>,
-    next_seq: u64,
+    next_seq: AtomicU64,
     stored_bytes: u64,
 }
 
@@ -78,15 +128,16 @@ impl MetadataDict {
     }
 
     /// Looks up `tag`, bumping its recency and hit count on success.
-    pub fn get(&mut self, tag: &CompTag) -> Option<&DictEntry> {
-        let next_seq = self.next_seq;
-        let entry = self.entries.get_mut(tag)?;
-        self.lru.remove(&entry.lru_seq);
-        entry.lru_seq = next_seq;
-        entry.hits += 1;
-        self.lru.insert(next_seq, *tag);
-        self.next_seq += 1;
-        Some(&*entry)
+    ///
+    /// Takes `&self`: the bumps go to per-entry atomics, so concurrent
+    /// readers holding a shard's read lock never serialize on the lookup
+    /// path. The LRU index catches up on the next eviction.
+    pub fn get(&self, tag: &CompTag) -> Option<&DictEntry> {
+        let entry = self.entries.get(tag)?;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        entry.hits.fetch_add(1, Ordering::Relaxed);
+        entry.last_touch.fetch_max(seq, Ordering::Relaxed);
+        Some(entry)
     }
 
     /// Looks up `tag` without touching recency or hit counts (for sync).
@@ -115,8 +166,7 @@ impl MetadataDict {
             // First writer wins; reject the new blob.
             return Some(blob);
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         self.lru.insert(seq, tag);
         self.stored_bytes += u64::from(boxed_len);
         self.entries.insert(
@@ -128,8 +178,9 @@ impl MetadataDict {
                 blob,
                 boxed_len,
                 owner,
-                hits: 0,
                 created_ms,
+                hits: AtomicU64::new(0),
+                last_touch: AtomicU64::new(seq),
                 lru_seq: seq,
             },
         );
@@ -145,20 +196,41 @@ impl MetadataDict {
     }
 
     /// Evicts the least-recently-used entry, returning it with its tag.
+    ///
+    /// The LRU index can lag behind read-path touches; entries that were
+    /// read since their last index position are re-filed at their current
+    /// recency instead of evicted.
     pub fn evict_lru(&mut self) -> Option<(CompTag, DictEntry)> {
-        let (&seq, &tag) = self.lru.iter().next()?;
-        self.lru.remove(&seq);
-        let entry = self.entries.remove(&tag).expect("lru index out of sync");
-        self.stored_bytes -= u64::from(entry.boxed_len);
-        Some((tag, entry))
+        loop {
+            let (&seq, &tag) = self.lru.iter().next()?;
+            self.lru.remove(&seq);
+            let touched = match self.entries.get(&tag) {
+                Some(entry) => entry.last_touch.load(Ordering::Relaxed),
+                // Index and entries drifted (cannot happen through the
+                // public API); drop the stale index slot and keep going.
+                None => continue,
+            };
+            if touched > seq {
+                // Read since last filed: re-file at its current recency.
+                // `touched` is unique (a fetch_add ticket) so it cannot
+                // collide with another live index key.
+                let entry = self.entries.get_mut(&tag).expect("entry checked above");
+                entry.lru_seq = touched;
+                self.lru.insert(touched, tag);
+                continue;
+            }
+            let entry = self.entries.remove(&tag).expect("entry checked above");
+            self.stored_bytes -= u64::from(entry.boxed_len);
+            return Some((tag, entry));
+        }
     }
 
     /// Overwrites the hit counter of an entry (snapshot restore). Returns
     /// `false` if the tag is absent.
-    pub fn restore_hits(&mut self, tag: &CompTag, hits: u64) -> bool {
-        match self.entries.get_mut(tag) {
+    pub fn restore_hits(&self, tag: &CompTag, hits: u64) -> bool {
+        match self.entries.get(tag) {
             Some(entry) => {
-                entry.hits = hits;
+                entry.hits.store(hits, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -176,10 +248,10 @@ impl MetadataDict {
         let mut selected: Vec<(CompTag, DictEntry)> = self
             .entries
             .iter()
-            .filter(|(_, e)| e.hits >= min_hits)
+            .filter(|(_, e)| e.hits() >= min_hits)
             .map(|(t, e)| (*t, e.clone()))
             .collect();
-        selected.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then(a.0.cmp(&b.0)));
+        selected.sort_by(|a, b| b.1.hits().cmp(&a.1.hits()).then(a.0.cmp(&b.0)));
         selected
     }
 }
@@ -211,15 +283,29 @@ mod tests {
         assert!(insert_basic(&mut dict, 1, 100).is_none());
         let entry = dict.get(&tag(1)).unwrap();
         assert_eq!(entry.challenge, vec![1; 32]);
-        assert_eq!(entry.hits, 1);
+        assert_eq!(entry.hits(), 1);
         assert_eq!(dict.len(), 1);
         assert_eq!(dict.stored_bytes(), 100);
     }
 
     #[test]
     fn get_missing_returns_none() {
-        let mut dict = MetadataDict::new();
+        let dict = MetadataDict::new();
         assert!(dict.get(&tag(9)).is_none());
+    }
+
+    #[test]
+    fn get_needs_no_exclusive_borrow() {
+        // Regression for the read-path satellite: a shared reference must
+        // be enough to look up and hit-count, so shard readers can share a
+        // read lock.
+        let mut dict = MetadataDict::new();
+        insert_basic(&mut dict, 1, 10);
+        let shared: &MetadataDict = &dict;
+        let first = shared.get(&tag(1)).unwrap();
+        let second = shared.get(&tag(1)).unwrap();
+        assert_eq!(first.blob, second.blob);
+        assert!(shared.peek(&tag(1)).unwrap().hits() >= 2);
     }
 
     #[test]
@@ -273,12 +359,27 @@ mod tests {
     }
 
     #[test]
+    fn remove_after_touch_keeps_index_consistent() {
+        // A read moves an entry's recency stamp without moving its index
+        // slot; remove must still clear the (stale) slot so eviction never
+        // sees a dangling tag.
+        let mut dict = MetadataDict::new();
+        insert_basic(&mut dict, 1, 10);
+        insert_basic(&mut dict, 2, 10);
+        dict.get(&tag(1));
+        assert!(dict.remove(&tag(1)).is_some());
+        let (evicted, _) = dict.evict_lru().unwrap();
+        assert_eq!(evicted, tag(2));
+        assert!(dict.evict_lru().is_none());
+    }
+
+    #[test]
     fn peek_does_not_bump_hits() {
         let mut dict = MetadataDict::new();
         insert_basic(&mut dict, 1, 10);
         dict.peek(&tag(1));
         dict.peek(&tag(1));
-        assert_eq!(dict.peek(&tag(1)).unwrap().hits, 0);
+        assert_eq!(dict.peek(&tag(1)).unwrap().hits(), 0);
     }
 
     #[test]
@@ -309,6 +410,33 @@ mod tests {
         let order: Vec<CompTag> =
             std::iter::from_fn(|| dict.evict_lru().map(|(t, _)| t)).collect();
         assert_eq!(order, vec![tag(2), tag(4), tag(5), tag(1), tag(3)]);
+    }
+
+    #[test]
+    fn repeated_touches_survive_eviction_pressure() {
+        // An entry read many times must outlive entries never read, no
+        // matter how stale the LRU index got in between.
+        let mut dict = MetadataDict::new();
+        for n in 1..=4 {
+            insert_basic(&mut dict, n, 1);
+        }
+        for _ in 0..10 {
+            dict.get(&tag(1));
+        }
+        for _ in 0..3 {
+            dict.evict_lru().unwrap();
+        }
+        assert!(dict.peek(&tag(1)).is_some());
+        assert_eq!(dict.len(), 1);
+    }
+
+    #[test]
+    fn restore_hits_overwrites() {
+        let mut dict = MetadataDict::new();
+        insert_basic(&mut dict, 1, 10);
+        assert!(dict.restore_hits(&tag(1), 7));
+        assert_eq!(dict.peek(&tag(1)).unwrap().hits(), 7);
+        assert!(!dict.restore_hits(&tag(9), 1));
     }
 
     #[test]

@@ -65,5 +65,5 @@ pub mod sync;
 
 pub use dict::{DictEntry, MetadataDict};
 pub use error::StoreError;
-pub use quota::{QuotaDecision, QuotaPolicy, QuotaTracker};
-pub use store::{AccessControl, ResultStore, StoreConfig};
+pub use quota::{QuotaDecision, QuotaPolicy, QuotaTracker, ShardedQuota};
+pub use store::{AccessControl, ResultStore, StoreConfig, DEFAULT_SHARDS};

@@ -16,49 +16,121 @@ use speed_wire::{Reader, SyncEntry, WireDecode, WireEncode, WireError, Writer};
 use crate::store::{ResultStore, StoreConfig};
 use crate::StoreError;
 
+/// Sealing AAD. Unchanged across payload versions — an AAD bump would make
+/// every pre-existing snapshot unreadable (unsealing authenticates the
+/// AAD), so the payload carries its own version discriminator instead.
 const SNAPSHOT_AAD: &[u8] = b"speed-store-snapshot-v1";
 
-fn encode_entries(entries: &[SyncEntry]) -> Result<Vec<u8>, StoreError> {
-    let mut writer = Writer::new();
-    let count = u32::try_from(entries.len()).map_err(|_| {
+/// Leading `u32` marking a versioned (v2+) payload. A v1 payload starts
+/// with its entry count, which can never reach `u32::MAX` (`encode_entries`
+/// rejects such stores), so the sentinel is unambiguous.
+const VERSIONED_SENTINEL: u32 = u32::MAX;
+
+/// Current payload version: per-shard sections.
+const SNAPSHOT_VERSION: u8 = 2;
+
+fn encode_count(len: usize, writer: &mut Writer) -> Result<(), StoreError> {
+    let count = u32::try_from(len).map_err(|_| {
         StoreError::Protocol(format!(
-            "snapshot too large: {} entries exceed the u32 wire limit",
-            entries.len()
+            "snapshot too large: {len} entries exceed the u32 wire limit"
         ))
     })?;
-    count.encode(&mut writer);
+    if count == VERSIONED_SENTINEL {
+        return Err(StoreError::Protocol(
+            "snapshot too large: entry count collides with the version sentinel".into(),
+        ));
+    }
+    count.encode(writer);
+    Ok(())
+}
+
+/// Encodes the legacy v1 payload: a flat entry list. Kept (test-only) so
+/// the checked-in v1 fixture can be verified against the original encoder.
+#[cfg(test)]
+fn encode_entries(entries: &[SyncEntry]) -> Result<Vec<u8>, StoreError> {
+    let mut writer = Writer::new();
+    encode_count(entries.len(), &mut writer)?;
     for entry in entries {
         entry.encode(&mut writer);
     }
     Ok(writer.into_bytes())
 }
 
-fn decode_entries(bytes: &[u8]) -> Result<Vec<SyncEntry>, WireError> {
-    let mut reader = Reader::new(bytes);
-    let count = u32::decode(&mut reader)? as usize;
+/// Encodes the v2 payload: sentinel, version byte, then one section per
+/// store shard so a large restore can be processed section by section.
+fn encode_shard_sections(sections: &[Vec<SyncEntry>]) -> Result<Vec<u8>, StoreError> {
+    let mut writer = Writer::new();
+    VERSIONED_SENTINEL.encode(&mut writer);
+    SNAPSHOT_VERSION.encode(&mut writer);
+    encode_count(sections.len(), &mut writer)?;
+    for section in sections {
+        encode_count(section.len(), &mut writer)?;
+        for entry in section {
+            entry.encode(&mut writer);
+        }
+    }
+    Ok(writer.into_bytes())
+}
+
+fn decode_entry_list(reader: &mut Reader<'_>) -> Result<Vec<SyncEntry>, WireError> {
+    let count = u32::decode(reader)? as usize;
     let mut entries = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
-        entries.push(SyncEntry::decode(&mut reader)?);
+        entries.push(SyncEntry::decode(reader)?);
     }
+    Ok(entries)
+}
+
+/// Decodes any known payload version into a flat entry list. Entries route
+/// to shards by tag on import, so a snapshot written with one shard count
+/// restores correctly into a store with any other.
+fn decode_payload(bytes: &[u8]) -> Result<Vec<SyncEntry>, WireError> {
+    let mut reader = Reader::new(bytes);
+    let head = u32::decode(&mut reader)?;
+    let entries = if head == VERSIONED_SENTINEL {
+        let version = u8::decode(&mut reader)?;
+        if version != SNAPSHOT_VERSION {
+            // Future/unknown version byte: refuse rather than misparse.
+            return Err(WireError::InvalidTag(version));
+        }
+        let sections = u32::decode(&mut reader)? as usize;
+        let mut entries = Vec::new();
+        for _ in 0..sections {
+            entries.extend(decode_entry_list(&mut reader)?);
+        }
+        entries
+    } else {
+        // v1: `head` is the flat entry count.
+        let count = head as usize;
+        let mut entries = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            entries.push(SyncEntry::decode(&mut reader)?);
+        }
+        entries
+    };
     reader.finish()?;
     Ok(entries)
 }
 
 /// Snapshots the entire store (metadata + ciphertexts + hit counts) into a
-/// blob sealed to the store enclave's identity.
+/// blob sealed to the store enclave's identity. Written in the v2 per-shard
+/// section format; [`restore`] also reads legacy v1 (flat-list) snapshots.
 ///
 /// # Errors
 ///
 /// - [`StoreError::Protocol`] if the store holds more entries than the
 ///   snapshot wire format can describe (more than `u32::MAX`).
 pub fn snapshot(platform: &Platform, store: &ResultStore) -> Result<Vec<u8>, StoreError> {
-    let entries = store.export_popular(0);
-    let payload = encode_entries(&entries)?;
+    let sections = store.export_shards();
+    let payload = encode_shard_sections(&sections)?;
     Ok(seal(platform, store.enclave(), &SealPolicy::MrEnclave, SNAPSHOT_AAD, &payload)
         .to_bytes())
 }
 
-/// Restores a store from a sealed snapshot, preserving hit counts.
+/// Restores a store from a sealed snapshot, preserving hit counts. Accepts
+/// both the current v2 (per-shard) and legacy v1 (flat-list) payloads;
+/// entries re-route to shards by tag, so the snapshot's shard layout need
+/// not match `config.shards`.
 ///
 /// # Errors
 ///
@@ -75,7 +147,7 @@ pub fn restore(
     let payload =
         unseal(platform, store.enclave(), &SealPolicy::MrEnclave, SNAPSHOT_AAD, &sealed)?;
     let entries =
-        decode_entries(&payload).map_err(|e| StoreError::Protocol(e.to_string()))?;
+        decode_payload(&payload).map_err(|e| StoreError::Protocol(e.to_string()))?;
     store.import_entries(entries);
     Ok(store)
 }
@@ -119,6 +191,92 @@ mod tests {
             store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
         }
         store
+    }
+
+    /// The checked-in legacy payload: 3 entries written by the v1 (flat
+    /// list) encoder — tags `[n; 32]`, records `record(n)`, hits `2n` for
+    /// `n` in 1..=3. Regenerate with `encode_entries` if the fixture must
+    /// ever change.
+    const V1_PAYLOAD: &[u8] = include_bytes!("../tests/fixtures/snapshot_v1_payload.bin");
+
+    #[test]
+    fn v1_snapshot_migrates_to_sharded_store() {
+        // Sealing is platform-bound, so the fixture holds the raw payload;
+        // sealing it here reproduces exactly what a v1-era store wrote.
+        let platform = Platform::new(CostModel::no_sgx());
+        let v1_store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
+        let sealed = seal(
+            &platform,
+            v1_store.enclave(),
+            &SealPolicy::MrEnclave,
+            SNAPSHOT_AAD,
+            V1_PAYLOAD,
+        )
+        .to_bytes();
+        drop(v1_store);
+
+        let restored = restore(&platform, StoreConfig::default(), &sealed).unwrap();
+        assert_eq!(restored.stats().entries, 3);
+        // Hit counts survive the migration: tag 3 carried 6 hits.
+        let popular = restored.export_popular(6);
+        assert_eq!(popular.len(), 1);
+        assert_eq!(popular[0].tag, tag(3));
+        assert_eq!(popular[0].hits, 6);
+        // Record bytes intact.
+        match restored.handle(Message::GetRequest { app: AppId(1), tag: tag(2) }) {
+            Message::GetResponse(body) => {
+                assert_eq!(body.record.unwrap().boxed_result, vec![2u8; 40]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixture_matches_v1_encoder() {
+        // Guards the fixture against drift: the in-tree v1 encoder still
+        // produces byte-identical output for the documented contents.
+        let entries: Vec<SyncEntry> = (1..=3u8)
+            .map(|n| SyncEntry { tag: tag(n), record: record(n), hits: u64::from(n) * 2 })
+            .collect();
+        assert_eq!(encode_entries(&entries).unwrap(), V1_PAYLOAD);
+    }
+
+    #[test]
+    fn v2_snapshot_restores_across_shard_counts() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = populated_store(&platform);
+        let sealed = snapshot(&platform, &store).unwrap();
+        drop(store);
+        // Restore into a store with a different shard layout: entries
+        // re-route by tag.
+        let restored =
+            restore(&platform, StoreConfig::default().with_shards(3), &sealed).unwrap();
+        assert_eq!(restored.shard_count(), 3);
+        assert_eq!(restored.stats().entries, 5);
+        let popular = restored.export_popular(3);
+        assert_eq!(popular.len(), 1);
+        assert_eq!(popular[0].tag, tag(1));
+    }
+
+    #[test]
+    fn unknown_snapshot_version_rejected() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
+        let mut payload = Vec::new();
+        let mut writer = Writer::new();
+        VERSIONED_SENTINEL.encode(&mut writer);
+        99u8.encode(&mut writer); // far-future version
+        payload.extend(writer.into_bytes());
+        let sealed = seal(
+            &platform,
+            store.enclave(),
+            &SealPolicy::MrEnclave,
+            SNAPSHOT_AAD,
+            &payload,
+        )
+        .to_bytes();
+        let result = restore(&platform, StoreConfig::default(), &sealed);
+        assert!(matches!(result, Err(StoreError::Protocol(_))));
     }
 
     #[test]

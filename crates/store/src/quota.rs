@@ -141,6 +141,55 @@ impl QuotaTracker {
     }
 }
 
+/// Locks `mutex`, recovering the guard if a previous holder panicked (quota
+/// buckets stay consistent across any panic point).
+fn lock_bucket<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Quota tracking partitioned by application id.
+///
+/// Every app's state lives wholly inside one bucket, so per-app semantics
+/// are identical to a single [`QuotaTracker`] — the partitioning only
+/// removes the global serialization point that one tracker mutex would put
+/// on the sharded store's PUT path.
+#[derive(Debug)]
+pub struct ShardedQuota {
+    buckets: Vec<std::sync::Mutex<QuotaTracker>>,
+}
+
+impl ShardedQuota {
+    /// Creates `buckets` independent trackers sharing `policy` (at least
+    /// one).
+    pub fn new(policy: QuotaPolicy, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        ShardedQuota {
+            buckets: (0..buckets)
+                .map(|_| std::sync::Mutex::new(QuotaTracker::new(policy)))
+                .collect(),
+        }
+    }
+
+    fn bucket(&self, app: AppId) -> &std::sync::Mutex<QuotaTracker> {
+        &self.buckets[app.0 as usize % self.buckets.len()]
+    }
+
+    /// See [`QuotaTracker::check_put`].
+    pub fn check_put(&self, app: AppId, bytes: u64, now_ms: u64) -> QuotaDecision {
+        lock_bucket(self.bucket(app)).check_put(app, bytes, now_ms)
+    }
+
+    /// See [`QuotaTracker::release`].
+    pub fn release(&self, app: AppId, bytes: u64) {
+        lock_bucket(self.bucket(app)).release(app, bytes);
+    }
+
+    /// See [`QuotaTracker::usage`].
+    pub fn usage(&self, app: AppId) -> (u64, u64) {
+        lock_bucket(self.bucket(app)).usage(app)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +298,30 @@ mod tests {
         for i in 0..1_000u64 {
             assert!(tracker.check_put(AppId(1), 1 << 20, i).is_allowed());
         }
+    }
+
+    #[test]
+    fn sharded_quota_matches_single_tracker_semantics() {
+        let quota = ShardedQuota::new(small_policy(), 4);
+        // Two apps landing in different buckets are independent; each app's
+        // own limits behave exactly like a lone QuotaTracker.
+        assert!(quota.check_put(AppId(1), 90, 0).is_allowed());
+        assert!(quota.check_put(AppId(2), 90, 0).is_allowed());
+        let denied = quota.check_put(AppId(1), 20, 1_000);
+        assert!(matches!(denied, QuotaDecision::Deny(ref r) if r.contains("byte quota")));
+        quota.release(AppId(1), 90);
+        assert_eq!(quota.usage(AppId(1)), (0, 0));
+        assert!(quota.check_put(AppId(1), 90, 2_000).is_allowed());
+    }
+
+    #[test]
+    fn sharded_quota_shares_buckets_without_cross_talk() {
+        // Apps 0 and 4 collide in the same bucket of a 4-way quota; their
+        // accounting must still be per-app.
+        let quota = ShardedQuota::new(small_policy(), 4);
+        assert!(quota.check_put(AppId(0), 90, 0).is_allowed());
+        assert!(quota.check_put(AppId(4), 90, 0).is_allowed());
+        assert_eq!(quota.usage(AppId(0)), (1, 90));
+        assert_eq!(quota.usage(AppId(4)), (1, 90));
     }
 }

@@ -18,7 +18,7 @@
 //! authority models the verifier role (see [`speed_wire::SessionAuthority`]).
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -30,6 +30,44 @@ use speed_wire::{from_bytes, to_bytes, Message, Role, SecureChannel, SessionAuth
 use crate::store::ResultStore;
 use crate::StoreError;
 
+/// Configuration for the server's connection worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently live connection workers. Connections arriving
+    /// while the pool is saturated are accepted and immediately dropped
+    /// (counted in [`PoolStats::rejected`]), so clients see a fast error
+    /// instead of queueing behind a thread-per-connection pile-up.
+    pub max_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_workers: 32 }
+    }
+}
+
+/// Worker-pool counters, shared between the acceptor and the handle.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    active: AtomicU64,
+    peak: AtomicU64,
+    spawned: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A point-in-time snapshot of the worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers currently serving a connection.
+    pub active: u64,
+    /// High-water mark of concurrently live workers.
+    pub peak: u64,
+    /// Total workers spawned over the server's lifetime.
+    pub spawned: u64,
+    /// Connections dropped because the pool was saturated.
+    pub rejected: u64,
+}
+
 /// A running TCP store server.
 ///
 /// Dropping the handle signals shutdown and joins the acceptor thread.
@@ -38,12 +76,13 @@ pub struct StoreServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    pool: Arc<PoolCounters>,
 }
 
 impl StoreServer {
-    /// Spawns a server for `store` listening on `bind_addr` (use port 0 for
-    /// an ephemeral port; the bound address is available via
-    /// [`addr`](StoreServer::addr)).
+    /// Spawns a server for `store` listening on `bind_addr` with the
+    /// default worker pool (use port 0 for an ephemeral port; the bound
+    /// address is available via [`addr`](StoreServer::addr)).
     ///
     /// # Errors
     ///
@@ -54,17 +93,53 @@ impl StoreServer {
         authority: Arc<SessionAuthority>,
         bind_addr: &str,
     ) -> Result<Self, StoreError> {
+        Self::spawn_with_config(
+            store,
+            platform,
+            authority,
+            bind_addr,
+            ServerConfig::default(),
+        )
+    }
+
+    /// Spawns a server with an explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if binding fails.
+    pub fn spawn_with_config(
+        store: Arc<ResultStore>,
+        platform: Arc<Platform>,
+        authority: Arc<SessionAuthority>,
+        bind_addr: &str,
+        config: ServerConfig,
+    ) -> Result<Self, StoreError> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_flag = Arc::clone(&shutdown);
+        let pool = Arc::new(PoolCounters::default());
+        let pool_counters = Arc::clone(&pool);
+        let max_workers = config.max_workers.max(1);
 
         let acceptor = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
             while !shutdown_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
+                        // Reap finished workers before counting capacity, so
+                        // a long-lived server's handle list stays bounded by
+                        // live connections instead of growing forever.
+                        reap_finished(&mut workers, &pool_counters);
+                        if workers.len() >= max_workers {
+                            // Saturated: drop the connection right away. The
+                            // client's handshake read fails fast rather than
+                            // hanging in the accept backlog.
+                            pool_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            drop(stream);
+                            continue;
+                        }
                         stream.set_nonblocking(false).ok();
                         stream.set_nodelay(true).ok();
                         // A short read timeout lets workers notice shutdown
@@ -86,8 +161,13 @@ impl StoreServer {
                                 &worker_shutdown,
                             );
                         }));
+                        pool_counters.spawned.fetch_add(1, Ordering::Relaxed);
+                        let live = workers.len() as u64;
+                        pool_counters.active.store(live, Ordering::Relaxed);
+                        pool_counters.peak.fetch_max(live, Ordering::Relaxed);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        reap_finished(&mut workers, &pool_counters);
                         std::thread::sleep(std::time::Duration::from_millis(2));
                     }
                     Err(_) => break,
@@ -96,14 +176,25 @@ impl StoreServer {
             for worker in workers {
                 let _ = worker.join();
             }
+            pool_counters.active.store(0, Ordering::Relaxed);
         });
 
-        Ok(StoreServer { addr, shutdown, acceptor: Some(acceptor) })
+        Ok(StoreServer { addr, shutdown, acceptor: Some(acceptor), pool })
     }
 
     /// The bound listen address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Current worker-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            active: self.pool.active.load(Ordering::Relaxed),
+            peak: self.pool.peak.load(Ordering::Relaxed),
+            spawned: self.pool.spawned.load(Ordering::Relaxed),
+            rejected: self.pool.rejected.load(Ordering::Relaxed),
+        }
     }
 
     /// Signals shutdown and waits for the acceptor to finish.
@@ -123,6 +214,21 @@ impl Drop for StoreServer {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Joins every worker whose connection already ended, keeping the handle
+/// list (and thus the live thread count) bounded by open connections.
+fn reap_finished(workers: &mut Vec<JoinHandle<()>>, pool: &PoolCounters) {
+    let mut index = 0;
+    while index < workers.len() {
+        if workers[index].is_finished() {
+            let handle = workers.swap_remove(index);
+            let _ = handle.join();
+        } else {
+            index += 1;
+        }
+    }
+    pool.active.store(workers.len() as u64, Ordering::Relaxed);
 }
 
 /// Waits (with the stream's short read timeout) until data is readable,
@@ -445,6 +551,94 @@ mod tests {
             "the error must arrive within the frame timeout, took {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn connection_churn_keeps_worker_count_bounded() {
+        // Regression for the worker-handle leak: the acceptor used to push
+        // a JoinHandle per connection and only join them at shutdown, so a
+        // connection-churning client grew the thread list without bound.
+        let (platform, _store, authority, server) = setup();
+        let enclave = platform.create_enclave(b"churn-client").unwrap();
+        let churn = 40usize;
+        for _ in 0..churn {
+            let mut client =
+                TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority)
+                    .unwrap();
+            client.roundtrip(&Message::StatsRequest).unwrap();
+            // Connection drops here; its worker exits on the next poll.
+        }
+        // Give the acceptor a few poll intervals to reap the last workers.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = server.pool_stats();
+            if stats.active == 0 || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let stats = server.pool_stats();
+        assert_eq!(stats.spawned, churn as u64, "every connection got a worker");
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.active, 0, "all workers reaped after churn");
+        assert!(
+            stats.peak < churn as u64 / 2,
+            "sequential churn must reuse pool capacity, peak was {} for {churn} \
+             connections",
+            stats.peak
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturated_pool_rejects_new_connections() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store =
+            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+        let authority = Arc::new(SessionAuthority::with_seed(11));
+        let server = StoreServer::spawn_with_config(
+            Arc::clone(&store),
+            Arc::clone(&platform),
+            Arc::clone(&authority),
+            "127.0.0.1:0",
+            ServerConfig { max_workers: 1 },
+        )
+        .unwrap();
+        let e1 = platform.create_enclave(b"holder").unwrap();
+        let mut holder =
+            TcpStoreClient::connect(server.addr(), &platform, &e1, &authority).unwrap();
+        holder.roundtrip(&Message::StatsRequest).unwrap();
+
+        // The pool's one slot is held open; the next connection must be
+        // dropped fast rather than queued behind it.
+        let e2 = platform.create_enclave(b"overflow").unwrap();
+        let overflow = TcpStoreClient::connect(server.addr(), &platform, &e2, &authority);
+        let failed = match overflow {
+            Err(_) => true,
+            Ok(mut client) => client.roundtrip(&Message::StatsRequest).is_err(),
+        };
+        assert!(failed, "overflow connection must not be served");
+        assert!(server.pool_stats().rejected >= 1);
+
+        // The held connection still works, and capacity frees on disconnect.
+        holder.roundtrip(&Message::StatsRequest).unwrap();
+        drop(holder);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let served = loop {
+            let attempt =
+                TcpStoreClient::connect(server.addr(), &platform, &e2, &authority)
+                    .ok()
+                    .and_then(|mut client| client.roundtrip(&Message::StatsRequest).ok());
+            if attempt.is_some() {
+                break true;
+            }
+            if std::time::Instant::now() > deadline {
+                break false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        assert!(served, "slot must free after the holder disconnects");
+        server.shutdown();
     }
 
     #[test]

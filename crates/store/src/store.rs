@@ -1,19 +1,24 @@
 //! The `ResultStore` proper: request parsing outside the enclave, dictionary
 //! access inside it (§IV-B).
+//!
+//! The dictionary is lock-sharded: the tag's leading byte routes each
+//! request to one of [`StoreConfig::shards`] partitions, each owning its
+//! own [`MetadataDict`], meta-heap accounting, and eviction budget. Shards
+//! serve independent requests in parallel — the three global mutexes the
+//! original single-dict store funnelled every connection through are gone.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 use speed_enclave::{BlobId, Enclave, EnclaveError, Platform, UntrustedMemory};
 use speed_wire::{
     AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
-    PutResponseBody, Record, StatsBody, SyncEntry,
+    PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,
 };
 
 use crate::dict::MetadataDict;
-use crate::quota::{QuotaDecision, QuotaPolicy, QuotaTracker};
+use crate::quota::{QuotaDecision, QuotaPolicy, ShardedQuota};
 use crate::StoreError;
 
 /// Code identity of the store enclave (what remote parties attest against).
@@ -55,9 +60,11 @@ impl AccessControl {
 /// Configuration for a [`ResultStore`].
 #[derive(Clone, Debug)]
 pub struct StoreConfig {
-    /// Maximum number of dictionary entries before LRU eviction.
+    /// Maximum number of dictionary entries before LRU eviction. Split
+    /// evenly across shards (each shard evicts against its own slice).
     pub max_entries: usize,
-    /// Maximum total ciphertext bytes before LRU eviction.
+    /// Maximum total ciphertext bytes before LRU eviction, split evenly
+    /// across shards like `max_entries`.
     pub max_stored_bytes: u64,
     /// Per-application quota policy.
     pub quota: QuotaPolicy,
@@ -66,7 +73,16 @@ pub struct StoreConfig {
     /// Entry time-to-live in logical milliseconds (each request advances
     /// the logical clock by 1 ms); `None` disables expiry.
     pub ttl_ms: Option<u64>,
+    /// Number of lock partitions of the metadata dictionary (at least 1).
+    /// Requests route by the tag's leading byte; more shards mean more
+    /// concurrent dictionary traffic at the cost of coarser per-shard
+    /// eviction budgets.
+    pub shards: usize,
 }
+
+/// Default shard count: enough partitions that 8–16 concurrent clients
+/// rarely collide, while keeping per-shard budget slices coarse.
+pub const DEFAULT_SHARDS: usize = 8;
 
 impl Default for StoreConfig {
     fn default() -> Self {
@@ -76,12 +92,15 @@ impl Default for StoreConfig {
             quota: QuotaPolicy::default(),
             access: AccessControl::Open,
             ttl_ms: None,
+            shards: DEFAULT_SHARDS,
         }
     }
 }
 
 impl StoreConfig {
-    /// A small-capacity config for eviction tests.
+    /// A small-capacity config for eviction tests. Uses a single shard so
+    /// `max_entries`/`max_stored_bytes` behave as exact global budgets with
+    /// store-wide LRU order.
     pub fn with_capacity(max_entries: usize, max_stored_bytes: u64) -> Self {
         StoreConfig {
             max_entries,
@@ -89,7 +108,14 @@ impl StoreConfig {
             quota: QuotaPolicy::unlimited(),
             access: AccessControl::Open,
             ttl_ms: None,
+            shards: 1,
         }
+    }
+
+    /// The same config with a different shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 
@@ -99,12 +125,12 @@ struct Counters {
     hits: AtomicU64,
     puts: AtomicU64,
     rejected_puts: AtomicU64,
-    evictions: AtomicU64,
 }
 
 /// Page-pooled EPC accounting for dictionary metadata: entries are tens of
 /// bytes, so the enclave heap commits pages as byte usage crosses page
-/// boundaries instead of a page per entry.
+/// boundaries instead of a page per entry. Each shard accounts its own
+/// slice of the enclave heap.
 #[derive(Debug, Default)]
 struct MetaHeap {
     bytes: usize,
@@ -135,6 +161,98 @@ impl MetaHeap {
     }
 }
 
+/// A dictionary guard that attributes its hold time to the shard's
+/// `busy_ns` counter on drop — the shard's serial service time, reported
+/// in [`ShardStatsBody`] and consumed by the `shard_bench` concurrency
+/// model.
+struct Timed<'a, G> {
+    inner: G,
+    start: Instant,
+    busy: &'a AtomicU64,
+}
+
+impl<G> std::ops::Deref for Timed<'_, G>
+where
+    G: std::ops::Deref,
+{
+    type Target = G::Target;
+
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+impl<G> std::ops::DerefMut for Timed<'_, G>
+where
+    G: std::ops::DerefMut,
+{
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.inner
+    }
+}
+
+impl<G> Drop for Timed<'_, G> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        self.busy.fetch_add(elapsed, Ordering::Relaxed);
+    }
+}
+
+/// One lock partition: its own dictionary, meta-heap slice, and counters.
+#[derive(Debug)]
+struct Shard {
+    dict: RwLock<MetadataDict>,
+    meta_heap: Mutex<MetaHeap>,
+    evictions: AtomicU64,
+    contention: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            dict: RwLock::new(MetadataDict::new()),
+            meta_heap: Mutex::new(MetaHeap::default()),
+            evictions: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared (read) dictionary access with contention + busy accounting.
+    fn dict_read(&self) -> Timed<'_, RwLockReadGuard<'_, MetadataDict>> {
+        let guard = match self.dict.try_read() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.dict.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+        };
+        Timed { inner: guard, start: Instant::now(), busy: &self.busy_ns }
+    }
+
+    /// Exclusive (write) dictionary access with contention + busy
+    /// accounting.
+    fn dict_write(&self) -> Timed<'_, RwLockWriteGuard<'_, MetadataDict>> {
+        let guard = match self.dict.try_write() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.dict.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+        };
+        Timed { inner: guard, start: Instant::now(), busy: &self.busy_ns }
+    }
+
+    /// Dictionary access for monitoring paths that must not skew the
+    /// contention/busy counters they report.
+    fn dict_observe(&self) -> RwLockReadGuard<'_, MetadataDict> {
+        self.dict.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// Host-side plan for one batch item, built before the batch ECALL: quota
 /// decisions and bulk ciphertext placement happen outside the enclave, so
 /// the single ECALL only touches dictionary metadata.
@@ -158,6 +276,15 @@ enum BatchPlan {
     },
 }
 
+impl BatchPlan {
+    fn tag(&self) -> Option<&CompTag> {
+        match self {
+            BatchPlan::Get { tag, .. } | BatchPlan::Put { tag, .. } => Some(tag),
+            BatchPlan::Denied { .. } => None,
+        }
+    }
+}
+
 /// Per-item outcome of the batch ECALL, resolved to a wire result (and any
 /// required blob/quota cleanup) back on the host side.
 enum BatchOutcome {
@@ -173,14 +300,17 @@ enum BatchOutcome {
 /// The encrypted result store.
 ///
 /// Thread-safe: the TCP front end serves concurrent connections against one
-/// shared instance.
+/// shared instance, and requests to different shards proceed in parallel.
 #[derive(Debug)]
 pub struct ResultStore {
     enclave: Arc<Enclave>,
     untrusted: Arc<UntrustedMemory>,
-    dict: Mutex<MetadataDict>,
-    meta_heap: Mutex<MetaHeap>,
-    quota: Mutex<QuotaTracker>,
+    shards: Box<[Shard]>,
+    /// Per-shard entry budget (`config.max_entries` split across shards).
+    shard_max_entries: usize,
+    /// Per-shard byte budget (`config.max_stored_bytes` split likewise).
+    shard_max_bytes: u64,
+    quota: ShardedQuota,
     config: StoreConfig,
     counters: Counters,
     logical_ms: AtomicU64,
@@ -195,12 +325,15 @@ impl ResultStore {
     /// store enclave.
     pub fn new(platform: &Platform, config: StoreConfig) -> Result<Self, StoreError> {
         let enclave = platform.create_enclave(STORE_ENCLAVE_CODE)?;
+        let shard_count = config.shards.max(1);
+        let shards: Box<[Shard]> = (0..shard_count).map(|_| Shard::new()).collect();
         Ok(ResultStore {
             enclave,
             untrusted: Arc::clone(platform.untrusted()),
-            dict: Mutex::new(MetadataDict::new()),
-            meta_heap: Mutex::new(MetaHeap::default()),
-            quota: Mutex::new(QuotaTracker::new(config.quota)),
+            shard_max_entries: config.max_entries.div_ceil(shard_count).max(1),
+            shard_max_bytes: config.max_stored_bytes.div_ceil(shard_count as u64).max(1),
+            quota: ShardedQuota::new(config.quota, shard_count),
+            shards,
             config,
             counters: Counters::default(),
             logical_ms: AtomicU64::new(0),
@@ -212,12 +345,28 @@ impl ResultStore {
         &self.enclave
     }
 
+    /// Number of dictionary lock partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `tag` routes to: its leading byte modulo the shard count.
+    /// Tags are SHA-256 outputs, so the prefix is uniform across shards.
+    pub fn shard_for_tag(&self, tag: &CompTag) -> usize {
+        usize::from(tag.as_bytes()[0]) % self.shards.len()
+    }
+
+    fn shard(&self, tag: &CompTag) -> &Shard {
+        &self.shards[self.shard_for_tag(tag)]
+    }
+
     /// Handles one protocol message, returning the response message.
     ///
     /// Mirrors the paper's flow: preliminary parsing happens outside the
     /// enclave (the caller decoded the message), then the request is
     /// delegated to a `GET` or `PUT` ECALL that marshals data across the
-    /// boundary and touches the in-enclave dictionary.
+    /// boundary and touches the in-enclave dictionary shard the tag routes
+    /// to.
     pub fn handle(&self, message: Message) -> Message {
         match message {
             Message::GetRequest { app, tag } => {
@@ -262,32 +411,31 @@ impl ResultStore {
     fn handle_get(&self, _app: AppId, tag: CompTag) -> GetResponseBody {
         self.counters.gets.fetch_add(1, Ordering::Relaxed);
         let now_ms = self.tick();
+        let shard = self.shard(&tag);
         // GET ECALL: tag goes in (32 B), metadata comes out.
         let (meta, expired) = self.enclave.ecall_with_bytes("store_get", 32, 128, || {
-            let mut dict = lock_recover(&self.dict);
             if let Some(ttl) = self.config.ttl_ms {
+                // Expiry may remove the entry, so TTL-enabled lookups take
+                // the shard's write lock.
+                let mut dict = shard.dict_write();
                 let is_expired = dict
                     .peek(&tag)
                     .is_some_and(|entry| now_ms.saturating_sub(entry.created_ms) >= ttl);
                 if is_expired {
                     return (None, dict.remove(&tag));
                 }
+                (dict.get(&tag).map(Self::entry_meta), None)
+            } else {
+                // Pure lookup: hit counting is interior-mutable, so shard
+                // readers share the lock.
+                let dict = shard.dict_read();
+                (dict.get(&tag).map(Self::entry_meta), None)
             }
-            let meta = dict.get(&tag).map(|entry| {
-                (
-                    entry.challenge.clone(),
-                    entry.wrapped_key,
-                    entry.nonce,
-                    entry.blob,
-                    entry.boxed_len,
-                )
-            });
-            (meta, None)
         });
         if let Some(entry) = expired {
             self.untrusted.remove(entry.blob);
-            lock_recover(&self.quota).release(entry.owner, u64::from(entry.boxed_len));
-            self.release_entry_memory(&entry);
+            self.quota.release(entry.owner, u64::from(entry.boxed_len));
+            self.release_entry_memory(shard, &entry);
         }
         match meta {
             Some((challenge, wrapped_key, nonce, blob, boxed_len)) => {
@@ -311,9 +459,10 @@ impl ResultStore {
                         // enclave). Drop the dangling metadata and miss.
                         let _ = boxed_len;
                         self.enclave.ecall("store_drop_dangling", || {
-                            let mut dict = lock_recover(&self.dict);
+                            let mut dict = shard.dict_write();
                             if let Some(entry) = dict.remove(&tag) {
-                                self.release_entry_memory(&entry);
+                                drop(dict);
+                                self.release_entry_memory(shard, &entry);
                             }
                         });
                         GetResponseBody { found: false, record: None }
@@ -324,12 +473,25 @@ impl ResultStore {
         }
     }
 
+    #[allow(clippy::type_complexity)] // the GET ECALL's marshalled tuple
+    fn entry_meta(
+        entry: &crate::DictEntry,
+    ) -> (Vec<u8>, [u8; 16], [u8; 12], BlobId, u32) {
+        (
+            entry.challenge.clone(),
+            entry.wrapped_key,
+            entry.nonce,
+            entry.blob,
+            entry.boxed_len,
+        )
+    }
+
     fn handle_put(&self, app: AppId, tag: CompTag, record: Record) -> PutResponseBody {
         self.counters.puts.fetch_add(1, Ordering::Relaxed);
         let now_ms = self.tick();
         let boxed_len = record.boxed_result.len() as u64;
 
-        let decision = lock_recover(&self.quota).check_put(app, boxed_len, now_ms);
+        let decision = self.quota.check_put(app, boxed_len, now_ms);
         if let QuotaDecision::Deny(reason) = decision {
             self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
             return PutResponseBody { accepted: false, reason: Some(reason) };
@@ -337,15 +499,16 @@ impl ResultStore {
 
         // Bulk ciphertext goes straight to untrusted memory.
         let blob = self.untrusted.store(record.boxed_result);
+        let shard = self.shard(&tag);
 
         // PUT ECALL: metadata (challenge, [k], nonce, pointer) crosses the
-        // boundary into the dictionary.
+        // boundary into the tag's dictionary shard.
         let meta_len = record.challenge.len() + 16 + 12 + 8;
         let result: Result<Option<speed_enclave::BlobId>, EnclaveError> =
             self.enclave.ecall_with_bytes("store_put", meta_len, 1, || {
-                let mut dict = lock_recover(&self.dict);
+                let mut dict = shard.dict_write();
                 let entry_footprint = 32 + record.challenge.len() + 120;
-                lock_recover(&self.meta_heap).reserve(&self.enclave, entry_footprint)?;
+                lock_recover(&shard.meta_heap).reserve(&self.enclave, entry_footprint)?;
                 let rejected = dict.insert(
                     tag,
                     record.challenge.clone(),
@@ -358,21 +521,22 @@ impl ResultStore {
                 );
                 if rejected.is_some() {
                     // Entry already existed; give back the memory we took.
-                    lock_recover(&self.meta_heap).release(&self.enclave, entry_footprint);
+                    lock_recover(&shard.meta_heap)
+                        .release(&self.enclave, entry_footprint);
                 }
                 Ok(rejected)
             });
 
         match result {
             Ok(None) => {
-                self.enforce_capacity();
+                self.enforce_capacity(shard);
                 PutResponseBody { accepted: true, reason: None }
             }
             Ok(Some(orphan_blob)) => {
                 // Duplicate tag: first writer won; free the new blob and
                 // refund quota.
                 self.untrusted.remove(orphan_blob);
-                lock_recover(&self.quota).release(app, boxed_len);
+                self.quota.release(app, boxed_len);
                 PutResponseBody {
                     accepted: true,
                     reason: Some("duplicate: existing entry kept".into()),
@@ -380,7 +544,7 @@ impl ResultStore {
             }
             Err(e) => {
                 self.untrusted.remove(blob);
-                lock_recover(&self.quota).release(app, boxed_len);
+                self.quota.release(app, boxed_len);
                 self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
                 PutResponseBody { accepted: false, reason: Some(e.to_string()) }
             }
@@ -391,8 +555,12 @@ impl ResultStore {
     /// runs inside a single `store_batch` ECALL, so a batch of N items
     /// costs one enclave transition on the store side instead of N.
     ///
-    /// Results are returned in request order. A quota denial or enclave
-    /// memory failure rejects only the affected item, never the batch.
+    /// Items are grouped by target shard inside the ECALL, each shard
+    /// locked once and settled in request order (a tag always routes to one
+    /// shard, so a PUT followed by a GET of the same tag still hits within
+    /// the batch). Results are returned in request order. A quota denial or
+    /// enclave memory failure rejects only the affected item, never the
+    /// batch.
     pub fn handle_batch(
         &self,
         app: AppId,
@@ -419,8 +587,7 @@ impl ResultStore {
                 BatchItem::Put { tag, record } => {
                     self.counters.puts.fetch_add(1, Ordering::Relaxed);
                     let boxed_len = record.boxed_result.len() as u64;
-                    let decision =
-                        lock_recover(&self.quota).check_put(app, boxed_len, now_ms);
+                    let decision = self.quota.check_put(app, boxed_len, now_ms);
                     if let QuotaDecision::Deny(reason) = decision {
                         self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
                         plans.push(BatchPlan::Denied { reason });
@@ -442,83 +609,66 @@ impl ResultStore {
             }
         }
 
-        // Phase B: ONE ECALL for the whole batch. The dictionary lock is
-        // taken once, and per-item enclave-memory failures are recorded
-        // instead of aborting the remaining items.
+        // Phase B: ONE ECALL for the whole batch. Items are grouped by
+        // shard; each shard's lock is taken once, and per-item
+        // enclave-memory failures are recorded instead of aborting the
+        // remaining items.
         let outcomes =
             self.enclave.ecall_with_bytes("store_batch", args_len, ret_len, || {
-                let mut dict = lock_recover(&self.dict);
-                plans
-                    .iter()
-                    .map(|plan| match plan {
-                        BatchPlan::Denied { reason } => {
-                            BatchOutcome::Denied(reason.clone())
-                        }
-                        BatchPlan::Get { tag, now_ms } => {
-                            if let Some(ttl) = self.config.ttl_ms {
-                                let is_expired = dict.peek(tag).is_some_and(|entry| {
-                                    now_ms.saturating_sub(entry.created_ms) >= ttl
-                                });
-                                if is_expired {
-                                    return match dict.remove(tag) {
-                                        Some(entry) => BatchOutcome::GetExpired(entry),
-                                        None => BatchOutcome::GetMiss,
-                                    };
-                                }
-                            }
-                            match dict.get(tag) {
-                                Some(entry) => BatchOutcome::GetHit {
-                                    challenge: entry.challenge.clone(),
-                                    wrapped_key: entry.wrapped_key,
-                                    nonce: entry.nonce,
-                                    blob: entry.blob,
-                                },
-                                None => BatchOutcome::GetMiss,
+                let mut outcomes: Vec<Option<BatchOutcome>> =
+                    plans.iter().map(|_| None).collect();
+                let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+                for (index, plan) in plans.iter().enumerate() {
+                    match plan.tag() {
+                        Some(tag) => by_shard[self.shard_for_tag(tag)].push(index),
+                        None => {
+                            if let BatchPlan::Denied { reason } = plan {
+                                outcomes[index] =
+                                    Some(BatchOutcome::Denied(reason.clone()));
                             }
                         }
-                        BatchPlan::Put {
-                            tag,
-                            challenge,
-                            wrapped_key,
-                            nonce,
-                            blob,
-                            boxed_len,
-                            now_ms,
-                        } => {
-                            let entry_footprint = 32 + challenge.len() + 120;
-                            let mut meta_heap = lock_recover(&self.meta_heap);
-                            if let Err(e) =
-                                meta_heap.reserve(&self.enclave, entry_footprint)
-                            {
-                                return BatchOutcome::PutFailed(e.to_string());
-                            }
-                            let rejected = dict.insert(
-                                *tag,
-                                challenge.clone(),
-                                *wrapped_key,
-                                *nonce,
-                                *blob,
-                                *boxed_len as u32,
+                    }
+                }
+                for (shard_index, indices) in by_shard.iter().enumerate() {
+                    if indices.is_empty() {
+                        continue;
+                    }
+                    let shard = &self.shards[shard_index];
+                    // Pure-GET groups without TTL share the shard read
+                    // lock; anything that can mutate takes the write lock.
+                    let needs_write = self.config.ttl_ms.is_some()
+                        || indices
+                            .iter()
+                            .any(|&i| matches!(plans[i], BatchPlan::Put { .. }));
+                    if needs_write {
+                        let mut dict = shard.dict_write();
+                        for &index in indices {
+                            outcomes[index] = Some(self.settle_item(
                                 app,
-                                *now_ms,
-                            );
-                            match rejected {
-                                Some(orphan) => {
-                                    meta_heap.release(&self.enclave, entry_footprint);
-                                    BatchOutcome::PutDuplicate { orphan }
-                                }
-                                None => BatchOutcome::PutInserted,
-                            }
+                                &plans[index],
+                                shard,
+                                &mut dict,
+                            ));
                         }
-                    })
+                    } else {
+                        let dict = shard.dict_read();
+                        for &index in indices {
+                            outcomes[index] =
+                                Some(Self::settle_get(&plans[index], &dict));
+                        }
+                    }
+                }
+                outcomes
+                    .into_iter()
+                    .map(|outcome| outcome.expect("every batch item settled"))
                     .collect::<Vec<_>>()
             });
 
         // Phase C (host): load hit blobs, clean up expired/duplicate/failed
-        // items, and enforce capacity once for the whole batch.
+        // items, and enforce capacity once per inserted-into shard.
         let mut results = Vec::with_capacity(outcomes.len());
         let mut dangling: Vec<CompTag> = Vec::new();
-        let mut inserted_any = false;
+        let mut inserted_shards = vec![false; self.shards.len()];
         for (outcome, plan) in outcomes.into_iter().zip(plans) {
             match outcome {
                 BatchOutcome::Denied(reason) => {
@@ -527,9 +677,10 @@ impl ResultStore {
                 BatchOutcome::GetMiss => results.push(BatchItemResult::not_found()),
                 BatchOutcome::GetExpired(entry) => {
                     self.untrusted.remove(entry.blob);
-                    lock_recover(&self.quota)
-                        .release(entry.owner, u64::from(entry.boxed_len));
-                    self.release_entry_memory(&entry);
+                    self.quota.release(entry.owner, u64::from(entry.boxed_len));
+                    if let Some(tag) = plan.tag() {
+                        self.release_entry_memory(self.shard(tag), &entry);
+                    }
                     results.push(BatchItemResult::not_found());
                 }
                 BatchOutcome::GetHit { challenge, wrapped_key, nonce, blob } => {
@@ -554,13 +705,15 @@ impl ResultStore {
                     }
                 }
                 BatchOutcome::PutInserted => {
-                    inserted_any = true;
+                    if let Some(tag) = plan.tag() {
+                        inserted_shards[self.shard_for_tag(tag)] = true;
+                    }
                     results.push(BatchItemResult::accepted());
                 }
                 BatchOutcome::PutDuplicate { orphan } => {
                     self.untrusted.remove(orphan);
                     if let BatchPlan::Put { boxed_len, .. } = plan {
-                        lock_recover(&self.quota).release(app, boxed_len);
+                        self.quota.release(app, boxed_len);
                     }
                     results.push(BatchItemResult {
                         status: BatchStatus::Accepted,
@@ -571,7 +724,7 @@ impl ResultStore {
                 BatchOutcome::PutFailed(reason) => {
                     if let BatchPlan::Put { blob, boxed_len, .. } = plan {
                         self.untrusted.remove(blob);
-                        lock_recover(&self.quota).release(app, boxed_len);
+                        self.quota.release(app, boxed_len);
                     }
                     self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
                     results.push(BatchItemResult::rejected(reason));
@@ -580,26 +733,114 @@ impl ResultStore {
         }
         if !dangling.is_empty() {
             self.enclave.ecall("store_drop_dangling", || {
-                let mut dict = lock_recover(&self.dict);
                 for tag in &dangling {
-                    if let Some(entry) = dict.remove(tag) {
-                        self.release_entry_memory(&entry);
+                    let shard = self.shard(tag);
+                    let removed = shard.dict_write().remove(tag);
+                    if let Some(entry) = removed {
+                        self.release_entry_memory(shard, &entry);
                     }
                 }
             });
         }
-        if inserted_any {
-            self.enforce_capacity();
+        for (shard_index, inserted) in inserted_shards.iter().enumerate() {
+            if *inserted {
+                self.enforce_capacity(&self.shards[shard_index]);
+            }
         }
         results
     }
 
-    fn enforce_capacity(&self) {
+    /// Settles one batch item against its (write-locked) shard dictionary.
+    fn settle_item(
+        &self,
+        app: AppId,
+        plan: &BatchPlan,
+        shard: &Shard,
+        dict: &mut MetadataDict,
+    ) -> BatchOutcome {
+        match plan {
+            BatchPlan::Denied { reason } => BatchOutcome::Denied(reason.clone()),
+            BatchPlan::Get { tag, now_ms } => {
+                if let Some(ttl) = self.config.ttl_ms {
+                    let is_expired = dict.peek(tag).is_some_and(|entry| {
+                        now_ms.saturating_sub(entry.created_ms) >= ttl
+                    });
+                    if is_expired {
+                        return match dict.remove(tag) {
+                            Some(entry) => BatchOutcome::GetExpired(entry),
+                            None => BatchOutcome::GetMiss,
+                        };
+                    }
+                }
+                match dict.get(tag) {
+                    Some(entry) => BatchOutcome::GetHit {
+                        challenge: entry.challenge.clone(),
+                        wrapped_key: entry.wrapped_key,
+                        nonce: entry.nonce,
+                        blob: entry.blob,
+                    },
+                    None => BatchOutcome::GetMiss,
+                }
+            }
+            BatchPlan::Put {
+                tag,
+                challenge,
+                wrapped_key,
+                nonce,
+                blob,
+                boxed_len,
+                now_ms,
+            } => {
+                let entry_footprint = 32 + challenge.len() + 120;
+                let mut meta_heap = lock_recover(&shard.meta_heap);
+                if let Err(e) = meta_heap.reserve(&self.enclave, entry_footprint) {
+                    return BatchOutcome::PutFailed(e.to_string());
+                }
+                let rejected = dict.insert(
+                    *tag,
+                    challenge.clone(),
+                    *wrapped_key,
+                    *nonce,
+                    *blob,
+                    *boxed_len as u32,
+                    app,
+                    *now_ms,
+                );
+                match rejected {
+                    Some(orphan) => {
+                        meta_heap.release(&self.enclave, entry_footprint);
+                        BatchOutcome::PutDuplicate { orphan }
+                    }
+                    None => BatchOutcome::PutInserted,
+                }
+            }
+        }
+    }
+
+    /// Settles a GET from a pure-read batch group (no TTL, no PUTs in the
+    /// shard group), under the shard's shared read lock.
+    fn settle_get(plan: &BatchPlan, dict: &MetadataDict) -> BatchOutcome {
+        match plan {
+            BatchPlan::Get { tag, .. } => match dict.get(tag) {
+                Some(entry) => BatchOutcome::GetHit {
+                    challenge: entry.challenge.clone(),
+                    wrapped_key: entry.wrapped_key,
+                    nonce: entry.nonce,
+                    blob: entry.blob,
+                },
+                None => BatchOutcome::GetMiss,
+            },
+            _ => unreachable!("read-only groups contain only GET plans"),
+        }
+    }
+
+    /// Evicts from `shard` until it fits its per-shard entry/byte budget.
+    fn enforce_capacity(&self, shard: &Shard) {
         loop {
             let evicted = self.enclave.ecall("store_evict", || {
-                let mut dict = lock_recover(&self.dict);
-                if dict.len() > self.config.max_entries
-                    || dict.stored_bytes() > self.config.max_stored_bytes
+                let mut dict = shard.dict_write();
+                if dict.len() > self.shard_max_entries
+                    || dict.stored_bytes() > self.shard_max_bytes
                 {
                     dict.evict_lru()
                 } else {
@@ -608,24 +849,25 @@ impl ResultStore {
             });
             match evicted {
                 Some((_tag, entry)) => {
-                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    shard.evictions.fetch_add(1, Ordering::Relaxed);
                     self.untrusted.remove(entry.blob);
-                    lock_recover(&self.quota)
-                        .release(entry.owner, u64::from(entry.boxed_len));
-                    self.release_entry_memory(&entry);
+                    self.quota.release(entry.owner, u64::from(entry.boxed_len));
+                    self.release_entry_memory(shard, &entry);
                 }
                 None => break,
             }
         }
     }
 
-    fn release_entry_memory(&self, entry: &crate::DictEntry) {
+    fn release_entry_memory(&self, shard: &Shard, entry: &crate::DictEntry) {
         let footprint = 32 + entry.challenge.len() + 120;
-        lock_recover(&self.meta_heap).release(&self.enclave, footprint);
+        lock_recover(&shard.meta_heap).release(&self.enclave, footprint);
     }
 
     /// Imports entries wholesale (snapshot restore), preserving hit counts.
-    /// Returns how many entries were imported.
+    /// Entries route to shards by tag, so snapshots restore correctly into
+    /// a store with any shard count. Returns how many entries were
+    /// imported.
     pub fn import_entries(&self, entries: Vec<SyncEntry>) -> usize {
         let mut imported = 0usize;
         for entry in entries {
@@ -634,7 +876,7 @@ impl ResultStore {
             let response = self.handle_put(AppId(u64::MAX), tag, entry.record);
             if response.accepted {
                 self.enclave.ecall("store_restore_hits", || {
-                    lock_recover(&self.dict).restore_hits(&tag, hits);
+                    self.shard(&tag).dict_read().restore_hits(&tag, hits);
                 });
                 imported += 1;
             }
@@ -642,44 +884,104 @@ impl ResultStore {
         imported
     }
 
-    /// Exports entries with at least `min_hits` hits for master-store sync.
+    /// Exports entries with at least `min_hits` hits for master-store sync,
+    /// most popular first across all shards.
     pub fn export_popular(&self, min_hits: u64) -> Vec<SyncEntry> {
-        let popular = self
-            .enclave
-            .ecall("store_export", || lock_recover(&self.dict).popular(min_hits));
+        let popular = self.enclave.ecall("store_export", || {
+            let mut selected = Vec::new();
+            for shard in self.shards.iter() {
+                selected.extend(shard.dict_read().popular(min_hits));
+            }
+            // Per-shard selections are each sorted; merge to the global
+            // popularity order the single-dict store produced.
+            selected.sort_by(|a, b| b.1.hits().cmp(&a.1.hits()).then(a.0.cmp(&b.0)));
+            selected
+        });
         popular
             .into_iter()
             .filter_map(|(tag, entry)| {
                 self.untrusted.load(entry.blob).map(|boxed_result| SyncEntry {
                     tag,
                     record: Record {
-                        challenge: entry.challenge,
+                        challenge: entry.challenge.clone(),
                         wrapped_key: entry.wrapped_key,
                         nonce: entry.nonce,
                         boxed_result,
                     },
-                    hits: entry.hits,
+                    hits: entry.hits(),
                 })
             })
             .collect()
     }
 
-    /// A snapshot of the store's counters.
+    /// Exports every entry grouped by owning shard (snapshot sections).
+    /// Entries whose ciphertext blob vanished from untrusted memory are
+    /// skipped, matching [`export_popular`](Self::export_popular).
+    pub fn export_shards(&self) -> Vec<Vec<SyncEntry>> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let entries = self
+                    .enclave
+                    .ecall("store_export_shard", || shard.dict_read().popular(0));
+                entries
+                    .into_iter()
+                    .filter_map(|(tag, entry)| {
+                        self.untrusted.load(entry.blob).map(|boxed_result| SyncEntry {
+                            tag,
+                            record: Record {
+                                challenge: entry.challenge.clone(),
+                                wrapped_key: entry.wrapped_key,
+                                nonce: entry.nonce,
+                                boxed_result,
+                            },
+                            hits: entry.hits(),
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A snapshot of the store's counters: aggregates across shards plus
+    /// one [`ShardStatsBody`] per shard.
     pub fn stats(&self) -> StatsBody {
-        let dict = lock_recover(&self.dict);
+        let mut entries = 0u64;
+        let mut stored_bytes = 0u64;
+        let mut evictions = 0u64;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            let (shard_entries, shard_bytes) = {
+                let dict = shard.dict_observe();
+                (dict.len() as u64, dict.stored_bytes())
+            };
+            let shard_evictions = shard.evictions.load(Ordering::Relaxed);
+            entries += shard_entries;
+            stored_bytes += shard_bytes;
+            evictions += shard_evictions;
+            shards.push(ShardStatsBody {
+                entries: shard_entries,
+                stored_bytes: shard_bytes,
+                evictions: shard_evictions,
+                lock_contention: shard.contention.load(Ordering::Relaxed),
+                busy_ns: shard.busy_ns.load(Ordering::Relaxed),
+            });
+        }
         StatsBody {
-            entries: dict.len() as u64,
+            entries,
             gets: self.counters.gets.load(Ordering::Relaxed),
             hits: self.counters.hits.load(Ordering::Relaxed),
             puts: self.counters.puts.load(Ordering::Relaxed),
             rejected_puts: self.counters.rejected_puts.load(Ordering::Relaxed),
-            stored_bytes: dict.stored_bytes(),
+            stored_bytes,
+            evictions,
+            shards,
         }
     }
 
-    /// Number of LRU evictions so far.
+    /// Number of LRU evictions so far, across all shards.
     pub fn evictions(&self) -> u64 {
-        self.counters.evictions.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.evictions.load(Ordering::Relaxed)).sum()
     }
 
     /// Advances and returns the logical millisecond clock used for quota
@@ -759,6 +1061,54 @@ mod tests {
     }
 
     #[test]
+    fn stats_report_per_shard_counters() {
+        let (_p, store) = store();
+        // tag(n) routes by leading byte: distinct shards for 1 and 2.
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(10, 1),
+        });
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(2),
+            record: record(30, 2),
+        });
+        let stats = store.stats();
+        assert_eq!(stats.shards.len(), store.shard_count());
+        assert_eq!(stats.shards.iter().map(|s| s.entries).sum::<u64>(), 2);
+        assert_eq!(stats.shards.iter().map(|s| s.stored_bytes).sum::<u64>(), 40);
+        let shard_one = store.shard_for_tag(&tag(1));
+        let shard_two = store.shard_for_tag(&tag(2));
+        assert_ne!(shard_one, shard_two);
+        assert_eq!(stats.shards[shard_one].entries, 1);
+        assert_eq!(stats.shards[shard_one].stored_bytes, 10);
+        assert_eq!(stats.shards[shard_two].stored_bytes, 30);
+        // The dictionary paths above all held shard locks.
+        assert!(stats.shards.iter().map(|s| s.busy_ns).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn tags_spread_across_shards() {
+        let (_p, store) = store();
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..=255u8 {
+            seen.insert(store.shard_for_tag(&tag(n)));
+        }
+        assert_eq!(seen.len(), store.shard_count());
+    }
+
+    #[test]
+    fn single_shard_config_matches_global_budgets() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store =
+            ResultStore::new(&platform, StoreConfig::with_capacity(4, 100)).unwrap();
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.shard_max_entries, 4);
+        assert_eq!(store.shard_max_bytes, 100);
+    }
+
+    #[test]
     fn duplicate_put_keeps_first_version() {
         let (platform, store) = store();
         store.handle(Message::PutRequest {
@@ -825,6 +1175,45 @@ mod tests {
     }
 
     #[test]
+    fn eviction_budgets_hold_per_shard() {
+        // Four shards, room for 8 entries total → 2 per shard. Overfill one
+        // shard: only that shard evicts, and it stays within its slice.
+        let platform = Platform::new(CostModel::default_sgx());
+        let config = StoreConfig {
+            max_entries: 8,
+            max_stored_bytes: u64::MAX,
+            quota: QuotaPolicy::unlimited(),
+            access: AccessControl::Open,
+            ttl_ms: None,
+            shards: 4,
+        };
+        let store = ResultStore::new(&platform, config).unwrap();
+        // Tags with leading byte 0, 4, 8, 12 all route to shard 0.
+        for lead in [0u8, 4, 8, 12] {
+            let mut bytes = [lead; 32];
+            bytes[1] = lead.wrapping_add(1);
+            store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: CompTag::from_bytes(bytes),
+                record: record(8, lead),
+            });
+        }
+        // One entry in a different shard is untouched.
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(1),
+            record: record(8, 99),
+        });
+        let stats = store.stats();
+        let target = store.shard_for_tag(&CompTag::from_bytes([0; 32]));
+        assert_eq!(stats.shards[target].entries, 2, "shard holds its 2-entry slice");
+        assert_eq!(stats.shards[target].evictions, 2);
+        let other = store.shard_for_tag(&tag(1));
+        assert_eq!(stats.shards[other].entries, 1);
+        assert_eq!(stats.shards[other].evictions, 0);
+    }
+
+    #[test]
     fn quota_rejection_reported() {
         let platform = Platform::new(CostModel::default_sgx());
         let config = StoreConfig {
@@ -838,6 +1227,7 @@ mod tests {
             },
             access: AccessControl::Open,
             ttl_ms: None,
+            shards: DEFAULT_SHARDS,
         };
         let store = ResultStore::new(&platform, config).unwrap();
         for n in 1..=2u8 {
@@ -933,6 +1323,50 @@ mod tests {
                 assert!(entries[0].hits >= 2);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_popular_orders_across_shards() {
+        let (_p, store) = store();
+        // Three entries in three different shards with distinct popularity.
+        for n in 1..=3u8 {
+            store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag(n),
+                record: record(10, n),
+            });
+        }
+        for _ in 0..5 {
+            store.handle(Message::GetRequest { app: AppId(1), tag: tag(2) });
+        }
+        for _ in 0..2 {
+            store.handle(Message::GetRequest { app: AppId(1), tag: tag(3) });
+        }
+        store.handle(Message::GetRequest { app: AppId(1), tag: tag(1) });
+        let exported = store.export_popular(1);
+        let order: Vec<CompTag> = exported.iter().map(|e| e.tag).collect();
+        assert_eq!(order, vec![tag(2), tag(3), tag(1)]);
+    }
+
+    #[test]
+    fn export_shards_partitions_by_routing() {
+        let (_p, store) = store();
+        for n in 1..=4u8 {
+            store.handle(Message::PutRequest {
+                app: AppId(1),
+                tag: tag(n),
+                record: record(10, n),
+            });
+        }
+        let sections = store.export_shards();
+        assert_eq!(sections.len(), store.shard_count());
+        let total: usize = sections.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 4);
+        for (shard_index, section) in sections.iter().enumerate() {
+            for entry in section {
+                assert_eq!(store.shard_for_tag(&entry.tag), shard_index);
+            }
         }
     }
 
@@ -1063,7 +1497,8 @@ mod tests {
         assert_eq!(
             ecalls_after - ecalls_before,
             1,
-            "a batch of GETs must enter the enclave exactly once"
+            "a batch of GETs must enter the enclave exactly once, \
+             even when the items span multiple shards"
         );
         match response {
             Message::BatchResponse(results) => {
@@ -1240,6 +1675,34 @@ mod tests {
         assert_eq!(*lock_recover(&mutex), 7);
         *lock_recover(&mutex) = 8;
         assert_eq!(*lock_recover(&mutex), 8);
+    }
+
+    #[test]
+    fn shard_locks_recover_from_poison() {
+        // A request that panics while holding a shard's dict lock must not
+        // take the shard down for every later request.
+        let (_p, store) = store();
+        let store = Arc::new(store);
+        let poisoner = Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let shard = &poisoner.shards[0];
+            let _guard = shard.dict.write().unwrap();
+            panic!("poison the shard lock");
+        })
+        .join();
+        assert!(store.shards[0].dict.is_poisoned());
+        let mut bytes = [0u8; 32];
+        bytes[1] = 9;
+        let tag = CompTag::from_bytes(bytes);
+        assert_eq!(store.shard_for_tag(&tag), 0);
+        let put = store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag,
+            record: record(8, 1),
+        });
+        assert!(matches!(put, Message::PutResponse(b) if b.accepted));
+        let get = store.handle(Message::GetRequest { app: AppId(1), tag });
+        assert!(matches!(get, Message::GetResponse(b) if b.found));
     }
 
     #[test]

@@ -137,6 +137,48 @@ pub struct StatsBody {
     pub rejected_puts: u64,
     /// Bytes of result ciphertext held outside the enclave.
     pub stored_bytes: u64,
+    /// LRU evictions across all shards.
+    pub evictions: u64,
+    /// Per-shard counters, indexed by shard id (empty on old servers).
+    pub shards: Vec<ShardStatsBody>,
+}
+
+/// Counters for one store shard (lock partition of the metadata dict).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStatsBody {
+    /// Entries held by this shard's dictionary.
+    pub entries: u64,
+    /// Ciphertext bytes referenced by this shard's entries.
+    pub stored_bytes: u64,
+    /// LRU evictions performed by this shard.
+    pub evictions: u64,
+    /// Lock acquisitions that found the shard lock already held.
+    pub lock_contention: u64,
+    /// Nanoseconds spent holding this shard's dictionary lock (the shard's
+    /// serial service time; drives the concurrency model in `shard_bench`).
+    pub busy_ns: u64,
+}
+
+impl WireEncode for ShardStatsBody {
+    fn encode(&self, writer: &mut Writer) {
+        self.entries.encode(writer);
+        self.stored_bytes.encode(writer);
+        self.evictions.encode(writer);
+        self.lock_contention.encode(writer);
+        self.busy_ns.encode(writer);
+    }
+}
+
+impl WireDecode for ShardStatsBody {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardStatsBody {
+            entries: u64::decode(reader)?,
+            stored_bytes: u64::decode(reader)?,
+            evictions: u64::decode(reader)?,
+            lock_contention: u64::decode(reader)?,
+            busy_ns: u64::decode(reader)?,
+        })
+    }
 }
 
 /// One entry in a master-store synchronization batch (§IV-B Remark).
@@ -440,6 +482,8 @@ impl WireEncode for Message {
                 body.puts.encode(writer);
                 body.rejected_puts.encode(writer);
                 body.stored_bytes.encode(writer);
+                body.evictions.encode(writer);
+                encode_seq(&body.shards, writer);
             }
             Message::SyncPull { min_hits } => {
                 TAG_SYNC_PULL.encode(writer);
@@ -495,6 +539,8 @@ impl WireDecode for Message {
                 puts: u64::decode(reader)?,
                 rejected_puts: u64::decode(reader)?,
                 stored_bytes: u64::decode(reader)?,
+                evictions: u64::decode(reader)?,
+                shards: decode_seq(reader)?,
             })),
             TAG_SYNC_PULL => Ok(Message::SyncPull { min_hits: u64::decode(reader)? }),
             TAG_SYNC_BATCH => Ok(Message::SyncBatch(decode_seq(reader)?)),
@@ -550,6 +596,17 @@ mod tests {
                 puts: 4,
                 rejected_puts: 5,
                 stored_bytes: 6,
+                evictions: 7,
+                shards: vec![
+                    ShardStatsBody {
+                        entries: 1,
+                        stored_bytes: 6,
+                        evictions: 7,
+                        lock_contention: 8,
+                        busy_ns: 9,
+                    },
+                    ShardStatsBody::default(),
+                ],
             }),
             Message::SyncPull { min_hits: 10 },
             Message::SyncBatch(vec![SyncEntry {

@@ -148,6 +148,7 @@ fn put_flood_is_rate_limited_per_app() {
         },
         access: speed_store::AccessControl::Open,
         ttl_ms: None,
+        shards: speed_store::DEFAULT_SHARDS,
     };
     let store = Arc::new(ResultStore::new(&platform, config).unwrap());
 
