@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use speed_crypto::SystemRng;
+use speed_telemetry::{names, Counter, Gauge};
 use speed_wire::Message;
 
 use crate::client::StoreClient;
@@ -221,6 +222,8 @@ pub struct ReplayQueue {
     inner: Mutex<VecDeque<Message>>,
     capacity: usize,
     dropped: AtomicU64,
+    depth_tm: Gauge,
+    dropped_tm: Counter,
 }
 
 impl fmt::Debug for ReplayQueue {
@@ -235,10 +238,19 @@ impl fmt::Debug for ReplayQueue {
 impl ReplayQueue {
     /// An empty queue holding at most `capacity` messages.
     pub fn new(capacity: usize) -> Self {
+        let reg = speed_telemetry::global();
         ReplayQueue {
             inner: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
+            depth_tm: reg.gauge(
+                names::RESILIENCE_REPLAY_QUEUE_DEPTH,
+                "PUTs currently parked in the replay queue",
+            ),
+            dropped_tm: reg.counter(
+                names::RESILIENCE_REPLAY_DROPPED_TOTAL,
+                "Queued PUTs evicted because the bounded replay queue overflowed",
+            ),
         }
     }
 
@@ -251,9 +263,12 @@ impl ReplayQueue {
         while queue.len() >= self.capacity {
             queue.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped_tm.inc();
+            self.depth_tm.sub(1);
             clean = false;
         }
         queue.push_back(message);
+        self.depth_tm.add(1);
         clean
     }
 
@@ -264,13 +279,24 @@ impl ReplayQueue {
         if queue.len() >= self.capacity {
             queue.pop_back();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped_tm.inc();
+            self.depth_tm.sub(1);
         }
         queue.push_front(message);
+        self.depth_tm.add(1);
     }
 
     /// Takes the oldest queued message.
     pub fn pop(&self) -> Option<Message> {
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop_front()
+        let popped = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front();
+        if popped.is_some() {
+            self.depth_tm.sub(1);
+        }
+        popped
     }
 
     /// Messages currently queued.
@@ -286,6 +312,17 @@ impl ReplayQueue {
     /// Messages evicted because the queue was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ReplayQueue {
+    fn drop(&mut self) {
+        // The depth gauge aggregates every live queue in the process; give
+        // back whatever this queue still holds so it does not leak upward.
+        let remaining = self.len() as u64;
+        if remaining > 0 {
+            self.depth_tm.sub(remaining);
+        }
     }
 }
 
@@ -354,6 +391,50 @@ pub struct ResilientClient {
     rng: SystemRng,
     stats: Arc<ResilienceStats>,
     replay: Arc<ReplayQueue>,
+    telemetry: ResilienceTelemetry,
+}
+
+/// Process-wide telemetry mirrors of [`ResilienceStats`].
+#[derive(Debug)]
+struct ResilienceTelemetry {
+    retries: Counter,
+    reconnects: Counter,
+    breaker_transitions: Counter,
+    replayed_puts: Counter,
+    fast_fails: Counter,
+    giveups: Counter,
+}
+
+impl ResilienceTelemetry {
+    fn from_global() -> Self {
+        let reg = speed_telemetry::global();
+        ResilienceTelemetry {
+            retries: reg.counter(
+                names::RESILIENCE_RETRIES_TOTAL,
+                "Store round-trip attempts retried with backoff",
+            ),
+            reconnects: reg.counter(
+                names::RESILIENCE_RECONNECTS_TOTAL,
+                "Re-established store connections (full re-attestation handshakes)",
+            ),
+            breaker_transitions: reg.counter(
+                names::RESILIENCE_BREAKER_TRANSITIONS_TOTAL,
+                "Circuit-breaker state transitions (closed/open/half-open)",
+            ),
+            replayed_puts: reg.counter(
+                names::RESILIENCE_REPLAYED_PUTS_TOTAL,
+                "Queued PUTs delivered after the store recovered",
+            ),
+            fast_fails: reg.counter(
+                names::RESILIENCE_FAST_FAILS_TOTAL,
+                "Round-trips refused immediately by the open circuit breaker",
+            ),
+            giveups: reg.counter(
+                names::RESILIENCE_GIVEUPS_TOTAL,
+                "Round-trips abandoned after exhausting retries or the deadline",
+            ),
+        }
+    }
 }
 
 impl fmt::Debug for ResilientClient {
@@ -387,6 +468,7 @@ impl ResilientClient {
             config,
             stats,
             replay,
+            telemetry: ResilienceTelemetry::from_global(),
         }
     }
 
@@ -398,6 +480,7 @@ impl ResilientClient {
     fn note_transition(&self, transitioned: bool) {
         if transitioned {
             self.stats.breaker_transitions.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.breaker_transitions.inc();
         }
     }
 
@@ -405,6 +488,7 @@ impl ResilientClient {
         if self.inner.is_none() {
             if self.ever_connected {
                 self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.reconnects.inc();
             }
             let client = (self.connector)()?;
             self.ever_connected = true;
@@ -424,6 +508,7 @@ impl ResilientClient {
             match inner.roundtrip(&queued) {
                 Ok(_) => {
                     self.stats.replayed_puts.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.replayed_puts.inc();
                 }
                 Err(_) => {
                     self.replay.push_front(queued);
@@ -441,6 +526,7 @@ impl StoreClient for ResilientClient {
         self.note_transition(transitioned);
         if !admitted {
             self.stats.fast_fails.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.fast_fails.inc();
             return Err(CoreError::StoreUnavailable("circuit breaker open".into()));
         }
 
@@ -469,12 +555,14 @@ impl StoreClient for ResilientClient {
                         break;
                     }
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.retries.inc();
                     let backoff = self.config.retry.backoff(attempt, &mut self.rng);
                     std::thread::sleep(backoff.min(deadline.remaining()));
                 }
             }
         }
         self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.giveups.inc();
         Err(CoreError::StoreUnavailable(last_error))
     }
 }

@@ -14,6 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use speed_crypto::{Key128, SystemRng};
 use speed_enclave::{Enclave, Platform};
 use speed_store::ResultStore;
+use speed_telemetry::{names, Counter, Histogram};
 use speed_wire::{AppId, BatchItem, BatchStatus, Message, SessionAuthority, StatsBody};
 
 use crate::client::{InProcessClient, StoreClient, TcpClient};
@@ -158,6 +159,99 @@ struct AtomicStats {
     cache_misses: AtomicU64,
 }
 
+/// Handles into the process-wide telemetry registry. The per-runtime
+/// [`AtomicStats`] stay authoritative for [`DedupRuntime::stats`]; these
+/// aggregate the same events across every runtime in the process and add
+/// the latency histograms the scalar counters cannot express.
+#[derive(Clone, Debug)]
+struct RuntimeTelemetry {
+    calls: Counter,
+    hits: Counter,
+    misses: Counter,
+    verify_failures: Counter,
+    bypasses: Counter,
+    rejected_puts: Counter,
+    reused_bytes: Counter,
+    degraded_calls: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    call_duration: Histogram,
+    batch_duration: Histogram,
+    tag_derive: Histogram,
+    rce_recover: Histogram,
+    rce_encrypt: Histogram,
+    hotcache_lookup: Histogram,
+}
+
+impl RuntimeTelemetry {
+    fn from_global() -> Self {
+        let reg = speed_telemetry::global();
+        RuntimeTelemetry {
+            calls: reg.counter(names::DEDUP_CALLS_TOTAL, "Marked calls intercepted"),
+            hits: reg.counter(
+                names::DEDUP_HITS_TOTAL,
+                "Calls satisfied from the store (dedup hits)",
+            ),
+            misses: reg.counter(
+                names::DEDUP_MISSES_TOTAL,
+                "Calls that executed the function (initial computations)",
+            ),
+            verify_failures: reg.counter(
+                names::DEDUP_VERIFY_FAILURES_TOTAL,
+                "Records that failed the result-verification protocol",
+            ),
+            bypasses: reg.counter(
+                names::DEDUP_BYPASSES_TOTAL,
+                "Calls executed directly because the adaptive policy bypassed dedup",
+            ),
+            rejected_puts: reg.counter(
+                names::DEDUP_REJECTED_PUTS_TOTAL,
+                "PUTs the store rejected (quota, enclave memory, races)",
+            ),
+            reused_bytes: reg.counter(
+                names::DEDUP_REUSED_BYTES_TOTAL,
+                "Plaintext result bytes reused instead of recomputed",
+            ),
+            degraded_calls: reg.counter(
+                names::DEDUP_DEGRADED_CALLS_TOTAL,
+                "Calls that degraded to local execution during a store outage",
+            ),
+            cache_hits: reg.counter(
+                names::DEDUP_CACHE_HITS_TOTAL,
+                "Lookups answered by the in-enclave hot-tag cache",
+            ),
+            cache_misses: reg.counter(
+                names::DEDUP_CACHE_MISSES_TOTAL,
+                "Hot-tag cache lookups that missed",
+            ),
+            call_duration: reg.histogram(
+                names::DEDUP_CALL_DURATION_NS,
+                "End-to-end latency of one marked call",
+            ),
+            batch_duration: reg.histogram(
+                names::DEDUP_BATCH_DURATION_NS,
+                "End-to-end latency of one execute_batch invocation",
+            ),
+            tag_derive: reg.histogram(
+                names::TAG_DERIVE_DURATION_NS,
+                "Deriving the tag Hash(func, m) inside the enclave",
+            ),
+            rce_recover: reg.histogram(
+                names::RCE_RECOVER_DURATION_NS,
+                "RCE key recovery, result decryption, and verification",
+            ),
+            rce_encrypt: reg.histogram(
+                names::RCE_ENCRYPT_DURATION_NS,
+                "RCE result encryption before publishing",
+            ),
+            hotcache_lookup: reg.histogram(
+                names::HOTCACHE_LOOKUP_DURATION_NS,
+                "In-enclave hot-tag cache lookup (hit or miss)",
+            ),
+        }
+    }
+}
+
 /// Shared state between a runtime and its resilience-wrapped clients.
 #[derive(Debug)]
 struct ResilienceHandles {
@@ -182,7 +276,11 @@ impl std::fmt::Debug for AsyncPutter {
 }
 
 impl AsyncPutter {
-    fn spawn(mut client: Box<dyn StoreClient>, replay: Option<Arc<ReplayQueue>>) -> Self {
+    fn spawn(
+        mut client: Box<dyn StoreClient>,
+        replay: Option<Arc<ReplayQueue>>,
+        telemetry: RuntimeTelemetry,
+    ) -> Self {
         let (sender, receiver) = mpsc::channel::<Message>();
         let pending = Arc::new((Mutex::new(0u64), Condvar::new()));
         let rejected = Arc::new(AtomicU64::new(0));
@@ -196,6 +294,7 @@ impl AsyncPutter {
                 match response {
                     Ok(Message::PutResponse(body)) if !body.accepted => {
                         rejected_worker.fetch_add(1, Ordering::Relaxed);
+                        telemetry.rejected_puts.inc();
                     }
                     Ok(Message::BatchResponse(results)) => {
                         let rejected = results
@@ -203,6 +302,7 @@ impl AsyncPutter {
                             .filter(|r| r.status == BatchStatus::Rejected)
                             .count() as u64;
                         rejected_worker.fetch_add(rejected, Ordering::Relaxed);
+                        telemetry.rejected_puts.add(rejected);
                     }
                     Err(CoreError::StoreUnavailable(_)) => {
                         // Graceful degradation: park the PUT for replay once
@@ -210,6 +310,7 @@ impl AsyncPutter {
                         // layer the failure is dropped (legacy behavior).
                         if let Some(replay) = &replay {
                             degraded_worker.fetch_add(1, Ordering::Relaxed);
+                            telemetry.degraded_calls.inc();
                             match message {
                                 // A failed batch degrades item by item, so
                                 // partial replay capacity still saves the
@@ -521,7 +622,11 @@ impl RuntimeBuilder {
                     let put_client = build_client(0xA5)?;
                     let replay =
                         resilience_handles.as_ref().map(|h| Arc::clone(&h.replay));
-                    Some(AsyncPutter::spawn(put_client, replay))
+                    Some(AsyncPutter::spawn(
+                        put_client,
+                        replay,
+                        RuntimeTelemetry::from_global(),
+                    ))
                 } else {
                     None
                 };
@@ -545,6 +650,7 @@ impl RuntimeBuilder {
             profiler: AdaptiveProfiler::new(),
             rng: Mutex::new(rng),
             stats: AtomicStats::default(),
+            telemetry: RuntimeTelemetry::from_global(),
             async_putter,
             resilience: resilience_handles,
             hot_cache: self.hot_cache.map(|c| Mutex::new(HotTagCache::new(c))),
@@ -610,6 +716,7 @@ pub struct DedupRuntime {
     profiler: AdaptiveProfiler,
     rng: Mutex<SystemRng>,
     stats: AtomicStats,
+    telemetry: RuntimeTelemetry,
     async_putter: Option<AsyncPutter>,
     resilience: Option<ResilienceHandles>,
     hot_cache: Option<Mutex<HotTagCache>>,
@@ -663,6 +770,7 @@ impl DedupRuntime {
         compute: impl FnOnce(&[u8]) -> Vec<u8>,
     ) -> Result<(Vec<u8>, DedupOutcome), CoreError> {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.calls.inc();
 
         // Adaptive policy (§VII future work): bypass the store entirely
         // for functions where deduplication cannot pay off.
@@ -673,6 +781,7 @@ impl DedupRuntime {
         if let Some(config) = &adaptive {
             if self.profiler.decide(identity, config) == PolicyDecision::Bypass {
                 self.stats.bypasses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.bypasses.inc();
                 let started = std::time::Instant::now();
                 let result = self.enclave.ecall("direct_execute", || compute(input));
                 self.profiler.record_compute(
@@ -685,22 +794,28 @@ impl DedupRuntime {
         }
 
         let call_started = std::time::Instant::now();
+        let call_span = self.telemetry.call_duration.start_span();
         let outcome = self.enclave.ecall("dedup_execute", || {
             // Inside the application enclave: derive the tag from the
             // verified function identity and the input data.
-            let tag = tag_for(identity, input);
+            let tag = self.telemetry.tag_derive.time(|| tag_for(identity, input));
 
             // Hot-tag cache: a recently resolved result is answered without
             // leaving the enclave — no OCALL, no store round-trip.
             if let Some(cache) = &self.hot_cache {
-                if let Some(result) = lock_recover(cache).get(&tag) {
+                let lookup =
+                    self.telemetry.hotcache_lookup.time(|| lock_recover(cache).get(&tag));
+                if let Some(result) = lookup {
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.cache_hits.inc();
                     self.stats
                         .reused_bytes
                         .fetch_add(result.len() as u64, Ordering::Relaxed);
+                    self.telemetry.reused_bytes.add(result.len() as u64);
                     return Ok((result, DedupOutcome::HitLocalCache, 0u64));
                 }
                 self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.cache_misses.inc();
             }
 
             // OCALL: synchronous GET roundtrip (tag out, record back).
@@ -727,7 +842,7 @@ impl DedupRuntime {
 
             if let Some(record) = found {
                 self.enclave.charge_boundary_bytes(record.wire_size());
-                let recovered = match &self.mode {
+                let recovered = self.telemetry.rce_recover.time(|| match &self.mode {
                     DedupMode::CrossApp => rce::recover_result(identity, input, &record),
                     DedupMode::SingleKey(key) => {
                         rce::recover_result_single_key(key, &record)
@@ -735,13 +850,15 @@ impl DedupRuntime {
                     DedupMode::Convergent => {
                         rce::recover_result_convergent(identity, input, &record)
                     }
-                };
+                });
                 match recovered {
                     Ok(result) => {
                         self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.hits.inc();
                         self.stats
                             .reused_bytes
                             .fetch_add(result.len() as u64, Ordering::Relaxed);
+                        self.telemetry.reused_bytes.add(result.len() as u64);
                         if let Some(cache) = &self.hot_cache {
                             lock_recover(cache).insert(&self.enclave, tag, &result);
                         }
@@ -752,7 +869,9 @@ impl DedupRuntime {
                         // (the tag slot is taken; overwriting is the store's
                         // anti-poisoning policy decision).
                         self.stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.verify_failures.inc();
                         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.misses.inc();
                         let compute_started = std::time::Instant::now();
                         let result = compute(input);
                         let compute_ns = compute_started.elapsed().as_nanos() as u64;
@@ -768,6 +887,7 @@ impl DedupRuntime {
 
             // Fresh computation: execute inside the enclave.
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.misses.inc();
             let compute_started = std::time::Instant::now();
             let result = compute(input);
             let compute_ns = compute_started.elapsed().as_nanos() as u64;
@@ -776,7 +896,7 @@ impl DedupRuntime {
             }
 
             // Encrypt and publish.
-            let record = {
+            let record = self.telemetry.rce_encrypt.time(|| {
                 let mut rng = lock_recover(&self.rng);
                 match &self.mode {
                     DedupMode::CrossApp => {
@@ -789,7 +909,7 @@ impl DedupRuntime {
                         rce::encrypt_result_convergent(identity, input, &result, &mut rng)
                     }
                 }
-            };
+            });
             let record_size = record.wire_size();
             let put_request = Message::PutRequest { app: self.app_id, tag, record };
 
@@ -810,6 +930,7 @@ impl DedupRuntime {
                         Ok(Message::PutResponse(body)) => {
                             if !body.accepted {
                                 self.stats.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                                self.telemetry.rejected_puts.inc();
                             }
                         }
                         Ok(other) => {
@@ -834,9 +955,11 @@ impl DedupRuntime {
 
             if degraded {
                 self.stats.degraded_calls.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.degraded_calls.inc();
             }
             Ok((result, DedupOutcome::Miss, compute_ns))
         });
+        drop(call_span);
 
         let (result, outcome, compute_ns) = outcome?;
         if let Some(config) = &adaptive {
@@ -901,6 +1024,8 @@ impl DedupRuntime {
         }
         let n = calls.len();
         self.stats.calls.fetch_add(n as u64, Ordering::Relaxed);
+        self.telemetry.calls.add(n as u64);
+        let _batch_span = self.telemetry.batch_duration.start_span();
 
         // ONE ECALL for the whole batch.
         let outcome = self.enclave.ecall("dedup_execute_batch", || {
@@ -915,7 +1040,9 @@ impl DedupRuntime {
             let tags: Vec<_> = identities
                 .iter()
                 .zip(&inputs)
-                .map(|(identity, input)| tag_for(identity, input))
+                .map(|(identity, input)| {
+                    self.telemetry.tag_derive.time(|| tag_for(identity, input))
+                })
                 .collect();
 
             // Phase 1: hot-tag cache, no boundary crossing.
@@ -924,16 +1051,19 @@ impl DedupRuntime {
             if let Some(cache) = &self.hot_cache {
                 let mut cache = lock_recover(cache);
                 for i in 0..n {
-                    match cache.get(&tags[i]) {
+                    match self.telemetry.hotcache_lookup.time(|| cache.get(&tags[i])) {
                         Some(result) => {
                             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.cache_hits.inc();
                             self.stats
                                 .reused_bytes
                                 .fetch_add(result.len() as u64, Ordering::Relaxed);
+                            self.telemetry.reused_bytes.add(result.len() as u64);
                             slots[i] = Some((result, DedupOutcome::HitLocalCache));
                         }
                         None => {
                             self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.cache_misses.inc();
                             pending.push(i);
                         }
                     }
@@ -984,23 +1114,26 @@ impl DedupRuntime {
                 let input = inputs[i];
                 if let Some(record) = found.get_mut(slot_pos).and_then(Option::take) {
                     self.enclave.charge_boundary_bytes(record.wire_size());
-                    let recovered = match &self.mode {
-                        DedupMode::CrossApp => {
-                            rce::recover_result(identity, input, &record)
-                        }
-                        DedupMode::SingleKey(key) => {
-                            rce::recover_result_single_key(key, &record)
-                        }
-                        DedupMode::Convergent => {
-                            rce::recover_result_convergent(identity, input, &record)
-                        }
-                    };
+                    let recovered =
+                        self.telemetry.rce_recover.time(|| match &self.mode {
+                            DedupMode::CrossApp => {
+                                rce::recover_result(identity, input, &record)
+                            }
+                            DedupMode::SingleKey(key) => {
+                                rce::recover_result_single_key(key, &record)
+                            }
+                            DedupMode::Convergent => {
+                                rce::recover_result_convergent(identity, input, &record)
+                            }
+                        });
                     match recovered {
                         Ok(result) => {
                             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.hits.inc();
                             self.stats
                                 .reused_bytes
                                 .fetch_add(result.len() as u64, Ordering::Relaxed);
+                            self.telemetry.reused_bytes.add(result.len() as u64);
                             if let Some(cache) = &self.hot_cache {
                                 lock_recover(cache).insert(
                                     &self.enclave,
@@ -1014,7 +1147,9 @@ impl DedupRuntime {
                         Err(CoreError::VerificationFailed) => {
                             // Fig. 3: ⊥ ⇒ execute locally, publish nothing.
                             self.stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.verify_failures.inc();
                             self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.misses.inc();
                             let compute =
                                 computes[i].take().expect("each compute runs once");
                             let result = compute(input);
@@ -1028,15 +1163,17 @@ impl DedupRuntime {
 
                 // Miss (or degraded): execute inside the enclave.
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.misses.inc();
                 if degraded {
                     self.stats.degraded_calls.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.degraded_calls.inc();
                 }
                 let compute = computes[i].take().expect("each compute runs once");
                 let result = compute(input);
                 if let Some(cache) = &self.hot_cache {
                     lock_recover(cache).insert(&self.enclave, tags[i], &result);
                 }
-                let record = {
+                let record = self.telemetry.rce_encrypt.time(|| {
                     let mut rng = lock_recover(&self.rng);
                     match &self.mode {
                         DedupMode::CrossApp => {
@@ -1049,7 +1186,7 @@ impl DedupRuntime {
                             identity, input, &result, &mut rng,
                         ),
                     }
-                };
+                });
                 put_items.push(BatchItem::Put { tag: tags[i], record });
                 slots[i] = Some((result, DedupOutcome::Miss));
             }
@@ -1094,6 +1231,7 @@ impl DedupRuntime {
                                     self.stats
                                         .rejected_puts
                                         .fetch_add(rejected, Ordering::Relaxed);
+                                    self.telemetry.rejected_puts.add(rejected);
                                 }
                                 Ok(other) => {
                                     return Err(CoreError::UnexpectedResponse(format!(
@@ -1116,6 +1254,7 @@ impl DedupRuntime {
                                                 self.stats
                                                     .degraded_calls
                                                     .fetch_add(1, Ordering::Relaxed);
+                                                self.telemetry.degraded_calls.inc();
                                                 handles.replay.push(
                                                     Message::PutRequest {
                                                         app,

@@ -4,6 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use speed_telemetry::{names, Counter};
+
 use crate::cost::{CostModel, SimClock};
 use crate::epc::EpcAllocator;
 use crate::error::EnclaveError;
@@ -48,6 +50,46 @@ pub struct Enclave {
     boundary_bytes: AtomicU64,
     charged_ns: AtomicU64,
     epc_committed: AtomicU64,
+    telemetry: EnclaveTelemetry,
+}
+
+/// Process-wide telemetry handles shared by every enclave; the per-enclave
+/// atomics above stay authoritative for [`Enclave::stats`].
+#[derive(Debug)]
+struct EnclaveTelemetry {
+    ecalls: Counter,
+    ocalls: Counter,
+    boundary_bytes: Counter,
+    charged_ns: Counter,
+}
+
+impl EnclaveTelemetry {
+    fn from_global() -> Self {
+        let registry = speed_telemetry::global();
+        const TRANSITIONS_HELP: &str =
+            "World switches performed, by kind (ecall = host->enclave entry, \
+             ocall = enclave->host exit)";
+        EnclaveTelemetry {
+            ecalls: registry.counter_with(
+                names::ENCLAVE_TRANSITIONS_TOTAL,
+                TRANSITIONS_HELP,
+                &[("kind", "ecall")],
+            ),
+            ocalls: registry.counter_with(
+                names::ENCLAVE_TRANSITIONS_TOTAL,
+                TRANSITIONS_HELP,
+                &[("kind", "ocall")],
+            ),
+            boundary_bytes: registry.counter(
+                names::ENCLAVE_BOUNDARY_BYTES_TOTAL,
+                "Bytes copied across the enclave boundary in either direction",
+            ),
+            charged_ns: registry.counter(
+                names::ENCLAVE_CHARGED_NS_TOTAL,
+                "Modeled nanoseconds charged for world switches and boundary copies",
+            ),
+        }
+    }
 }
 
 impl Enclave {
@@ -71,6 +113,7 @@ impl Enclave {
             boundary_bytes: AtomicU64::new(0),
             charged_ns: AtomicU64::new(0),
             epc_committed: AtomicU64::new(initial_commit as u64),
+            telemetry: EnclaveTelemetry::from_global(),
         })
     }
 
@@ -97,6 +140,7 @@ impl Enclave {
     pub fn ecall<R>(&self, _name: &str, body: impl FnOnce() -> R) -> R {
         self.charge(self.model.ecall_ns);
         self.ecalls.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.ecalls.inc();
         body()
     }
 
@@ -117,6 +161,7 @@ impl Enclave {
     pub fn ocall<R>(&self, _name: &str, body: impl FnOnce() -> R) -> R {
         self.charge(self.model.ocall_ns);
         self.ocalls.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.ocalls.inc();
         body()
     }
 
@@ -193,11 +238,13 @@ impl Enclave {
     fn charge(&self, ns: u64) {
         self.clock.charge_ns(ns);
         self.charged_ns.fetch_add(ns, Ordering::Relaxed);
+        self.telemetry.charged_ns.add(ns);
     }
 
     fn charge_copy(&self, bytes: usize) {
         let ns = self.model.boundary_copy_ns(bytes);
         self.boundary_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.telemetry.boundary_bytes.add(bytes as u64);
         self.charge(ns);
     }
 }

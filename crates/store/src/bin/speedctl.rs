@@ -21,7 +21,7 @@ use std::sync::Arc;
 use speed_enclave::{CostModel, Platform};
 use speed_store::server::{ServerConfig, StoreServer, TcpStoreClient};
 use speed_store::{ResultStore, StoreConfig};
-use speed_wire::{AppId, CompTag, Message, Record, SessionAuthority};
+use speed_wire::{AppId, CompTag, Message, MetricsFormat, Record, SessionAuthority};
 
 fn usage() -> ! {
     eprintln!(
@@ -29,8 +29,10 @@ fn usage() -> ! {
          commands:\n\
            serve   --addr HOST:PORT --secret N [--no-sgx] [--max-entries N]\n\
                    [--max-bytes N] [--ttl-ms N] [--shards N] [--max-workers N]\n\
+                   [--metrics-jsonl PATH]\n\
            ping    --addr HOST:PORT --secret N [--count N]\n\
            stats   --addr HOST:PORT --secret N\n\
+           metrics --addr HOST:PORT --secret N [--json]\n\
            get     --addr HOST:PORT --secret N --tag HEX\n\
            put     --addr HOST:PORT --secret N --tag HEX --data STRING\n\
            bench   --addr HOST:PORT --secret N [--ops N] [--size BYTES]\n\
@@ -169,8 +171,21 @@ fn cmd_serve(flags: &Flags) {
     println!("enclave measurement: {}", store.enclave().measurement());
     println!("dictionary shards: {}", store.shard_count());
     println!("press ctrl-c to stop");
+    let metrics_jsonl = flags.values.get("metrics-jsonl").cloned();
+    if let Some(path) = &metrics_jsonl {
+        println!("emitting a JSONL metrics snapshot to {path} every 5s");
+    }
     loop {
         std::thread::sleep(std::time::Duration::from_secs(5));
+        if let Some(path) = &metrics_jsonl {
+            // Refresh derived gauges, then overwrite the file with the
+            // latest snapshot (one metric per line) so it stays bounded.
+            store.sync_telemetry();
+            let jsonl = speed_telemetry::global().snapshot().render_jsonl();
+            if let Err(e) = std::fs::write(path, jsonl) {
+                eprintln!("metrics-jsonl write failed: {e}");
+            }
+        }
         let stats = store.stats();
         let pool = server.pool_stats();
         println!(
@@ -253,6 +268,23 @@ fn cmd_stats(flags: &Flags) {
         }
         Ok(other) => eprintln!("unexpected response: {other:?}"),
         Err(e) => eprintln!("request failed: {e}"),
+    }
+}
+
+fn cmd_metrics(flags: &Flags) {
+    let format =
+        if flags.has("json") { MetricsFormat::Jsonl } else { MetricsFormat::Prometheus };
+    let mut client = connect(flags);
+    match client.roundtrip(&Message::MetricsRequest { format }) {
+        Ok(Message::MetricsResponse(text)) => print!("{text}"),
+        Ok(other) => {
+            eprintln!("unexpected response: {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -360,6 +392,7 @@ fn main() {
         "serve" => cmd_serve(&flags),
         "ping" => cmd_ping(&flags),
         "stats" => cmd_stats(&flags),
+        "metrics" => cmd_metrics(&flags),
         "get" => cmd_get(&flags),
         "put" => cmd_put(&flags),
         "bench" => cmd_bench(&flags),

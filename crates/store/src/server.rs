@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 
 use speed_enclave::attestation::{create_report, Quote, REPORT_DATA_LEN};
 use speed_enclave::Platform;
+use speed_telemetry::{names, Counter, Gauge};
 use speed_wire::frame::{read_frame, write_frame};
 use speed_wire::{from_bytes, to_bytes, Message, Role, SecureChannel, SessionAuthority};
 
@@ -46,13 +47,57 @@ impl Default for ServerConfig {
     }
 }
 
-/// Worker-pool counters, shared between the acceptor and the handle.
-#[derive(Debug, Default)]
+/// Worker-pool counters, shared between the acceptor and the handle. The
+/// telemetry handles mirror the atomics into the process-global registry
+/// live, so a `MetricsRequest` served by any worker sees fresh pool
+/// gauges without reaching back to the server handle.
+#[derive(Debug)]
 struct PoolCounters {
     active: AtomicU64,
     peak: AtomicU64,
     spawned: AtomicU64,
     rejected: AtomicU64,
+    active_tm: Gauge,
+    peak_tm: Gauge,
+    spawned_tm: Counter,
+    rejected_tm: Counter,
+}
+
+impl Default for PoolCounters {
+    fn default() -> Self {
+        let registry = speed_telemetry::global();
+        PoolCounters {
+            active: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            spawned: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            active_tm: registry.gauge(
+                names::SERVER_WORKERS_ACTIVE,
+                "Connection workers currently serving a client",
+            ),
+            peak_tm: registry.gauge(
+                names::SERVER_WORKERS_PEAK,
+                "High-water mark of concurrently live connection workers",
+            ),
+            spawned_tm: registry.counter(
+                names::SERVER_WORKERS_SPAWNED_TOTAL,
+                "Connection workers spawned over the server's lifetime",
+            ),
+            rejected_tm: registry.counter(
+                names::SERVER_CONNECTIONS_REJECTED_TOTAL,
+                "Connections dropped because the worker pool was saturated",
+            ),
+        }
+    }
+}
+
+impl PoolCounters {
+    /// Records the current live-worker count in both the atomic and the
+    /// registry gauge.
+    fn set_active(&self, live: u64) {
+        self.active.store(live, Ordering::Relaxed);
+        self.active_tm.set(live);
+    }
 }
 
 /// A point-in-time snapshot of the worker pool.
@@ -137,6 +182,7 @@ impl StoreServer {
                             // client's handshake read fails fast rather than
                             // hanging in the accept backlog.
                             pool_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            pool_counters.rejected_tm.inc();
                             drop(stream);
                             continue;
                         }
@@ -162,9 +208,13 @@ impl StoreServer {
                             );
                         }));
                         pool_counters.spawned.fetch_add(1, Ordering::Relaxed);
+                        pool_counters.spawned_tm.inc();
                         let live = workers.len() as u64;
-                        pool_counters.active.store(live, Ordering::Relaxed);
+                        pool_counters.set_active(live);
                         pool_counters.peak.fetch_max(live, Ordering::Relaxed);
+                        pool_counters
+                            .peak_tm
+                            .set(pool_counters.peak.load(Ordering::Relaxed));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         reap_finished(&mut workers, &pool_counters);
@@ -176,7 +226,7 @@ impl StoreServer {
             for worker in workers {
                 let _ = worker.join();
             }
-            pool_counters.active.store(0, Ordering::Relaxed);
+            pool_counters.set_active(0);
         });
 
         Ok(StoreServer { addr, shutdown, acceptor: Some(acceptor), pool })
@@ -228,7 +278,7 @@ fn reap_finished(workers: &mut Vec<JoinHandle<()>>, pool: &PoolCounters) {
             index += 1;
         }
     }
-    pool.active.store(workers.len() as u64, Ordering::Relaxed);
+    pool.set_active(workers.len() as u64);
 }
 
 /// Waits (with the stream's short read timeout) until data is readable,

@@ -12,9 +12,10 @@ use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use speed_enclave::{BlobId, Enclave, EnclaveError, Platform, UntrustedMemory};
+use speed_telemetry::{names, Counter, Gauge, Histogram};
 use speed_wire::{
     AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
-    PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,
+    MetricsFormat, PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,
 };
 
 use crate::dict::MetadataDict;
@@ -125,6 +126,102 @@ struct Counters {
     hits: AtomicU64,
     puts: AtomicU64,
     rejected_puts: AtomicU64,
+}
+
+/// Process-wide telemetry handles for one [`ResultStore`]. Event counters
+/// are incremented live alongside the per-store [`Counters`] (which stay
+/// authoritative for [`ResultStore::stats`]); derived values — entry
+/// counts, byte totals, per-shard counters — are pushed into the registry
+/// by [`ResultStore::sync_telemetry`] just before a snapshot is rendered.
+#[derive(Debug)]
+struct StoreTelemetry {
+    gets: Counter,
+    hits: Counter,
+    puts: Counter,
+    rejected_puts: Counter,
+    evictions: Counter,
+    entries: Gauge,
+    stored_bytes: Gauge,
+    request_duration: Histogram,
+    shards: Vec<ShardTelemetry>,
+}
+
+/// Per-shard registry series, labelled `shard="<index>"`.
+#[derive(Debug)]
+struct ShardTelemetry {
+    entries: Gauge,
+    stored_bytes: Gauge,
+    evictions: Counter,
+    lock_contention: Counter,
+    busy_ns: Counter,
+}
+
+impl StoreTelemetry {
+    fn from_global(shard_count: usize) -> Self {
+        let registry = speed_telemetry::global();
+        let shards = (0..shard_count)
+            .map(|index| {
+                let label = index.to_string();
+                let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+                ShardTelemetry {
+                    entries: registry.gauge_with(
+                        names::STORE_SHARD_ENTRIES,
+                        "Dictionary entries held by this shard",
+                        labels,
+                    ),
+                    stored_bytes: registry.gauge_with(
+                        names::STORE_SHARD_STORED_BYTES,
+                        "Ciphertext bytes referenced by this shard's entries",
+                        labels,
+                    ),
+                    evictions: registry.counter_with(
+                        names::STORE_SHARD_EVICTIONS_TOTAL,
+                        "LRU evictions performed by this shard",
+                        labels,
+                    ),
+                    lock_contention: registry.counter_with(
+                        names::STORE_SHARD_LOCK_CONTENTION_TOTAL,
+                        "Dictionary lock acquisitions that had to block on this shard",
+                        labels,
+                    ),
+                    busy_ns: registry.counter_with(
+                        names::STORE_SHARD_BUSY_NS_TOTAL,
+                        "Nanoseconds this shard's dictionary lock was held",
+                        labels,
+                    ),
+                }
+            })
+            .collect();
+        StoreTelemetry {
+            gets: registry
+                .counter(names::STORE_GETS_TOTAL, "GET requests served by the store"),
+            hits: registry
+                .counter(names::STORE_HITS_TOTAL, "GET requests that found a live entry"),
+            puts: registry
+                .counter(names::STORE_PUTS_TOTAL, "PUT requests served by the store"),
+            rejected_puts: registry.counter(
+                names::STORE_REJECTED_PUTS_TOTAL,
+                "PUT requests rejected by quota or enclave memory pressure",
+            ),
+            evictions: registry.counter(
+                names::STORE_EVICTIONS_TOTAL,
+                "Entries evicted under the LRU capacity policy, all shards",
+            ),
+            entries: registry.gauge(
+                names::STORE_ENTRIES,
+                "Dictionary entries currently held, all shards",
+            ),
+            stored_bytes: registry.gauge(
+                names::STORE_STORED_BYTES,
+                "Ciphertext bytes currently referenced, all shards",
+            ),
+            request_duration: registry.histogram(
+                names::STORE_REQUEST_DURATION_NS,
+                "Wall-clock service time of one store protocol message",
+            ),
+            shards,
+        }
+    }
 }
 
 /// Page-pooled EPC accounting for dictionary metadata: entries are tens of
@@ -313,6 +410,7 @@ pub struct ResultStore {
     quota: ShardedQuota,
     config: StoreConfig,
     counters: Counters,
+    telemetry: StoreTelemetry,
     logical_ms: AtomicU64,
 }
 
@@ -336,6 +434,7 @@ impl ResultStore {
             shards,
             config,
             counters: Counters::default(),
+            telemetry: StoreTelemetry::from_global(shard_count),
             logical_ms: AtomicU64::new(0),
         })
     }
@@ -368,6 +467,7 @@ impl ResultStore {
     /// boundary and touches the in-enclave dictionary shard the tag routes
     /// to.
     pub fn handle(&self, message: Message) -> Message {
+        let _request_span = self.telemetry.request_duration.start_span();
         match message {
             Message::GetRequest { app, tag } => {
                 if !self.config.access.permits(app) {
@@ -388,6 +488,14 @@ impl ResultStore {
                 Message::BatchResponse(self.handle_batch(app, items))
             }
             Message::StatsRequest => Message::StatsResponse(self.stats()),
+            Message::MetricsRequest { format } => {
+                self.sync_telemetry();
+                let snapshot = speed_telemetry::global().snapshot();
+                Message::MetricsResponse(match format {
+                    MetricsFormat::Prometheus => snapshot.render_prometheus(),
+                    MetricsFormat::Jsonl => snapshot.render_jsonl(),
+                })
+            }
             Message::SyncPull { min_hits } => {
                 Message::SyncBatch(self.export_popular(min_hits))
             }
@@ -410,6 +518,7 @@ impl ResultStore {
 
     fn handle_get(&self, _app: AppId, tag: CompTag) -> GetResponseBody {
         self.counters.gets.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.gets.inc();
         let now_ms = self.tick();
         let shard = self.shard(&tag);
         // GET ECALL: tag goes in (32 B), metadata comes out.
@@ -444,6 +553,7 @@ impl ResultStore {
                 match self.untrusted.load(blob) {
                     Some(boxed_result) => {
                         self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.hits.inc();
                         GetResponseBody {
                             found: true,
                             record: Some(Record {
@@ -488,12 +598,14 @@ impl ResultStore {
 
     fn handle_put(&self, app: AppId, tag: CompTag, record: Record) -> PutResponseBody {
         self.counters.puts.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.puts.inc();
         let now_ms = self.tick();
         let boxed_len = record.boxed_result.len() as u64;
 
         let decision = self.quota.check_put(app, boxed_len, now_ms);
         if let QuotaDecision::Deny(reason) = decision {
             self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.rejected_puts.inc();
             return PutResponseBody { accepted: false, reason: Some(reason) };
         }
 
@@ -546,6 +658,7 @@ impl ResultStore {
                 self.untrusted.remove(blob);
                 self.quota.release(app, boxed_len);
                 self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.rejected_puts.inc();
                 PutResponseBody { accepted: false, reason: Some(e.to_string()) }
             }
         }
@@ -580,16 +693,19 @@ impl ResultStore {
             match item {
                 BatchItem::Get { tag } => {
                     self.counters.gets.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.gets.inc();
                     args_len += 32;
                     ret_len += 128;
                     plans.push(BatchPlan::Get { tag, now_ms });
                 }
                 BatchItem::Put { tag, record } => {
                     self.counters.puts.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.puts.inc();
                     let boxed_len = record.boxed_result.len() as u64;
                     let decision = self.quota.check_put(app, boxed_len, now_ms);
                     if let QuotaDecision::Deny(reason) = decision {
                         self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.rejected_puts.inc();
                         plans.push(BatchPlan::Denied { reason });
                         continue;
                     }
@@ -687,6 +803,7 @@ impl ResultStore {
                     match self.untrusted.load(blob) {
                         Some(boxed_result) => {
                             self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.hits.inc();
                             results.push(BatchItemResult::found(Record {
                                 challenge,
                                 wrapped_key,
@@ -727,6 +844,7 @@ impl ResultStore {
                         self.quota.release(app, boxed_len);
                     }
                     self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.rejected_puts.inc();
                     results.push(BatchItemResult::rejected(reason));
                 }
             }
@@ -850,6 +968,7 @@ impl ResultStore {
             match evicted {
                 Some((_tag, entry)) => {
                     shard.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.evictions.inc();
                     self.untrusted.remove(entry.blob);
                     self.quota.release(entry.owner, u64::from(entry.boxed_len));
                     self.release_entry_memory(shard, &entry);
@@ -977,6 +1096,35 @@ impl ResultStore {
             evictions,
             shards,
         }
+    }
+
+    /// Pushes the store's derived values — entry counts, byte totals, and
+    /// per-shard counters — into the process-global telemetry registry.
+    ///
+    /// Event counters (gets, hits, puts, rejections, evictions) are
+    /// incremented live as requests flow; the values synced here are
+    /// point-in-time readings that only a snapshot consumer needs, so they
+    /// are refreshed on demand: [`handle`](Self::handle) calls this before
+    /// answering a `MetricsRequest`, and the `speedctl serve` JSONL emitter
+    /// calls it once per interval.
+    pub fn sync_telemetry(&self) {
+        let mut entries = 0u64;
+        let mut stored_bytes = 0u64;
+        for (shard, tm) in self.shards.iter().zip(&self.telemetry.shards) {
+            let (shard_entries, shard_bytes) = {
+                let dict = shard.dict_observe();
+                (dict.len() as u64, dict.stored_bytes())
+            };
+            entries += shard_entries;
+            stored_bytes += shard_bytes;
+            tm.entries.set(shard_entries);
+            tm.stored_bytes.set(shard_bytes);
+            tm.evictions.set_total(shard.evictions.load(Ordering::Relaxed));
+            tm.lock_contention.set_total(shard.contention.load(Ordering::Relaxed));
+            tm.busy_ns.set_total(shard.busy_ns.load(Ordering::Relaxed));
+        }
+        self.telemetry.entries.set(entries);
+        self.telemetry.stored_bytes.set(stored_bytes);
     }
 
     /// Number of LRU evictions so far, across all shards.

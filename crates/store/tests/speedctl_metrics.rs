@@ -1,0 +1,102 @@
+//! End-to-end exercise of the `speedctl` binary: serve a store, drive it
+//! with `put`/`get`, and scrape it with `metrics` in both formats.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const SECRET: &str = "4242";
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `speedctl serve` on an ephemeral port and parses the bound
+/// address from its first stdout line.
+fn spawn_server() -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_speedctl"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--secret", SECRET, "--shards", "4"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn speedctl serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("serve prints a banner").expect("banner readable");
+    let addr = banner
+        .rsplit_once(" listening on ")
+        .map(|(_, addr)| addr.trim().to_string())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"));
+    // Keep draining stdout in the background so the child never blocks on
+    // a full pipe while the test runs.
+    std::thread::spawn(move || for _ in lines {});
+    Server { child, addr }
+}
+
+fn speedctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_speedctl"))
+        .args(args)
+        .output()
+        .expect("run speedctl")
+}
+
+#[test]
+fn metrics_subcommand_scrapes_a_live_server() {
+    let server = spawn_server();
+
+    let put = speedctl(&[
+        "put",
+        "--addr",
+        &server.addr,
+        "--secret",
+        SECRET,
+        "--tag",
+        "0b0b",
+        "--data",
+        "payload",
+    ]);
+    assert!(put.status.success(), "put failed: {put:?}");
+    let get =
+        speedctl(&["get", "--addr", &server.addr, "--secret", SECRET, "--tag", "0b0b"]);
+    assert!(get.status.success(), "get failed: {get:?}");
+
+    // Prometheus text exposition (the default).
+    let metrics = speedctl(&["metrics", "--addr", &server.addr, "--secret", SECRET]);
+    assert!(metrics.status.success(), "metrics failed: {metrics:?}");
+    let text = String::from_utf8(metrics.stdout).expect("utf-8 exposition");
+    assert!(text.contains("# TYPE store_gets_total counter"), "got:\n{text}");
+    assert!(text.contains("# TYPE store_entries gauge"));
+    assert!(text.contains("# TYPE store_request_duration_ns histogram"));
+    assert!(text.contains("store_request_duration_ns_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("enclave_transitions_total{kind=\"ecall\"}"));
+    assert!(text.contains("store_shard_entries{shard=\"0\"}"));
+    // The put/get workload above is reflected in the counters.
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("store_hits_total "))
+        .expect("store_hits_total rendered");
+    let hits: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(hits >= 1, "the GET above must count as a hit, got {line}");
+
+    // JSONL via --json.
+    let metrics =
+        speedctl(&["metrics", "--addr", &server.addr, "--secret", SECRET, "--json"]);
+    assert!(metrics.status.success(), "metrics --json failed: {metrics:?}");
+    let jsonl = String::from_utf8(metrics.stdout).expect("utf-8 jsonl");
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        assert!(
+            line.starts_with("{\"name\":") && line.ends_with('}'),
+            "malformed jsonl line: {line}"
+        );
+    }
+    assert!(jsonl.contains("\"name\":\"store_puts_total\""));
+    assert!(jsonl.contains("\"type\":\"histogram\""));
+}

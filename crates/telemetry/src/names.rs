@@ -1,0 +1,182 @@
+//! Canonical metric names.
+//!
+//! Every metric emitted anywhere in the workspace is named by a constant
+//! here, and every constant here is documented in `docs/METRICS.md` (the
+//! `metrics_docs_cover_every_name` integration test enforces the pairing).
+//! Instrumentation code must use these constants — never string literals —
+//! so the name set stays closed.
+//!
+//! Conventions: counters end in `_total`, histograms of nanosecond
+//! latencies end in `_ns`, monotonic nanosecond totals end in `_ns_total`,
+//! gauges have no suffix. Labels are noted per constant.
+
+// --- speed-enclave: world switches and boundary copies (paper Fig. 6) ---
+
+/// Counter, label `kind` ∈ {`ecall`, `ocall`}: world switches performed.
+pub const ENCLAVE_TRANSITIONS_TOTAL: &str = "enclave_transitions_total";
+/// Counter: bytes copied across the enclave boundary in either direction.
+pub const ENCLAVE_BOUNDARY_BYTES_TOTAL: &str = "enclave_boundary_bytes_total";
+/// Counter: modeled nanoseconds charged for switches and boundary copies.
+pub const ENCLAVE_CHARGED_NS_TOTAL: &str = "enclave_charged_ns_total";
+
+// --- speed-core: the DedupRuntime data path (Algorithms 1 and 2) ---
+
+/// Counter: marked calls intercepted by any runtime in this process.
+pub const DEDUP_CALLS_TOTAL: &str = "dedup_calls_total";
+/// Counter: calls satisfied from the store (a dedup hit).
+pub const DEDUP_HITS_TOTAL: &str = "dedup_hits_total";
+/// Counter: calls that executed the function (initial computations).
+pub const DEDUP_MISSES_TOTAL: &str = "dedup_misses_total";
+/// Counter: records that failed the Fig. 3 verification protocol.
+pub const DEDUP_VERIFY_FAILURES_TOTAL: &str = "dedup_verify_failures_total";
+/// Counter: calls the adaptive policy executed without consulting the store.
+pub const DEDUP_BYPASSES_TOTAL: &str = "dedup_bypasses_total";
+/// Counter: PUTs the store rejected (quota, enclave memory, races).
+pub const DEDUP_REJECTED_PUTS_TOTAL: &str = "dedup_rejected_puts_total";
+/// Counter: plaintext result bytes reused instead of recomputed.
+pub const DEDUP_REUSED_BYTES_TOTAL: &str = "dedup_reused_bytes_total";
+/// Counter: calls that degraded to local execution during a store outage.
+pub const DEDUP_DEGRADED_CALLS_TOTAL: &str = "dedup_degraded_calls_total";
+/// Counter: lookups answered by the in-enclave hot-tag cache.
+pub const DEDUP_CACHE_HITS_TOTAL: &str = "dedup_cache_hits_total";
+/// Counter: hot-tag cache lookups that missed.
+pub const DEDUP_CACHE_MISSES_TOTAL: &str = "dedup_cache_misses_total";
+
+/// Histogram (ns): end-to-end latency of one marked call (`execute_raw`).
+pub const DEDUP_CALL_DURATION_NS: &str = "dedup_call_duration_ns";
+/// Histogram (ns): end-to-end latency of one `execute_batch` invocation.
+pub const DEDUP_BATCH_DURATION_NS: &str = "dedup_batch_duration_ns";
+/// Histogram (ns): deriving the tag `t ← Hash(func, m)` inside the enclave.
+pub const TAG_DERIVE_DURATION_NS: &str = "tag_derive_duration_ns";
+/// Histogram (ns): RCE key recovery + result decryption + verification.
+pub const RCE_RECOVER_DURATION_NS: &str = "rce_recover_duration_ns";
+/// Histogram (ns): RCE result encryption before publishing.
+pub const RCE_ENCRYPT_DURATION_NS: &str = "rce_encrypt_duration_ns";
+/// Histogram (ns): in-enclave hot-tag cache lookup (hit or miss).
+pub const HOTCACHE_LOOKUP_DURATION_NS: &str = "hotcache_lookup_duration_ns";
+
+// --- speed-core resilience: the fault-tolerant store path ---
+
+/// Counter: round-trip attempts retried with backoff.
+pub const RESILIENCE_RETRIES_TOTAL: &str = "resilience_retries_total";
+/// Counter: reconnects (each runs the full attested handshake again).
+pub const RESILIENCE_RECONNECTS_TOTAL: &str = "resilience_reconnects_total";
+/// Counter: circuit-breaker state transitions (closed/open/half-open).
+pub const RESILIENCE_BREAKER_TRANSITIONS_TOTAL: &str =
+    "resilience_breaker_transitions_total";
+/// Counter: round-trips refused immediately by the open breaker.
+pub const RESILIENCE_FAST_FAILS_TOTAL: &str = "resilience_fast_fails_total";
+/// Counter: round-trips abandoned after exhausting retries or the deadline.
+pub const RESILIENCE_GIVEUPS_TOTAL: &str = "resilience_giveups_total";
+/// Counter: queued PUTs delivered after the store recovered.
+pub const RESILIENCE_REPLAYED_PUTS_TOTAL: &str = "resilience_replayed_puts_total";
+/// Counter: queued PUTs evicted because the bounded replay queue overflowed.
+pub const RESILIENCE_REPLAY_DROPPED_TOTAL: &str = "resilience_replay_dropped_total";
+/// Gauge: PUTs currently parked in the replay queue.
+pub const RESILIENCE_REPLAY_QUEUE_DEPTH: &str = "resilience_replay_queue_depth";
+
+// --- speed-store: the encrypted ResultStore ---
+
+/// Counter: GET requests served (single and batched).
+pub const STORE_GETS_TOTAL: &str = "store_gets_total";
+/// Counter: GETs that found a record (store-side dedup hits).
+pub const STORE_HITS_TOTAL: &str = "store_hits_total";
+/// Counter: PUT requests served (single and batched).
+pub const STORE_PUTS_TOTAL: &str = "store_puts_total";
+/// Counter: PUTs rejected (quota, enclave memory pressure).
+pub const STORE_REJECTED_PUTS_TOTAL: &str = "store_rejected_puts_total";
+/// Counter: LRU evictions across all shards.
+pub const STORE_EVICTIONS_TOTAL: &str = "store_evictions_total";
+/// Gauge: entries resident in the metadata dictionary, all shards.
+pub const STORE_ENTRIES: &str = "store_entries";
+/// Gauge: ciphertext bytes held outside the enclave, all shards.
+pub const STORE_STORED_BYTES: &str = "store_stored_bytes";
+/// Histogram (ns): serving one protocol message in `ResultStore::handle`.
+pub const STORE_REQUEST_DURATION_NS: &str = "store_request_duration_ns";
+
+/// Gauge, label `shard`: entries held by one dictionary shard.
+pub const STORE_SHARD_ENTRIES: &str = "store_shard_entries";
+/// Gauge, label `shard`: ciphertext bytes referenced by one shard.
+pub const STORE_SHARD_STORED_BYTES: &str = "store_shard_stored_bytes";
+/// Counter, label `shard`: LRU evictions performed by one shard.
+pub const STORE_SHARD_EVICTIONS_TOTAL: &str = "store_shard_evictions_total";
+/// Counter, label `shard`: lock acquisitions that found the shard busy.
+pub const STORE_SHARD_LOCK_CONTENTION_TOTAL: &str = "store_shard_lock_contention_total";
+/// Counter, label `shard`: nanoseconds spent holding the shard's dict lock.
+pub const STORE_SHARD_BUSY_NS_TOTAL: &str = "store_shard_busy_ns_total";
+
+// --- speed-store server: the TCP front end's worker pool ---
+
+/// Gauge: connection workers currently serving.
+pub const SERVER_WORKERS_ACTIVE: &str = "server_workers_active";
+/// Gauge: high-water mark of concurrently live workers.
+pub const SERVER_WORKERS_PEAK: &str = "server_workers_peak";
+/// Counter: workers spawned over the server's lifetime.
+pub const SERVER_WORKERS_SPAWNED_TOTAL: &str = "server_workers_spawned_total";
+/// Counter: connections dropped because the pool was saturated.
+pub const SERVER_CONNECTIONS_REJECTED_TOTAL: &str = "server_connections_rejected_total";
+
+/// Every metric name the workspace emits, for docs-coverage enforcement.
+pub const ALL: &[&str] = &[
+    ENCLAVE_TRANSITIONS_TOTAL,
+    ENCLAVE_BOUNDARY_BYTES_TOTAL,
+    ENCLAVE_CHARGED_NS_TOTAL,
+    DEDUP_CALLS_TOTAL,
+    DEDUP_HITS_TOTAL,
+    DEDUP_MISSES_TOTAL,
+    DEDUP_VERIFY_FAILURES_TOTAL,
+    DEDUP_BYPASSES_TOTAL,
+    DEDUP_REJECTED_PUTS_TOTAL,
+    DEDUP_REUSED_BYTES_TOTAL,
+    DEDUP_DEGRADED_CALLS_TOTAL,
+    DEDUP_CACHE_HITS_TOTAL,
+    DEDUP_CACHE_MISSES_TOTAL,
+    DEDUP_CALL_DURATION_NS,
+    DEDUP_BATCH_DURATION_NS,
+    TAG_DERIVE_DURATION_NS,
+    RCE_RECOVER_DURATION_NS,
+    RCE_ENCRYPT_DURATION_NS,
+    HOTCACHE_LOOKUP_DURATION_NS,
+    RESILIENCE_RETRIES_TOTAL,
+    RESILIENCE_RECONNECTS_TOTAL,
+    RESILIENCE_BREAKER_TRANSITIONS_TOTAL,
+    RESILIENCE_FAST_FAILS_TOTAL,
+    RESILIENCE_GIVEUPS_TOTAL,
+    RESILIENCE_REPLAYED_PUTS_TOTAL,
+    RESILIENCE_REPLAY_DROPPED_TOTAL,
+    RESILIENCE_REPLAY_QUEUE_DEPTH,
+    STORE_GETS_TOTAL,
+    STORE_HITS_TOTAL,
+    STORE_PUTS_TOTAL,
+    STORE_REJECTED_PUTS_TOTAL,
+    STORE_EVICTIONS_TOTAL,
+    STORE_ENTRIES,
+    STORE_STORED_BYTES,
+    STORE_REQUEST_DURATION_NS,
+    STORE_SHARD_ENTRIES,
+    STORE_SHARD_STORED_BYTES,
+    STORE_SHARD_EVICTIONS_TOTAL,
+    STORE_SHARD_LOCK_CONTENTION_TOTAL,
+    STORE_SHARD_BUSY_NS_TOTAL,
+    SERVER_WORKERS_ACTIVE,
+    SERVER_WORKERS_PEAK,
+    SERVER_WORKERS_SPAWNED_TOTAL,
+    SERVER_CONNECTIONS_REJECTED_TOTAL,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate metric name {name}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "metric name {name} must be snake_case ascii"
+            );
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The metric registry: get-or-register handles, snapshot on demand.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, DEFAULT_NS_BUCKETS};
+use crate::snapshot::{MetricSnapshot, MetricValue, TelemetrySnapshot};
+
+/// A label set, sorted by key at registration so `{a="1",b="2"}` and
+/// `{b="2",a="1"}` name the same series.
+type Labels = Vec<(String, String)>;
+
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Series {
+    help: String,
+    handle: Handle,
+}
+
+/// A collection of named metrics.
+///
+/// `counter`/`gauge`/`histogram` are get-or-register: the first call for a
+/// `(name, labels)` pair creates the series, later calls return a clone of
+/// the same handle, so independently constructed components aggregate into
+/// one series. Registering a name that already exists with a *different*
+/// metric type panics — that is a programming error, not a runtime
+/// condition.
+///
+/// The internal lock is held only during registration and
+/// [`snapshot`](Registry::snapshot); recording through a handle never takes
+/// it.
+#[derive(Debug, Default)]
+pub struct Registry {
+    series: RwLock<HashMap<(String, Labels), Series>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or registers an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Gets or registers a counter carrying the given labels.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        match self.get_or_insert(name, help, labels, || {
+            Handle::Counter(Counter(Default::default()))
+        }) {
+            Handle::Counter(c) => c,
+            other => panic!("metric {name} already registered as {}", kind_of(&other)),
+        }
+    }
+
+    /// Gets or registers an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or registers a gauge carrying the given labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, help, labels, || {
+            Handle::Gauge(Gauge(Default::default()))
+        }) {
+            Handle::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {}", kind_of(&other)),
+        }
+    }
+
+    /// Gets or registers an unlabeled histogram with the
+    /// [`DEFAULT_NS_BUCKETS`] bounds.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[], DEFAULT_NS_BUCKETS)
+    }
+
+    /// Gets or registers a histogram with explicit labels and bucket bounds.
+    ///
+    /// If the series already exists its original bounds are kept; bounds are
+    /// fixed at first registration.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[u64],
+    ) -> Histogram {
+        match self.get_or_insert(name, help, labels, || {
+            Handle::Histogram(Histogram::new(buckets))
+        }) {
+            Handle::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {}", kind_of(&other)),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut labels: Labels =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        let key = (name.to_string(), labels);
+        if let Some(series) = self.series.read().expect("registry poisoned").get(&key) {
+            return series.handle.clone();
+        }
+        let mut map = self.series.write().expect("registry poisoned");
+        map.entry(key)
+            .or_insert_with(|| Series { help: help.to_string(), handle: make() })
+            .handle
+            .clone()
+    }
+
+    /// Captures every series into a point-in-time [`TelemetrySnapshot`],
+    /// sorted by name then labels so renders are deterministic.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let map = self.series.read().expect("registry poisoned");
+        let mut metrics: Vec<MetricSnapshot> = map
+            .iter()
+            .map(|((name, labels), series)| MetricSnapshot {
+                name: name.clone(),
+                help: series.help.clone(),
+                labels: labels.clone(),
+                value: match &series.handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        cumulative: h.cumulative_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        TelemetrySnapshot { metrics }
+    }
+}
+
+fn kind_of(handle: &Handle) -> &'static str {
+    match handle {
+        Handle::Counter(_) => "counter",
+        Handle::Gauge(_) => "gauge",
+        Handle::Histogram(_) => "histogram",
+    }
+}
+
+/// The process-wide registry every component records into.
+///
+/// Servers render it on a metrics request; `speedctl metrics` prints it;
+/// benches dump it at exit. Tests sharing a process should assert monotonic
+/// deltas against it (or use a private [`Registry`] for exact values).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_shares_one_cell() {
+        let registry = Registry::new();
+        let a = registry.counter("c_total", "test");
+        let b = registry.counter("c_total", "test");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn labels_distinguish_series_regardless_of_order() {
+        let registry = Registry::new();
+        let ecalls = registry.counter_with("t_total", "test", &[("kind", "ecall")]);
+        let ocalls = registry.counter_with("t_total", "test", &[("kind", "ocall")]);
+        ecalls.inc();
+        ocalls.add(5);
+        assert_eq!(ecalls.get(), 1);
+        assert_eq!(ocalls.get(), 5);
+
+        let multi = registry.counter_with("m_total", "test", &[("a", "1"), ("b", "2")]);
+        let same = registry.counter_with("m_total", "test", &[("b", "2"), ("a", "1")]);
+        multi.inc();
+        assert_eq!(same.get(), 1, "label order must not split the series");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x_total", "test");
+        registry.gauge("x_total", "test");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_point_in_time() {
+        let registry = Registry::new();
+        registry.counter("zz_total", "test").inc();
+        registry.gauge("aa", "test").set(9);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["aa", "zz_total"]);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global().counter("registry_test_shared_total", "test");
+        let before = a.get();
+        global().counter("registry_test_shared_total", "test").inc();
+        assert_eq!(a.get(), before + 1);
+    }
+}

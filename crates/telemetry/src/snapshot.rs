@@ -1,0 +1,314 @@
+//! Point-in-time captures and their two wire formats: Prometheus text
+//! exposition and one-JSON-object-per-line (JSONL).
+//!
+//! Both renderers are hand-rolled — the workspace builds offline, so no
+//! serde — and deterministic: series are sorted by name, then labels.
+
+use std::fmt::Write as _;
+
+/// The value of one series at capture time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram state.
+    Histogram {
+        /// Finite upper-inclusive bucket bounds, ascending (ns).
+        bounds: Vec<u64>,
+        /// Cumulative observation counts per bound (Prometheus `le`
+        /// semantics), same length as `bounds`; `+Inf` is `count`.
+        cumulative: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of all observations (ns).
+        sum: u64,
+    },
+}
+
+/// One series captured from a registry.
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// Metric name (see [`crate::names`]).
+    pub name: String,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time capture of a whole registry, ready to render.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Captured series, sorted by name then labels.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Looks up the value of an unlabeled counter or gauge by name.
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find(|m| m.name == name && m.labels.is_empty()).and_then(
+            |m| match m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(v),
+                MetricValue::Histogram { .. } => None,
+            },
+        )
+    }
+
+    /// Sums a counter across every label combination it was registered with.
+    pub fn scalar_sum(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(v),
+                MetricValue::Histogram { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Histograms expand to `_bucket{le="..."}` series (including `+Inf`),
+    /// `_sum`, and `_count`. `# HELP`/`# TYPE` headers are emitted once per
+    /// metric name.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for metric in &self.metrics {
+            if last_name != Some(metric.name.as_str()) {
+                let kind = match metric.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram { .. } => "histogram",
+                };
+                let _ =
+                    writeln!(out, "# HELP {} {}", metric.name, escape_help(&metric.help));
+                let _ = writeln!(out, "# TYPE {} {}", metric.name, kind);
+                last_name = Some(metric.name.as_str());
+            }
+            match &metric.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        metric.name,
+                        render_labels(&metric.labels, None),
+                        v
+                    );
+                }
+                MetricValue::Histogram { bounds, cumulative, count, sum } => {
+                    for (bound, cum) in bounds.iter().zip(cumulative) {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            metric.name,
+                            render_labels(&metric.labels, Some(&bound.to_string())),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        metric.name,
+                        render_labels(&metric.labels, Some("+Inf")),
+                        count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        metric.name,
+                        render_labels(&metric.labels, None),
+                        sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        metric.name,
+                        render_labels(&metric.labels, None),
+                        count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders one JSON object per series, one per line.
+    ///
+    /// Scalar lines look like
+    /// `{"name":"dedup_hits_total","type":"counter","labels":{},"value":1}`;
+    /// histogram lines carry `"buckets":[{"le":250,"count":0},...]` plus
+    /// `"count"` and `"sum"`. Consumers can `grep | jq` a stream of these.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for metric in &self.metrics {
+            let mut line = String::new();
+            let _ = write!(line, "{{\"name\":{}", json_string(&metric.name));
+            let kind = match metric.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            let _ = write!(line, ",\"type\":\"{kind}\",\"labels\":{{");
+            for (i, (k, v)) in metric.labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{}:{}", json_string(k), json_string(v));
+            }
+            line.push('}');
+            match &metric.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = write!(line, ",\"value\":{v}");
+                }
+                MetricValue::Histogram { bounds, cumulative, count, sum } => {
+                    line.push_str(",\"buckets\":[");
+                    for (i, (bound, cum)) in bounds.iter().zip(cumulative).enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        let _ = write!(line, "{{\"le\":{bound},\"count\":{cum}}}");
+                    }
+                    let _ = write!(line, "],\"count\":{count},\"sum\":{sum}");
+                }
+            }
+            line.push('}');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders `{k="v",...}` with optional trailing `le`, or `""` when empty.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value per the exposition format: `\`, `"`, newline.
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escapes help text per the exposition format: `\` and newline only.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Serializes a string as a JSON string literal.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> TelemetrySnapshot {
+        let registry = Registry::new();
+        registry.counter_with("t_total", "switches", &[("kind", "ecall")]).add(3);
+        registry.counter_with("t_total", "switches", &[("kind", "ocall")]).add(2);
+        registry.gauge("depth", "queue depth").set(7);
+        let hist = registry.histogram_with("lat_ns", "latency", &[], &[100, 1000]);
+        hist.observe(50);
+        hist.observe(500);
+        hist.observe(5000);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE t_total counter"));
+        assert!(text.contains("t_total{kind=\"ecall\"} 3"));
+        assert!(text.contains("t_total{kind=\"ocall\"} 2"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth 7"));
+        assert!(text.contains("lat_ns_bucket{le=\"100\"} 1"));
+        assert!(text.contains("lat_ns_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_sum 5550"));
+        assert!(text.contains("lat_ns_count 3"));
+        // One HELP/TYPE header per name, not per series.
+        assert_eq!(text.matches("# TYPE t_total").count(), 1);
+    }
+
+    #[test]
+    fn jsonl_render_shape() {
+        let text = sample().render_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains(
+            "{\"name\":\"depth\",\"type\":\"gauge\",\"labels\":{},\"value\":7}"
+        ));
+        assert!(text.contains("\"labels\":{\"kind\":\"ecall\"},\"value\":3"));
+        assert!(text.contains("\"buckets\":[{\"le\":100,\"count\":1},{\"le\":1000,\"count\":2}],\"count\":3,\"sum\":5550"));
+    }
+
+    #[test]
+    fn scalar_lookup_and_sum() {
+        let snap = sample();
+        assert_eq!(snap.scalar("depth"), Some(7));
+        assert_eq!(
+            snap.scalar("t_total"),
+            None,
+            "labeled series are not unlabeled scalars"
+        );
+        assert_eq!(snap.scalar_sum("t_total"), 5);
+    }
+
+    #[test]
+    fn label_and_json_escaping() {
+        let registry = Registry::new();
+        registry
+            .counter_with("e_total", "has \"quotes\"\nand lines", &[("p", "a\\b\"c")])
+            .inc();
+        let snap = registry.snapshot();
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("# HELP e_total has \"quotes\"\\nand lines"));
+        assert!(prom.contains("e_total{p=\"a\\\\b\\\"c\"} 1"));
+        let jsonl = snap.render_jsonl();
+        assert!(jsonl.contains("\"p\":\"a\\\\b\\\"c\""));
+    }
+}

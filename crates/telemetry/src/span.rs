@@ -1,0 +1,83 @@
+//! Timed scopes recording into histograms.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A timed scope: observes the elapsed nanoseconds into its histogram when
+/// dropped. Create one with [`Histogram::start_span`].
+///
+/// ```
+/// let registry = speed_telemetry::Registry::new();
+/// let hist = registry.histogram("work_duration_ns", "time spent working");
+/// {
+///     let _span = hist.start_span();
+///     // ... the timed work ...
+/// } // <- observation recorded here
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    pub(crate) fn new(histogram: Histogram) -> Self {
+        Span { histogram, start: Instant::now(), recorded: false }
+    }
+
+    /// Nanoseconds elapsed since the span started.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Ends the span early, recording the observation now instead of at
+    /// drop. Subsequent drop records nothing.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    /// Abandons the span: nothing is recorded (e.g. the guarded operation
+    /// failed and its latency would pollute the distribution).
+    pub fn cancel(mut self) {
+        self.recorded = true;
+    }
+
+    fn record(&mut self) {
+        if !self.recorded {
+            self.recorded = true;
+            self.histogram.observe(self.start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn finish_records_once() {
+        let registry = Registry::new();
+        let hist = registry.histogram("h_ns", "test");
+        let span = hist.start_span();
+        span.finish();
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let registry = Registry::new();
+        let hist = registry.histogram("h_ns", "test");
+        let span = hist.start_span();
+        span.cancel();
+        assert_eq!(hist.count(), 0);
+    }
+}

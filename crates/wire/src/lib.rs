@@ -30,7 +30,8 @@ pub use channel::{ChannelError, Role, SecureChannel, SessionAuthority};
 pub use codec::{Reader, WireDecode, WireEncode, WireError, Writer};
 pub use messages::{
     AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
-    PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry, COMP_TAG_LEN,
+    MetricsFormat, PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,
+    COMP_TAG_LEN,
 };
 
 /// Encodes any [`WireEncode`] value to a fresh byte vector.

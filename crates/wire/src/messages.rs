@@ -181,6 +181,35 @@ impl WireDecode for ShardStatsBody {
     }
 }
 
+/// Rendering requested by a [`Message::MetricsRequest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format (version 0.0.4).
+    Prometheus,
+    /// One JSON object per metric, one per line.
+    Jsonl,
+}
+
+impl WireEncode for MetricsFormat {
+    fn encode(&self, writer: &mut Writer) {
+        let code: u8 = match self {
+            MetricsFormat::Prometheus => 0,
+            MetricsFormat::Jsonl => 1,
+        };
+        code.encode(writer);
+    }
+}
+
+impl WireDecode for MetricsFormat {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(reader)? {
+            0 => Ok(MetricsFormat::Prometheus),
+            1 => Ok(MetricsFormat::Jsonl),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+}
+
 /// One entry in a master-store synchronization batch (§IV-B Remark).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SyncEntry {
@@ -416,6 +445,13 @@ pub enum Message {
     /// Response to [`Message::BatchRequest`]: one result per item, in
     /// request order.
     BatchResponse(Vec<BatchItemResult>),
+    /// Request the server's telemetry registry rendered in `format`.
+    MetricsRequest {
+        /// Which textual rendering to return.
+        format: MetricsFormat,
+    },
+    /// Response to [`Message::MetricsRequest`]: the rendered registry.
+    MetricsResponse(String),
 }
 
 const TAG_GET_REQUEST: u8 = 1;
@@ -429,6 +465,8 @@ const TAG_SYNC_BATCH: u8 = 8;
 const TAG_ERROR: u8 = 9;
 const TAG_BATCH_REQUEST: u8 = 10;
 const TAG_BATCH_RESPONSE: u8 = 11;
+const TAG_METRICS_REQUEST: u8 = 12;
+const TAG_METRICS_RESPONSE: u8 = 13;
 
 /// Encodes a `u32` length prefix followed by each element.
 fn encode_seq<T: WireEncode>(items: &[T], writer: &mut Writer) {
@@ -506,6 +544,14 @@ impl WireEncode for Message {
                 TAG_BATCH_RESPONSE.encode(writer);
                 encode_seq(results, writer);
             }
+            Message::MetricsRequest { format } => {
+                TAG_METRICS_REQUEST.encode(writer);
+                format.encode(writer);
+            }
+            Message::MetricsResponse(rendered) => {
+                TAG_METRICS_RESPONSE.encode(writer);
+                rendered.encode(writer);
+            }
         }
     }
 }
@@ -550,6 +596,10 @@ impl WireDecode for Message {
                 items: decode_seq(reader)?,
             }),
             TAG_BATCH_RESPONSE => Ok(Message::BatchResponse(decode_seq(reader)?)),
+            TAG_METRICS_REQUEST => {
+                Ok(Message::MetricsRequest { format: MetricsFormat::decode(reader)? })
+            }
+            TAG_METRICS_RESPONSE => Ok(Message::MetricsResponse(String::decode(reader)?)),
             other => Err(WireError::InvalidTag(other)),
         }
     }
@@ -632,6 +682,9 @@ mod tests {
                 BatchItemResult::accepted(),
                 BatchItemResult::rejected("quota exceeded"),
             ]),
+            Message::MetricsRequest { format: MetricsFormat::Prometheus },
+            Message::MetricsRequest { format: MetricsFormat::Jsonl },
+            Message::MetricsResponse("# TYPE dedup_hits_total counter\n".into()),
         ];
         for msg in messages {
             let decoded: Message = from_bytes(&to_bytes(&msg)).unwrap();

@@ -210,5 +210,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     std::fs::write("BENCH_batch.json", &json)?;
     println!("wrote BENCH_batch.json");
+
+    // Machine-readable exit dump of every metric the bench touched, one
+    // JSON object per line (see docs/METRICS.md for the name reference).
+    std::fs::write(
+        "BENCH_batch.telemetry.jsonl",
+        speed_telemetry::global().snapshot().render_jsonl(),
+    )?;
+    println!("wrote BENCH_batch.telemetry.jsonl");
     Ok(())
 }

@@ -60,6 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "store stats: {} entries, {} gets ({} hits), {} puts",
         store_stats.entries, store_stats.gets, store_stats.hits, store_stats.puts
     );
+
+    // Machine-readable exit dump: every metric the process touched, one
+    // JSON object per line (see docs/METRICS.md for the name reference).
+    store.sync_telemetry();
+    println!("--- telemetry (jsonl) ---");
+    print!("{}", speed_telemetry::global().snapshot().render_jsonl());
     Ok(())
 }
 

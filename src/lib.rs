@@ -10,6 +10,8 @@
 //! - [`speed_enclave`] — the SGX enclave simulator substrate.
 //! - [`speed_crypto`] — SHA-256 / AES-GCM-128 / HMAC primitives.
 //! - [`speed_wire`] — the uniform serialization interface and wire protocol.
+//! - [`speed_telemetry`] — the process-global metrics registry and span
+//!   timers (see `docs/METRICS.md`).
 //! - Use-case libraries: [`speed_sift`], [`speed_deflate`], [`speed_matcher`],
 //!   [`speed_mapreduce`], and the synthetic data generators in
 //!   [`speed_workloads`].
@@ -22,5 +24,6 @@ pub use speed_mapreduce;
 pub use speed_matcher;
 pub use speed_sift;
 pub use speed_store;
+pub use speed_telemetry;
 pub use speed_wire;
 pub use speed_workloads;
