@@ -115,9 +115,13 @@ impl HotTagCache {
     }
 
     /// Number of cached results.
-    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Accounted in-enclave bytes (results plus per-entry overhead).
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
     }
 
     fn evict_lru(&mut self, enclave: &Enclave) -> bool {
@@ -246,5 +250,75 @@ mod tests {
             cache.insert(&enclave, tag(n), &[n]);
         }
         assert!(enclave.committed_bytes() < before + 64 * 1024);
+    }
+
+    /// Differential property: the cache behaves exactly like a reference
+    /// model — a map plus a precise LRU list — for any stream of gets and
+    /// inserts, and never exceeds its configured bounds.
+    #[test]
+    fn cache_matches_lru_model_under_random_ops() {
+        use std::collections::BTreeMap;
+        const CONFIG: HotCacheConfig = HotCacheConfig { max_entries: 3, max_bytes: 512 };
+
+        speed_testkit::check(
+            "cache_matches_lru_model_under_random_ops",
+            0x5EED_3001,
+            |rng| {
+                let len = rng.range_usize(0, 50);
+                (0..len)
+                    .map(|_| (rng.chance(0.5), rng.byte() % 8, rng.byte()))
+                    .collect::<Vec<(bool, u8, u8)>>()
+            },
+            |ops: &Vec<(bool, u8, u8)>| {
+                let enclave = enclave();
+                let mut cache = HotTagCache::new(CONFIG);
+                let mut model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+                let mut lru: Vec<u8> = Vec::new(); // front = least recent
+                let model_bytes = |m: &BTreeMap<u8, Vec<u8>>| -> usize {
+                    m.values().map(|v| v.len() + ENTRY_OVERHEAD).sum()
+                };
+                for (index, &(is_get, tag_seed, len)) in ops.iter().enumerate() {
+                    if is_get {
+                        let got = cache.get(&tag(tag_seed));
+                        let expected = model.get(&tag_seed).cloned();
+                        assert_eq!(got, expected, "op {index}: GET divergence");
+                        if expected.is_some() {
+                            lru.retain(|t| *t != tag_seed);
+                            lru.push(tag_seed);
+                        }
+                    } else {
+                        // The result is a function of the tag, as in the
+                        // runtime (results for a tag are immutable).
+                        let result = vec![tag_seed; usize::from(len % 100)];
+                        cache.insert(&enclave, tag(tag_seed), &result);
+                        let footprint = result.len() + ENTRY_OVERHEAD;
+                        if footprint > CONFIG.max_bytes {
+                            // Too big to ever cache: no model change.
+                        } else if model.contains_key(&tag_seed) {
+                            // Duplicate insert just bumps recency.
+                            lru.retain(|t| *t != tag_seed);
+                            lru.push(tag_seed);
+                        } else {
+                            while model.len() >= CONFIG.max_entries
+                                || model_bytes(&model) + footprint > CONFIG.max_bytes
+                            {
+                                let victim = lru.remove(0);
+                                model.remove(&victim);
+                            }
+                            model.insert(tag_seed, result);
+                            lru.push(tag_seed);
+                        }
+                    }
+                    assert_eq!(cache.len(), model.len(), "op {index}: entry count");
+                    assert_eq!(
+                        cache.bytes(),
+                        model_bytes(&model),
+                        "op {index}: accounted bytes"
+                    );
+                    assert!(cache.len() <= CONFIG.max_entries, "op {index}: bound");
+                    assert!(cache.bytes() <= CONFIG.max_bytes, "op {index}: bytes");
+                }
+            },
+        );
     }
 }

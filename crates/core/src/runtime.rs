@@ -1305,6 +1305,16 @@ impl DedupRuntime {
         }
     }
 
+    /// Current hot-tag cache occupancy as `(entries, bytes)`, or `None`
+    /// when the cache is disabled. Exposed so harnesses and operators can
+    /// check the configured bounds are actually respected.
+    pub fn hot_cache_usage(&self) -> Option<(usize, usize)> {
+        self.hot_cache.as_ref().map(|cache| {
+            let cache = cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            (cache.len(), cache.bytes())
+        })
+    }
+
     /// A snapshot of the runtime counters.
     pub fn stats(&self) -> RuntimeStats {
         let async_rejected =

@@ -158,6 +158,91 @@ pub fn snapshot_size(sealed_bytes: &[u8]) -> Option<usize> {
     SealedData::from_bytes(sealed_bytes).ok().map(|s| s.len())
 }
 
+/// How [`restore_or_fresh`] obtained its store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotLoad {
+    /// The snapshot file unsealed and decoded; entries were imported.
+    Restored,
+    /// No snapshot file existed; started empty.
+    FreshMissing,
+    /// A snapshot file existed but could not be used (torn write, tampered
+    /// bytes, foreign enclave identity, or unreadable file); started empty.
+    FreshUnreadable(String),
+}
+
+/// Writes a sealed snapshot of `store` to `path` atomically: the bytes land
+/// in a sibling `<path>.tmp` first, are fsynced, then renamed over `path`.
+/// A crash at any point leaves either the previous complete snapshot or a
+/// stray `.tmp` that [`restore_or_fresh`] never looks at — readers can never
+/// observe a torn file through `path`.
+///
+/// # Errors
+///
+/// - [`StoreError::Io`] on filesystem failure.
+/// - Any error [`snapshot`] can return.
+pub fn write_snapshot_file(
+    platform: &Platform,
+    store: &ResultStore,
+    path: &std::path::Path,
+) -> Result<(), StoreError> {
+    let bytes = snapshot(platform, store)?;
+    let tmp = tmp_path(path);
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        // Durability point: the tmp file is complete on disk before the
+        // rename makes it visible under the real name.
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Restores a store from the snapshot at `path`, falling back to a fresh
+/// empty store when the file is missing or unusable. Unusable covers torn
+/// writes, tampering, and snapshots sealed by a different enclave identity
+/// — a store must come up after a crash, and sealing already guarantees a
+/// corrupt snapshot cannot decode into bogus entries.
+///
+/// # Errors
+///
+/// - [`StoreError::Enclave`] if even a fresh store cannot be constructed
+///   (the fallback itself failed; nothing to serve).
+pub fn restore_or_fresh(
+    platform: &Platform,
+    config: StoreConfig,
+    path: &std::path::Path,
+) -> Result<(ResultStore, SnapshotLoad), StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((ResultStore::new(platform, config)?, SnapshotLoad::FreshMissing));
+        }
+        Err(e) => {
+            return Ok((
+                ResultStore::new(platform, config.clone())?,
+                SnapshotLoad::FreshUnreadable(e.to_string()),
+            ));
+        }
+    };
+    match restore(platform, config.clone(), &bytes) {
+        Ok(store) => Ok((store, SnapshotLoad::Restored)),
+        Err(e) => Ok((
+            ResultStore::new(platform, config)?,
+            SnapshotLoad::FreshUnreadable(e.to_string()),
+        )),
+    }
+}
+
+/// The sibling temp name used by [`write_snapshot_file`] (same directory,
+/// so the final rename never crosses filesystems).
+fn tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +435,109 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             };
         assert_eq!(original, recovered);
+    }
+
+    fn scratch_file(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("speed-store-persist-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("store.snap")
+    }
+
+    #[test]
+    fn file_roundtrip_restores() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let path = scratch_file("roundtrip");
+        let store = populated_store(&platform);
+        write_snapshot_file(&platform, &store, &path).unwrap();
+        drop(store);
+        let (restored, outcome) =
+            restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+        assert_eq!(outcome, SnapshotLoad::Restored);
+        assert_eq!(restored.stats().entries, 5);
+        // The write was atomic: no stray tmp file remains.
+        assert!(!tmp_path(&path).exists());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_file_starts_fresh() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let path = scratch_file("missing");
+        let (store, outcome) =
+            restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+        assert_eq!(outcome, SnapshotLoad::FreshMissing);
+        assert_eq!(store.stats().entries, 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_snapshot_never_loads_at_any_truncation_point() {
+        // Simulates a crash mid-write for a writer that (wrongly) wrote the
+        // target in place: every strict prefix of a valid snapshot must fall
+        // back to a fresh store — never panic, never import partial entries.
+        let platform = Platform::new(CostModel::no_sgx());
+        let path = scratch_file("torn");
+        let store = populated_store(&platform);
+        let full = snapshot(&platform, &store).unwrap();
+        drop(store);
+        // Cover the header, the sealed-container boundary, and a spread of
+        // interior points without writing thousands of files.
+        let mut cuts: Vec<usize> = (0..16.min(full.len())).collect();
+        cuts.extend((16..full.len()).step_by(37));
+        for cut in cuts {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (fresh, outcome) =
+                restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+            assert!(
+                matches!(outcome, SnapshotLoad::FreshUnreadable(_)),
+                "prefix of {cut} bytes unexpectedly loaded"
+            );
+            assert_eq!(fresh.stats().entries, 0, "cut={cut}");
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn leftover_tmp_file_is_ignored() {
+        // A crash between tmp write and rename leaves `<path>.tmp` but no
+        // `<path>`: the loader must report a clean miss, not read the tmp.
+        let platform = Platform::new(CostModel::no_sgx());
+        let path = scratch_file("tmp-left");
+        let store = populated_store(&platform);
+        let full = snapshot(&platform, &store).unwrap();
+        drop(store);
+        std::fs::write(tmp_path(&path), &full).unwrap();
+        let (fresh, outcome) =
+            restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+        assert_eq!(outcome, SnapshotLoad::FreshMissing);
+        assert_eq!(fresh.stats().entries, 0);
+        // The next successful write replaces the stale tmp and recovers.
+        let store = populated_store(&platform);
+        write_snapshot_file(&platform, &store, &path).unwrap();
+        let (restored, outcome) =
+            restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+        assert_eq!(outcome, SnapshotLoad::Restored);
+        assert_eq!(restored.stats().entries, 5);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn tampered_snapshot_falls_back_fresh() {
+        let platform = Platform::new(CostModel::no_sgx());
+        let path = scratch_file("tampered");
+        let store = populated_store(&platform);
+        write_snapshot_file(&platform, &store, &path).unwrap();
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (fresh, outcome) =
+            restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+        assert!(matches!(outcome, SnapshotLoad::FreshUnreadable(_)));
+        assert_eq!(fresh.stats().entries, 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 }

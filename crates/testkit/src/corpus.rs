@@ -1,0 +1,87 @@
+//! Loading checked-in fuzz corpora.
+//!
+//! A corpus is a directory of small binary files, each one input that once
+//! mattered: a decoder crash, a hostile length prefix, a truncation that
+//! reached an interesting branch. Committing them turns every past finding
+//! into a permanent regression test that runs without any randomness.
+
+use std::path::{Path, PathBuf};
+
+/// One corpus entry: the file name (for failure messages) and its bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// File name within the corpus directory.
+    pub name: String,
+    /// Raw input bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Loads every regular file in `dir`, sorted by name for deterministic
+/// iteration order.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory cannot be read. A missing
+/// directory is an error too: a corpus test that silently runs on nothing
+/// would be worse than no test.
+pub fn load_dir(dir: &Path) -> std::io::Result<Vec<CorpusEntry>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|entry| entry.path())
+        .filter(|path| path.is_file())
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            Ok(CorpusEntry { name, bytes: std::fs::read(&path)? })
+        })
+        .collect()
+}
+
+/// Writes `bytes` as a corpus file named `name` under `dir`, creating the
+/// directory if needed. Used by `--ignored` regeneration tests.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory or file cannot be written.
+pub fn save(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(name), bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("speed-testkit-corpus-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_load_roundtrips_sorted() {
+        let dir = scratch_dir("roundtrip");
+        save(&dir, "b_second.bin", &[2, 2]).unwrap();
+        save(&dir, "a_first.bin", &[1]).unwrap();
+        let entries = load_dir(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a_first.bin");
+        assert_eq!(entries[0].bytes, vec![1]);
+        assert_eq!(entries[1].name, "b_second.bin");
+        assert_eq!(entries[1].bytes, vec![2, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        assert!(load_dir(Path::new("/nonexistent/speed-testkit-corpus")).is_err());
+    }
+}

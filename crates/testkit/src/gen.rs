@@ -1,0 +1,146 @@
+//! Composable generators.
+//!
+//! A generator is anything that maps a [`TestRng`] to a value; plain
+//! closures qualify, so domain generators compose with ordinary function
+//! application. The combinators here cover the recurring shapes —
+//! collections, options, weighted choice — without the type machinery of
+//! a full property-testing framework.
+
+use crate::rng::TestRng;
+
+/// Anything that can produce a `T` from randomness. Implemented for every
+/// `Fn(&mut TestRng) -> T`, so closures are generators.
+pub trait Gen<T> {
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Gen<T> for F {
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self(rng)
+    }
+}
+
+/// A generator of `Vec<T>` with `0..=max_len` elements drawn from `item`.
+pub fn vec_of<T>(item: impl Gen<T>, max_len: usize) -> impl Gen<Vec<T>> {
+    move |rng: &mut TestRng| {
+        let len = rng.range_usize(0, max_len);
+        (0..len).map(|_| item.generate(rng)).collect()
+    }
+}
+
+/// A generator of `Option<T>`: `None` with probability `none_p`.
+pub fn option_of<T>(item: impl Gen<T>, none_p: f64) -> impl Gen<Option<T>> {
+    move |rng: &mut TestRng| {
+        if rng.chance(none_p) {
+            None
+        } else {
+            Some(item.generate(rng))
+        }
+    }
+}
+
+/// A generator applying `f` to another generator's output.
+pub fn map<A, B>(inner: impl Gen<A>, f: impl Fn(A) -> B) -> impl Gen<B> {
+    move |rng: &mut TestRng| f(inner.generate(rng))
+}
+
+/// A generator drawing uniformly from boxed alternatives. Boxing keeps the
+/// alternatives heterogeneous (each may capture different state).
+pub fn one_of<T>(alternatives: Vec<Box<dyn Gen<T>>>) -> impl Gen<T> {
+    assert!(!alternatives.is_empty(), "one_of with no alternatives");
+    move |rng: &mut TestRng| {
+        let index = rng.range_usize(0, alternatives.len() - 1);
+        alternatives[index].generate(rng)
+    }
+}
+
+/// A generator drawing alternatives with the given relative weights.
+pub fn weighted<T>(alternatives: Vec<(u32, Box<dyn Gen<T>>)>) -> impl Gen<T> {
+    let total: u64 = alternatives.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "weighted with zero total weight");
+    move |rng: &mut TestRng| {
+        let mut ticket = rng.range_u64(0, total - 1);
+        for (weight, alternative) in &alternatives {
+            let weight = u64::from(*weight);
+            if ticket < weight {
+                return alternative.generate(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket within total weight")
+    }
+}
+
+/// A generator always producing clones of `value`.
+pub fn just<T: Clone>(value: T) -> impl Gen<T> {
+    move |_rng: &mut TestRng| value.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_generators() {
+        let mut rng = TestRng::new(1);
+        let byte = |rng: &mut TestRng| rng.byte();
+        let _: u8 = byte.generate(&mut rng);
+    }
+
+    #[test]
+    fn vec_of_respects_bounds() {
+        let mut rng = TestRng::new(2);
+        let gen = vec_of(|rng: &mut TestRng| rng.byte(), 5);
+        let mut seen_empty = false;
+        let mut seen_full = false;
+        for _ in 0..200 {
+            let v = gen.generate(&mut rng);
+            assert!(v.len() <= 5);
+            seen_empty |= v.is_empty();
+            seen_full |= v.len() == 5;
+        }
+        assert!(seen_empty && seen_full);
+    }
+
+    #[test]
+    fn option_of_mixes_none_and_some() {
+        let mut rng = TestRng::new(3);
+        let gen = option_of(|rng: &mut TestRng| rng.byte(), 0.5);
+        let nones = (0..200).filter(|_| gen.generate(&mut rng).is_none()).count();
+        assert!((50..150).contains(&nones), "nones={nones}");
+    }
+
+    #[test]
+    fn one_of_hits_every_alternative() {
+        let mut rng = TestRng::new(4);
+        let gen = one_of(vec![
+            Box::new(just(1u8)) as Box<dyn Gen<u8>>,
+            Box::new(just(2u8)),
+            Box::new(just(3u8)),
+        ]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(gen.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = TestRng::new(5);
+        let gen = weighted(vec![
+            (9, Box::new(just(true)) as Box<dyn Gen<bool>>),
+            (1, Box::new(just(false))),
+        ]);
+        let trues = (0..1000).filter(|_| gen.generate(&mut rng)).count();
+        assert!((800..1000).contains(&trues), "trues={trues}");
+    }
+
+    #[test]
+    fn map_transforms() {
+        let mut rng = TestRng::new(6);
+        let gen = map(|rng: &mut TestRng| rng.byte(), |b| u16::from(b) + 1000);
+        assert!(gen.generate(&mut rng) >= 1000);
+    }
+}

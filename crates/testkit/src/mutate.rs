@@ -1,0 +1,119 @@
+//! Byte-level mutators for fuzzing codecs.
+//!
+//! Starting from a *valid* encoding and applying a handful of structured
+//! corruptions reaches deep decoder states that uniformly random bytes
+//! never would (a random 200-byte buffer is rejected at the first length
+//! prefix; a valid message with one flipped length byte exercises the
+//! overflow paths). These are the classic mutation operators: bit flips,
+//! byte sets, truncation, duplication, deletion, and hostile length
+//! prefixes.
+
+use crate::rng::TestRng;
+
+/// One mutation applied to `bytes` in place. No-ops on empty input for
+/// operators that need at least one byte.
+pub fn mutate_once(rng: &mut TestRng, bytes: &mut Vec<u8>) {
+    match rng.range_u64(0, 6) {
+        // Flip one bit.
+        0 if !bytes.is_empty() => {
+            let at = rng.range_usize(0, bytes.len() - 1);
+            bytes[at] ^= 1 << rng.range_u64(0, 7);
+        }
+        // Overwrite one byte with a boundary-ish value.
+        1 if !bytes.is_empty() => {
+            let at = rng.range_usize(0, bytes.len() - 1);
+            bytes[at] = *rng.pick(&[0x00, 0x01, 0x7F, 0x80, 0xFE, 0xFF]);
+        }
+        // Truncate.
+        2 if !bytes.is_empty() => {
+            let keep = rng.range_usize(0, bytes.len() - 1);
+            bytes.truncate(keep);
+        }
+        // Insert random bytes.
+        3 => {
+            let at = rng.range_usize(0, bytes.len());
+            let insert = rng.bytes(8);
+            bytes.splice(at..at, insert);
+        }
+        // Delete a run.
+        4 if !bytes.is_empty() => {
+            let start = rng.range_usize(0, bytes.len() - 1);
+            let end = rng.range_usize(start, bytes.len() - 1) + 1;
+            bytes.drain(start..end);
+        }
+        // Stamp a hostile little-endian u32 length prefix somewhere.
+        5 if bytes.len() >= 4 => {
+            let at = rng.range_usize(0, bytes.len() - 4);
+            let hostile: u32 =
+                *rng.pick(&[u32::MAX, u32::MAX - 1, 0x8000_0000, 0x7FFF_FFFF, 4096]);
+            bytes[at..at + 4].copy_from_slice(&hostile.to_le_bytes());
+        }
+        // Duplicate a run (confuses delimiters and trailing-byte checks).
+        _ if !bytes.is_empty() => {
+            let start = rng.range_usize(0, bytes.len() - 1);
+            let end = rng.range_usize(start, bytes.len() - 1) + 1;
+            let run = bytes[start..end].to_vec();
+            let at = rng.range_usize(0, bytes.len());
+            bytes.splice(at..at, run);
+        }
+        _ => {}
+    }
+}
+
+/// Applies `1..=rounds` mutations to a copy of `bytes`.
+pub fn mutated(rng: &mut TestRng, bytes: &[u8], rounds: usize) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    for _ in 0..rng.range_usize(1, rounds.max(1)) {
+        mutate_once(rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_eventually_change_the_input() {
+        let mut rng = TestRng::new(1);
+        let original = vec![7u8; 64];
+        let changed = (0..100)
+            .map(|_| mutated(&mut rng, &original, 3))
+            .filter(|m| *m != original)
+            .count();
+        assert!(changed > 90, "changed={changed}");
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let original: Vec<u8> = (0..64).collect();
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..50 {
+            assert_eq!(mutated(&mut a, &original, 4), mutated(&mut b, &original, 4));
+        }
+    }
+
+    #[test]
+    fn empty_input_never_panics() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let mut empty = Vec::new();
+            mutate_once(&mut rng, &mut empty);
+        }
+    }
+
+    #[test]
+    fn mutations_cover_growth_and_shrinkage() {
+        let mut rng = TestRng::new(3);
+        let original = vec![1u8; 32];
+        let mut grew = false;
+        let mut shrank = false;
+        for _ in 0..200 {
+            let m = mutated(&mut rng, &original, 2);
+            grew |= m.len() > original.len();
+            shrank |= m.len() < original.len();
+        }
+        assert!(grew && shrank);
+    }
+}

@@ -1,0 +1,255 @@
+//! The property runner: generate, check, shrink, report.
+//!
+//! [`check`] draws `cases` values from a generator and runs the property
+//! on each. A property fails by panicking (`assert!` and friends work as
+//! usual). On failure the runner greedily shrinks the counterexample via
+//! [`Shrink`] and panics with a report that includes a one-line
+//! reproducer:
+//!
+//! ```text
+//! SPEED_TESTKIT_SEED=0x00000000deadbeef # re-runs property 'store_model'
+//! ```
+//!
+//! Setting that variable makes the failing case run as case 0, so the
+//! failure — and its deterministic shrink — replays immediately.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{case_seed, TestRng};
+use crate::shrink::Shrink;
+
+/// Environment variable overriding the base seed (hex with `0x` prefix, or
+/// decimal). Printed by every failure report.
+pub const SEED_ENV: &str = "SPEED_TESTKIT_SEED";
+
+/// Environment variable overriding the number of cases per property.
+pub const CASES_ENV: &str = "SPEED_TESTKIT_CASES";
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Base seed; per-case seeds derive from it (case 0 uses it verbatim).
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Upper bound on property evaluations spent shrinking one failure.
+    pub max_shrink_evals: u64,
+}
+
+impl Config {
+    /// The default configuration for `default_seed`: 64 cases, generous
+    /// shrink budget, overridden by [`SEED_ENV`] / [`CASES_ENV`] when set.
+    pub fn from_env(default_seed: u64) -> Self {
+        let seed = std::env::var(SEED_ENV)
+            .ok()
+            .and_then(|raw| parse_seed(&raw))
+            .unwrap_or(default_seed);
+        let cases = std::env::var(CASES_ENV)
+            .ok()
+            .and_then(|raw| raw.parse::<u64>().ok())
+            .unwrap_or(64)
+            .max(1);
+        Config { seed, cases, max_shrink_evals: 20_000 }
+    }
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse::<u64>().ok()
+    }
+}
+
+/// Runs `prop` once, capturing a panic as the failure message.
+fn run_case<T, P: Fn(&T)>(prop: &P, value: &T) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedily shrinks `value` while `prop` keeps failing on the candidates.
+/// Returns the shrunk value and the number of successful shrink steps.
+fn shrink_failure<T, P>(prop: &P, value: T, max_evals: u64) -> (T, u64)
+where
+    T: Shrink,
+    P: Fn(&T),
+{
+    let mut current = value;
+    let mut steps = 0u64;
+    let mut evals = 0u64;
+    'outer: loop {
+        for candidate in current.shrink() {
+            if evals >= max_evals {
+                break 'outer;
+            }
+            evals += 1;
+            if run_case(prop, &candidate).is_some() {
+                current = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+/// Checks `prop` against `cases` values drawn from `gen`, with the seed
+/// and case count resolved from the environment ([`SEED_ENV`],
+/// [`CASES_ENV`]) falling back to `default_seed` / 64 cases.
+///
+/// # Panics
+///
+/// Panics with a shrunk counterexample and a `SPEED_TESTKIT_SEED=…`
+/// reproducer line if the property fails on any case.
+pub fn check<T, G, P>(name: &str, default_seed: u64, gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut TestRng) -> T,
+    P: Fn(&T),
+{
+    check_with(name, Config::from_env(default_seed), gen, prop);
+}
+
+/// [`check`] with an explicit configuration (no environment lookup for the
+/// seed and case count beyond what the caller already did).
+pub fn check_with<T, G, P>(name: &str, config: Config, gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut TestRng) -> T,
+    P: Fn(&T),
+{
+    for case in 0..config.cases {
+        let seed = case_seed(config.seed, case);
+        let mut rng = TestRng::new(seed);
+        let value = gen(&mut rng);
+        let Some(message) = run_case(&prop, &value) else {
+            continue;
+        };
+        let (shrunk, steps) =
+            shrink_failure(&prop, value.clone(), config.max_shrink_evals);
+        let final_message = run_case(&prop, &shrunk).unwrap_or(message);
+        // The one-line reproducer, greppable by CI and copy-pastable by
+        // humans. Keep the `SPEED_TESTKIT_SEED=` prefix stable.
+        eprintln!("{SEED_ENV}={seed:#018x} # re-runs property '{name}'");
+        panic!(
+            "[speed-testkit] property '{name}' failed on case {case} of {cases}\n\
+             reproducer:     {SEED_ENV}={seed:#018x}\n\
+             shrunk ({steps} steps): {shrunk:?}\n\
+             failure:        {final_message}",
+            cases = config.cases,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn silent_cfg(seed: u64) -> Config {
+        Config { seed, cases: 64, max_shrink_evals: 20_000 }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u64);
+        check_with(
+            "always-true",
+            silent_cfg(1),
+            |rng| rng.bytes(16),
+            |_v| counter.set(counter.get() + 1),
+        );
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // Property: no vector contains a byte >= 10. The minimal
+        // counterexample is a single-element vector [10].
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_with(
+                "no-big-bytes",
+                silent_cfg(2),
+                |rng| rng.bytes(64),
+                |v: &Vec<u8>| assert!(v.iter().all(|&b| b < 10), "big byte"),
+            );
+        }));
+        let message = panic_message(result.unwrap_err().as_ref());
+        assert!(message.contains("property 'no-big-bytes' failed"), "{message}");
+        assert!(message.contains("SPEED_TESTKIT_SEED=0x"), "{message}");
+        assert!(message.contains("shrunk"), "{message}");
+        // The shrunk counterexample is exactly [10].
+        assert!(message.contains("[10]"), "{message}");
+    }
+
+    #[test]
+    fn reproducer_seed_replays_the_failure_as_case_zero() {
+        // Find the failing case seed for a property failing rarely.
+        let prop = |v: &Vec<u8>| assert!(!v.contains(&0x42));
+        let mut failing_seed = None;
+        for case in 0..10_000u64 {
+            let seed = crate::rng::case_seed(777, case);
+            let mut rng = TestRng::new(seed);
+            let value: Vec<u8> = rng.bytes(48);
+            if run_case(&prop, &value).is_some() {
+                failing_seed = Some(seed);
+                break;
+            }
+        }
+        let failing_seed = failing_seed.expect("some case must contain 0x42");
+        // Replaying with that seed as the base fails on case 0.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_with(
+                "replay",
+                Config { seed: failing_seed, cases: 1, max_shrink_evals: 20_000 },
+                |rng| rng.bytes(48),
+                prop,
+            );
+        }));
+        let message = panic_message(result.unwrap_err().as_ref());
+        assert!(message.contains("failed on case 0"), "{message}");
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        // A property that always fails: shrinking stops at the budget
+        // instead of exhaustively exploring the candidate tree.
+        let evals = std::cell::Cell::new(0u64);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_with(
+                "always-false",
+                Config { seed: 3, cases: 1, max_shrink_evals: 50 },
+                |rng| rng.bytes(256),
+                |_v| {
+                    evals.set(evals.get() + 1);
+                    panic!("always fails");
+                },
+            );
+        }));
+        assert!(result.is_err());
+        // 1 original + <= 50 shrink evals + 1 final re-run.
+        assert!(evals.get() <= 52, "evals={}", evals.get());
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed("17"), Some(17));
+        assert_eq!(parse_seed(" 17 "), Some(17));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+}

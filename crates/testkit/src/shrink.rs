@@ -1,0 +1,174 @@
+//! Greedy structural shrinking.
+//!
+//! When a property fails, the runner repeatedly asks the counterexample
+//! for smaller candidates and keeps the first candidate that still fails,
+//! until no candidate fails. "Smaller" must be well-founded: every value
+//! a [`Shrink::shrink`] implementation returns has to be strictly simpler
+//! than its parent (fewer elements, smaller magnitude), or shrinking
+//! would loop forever.
+
+/// Types that can propose strictly simpler versions of themselves.
+pub trait Shrink: Sized {
+    /// Candidate simplifications, most aggressive first. Must all be
+    /// strictly simpler than `self`; an empty vector means fully shrunk.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_uint {
+    ($($ty:ty),*) => {$(
+        impl Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                if v - 1 != v / 2 {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Aggressive first: drop the whole thing, then halves, then
+        // single elements, then shrink elements in place.
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        for index in 0..n {
+            let mut removed = self.clone();
+            removed.remove(index);
+            out.push(removed);
+        }
+        for index in 0..n {
+            for candidate in self[index].shrink() {
+                let mut replaced = self.clone();
+                replaced[index] = candidate;
+                out.push(replaced);
+            }
+        }
+        out
+    }
+}
+
+/// Component-wise tuple shrinking: each candidate simplifies exactly one
+/// component and clones the rest, so candidates stay strictly simpler.
+macro_rules! impl_shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Clone + Shrink),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink() {
+                        let mut next = self.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_shrink_tuple!(A: 0, B: 1);
+impl_shrink_tuple!(A: 0, B: 1, C: 2);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// A value the runner should not attempt to shrink (wrap inputs whose
+/// structure carries no simplification, e.g. a fixed key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone> Shrink for NoShrink<T> {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shrinking must be well-founded: follow any chain of candidates and
+    /// it terminates.
+    fn chain_terminates<T: Shrink + Clone>(mut value: T, limit: usize) {
+        for _ in 0..limit {
+            match value.shrink().into_iter().next() {
+                Some(next) => value = next,
+                None => return,
+            }
+        }
+        panic!("shrink chain exceeded {limit} steps");
+    }
+
+    #[test]
+    fn integers_shrink_toward_zero() {
+        assert!(0u32.shrink().is_empty());
+        assert_eq!(1u32.shrink(), vec![0]);
+        let candidates = 100u32.shrink();
+        assert!(candidates.contains(&0));
+        assert!(candidates.contains(&50));
+        assert!(candidates.contains(&99));
+        assert!(candidates.iter().all(|&c| c < 100));
+        chain_terminates(u64::MAX, 200);
+    }
+
+    #[test]
+    fn vectors_shrink_by_removal_and_element() {
+        let v = vec![4u8, 7];
+        let candidates = v.shrink();
+        assert!(candidates.contains(&Vec::new()));
+        assert!(candidates.contains(&vec![4]));
+        assert!(candidates.contains(&vec![7]));
+        assert!(candidates.contains(&vec![0, 7]), "element shrink");
+        chain_terminates(vec![9u8; 40], 4000);
+    }
+
+    #[test]
+    fn empty_vec_is_fully_shrunk() {
+        assert!(Vec::<u8>::new().shrink().is_empty());
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let t = (2u8, vec![1u8]);
+        let candidates = t.shrink();
+        assert!(candidates.contains(&(0, vec![1])));
+        assert!(candidates.contains(&(2, vec![])));
+    }
+
+    #[test]
+    fn no_shrink_is_inert() {
+        assert!(NoShrink(vec![1u8, 2, 3]).shrink().is_empty());
+    }
+}

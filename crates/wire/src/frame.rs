@@ -49,10 +49,24 @@ pub fn read_frame<R: Read>(mut reader: R) -> io::Result<Vec<u8>> {
             format!("declared frame length {len} exceeds limit"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload)?;
+    // Grow in bounded chunks instead of trusting the header with one big
+    // allocation: a hostile 4-byte prefix declaring MAX_FRAME_LEN would
+    // otherwise cost 64 MiB before the stream proves it has the bytes.
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK_LEN));
+    let mut chunk = [0u8; READ_CHUNK_LEN];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = remaining.min(READ_CHUNK_LEN);
+        reader.read_exact(&mut chunk[..want])?;
+        payload.extend_from_slice(&chunk[..want]);
+        remaining -= want;
+    }
     Ok(payload)
 }
+
+/// Chunk size for incremental frame reads: allocation grows only as fast as
+/// the peer actually supplies bytes.
+const READ_CHUNK_LEN: usize = 64 * 1024;
 
 #[cfg(test)]
 mod tests {
@@ -94,6 +108,25 @@ mod tests {
         buf.extend_from_slice(&[0u8; 16]);
         let err = read_frame(Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn multi_chunk_payload_roundtrips() {
+        let payload: Vec<u8> =
+            (0..READ_CHUNK_LEN * 2 + 17).map(|i| (i % 251) as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(read_frame(Cursor::new(buf)).unwrap(), payload);
+    }
+
+    #[test]
+    fn huge_declared_length_with_no_payload_is_eof_not_alloc() {
+        // Header honestly within the cap, but the stream ends immediately:
+        // the incremental reader must fail with EOF after at most one chunk
+        // rather than allocating the declared size up front.
+        let buf = (MAX_FRAME_LEN as u32).to_le_bytes().to_vec();
+        let err = read_frame(Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

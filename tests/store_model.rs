@@ -1,0 +1,469 @@
+//! Model-based differential testing of the sharded `ResultStore`.
+//!
+//! A flat `BTreeMap` plus an explicit LRU list is the *reference model*:
+//! simple enough to be obviously correct. Random operation sequences —
+//! single GET/PUT, batches, quota-limited PUTs, and snapshot save/load in
+//! the middle of a sequence — run against both the real store and the
+//! model, and every response and every counter must agree. A divergence
+//! shrinks to a short op list and prints a `SPEED_TESTKIT_SEED=…`
+//! reproducer (see docs/TESTING.md).
+
+use std::collections::BTreeMap;
+
+use speed_enclave::{CostModel, Platform};
+use speed_store::persist::{restore, snapshot};
+use speed_store::{QuotaPolicy, ResultStore, StoreConfig};
+use speed_testkit::{check, Shrink, TestRng};
+use speed_wire::{
+    AppId, BatchItem, BatchItemResult, CompTag, Message, Record, COMP_TAG_LEN,
+};
+
+/// Capacity used by the eviction-heavy differential config: small enough
+/// that random sequences of a few dozen ops cross it repeatedly.
+const MAX_ENTRIES: usize = 8;
+const MAX_BYTES: u64 = 600;
+
+/// Tags are drawn from this many distinct values so sequences collide.
+const TAG_SPACE: u8 = 12;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Op {
+    Get { tag: u8 },
+    Put { tag: u8, len: u8, fill: u8 },
+    Batch { items: Vec<Item> },
+    Reload,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Item {
+    Get { tag: u8 },
+    Put { tag: u8, len: u8, fill: u8 },
+}
+
+impl Shrink for Item {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            Item::Get { tag } => {
+                tag.shrink().into_iter().map(|tag| Item::Get { tag }).collect()
+            }
+            Item::Put { tag, len, fill } => {
+                let mut out = vec![Item::Get { tag }];
+                out.extend(tag.shrink().into_iter().map(|tag| Item::Put {
+                    tag,
+                    len,
+                    fill,
+                }));
+                out.extend(len.shrink().into_iter().map(|len| Item::Put {
+                    tag,
+                    len,
+                    fill,
+                }));
+                out.extend(fill.shrink().into_iter().map(|fill| Item::Put {
+                    tag,
+                    len,
+                    fill,
+                }));
+                out
+            }
+        }
+    }
+}
+
+impl Shrink for Op {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            Op::Get { tag } => {
+                tag.shrink().into_iter().map(|tag| Op::Get { tag }).collect()
+            }
+            Op::Put { tag, len, fill } => Item::Put { tag: *tag, len: *len, fill: *fill }
+                .shrink()
+                .into_iter()
+                .map(item_to_op)
+                .collect(),
+            Op::Batch { items } => {
+                // A batch simplifies toward its unbatched single ops, then
+                // element-wise via the Vec shrinker.
+                let mut out: Vec<Op> = items.iter().cloned().map(item_to_op).collect();
+                out.extend(items.shrink().into_iter().map(|items| Op::Batch { items }));
+                out
+            }
+            Op::Reload => Vec::new(),
+        }
+    }
+}
+
+fn item_to_op(item: Item) -> Op {
+    match item {
+        Item::Get { tag } => Op::Get { tag },
+        Item::Put { tag, len, fill } => Op::Put { tag, len, fill },
+    }
+}
+
+fn gen_item(rng: &mut TestRng) -> Item {
+    let tag = rng.byte() % TAG_SPACE;
+    if rng.chance(0.45) {
+        Item::Get { tag }
+    } else {
+        Item::Put { tag, len: rng.byte(), fill: rng.byte() }
+    }
+}
+
+fn gen_op(rng: &mut TestRng, with_reload: bool) -> Op {
+    if with_reload && rng.chance(0.08) {
+        return Op::Reload;
+    }
+    if rng.chance(0.2) {
+        let count = rng.range_usize(0, 6);
+        return Op::Batch { items: (0..count).map(|_| gen_item(rng)).collect() };
+    }
+    item_to_op(gen_item(rng))
+}
+
+fn gen_ops(rng: &mut TestRng, max_len: usize, with_reload: bool) -> Vec<Op> {
+    let len = rng.range_usize(0, max_len);
+    (0..len).map(|_| gen_op(rng, with_reload)).collect()
+}
+
+fn tag_of(seed: u8) -> CompTag {
+    CompTag::from_bytes([seed; COMP_TAG_LEN])
+}
+
+/// The record a `Put { tag, len, fill }` op writes. Deterministic in the op
+/// so first-writer-wins is observable: a second PUT of the same tag with a
+/// different `fill` must NOT change what GET returns.
+fn record_of(tag: u8, len: u8, fill: u8) -> Record {
+    Record {
+        challenge: vec![fill; 32],
+        wrapped_key: [fill; 16],
+        nonce: [tag; 12],
+        boxed_result: vec![fill; usize::from(len)],
+    }
+}
+
+/// The reference model: a flat map plus a precise LRU list (front = least
+/// recently used). The real store's lazy atomic-touch LRU is observably
+/// equivalent to this.
+#[derive(Default)]
+struct Model {
+    entries: BTreeMap<[u8; COMP_TAG_LEN], (Record, u64)>, // tag -> (record, hits)
+    lru: Vec<[u8; COMP_TAG_LEN]>,
+    evictions: u64,
+}
+
+impl Model {
+    fn touch(&mut self, tag: [u8; COMP_TAG_LEN]) {
+        self.lru.retain(|t| *t != tag);
+        self.lru.push(tag);
+    }
+
+    fn get(&mut self, tag: u8) -> Option<Record> {
+        let key = [tag; COMP_TAG_LEN];
+        let (record, hits) = self.entries.get_mut(&key)?;
+        *hits += 1;
+        let record = record.clone();
+        self.touch(key);
+        Some(record)
+    }
+
+    /// Returns whether the PUT inserted a new entry (false = duplicate).
+    fn put(&mut self, tag: u8, len: u8, fill: u8) -> bool {
+        let key = [tag; COMP_TAG_LEN];
+        if self.entries.contains_key(&key) {
+            return false; // first writer wins; no recency bump
+        }
+        self.entries.insert(key, (record_of(tag, len, fill), 0));
+        self.lru.push(key);
+        true
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.entries.values().map(|(r, _)| r.boxed_result.len() as u64).sum()
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.entries.len() > MAX_ENTRIES || self.stored_bytes() > MAX_BYTES {
+            let victim = self.lru.remove(0);
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Mirrors a snapshot save/restore: entries and hits survive, but the
+    /// LRU order resets to the snapshot's export order (hits descending,
+    /// tag ascending — the `popular(0)` ordering), and the new store's
+    /// eviction counter starts at zero.
+    fn reload(&mut self) {
+        let mut order: Vec<[u8; COMP_TAG_LEN]> = self.entries.keys().copied().collect();
+        order.sort_by(|a, b| {
+            let ha = self.entries[a].1;
+            let hb = self.entries[b].1;
+            hb.cmp(&ha).then(a.cmp(b))
+        });
+        self.lru = order;
+        self.evictions = 0;
+    }
+}
+
+fn check_counters(store: &ResultStore, model: &Model, context: &str) {
+    let stats = store.stats();
+    assert_eq!(stats.entries, model.entries.len() as u64, "{context}: entry count");
+    assert_eq!(stats.stored_bytes, model.stored_bytes(), "{context}: stored bytes");
+    assert_eq!(stats.evictions, model.evictions, "{context}: eviction count");
+    assert!(stats.entries as usize <= MAX_ENTRIES, "{context}: entry budget");
+    assert!(stats.stored_bytes <= MAX_BYTES, "{context}: byte budget");
+}
+
+/// Runs one op against both store and model, asserting the responses match.
+/// Returns the possibly-replaced store (Reload swaps it).
+fn apply_op(
+    platform: &Platform,
+    store: ResultStore,
+    model: &mut Model,
+    op: &Op,
+    index: usize,
+) -> ResultStore {
+    let app = AppId(1);
+    match op {
+        Op::Get { tag } => {
+            let response = store.handle(Message::GetRequest { app, tag: tag_of(*tag) });
+            let expected = model.get(*tag);
+            match response {
+                Message::GetResponse(body) => {
+                    assert_eq!(body.found, expected.is_some(), "op {index}: GET found");
+                    assert_eq!(body.record, expected, "op {index}: GET record");
+                }
+                other => panic!("op {index}: unexpected GET response {other:?}"),
+            }
+        }
+        Op::Put { tag, len, fill } => {
+            let response = store.handle(Message::PutRequest {
+                app,
+                tag: tag_of(*tag),
+                record: record_of(*tag, *len, *fill),
+            });
+            let inserted = model.put(*tag, *len, *fill);
+            model.enforce_capacity();
+            match response {
+                Message::PutResponse(body) => {
+                    assert!(body.accepted, "op {index}: PUT must be accepted");
+                    if inserted {
+                        assert_eq!(body.reason, None, "op {index}: fresh PUT reason");
+                    } else {
+                        assert!(
+                            body.reason
+                                .as_deref()
+                                .is_some_and(|r| r.contains("duplicate")),
+                            "op {index}: duplicate PUT reason, got {:?}",
+                            body.reason
+                        );
+                    }
+                }
+                other => panic!("op {index}: unexpected PUT response {other:?}"),
+            }
+        }
+        Op::Batch { items } => {
+            let wire_items: Vec<BatchItem> = items
+                .iter()
+                .map(|item| match item {
+                    Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                    Item::Put { tag, len, fill } => BatchItem::Put {
+                        tag: tag_of(*tag),
+                        record: record_of(*tag, *len, *fill),
+                    },
+                })
+                .collect();
+            let response = store.handle(Message::BatchRequest { app, items: wire_items });
+            // The model settles items in request order; capacity is enforced
+            // once after the whole batch, exactly like the real store.
+            let mut expected = Vec::with_capacity(items.len());
+            let mut inserted_any = false;
+            for item in items {
+                match item {
+                    Item::Get { tag } => expected.push(match model.get(*tag) {
+                        Some(record) => BatchItemResult::found(record),
+                        None => BatchItemResult::not_found(),
+                    }),
+                    Item::Put { tag, len, fill } => {
+                        if model.put(*tag, *len, *fill) {
+                            inserted_any = true;
+                            expected.push(BatchItemResult::accepted());
+                        } else {
+                            let mut dup = BatchItemResult::accepted();
+                            dup.reason = Some("duplicate: existing entry kept".into());
+                            expected.push(dup);
+                        }
+                    }
+                }
+            }
+            if inserted_any {
+                model.enforce_capacity();
+            }
+            match response {
+                Message::BatchResponse(results) => {
+                    assert_eq!(results, expected, "op {index}: batch results");
+                }
+                other => panic!("op {index}: unexpected batch response {other:?}"),
+            }
+        }
+        Op::Reload => {
+            let sealed = snapshot(platform, &store).expect("snapshot");
+            drop(store);
+            let restored = restore(
+                platform,
+                StoreConfig::with_capacity(MAX_ENTRIES, MAX_BYTES),
+                &sealed,
+            )
+            .expect("restore");
+            model.reload();
+            check_counters(&restored, model, &format!("op {index} (reload)"));
+            return restored;
+        }
+    }
+    check_counters(&store, model, &format!("op {index}"));
+    store
+}
+
+/// The main differential property: store == model for every response and
+/// counter, across GET/PUT/batch and mid-sequence snapshot reloads, under
+/// eviction pressure.
+#[test]
+fn store_matches_reference_model() {
+    check(
+        "store_matches_reference_model",
+        0x5EED_0001,
+        |rng| gen_ops(rng, 40, true),
+        |ops: &Vec<Op>| {
+            let platform = Platform::new(CostModel::no_sgx());
+            let mut store = ResultStore::new(
+                &platform,
+                StoreConfig::with_capacity(MAX_ENTRIES, MAX_BYTES),
+            )
+            .expect("store");
+            let mut model = Model::default();
+            for (index, op) in ops.iter().enumerate() {
+                store = apply_op(&platform, store, &mut model, op, index);
+            }
+        },
+    );
+}
+
+/// Sharding must be invisible when nothing evicts: the same op sequence on
+/// a 1-shard and an 8-shard store (both with ample capacity) produces
+/// identical responses and aggregate counters.
+#[test]
+fn shard_count_is_transparent_without_eviction() {
+    check(
+        "shard_count_is_transparent_without_eviction",
+        0x5EED_0002,
+        |rng| gen_ops(rng, 30, false),
+        |ops: &Vec<Op>| {
+            let platform = Platform::new(CostModel::no_sgx());
+            let roomy = |shards: usize| {
+                StoreConfig::with_capacity(10_000, u64::MAX).with_shards(shards)
+            };
+            let single =
+                ResultStore::new(&platform, roomy(1)).expect("single-shard store");
+            let sharded = ResultStore::new(&platform, roomy(8)).expect("sharded store");
+            let app = AppId(1);
+            for (index, op) in ops.iter().enumerate() {
+                let message = |()| match op {
+                    Op::Get { tag } => Message::GetRequest { app, tag: tag_of(*tag) },
+                    Op::Put { tag, len, fill } => Message::PutRequest {
+                        app,
+                        tag: tag_of(*tag),
+                        record: record_of(*tag, *len, *fill),
+                    },
+                    Op::Batch { items } => Message::BatchRequest {
+                        app,
+                        items: items
+                            .iter()
+                            .map(|item| match item {
+                                Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                                Item::Put { tag, len, fill } => BatchItem::Put {
+                                    tag: tag_of(*tag),
+                                    record: record_of(*tag, *len, *fill),
+                                },
+                            })
+                            .collect(),
+                    },
+                    Op::Reload => unreachable!("reloads disabled for this property"),
+                };
+                let a = single.handle(message(()));
+                let b = sharded.handle(message(()));
+                assert_eq!(a, b, "op {index}: shard-count divergence");
+            }
+            let (a, b) = (single.stats(), sharded.stats());
+            assert_eq!(a.entries, b.entries, "entry counts diverged");
+            assert_eq!(a.stored_bytes, b.stored_bytes, "stored bytes diverged");
+            assert_eq!(a.hits, b.hits, "hit counts diverged");
+        },
+    );
+}
+
+/// Quota enforcement matches a simple prediction: with only
+/// `max_entries_per_app` limited, a PUT is denied exactly when the app
+/// already owns that many live entries (duplicates are charged then
+/// refunded, so they never change the count).
+#[test]
+fn quota_denials_match_prediction() {
+    const PER_APP: u64 = 3;
+    check(
+        "quota_denials_match_prediction",
+        0x5EED_0003,
+        |rng| {
+            let len = rng.range_usize(0, 30);
+            (0..len)
+                .map(|_| {
+                    let app = rng.byte() % 3;
+                    let tag = rng.byte() % TAG_SPACE;
+                    (app, tag, rng.byte())
+                })
+                .collect::<Vec<(u8, u8, u8)>>()
+        },
+        |puts: &Vec<(u8, u8, u8)>| {
+            let platform = Platform::new(CostModel::no_sgx());
+            let mut config = StoreConfig::with_capacity(10_000, u64::MAX);
+            config.quota =
+                QuotaPolicy { max_entries_per_app: PER_APP, ..QuotaPolicy::unlimited() };
+            let store = ResultStore::new(&platform, config).expect("store");
+            // tag -> owner, and per-app live entry counts.
+            let mut owner: BTreeMap<u8, u8> = BTreeMap::new();
+            let mut live = [0u64; 3];
+            for (index, &(app, tag, fill)) in puts.iter().enumerate() {
+                let response = store.handle(Message::PutRequest {
+                    app: AppId(u64::from(app)),
+                    tag: tag_of(tag),
+                    record: record_of(tag, 16, fill),
+                });
+                let expect_deny = live[usize::from(app)] >= PER_APP;
+                match response {
+                    Message::PutResponse(body) => {
+                        assert_eq!(
+                            body.accepted,
+                            !expect_deny,
+                            "put {index}: app {app} with {} live entries, got {:?}",
+                            live[usize::from(app)],
+                            body.reason
+                        );
+                        if expect_deny {
+                            assert!(
+                                body.reason
+                                    .as_deref()
+                                    .is_some_and(|r| r.contains("entry quota")),
+                                "put {index}: denial reason {:?}",
+                                body.reason
+                            );
+                        } else if let std::collections::btree_map::Entry::Vacant(slot) =
+                            owner.entry(tag)
+                        {
+                            slot.insert(app);
+                            live[usize::from(app)] += 1;
+                        }
+                        // Duplicate: charged then refunded; counts unchanged.
+                    }
+                    other => panic!("put {index}: unexpected response {other:?}"),
+                }
+            }
+        },
+    );
+}
