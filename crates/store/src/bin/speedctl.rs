@@ -29,7 +29,7 @@ fn usage() -> ! {
          commands:\n\
            serve   --addr HOST:PORT --secret N [--no-sgx] [--max-entries N]\n\
                    [--max-bytes N] [--ttl-ms N] [--shards N] [--max-workers N]\n\
-                   [--metrics-jsonl PATH]\n\
+                   [--metrics-jsonl PATH] [--data-dir PATH] [--checkpoint-every N]\n\
            ping    --addr HOST:PORT --secret N [--count N]\n\
            stats   --addr HOST:PORT --secret N\n\
            metrics --addr HOST:PORT --secret N [--json]\n\
@@ -38,7 +38,10 @@ fn usage() -> ! {
            bench   --addr HOST:PORT --secret N [--ops N] [--size BYTES]\n\
          notes:\n\
            --secret is the shared deployment secret both sides derive their\n\
-           attestation trust from; --tag is zero-padded to 32 bytes"
+           attestation trust from; --tag is zero-padded to 32 bytes\n\
+           --data-dir enables the crash-safe log-structured backend: the\n\
+           store recovers its contents from PATH on start and makes every\n\
+           acknowledged PUT durable (see docs/OPERATIONS.md)"
     );
     std::process::exit(2)
 }
@@ -156,8 +159,45 @@ fn cmd_serve(flags: &Flags) {
             .unwrap_or(ServerConfig::default().max_workers),
     };
 
-    let platform = Platform::new(model);
-    let store = Arc::new(ResultStore::new(&platform, config).expect("store fits in epc"));
+    // A durable store must unseal WAL records and checkpoints written by
+    // the *previous* run of this server. Real SGX fuse secrets are stable
+    // per CPU; the simulation randomizes them per process, so with
+    // --data-dir the fuse secret is derived from the deployment secret to
+    // model a restart on the same machine.
+    let platform = if flags.values.contains_key("data-dir") {
+        Platform::with_seed(model, Some(secret))
+    } else {
+        Platform::new(model)
+    };
+    let store = match flags.values.get("data-dir") {
+        Some(dir) => {
+            let mut log_config = speed_store::LogConfig::new(dir);
+            if let Some(every) = flags.get_parsed("checkpoint-every") {
+                log_config.checkpoint_every = every;
+            }
+            let backend = Arc::new(speed_store::LogBackend::new(log_config));
+            let (store, recovery) = ResultStore::open(&platform, config, backend)
+                .expect("data directory usable");
+            println!(
+                "recovered {} entries from {dir} ({} checkpointed, {} WAL records \
+                 replayed across {} segments, {} torn tails cut, {:.1} ms)",
+                store.stats().entries,
+                recovery.checkpoint_entries,
+                recovery.wal_records_replayed,
+                recovery.wal_segments,
+                recovery.torn_segments,
+                recovery.duration_ns as f64 / 1e6,
+            );
+            if recovery.quarantined_checkpoint {
+                eprintln!(
+                    "warning: the checkpoint was unreadable and has been \
+                     quarantined to checkpoint.snap.corrupt"
+                );
+            }
+            Arc::new(store)
+        }
+        None => Arc::new(ResultStore::new(&platform, config).expect("store fits in epc")),
+    };
     let authority = Arc::new(SessionAuthority::with_seed(secret));
     let server = StoreServer::spawn_with_config(
         Arc::clone(&store),
@@ -185,6 +225,9 @@ fn cmd_serve(flags: &Flags) {
             if let Err(e) = std::fs::write(path, jsonl) {
                 eprintln!("metrics-jsonl write failed: {e}");
             }
+        }
+        if let Some(reason) = store.backend().read_only() {
+            eprintln!("[degraded] store is read-only: {reason}");
         }
         let stats = store.stats();
         let pool = server.pool_stats();

@@ -55,15 +55,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod dict;
 mod error;
+mod log;
 pub mod persist;
 mod quota;
+pub mod segment;
 pub mod server;
 mod store;
 pub mod sync;
+pub mod vfs;
+pub mod wal;
 
+pub use backend::{
+    BackendStats, CompactionStats, MemoryBackend, Recovery, RecoveryReport, StoreBackend,
+};
 pub use dict::{DictEntry, MetadataDict};
 pub use error::StoreError;
+pub use log::{LogBackend, LogConfig};
 pub use quota::{QuotaDecision, QuotaPolicy, QuotaTracker, ShardedQuota};
 pub use store::{AccessControl, ResultStore, StoreConfig, DEFAULT_SHARDS};

@@ -14,6 +14,7 @@ use speed_enclave::Platform;
 use speed_wire::{Reader, SyncEntry, WireDecode, WireEncode, WireError, Writer};
 
 use crate::store::{ResultStore, StoreConfig};
+use crate::vfs::Vfs;
 use crate::StoreError;
 
 /// Sealing AAD. Unchanged across payload versions — an AAD bump would make
@@ -58,7 +59,10 @@ fn encode_entries(entries: &[SyncEntry]) -> Result<Vec<u8>, StoreError> {
 
 /// Encodes the v2 payload: sentinel, version byte, then one section per
 /// store shard so a large restore can be processed section by section.
-fn encode_shard_sections(sections: &[Vec<SyncEntry>]) -> Result<Vec<u8>, StoreError> {
+/// Shared with the log backend, whose checkpoint wraps this same payload.
+pub(crate) fn encode_shard_sections(
+    sections: &[Vec<SyncEntry>],
+) -> Result<Vec<u8>, StoreError> {
     let mut writer = Writer::new();
     VERSIONED_SENTINEL.encode(&mut writer);
     SNAPSHOT_VERSION.encode(&mut writer);
@@ -84,7 +88,7 @@ fn decode_entry_list(reader: &mut Reader<'_>) -> Result<Vec<SyncEntry>, WireErro
 /// Decodes any known payload version into a flat entry list. Entries route
 /// to shards by tag on import, so a snapshot written with one shard count
 /// restores correctly into a store with any other.
-fn decode_payload(bytes: &[u8]) -> Result<Vec<SyncEntry>, WireError> {
+pub(crate) fn decode_payload(bytes: &[u8]) -> Result<Vec<SyncEntry>, WireError> {
     let mut reader = Reader::new(bytes);
     let head = u32::decode(&mut reader)?;
     let entries = if head == VERSIONED_SENTINEL {
@@ -171,10 +175,11 @@ pub enum SnapshotLoad {
 }
 
 /// Writes a sealed snapshot of `store` to `path` atomically: the bytes land
-/// in a sibling `<path>.tmp` first, are fsynced, then renamed over `path`.
-/// A crash at any point leaves either the previous complete snapshot or a
-/// stray `.tmp` that [`restore_or_fresh`] never looks at — readers can never
-/// observe a torn file through `path`.
+/// in a sibling `<path>.tmp` first, are fsynced, then renamed over `path`,
+/// and finally the parent directory is fsynced so the rename itself is
+/// durable across power loss. A crash at any point leaves either the
+/// previous complete snapshot or a stray `.tmp` that [`restore_or_fresh`]
+/// never looks at — readers can never observe a torn file through `path`.
 ///
 /// # Errors
 ///
@@ -185,17 +190,33 @@ pub fn write_snapshot_file(
     store: &ResultStore,
     path: &std::path::Path,
 ) -> Result<(), StoreError> {
+    write_snapshot_file_vfs(platform, store, &crate::vfs::StdVfs, path)
+}
+
+/// [`write_snapshot_file`] on an injected [`Vfs`] (fault testing).
+///
+/// # Errors
+///
+/// Same as [`write_snapshot_file`].
+pub fn write_snapshot_file_vfs(
+    platform: &Platform,
+    store: &ResultStore,
+    vfs: &dyn Vfs,
+    path: &std::path::Path,
+) -> Result<(), StoreError> {
     let bytes = snapshot(platform, store)?;
     let tmp = tmp_path(path);
-    {
-        use std::io::Write as _;
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
-        // Durability point: the tmp file is complete on disk before the
-        // rename makes it visible under the real name.
-        file.sync_all()?;
+    vfs.write(&tmp, &bytes)?;
+    // Durability point 1: the tmp file is complete on disk before the
+    // rename makes it visible under the real name.
+    vfs.fsync(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    // Durability point 2: the rename is a directory-entry change; without
+    // fsyncing the directory a power cut can roll `path` back to the old
+    // snapshot — or to nothing — after the call returned success.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        vfs.fsync_dir(parent)?;
     }
-    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
@@ -203,7 +224,10 @@ pub fn write_snapshot_file(
 /// empty store when the file is missing or unusable. Unusable covers torn
 /// writes, tampering, and snapshots sealed by a different enclave identity
 /// — a store must come up after a crash, and sealing already guarantees a
-/// corrupt snapshot cannot decode into bogus entries.
+/// corrupt snapshot cannot decode into bogus entries. A corrupt snapshot is
+/// quarantined by renaming it to `<path>.corrupt` (and counted by the
+/// `store_snapshot_quarantined_total` metric) so the evidence survives for
+/// inspection; a leftover `<path>.tmp` from a crashed write is swept.
 ///
 /// # Errors
 ///
@@ -214,12 +238,34 @@ pub fn restore_or_fresh(
     config: StoreConfig,
     path: &std::path::Path,
 ) -> Result<(ResultStore, SnapshotLoad), StoreError> {
-    let bytes = match std::fs::read(path) {
+    restore_or_fresh_vfs(platform, config, &crate::vfs::StdVfs, path)
+}
+
+/// [`restore_or_fresh`] on an injected [`Vfs`] (fault testing).
+///
+/// # Errors
+///
+/// Same as [`restore_or_fresh`].
+pub fn restore_or_fresh_vfs(
+    platform: &Platform,
+    config: StoreConfig,
+    vfs: &dyn Vfs,
+    path: &std::path::Path,
+) -> Result<(ResultStore, SnapshotLoad), StoreError> {
+    // Sweep the write-side leftover: a crash between tmp write and rename
+    // leaks `<path>.tmp` forever otherwise. It is never read, so removal
+    // failures are harmless and ignored.
+    let tmp = tmp_path(path);
+    if vfs.exists(&tmp) {
+        let _ = vfs.remove_file(&tmp);
+    }
+    let bytes = match vfs.read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok((ResultStore::new(platform, config)?, SnapshotLoad::FreshMissing));
         }
         Err(e) => {
+            quarantine(vfs, path);
             return Ok((
                 ResultStore::new(platform, config.clone())?,
                 SnapshotLoad::FreshUnreadable(e.to_string()),
@@ -228,10 +274,31 @@ pub fn restore_or_fresh(
     };
     match restore(platform, config.clone(), &bytes) {
         Ok(store) => Ok((store, SnapshotLoad::Restored)),
-        Err(e) => Ok((
-            ResultStore::new(platform, config)?,
-            SnapshotLoad::FreshUnreadable(e.to_string()),
-        )),
+        Err(e) => {
+            quarantine(vfs, path);
+            Ok((
+                ResultStore::new(platform, config)?,
+                SnapshotLoad::FreshUnreadable(e.to_string()),
+            ))
+        }
+    }
+}
+
+/// Renames an unusable snapshot to `<path>.corrupt` — evidence for the
+/// operator instead of a silent fresh start — and bumps the quarantine
+/// counter. Best-effort: the fallback store must come up either way.
+fn quarantine(vfs: &dyn Vfs, path: &std::path::Path) {
+    speed_telemetry::global()
+        .counter(
+            speed_telemetry::names::STORE_SNAPSHOT_QUARANTINED_TOTAL,
+            "corrupt snapshots/checkpoints quarantined to *.corrupt",
+        )
+        .inc();
+    if vfs.exists(path) {
+        let _ = vfs.rename(path, &crate::segment::corrupt_sibling(path));
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = vfs.fsync_dir(parent);
+        }
     }
 }
 
@@ -500,9 +567,10 @@ mod tests {
     }
 
     #[test]
-    fn leftover_tmp_file_is_ignored() {
+    fn leftover_tmp_file_is_swept_on_open() {
         // A crash between tmp write and rename leaves `<path>.tmp` but no
-        // `<path>`: the loader must report a clean miss, not read the tmp.
+        // `<path>`: the loader must report a clean miss, never read the
+        // tmp, and sweep it so the leak is not forever.
         let platform = Platform::new(CostModel::no_sgx());
         let path = scratch_file("tmp-left");
         let store = populated_store(&platform);
@@ -513,7 +581,8 @@ mod tests {
             restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
         assert_eq!(outcome, SnapshotLoad::FreshMissing);
         assert_eq!(fresh.stats().entries, 0);
-        // The next successful write replaces the stale tmp and recovers.
+        assert!(!tmp_path(&path).exists(), "stale tmp must be swept");
+        // The next successful write still lands and recovers.
         let store = populated_store(&platform);
         write_snapshot_file(&platform, &store, &path).unwrap();
         let (restored, outcome) =
@@ -524,7 +593,7 @@ mod tests {
     }
 
     #[test]
-    fn tampered_snapshot_falls_back_fresh() {
+    fn tampered_snapshot_quarantined_and_falls_back_fresh() {
         let platform = Platform::new(CostModel::no_sgx());
         let path = scratch_file("tampered");
         let store = populated_store(&platform);
@@ -538,6 +607,203 @@ mod tests {
             restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
         assert!(matches!(outcome, SnapshotLoad::FreshUnreadable(_)));
         assert_eq!(fresh.stats().entries, 0);
+        // The bad file was quarantined as evidence, not silently discarded.
+        assert!(!path.exists());
+        let quarantined = crate::segment::corrupt_sibling(&path);
+        assert_eq!(std::fs::read(&quarantined).unwrap(), bytes);
+        // A second open after quarantine is a clean miss.
+        let (_, outcome) =
+            restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+        assert_eq!(outcome, SnapshotLoad::FreshMissing);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// A [`Vfs`] that records the order of durability-relevant operations.
+    #[derive(Debug, Default)]
+    struct RecordingVfs {
+        ops: std::sync::Mutex<Vec<String>>,
+    }
+
+    impl RecordingVfs {
+        fn log(&self, op: String) {
+            self.ops.lock().unwrap().push(op);
+        }
+    }
+
+    impl Vfs for RecordingVfs {
+        fn read(&self, path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+            std::fs::read(path)
+        }
+        fn write(&self, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+            self.log(format!("write {}", path.display()));
+            std::fs::write(path, bytes)
+        }
+        fn append(&self, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+            crate::vfs::StdVfs.append(path, bytes)
+        }
+        fn truncate(&self, path: &std::path::Path, len: u64) -> std::io::Result<()> {
+            crate::vfs::StdVfs.truncate(path, len)
+        }
+        fn fsync(&self, path: &std::path::Path) -> std::io::Result<()> {
+            self.log(format!("fsync {}", path.display()));
+            crate::vfs::StdVfs.fsync(path)
+        }
+        fn fsync_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+            self.log(format!("fsync_dir {}", dir.display()));
+            crate::vfs::StdVfs.fsync_dir(dir)
+        }
+        fn rename(
+            &self,
+            from: &std::path::Path,
+            to: &std::path::Path,
+        ) -> std::io::Result<()> {
+            self.log(format!("rename {}", to.display()));
+            std::fs::rename(from, to)
+        }
+        fn remove_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+            std::fs::remove_file(path)
+        }
+        fn create_dir_all(&self, dir: &std::path::Path) -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)
+        }
+        fn list_dir(
+            &self,
+            dir: &std::path::Path,
+        ) -> std::io::Result<Vec<std::path::PathBuf>> {
+            crate::vfs::StdVfs.list_dir(dir)
+        }
+        fn file_len(&self, path: &std::path::Path) -> std::io::Result<u64> {
+            crate::vfs::StdVfs.file_len(path)
+        }
+        fn exists(&self, path: &std::path::Path) -> bool {
+            path.exists()
+        }
+    }
+
+    /// A [`Vfs`] whose next `read` fails once, then behaves normally.
+    #[derive(Debug, Default)]
+    struct FailNextRead {
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl Vfs for FailNextRead {
+        fn read(&self, path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+            if self.armed.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                return Err(std::io::Error::other("injected read error"));
+            }
+            std::fs::read(path)
+        }
+        fn write(&self, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+            std::fs::write(path, bytes)
+        }
+        fn append(&self, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+            crate::vfs::StdVfs.append(path, bytes)
+        }
+        fn truncate(&self, path: &std::path::Path, len: u64) -> std::io::Result<()> {
+            crate::vfs::StdVfs.truncate(path, len)
+        }
+        fn fsync(&self, path: &std::path::Path) -> std::io::Result<()> {
+            crate::vfs::StdVfs.fsync(path)
+        }
+        fn fsync_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+            crate::vfs::StdVfs.fsync_dir(dir)
+        }
+        fn rename(
+            &self,
+            from: &std::path::Path,
+            to: &std::path::Path,
+        ) -> std::io::Result<()> {
+            std::fs::rename(from, to)
+        }
+        fn remove_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+            std::fs::remove_file(path)
+        }
+        fn create_dir_all(&self, dir: &std::path::Path) -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)
+        }
+        fn list_dir(
+            &self,
+            dir: &std::path::Path,
+        ) -> std::io::Result<Vec<std::path::PathBuf>> {
+            crate::vfs::StdVfs.list_dir(dir)
+        }
+        fn file_len(&self, path: &std::path::Path) -> std::io::Result<u64> {
+            crate::vfs::StdVfs.file_len(path)
+        }
+        fn exists(&self, path: &std::path::Path) -> bool {
+            path.exists()
+        }
+    }
+
+    #[test]
+    fn v1_snapshot_migrates_to_v2_despite_transient_read_error() {
+        // A legacy v1 snapshot file, a flaky first read: the store must
+        // come up fresh (quarantining the file), and once the operator
+        // moves the evidence back, the v1 payload must still migrate and
+        // the next save must land in the v2 format.
+        let platform = Platform::new(CostModel::no_sgx());
+        let path = scratch_file("v1-readfault");
+        let seal_store = ResultStore::new(&platform, StoreConfig::default()).unwrap();
+        let sealed = seal(
+            &platform,
+            seal_store.enclave(),
+            &SealPolicy::MrEnclave,
+            SNAPSHOT_AAD,
+            V1_PAYLOAD,
+        )
+        .to_bytes();
+        drop(seal_store);
+        std::fs::write(&path, &sealed).unwrap();
+
+        let vfs = FailNextRead::default();
+        vfs.armed.store(true, std::sync::atomic::Ordering::Relaxed);
+        let (fresh, outcome) =
+            restore_or_fresh_vfs(&platform, StoreConfig::default(), &vfs, &path).unwrap();
+        assert!(matches!(outcome, SnapshotLoad::FreshUnreadable(_)));
+        assert_eq!(fresh.stats().entries, 0);
+        let quarantined = crate::segment::corrupt_sibling(&path);
+        assert_eq!(std::fs::read(&quarantined).unwrap(), sealed, "evidence intact");
+
+        // Operator intervention: move the quarantined file back; the read
+        // succeeds this time and the v1 payload migrates.
+        std::fs::rename(&quarantined, &path).unwrap();
+        let (migrated, outcome) =
+            restore_or_fresh_vfs(&platform, StoreConfig::default(), &vfs, &path).unwrap();
+        assert_eq!(outcome, SnapshotLoad::Restored);
+        assert_eq!(migrated.stats().entries, 3);
+
+        // Re-saving writes the current v2 payload, finishing the migration.
+        write_snapshot_file(&platform, &migrated, &path).unwrap();
+        let (reread, outcome) =
+            restore_or_fresh(&platform, StoreConfig::default(), &path).unwrap();
+        assert_eq!(outcome, SnapshotLoad::Restored);
+        assert_eq!(reread.stats().entries, 3);
+        let popular = reread.export_popular(6);
+        assert_eq!(popular.len(), 1, "hit counts survived both hops");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn snapshot_write_fsyncs_file_then_rename_then_directory() {
+        // Regression for the missing directory fsync: without it a power
+        // cut after `write_snapshot_file` returned can roll the rename
+        // back, losing a write the caller was told succeeded.
+        let platform = Platform::new(CostModel::no_sgx());
+        let path = scratch_file("dirsync");
+        let store = populated_store(&platform);
+        let vfs = RecordingVfs::default();
+        write_snapshot_file_vfs(&platform, &store, &vfs, &path).unwrap();
+        let ops = vfs.ops.lock().unwrap().clone();
+        let parent = path.parent().unwrap().display().to_string();
+        assert_eq!(
+            ops,
+            vec![
+                format!("write {}", tmp_path(&path).display()),
+                format!("fsync {}", tmp_path(&path).display()),
+                format!("rename {}", path.display()),
+                format!("fsync_dir {parent}"),
+            ],
+        );
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 }

@@ -7,7 +7,7 @@
 //! serve independent requests in parallel — the three global mutexes the
 //! original single-dict store funnelled every connection through are gone.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
@@ -18,6 +18,7 @@ use speed_wire::{
     MetricsFormat, PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,
 };
 
+use crate::backend::{MemoryBackend, RecoveryReport, StoreBackend};
 use crate::dict::MetadataDict;
 use crate::quota::{QuotaDecision, QuotaPolicy, ShardedQuota};
 use crate::StoreError;
@@ -412,6 +413,12 @@ pub struct ResultStore {
     counters: Counters,
     telemetry: StoreTelemetry,
     logical_ms: AtomicU64,
+    /// Durability backend under the dictionary ([`MemoryBackend`] unless
+    /// the store was built with [`ResultStore::open`]).
+    backend: Arc<dyn StoreBackend>,
+    /// Cleared while recovered entries are re-imported on open so the
+    /// replay itself is not logged back into the WAL.
+    backend_logging: AtomicBool,
 }
 
 impl ResultStore {
@@ -436,7 +443,77 @@ impl ResultStore {
             counters: Counters::default(),
             telemetry: StoreTelemetry::from_global(shard_count),
             logical_ms: AtomicU64::new(0),
+            backend: Arc::new(MemoryBackend),
+            backend_logging: AtomicBool::new(true),
         })
+    }
+
+    /// Creates a store on a durability `backend`, recovering whatever the
+    /// backend persisted before (checkpoint + WAL replay for
+    /// [`crate::LogBackend`]; nothing for [`MemoryBackend`]). Returns the
+    /// store plus a [`RecoveryReport`] describing the recovery pass.
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::Enclave`] if the platform cannot host the enclave.
+    /// - Any error [`StoreBackend::open`] can return (backend directory
+    ///   unusable). Unreadable prior *state* degrades to a fresh start and
+    ///   is reported, never an error.
+    pub fn open(
+        platform: &Arc<Platform>,
+        config: StoreConfig,
+        backend: Arc<dyn StoreBackend>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let mut store = Self::new(platform.as_ref(), config)?;
+        store.backend = Arc::clone(&backend);
+        let recovery = backend.open(platform, &store.enclave)?;
+        // Importing the recovered entries replays them through the normal
+        // PUT path; suppress backend logging so recovery is not re-logged.
+        store.backend_logging.store(false, Ordering::Relaxed);
+        store.import_entries(recovery.entries);
+        store.backend_logging.store(true, Ordering::Relaxed);
+        Ok((store, recovery.report))
+    }
+
+    /// The durability backend the store runs on.
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
+    }
+
+    /// Whether mutations must be mirrored into the backend right now.
+    fn durable(&self) -> bool {
+        self.backend.is_durable() && self.backend_logging.load(Ordering::Relaxed)
+    }
+
+    /// Writes a checkpoint of the current store state through the backend,
+    /// bounding future WAL replay. No-op on non-durable backends.
+    ///
+    /// # Errors
+    ///
+    /// Any error [`StoreBackend::checkpoint`] can return; the WAL is
+    /// untouched on failure and the store keeps running.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        if !self.backend.is_durable() {
+            return Ok(());
+        }
+        let sections = self.export_shards();
+        self.backend.checkpoint(&sections)
+    }
+
+    /// Runs at most one due maintenance step: a checkpoint when enough
+    /// records accumulated since the last one, else one compaction pass
+    /// when a sealed segment is mostly dead. Failures are swallowed — both
+    /// operations are retried on a later request and neither affects data
+    /// already acknowledged.
+    fn maintain(&self) {
+        if !self.durable() {
+            return;
+        }
+        if self.backend.wants_checkpoint() {
+            let _ = self.checkpoint();
+        } else if self.backend.wants_compaction() {
+            let _ = self.backend.compact();
+        }
     }
 
     /// The store's enclave (for attestation by clients).
@@ -479,13 +556,17 @@ impl ResultStore {
                 if !self.config.access.permits(app) {
                     return Message::Error(format!("app {} not authorized", app.0));
                 }
-                Message::PutResponse(self.handle_put(app, tag, record))
+                let response = Message::PutResponse(self.handle_put(app, tag, record));
+                self.maintain();
+                response
             }
             Message::BatchRequest { app, items } => {
                 if !self.config.access.permits(app) {
                     return Message::Error(format!("app {} not authorized", app.0));
                 }
-                Message::BatchResponse(self.handle_batch(app, items))
+                let response = Message::BatchResponse(self.handle_batch(app, items));
+                self.maintain();
+                response
             }
             Message::StatsRequest => Message::StatsResponse(self.stats()),
             Message::MetricsRequest { format } => {
@@ -507,6 +588,7 @@ impl ResultStore {
                         accepted += 1;
                     }
                 }
+                self.maintain();
                 Message::PutResponse(PutResponseBody {
                     accepted: true,
                     reason: Some(format!("merged {accepted} entries")),
@@ -545,6 +627,12 @@ impl ResultStore {
             self.untrusted.remove(entry.blob);
             self.quota.release(entry.owner, u64::from(entry.boxed_len));
             self.release_entry_memory(shard, &entry);
+            if self.durable() {
+                // Best-effort: a lost expiry record only resurrects an
+                // already-expired entry on restart, where TTL re-expires it.
+                let _ =
+                    self.backend.record_delete(&tag).and_then(|()| self.backend.flush());
+            }
         }
         match meta {
             Some((challenge, wrapped_key, nonce, blob, boxed_len)) => {
@@ -575,6 +663,12 @@ impl ResultStore {
                                 self.release_entry_memory(shard, &entry);
                             }
                         });
+                        if self.durable() {
+                            let _ = self
+                                .backend
+                                .record_delete(&tag)
+                                .and_then(|()| self.backend.flush());
+                        }
                         GetResponseBody { found: false, record: None }
                     }
                 }
@@ -601,6 +695,17 @@ impl ResultStore {
         self.telemetry.puts.inc();
         let now_ms = self.tick();
         let boxed_len = record.boxed_result.len() as u64;
+
+        // Degraded durability rejects writes up front: the store must not
+        // acknowledge a PUT it cannot make crash-safe. GETs are unaffected.
+        if let Some(reason) = self.backend.read_only() {
+            self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.rejected_puts.inc();
+            return PutResponseBody {
+                accepted: false,
+                reason: Some(format!("store is read-only: {reason}")),
+            };
+        }
 
         let decision = self.quota.check_put(app, boxed_len, now_ms);
         if let QuotaDecision::Deny(reason) = decision {
@@ -641,6 +746,48 @@ impl ResultStore {
 
         match result {
             Ok(None) => {
+                if self.durable() {
+                    // WAL-then-ack: the record must be durable before the
+                    // client hears "accepted". The ciphertext is read back
+                    // from untrusted memory (it was stored a moment ago)
+                    // rather than cloned up front.
+                    let logged = match self.untrusted.load(blob) {
+                        Some(boxed_result) => {
+                            let entry = SyncEntry {
+                                tag,
+                                record: Record {
+                                    challenge: record.challenge.clone(),
+                                    wrapped_key: record.wrapped_key,
+                                    nonce: record.nonce,
+                                    boxed_result,
+                                },
+                                hits: 0,
+                            };
+                            self.backend
+                                .record_put(&entry)
+                                .and_then(|()| self.backend.flush())
+                        }
+                        None => Ok(()), // blob raced away; nothing to record
+                    };
+                    if let Err(e) = logged {
+                        // Roll the insert back: an acknowledged PUT must
+                        // survive a crash, so an un-durable one is rejected.
+                        self.enclave.ecall("store_put_rollback", || {
+                            let removed = shard.dict_write().remove(&tag);
+                            if let Some(entry) = removed {
+                                self.release_entry_memory(shard, &entry);
+                            }
+                        });
+                        self.untrusted.remove(blob);
+                        self.quota.release(app, boxed_len);
+                        self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.rejected_puts.inc();
+                        return PutResponseBody {
+                            accepted: false,
+                            reason: Some(e.to_string()),
+                        };
+                    }
+                }
                 self.enforce_capacity(shard);
                 PutResponseBody { accepted: true, reason: None }
             }
@@ -649,6 +796,20 @@ impl ResultStore {
                 // refund quota.
                 self.untrusted.remove(orphan_blob);
                 self.quota.release(app, boxed_len);
+                if self.durable() {
+                    // A deduplicated PUT is one more reference to the
+                    // surviving entry; the count must be durable too.
+                    if let Err(e) =
+                        self.backend.record_ref(&tag).and_then(|()| self.backend.flush())
+                    {
+                        self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.rejected_puts.inc();
+                        return PutResponseBody {
+                            accepted: false,
+                            reason: Some(e.to_string()),
+                        };
+                    }
+                }
                 PutResponseBody {
                     accepted: true,
                     reason: Some("duplicate: existing entry kept".into()),
@@ -701,6 +862,14 @@ impl ResultStore {
                 BatchItem::Put { tag, record } => {
                     self.counters.puts.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.puts.inc();
+                    if let Some(reason) = self.backend.read_only() {
+                        self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.rejected_puts.inc();
+                        plans.push(BatchPlan::Denied {
+                            reason: format!("store is read-only: {reason}"),
+                        });
+                        continue;
+                    }
                     let boxed_len = record.boxed_result.len() as u64;
                     let decision = self.quota.check_put(app, boxed_len, now_ms);
                     if let QuotaDecision::Deny(reason) = decision {
@@ -781,10 +950,18 @@ impl ResultStore {
             });
 
         // Phase C (host): load hit blobs, clean up expired/duplicate/failed
-        // items, and enforce capacity once per inserted-into shard.
+        // items, mirror mutations into the durable backend, and enforce
+        // capacity once per inserted-into shard. WAL records are appended
+        // per item but fsynced once for the whole batch (group commit)
+        // before the results are returned.
+        let durable = self.durable();
         let mut results = Vec::with_capacity(outcomes.len());
         let mut dangling: Vec<CompTag> = Vec::new();
         let mut inserted_shards = vec![false; self.shards.len()];
+        // Inserted PUTs whose WAL record awaits the final flush: the result
+        // index plus everything needed to roll the item back if it fails.
+        let mut pending_puts: Vec<(usize, CompTag, BlobId, u64)> = Vec::new();
+        let mut wal_touched = false;
         for (outcome, plan) in outcomes.into_iter().zip(plans) {
             match outcome {
                 BatchOutcome::Denied(reason) => {
@@ -796,6 +973,9 @@ impl ResultStore {
                     self.quota.release(entry.owner, u64::from(entry.boxed_len));
                     if let Some(tag) = plan.tag() {
                         self.release_entry_memory(self.shard(tag), &entry);
+                        if durable && self.backend.record_delete(tag).is_ok() {
+                            wal_touched = true;
+                        }
                     }
                     results.push(BatchItemResult::not_found());
                 }
@@ -822,6 +1002,51 @@ impl ResultStore {
                     }
                 }
                 BatchOutcome::PutInserted => {
+                    if durable {
+                        if let BatchPlan::Put {
+                            tag,
+                            challenge,
+                            wrapped_key,
+                            nonce,
+                            blob,
+                            boxed_len,
+                            ..
+                        } = &plan
+                        {
+                            let logged = match self.untrusted.load(*blob) {
+                                Some(boxed_result) => {
+                                    self.backend.record_put(&SyncEntry {
+                                        tag: *tag,
+                                        record: Record {
+                                            challenge: challenge.clone(),
+                                            wrapped_key: *wrapped_key,
+                                            nonce: *nonce,
+                                            boxed_result,
+                                        },
+                                        hits: 0,
+                                    })
+                                }
+                                None => Ok(()),
+                            };
+                            match logged {
+                                Ok(()) => {
+                                    wal_touched = true;
+                                    pending_puts.push((
+                                        results.len(),
+                                        *tag,
+                                        *blob,
+                                        *boxed_len,
+                                    ));
+                                }
+                                Err(e) => {
+                                    self.rollback_batch_put(app, tag, *blob, *boxed_len);
+                                    results
+                                        .push(BatchItemResult::rejected(e.to_string()));
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     if let Some(tag) = plan.tag() {
                         inserted_shards[self.shard_for_tag(tag)] = true;
                     }
@@ -831,6 +1056,13 @@ impl ResultStore {
                     self.untrusted.remove(orphan);
                     if let BatchPlan::Put { boxed_len, .. } = plan {
                         self.quota.release(app, boxed_len);
+                    }
+                    if durable {
+                        if let Some(tag) = plan.tag() {
+                            if self.backend.record_ref(tag).is_ok() {
+                                wal_touched = true;
+                            }
+                        }
                     }
                     results.push(BatchItemResult {
                         status: BatchStatus::Accepted,
@@ -859,6 +1091,24 @@ impl ResultStore {
                     }
                 }
             });
+            if durable {
+                for tag in &dangling {
+                    if self.backend.record_delete(tag).is_ok() {
+                        wal_touched = true;
+                    }
+                }
+            }
+        }
+        // Group commit: one fsync covers every record this batch appended.
+        // If it fails, the inserted PUTs were acknowledged optimistically in
+        // `results` but are not durable — roll each back and reject it.
+        if wal_touched {
+            if let Err(e) = self.backend.flush() {
+                for (index, tag, blob, boxed_len) in pending_puts {
+                    self.rollback_batch_put(app, &tag, blob, boxed_len);
+                    results[index] = BatchItemResult::rejected(e.to_string());
+                }
+            }
         }
         for (shard_index, inserted) in inserted_shards.iter().enumerate() {
             if *inserted {
@@ -866,6 +1116,28 @@ impl ResultStore {
             }
         }
         results
+    }
+
+    /// Rolls one batch-inserted PUT back out of the dictionary, untrusted
+    /// memory, and quota accounting after its WAL record failed.
+    fn rollback_batch_put(
+        &self,
+        app: AppId,
+        tag: &CompTag,
+        blob: BlobId,
+        boxed_len: u64,
+    ) {
+        let shard = self.shard(tag);
+        self.enclave.ecall("store_put_rollback", || {
+            let removed = shard.dict_write().remove(tag);
+            if let Some(entry) = removed {
+                self.release_entry_memory(shard, &entry);
+            }
+        });
+        self.untrusted.remove(blob);
+        self.quota.release(app, boxed_len);
+        self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.rejected_puts.inc();
     }
 
     /// Settles one batch item against its (write-locked) shard dictionary.
@@ -954,6 +1226,7 @@ impl ResultStore {
 
     /// Evicts from `shard` until it fits its per-shard entry/byte budget.
     fn enforce_capacity(&self, shard: &Shard) {
+        let mut logged_delete = false;
         loop {
             let evicted = self.enclave.ecall("store_evict", || {
                 let mut dict = shard.dict_write();
@@ -966,15 +1239,24 @@ impl ResultStore {
                 }
             });
             match evicted {
-                Some((_tag, entry)) => {
+                Some((tag, entry)) => {
                     shard.evictions.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.evictions.inc();
                     self.untrusted.remove(entry.blob);
                     self.quota.release(entry.owner, u64::from(entry.boxed_len));
                     self.release_entry_memory(shard, &entry);
+                    // Best-effort: a lost eviction record resurrects an
+                    // evicted entry on restart, which capacity enforcement
+                    // simply evicts again.
+                    if self.durable() && self.backend.record_delete(&tag).is_ok() {
+                        logged_delete = true;
+                    }
                 }
                 None => break,
             }
+        }
+        if logged_delete {
+            let _ = self.backend.flush();
         }
     }
 

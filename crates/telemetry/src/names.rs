@@ -94,6 +94,31 @@ pub const STORE_STORED_BYTES: &str = "store_stored_bytes";
 /// Histogram (ns): serving one protocol message in `ResultStore::handle`.
 pub const STORE_REQUEST_DURATION_NS: &str = "store_request_duration_ns";
 
+// --- speed-store durability: log backend, checkpoints, snapshots ---
+
+/// Counter: WAL records appended by the log backend.
+pub const STORE_WAL_APPENDS_TOTAL: &str = "store_wal_appends_total";
+/// Counter: framed WAL bytes appended by the log backend.
+pub const STORE_WAL_APPENDED_BYTES_TOTAL: &str = "store_wal_appended_bytes_total";
+/// Counter: WAL records replayed on top of the checkpoint during recovery.
+pub const STORE_WAL_REPLAY_RECORDS_TOTAL: &str = "store_wal_replay_records_total";
+/// Counter: segment files whose torn/corrupt tail was truncated on open.
+pub const STORE_WAL_TORN_SEGMENTS_TOTAL: &str = "store_wal_torn_segments_total";
+/// Counter: checkpoints written by the log backend.
+pub const STORE_CHECKPOINTS_TOTAL: &str = "store_checkpoints_total";
+/// Counter: compaction passes that rewrote a segment.
+pub const STORE_COMPACTIONS_TOTAL: &str = "store_compactions_total";
+/// Counter: dead log bytes reclaimed by checkpoints and compaction.
+pub const STORE_COMPACTION_RECLAIMED_BYTES_TOTAL: &str =
+    "store_compaction_reclaimed_bytes_total";
+/// Histogram (ns): one backend open/recovery pass (checkpoint + replay).
+pub const STORE_RECOVERY_DURATION_NS: &str = "store_recovery_duration_ns";
+/// Counter: corrupt snapshots/checkpoints quarantined to `*.corrupt`.
+pub const STORE_SNAPSHOT_QUARANTINED_TOTAL: &str = "store_snapshot_quarantined_total";
+/// Gauge: 1 while the store is degraded to read-only after a durability
+/// failure (failed append/fsync, disk full), 0 otherwise.
+pub const STORE_READ_ONLY: &str = "store_read_only";
+
 /// Gauge, label `shard`: entries held by one dictionary shard.
 pub const STORE_SHARD_ENTRIES: &str = "store_shard_entries";
 /// Gauge, label `shard`: ciphertext bytes referenced by one shard.
@@ -153,6 +178,16 @@ pub const ALL: &[&str] = &[
     STORE_ENTRIES,
     STORE_STORED_BYTES,
     STORE_REQUEST_DURATION_NS,
+    STORE_WAL_APPENDS_TOTAL,
+    STORE_WAL_APPENDED_BYTES_TOTAL,
+    STORE_WAL_REPLAY_RECORDS_TOTAL,
+    STORE_WAL_TORN_SEGMENTS_TOTAL,
+    STORE_CHECKPOINTS_TOTAL,
+    STORE_COMPACTIONS_TOTAL,
+    STORE_COMPACTION_RECLAIMED_BYTES_TOTAL,
+    STORE_RECOVERY_DURATION_NS,
+    STORE_SNAPSHOT_QUARANTINED_TOTAL,
+    STORE_READ_ONLY,
     STORE_SHARD_ENTRIES,
     STORE_SHARD_STORED_BYTES,
     STORE_SHARD_EVICTIONS_TOTAL,

@@ -1,0 +1,324 @@
+//! Filesystem fault injection for the store's durability paths.
+//!
+//! [`FaultVfs`] wraps the production [`StdVfs`] behind the same
+//! [`Vfs`] seam the store writes through, and fails chosen operations at
+//! chosen points: the *n*-th `fsync`, the next `rename`, every `append`
+//! once a simulated disk fills, and so on. Because the store routes every
+//! durable byte through the seam, one armed fault maps to exactly one
+//! failed syscall at a deterministic point in the workload — the
+//! ingredient the crash-recovery harness in `tests/crash_recovery.rs`
+//! needs to assert the durability contract (no acknowledged PUT lost, no
+//! rejected PUT resurfacing) under each failure.
+//!
+//! Faults are armed per operation kind:
+//!
+//! ```
+//! use speed_testkit::fault::{FailMode, FaultOp, FaultVfs};
+//! use speed_store::vfs::Vfs;
+//!
+//! let vfs = FaultVfs::new();
+//! // The third fsync fails once; later fsyncs succeed again.
+//! vfs.fail_nth(FaultOp::Fsync, 2, FailMode::Once);
+//! // Everything after the first 4 KiB of writes hits ENOSPC.
+//! vfs.set_disk_capacity(Some(4096));
+//! ```
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use speed_store::vfs::{StdVfs, Vfs};
+
+/// The operations a fault can target — one per [`Vfs`] method that can
+/// fail in production.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum FaultOp {
+    /// [`Vfs::read`].
+    Read,
+    /// [`Vfs::write`].
+    Write,
+    /// [`Vfs::append`].
+    Append,
+    /// [`Vfs::truncate`].
+    Truncate,
+    /// [`Vfs::fsync`].
+    Fsync,
+    /// [`Vfs::fsync_dir`].
+    FsyncDir,
+    /// [`Vfs::rename`].
+    Rename,
+    /// [`Vfs::remove_file`].
+    RemoveFile,
+}
+
+/// Whether an armed fault fires once or keeps firing (a dead disk).
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum FailMode {
+    /// Fail the targeted call only; later calls succeed again.
+    Once,
+    /// Fail the targeted call and every later call of the same operation.
+    Sticky,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fault {
+    at: u64,
+    mode: FailMode,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counts: HashMap<FaultOp, u64>,
+    faults: HashMap<FaultOp, Vec<Fault>>,
+    /// Total simulated disk capacity in bytes, charged by `write` and
+    /// `append`; `None` = unlimited.
+    capacity: Option<u64>,
+    used: u64,
+}
+
+/// A [`Vfs`] that injects deterministic failures. See the module docs.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: StdVfs,
+    state: Mutex<State>,
+    injected: AtomicU64,
+}
+
+impl FaultVfs {
+    /// A fresh fault-free instance (behaves exactly like [`StdVfs`] until
+    /// faults are armed).
+    pub fn new() -> Arc<Self> {
+        Arc::new(FaultVfs {
+            inner: StdVfs,
+            state: Mutex::new(State::default()),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Arms a fault: the `n`-th (0-based) future call of `op` fails with
+    /// an injected I/O error. [`FailMode::Sticky`] also fails every call
+    /// after the `n`-th. Counting starts at the *current* call count, so
+    /// arming mid-run targets upcoming operations.
+    pub fn fail_nth(&self, op: FaultOp, n: u64, mode: FailMode) {
+        let mut state = self.lock();
+        let base = state.counts.get(&op).copied().unwrap_or(0);
+        state.faults.entry(op).or_default().push(Fault { at: base + n, mode });
+    }
+
+    /// Simulates a disk with `bytes` total capacity: once cumulative
+    /// `write`/`append` bytes exceed it, those operations fail with a
+    /// no-space error *before* touching the file (all-or-nothing; torn
+    /// partial appends are exercised separately by the truncation matrix).
+    /// `None` restores unlimited capacity. Bytes already charged remain
+    /// charged — raising the limit models swapping in a bigger disk.
+    pub fn set_disk_capacity(&self, bytes: Option<u64>) {
+        self.lock().capacity = bytes;
+    }
+
+    /// Disarms every pending fault (capacity limits included).
+    pub fn clear_faults(&self) {
+        let mut state = self.lock();
+        state.faults.clear();
+        state.capacity = None;
+    }
+
+    /// How many calls of `op` the store has made so far (failed ones
+    /// included). Drives exhaustive fault-point matrices: run once to
+    /// count, then re-run failing each point in turn.
+    pub fn op_count(&self, op: FaultOp) -> u64 {
+        self.lock().counts.get(&op).copied().unwrap_or(0)
+    }
+
+    /// How many injected failures actually fired.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Counts one call of `op`; returns the injected error if a fault
+    /// covers this call.
+    fn check(&self, op: FaultOp) -> io::Result<()> {
+        let mut state = self.lock();
+        let idx = state.counts.entry(op).or_insert(0);
+        let current = *idx;
+        *idx += 1;
+        let Some(faults) = state.faults.get_mut(&op) else { return Ok(()) };
+        let mut fired = false;
+        faults.retain(|fault| match fault.mode {
+            FailMode::Once => {
+                if fault.at == current {
+                    fired = true;
+                    false // consumed
+                } else {
+                    true
+                }
+            }
+            FailMode::Sticky => {
+                if current >= fault.at {
+                    fired = true;
+                }
+                true
+            }
+        });
+        if fired {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(format!(
+                "injected fault: {op:?} call #{current}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Charges `len` bytes against the simulated disk, failing when full.
+    fn charge(&self, len: u64) -> io::Result<()> {
+        let mut state = self.lock();
+        if let Some(capacity) = state.capacity {
+            if state.used.saturating_add(len) > capacity {
+                drop(state);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::other(
+                    "injected fault: no space left on simulated disk",
+                ));
+            }
+        }
+        state.used = state.used.saturating_add(len);
+        Ok(())
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check(FaultOp::Read)?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.check(FaultOp::Write)?;
+        self.charge(bytes.len() as u64)?;
+        self.inner.write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.check(FaultOp::Append)?;
+        self.charge(bytes.len() as u64)?;
+        self.inner.append(path, bytes)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.check(FaultOp::Truncate)?;
+        self.inner.truncate(path, len)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        self.check(FaultOp::Fsync)?;
+        self.inner.fsync(path)
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.check(FaultOp::FsyncDir)?;
+        self.inner.fsync_dir(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check(FaultOp::Rename)?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check(FaultOp::RemoveFile)?;
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(dir)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("speed-fault-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn nth_fsync_fails_once_then_recovers() {
+        let dir = scratch("nth");
+        let vfs = FaultVfs::new();
+        let path = dir.join("f");
+        vfs.write(&path, b"x").unwrap();
+        vfs.fail_nth(FaultOp::Fsync, 1, FailMode::Once);
+        vfs.fsync(&path).unwrap(); // call 0
+        assert!(vfs.fsync(&path).is_err()); // call 1: armed
+        vfs.fsync(&path).unwrap(); // call 2: consumed
+        assert_eq!(vfs.injected_failures(), 1);
+        assert_eq!(vfs.op_count(FaultOp::Fsync), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sticky_fault_keeps_failing() {
+        let dir = scratch("sticky");
+        let vfs = FaultVfs::new();
+        let path = dir.join("f");
+        vfs.fail_nth(FaultOp::Append, 1, FailMode::Sticky);
+        vfs.append(&path, b"a").unwrap();
+        assert!(vfs.append(&path, b"b").is_err());
+        assert!(vfs.append(&path, b"c").is_err());
+        vfs.clear_faults();
+        vfs.append(&path, b"d").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"ad");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_enforces_enospc_without_partial_write() {
+        let dir = scratch("enospc");
+        let vfs = FaultVfs::new();
+        let path = dir.join("f");
+        vfs.set_disk_capacity(Some(4));
+        vfs.append(&path, b"abc").unwrap();
+        assert!(vfs.append(&path, b"de").is_err(), "would exceed capacity");
+        assert_eq!(vfs.read(&path).unwrap(), b"abc", "failed append wrote nothing");
+        vfs.append(&path, b"d").unwrap(); // exactly fills the disk
+        assert!(vfs.append(&path, b"e").is_err());
+        vfs.set_disk_capacity(Some(100)); // bigger disk swapped in
+        vfs.append(&path, b"e").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arming_mid_run_counts_from_now() {
+        let dir = scratch("midrun");
+        let vfs = FaultVfs::new();
+        let path = dir.join("f");
+        vfs.write(&path, b"x").unwrap();
+        vfs.write(&path, b"y").unwrap();
+        vfs.fail_nth(FaultOp::Write, 0, FailMode::Once); // the NEXT write
+        assert!(vfs.write(&path, b"z").is_err());
+        vfs.write(&path, b"w").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

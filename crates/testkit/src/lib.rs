@@ -17,6 +17,9 @@
 //!   frames.
 //! - [`mutate`]: byte-level mutators (bit flips, truncation, splices,
 //!   hostile length prefixes) for fuzzing codecs.
+//! - [`fault`]: a fault-injecting filesystem behind the store's
+//!   [`speed_store::vfs::Vfs`] seam — fail the *n*-th fsync/rename, fill
+//!   the disk — for the crash-recovery harness.
 //! - [`Shrink`]: greedy structural shrinking, so a failing 120-operation
 //!   sequence is reported as the few operations that actually matter.
 //! - [`check`]: the property runner. On failure it shrinks the
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod fault;
 pub mod gen;
 pub mod mutate;
 pub mod rng;

@@ -400,6 +400,151 @@ fn shard_count_is_transparent_without_eviction() {
     );
 }
 
+/// The durable backend must be observably identical to the in-memory
+/// store, including across restarts: random GET/PUT/batch sequences run
+/// against a log-backed store, and every `Reload` drops the store and
+/// recovers it from the checkpoint + WAL on disk. Responses must keep
+/// matching the flat-map model the whole way (first-writer-wins included),
+/// with checkpoints firing mid-sequence to exercise replay bounding.
+#[test]
+fn durable_backend_matches_model_across_crash_reloads() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use speed_store::{LogBackend, LogConfig};
+
+    static CASE: AtomicU64 = AtomicU64::new(0);
+
+    check(
+        "durable_backend_matches_model_across_crash_reloads",
+        0x5EED_0004,
+        |rng| gen_ops(rng, 25, true),
+        |ops: &Vec<Op>| {
+            // Same platform seed across reloads: recovery models a restart
+            // of the same machine, and sealing keys derive from it.
+            let platform = Platform::with_seed(CostModel::no_sgx(), Some(0xD0_5EED));
+            let dir = std::env::temp_dir().join(format!(
+                "speed-store-model-durable-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let config = || StoreConfig::with_capacity(10_000, u64::MAX);
+            let mut log_config = LogConfig::new(&dir);
+            log_config.checkpoint_every = 8; // checkpoints fire mid-sequence
+            let open = || {
+                let backend = Arc::new(LogBackend::new(log_config.clone()));
+                ResultStore::open(&platform, config(), backend).expect("open").0
+            };
+            let mut store = open();
+            // tag -> first-written record; no eviction, so entries only grow.
+            let mut model: BTreeMap<u8, Record> = BTreeMap::new();
+            let app = AppId(1);
+            for (index, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Get { tag } => {
+                        let response =
+                            store.handle(Message::GetRequest { app, tag: tag_of(*tag) });
+                        match response {
+                            Message::GetResponse(body) => assert_eq!(
+                                body.record,
+                                model.get(tag).cloned(),
+                                "op {index}: GET diverged"
+                            ),
+                            other => panic!("op {index}: unexpected {other:?}"),
+                        }
+                    }
+                    Op::Put { tag, len, fill } => {
+                        let response = store.handle(Message::PutRequest {
+                            app,
+                            tag: tag_of(*tag),
+                            record: record_of(*tag, *len, *fill),
+                        });
+                        match response {
+                            Message::PutResponse(body) => {
+                                assert!(body.accepted, "op {index}: {:?}", body.reason)
+                            }
+                            other => panic!("op {index}: unexpected {other:?}"),
+                        }
+                        model.entry(*tag).or_insert_with(|| record_of(*tag, *len, *fill));
+                    }
+                    Op::Batch { items } => {
+                        let wire_items: Vec<BatchItem> = items
+                            .iter()
+                            .map(|item| match item {
+                                Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                                Item::Put { tag, len, fill } => BatchItem::Put {
+                                    tag: tag_of(*tag),
+                                    record: record_of(*tag, *len, *fill),
+                                },
+                            })
+                            .collect();
+                        let response = store
+                            .handle(Message::BatchRequest { app, items: wire_items });
+                        let mut expected = Vec::with_capacity(items.len());
+                        for item in items {
+                            match item {
+                                Item::Get { tag } => {
+                                    expected.push(match model.get(tag) {
+                                        Some(record) => {
+                                            BatchItemResult::found(record.clone())
+                                        }
+                                        None => BatchItemResult::not_found(),
+                                    });
+                                }
+                                Item::Put { tag, len, fill } => {
+                                    if model.contains_key(tag) {
+                                        let mut dup = BatchItemResult::accepted();
+                                        dup.reason =
+                                            Some("duplicate: existing entry kept".into());
+                                        expected.push(dup);
+                                    } else {
+                                        model.insert(*tag, record_of(*tag, *len, *fill));
+                                        expected.push(BatchItemResult::accepted());
+                                    }
+                                }
+                            }
+                        }
+                        match response {
+                            Message::BatchResponse(results) => assert_eq!(
+                                results, expected,
+                                "op {index}: batch diverged"
+                            ),
+                            other => panic!("op {index}: unexpected {other:?}"),
+                        }
+                    }
+                    Op::Reload => {
+                        // Crash-restart: everything not on disk is gone.
+                        drop(store);
+                        store = open();
+                        assert_eq!(
+                            store.stats().entries,
+                            model.len() as u64,
+                            "op {index}: reload lost or invented entries"
+                        );
+                    }
+                }
+            }
+            // Final restart: the complete model must survive.
+            drop(store);
+            let store = open();
+            for (tag, record) in &model {
+                let response =
+                    store.handle(Message::GetRequest { app, tag: tag_of(*tag) });
+                match response {
+                    Message::GetResponse(body) => assert_eq!(
+                        body.record.as_ref(),
+                        Some(record),
+                        "final reload: tag {tag} diverged"
+                    ),
+                    other => panic!("final reload: unexpected {other:?}"),
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        },
+    );
+}
+
 /// Quota enforcement matches a simple prediction: with only
 /// `max_entries_per_app` limited, a PUT is denied exactly when the app
 /// already owns that many live entries (duplicates are charged then
