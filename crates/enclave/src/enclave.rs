@@ -1,6 +1,8 @@
 //! The simulated enclave: measured code identity, metered world switches,
 //! and EPC-accounted memory.
 
+use std::cell::Cell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -11,6 +13,13 @@ use crate::epc::EpcAllocator;
 use crate::error::EnclaveError;
 use crate::measurement::Measurement;
 
+thread_local! {
+    /// Depth of [`SwitchlessGuard`]s live on this thread. While non-zero,
+    /// the thread is a resident in-enclave worker: `ecall`/`ocall` bodies
+    /// run without paying (or counting) a world switch.
+    static SWITCHLESS_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
 /// Counters describing one enclave's boundary traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EnclaveStats {
@@ -18,6 +27,9 @@ pub struct EnclaveStats {
     pub ecalls: u64,
     /// Number of `OCALL`s performed (enclave → host).
     pub ocalls: u64,
+    /// Calls served switchlessly by a resident worker thread — these pay
+    /// boundary-copy costs but no world switch.
+    pub switchless_calls: u64,
     /// Bytes copied across the boundary in either direction.
     pub boundary_bytes: u64,
     /// Simulated nanoseconds charged by this enclave's switches/copies.
@@ -26,9 +38,34 @@ pub struct EnclaveStats {
 
 impl EnclaveStats {
     /// Total world switches (`ECALL`s + `OCALL`s) — the quantity the
-    /// batched request pipeline minimizes.
+    /// batched request pipeline and the switchless call path minimize.
+    /// Switchless calls are deliberately excluded: they never leave or
+    /// enter the enclave.
     pub fn transitions(&self) -> u64 {
         self.ecalls + self.ocalls
+    }
+}
+
+/// RAII marker held by a resident in-enclave worker thread (the switchless
+/// call pattern: the worker enters the enclave once via a real `ECALL` and
+/// then drains a shared-memory request ring without further transitions).
+///
+/// While the guard is live on a thread, [`Enclave::ecall`] /
+/// [`Enclave::ocall`] on *any* enclave run their body without a world
+/// switch: no `ecall_ns`/`ocall_ns` charge, no transition count — only the
+/// boundary-copy costs of the `_with_bytes` variants, because request and
+/// response bytes still travel through untrusted shared memory.
+///
+/// The guard is `!Send`: it marks the current OS thread, and must be
+/// dropped on it.
+#[derive(Debug)]
+pub struct SwitchlessGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SwitchlessGuard {
+    fn drop(&mut self) {
+        SWITCHLESS_DEPTH.with(|depth| depth.set(depth.get().saturating_sub(1)));
     }
 }
 
@@ -47,6 +84,7 @@ pub struct Enclave {
     model: CostModel,
     ecalls: AtomicU64,
     ocalls: AtomicU64,
+    switchless_calls: AtomicU64,
     boundary_bytes: AtomicU64,
     charged_ns: AtomicU64,
     epc_committed: AtomicU64,
@@ -59,6 +97,7 @@ pub struct Enclave {
 struct EnclaveTelemetry {
     ecalls: Counter,
     ocalls: Counter,
+    switchless_calls: Counter,
     boundary_bytes: Counter,
     charged_ns: Counter,
 }
@@ -79,6 +118,11 @@ impl EnclaveTelemetry {
                 names::ENCLAVE_TRANSITIONS_TOTAL,
                 TRANSITIONS_HELP,
                 &[("kind", "ocall")],
+            ),
+            switchless_calls: registry.counter(
+                names::ENCLAVE_SWITCHLESS_CALLS_TOTAL,
+                "Enclave calls served by a resident switchless worker without \
+                 a world switch",
             ),
             boundary_bytes: registry.counter(
                 names::ENCLAVE_BOUNDARY_BYTES_TOTAL,
@@ -110,6 +154,7 @@ impl Enclave {
             model,
             ecalls: AtomicU64::new(0),
             ocalls: AtomicU64::new(0),
+            switchless_calls: AtomicU64::new(0),
             boundary_bytes: AtomicU64::new(0),
             charged_ns: AtomicU64::new(0),
             epc_committed: AtomicU64::new(initial_commit as u64),
@@ -138,6 +183,10 @@ impl Enclave {
     /// `_name` labels the call for debugging; it mirrors the named ECALL
     /// table of the SGX SDK's EDL files.
     pub fn ecall<R>(&self, _name: &str, body: impl FnOnce() -> R) -> R {
+        if switchless_active() {
+            self.count_switchless();
+            return body();
+        }
         self.charge(self.model.ecall_ns);
         self.ecalls.fetch_add(1, Ordering::Relaxed);
         self.telemetry.ecalls.inc();
@@ -159,6 +208,10 @@ impl Enclave {
 
     /// Leaves the enclave (`OCALL`) to run `body` in the untrusted host.
     pub fn ocall<R>(&self, _name: &str, body: impl FnOnce() -> R) -> R {
+        if switchless_active() {
+            self.count_switchless();
+            return body();
+        }
         self.charge(self.model.ocall_ns);
         self.ocalls.fetch_add(1, Ordering::Relaxed);
         self.telemetry.ocalls.inc();
@@ -220,11 +273,27 @@ impl Enclave {
         self.epc_committed.load(Ordering::Relaxed)
     }
 
+    /// Marks the calling thread as a resident in-enclave worker until the
+    /// returned guard drops (the switchless call pattern): every
+    /// `ecall`/`ocall` issued on this thread while the guard is live runs
+    /// its body without a world switch and is counted in
+    /// [`EnclaveStats::switchless_calls`] instead of
+    /// [`EnclaveStats::transitions`].
+    ///
+    /// Call this from *inside* a real [`ecall`](Enclave::ecall) body — the
+    /// worker pays one transition to take up residence, then serves ring
+    /// requests switchlessly.
+    pub fn enter_switchless(&self) -> SwitchlessGuard {
+        SWITCHLESS_DEPTH.with(|depth| depth.set(depth.get() + 1));
+        SwitchlessGuard { _not_send: PhantomData }
+    }
+
     /// Returns a snapshot of this enclave's counters.
     pub fn stats(&self) -> EnclaveStats {
         EnclaveStats {
             ecalls: self.ecalls.load(Ordering::Relaxed),
             ocalls: self.ocalls.load(Ordering::Relaxed),
+            switchless_calls: self.switchless_calls.load(Ordering::Relaxed),
             boundary_bytes: self.boundary_bytes.load(Ordering::Relaxed),
             charged_ns: self.charged_ns.load(Ordering::Relaxed),
         }
@@ -233,6 +302,11 @@ impl Enclave {
     /// The simulated clock shared with the platform.
     pub fn clock(&self) -> &Arc<SimClock> {
         &self.clock
+    }
+
+    fn count_switchless(&self) {
+        self.switchless_calls.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.switchless_calls.inc();
     }
 
     fn charge(&self, ns: u64) {
@@ -247,6 +321,11 @@ impl Enclave {
         self.telemetry.boundary_bytes.add(bytes as u64);
         self.charge(ns);
     }
+}
+
+/// Whether the current thread holds a live [`SwitchlessGuard`].
+fn switchless_active() -> bool {
+    SWITCHLESS_DEPTH.with(|depth| depth.get() > 0)
 }
 
 impl Drop for Enclave {
@@ -325,6 +404,48 @@ mod tests {
             assert!(platform.epc().stats().committed_pages > before);
         }
         assert_eq!(platform.epc().stats().committed_pages, before);
+    }
+
+    #[test]
+    fn switchless_guard_suppresses_world_switches() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"resident-worker").unwrap();
+        // The worker enters the enclave once (a real ECALL), then serves
+        // calls switchlessly for the guard's lifetime.
+        enclave.ecall("switchless_worker_enter", || {
+            let _guard = enclave.enter_switchless();
+            enclave.ecall_with_bytes("store_get", 32, 128, || ());
+            enclave.ecall_with_bytes("store_put", 64, 1, || ());
+            enclave.ocall("wal_append", || ());
+        });
+        let stats = enclave.stats();
+        assert_eq!(stats.ecalls, 1, "only the residence entry is a real ECALL");
+        assert_eq!(stats.ocalls, 0);
+        assert_eq!(stats.switchless_calls, 3);
+        assert_eq!(stats.transitions(), 1);
+        // Boundary-copy bytes are still charged: the request/response
+        // payloads travel through untrusted shared memory either way.
+        assert_eq!(stats.boundary_bytes, 32 + 128 + 64 + 1);
+    }
+
+    #[test]
+    fn switchless_guard_scopes_to_its_thread_and_lifetime() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let enclave = platform.create_enclave(b"scoped").unwrap();
+        {
+            let _guard = enclave.enter_switchless();
+            enclave.ecall("inside", || ());
+        }
+        enclave.ecall("outside", || ());
+        let stats = enclave.stats();
+        assert_eq!(stats.switchless_calls, 1);
+        assert_eq!(stats.ecalls, 1, "calls after the guard drops switch again");
+        // Another thread is unaffected by this thread's guard.
+        let _guard = enclave.enter_switchless();
+        std::thread::scope(|scope| {
+            scope.spawn(|| enclave.ecall("other_thread", || ()));
+        });
+        assert_eq!(enclave.stats().ecalls, 2);
     }
 
     #[test]

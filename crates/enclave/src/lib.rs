@@ -50,7 +50,7 @@ pub mod sealing;
 mod untrusted;
 
 pub use cost::{CostModel, SimClock};
-pub use enclave::{Enclave, EnclaveStats};
+pub use enclave::{Enclave, EnclaveStats, SwitchlessGuard};
 pub use epc::{EpcAllocator, EpcStats, PAGE_SIZE};
 pub use error::EnclaveError;
 pub use measurement::Measurement;

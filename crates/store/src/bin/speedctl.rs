@@ -28,7 +28,8 @@ fn usage() -> ! {
         "usage: speedctl <command> [flags]\n\
          commands:\n\
            serve   --addr HOST:PORT --secret N [--no-sgx] [--max-entries N]\n\
-                   [--max-bytes N] [--ttl-ms N] [--shards N] [--max-workers N]\n\
+                   [--max-bytes N] [--ttl-ms N] [--shards N] [--io-threads N]\n\
+                   [--max-conns N] [--ring-slots N] [--no-switchless]\n\
                    [--metrics-jsonl PATH] [--data-dir PATH] [--checkpoint-every N]\n\
            ping    --addr HOST:PORT --secret N [--count N]\n\
            stats   --addr HOST:PORT --secret N\n\
@@ -153,10 +154,15 @@ fn cmd_serve(flags: &Flags) {
         shards: flags.get_parsed("shards").unwrap_or(speed_store::DEFAULT_SHARDS),
         ..StoreConfig::default()
     };
+    let defaults = ServerConfig::default();
     let server_config = ServerConfig {
-        max_workers: flags
-            .get_parsed("max-workers")
-            .unwrap_or(ServerConfig::default().max_workers),
+        io_threads: flags.get_parsed("io-threads").unwrap_or(defaults.io_threads),
+        max_connections: flags
+            .get_parsed("max-conns")
+            .unwrap_or(defaults.max_connections),
+        switchless: !flags.has("no-switchless"),
+        ring_slots: flags.get_parsed("ring-slots").unwrap_or(defaults.ring_slots),
+        ..defaults
     };
 
     // A durable store must unseal WAL records and checkpoints written by
@@ -230,10 +236,11 @@ fn cmd_serve(flags: &Flags) {
             eprintln!("[degraded] store is read-only: {reason}");
         }
         let stats = store.stats();
-        let pool = server.pool_stats();
+        let srv = server.stats();
         println!(
             "[stats] entries={} gets={} hits={} puts={} rejected={} bytes={} \
-             evictions={} workers={}/{} (peak {}, dropped {})",
+             evictions={} conns={}/{} (peak {}, busy-rejected {}) \
+             switchless={} fallback={} proto-errors={} frame-timeouts={}",
             stats.entries,
             stats.gets,
             stats.hits,
@@ -241,10 +248,14 @@ fn cmd_serve(flags: &Flags) {
             stats.rejected_puts,
             stats.stored_bytes,
             stats.evictions,
-            pool.active,
-            server_config.max_workers,
-            pool.peak,
-            pool.rejected,
+            srv.active,
+            server_config.max_connections,
+            srv.peak,
+            srv.rejected,
+            srv.switchless_requests,
+            srv.switchless_fallbacks,
+            srv.protocol_errors,
+            srv.frame_timeouts,
         );
     }
 }

@@ -18,6 +18,9 @@ pub enum StoreError {
     Io(String),
     /// A protocol violation (bad frame, wrong message kind, failed channel).
     Protocol(String),
+    /// The server refused the connection because its connection budget is
+    /// saturated. Transient by design — clients should back off and retry.
+    Busy(String),
 }
 
 impl fmt::Display for StoreError {
@@ -29,6 +32,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::Io(e) => write!(f, "store i/o error: {e}"),
             StoreError::Protocol(e) => write!(f, "store protocol error: {e}"),
+            StoreError::Busy(reason) => write!(f, "store busy: {reason}"),
         }
     }
 }

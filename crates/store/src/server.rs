@@ -1,9 +1,28 @@
-//! TCP front end for a [`ResultStore`].
+//! TCP front end for a [`ResultStore`]: a readiness-driven event loop
+//! with switchless call rings.
 //!
-//! Deploys the store on a dedicated endpoint (the paper's two-machine setup,
-//! §V-A). Each connection runs an attested handshake — the client sends its
-//! quote, the server replies with its own — after which all messages travel
-//! AES-GCM sealed inside length-prefixed frames.
+//! Deploys the store on a dedicated endpoint (the paper's two-machine
+//! setup, §V-A). Each connection runs an attested handshake — the client
+//! sends its quote, the server replies with its own — after which all
+//! messages travel AES-GCM sealed inside length-prefixed frames.
+//!
+//! # Architecture
+//!
+//! A small fixed set of I/O threads multiplexes every connection through
+//! poll(2) readiness notifications (the `poller` module). Each connection
+//! carries a state machine (handshake → established → closing) with
+//! non-blocking partial-frame reader/writer buffers
+//! ([`speed_wire::frame::FrameReader`]/[`FrameWriter`]) and a per-frame
+//! deadline, so a stalled or hostile peer can pin neither a thread nor a
+//! connection slot. The thread budget is O(`io_threads`), not
+//! O(connections).
+//!
+//! Hot-path requests (GET/PUT/batch) take the *switchless* path: the I/O
+//! thread pushes the decoded request onto its lock-free ring and a
+//! resident in-enclave worker serves it without any ECALL/OCALL world
+//! switch (the `switchless` module). Cold requests — and hot ones that find
+//! the ring full — fall back to the classic ECALL path inline on the I/O
+//! thread.
 //!
 //! Handshake wire format (plaintext frames, authenticity provided by the
 //! quotes themselves):
@@ -11,123 +30,284 @@
 //! 1. client → server: `client_quote` bytes (each side obtains its quote
 //!    from the [`SessionAuthority`]'s attestation service on its own
 //!    platform)
-//! 2. server → client: `server_quote` bytes
+//! 2. server → client: `server_quote` bytes — **or** a plaintext
+//!    [`Message::Error`] busy frame when the connection budget is
+//!    saturated, so clients can tell "busy" from "attestation failed"
+//!    and retry.
 //!
-//! Both sides then derive the session key from the verified quote pair. In
-//! a real deployment this is an attested TLS or SIGMA exchange; the
-//! authority models the verifier role (see [`speed_wire::SessionAuthority`]).
+//! Both sides then derive the session key from the verified quote pair.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use speed_enclave::attestation::{create_report, Quote, REPORT_DATA_LEN};
 use speed_enclave::Platform;
 use speed_telemetry::{names, Counter, Gauge};
-use speed_wire::frame::{read_frame, write_frame};
+use speed_wire::frame::{
+    read_frame, write_frame, FrameProgress, FrameReader, FrameWriter,
+};
 use speed_wire::{from_bytes, to_bytes, Message, Role, SecureChannel, SessionAuthority};
 
+use crate::poller::{poll, PollFd, WakePipe, POLLIN, POLLOUT};
 use crate::store::ResultStore;
+use crate::switchless::SwitchlessEngine;
 use crate::StoreError;
 
-/// Configuration for the server's connection worker pool.
+/// Reason string carried by the plaintext busy frame a saturated server
+/// sends before closing (clients map it to [`StoreError::Busy`]).
+pub const SERVER_BUSY_REASON: &str = "server busy: connection budget saturated";
+
+/// How long a busy-rejected connection may take to drain its busy frame
+/// before the server gives up and closes it anyway.
+const BUSY_LINGER: Duration = Duration::from_secs(1);
+
+/// Default per-frame deadline (also bounds the handshake and one
+/// switchless round-trip).
+const DEFAULT_FRAME_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Event-loop poll period when no deadline is nearer — a safety net only;
+/// wake pipes pop the loop out of poll for shutdown, routed connections,
+/// and switchless responses.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// Configuration for the server's event loop and switchless rings.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Maximum concurrently live connection workers. Connections arriving
-    /// while the pool is saturated are accepted and immediately dropped
-    /// (counted in [`PoolStats::rejected`]), so clients see a fast error
-    /// instead of queueing behind a thread-per-connection pile-up.
-    pub max_workers: usize,
+    /// Event-loop threads multiplexing connections. The server's thread
+    /// budget is `io_threads` (+ as many switchless workers) regardless
+    /// of connection count.
+    pub io_threads: usize,
+    /// Maximum concurrently open connections. Beyond the budget, new
+    /// connections receive a plaintext busy frame and are closed
+    /// (counted in [`ServerStats::rejected`]).
+    pub max_connections: usize,
+    /// Serve hot-path requests via switchless rings (zero world switches)
+    /// instead of per-request ECALLs.
+    pub switchless: bool,
+    /// Slots per switchless request/response ring (per I/O thread).
+    pub ring_slots: usize,
+    /// Deadline for completing one frame (and the handshake). A peer
+    /// stalling mid-frame longer than this is disconnected, so a
+    /// slow-loris client cannot pin a connection slot.
+    pub frame_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_workers: 32 }
-    }
-}
-
-/// Worker-pool counters, shared between the acceptor and the handle. The
-/// telemetry handles mirror the atomics into the process-global registry
-/// live, so a `MetricsRequest` served by any worker sees fresh pool
-/// gauges without reaching back to the server handle.
-#[derive(Debug)]
-struct PoolCounters {
-    active: AtomicU64,
-    peak: AtomicU64,
-    spawned: AtomicU64,
-    rejected: AtomicU64,
-    active_tm: Gauge,
-    peak_tm: Gauge,
-    spawned_tm: Counter,
-    rejected_tm: Counter,
-}
-
-impl Default for PoolCounters {
-    fn default() -> Self {
-        let registry = speed_telemetry::global();
-        PoolCounters {
-            active: AtomicU64::new(0),
-            peak: AtomicU64::new(0),
-            spawned: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            active_tm: registry.gauge(
-                names::SERVER_WORKERS_ACTIVE,
-                "Connection workers currently serving a client",
-            ),
-            peak_tm: registry.gauge(
-                names::SERVER_WORKERS_PEAK,
-                "High-water mark of concurrently live connection workers",
-            ),
-            spawned_tm: registry.counter(
-                names::SERVER_WORKERS_SPAWNED_TOTAL,
-                "Connection workers spawned over the server's lifetime",
-            ),
-            rejected_tm: registry.counter(
-                names::SERVER_CONNECTIONS_REJECTED_TOTAL,
-                "Connections dropped because the worker pool was saturated",
-            ),
+        ServerConfig {
+            io_threads: 2,
+            max_connections: 1024,
+            switchless: true,
+            ring_slots: 128,
+            frame_timeout: DEFAULT_FRAME_TIMEOUT,
         }
     }
 }
 
-impl PoolCounters {
-    /// Records the current live-worker count in both the atomic and the
-    /// registry gauge.
-    fn set_active(&self, live: u64) {
-        self.active.store(live, Ordering::Relaxed);
+/// A point-in-time snapshot of one server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections currently open.
+    pub active: u64,
+    /// High-water mark of concurrently open connections.
+    pub peak: u64,
+    /// Connections accepted and served over the server's lifetime.
+    pub accepted: u64,
+    /// Connections refused with a busy frame (budget saturated).
+    pub rejected: u64,
+    /// Connections dropped on a protocol violation.
+    pub protocol_errors: u64,
+    /// Connections dropped by the per-frame deadline.
+    pub frame_timeouts: u64,
+    /// Requests served via the switchless rings.
+    pub switchless_requests: u64,
+    /// Responses drained from the switchless rings.
+    pub switchless_responses: u64,
+    /// Hot-path requests that fell back to the classic ECALL path.
+    pub switchless_fallbacks: u64,
+}
+
+/// Process-unique server instance ids for the `server` telemetry label —
+/// two servers in one process must never share (and stomp) a series.
+static SERVER_INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+/// Per-server counters, mirrored live into per-instance-labelled
+/// registry series so a `MetricsRequest` served by any thread sees fresh
+/// values.
+#[derive(Debug)]
+struct ServerCounters {
+    active: AtomicU64,
+    peak: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+    frame_timeouts: AtomicU64,
+    switchless_requests: AtomicU64,
+    switchless_responses: AtomicU64,
+    switchless_fallbacks: AtomicU64,
+    active_tm: Gauge,
+    peak_tm: Gauge,
+    accepted_tm: Counter,
+    rejected_tm: Counter,
+    protocol_errors_tm: Counter,
+    frame_timeouts_tm: Counter,
+    switchless_requests_tm: Counter,
+    switchless_responses_tm: Counter,
+    switchless_fallbacks_tm: Counter,
+}
+
+impl ServerCounters {
+    fn register(instance: u64, io_threads: usize) -> Self {
+        let registry = speed_telemetry::global();
+        let id = instance.to_string();
+        let labels: &[(&str, &str)] = &[("server", &id)];
+        registry
+            .gauge_with(
+                names::SERVER_IO_THREADS,
+                "I/O event-loop threads owned by one server",
+                labels,
+            )
+            .set(io_threads as u64);
+        ServerCounters {
+            active: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            frame_timeouts: AtomicU64::new(0),
+            switchless_requests: AtomicU64::new(0),
+            switchless_responses: AtomicU64::new(0),
+            switchless_fallbacks: AtomicU64::new(0),
+            active_tm: registry.gauge_with(
+                names::SERVER_CONNECTIONS_ACTIVE,
+                "Connections currently open",
+                labels,
+            ),
+            peak_tm: registry.gauge_with(
+                names::SERVER_CONNECTIONS_PEAK,
+                "High-water mark of concurrently open connections",
+                labels,
+            ),
+            accepted_tm: registry.counter_with(
+                names::SERVER_CONNECTIONS_ACCEPTED_TOTAL,
+                "Connections accepted over the server's lifetime",
+                labels,
+            ),
+            rejected_tm: registry.counter_with(
+                names::SERVER_CONNECTIONS_REJECTED_TOTAL,
+                "Connections refused with a busy frame (budget saturated)",
+                labels,
+            ),
+            protocol_errors_tm: registry.counter_with(
+                names::SERVER_PROTOCOL_ERRORS_TOTAL,
+                "Connections dropped on a protocol violation",
+                labels,
+            ),
+            frame_timeouts_tm: registry.counter_with(
+                names::SERVER_FRAME_TIMEOUTS_TOTAL,
+                "Connections dropped by the per-frame deadline",
+                labels,
+            ),
+            switchless_requests_tm: registry.counter_with(
+                names::SWITCHLESS_REQUESTS_TOTAL,
+                "Requests submitted to a switchless ring",
+                labels,
+            ),
+            switchless_responses_tm: registry.counter_with(
+                names::SWITCHLESS_RESPONSES_TOTAL,
+                "Responses drained from a switchless ring",
+                labels,
+            ),
+            switchless_fallbacks_tm: registry.counter_with(
+                names::SWITCHLESS_FALLBACKS_TOTAL,
+                "Hot-path requests that fell back to the ECALL path",
+                labels,
+            ),
+        }
+    }
+
+    fn conn_opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.accepted_tm.inc();
+        let live = self.active.fetch_add(1, Ordering::Relaxed) + 1;
         self.active_tm.set(live);
+        let peak = self.peak.fetch_max(live, Ordering::Relaxed).max(live);
+        self.peak_tm.set(peak);
+    }
+
+    fn conn_closed(&self) {
+        let live = self.active.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        self.active_tm.set(live);
+    }
+
+    fn reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected_tm.inc();
+    }
+
+    fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.protocol_errors_tm.inc();
+    }
+
+    fn frame_timeout(&self) {
+        self.frame_timeouts.fetch_add(1, Ordering::Relaxed);
+        self.frame_timeouts_tm.inc();
+    }
+
+    fn switchless_request(&self) {
+        self.switchless_requests.fetch_add(1, Ordering::Relaxed);
+        self.switchless_requests_tm.inc();
+    }
+
+    fn switchless_response(&self) {
+        self.switchless_responses.fetch_add(1, Ordering::Relaxed);
+        self.switchless_responses_tm.inc();
+    }
+
+    fn switchless_fallback(&self) {
+        self.switchless_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.switchless_fallbacks_tm.inc();
     }
 }
 
-/// A point-in-time snapshot of the worker pool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Workers currently serving a connection.
-    pub active: u64,
-    /// High-water mark of concurrently live workers.
-    pub peak: u64,
-    /// Total workers spawned over the server's lifetime.
-    pub spawned: u64,
-    /// Connections dropped because the pool was saturated.
-    pub rejected: u64,
+/// State shared by every I/O thread of one server.
+#[derive(Debug)]
+struct Shared {
+    store: Arc<ResultStore>,
+    platform: Arc<Platform>,
+    authority: Arc<SessionAuthority>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+    engine: Option<Arc<SwitchlessEngine>>,
+    /// Connections the acceptor routed to each I/O thread.
+    inboxes: Vec<Mutex<VecDeque<TcpStream>>>,
+    wakers: Vec<Arc<WakePipe>>,
 }
 
 /// A running TCP store server.
 ///
-/// Dropping the handle signals shutdown and joins the acceptor thread.
+/// Dropping the handle signals shutdown and joins every thread.
 #[derive(Debug)]
 pub struct StoreServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    pool: Arc<PoolCounters>,
+    io_handles: Vec<JoinHandle<()>>,
+    engine: Option<Arc<SwitchlessEngine>>,
+    wakers: Vec<Arc<WakePipe>>,
+    counters: Arc<ServerCounters>,
 }
 
 impl StoreServer {
     /// Spawns a server for `store` listening on `bind_addr` with the
-    /// default worker pool (use port 0 for an ephemeral port; the bound
-    /// address is available via [`addr`](StoreServer::addr)).
+    /// default [`ServerConfig`] (use port 0 for an ephemeral port; the
+    /// bound address is available via [`addr`](StoreServer::addr)).
     ///
     /// # Errors
     ///
@@ -157,79 +337,57 @@ impl StoreServer {
         platform: Arc<Platform>,
         authority: Arc<SessionAuthority>,
         bind_addr: &str,
-        config: ServerConfig,
+        mut config: ServerConfig,
     ) -> Result<Self, StoreError> {
+        config.io_threads = config.io_threads.max(1);
+        config.max_connections = config.max_connections.max(1);
+        config.ring_slots = config.ring_slots.max(1);
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_flag = Arc::clone(&shutdown);
-        let pool = Arc::new(PoolCounters::default());
-        let pool_counters = Arc::clone(&pool);
-        let max_workers = config.max_workers.max(1);
 
-        let acceptor = std::thread::spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            while !shutdown_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        // Reap finished workers before counting capacity, so
-                        // a long-lived server's handle list stays bounded by
-                        // live connections instead of growing forever.
-                        reap_finished(&mut workers, &pool_counters);
-                        if workers.len() >= max_workers {
-                            // Saturated: drop the connection right away. The
-                            // client's handshake read fails fast rather than
-                            // hanging in the accept backlog.
-                            pool_counters.rejected.fetch_add(1, Ordering::Relaxed);
-                            pool_counters.rejected_tm.inc();
-                            drop(stream);
-                            continue;
-                        }
-                        stream.set_nonblocking(false).ok();
-                        stream.set_nodelay(true).ok();
-                        // A short read timeout lets workers notice shutdown
-                        // even while a client connection stays open idle.
-                        stream
-                            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
-                            .ok();
-                        let store = Arc::clone(&store);
-                        let platform = Arc::clone(&platform);
-                        let authority = Arc::clone(&authority);
-                        let worker_shutdown = Arc::clone(&shutdown_flag);
-                        workers.push(std::thread::spawn(move || {
-                            // Connection errors just drop the connection.
-                            let _ = serve_connection(
-                                stream,
-                                &store,
-                                &platform,
-                                &authority,
-                                &worker_shutdown,
-                            );
-                        }));
-                        pool_counters.spawned.fetch_add(1, Ordering::Relaxed);
-                        pool_counters.spawned_tm.inc();
-                        let live = workers.len() as u64;
-                        pool_counters.set_active(live);
-                        pool_counters.peak.fetch_max(live, Ordering::Relaxed);
-                        pool_counters
-                            .peak_tm
-                            .set(pool_counters.peak.load(Ordering::Relaxed));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        reap_finished(&mut workers, &pool_counters);
-                        std::thread::sleep(std::time::Duration::from_millis(2));
-                    }
-                    Err(_) => break,
-                }
-            }
-            for worker in workers {
-                let _ = worker.join();
-            }
-            pool_counters.set_active(0);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let instance = SERVER_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let counters = Arc::new(ServerCounters::register(instance, config.io_threads));
+        let wakers: Vec<Arc<WakePipe>> = (0..config.io_threads)
+            .map(|_| WakePipe::new().map(Arc::new))
+            .collect::<Result<_, _>>()?;
+        let engine = config.switchless.then(|| {
+            Arc::new(SwitchlessEngine::start(
+                Arc::clone(&store),
+                &wakers,
+                config.ring_slots,
+                Arc::clone(&shutdown),
+            ))
+        });
+        let shared = Arc::new(Shared {
+            store,
+            platform,
+            authority,
+            config,
+            shutdown: Arc::clone(&shutdown),
+            counters: Arc::clone(&counters),
+            engine: engine.clone(),
+            inboxes: (0..config.io_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            wakers: wakers.clone(),
         });
 
-        Ok(StoreServer { addr, shutdown, acceptor: Some(acceptor), pool })
+        let io_handles = (0..config.io_threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                // The listener lives on thread 0; it routes accepted
+                // connections round-robin across all I/O threads.
+                let listener = (index == 0).then(|| listener.try_clone()).transpose()?;
+                std::thread::Builder::new()
+                    .name(format!("speed-io-{index}"))
+                    .spawn(move || IoThread::new(index, shared, listener).run())
+                    .map_err(StoreError::from)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(StoreServer { addr, shutdown, io_handles, engine, wakers, counters })
     }
 
     /// The bound listen address.
@@ -237,25 +395,53 @@ impl StoreServer {
         self.addr
     }
 
-    /// Current worker-pool counters.
-    pub fn pool_stats(&self) -> PoolStats {
-        PoolStats {
-            active: self.pool.active.load(Ordering::Relaxed),
-            peak: self.pool.peak.load(Ordering::Relaxed),
-            spawned: self.pool.spawned.load(Ordering::Relaxed),
-            rejected: self.pool.rejected.load(Ordering::Relaxed),
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            active: self.counters.active.load(Ordering::Relaxed),
+            peak: self.counters.peak.load(Ordering::Relaxed),
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            frame_timeouts: self.counters.frame_timeouts.load(Ordering::Relaxed),
+            switchless_requests: self
+                .counters
+                .switchless_requests
+                .load(Ordering::Relaxed),
+            switchless_responses: self
+                .counters
+                .switchless_responses
+                .load(Ordering::Relaxed),
+            switchless_fallbacks: self
+                .counters
+                .switchless_fallbacks
+                .load(Ordering::Relaxed),
         }
     }
 
-    /// Signals shutdown and waits for the acceptor to finish.
+    /// Total threads this server runs (I/O threads + switchless workers).
+    /// Constant for the server's lifetime — the budget the churn test
+    /// holds the server to, independent of connection count.
+    pub fn thread_count(&self) -> usize {
+        self.io_handles.len()
+            + self.engine.as_ref().map_or(0, |engine| engine.worker_count())
+    }
+
+    /// Signals shutdown and waits for every thread to finish.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.acceptor.take() {
+        for waker in &self.wakers {
+            waker.wake();
+        }
+        for handle in self.io_handles.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(engine) = &self.engine {
+            engine.stop();
         }
     }
 }
@@ -266,112 +452,544 @@ impl Drop for StoreServer {
     }
 }
 
-/// Joins every worker whose connection already ended, keeping the handle
-/// list (and thus the live thread count) bounded by open connections.
-fn reap_finished(workers: &mut Vec<JoinHandle<()>>, pool: &PoolCounters) {
-    let mut index = 0;
-    while index < workers.len() {
-        if workers[index].is_finished() {
-            let handle = workers.swap_remove(index);
-            let _ = handle.join();
-        } else {
-            index += 1;
-        }
-    }
-    pool.set_active(workers.len() as u64);
+/// Connection lifecycle states.
+#[derive(Debug)]
+enum ConnState {
+    /// Waiting for the client's quote frame.
+    Handshake,
+    /// Attested; all frames are sealed on this channel.
+    Open(Box<SecureChannel>),
+    /// Draining a final plaintext frame (busy reject), then closing.
+    Closing,
 }
 
-/// Waits (with the stream's short read timeout) until data is readable,
-/// the peer hung up, or shutdown was requested. Returns `Ok(true)` when a
-/// frame is ready to read.
-fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> Result<bool, StoreError> {
-    let mut probe = [0u8; 1];
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return Ok(false);
+/// Why a connection is being closed (drives which counter ticks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CloseReason {
+    /// Clean close: peer hung up, busy frame drained, or I/O error.
+    Normal,
+    /// Protocol violation (bad quote, bad seal, bad frame).
+    Protocol,
+    /// Per-frame deadline expired.
+    Deadline,
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    reader: FrameReader,
+    writer: FrameWriter,
+    /// Armed while a frame (or the handshake, or a switchless round-trip)
+    /// is in progress; expiry closes the connection.
+    deadline: Option<Instant>,
+    /// A switchless request is in flight — reads pause until the response
+    /// comes back so request/response framing stays ordered.
+    inflight: bool,
+    /// Generation guard for ring tokens: a response for a closed
+    /// connection must not reach the slot's next tenant.
+    generation: u32,
+    /// Whether this connection occupies the connection budget (busy
+    /// rejects do not).
+    counted: bool,
+}
+
+/// One event-loop thread: owns a slab of connections, its wake pipe, its
+/// switchless lane, and (thread 0 only) the listener.
+struct IoThread {
+    index: usize,
+    shared: Arc<Shared>,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_generation: u32,
+    /// Round-robin cursor for routing accepted connections (thread 0).
+    route_next: usize,
+}
+
+/// What a pollfd entry refers to.
+#[derive(Clone, Copy)]
+enum PollSource {
+    Waker,
+    Listener,
+    Conn(usize),
+}
+
+impl IoThread {
+    fn new(index: usize, shared: Arc<Shared>, listener: Option<TcpListener>) -> Self {
+        IoThread {
+            index,
+            shared,
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+            route_next: 0,
         }
-        match stream.peek(&mut probe) {
-            Ok(0) => return Ok(false), // peer closed
-            Ok(_) => return Ok(true),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
+    }
+
+    fn run(mut self) {
+        let waker = Arc::clone(&self.shared.wakers[self.index]);
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut sources: Vec<PollSource> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            fds.clear();
+            sources.clear();
+            fds.push(PollFd::new(waker.poll_fd(), POLLIN));
+            sources.push(PollSource::Waker);
+            if let Some(listener) = &self.listener {
+                fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+                sources.push(PollSource::Listener);
             }
-            Err(e) => return Err(e.into()),
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let mut events = 0i16;
+                // While a switchless response is pending the connection is
+                // write-only; POLLERR/POLLHUP are always reported
+                // regardless. Closing connections stay readable so inbound
+                // bytes are discarded — unread data at close would turn
+                // into an RST that destroys the in-flight busy frame.
+                if !conn.inflight {
+                    events |= POLLIN;
+                }
+                if conn.writer.has_pending() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                sources.push(PollSource::Conn(slot));
+            }
+
+            let _ = poll(&mut fds, self.poll_timeout_ms());
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            waker.drain();
+            self.drain_inbox();
+            for entry in 0..fds.len() {
+                let fd = fds[entry];
+                if fd.revents == 0 {
+                    continue;
+                }
+                match sources[entry] {
+                    PollSource::Waker => {}
+                    PollSource::Listener => self.accept_ready(),
+                    PollSource::Conn(slot) => {
+                        // A slot freed earlier in this sweep may have been
+                        // re-used by an accept; the fd tells them apart.
+                        let current = self
+                            .conns
+                            .get(slot)
+                            .and_then(|c| c.as_ref())
+                            .map(|c| c.stream.as_raw_fd());
+                        if current != Some(fd.fd) {
+                            continue;
+                        }
+                        if fd.writable() {
+                            self.flush_writer(slot);
+                        }
+                        if self.conns[slot].is_some() && fd.readable() {
+                            self.handle_readable(slot);
+                        }
+                    }
+                }
+            }
+            self.drain_switchless_responses();
+            self.expire_deadlines();
+        }
+        // Account every still-open connection before the thread exits so
+        // the active gauge lands on zero.
+        for conn in self.conns.iter().flatten() {
+            if conn.counted {
+                self.shared.counters.conn_closed();
+            }
         }
     }
-}
 
-const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(50);
-const FRAME_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
-
-fn serve_connection(
-    mut stream: TcpStream,
-    store: &ResultStore,
-    platform: &Platform,
-    authority: &SessionAuthority,
-    shutdown: &AtomicBool,
-) -> Result<(), StoreError> {
-    // Wait for the client's handshake frame, then read it with the longer
-    // in-frame timeout (a peek-then-read pattern so the short idle timeout
-    // can never truncate a frame mid-read).
-    if !wait_readable(&stream, shutdown)? {
-        return Ok(());
-    }
-    stream.set_read_timeout(Some(FRAME_TIMEOUT)).ok();
-    let mut channel = server_handshake(&mut stream, store, platform, authority)?;
-    stream.set_read_timeout(Some(IDLE_TIMEOUT)).ok();
-
-    loop {
-        if !wait_readable(&stream, shutdown)? {
-            return Ok(());
-        }
-        stream.set_read_timeout(Some(FRAME_TIMEOUT)).ok();
-        let sealed = match read_frame(&mut stream) {
-            Ok(frame) => frame,
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e.into()),
+    /// The nearest deadline bounds the poll sleep; wake pipes cover every
+    /// other event source.
+    fn poll_timeout_ms(&self) -> i32 {
+        let nearest = self.conns.iter().flatten().filter_map(|conn| conn.deadline).min();
+        let cap = match nearest {
+            Some(deadline) => {
+                deadline.saturating_duration_since(Instant::now()).min(IDLE_POLL)
+            }
+            None => IDLE_POLL,
         };
-        let request_bytes = channel
-            .open_message(&sealed)
-            .map_err(|e| StoreError::Protocol(e.to_string()))?;
-        let request: Message = from_bytes(&request_bytes)
-            .map_err(|e| StoreError::Protocol(e.to_string()))?;
-        let response = store.handle(request);
-        let sealed_response = channel.seal_message(&to_bytes(&response));
-        write_frame(&mut stream, &sealed_response)?;
-        stream.set_read_timeout(Some(IDLE_TIMEOUT)).ok();
+        // +1 rounds sub-millisecond remainders up so expiry checks run
+        // after the deadline, not busily just before it.
+        (cap.as_millis() as i32).saturating_add(1)
     }
-}
 
-fn server_handshake(
-    stream: &mut TcpStream,
-    store: &ResultStore,
-    platform: &Platform,
-    authority: &SessionAuthority,
-) -> Result<SecureChannel, StoreError> {
-    let client_quote_bytes = read_frame(&mut *stream)?;
-    let client_quote = Quote::from_bytes(&client_quote_bytes)
-        .map_err(|e| StoreError::Protocol(e.to_string()))?;
-    authority
-        .service()
-        .verify_quote(&client_quote)
-        .map_err(|e| StoreError::Protocol(format!("client attestation: {e}")))?;
+    fn drain_inbox(&mut self) {
+        loop {
+            let stream = {
+                let mut inbox = self.shared.inboxes[self.index]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                inbox.pop_front()
+            };
+            match stream {
+                Some(stream) => {
+                    self.install(stream, true);
+                }
+                None => break,
+            }
+        }
+    }
 
-    let report_data = [0u8; REPORT_DATA_LEN];
-    let server_report = create_report(platform, store.enclave(), &report_data);
-    let server_quote = authority
-        .service()
-        .quote(platform, &server_report)
-        .map_err(|e| StoreError::Protocol(format!("server attestation: {e}")))?;
-    write_frame(&mut *stream, &server_quote.to_bytes())?;
+    fn accept_ready(&mut self) {
+        let io_threads = self.shared.config.io_threads;
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let active = self.shared.counters.active.load(Ordering::Relaxed);
+                    if active >= self.shared.config.max_connections as u64 {
+                        self.busy_reject(stream);
+                        continue;
+                    }
+                    self.shared.counters.conn_opened();
+                    let target = self.route_next % io_threads;
+                    self.route_next = self.route_next.wrapping_add(1);
+                    if target == self.index {
+                        self.install(stream, true);
+                    } else {
+                        self.shared.inboxes[target]
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push_back(stream);
+                        self.shared.wakers[target].wake();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
 
-    let key = authority
-        .session_key(&client_quote, &server_quote)
-        .map_err(|e| StoreError::Protocol(e.to_string()))?;
-    Ok(SecureChannel::from_session_key(key, Role::Server))
+    /// Queues the plaintext busy frame and keeps the connection just long
+    /// enough to drain it — the client gets a definite "busy, retry"
+    /// instead of an unexplained reset.
+    fn busy_reject(&mut self, stream: TcpStream) {
+        self.shared.counters.reject();
+        let slot = self.install(stream, false);
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.state = ConnState::Closing;
+            conn.deadline = Some(Instant::now() + BUSY_LINGER);
+            let busy = to_bytes(&Message::Error(SERVER_BUSY_REASON.to_string()));
+            if conn.writer.queue(&busy).is_err() {
+                self.close(slot, CloseReason::Normal);
+                return;
+            }
+            self.flush_writer(slot);
+        }
+    }
+
+    fn install(&mut self, stream: TcpStream, counted: bool) -> usize {
+        let _ = stream.set_nonblocking(true);
+        self.next_generation = self.next_generation.wrapping_add(1);
+        let conn = Conn {
+            stream,
+            state: ConnState::Handshake,
+            reader: FrameReader::new(),
+            writer: FrameWriter::new(),
+            // The handshake must complete within the frame deadline.
+            deadline: Some(Instant::now() + self.shared.config.frame_timeout),
+            inflight: false,
+            generation: self.next_generation,
+            counted,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.conns[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        }
+    }
+
+    fn close(&mut self, slot: usize, reason: CloseReason) {
+        let Some(conn) = self.conns[slot].take() else { return };
+        self.free.push(slot);
+        if conn.counted {
+            self.shared.counters.conn_closed();
+        }
+        match reason {
+            CloseReason::Normal => {}
+            CloseReason::Protocol => self.shared.counters.protocol_error(),
+            CloseReason::Deadline => self.shared.counters.frame_timeout(),
+        }
+    }
+
+    fn handle_readable(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].as_ref() {
+            if matches!(conn.state, ConnState::Closing) {
+                self.drain_closing(slot);
+                return;
+            }
+        }
+        loop {
+            let progress = {
+                let Some(conn) = self.conns[slot].as_mut() else { return };
+                if conn.inflight || matches!(conn.state, ConnState::Closing) {
+                    return;
+                }
+                conn.reader.poll(&mut conn.stream)
+            };
+            match progress {
+                Ok(FrameProgress::Frame(frame)) => {
+                    if let Some(conn) = self.conns[slot].as_mut() {
+                        conn.deadline = None;
+                    }
+                    if !self.dispatch(slot, frame) {
+                        return;
+                    }
+                }
+                Ok(FrameProgress::Pending) => {
+                    let Some(conn) = self.conns[slot].as_mut() else { return };
+                    // Arm the per-frame deadline the moment a frame is
+                    // partially read: a slow-loris peer holding one header
+                    // byte gets `frame_timeout`, not forever.
+                    if conn.reader.mid_frame() && conn.deadline.is_none() {
+                        conn.deadline =
+                            Some(Instant::now() + self.shared.config.frame_timeout);
+                    }
+                    return;
+                }
+                Ok(FrameProgress::Closed) => {
+                    self.close(slot, CloseReason::Normal);
+                    return;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::InvalidData
+                            | std::io::ErrorKind::UnexpectedEof
+                    ) =>
+                {
+                    // Oversized declared length or mid-frame truncation.
+                    self.close(slot, CloseReason::Protocol);
+                    return;
+                }
+                Err(_) => {
+                    self.close(slot, CloseReason::Normal);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Processes one complete frame. Returns false when the connection
+    /// was closed.
+    fn dispatch(&mut self, slot: usize, frame: Vec<u8>) -> bool {
+        let Some(conn) = self.conns[slot].as_mut() else { return false };
+        match &mut conn.state {
+            ConnState::Handshake => self.finish_handshake(slot, &frame),
+            ConnState::Open(channel) => {
+                let request_bytes = match channel.open_message(&frame) {
+                    Ok(bytes) => bytes,
+                    Err(_) => {
+                        self.close(slot, CloseReason::Protocol);
+                        return false;
+                    }
+                };
+                let request: Message = match from_bytes(&request_bytes) {
+                    Ok(message) => message,
+                    Err(_) => {
+                        self.close(slot, CloseReason::Protocol);
+                        return false;
+                    }
+                };
+                self.serve_request(slot, request)
+            }
+            ConnState::Closing => true,
+        }
+    }
+
+    fn finish_handshake(&mut self, slot: usize, frame: &[u8]) -> bool {
+        let shared = Arc::clone(&self.shared);
+        let handshake = (|| -> Result<(SecureChannel, Vec<u8>), String> {
+            let client_quote = Quote::from_bytes(frame).map_err(|e| e.to_string())?;
+            shared
+                .authority
+                .service()
+                .verify_quote(&client_quote)
+                .map_err(|e| format!("client attestation: {e}"))?;
+            let report_data = [0u8; REPORT_DATA_LEN];
+            let server_report =
+                create_report(&shared.platform, shared.store.enclave(), &report_data);
+            let server_quote = shared
+                .authority
+                .service()
+                .quote(&shared.platform, &server_report)
+                .map_err(|e| format!("server attestation: {e}"))?;
+            let key = shared
+                .authority
+                .session_key(&client_quote, &server_quote)
+                .map_err(|e| e.to_string())?;
+            Ok((
+                SecureChannel::from_session_key(key, Role::Server),
+                server_quote.to_bytes(),
+            ))
+        })();
+        match handshake {
+            Ok((channel, quote_bytes)) => {
+                let Some(conn) = self.conns[slot].as_mut() else { return false };
+                conn.state = ConnState::Open(Box::new(channel));
+                conn.deadline = None;
+                if conn.writer.queue(&quote_bytes).is_err() {
+                    self.close(slot, CloseReason::Normal);
+                    return false;
+                }
+                self.flush_writer(slot);
+                self.conns[slot].is_some()
+            }
+            Err(_) => {
+                self.close(slot, CloseReason::Protocol);
+                false
+            }
+        }
+    }
+
+    /// Routes a decoded request: hot-path ops ride the switchless ring,
+    /// everything else (or a full ring) takes the classic inline path.
+    fn serve_request(&mut self, slot: usize, request: Message) -> bool {
+        let hot = matches!(
+            request,
+            Message::GetRequest { .. }
+                | Message::PutRequest { .. }
+                | Message::BatchRequest { .. }
+        );
+        let engine = self.shared.engine.clone();
+        if hot {
+            if let Some(engine) = engine {
+                let Some(conn) = self.conns[slot].as_mut() else { return false };
+                let token = ((slot as u64) << 32) | u64::from(conn.generation);
+                match engine.try_submit(self.index, token, request) {
+                    Ok(()) => {
+                        self.shared.counters.switchless_request();
+                        conn.inflight = true;
+                        // Bounds the switchless round-trip: if the worker
+                        // dies, the connection times out instead of
+                        // hanging forever.
+                        conn.deadline =
+                            Some(Instant::now() + self.shared.config.frame_timeout);
+                        return true;
+                    }
+                    Err(request) => {
+                        self.shared.counters.switchless_fallback();
+                        let response = self.shared.store.handle(request);
+                        return self.respond(slot, &response);
+                    }
+                }
+            }
+        }
+        let response = self.shared.store.handle(request);
+        self.respond(slot, &response)
+    }
+
+    /// Seals and queues a response frame. Returns false when the
+    /// connection was closed.
+    fn respond(&mut self, slot: usize, response: &Message) -> bool {
+        let Some(conn) = self.conns[slot].as_mut() else { return false };
+        let ConnState::Open(channel) = &mut conn.state else { return false };
+        let sealed = channel.seal_message(&to_bytes(response));
+        if conn.writer.queue(&sealed).is_err() {
+            self.close(slot, CloseReason::Normal);
+            return false;
+        }
+        self.flush_writer(slot);
+        self.conns[slot].is_some()
+    }
+
+    /// Pushes buffered bytes. A closing connection is *not* closed when
+    /// its busy frame drains: closing with the peer's quote still unread
+    /// would RST the socket and destroy the frame in flight. It lingers —
+    /// discarding inbound bytes — until the peer hangs up or the linger
+    /// deadline fires.
+    fn flush_writer(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else { return };
+        match conn.writer.flush(&mut conn.stream) {
+            Ok(_) => {} // POLLOUT re-armed next iteration if pending
+            Err(_) => self.close(slot, CloseReason::Normal),
+        }
+    }
+
+    /// Reads and discards inbound bytes on a closing connection; EOF or an
+    /// error finishes the close.
+    fn drain_closing(&mut self, slot: usize) {
+        use std::io::Read;
+        let mut scratch = [0u8; 4096];
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else { return };
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.close(slot, CloseReason::Normal);
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(slot, CloseReason::Normal);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drain_switchless_responses(&mut self) {
+        let Some(engine) = self.shared.engine.clone() else { return };
+        let mut completed: Vec<(u64, Message)> = Vec::new();
+        engine.drain_responses(self.index, |token, response| {
+            completed.push((token, response));
+        });
+        for (token, response) in completed {
+            let slot = (token >> 32) as usize;
+            let generation = token as u32;
+            let alive = self
+                .conns
+                .get(slot)
+                .and_then(|c| c.as_ref())
+                .is_some_and(|c| c.generation == generation && c.inflight);
+            if !alive {
+                continue; // connection closed while the op was in flight
+            }
+            self.shared.counters.switchless_response();
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.inflight = false;
+                conn.deadline = None;
+            }
+            self.respond(slot, &response);
+        }
+    }
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<(usize, bool)> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, conn)| {
+                let conn = conn.as_ref()?;
+                let deadline = conn.deadline?;
+                (deadline <= now)
+                    .then_some((slot, matches!(conn.state, ConnState::Closing)))
+            })
+            .collect();
+        for (slot, closing) in expired {
+            // A busy-reject that never drained is a normal close, not a
+            // frame timeout.
+            let reason =
+                if closing { CloseReason::Normal } else { CloseReason::Deadline };
+            self.close(slot, reason);
+        }
+    }
 }
 
 /// Client-side connection to a [`StoreServer`]. Lives here (rather than in
@@ -391,8 +1009,10 @@ impl TcpStoreClient {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] on connection failure or
-    /// [`StoreError::Protocol`] if attestation fails.
+    /// Returns [`StoreError::Io`] on connection failure,
+    /// [`StoreError::Busy`] when the server refuses with a busy frame
+    /// (transient — retry after a backoff), or [`StoreError::Protocol`]
+    /// if attestation fails.
     pub fn connect(
         addr: SocketAddr,
         platform: &Platform,
@@ -404,7 +1024,7 @@ impl TcpStoreClient {
         // Bound every read: a store that dies mid-frame (or hangs) must
         // surface as an error the resilience layer can degrade on, not as
         // a client blocked forever.
-        stream.set_read_timeout(Some(FRAME_TIMEOUT)).ok();
+        stream.set_read_timeout(Some(DEFAULT_FRAME_TIMEOUT)).ok();
 
         let report_data = [0u8; REPORT_DATA_LEN];
         let client_report = create_report(platform, identity, &report_data);
@@ -415,8 +1035,17 @@ impl TcpStoreClient {
         write_frame(&mut stream, &client_quote.to_bytes())?;
 
         let server_quote_bytes = read_frame(&mut stream)?;
-        let server_quote = Quote::from_bytes(&server_quote_bytes)
-            .map_err(|e| StoreError::Protocol(e.to_string()))?;
+        let server_quote = match Quote::from_bytes(&server_quote_bytes) {
+            Ok(quote) => quote,
+            // Not a quote: a saturated server answers the handshake with
+            // a plaintext busy frame instead of its quote.
+            Err(quote_err) => {
+                return Err(match from_bytes::<Message>(&server_quote_bytes) {
+                    Ok(Message::Error(reason)) => StoreError::Busy(reason),
+                    _ => StoreError::Protocol(quote_err.to_string()),
+                });
+            }
+        };
         authority
             .service()
             .verify_quote(&server_quote)
@@ -455,18 +1084,25 @@ mod tests {
     use super::*;
     use crate::store::StoreConfig;
     use speed_enclave::CostModel;
-    use speed_wire::{AppId, CompTag, Record};
+    use speed_wire::{AppId, BatchItem, CompTag, Record};
 
     fn setup() -> (Arc<Platform>, Arc<ResultStore>, Arc<SessionAuthority>, StoreServer) {
+        setup_with_config(ServerConfig::default())
+    }
+
+    fn setup_with_config(
+        config: ServerConfig,
+    ) -> (Arc<Platform>, Arc<ResultStore>, Arc<SessionAuthority>, StoreServer) {
         let platform = Platform::new(CostModel::default_sgx());
         let store =
             Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
         let authority = Arc::new(SessionAuthority::with_seed(11));
-        let server = StoreServer::spawn(
+        let server = StoreServer::spawn_with_config(
             Arc::clone(&store),
             Arc::clone(&platform),
             Arc::clone(&authority),
             "127.0.0.1:0",
+            config,
         )
         .unwrap();
         (platform, store, authority, server)
@@ -558,6 +1194,33 @@ mod tests {
     }
 
     #[test]
+    fn batched_requests_roundtrip_over_tcp() {
+        let (platform, _store, authority, server) = setup();
+        let enclave = platform.create_enclave(b"batch-client").unwrap();
+        let mut client =
+            TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority)
+                .unwrap();
+        let tag = CompTag::from_bytes([6u8; 32]);
+        let response = client
+            .roundtrip(&Message::BatchRequest {
+                app: AppId(1),
+                items: vec![
+                    BatchItem::Put { tag, record: sample_record() },
+                    BatchItem::Get { tag },
+                ],
+            })
+            .unwrap();
+        match response {
+            Message::BatchResponse(results) => {
+                assert_eq!(results.len(), 2);
+                assert!(results[1].record.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn shutdown_joins_idle_connections_promptly() {
         let (platform, _store, authority, server) = setup();
         let e1 = platform.create_enclave(b"idle-1").unwrap();
@@ -566,16 +1229,15 @@ mod tests {
             TcpStoreClient::connect(server.addr(), &platform, &e1, &authority).unwrap();
         let mut c2 =
             TcpStoreClient::connect(server.addr(), &platform, &e2, &authority).unwrap();
-        // Both connections are now idle between requests — the workers sit
-        // in the 50ms read-timeout poll loop.
+        // Both connections are now idle between requests — they sit in
+        // the poll set with no deadline armed.
         c1.roundtrip(&Message::StatsRequest).unwrap();
         c2.roundtrip(&Message::StatsRequest).unwrap();
         let start = std::time::Instant::now();
         server.shutdown();
         assert!(
-            start.elapsed() < std::time::Duration::from_secs(2),
-            "shutdown must join idle workers within a few poll intervals, \
-             took {:?}",
+            start.elapsed() < Duration::from_secs(2),
+            "shutdown must join the event loop within a wakeup, took {:?}",
             start.elapsed()
         );
     }
@@ -597,18 +1259,23 @@ mod tests {
         });
         assert!(result.is_err(), "round-trip against a dead server must error");
         assert!(
-            start.elapsed() < FRAME_TIMEOUT + std::time::Duration::from_secs(1),
+            start.elapsed() < DEFAULT_FRAME_TIMEOUT + Duration::from_secs(1),
             "the error must arrive within the frame timeout, took {:?}",
             start.elapsed()
         );
     }
 
     #[test]
-    fn connection_churn_keeps_worker_count_bounded() {
-        // Regression for the worker-handle leak: the acceptor used to push
-        // a JoinHandle per connection and only join them at shutdown, so a
-        // connection-churning client grew the thread list without bound.
+    fn connection_churn_keeps_thread_budget_fixed() {
+        // The thread-per-connection design grew one thread per client;
+        // the event loop's budget must stay O(io_threads) through churn.
         let (platform, _store, authority, server) = setup();
+        let budget = server.thread_count();
+        assert_eq!(
+            budget,
+            ServerConfig::default().io_threads * 2,
+            "io threads plus one switchless worker each"
+        );
         let enclave = platform.create_enclave(b"churn-client").unwrap();
         let churn = 40usize;
         for _ in 0..churn {
@@ -616,64 +1283,61 @@ mod tests {
                 TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority)
                     .unwrap();
             client.roundtrip(&Message::StatsRequest).unwrap();
-            // Connection drops here; its worker exits on the next poll.
+            // Connection drops here; the event loop reaps it on hangup.
         }
-        // Give the acceptor a few poll intervals to reap the last workers.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(
+            server.thread_count(),
+            budget,
+            "thread budget is a constant, not O(connections)"
+        );
+        // Give the event loop a few wakeups to notice the hangups.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            let stats = server.pool_stats();
+            let stats = server.stats();
             if stats.active == 0 || std::time::Instant::now() > deadline {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(10));
         }
-        let stats = server.pool_stats();
-        assert_eq!(stats.spawned, churn as u64, "every connection got a worker");
+        let stats = server.stats();
+        assert_eq!(stats.accepted, churn as u64, "every connection was served");
         assert_eq!(stats.rejected, 0);
-        assert_eq!(stats.active, 0, "all workers reaped after churn");
+        assert_eq!(stats.active, 0, "all connections reaped after churn");
         assert!(
-            stats.peak < churn as u64 / 2,
-            "sequential churn must reuse pool capacity, peak was {} for {churn} \
-             connections",
+            stats.peak <= 4,
+            "sequential churn keeps few connections open, peak was {}",
             stats.peak
         );
         server.shutdown();
     }
 
     #[test]
-    fn saturated_pool_rejects_new_connections() {
-        let platform = Platform::new(CostModel::default_sgx());
-        let store =
-            Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
-        let authority = Arc::new(SessionAuthority::with_seed(11));
-        let server = StoreServer::spawn_with_config(
-            Arc::clone(&store),
-            Arc::clone(&platform),
-            Arc::clone(&authority),
-            "127.0.0.1:0",
-            ServerConfig { max_workers: 1 },
-        )
-        .unwrap();
+    fn saturated_budget_sends_busy_frame() {
+        let (platform, _store, authority, server) = setup_with_config(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
         let e1 = platform.create_enclave(b"holder").unwrap();
         let mut holder =
             TcpStoreClient::connect(server.addr(), &platform, &e1, &authority).unwrap();
         holder.roundtrip(&Message::StatsRequest).unwrap();
 
-        // The pool's one slot is held open; the next connection must be
-        // dropped fast rather than queued behind it.
+        // The budget's one slot is held open; the next connection must be
+        // told "busy" — distinguishable from attestation failure.
         let e2 = platform.create_enclave(b"overflow").unwrap();
         let overflow = TcpStoreClient::connect(server.addr(), &platform, &e2, &authority);
-        let failed = match overflow {
-            Err(_) => true,
-            Ok(mut client) => client.roundtrip(&Message::StatsRequest).is_err(),
-        };
-        assert!(failed, "overflow connection must not be served");
-        assert!(server.pool_stats().rejected >= 1);
+        match overflow {
+            Err(StoreError::Busy(reason)) => {
+                assert_eq!(reason, SERVER_BUSY_REASON);
+            }
+            other => panic!("expected a busy error, got {other:?}"),
+        }
+        assert!(server.stats().rejected >= 1);
 
         // The held connection still works, and capacity frees on disconnect.
         holder.roundtrip(&Message::StatsRequest).unwrap();
         drop(holder);
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let served = loop {
             let attempt =
                 TcpStoreClient::connect(server.addr(), &platform, &e2, &authority)
@@ -685,7 +1349,7 @@ mod tests {
             if std::time::Instant::now() > deadline {
                 break false;
             }
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            std::thread::sleep(Duration::from_millis(20));
         };
         assert!(served, "slot must free after the holder disconnects");
         server.shutdown();
@@ -709,6 +1373,122 @@ mod tests {
                     .is_err());
             }
         }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().protocol_errors == 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server.stats().protocol_errors >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn switchless_hot_path_crosses_zero_transitions() {
+        let (platform, store, authority, server) = setup();
+        let enclave = platform.create_enclave(b"switchless-client").unwrap();
+        let mut client =
+            TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority)
+                .unwrap();
+        // Warm up: the resident workers' entry ECALLs land before this.
+        let tag = CompTag::from_bytes([9u8; 32]);
+        client
+            .roundtrip(&Message::PutRequest {
+                app: AppId(1),
+                tag,
+                record: sample_record(),
+            })
+            .unwrap();
+
+        let before = store.enclave().stats();
+        let ops = 25u64;
+        for _ in 0..ops {
+            let hit =
+                client.roundtrip(&Message::GetRequest { app: AppId(1), tag }).unwrap();
+            assert!(matches!(hit, Message::GetResponse(b) if b.found));
+        }
+        let after = store.enclave().stats();
+        assert_eq!(
+            after.transitions(),
+            before.transitions(),
+            "hot-path GETs must not cost world switches"
+        );
+        assert!(
+            after.switchless_calls >= before.switchless_calls + ops,
+            "each GET is served switchlessly"
+        );
+        assert!(server.stats().switchless_requests >= ops);
+        assert_eq!(server.stats().switchless_fallbacks, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ecall_fallback_serves_when_rings_are_tiny() {
+        // ring_slots = 1 forces frequent fallbacks under concurrency;
+        // correctness must not depend on which path serves a request.
+        let (platform, _store, authority, server) =
+            setup_with_config(ServerConfig { ring_slots: 1, ..ServerConfig::default() });
+        let mut handles = Vec::new();
+        for worker in 0..4u8 {
+            let addr = server.addr();
+            let platform = Arc::clone(&platform);
+            let authority = Arc::clone(&authority);
+            handles.push(std::thread::spawn(move || {
+                let enclave = platform.create_enclave(&[b'f', b'b', worker]).unwrap();
+                let mut client =
+                    TcpStoreClient::connect(addr, &platform, &enclave, &authority)
+                        .unwrap();
+                for i in 0..10u8 {
+                    let tag = CompTag::from_bytes([worker.wrapping_mul(16) + i; 32]);
+                    let put = client
+                        .roundtrip(&Message::PutRequest {
+                            app: AppId(u64::from(worker)),
+                            tag,
+                            record: sample_record(),
+                        })
+                        .unwrap();
+                    assert!(matches!(put, Message::PutResponse(b) if b.accepted));
+                    let get = client
+                        .roundtrip(&Message::GetRequest {
+                            app: AppId(u64::from(worker)),
+                            tag,
+                        })
+                        .unwrap();
+                    assert!(matches!(get, Message::GetResponse(b) if b.found));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn switchless_disabled_still_serves() {
+        let (platform, store, authority, server) = setup_with_config(ServerConfig {
+            switchless: false,
+            ..ServerConfig::default()
+        });
+        assert_eq!(server.thread_count(), ServerConfig::default().io_threads);
+        let enclave = platform.create_enclave(b"classic-client").unwrap();
+        let mut client =
+            TcpStoreClient::connect(server.addr(), &platform, &enclave, &authority)
+                .unwrap();
+        let tag = CompTag::from_bytes([8u8; 32]);
+        let before = store.enclave().stats();
+        client
+            .roundtrip(&Message::PutRequest {
+                app: AppId(1),
+                tag,
+                record: sample_record(),
+            })
+            .unwrap();
+        let after = store.enclave().stats();
+        assert!(
+            after.transitions() > before.transitions(),
+            "the classic path pays world switches"
+        );
+        assert_eq!(server.stats().switchless_requests, 0);
         server.shutdown();
     }
 }

@@ -130,16 +130,41 @@ pub const STORE_SHARD_LOCK_CONTENTION_TOTAL: &str = "store_shard_lock_contention
 /// Counter, label `shard`: nanoseconds spent holding the shard's dict lock.
 pub const STORE_SHARD_BUSY_NS_TOTAL: &str = "store_shard_busy_ns_total";
 
-// --- speed-store server: the TCP front end's worker pool ---
+// --- speed-store server: the TCP front end's event loop ---
+//
+// Every server metric carries a `server` label (a process-unique instance
+// id) so two servers in one process never stomp each other's series.
 
-/// Gauge: connection workers currently serving.
-pub const SERVER_WORKERS_ACTIVE: &str = "server_workers_active";
-/// Gauge: high-water mark of concurrently live workers.
-pub const SERVER_WORKERS_PEAK: &str = "server_workers_peak";
-/// Counter: workers spawned over the server's lifetime.
-pub const SERVER_WORKERS_SPAWNED_TOTAL: &str = "server_workers_spawned_total";
-/// Counter: connections dropped because the pool was saturated.
+/// Gauge, label `server`: I/O event-loop threads owned by one server.
+pub const SERVER_IO_THREADS: &str = "server_io_threads";
+/// Gauge, label `server`: connections currently open.
+pub const SERVER_CONNECTIONS_ACTIVE: &str = "server_connections_active";
+/// Gauge, label `server`: high-water mark of concurrently open connections.
+pub const SERVER_CONNECTIONS_PEAK: &str = "server_connections_peak";
+/// Counter, label `server`: connections accepted over the server's lifetime.
+pub const SERVER_CONNECTIONS_ACCEPTED_TOTAL: &str = "server_connections_accepted_total";
+/// Counter, label `server`: connections refused with a busy frame because
+/// the connection budget was saturated.
 pub const SERVER_CONNECTIONS_REJECTED_TOTAL: &str = "server_connections_rejected_total";
+/// Counter, label `server`: connections dropped on a protocol violation
+/// (bad quote, unopenable sealed frame, oversized or truncated frame).
+pub const SERVER_PROTOCOL_ERRORS_TOTAL: &str = "server_protocol_errors_total";
+/// Counter, label `server`: connections dropped because a frame (or the
+/// handshake) failed to complete within the per-frame deadline.
+pub const SERVER_FRAME_TIMEOUTS_TOTAL: &str = "server_frame_timeouts_total";
+
+// --- speed-store server: switchless call rings ---
+
+/// Counter, label `server`: requests submitted to a switchless ring.
+pub const SWITCHLESS_REQUESTS_TOTAL: &str = "switchless_requests_total";
+/// Counter, label `server`: responses drained from a switchless ring.
+pub const SWITCHLESS_RESPONSES_TOTAL: &str = "switchless_responses_total";
+/// Counter, label `server`: hot-path requests that fell back to the
+/// classic ECALL path (ring full or switchless disabled).
+pub const SWITCHLESS_FALLBACKS_TOTAL: &str = "switchless_fallbacks_total";
+/// Counter: enclave calls served by a resident switchless worker without
+/// a world switch (boundary-copy bytes are still charged).
+pub const ENCLAVE_SWITCHLESS_CALLS_TOTAL: &str = "enclave_switchless_calls_total";
 
 /// Every metric name the workspace emits, for docs-coverage enforcement.
 pub const ALL: &[&str] = &[
@@ -193,10 +218,17 @@ pub const ALL: &[&str] = &[
     STORE_SHARD_EVICTIONS_TOTAL,
     STORE_SHARD_LOCK_CONTENTION_TOTAL,
     STORE_SHARD_BUSY_NS_TOTAL,
-    SERVER_WORKERS_ACTIVE,
-    SERVER_WORKERS_PEAK,
-    SERVER_WORKERS_SPAWNED_TOTAL,
+    SERVER_IO_THREADS,
+    SERVER_CONNECTIONS_ACTIVE,
+    SERVER_CONNECTIONS_PEAK,
+    SERVER_CONNECTIONS_ACCEPTED_TOTAL,
     SERVER_CONNECTIONS_REJECTED_TOTAL,
+    SERVER_PROTOCOL_ERRORS_TOTAL,
+    SERVER_FRAME_TIMEOUTS_TOTAL,
+    SWITCHLESS_REQUESTS_TOTAL,
+    SWITCHLESS_RESPONSES_TOTAL,
+    SWITCHLESS_FALLBACKS_TOTAL,
+    ENCLAVE_SWITCHLESS_CALLS_TOTAL,
 ];
 
 #[cfg(test)]

@@ -163,7 +163,7 @@ fn metrics_request_roundtrips_in_both_formats() {
         names::DEDUP_MISSES_TOTAL,
         names::STORE_GETS_TOTAL,
         names::STORE_SHARD_ENTRIES,
-        names::SERVER_WORKERS_ACTIVE,
+        names::SERVER_CONNECTIONS_ACTIVE,
     ] {
         assert!(text.contains(&format!("# TYPE {family} ")), "missing {family}");
     }
