@@ -7,8 +7,22 @@
 //! is strictly bounded (entries and bytes) because it competes with the
 //! application for scarce EPC; its pages are charged against the enclave's
 //! memory budget the same way the store's metadata heap is.
+//!
+//! Entries hold their result behind a shared [`Arc`] buffer: a hit hands
+//! back another reference to the same allocation instead of copying the
+//! bytes, which makes the hit path O(1) regardless of result size.
+//!
+//! The cache also keeps a count-multiset of its entries' 64-bit prefilter
+//! tags ([`crate::prefilter::prefilter_tag`]). [`HotTagCache::may_contain`]
+//! answers "could this prefilter tag be cached?" without deriving the full
+//! SHA-256 comp-tag — the first rung of the tiered tag pipeline. The answer
+//! is conservative: entries cached without a known prefilter tag are
+//! tracked in a separate counter that forces `may_contain` to `true`.
+
+// hot-path: deny-clone
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use speed_enclave::Enclave;
 use speed_wire::CompTag;
@@ -36,7 +50,8 @@ const ENTRY_OVERHEAD: usize = 32 + 64;
 
 #[derive(Debug)]
 struct CacheEntry {
-    result: Vec<u8>,
+    result: Arc<Vec<u8>>,
+    prefilter: Option<u64>,
     lru_seq: u64,
 }
 
@@ -51,6 +66,12 @@ pub(crate) struct HotTagCache {
     bytes: usize,
     /// EPC bytes currently committed for the cache (page granularity).
     committed: usize,
+    /// Count-multiset of live entries' prefilter tags; counts decrement on
+    /// eviction so `may_contain` tracks exactly the live population.
+    prefilters: HashMap<u64, u32>,
+    /// Live entries cached without a known prefilter tag. While non-zero,
+    /// `may_contain` conservatively answers `true` for every key.
+    unknown_prefilters: u32,
 }
 
 impl HotTagCache {
@@ -62,28 +83,47 @@ impl HotTagCache {
             seq: 0,
             bytes: 0,
             committed: 0,
+            prefilters: HashMap::new(),
+            unknown_prefilters: 0,
         }
     }
 
-    /// Looks up `tag`, bumping its recency. Returns a copy of the result.
-    pub(crate) fn get(&mut self, tag: &CompTag) -> Option<Vec<u8>> {
+    /// Looks up `tag`, bumping its recency. Returns a shared reference to
+    /// the cached buffer — no bytes are copied on a hit.
+    pub(crate) fn get(&mut self, tag: &CompTag) -> Option<Arc<Vec<u8>>> {
         let seq = self.seq;
         self.seq += 1;
         let entry = self.entries.get_mut(tag)?;
         self.lru.remove(&entry.lru_seq);
         entry.lru_seq = seq;
         self.lru.insert(seq, *tag);
-        Some(entry.result.clone())
+        Some(Arc::clone(&entry.result)) // allow-clone: Arc refcount bump, not a byte copy
+    }
+
+    /// Whether an entry with this prefilter tag *may* be cached: `false`
+    /// proves no cached entry can match, so the caller can skip deriving
+    /// the full comp-tag for the cache probe. Conservative — entries with
+    /// unknown prefilter tags force `true`.
+    pub(crate) fn may_contain(&self, prefilter: u64) -> bool {
+        self.unknown_prefilters > 0 || self.prefilters.contains_key(&prefilter)
     }
 
     /// Caches `result` under `tag`, evicting LRU entries as needed to stay
     /// within the configured bounds, and charging the enclave's memory
-    /// budget for the pages the cache occupies.
+    /// budget for the pages the cache occupies. The buffer is shared, not
+    /// copied; `prefilter` feeds the negative-lookup multiset (pass `None`
+    /// when unknown — the cache stays correct, just less skippable).
     ///
     /// Results larger than the whole cache, and results that cannot be
     /// charged to the enclave (EPC exhausted), are silently not cached —
     /// the cache is an accelerator, never a correctness dependency.
-    pub(crate) fn insert(&mut self, enclave: &Enclave, tag: CompTag, result: &[u8]) {
+    pub(crate) fn insert(
+        &mut self,
+        enclave: &Enclave,
+        tag: CompTag,
+        result: &Arc<Vec<u8>>,
+        prefilter: Option<u64>,
+    ) {
         let footprint = result.len() + ENTRY_OVERHEAD;
         if footprint > self.config.max_bytes || self.config.max_entries == 0 {
             return;
@@ -107,10 +147,21 @@ impl HotTagCache {
                 return;
             }
         }
+        match prefilter {
+            Some(key) => *self.prefilters.entry(key).or_insert(0) += 1,
+            None => self.unknown_prefilters += 1,
+        }
         let seq = self.seq;
         self.seq += 1;
         self.bytes += footprint;
-        self.entries.insert(tag, CacheEntry { result: result.to_vec(), lru_seq: seq });
+        self.entries.insert(
+            tag,
+            CacheEntry {
+                result: Arc::clone(result), // allow-clone: Arc refcount bump, not a byte copy
+                prefilter,
+                lru_seq: seq,
+            },
+        );
         self.lru.insert(seq, tag);
     }
 
@@ -130,6 +181,19 @@ impl HotTagCache {
         };
         self.lru.remove(&seq);
         if let Some(entry) = self.entries.remove(&tag) {
+            match entry.prefilter {
+                Some(key) => {
+                    if let Some(count) = self.prefilters.get_mut(&key) {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.prefilters.remove(&key);
+                        }
+                    }
+                }
+                None => {
+                    self.unknown_prefilters = self.unknown_prefilters.saturating_sub(1)
+                }
+            }
             self.release(enclave, entry.result.len() + ENTRY_OVERHEAD);
         }
         true
@@ -176,13 +240,63 @@ mod tests {
         Platform::new(CostModel::no_sgx()).create_enclave(b"cache-test").unwrap()
     }
 
+    fn shared(bytes: &[u8]) -> Arc<Vec<u8>> {
+        Arc::new(bytes.to_vec())
+    }
+
     #[test]
     fn get_miss_then_insert_then_hit() {
         let enclave = enclave();
         let mut cache = HotTagCache::new(HotCacheConfig::default());
         assert_eq!(cache.get(&tag(1)), None);
-        cache.insert(&enclave, tag(1), b"result");
-        assert_eq!(cache.get(&tag(1)).as_deref(), Some(b"result".as_slice()));
+        cache.insert(&enclave, tag(1), &shared(b"result"), None);
+        assert_eq!(
+            cache.get(&tag(1)).as_deref().map(Vec::as_slice),
+            Some(b"result".as_slice())
+        );
+    }
+
+    #[test]
+    fn hit_shares_the_buffer_instead_of_copying() {
+        let enclave = enclave();
+        let mut cache = HotTagCache::new(HotCacheConfig::default());
+        let buffer = shared(&[7u8; 4096]);
+        cache.insert(&enclave, tag(1), &buffer, Some(42));
+        let first = cache.get(&tag(1)).unwrap();
+        let second = cache.get(&tag(1)).unwrap();
+        assert_eq!(first.as_ptr(), buffer.as_ptr(), "hit must alias the insert buffer");
+        assert_eq!(second.as_ptr(), buffer.as_ptr());
+    }
+
+    #[test]
+    fn prefilter_multiset_tracks_live_entries() {
+        let enclave = enclave();
+        let mut cache =
+            HotTagCache::new(HotCacheConfig { max_entries: 2, max_bytes: 1 << 20 });
+        assert!(!cache.may_contain(10));
+        cache.insert(&enclave, tag(1), &shared(b"a"), Some(10));
+        cache.insert(&enclave, tag(2), &shared(b"b"), Some(20));
+        assert!(cache.may_contain(10));
+        assert!(cache.may_contain(20));
+        assert!(!cache.may_contain(30));
+        // Evicting tag(1) (LRU) removes its prefilter from the multiset.
+        cache.insert(&enclave, tag(3), &shared(b"c"), Some(30));
+        assert!(!cache.may_contain(10));
+        assert!(cache.may_contain(30));
+    }
+
+    #[test]
+    fn unknown_prefilter_forces_conservative_answers() {
+        let enclave = enclave();
+        let mut cache =
+            HotTagCache::new(HotCacheConfig { max_entries: 2, max_bytes: 1 << 20 });
+        cache.insert(&enclave, tag(1), &shared(b"a"), None);
+        assert!(cache.may_contain(999), "unknown prefilter must answer maybe");
+        // Evict the unknown-prefilter entry; exact answers resume.
+        cache.insert(&enclave, tag(2), &shared(b"b"), Some(5));
+        cache.insert(&enclave, tag(3), &shared(b"c"), Some(6));
+        assert!(!cache.may_contain(999));
+        assert!(cache.may_contain(5));
     }
 
     #[test]
@@ -190,11 +304,11 @@ mod tests {
         let enclave = enclave();
         let mut cache =
             HotTagCache::new(HotCacheConfig { max_entries: 2, max_bytes: 1 << 20 });
-        cache.insert(&enclave, tag(1), b"a");
-        cache.insert(&enclave, tag(2), b"b");
+        cache.insert(&enclave, tag(1), &shared(b"a"), None);
+        cache.insert(&enclave, tag(2), &shared(b"b"), None);
         // Touch 1 so 2 becomes LRU.
         cache.get(&tag(1));
-        cache.insert(&enclave, tag(3), b"c");
+        cache.insert(&enclave, tag(3), &shared(b"c"), None);
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&tag(1)).is_some());
         assert!(cache.get(&tag(2)).is_none());
@@ -209,10 +323,10 @@ mod tests {
             max_bytes: 3 * (100 + ENTRY_OVERHEAD),
         });
         for n in 1..=3u8 {
-            cache.insert(&enclave, tag(n), &[n; 100]);
+            cache.insert(&enclave, tag(n), &shared(&[n; 100]), None);
         }
         assert_eq!(cache.len(), 3);
-        cache.insert(&enclave, tag(4), &[4u8; 100]);
+        cache.insert(&enclave, tag(4), &shared(&[4u8; 100]), None);
         assert_eq!(cache.len(), 3);
         assert!(cache.get(&tag(1)).is_none(), "oldest entry evicted");
     }
@@ -222,17 +336,20 @@ mod tests {
         let enclave = enclave();
         let mut cache =
             HotTagCache::new(HotCacheConfig { max_entries: 8, max_bytes: 64 });
-        cache.insert(&enclave, tag(1), &vec![0u8; 1024]);
+        cache.insert(&enclave, tag(1), &shared(&[0u8; 1024]), Some(1));
         assert_eq!(cache.len(), 0);
+        assert!(!cache.may_contain(1), "uncached entry must not poison the multiset");
     }
 
     #[test]
     fn duplicate_insert_keeps_single_entry() {
         let enclave = enclave();
         let mut cache = HotTagCache::new(HotCacheConfig::default());
-        cache.insert(&enclave, tag(1), b"r");
-        cache.insert(&enclave, tag(1), b"r");
+        cache.insert(&enclave, tag(1), &shared(b"r"), Some(4));
+        cache.insert(&enclave, tag(1), &shared(b"r"), Some(4));
         assert_eq!(cache.len(), 1);
+        // Evicting the single entry clears the multiset exactly once.
+        assert!(cache.may_contain(4));
     }
 
     #[test]
@@ -242,19 +359,20 @@ mod tests {
         let mut cache =
             HotTagCache::new(HotCacheConfig { max_entries: 4, max_bytes: 1 << 20 });
         for n in 1..=4u8 {
-            cache.insert(&enclave, tag(n), &vec![n; 8 * 1024]);
+            cache.insert(&enclave, tag(n), &shared(&vec![n; 8 * 1024]), None);
         }
         assert!(enclave.committed_bytes() > before);
         // Evict everything by inserting over the entry bound.
         for n in 5..=8u8 {
-            cache.insert(&enclave, tag(n), &[n]);
+            cache.insert(&enclave, tag(n), &shared(&[n]), None);
         }
         assert!(enclave.committed_bytes() < before + 64 * 1024);
     }
 
     /// Differential property: the cache behaves exactly like a reference
     /// model — a map plus a precise LRU list — for any stream of gets and
-    /// inserts, and never exceeds its configured bounds.
+    /// inserts, never exceeds its configured bounds, and its prefilter
+    /// multiset answers `may_contain` exactly for the live population.
     #[test]
     fn cache_matches_lru_model_under_random_ops() {
         use std::collections::BTreeMap;
@@ -280,8 +398,12 @@ mod tests {
                 for (index, &(is_get, tag_seed, len)) in ops.iter().enumerate() {
                     if is_get {
                         let got = cache.get(&tag(tag_seed));
-                        let expected = model.get(&tag_seed).cloned();
-                        assert_eq!(got, expected, "op {index}: GET divergence");
+                        let expected = model.get(&tag_seed);
+                        assert_eq!(
+                            got.as_deref(),
+                            expected,
+                            "op {index}: GET divergence"
+                        );
                         if expected.is_some() {
                             lru.retain(|t| *t != tag_seed);
                             lru.push(tag_seed);
@@ -290,7 +412,14 @@ mod tests {
                         // The result is a function of the tag, as in the
                         // runtime (results for a tag are immutable).
                         let result = vec![tag_seed; usize::from(len % 100)];
-                        cache.insert(&enclave, tag(tag_seed), &result);
+                        // Prefilter tags are a function of the input too.
+                        let prefilter = u64::from(tag_seed) * 1000;
+                        cache.insert(
+                            &enclave,
+                            tag(tag_seed),
+                            &Arc::new(result.clone()),
+                            Some(prefilter),
+                        );
                         let footprint = result.len() + ENTRY_OVERHEAD;
                         if footprint > CONFIG.max_bytes {
                             // Too big to ever cache: no model change.
@@ -317,6 +446,15 @@ mod tests {
                     );
                     assert!(cache.len() <= CONFIG.max_entries, "op {index}: bound");
                     assert!(cache.bytes() <= CONFIG.max_bytes, "op {index}: bytes");
+                    // The prefilter multiset answers exactly for the model's
+                    // live population (every insert supplied a prefilter).
+                    for seed in 0..8u8 {
+                        assert_eq!(
+                            cache.may_contain(u64::from(seed) * 1000),
+                            model.contains_key(&seed),
+                            "op {index}: may_contain divergence for seed {seed}"
+                        );
+                    }
                 }
             },
         );

@@ -63,8 +63,10 @@ mod error;
 mod func;
 mod hotcache;
 mod policy;
+mod prefilter;
 pub mod rce;
 pub mod resilience;
+mod result_bytes;
 mod runtime;
 mod tag;
 
@@ -77,12 +79,14 @@ pub use error::CoreError;
 pub use func::{FuncDesc, FuncIdentity, TrustedLibrary};
 pub use hotcache::HotCacheConfig;
 pub use policy::{AdaptiveConfig, AdaptiveProfiler, DedupPolicy, PolicyDecision};
+pub use prefilter::prefilter_tag;
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Connector, Deadline, ReplayQueue,
     ResilienceConfig, ResilienceStats, ResilientClient, RetryPolicy,
 };
+pub use result_bytes::ResultBytes;
 pub use runtime::{
-    BatchCall, BatchCompute, DedupMode, DedupOutcome, DedupRuntime, RuntimeBuilder,
-    RuntimeStats,
+    BatchCall, BatchCompute, DedupMode, DedupOutcome, DedupRuntime, PrefilterConfig,
+    RuntimeBuilder, RuntimeStats,
 };
 pub use tag::{secondary_key, tag_for};

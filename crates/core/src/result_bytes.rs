@@ -1,0 +1,156 @@
+//! Shared result buffers for the zero-copy hot path.
+
+// hot-path: deny-clone
+
+use std::sync::Arc;
+
+/// A plaintext computation result backed by a shared, immutable buffer.
+///
+/// Results for a tag are immutable, so the runtime, the in-enclave hot-tag
+/// cache, and the caller can all hold the *same* allocation: a cache hit
+/// hands back another reference instead of copying the bytes (the clone per
+/// hit was the hot path's dominant cost for large results).
+///
+/// Dereferences to `[u8]` — use it anywhere a byte slice is expected, or
+/// [`into_vec`](ResultBytes::into_vec) when an owned `Vec<u8>` is truly
+/// required (this copies only if other references are still alive).
+#[derive(Clone, Debug, Eq)]
+pub struct ResultBytes(Arc<Vec<u8>>);
+
+impl ResultBytes {
+    /// Wraps an owned result buffer (no copy).
+    pub fn new(bytes: Vec<u8>) -> Self {
+        ResultBytes(Arc::new(bytes))
+    }
+
+    /// The shared buffer, for handing to other holders (the hot cache)
+    /// without copying.
+    pub(crate) fn shared(&self) -> &Arc<Vec<u8>> {
+        &self.0
+    }
+
+    /// Wraps an already-shared buffer (no copy).
+    pub(crate) fn from_shared(bytes: Arc<Vec<u8>>) -> Self {
+        ResultBytes(bytes)
+    }
+
+    /// The result as a byte slice (same as the `Deref` view).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Extracts an owned `Vec<u8>`, copying only when other references to
+    /// the buffer are still alive.
+    pub fn into_vec(self) -> Vec<u8> {
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| {
+            shared.as_ref().to_vec() // allow-clone: unwrap fallback is the documented copy
+        })
+    }
+}
+
+impl std::ops::Deref for ResultBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for ResultBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for ResultBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        ResultBytes::new(bytes)
+    }
+}
+
+impl PartialEq for ResultBytes {
+    fn eq(&self, other: &Self) -> bool {
+        *self.0 == *other.0
+    }
+}
+
+impl PartialEq<[u8]> for ResultBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<&[u8]> for ResultBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for ResultBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<&Vec<u8>> for ResultBytes {
+    fn eq(&self, other: &&Vec<u8>) -> bool {
+        *self.0 == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for ResultBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for ResultBytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl PartialEq<ResultBytes> for Vec<u8> {
+    fn eq(&self, other: &ResultBytes) -> bool {
+        *self == *other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let result = ResultBytes::new(vec![1, 2, 3]);
+        let alias = result.clone(); // allow-clone: the point of the test
+        assert_eq!(result.as_ptr(), alias.as_ptr());
+    }
+
+    #[test]
+    fn compares_against_common_byte_containers() {
+        let result = ResultBytes::new(b"shared".to_vec()); // allow-clone: fixture
+        assert_eq!(result, b"shared");
+        assert_eq!(result, b"shared".as_slice());
+        assert_eq!(result, b"shared".to_vec()); // allow-clone: fixture
+        assert_eq!(result, &b"shared".to_vec()); // allow-clone: fixture
+        assert!(result == *b"shared");
+    }
+
+    #[test]
+    fn into_vec_avoids_copy_when_unique() {
+        let result = ResultBytes::new(vec![9; 64]);
+        let ptr = result.as_ptr();
+        let owned = result.into_vec();
+        assert_eq!(owned.as_ptr(), ptr, "unique buffer must move, not copy");
+    }
+
+    #[test]
+    fn into_vec_copies_when_shared() {
+        let result = ResultBytes::new(vec![9; 64]);
+        let alias = result.clone(); // allow-clone: forces the copy branch
+        let owned = result.into_vec();
+        assert_ne!(owned.as_ptr(), alias.as_ptr());
+        assert_eq!(owned, *alias.shared().as_ref());
+    }
+}

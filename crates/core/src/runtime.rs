@@ -15,17 +15,22 @@ use speed_crypto::{Key128, SystemRng};
 use speed_enclave::{Enclave, Platform};
 use speed_store::ResultStore;
 use speed_telemetry::{names, Counter, Histogram};
-use speed_wire::{AppId, BatchItem, BatchStatus, Message, SessionAuthority, StatsBody};
+use speed_wire::{
+    AppId, BatchItem, BatchStatus, CompTag, Message, NegativeFilter, SessionAuthority,
+    StatsBody,
+};
 
 use crate::client::{InProcessClient, StoreClient, TcpClient};
 use crate::error::CoreError;
 use crate::func::{FuncDesc, FuncIdentity, LibraryRegistry, TrustedLibrary};
 use crate::hotcache::{HotCacheConfig, HotTagCache};
 use crate::policy::{AdaptiveProfiler, DedupPolicy, PolicyDecision};
+use crate::prefilter::prefilter_tag;
 use crate::rce;
 use crate::resilience::{
     Connector, ReplayQueue, ResilienceConfig, ResilienceStats, ResilientClient,
 };
+use crate::result_bytes::ResultBytes;
 use crate::tag::tag_for;
 
 /// Locks `mutex`, recovering the guard if a previous holder panicked.
@@ -72,6 +77,12 @@ pub enum DedupOutcome {
     /// transition for the lookup, no store round-trip at all. Only occurs
     /// when [`RuntimeBuilder::hot_cache`] is enabled.
     HitLocalCache,
+    /// The negative filter proved no stored result exists, so the GET
+    /// round-trip was skipped entirely: the function executed and its
+    /// result was published, exactly like [`DedupOutcome::Miss`], minus
+    /// the wasted store round-trip. Only occurs when
+    /// [`RuntimeBuilder::prefilter`] is enabled.
+    MissFiltered,
 }
 
 /// The boxed compute fallback carried by a [`BatchCall`].
@@ -143,6 +154,10 @@ pub struct RuntimeStats {
     /// Hot-tag cache lookups that missed. Always zero unless the cache is
     /// enabled.
     pub cache_misses: u64,
+    /// Misses whose GET round-trip was skipped because the negative filter
+    /// proved no stored result exists. Always zero unless the prefilter
+    /// tier is enabled. These calls are also counted in `misses`.
+    pub filtered_misses: u64,
 }
 
 #[derive(Debug, Default)]
@@ -157,6 +172,7 @@ struct AtomicStats {
     degraded_calls: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    filtered_misses: AtomicU64,
 }
 
 /// Handles into the process-wide telemetry registry. The per-runtime
@@ -181,6 +197,10 @@ struct RuntimeTelemetry {
     rce_recover: Histogram,
     rce_encrypt: Histogram,
     hotcache_lookup: Histogram,
+    prefilter_derive: Histogram,
+    prefilter_cache_skips: Counter,
+    prefilter_store_skips: Counter,
+    prefilter_refreshes: Counter,
 }
 
 impl RuntimeTelemetry {
@@ -248,6 +268,22 @@ impl RuntimeTelemetry {
                 names::HOTCACHE_LOOKUP_DURATION_NS,
                 "In-enclave hot-tag cache lookup (hit or miss)",
             ),
+            prefilter_derive: reg.histogram(
+                names::TAG_PREFILTER_DERIVE_DURATION_NS,
+                "Deriving the sampled 64-bit prefilter tag",
+            ),
+            prefilter_cache_skips: reg.counter(
+                names::TAG_PREFILTER_CACHE_SKIPS_TOTAL,
+                "Hot-cache probes skipped because the prefilter proved absence",
+            ),
+            prefilter_store_skips: reg.counter(
+                names::TAG_PREFILTER_STORE_SKIPS_TOTAL,
+                "Store GETs skipped because the negative filter proved absence",
+            ),
+            prefilter_refreshes: reg.counter(
+                names::TAG_PREFILTER_REFRESHES_TOTAL,
+                "Negative-filter snapshots fetched from the store",
+            ),
         }
     }
 }
@@ -257,6 +293,57 @@ impl RuntimeTelemetry {
 struct ResilienceHandles {
     stats: Arc<ResilienceStats>,
     replay: Arc<ReplayQueue>,
+}
+
+/// Configuration for the tiered tag pipeline ([`RuntimeBuilder::prefilter`]).
+///
+/// When enabled, every marked call derives a cheap 64-bit
+/// [`prefilter tag`](crate::prefilter::prefilter_tag) before the full
+/// SHA-256 comp-tag and consults it against the in-enclave hot cache and a
+/// merged snapshot of the store's per-shard negative filters. A *definite
+/// miss* skips the store GET round-trip; [`DedupRuntime::lookup`] skips the
+/// full SHA-256 as well. The filters are conservative (never a false
+/// negative), so the full comp-tag remains the sole correctness authority.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefilterConfig {
+    /// The staleness budget: refresh the merged negative filter from the
+    /// store after this many consults. The first consult always fetches.
+    /// Staleness is safe in only one direction — entries published since
+    /// the last refresh can cause a skipped GET on what would have been a
+    /// hit (a wasted recompute), never a wrong answer.
+    pub refresh_ops: u64,
+}
+
+impl Default for PrefilterConfig {
+    fn default() -> Self {
+        PrefilterConfig { refresh_ops: 1024 }
+    }
+}
+
+/// Client-side view of the store's negative filters: every per-shard filter
+/// ORed into one, refreshed from the store on the staleness budget.
+#[derive(Debug)]
+struct ClientFilter {
+    /// The merged filter, `None` until the first successful refresh (which
+    /// conservatively proves nothing absent).
+    merged: Option<NegativeFilter>,
+    /// Store epoch of the last snapshot (observability only).
+    epoch: u64,
+    /// Consults since the last refresh attempt.
+    ops_since_refresh: u64,
+    config: PrefilterConfig,
+}
+
+/// ORs the store's per-shard filters into one client-side view. Shard
+/// shapes always agree (the store sizes them identically), but a mismatch
+/// just marks the merge incomplete — conservative, never wrong.
+fn merge_shard_filters(shards: Vec<NegativeFilter>) -> Option<NegativeFilter> {
+    let mut iter = shards.into_iter();
+    let mut merged = iter.next()?;
+    for shard in iter {
+        merged.merge_from(&shard);
+    }
+    Some(merged)
 }
 
 /// The asynchronous PUT worker: a background thread draining a channel of
@@ -317,12 +404,27 @@ impl AsyncPutter {
                                 // newest results.
                                 Message::BatchRequest { app, items } => {
                                     for item in items {
-                                        if let BatchItem::Put { tag, record } = item {
-                                            replay.push(Message::PutRequest {
-                                                app,
+                                        match item {
+                                            BatchItem::Put { tag, record } => {
+                                                replay.push(Message::PutRequest {
+                                                    app,
+                                                    tag,
+                                                    record,
+                                                });
+                                            }
+                                            BatchItem::PutPrefiltered {
                                                 tag,
+                                                prefilter,
                                                 record,
-                                            });
+                                            } => {
+                                                replay.push(Message::PutPrefiltered {
+                                                    app,
+                                                    tag,
+                                                    prefilter,
+                                                    record,
+                                                });
+                                            }
+                                            BatchItem::Get { .. } => {}
                                         }
                                     }
                                 }
@@ -428,6 +530,7 @@ pub struct RuntimeBuilder {
     rng_seed: Option<u64>,
     resilience: Option<ResilienceConfig>,
     hot_cache: Option<HotCacheConfig>,
+    prefilter: Option<PrefilterConfig>,
 }
 
 impl RuntimeBuilder {
@@ -444,6 +547,7 @@ impl RuntimeBuilder {
             rng_seed: None,
             resilience: None,
             hot_cache: None,
+            prefilter: None,
         }
     }
 
@@ -555,6 +659,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the tiered tag pipeline: a cheap sampled prefilter tag gates
+    /// the hot-cache probe, and a merged snapshot of the store's negative
+    /// filters lets definite-miss calls skip the GET round-trip (and lets
+    /// [`DedupRuntime::lookup`] skip the full SHA-256 entirely). Off by
+    /// default: the extra tier changes the per-call transition profile, so
+    /// existing deployments opt in explicitly.
+    pub fn prefilter(mut self, config: PrefilterConfig) -> Self {
+        self.prefilter = Some(config);
+        self
+    }
+
     /// Creates the application enclave, connects the store client(s), and
     /// builds the runtime.
     ///
@@ -654,6 +769,14 @@ impl RuntimeBuilder {
             async_putter,
             resilience: resilience_handles,
             hot_cache: self.hot_cache.map(|c| Mutex::new(HotTagCache::new(c))),
+            prefilter: self.prefilter.map(|config| {
+                Mutex::new(ClientFilter {
+                    merged: None,
+                    epoch: 0,
+                    ops_since_refresh: 0,
+                    config,
+                })
+            }),
         }))
     }
 
@@ -720,6 +843,7 @@ pub struct DedupRuntime {
     async_putter: Option<AsyncPutter>,
     resilience: Option<ResilienceHandles>,
     hot_cache: Option<Mutex<HotTagCache>>,
+    prefilter: Option<Mutex<ClientFilter>>,
 }
 
 impl DedupRuntime {
@@ -754,9 +878,13 @@ impl DedupRuntime {
     /// Implements Algorithms 1 and 2: derives the tag inside the enclave,
     /// queries the store through an OCALL, reuses the result on a verified
     /// hit, otherwise executes `compute` and publishes the encrypted
-    /// result.
+    /// result. With [`RuntimeBuilder::prefilter`] enabled the tag pipeline
+    /// is tiered: a cheap sampled prefilter tag gates the hot-cache probe,
+    /// and the store's negative filter lets definite misses skip the GET
+    /// round-trip ([`DedupOutcome::MissFiltered`]).
     ///
-    /// Returns the serialized result and what happened.
+    /// Returns the serialized result — a [`ResultBytes`] sharing the hot
+    /// cache's buffer on a cached hit, no copy — and what happened.
     ///
     /// # Errors
     ///
@@ -768,7 +896,7 @@ impl DedupRuntime {
         identity: &FuncIdentity,
         input: &[u8],
         compute: impl FnOnce(&[u8]) -> Vec<u8>,
-    ) -> Result<(Vec<u8>, DedupOutcome), CoreError> {
+    ) -> Result<(ResultBytes, DedupOutcome), CoreError> {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         self.telemetry.calls.inc();
 
@@ -789,55 +917,101 @@ impl DedupRuntime {
                     started.elapsed().as_nanos() as u64,
                     config,
                 );
-                return Ok((result, DedupOutcome::BypassedByPolicy));
+                return Ok((ResultBytes::new(result), DedupOutcome::BypassedByPolicy));
             }
         }
 
         let call_started = std::time::Instant::now();
         let call_span = self.telemetry.call_duration.start_span();
         let outcome = self.enclave.ecall("dedup_execute", || {
-            // Inside the application enclave: derive the tag from the
-            // verified function identity and the input data.
-            let tag = self.telemetry.tag_derive.time(|| tag_for(identity, input));
+            // Inside the application enclave. Tier 0 of the tag pipeline:
+            // the cheap sampled prefilter tag (when enabled). The full
+            // SHA-256 comp-tag is derived lazily — only once a tier
+            // actually needs it.
+            let prefilter = self.prefilter.as_ref().map(|_| {
+                self.telemetry.prefilter_derive.time(|| prefilter_tag(identity, input))
+            });
+            let mut tag_slot: Option<CompTag> = None;
+            let derive_tag = |slot: &mut Option<CompTag>| -> CompTag {
+                *slot.get_or_insert_with(|| {
+                    self.telemetry.tag_derive.time(|| tag_for(identity, input))
+                })
+            };
 
-            // Hot-tag cache: a recently resolved result is answered without
-            // leaving the enclave — no OCALL, no store round-trip.
+            // Tier 1 — hot-tag cache: a recently resolved result is
+            // answered without leaving the enclave. The prefilter multiset
+            // gates the probe: a definite "not cached" skips the full-tag
+            // derivation and the lookup.
             if let Some(cache) = &self.hot_cache {
-                let lookup =
-                    self.telemetry.hotcache_lookup.time(|| lock_recover(cache).get(&tag));
-                if let Some(result) = lookup {
-                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    self.telemetry.cache_hits.inc();
-                    self.stats
-                        .reused_bytes
-                        .fetch_add(result.len() as u64, Ordering::Relaxed);
-                    self.telemetry.reused_bytes.add(result.len() as u64);
-                    return Ok((result, DedupOutcome::HitLocalCache, 0u64));
+                let mut guard = lock_recover(cache);
+                let gate = match prefilter {
+                    Some(p) => guard.may_contain(p),
+                    None => true,
+                };
+                if gate {
+                    let tag = derive_tag(&mut tag_slot);
+                    let lookup = self.telemetry.hotcache_lookup.time(|| guard.get(&tag));
+                    drop(guard);
+                    if let Some(result) = lookup {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.cache_hits.inc();
+                        self.stats
+                            .reused_bytes
+                            .fetch_add(result.len() as u64, Ordering::Relaxed);
+                        self.telemetry.reused_bytes.add(result.len() as u64);
+                        return Ok((
+                            ResultBytes::from_shared(result),
+                            DedupOutcome::HitLocalCache,
+                            0u64,
+                        ));
+                    }
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.cache_misses.inc();
+                } else {
+                    drop(guard);
+                    self.telemetry.prefilter_cache_skips.inc();
                 }
-                self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-                self.telemetry.cache_misses.inc();
             }
 
-            // OCALL: synchronous GET roundtrip (tag out, record back).
-            let get_request = Message::GetRequest { app: self.app_id, tag };
-            let response = self.enclave.ocall_with_bytes("get_request", 48, 0, || {
-                lock_recover(&self.client).roundtrip(&get_request)
-            });
+            // Tier 2 — the store's negative filter: a complete merged
+            // filter that lacks the prefilter tag *proves* no stored
+            // result exists, so the GET round-trip below is pure waste.
+            let filtered = match prefilter {
+                Some(p) if self.filter_proves_absent(p) => {
+                    self.telemetry.prefilter_store_skips.inc();
+                    self.stats.filtered_misses.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                _ => false,
+            };
 
-            // Graceful degradation (resilience layer only): an unreachable
-            // store is a miss, never an application error — Algorithm 1's
-            // fallback is always "just execute the function".
+            // OCALL: synchronous GET roundtrip (tag out, record back),
+            // skipped when the filter already proved the answer.
             let mut degraded = false;
-            let found = match response {
-                Ok(Message::GetResponse(body)) => body.record,
-                Ok(other) => {
-                    return Err(CoreError::UnexpectedResponse(format!("{other:?}")))
+            let found = if filtered {
+                None
+            } else {
+                let tag = derive_tag(&mut tag_slot);
+                let get_request = Message::GetRequest { app: self.app_id, tag };
+                let response =
+                    self.enclave.ocall_with_bytes("get_request", 48, 0, || {
+                        lock_recover(&self.client).roundtrip(&get_request)
+                    });
+
+                // Graceful degradation (resilience layer only): an
+                // unreachable store is a miss, never an application error —
+                // Algorithm 1's fallback is always "just execute".
+                match response {
+                    Ok(Message::GetResponse(body)) => body.record,
+                    Ok(other) => {
+                        return Err(CoreError::UnexpectedResponse(format!("{other:?}")))
+                    }
+                    Err(CoreError::StoreUnavailable(_)) if self.resilience.is_some() => {
+                        degraded = true;
+                        None
+                    }
+                    Err(err) => return Err(err),
                 }
-                Err(CoreError::StoreUnavailable(_)) if self.resilience.is_some() => {
-                    degraded = true;
-                    None
-                }
-                Err(err) => return Err(err),
             };
 
             if let Some(record) = found {
@@ -853,6 +1027,7 @@ impl DedupRuntime {
                 });
                 match recovered {
                     Ok(result) => {
+                        let result = ResultBytes::new(result);
                         self.stats.hits.fetch_add(1, Ordering::Relaxed);
                         self.telemetry.hits.inc();
                         self.stats
@@ -860,7 +1035,12 @@ impl DedupRuntime {
                             .fetch_add(result.len() as u64, Ordering::Relaxed);
                         self.telemetry.reused_bytes.add(result.len() as u64);
                         if let Some(cache) = &self.hot_cache {
-                            lock_recover(cache).insert(&self.enclave, tag, &result);
+                            lock_recover(cache).insert(
+                                &self.enclave,
+                                derive_tag(&mut tag_slot),
+                                result.shared(),
+                                prefilter,
+                            );
                         }
                         return Ok((result, DedupOutcome::Hit, 0u64));
                     }
@@ -873,7 +1053,7 @@ impl DedupRuntime {
                         self.stats.misses.fetch_add(1, Ordering::Relaxed);
                         self.telemetry.misses.inc();
                         let compute_started = std::time::Instant::now();
-                        let result = compute(input);
+                        let result = ResultBytes::new(compute(input));
                         let compute_ns = compute_started.elapsed().as_nanos() as u64;
                         return Ok((
                             result,
@@ -889,10 +1069,16 @@ impl DedupRuntime {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             self.telemetry.misses.inc();
             let compute_started = std::time::Instant::now();
-            let result = compute(input);
+            let result = ResultBytes::new(compute(input));
             let compute_ns = compute_started.elapsed().as_nanos() as u64;
+            let tag = derive_tag(&mut tag_slot);
             if let Some(cache) = &self.hot_cache {
-                lock_recover(cache).insert(&self.enclave, tag, &result);
+                lock_recover(cache).insert(
+                    &self.enclave,
+                    tag,
+                    result.shared(),
+                    prefilter,
+                );
             }
 
             // Encrypt and publish.
@@ -911,7 +1097,17 @@ impl DedupRuntime {
                 }
             });
             let record_size = record.wire_size();
-            let put_request = Message::PutRequest { app: self.app_id, tag, record };
+            // When the filter tier is enabled the PUT carries the prefilter
+            // tag so the store can keep its negative filters complete.
+            let put_request = match prefilter {
+                Some(p) => Message::PutPrefiltered {
+                    app: self.app_id,
+                    tag,
+                    prefilter: p,
+                    record,
+                },
+                None => Message::PutRequest { app: self.app_id, tag, record },
+            };
 
             match &self.async_putter {
                 Some(putter) => {
@@ -957,7 +1153,9 @@ impl DedupRuntime {
                 self.stats.degraded_calls.fetch_add(1, Ordering::Relaxed);
                 self.telemetry.degraded_calls.inc();
             }
-            Ok((result, DedupOutcome::Miss, compute_ns))
+            let outcome =
+                if filtered { DedupOutcome::MissFiltered } else { DedupOutcome::Miss };
+            Ok((result, outcome, compute_ns))
         });
         drop(call_span);
 
@@ -968,7 +1166,9 @@ impl DedupRuntime {
                 DedupOutcome::Hit | DedupOutcome::HitLocalCache => {
                     self.profiler.record_dedup_overhead(identity, total_ns, config)
                 }
-                DedupOutcome::Miss | DedupOutcome::MissAfterFailedVerify => {
+                DedupOutcome::Miss
+                | DedupOutcome::MissFiltered
+                | DedupOutcome::MissAfterFailedVerify => {
                     self.profiler.record_compute(identity, compute_ns, config);
                     self.profiler.record_dedup_overhead(
                         identity,
@@ -1018,7 +1218,7 @@ impl DedupRuntime {
     pub fn execute_batch(
         &self,
         calls: Vec<BatchCall<'_>>,
-    ) -> Result<Vec<(Vec<u8>, DedupOutcome)>, CoreError> {
+    ) -> Result<Vec<(ResultBytes, DedupOutcome)>, CoreError> {
         if calls.is_empty() {
             return Ok(Vec::new());
         }
@@ -1037,6 +1237,22 @@ impl DedupRuntime {
                 inputs.push(call.input);
                 computes.push(Some(call.compute));
             }
+            // Tier 0: cheap prefilter tags for the whole batch (when the
+            // filter tier is enabled). Full comp-tags are still derived for
+            // every item — each one either enters the batch GET or ends in
+            // a PUT — but the prefilters gate the cache probes and let
+            // proven-absent items skip the batch GET entirely.
+            let prefilters: Option<Vec<u64>> = self.prefilter.as_ref().map(|_| {
+                identities
+                    .iter()
+                    .zip(&inputs)
+                    .map(|(identity, input)| {
+                        self.telemetry
+                            .prefilter_derive
+                            .time(|| prefilter_tag(identity, input))
+                    })
+                    .collect()
+            });
             let tags: Vec<_> = identities
                 .iter()
                 .zip(&inputs)
@@ -1044,13 +1260,23 @@ impl DedupRuntime {
                     self.telemetry.tag_derive.time(|| tag_for(identity, input))
                 })
                 .collect();
+            let prefilter_of = |i: usize| prefilters.as_ref().map(|ps| ps[i]);
 
             // Phase 1: hot-tag cache, no boundary crossing.
-            let mut slots: Vec<Option<(Vec<u8>, DedupOutcome)>> = vec![None; n];
+            let mut slots: Vec<Option<(ResultBytes, DedupOutcome)>> = vec![None; n];
             let mut pending: Vec<usize> = Vec::with_capacity(n);
             if let Some(cache) = &self.hot_cache {
                 let mut cache = lock_recover(cache);
                 for i in 0..n {
+                    let gate = match prefilter_of(i) {
+                        Some(p) => cache.may_contain(p),
+                        None => true,
+                    };
+                    if !gate {
+                        self.telemetry.prefilter_cache_skips.inc();
+                        pending.push(i);
+                        continue;
+                    }
                     match self.telemetry.hotcache_lookup.time(|| cache.get(&tags[i])) {
                         Some(result) => {
                             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -1059,7 +1285,10 @@ impl DedupRuntime {
                                 .reused_bytes
                                 .fetch_add(result.len() as u64, Ordering::Relaxed);
                             self.telemetry.reused_bytes.add(result.len() as u64);
-                            slots[i] = Some((result, DedupOutcome::HitLocalCache));
+                            slots[i] = Some((
+                                ResultBytes::from_shared(result),
+                                DedupOutcome::HitLocalCache,
+                            ));
                         }
                         None => {
                             self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -1072,13 +1301,33 @@ impl DedupRuntime {
                 pending.extend(0..n);
             }
 
+            // Tier 2: consult the merged negative filter once per pending
+            // item — proven-absent items never enter the batch GET; they
+            // fall straight through to compute-and-publish below.
+            let mut skip_get = vec![false; pending.len()];
+            if prefilters.is_some() {
+                for (slot_pos, &i) in pending.iter().enumerate() {
+                    let p = prefilter_of(i).expect("prefilters computed for the batch");
+                    if self.filter_proves_absent(p) {
+                        self.telemetry.prefilter_store_skips.inc();
+                        self.stats.filtered_misses.fetch_add(1, Ordering::Relaxed);
+                        skip_get[slot_pos] = true;
+                    }
+                }
+            }
+
             // Phase 2: ONE OCALL resolves every unresolved tag against the
             // store in a single network round-trip.
             let mut degraded = false;
-            let mut found: Vec<Option<speed_wire::Record>> = Vec::new();
-            if !pending.is_empty() {
-                let get_items: Vec<BatchItem> =
-                    pending.iter().map(|&i| BatchItem::Get { tag: tags[i] }).collect();
+            let mut found: Vec<Option<speed_wire::Record>> =
+                (0..pending.len()).map(|_| None).collect();
+            let get_positions: Vec<usize> =
+                (0..pending.len()).filter(|&pos| !skip_get[pos]).collect();
+            if !get_positions.is_empty() {
+                let get_items: Vec<BatchItem> = get_positions
+                    .iter()
+                    .map(|&pos| BatchItem::Get { tag: tags[pending[pos]] })
+                    .collect();
                 let args_len = 48 * get_items.len();
                 let request =
                     Message::BatchRequest { app: self.app_id, items: get_items };
@@ -1088,11 +1337,13 @@ impl DedupRuntime {
                     0,
                     || lock_recover(&self.client).roundtrip(&request),
                 );
-                found = match response {
+                match response {
                     Ok(Message::BatchResponse(results))
-                        if results.len() == pending.len() =>
+                        if results.len() == get_positions.len() =>
                     {
-                        results.into_iter().map(|r| r.record).collect()
+                        for (k, result) in results.into_iter().enumerate() {
+                            found[get_positions[k]] = result.record;
+                        }
                     }
                     Ok(other) => {
                         return Err(CoreError::UnexpectedResponse(format!("{other:?}")))
@@ -1101,10 +1352,9 @@ impl DedupRuntime {
                         // Per-item degradation: every unresolved item falls
                         // back to local execution below.
                         degraded = true;
-                        vec![None; pending.len()]
                     }
                     Err(err) => return Err(err),
-                };
+                }
             }
 
             // Phase 3: verify hits, compute misses, collect batched PUTs.
@@ -1128,6 +1378,7 @@ impl DedupRuntime {
                         });
                     match recovered {
                         Ok(result) => {
+                            let result = ResultBytes::new(result);
                             self.stats.hits.fetch_add(1, Ordering::Relaxed);
                             self.telemetry.hits.inc();
                             self.stats
@@ -1138,7 +1389,8 @@ impl DedupRuntime {
                                 lock_recover(cache).insert(
                                     &self.enclave,
                                     tags[i],
-                                    &result,
+                                    result.shared(),
+                                    prefilter_of(i),
                                 );
                             }
                             slots[i] = Some((result, DedupOutcome::Hit));
@@ -1152,7 +1404,7 @@ impl DedupRuntime {
                             self.telemetry.misses.inc();
                             let compute =
                                 computes[i].take().expect("each compute runs once");
-                            let result = compute(input);
+                            let result = ResultBytes::new(compute(input));
                             slots[i] =
                                 Some((result, DedupOutcome::MissAfterFailedVerify));
                             continue;
@@ -1161,17 +1413,24 @@ impl DedupRuntime {
                     }
                 }
 
-                // Miss (or degraded): execute inside the enclave.
+                // Miss (filtered, degraded, or plain): execute inside the
+                // enclave. Filtered items never touched the store, so they
+                // do not count as degraded even during an outage.
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 self.telemetry.misses.inc();
-                if degraded {
+                if degraded && !skip_get[slot_pos] {
                     self.stats.degraded_calls.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.degraded_calls.inc();
                 }
                 let compute = computes[i].take().expect("each compute runs once");
-                let result = compute(input);
+                let result = ResultBytes::new(compute(input));
                 if let Some(cache) = &self.hot_cache {
-                    lock_recover(cache).insert(&self.enclave, tags[i], &result);
+                    lock_recover(cache).insert(
+                        &self.enclave,
+                        tags[i],
+                        result.shared(),
+                        prefilter_of(i),
+                    );
                 }
                 let record = self.telemetry.rce_encrypt.time(|| {
                     let mut rng = lock_recover(&self.rng);
@@ -1187,8 +1446,19 @@ impl DedupRuntime {
                         ),
                     }
                 });
-                put_items.push(BatchItem::Put { tag: tags[i], record });
-                slots[i] = Some((result, DedupOutcome::Miss));
+                let item = match prefilter_of(i) {
+                    Some(prefilter) => {
+                        BatchItem::PutPrefiltered { tag: tags[i], prefilter, record }
+                    }
+                    None => BatchItem::Put { tag: tags[i], record },
+                };
+                put_items.push(item);
+                let outcome = if skip_get[slot_pos] {
+                    DedupOutcome::MissFiltered
+                } else {
+                    DedupOutcome::Miss
+                };
+                slots[i] = Some((result, outcome));
             }
 
             // Phase 4: publish every fresh record in one batched PUT.
@@ -1198,12 +1468,23 @@ impl DedupRuntime {
                     // individually so replay delivers item by item.
                     if let Some(handles) = &self.resilience {
                         for item in put_items {
-                            if let BatchItem::Put { tag, record } = item {
-                                handles.replay.push(Message::PutRequest {
-                                    app: self.app_id,
-                                    tag,
-                                    record,
-                                });
+                            match item {
+                                BatchItem::Put { tag, record } => {
+                                    handles.replay.push(Message::PutRequest {
+                                        app: self.app_id,
+                                        tag,
+                                        record,
+                                    });
+                                }
+                                BatchItem::PutPrefiltered { tag, prefilter, record } => {
+                                    handles.replay.push(Message::PutPrefiltered {
+                                        app: self.app_id,
+                                        tag,
+                                        prefilter,
+                                        record,
+                                    });
+                                }
+                                BatchItem::Get { .. } => {}
                             }
                         }
                     }
@@ -1250,18 +1531,32 @@ impl DedupRuntime {
                                     ) = (&self.resilience, put_request)
                                     {
                                         for item in items {
-                                            if let BatchItem::Put { tag, record } = item {
+                                            let replayed = match item {
+                                                BatchItem::Put { tag, record } => {
+                                                    Some(Message::PutRequest {
+                                                        app,
+                                                        tag,
+                                                        record,
+                                                    })
+                                                }
+                                                BatchItem::PutPrefiltered {
+                                                    tag,
+                                                    prefilter,
+                                                    record,
+                                                } => Some(Message::PutPrefiltered {
+                                                    app,
+                                                    tag,
+                                                    prefilter,
+                                                    record,
+                                                }),
+                                                BatchItem::Get { .. } => None,
+                                            };
+                                            if let Some(message) = replayed {
                                                 self.stats
                                                     .degraded_calls
                                                     .fetch_add(1, Ordering::Relaxed);
                                                 self.telemetry.degraded_calls.inc();
-                                                handles.replay.push(
-                                                    Message::PutRequest {
-                                                        app,
-                                                        tag,
-                                                        record,
-                                                    },
-                                                );
+                                                handles.replay.push(message);
                                             }
                                         }
                                     }
@@ -1292,9 +1587,154 @@ impl DedupRuntime {
         desc: &FuncDesc,
         input: &[u8],
         compute: impl FnOnce(&[u8]) -> Vec<u8>,
-    ) -> Result<(Vec<u8>, DedupOutcome), CoreError> {
+    ) -> Result<(ResultBytes, DedupOutcome), CoreError> {
         let identity = self.resolve(desc)?;
         self.execute_raw(&identity, input, compute)
+    }
+
+    /// Probes the tiered tag pipeline for an already-stored result without
+    /// ever executing or publishing anything.
+    ///
+    /// The ladder runs cheapest-first: prefilter-gated hot-cache probe,
+    /// then the merged negative filter, then the full comp-tag and a store
+    /// GET. On a filter-proven miss the probe returns `Ok(None)` *without
+    /// computing the full SHA-256 at all* — for large inputs that is the
+    /// dominant cost of a negative lookup. A record that fails verification
+    /// also yields `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on store/transport failures (with the
+    /// resilience layer, an unreachable store reads as `Ok(None)`).
+    pub fn lookup(
+        &self,
+        identity: &FuncIdentity,
+        input: &[u8],
+    ) -> Result<Option<ResultBytes>, CoreError> {
+        self.enclave.ecall("dedup_lookup", || {
+            let prefilter = self.prefilter.as_ref().map(|_| {
+                self.telemetry.prefilter_derive.time(|| prefilter_tag(identity, input))
+            });
+            let mut tag_slot: Option<CompTag> = None;
+            let derive_tag = |slot: &mut Option<CompTag>| -> CompTag {
+                *slot.get_or_insert_with(|| {
+                    self.telemetry.tag_derive.time(|| tag_for(identity, input))
+                })
+            };
+
+            if let Some(cache) = &self.hot_cache {
+                let mut guard = lock_recover(cache);
+                let gate = match prefilter {
+                    Some(p) => guard.may_contain(p),
+                    None => true,
+                };
+                if gate {
+                    let tag = derive_tag(&mut tag_slot);
+                    let lookup = self.telemetry.hotcache_lookup.time(|| guard.get(&tag));
+                    drop(guard);
+                    if let Some(result) = lookup {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.cache_hits.inc();
+                        self.stats
+                            .reused_bytes
+                            .fetch_add(result.len() as u64, Ordering::Relaxed);
+                        self.telemetry.reused_bytes.add(result.len() as u64);
+                        return Ok(Some(ResultBytes::from_shared(result)));
+                    }
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.cache_misses.inc();
+                } else {
+                    drop(guard);
+                    self.telemetry.prefilter_cache_skips.inc();
+                }
+            }
+
+            if let Some(p) = prefilter {
+                if self.filter_proves_absent(p) {
+                    // Definite miss: the full SHA-256 was never derived.
+                    self.telemetry.prefilter_store_skips.inc();
+                    return Ok(None);
+                }
+            }
+
+            let tag = derive_tag(&mut tag_slot);
+            let get_request = Message::GetRequest { app: self.app_id, tag };
+            let response = self.enclave.ocall_with_bytes("get_request", 48, 0, || {
+                lock_recover(&self.client).roundtrip(&get_request)
+            });
+            let found = match response {
+                Ok(Message::GetResponse(body)) => body.record,
+                Ok(other) => {
+                    return Err(CoreError::UnexpectedResponse(format!("{other:?}")))
+                }
+                Err(CoreError::StoreUnavailable(_)) if self.resilience.is_some() => None,
+                Err(err) => return Err(err),
+            };
+            let Some(record) = found else { return Ok(None) };
+
+            self.enclave.charge_boundary_bytes(record.wire_size());
+            let recovered = self.telemetry.rce_recover.time(|| match &self.mode {
+                DedupMode::CrossApp => rce::recover_result(identity, input, &record),
+                DedupMode::SingleKey(key) => rce::recover_result_single_key(key, &record),
+                DedupMode::Convergent => {
+                    rce::recover_result_convergent(identity, input, &record)
+                }
+            });
+            match recovered {
+                Ok(result) => {
+                    let result = ResultBytes::new(result);
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.hits.inc();
+                    self.stats
+                        .reused_bytes
+                        .fetch_add(result.len() as u64, Ordering::Relaxed);
+                    self.telemetry.reused_bytes.add(result.len() as u64);
+                    if let Some(cache) = &self.hot_cache {
+                        lock_recover(cache).insert(
+                            &self.enclave,
+                            tag,
+                            result.shared(),
+                            prefilter,
+                        );
+                    }
+                    Ok(Some(result))
+                }
+                Err(CoreError::VerificationFailed) => {
+                    self.stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.verify_failures.inc();
+                    Ok(None)
+                }
+                Err(other) => Err(other),
+            }
+        })
+    }
+
+    /// Consults (and lazily refreshes) the merged client-side negative
+    /// filter. `true` means *proof* of absence: the filter is complete and
+    /// does not contain the prefilter tag. Refresh failures silently keep
+    /// the stale view — the filter is an accelerator, never a correctness
+    /// dependency.
+    fn filter_proves_absent(&self, prefilter: u64) -> bool {
+        let Some(cell) = &self.prefilter else { return false };
+        let mut state = lock_recover(cell);
+        let stale =
+            state.merged.is_none() || state.ops_since_refresh >= state.config.refresh_ops;
+        if stale {
+            state.ops_since_refresh = 0;
+            let response = self.enclave.ocall_with_bytes("filter_request", 1, 0, || {
+                lock_recover(&self.client).roundtrip(&Message::FilterRequest)
+            });
+            if let Ok(Message::FilterResponse(body)) = response {
+                self.telemetry.prefilter_refreshes.inc();
+                state.epoch = body.epoch;
+                state.merged = merge_shard_filters(body.shards);
+            }
+        }
+        state.ops_since_refresh += 1;
+        match &state.merged {
+            Some(filter) => !filter.may_contain(prefilter),
+            None => false,
+        }
     }
 
     /// Waits until all asynchronous PUTs submitted so far have completed.
@@ -1345,6 +1785,7 @@ impl DedupRuntime {
             replayed_puts,
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            filtered_misses: self.stats.filtered_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -2142,5 +2583,278 @@ mod tests {
         assert_eq!(stats.shards.len(), store.shard_count());
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.shards.iter().map(|s| s.entries).sum::<u64>(), 1);
+    }
+
+    fn prefilter_runtime(
+        platform: &Arc<Platform>,
+        store: &Arc<ResultStore>,
+        authority: &Arc<SessionAuthority>,
+        code: &[u8],
+        config: PrefilterConfig,
+    ) -> Arc<DedupRuntime> {
+        DedupRuntime::builder(Arc::clone(platform), code)
+            .in_process_store(Arc::clone(store), Arc::clone(authority))
+            .trusted_library(library())
+            .prefilter(config)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn filtered_miss_skips_the_get_round_trip() {
+        let (platform, store, authority) = setup();
+        let rt = prefilter_runtime(
+            &platform,
+            &store,
+            &authority,
+            b"filter-app",
+            PrefilterConfig::default(),
+        );
+
+        // First call on an empty store: the first consult fetches the
+        // filter snapshot (one OCALL), which proves absence, so the GET is
+        // skipped — filter + PUT, never a GET.
+        let before = rt.enclave().stats();
+        let (result, outcome) = rt.execute(&desc_double(), b"a", |i| i.to_vec()).unwrap();
+        let after = rt.enclave().stats();
+        assert_eq!(result, b"a");
+        assert_eq!(outcome, DedupOutcome::MissFiltered);
+        assert_eq!(after.ecalls - before.ecalls, 1);
+        assert_eq!(after.ocalls - before.ocalls, 2, "filter refresh + PUT, no GET");
+        assert_eq!(store.stats().gets, 0);
+
+        // Second distinct input: the cached snapshot still proves absence —
+        // one ECALL and the PUT OCALL only.
+        let (_, outcome) = rt.execute(&desc_double(), b"b", |i| i.to_vec()).unwrap();
+        let done = rt.enclave().stats();
+        assert_eq!(outcome, DedupOutcome::MissFiltered);
+        assert_eq!(done.ecalls - after.ecalls, 1);
+        assert_eq!(done.ocalls - after.ocalls, 1, "cached filter + PUT, no GET");
+        assert_eq!(store.stats().gets, 0);
+        assert_eq!(store.stats().puts, 2);
+        assert_eq!(rt.stats().filtered_misses, 2);
+        assert_eq!(rt.stats().misses, 2);
+    }
+
+    #[test]
+    fn refreshed_filter_turns_known_tags_into_hits() {
+        let (platform, store, authority) = setup();
+        // refresh_ops: 1 ⇒ every consult refetches the snapshot, so the
+        // client always sees the store's latest filter.
+        let rt = prefilter_runtime(
+            &platform,
+            &store,
+            &authority,
+            b"refresh-app",
+            PrefilterConfig { refresh_ops: 1 },
+        );
+
+        let (_, outcome) = rt.execute(&desc_double(), b"m", |i| i.to_vec()).unwrap();
+        assert_eq!(outcome, DedupOutcome::MissFiltered);
+
+        // The PUT carried the prefilter tag; the refreshed filter now says
+        // "maybe present", so the call falls through to the GET and hits.
+        // No false negative: a published result is always reachable.
+        let (result, outcome) =
+            rt.execute(&desc_double(), b"m", |_| panic!("must dedup")).unwrap();
+        assert_eq!(outcome, DedupOutcome::Hit);
+        assert_eq!(result, b"m");
+        assert_eq!(store.stats().gets, 1);
+    }
+
+    #[test]
+    fn filter_refresh_honors_the_staleness_budget() {
+        let (platform, store, authority) = setup();
+        let rt = prefilter_runtime(
+            &platform,
+            &store,
+            &authority,
+            b"budget-app",
+            PrefilterConfig { refresh_ops: 2 },
+        );
+
+        let mut ocalls = Vec::new();
+        for input in [b"q1".as_slice(), b"q2", b"q3"] {
+            let before = rt.enclave().stats().ocalls;
+            let (_, outcome) = rt.execute(&desc_double(), input, |i| i.to_vec()).unwrap();
+            assert_eq!(outcome, DedupOutcome::MissFiltered);
+            ocalls.push(rt.enclave().stats().ocalls - before);
+        }
+        // Consult 1 refreshes (cold), consult 2 rides the snapshot, consult
+        // 3 crosses the budget and refreshes again.
+        assert_eq!(ocalls, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn prefilter_gates_the_hot_cache_probe() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"gate-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .hot_cache(HotCacheConfig::default())
+            .prefilter(PrefilterConfig::default())
+            .build()
+            .unwrap();
+
+        // Cold call: the cache's prefilter multiset proves "not cached", so
+        // the probe (and its full-tag derivation) is skipped entirely —
+        // cache_misses stays zero because no probe ever ran.
+        let (_, outcome) = rt.execute(&desc_double(), b"g", |i| i.to_vec()).unwrap();
+        assert_eq!(outcome, DedupOutcome::MissFiltered);
+        assert_eq!(rt.stats().cache_misses, 0);
+
+        // Warm call: the multiset admits the prefilter, the probe runs and
+        // hits without leaving the enclave.
+        let before = rt.enclave().stats();
+        let (_, outcome) =
+            rt.execute(&desc_double(), b"g", |_| panic!("cached")).unwrap();
+        let after = rt.enclave().stats();
+        assert_eq!(outcome, DedupOutcome::HitLocalCache);
+        assert_eq!(rt.stats().cache_hits, 1);
+        assert_eq!(after.ocalls - before.ocalls, 0);
+    }
+
+    #[test]
+    fn cache_hits_share_one_buffer_across_calls() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"share-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .hot_cache(HotCacheConfig::default())
+            .build()
+            .unwrap();
+
+        rt.execute(&desc_double(), b"buf", |_| vec![7u8; 4096]).unwrap();
+        let (first, o1) = rt.execute(&desc_double(), b"buf", |_| panic!()).unwrap();
+        let (second, o2) = rt.execute(&desc_double(), b"buf", |_| panic!()).unwrap();
+        assert_eq!(o1, DedupOutcome::HitLocalCache);
+        assert_eq!(o2, DedupOutcome::HitLocalCache);
+        // Zero-copy: both hits alias the cache's buffer instead of cloning.
+        assert_eq!(first.as_ptr(), second.as_ptr());
+    }
+
+    #[test]
+    fn hot_cache_usage_accounts_shared_buffers_once() {
+        let (platform, store, authority) = setup();
+        let rt = DedupRuntime::builder(Arc::clone(&platform), b"usage-app")
+            .in_process_store(Arc::clone(&store), Arc::clone(&authority))
+            .trusted_library(library())
+            .hot_cache(HotCacheConfig { max_entries: 8, max_bytes: 1 << 20 })
+            .build()
+            .unwrap();
+
+        rt.execute(&desc_double(), b"u1", |_| vec![1u8; 1000]).unwrap();
+        rt.execute(&desc_double(), b"u2", |_| vec![2u8; 500]).unwrap();
+        let (entries, bytes) = rt.hot_cache_usage().unwrap();
+        assert_eq!(entries, 2);
+        // Result bytes plus the fixed per-entry bookkeeping overhead —
+        // each buffer charged exactly once.
+        assert!((1500..1500 + 2 * 128).contains(&bytes), "bytes = {bytes}");
+
+        // Hits hand out references to the same buffers; usage accounting
+        // must not drift while callers hold (or drop) those references.
+        let held: Vec<_> = (0..4)
+            .map(|_| rt.execute(&desc_double(), b"u1", |_| panic!()).unwrap().0)
+            .collect();
+        assert_eq!(rt.hot_cache_usage().unwrap(), (2, bytes));
+        drop(held);
+        assert_eq!(rt.hot_cache_usage().unwrap(), (2, bytes));
+    }
+
+    #[test]
+    fn lookup_probes_without_computing_or_publishing() {
+        let (platform, store, authority) = setup();
+        let rt = prefilter_runtime(
+            &platform,
+            &store,
+            &authority,
+            b"lookup-app",
+            PrefilterConfig::default(),
+        );
+        let identity = rt.resolve(&desc_double()).unwrap();
+
+        // Absent, cold filter: the refresh OCALL runs, proves absence, and
+        // the probe returns before deriving the full SHA-256 or GETting.
+        let before = rt.enclave().stats();
+        assert_eq!(rt.lookup(&identity, b"absent-1").unwrap(), None);
+        let after = rt.enclave().stats();
+        assert_eq!(after.ecalls - before.ecalls, 1);
+        assert_eq!(after.ocalls - before.ocalls, 1, "filter refresh only");
+
+        // Absent, warm filter: pure in-enclave rejection — zero OCALLs.
+        assert_eq!(rt.lookup(&identity, b"absent-2").unwrap(), None);
+        let warm = rt.enclave().stats();
+        assert_eq!(warm.ecalls - after.ecalls, 1);
+        assert_eq!(warm.ocalls - after.ocalls, 0);
+        assert_eq!(store.stats().gets, 0);
+
+        // A probe is not a call: it never executes, publishes, or counts
+        // as a miss.
+        assert_eq!(rt.stats().calls, 0);
+        assert_eq!(rt.stats().misses, 0);
+        assert_eq!(store.stats().puts, 0);
+
+        // Publish through a second runtime, then prove the probe can still
+        // find it (the stale client filter is refreshed on budget, so use
+        // a fresh runtime whose first consult fetches the latest filter).
+        rt.execute_raw(&identity, b"present", |i| i.to_vec()).unwrap();
+        let rt2 = prefilter_runtime(
+            &platform,
+            &store,
+            &authority,
+            b"lookup-app-2",
+            PrefilterConfig::default(),
+        );
+        let identity2 = rt2.resolve(&desc_double()).unwrap();
+        let found = rt2.lookup(&identity2, b"present").unwrap();
+        assert_eq!(found.as_deref(), Some(b"present".as_slice()));
+        assert_eq!(rt2.stats().hits, 1);
+    }
+
+    #[test]
+    fn batch_filtered_misses_skip_the_batch_get() {
+        let (platform, store, authority) = setup();
+        let rt = prefilter_runtime(
+            &platform,
+            &store,
+            &authority,
+            b"batch-filter",
+            PrefilterConfig::default(),
+        );
+        let identity = rt.resolve(&desc_double()).unwrap();
+        let inputs: Vec<[u8; 4]> = (0..6u32).map(|i| i.to_le_bytes()).collect();
+
+        let before = rt.enclave().stats();
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity, input.as_slice(), |d| d.to_vec()))
+            .collect();
+        let results = rt.execute_batch(calls).unwrap();
+        let after = rt.enclave().stats();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::MissFiltered));
+        // One ECALL; the filter refresh and the batched PUT are the only
+        // OCALLs — the batch GET round-trip never happened.
+        assert_eq!(after.ecalls - before.ecalls, 1);
+        assert_eq!(after.ocalls - before.ocalls, 2);
+        assert_eq!(store.stats().gets, 0);
+        assert_eq!(store.stats().puts, 6);
+        assert_eq!(rt.stats().filtered_misses, 6);
+
+        // A fresh runtime (cold filter ⇒ first consult sees the published
+        // tags) resolves the same batch as hits through the batch GET.
+        let rt2 = prefilter_runtime(
+            &platform,
+            &store,
+            &authority,
+            b"batch-filter-2",
+            PrefilterConfig::default(),
+        );
+        let identity2 = rt2.resolve(&desc_double()).unwrap();
+        let calls = inputs
+            .iter()
+            .map(|input| BatchCall::new(identity2, input.as_slice(), |_| panic!("hit")))
+            .collect();
+        let results = rt2.execute_batch(calls).unwrap();
+        assert!(results.iter().all(|(_, o)| *o == DedupOutcome::Hit));
     }
 }

@@ -1,5 +1,7 @@
 //! Tag and secondary-key derivation (Algorithm 1 lines 1 and 6).
 
+// hot-path: deny-clone
+
 use speed_crypto::Sha256;
 use speed_wire::CompTag;
 

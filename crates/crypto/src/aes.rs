@@ -5,6 +5,8 @@
 //! rather than transcribed as a literal table, and is then verified by the
 //! FIPS 197 known-answer tests.
 
+// hot-path: deny-clone
+
 use std::sync::OnceLock;
 
 use crate::types::{Key128, KEY_LEN};
@@ -223,14 +225,39 @@ fn inv_mix_columns(state: &mut [u8; BLOCK_LEN]) {
 /// 16-byte counter block `counter0` and incrementing its last 32 bits
 /// big-endian per block (GCM's `inc32`).
 pub(crate) fn ctr_xor(cipher: &Aes128, counter0: &[u8; BLOCK_LEN], data: &mut [u8]) {
+    // Keystream blocks are generated in batches and applied with word-wide
+    // XORs; the counter sequence and per-block keystream are bit-identical to
+    // the one-block-at-a-time definition (pinned by the NIST GCM vectors).
+    const BATCH_BLOCKS: usize = 8;
+    const BATCH_LEN: usize = BLOCK_LEN * BATCH_BLOCKS;
     let mut counter = *counter0;
-    for chunk in data.chunks_mut(BLOCK_LEN) {
-        inc32(&mut counter);
-        let mut keystream = counter;
-        cipher.encrypt_block(&mut keystream);
-        for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
-            *d ^= k;
+    let mut keystream = [0u8; BATCH_LEN];
+    for batch in data.chunks_mut(BATCH_LEN) {
+        let blocks = batch.len().div_ceil(BLOCK_LEN);
+        for lane in keystream.chunks_exact_mut(BLOCK_LEN).take(blocks) {
+            inc32(&mut counter);
+            lane.copy_from_slice(&counter);
+            let lane: &mut [u8; BLOCK_LEN] = lane.try_into().expect("lane is one block");
+            cipher.encrypt_block(lane);
         }
+        let used = batch.len();
+        xor_in_place(batch, &keystream[..used]);
+    }
+}
+
+/// XORs `key` into `data` (`data.len() == key.len()`), eight bytes per
+/// operation with a byte-wise tail.
+fn xor_in_place(data: &mut [u8], key: &[u8]) {
+    debug_assert_eq!(data.len(), key.len());
+    let mut words = data.chunks_exact_mut(8);
+    let mut key_words = key.chunks_exact(8);
+    for (d, k) in (&mut words).zip(&mut key_words) {
+        let x = u64::from_ne_bytes((&*d).try_into().expect("word chunk"))
+            ^ u64::from_ne_bytes(k.try_into().expect("word chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, k) in words.into_remainder().iter_mut().zip(key_words.remainder()) {
+        *d ^= k;
     }
 }
 

@@ -37,6 +37,11 @@ pub struct DictEntry {
     pub owner: AppId,
     /// Logical-millisecond timestamp of insertion (drives TTL expiry).
     pub created_ms: u64,
+    /// The entry's 64-bit prefilter tag when the publisher supplied one
+    /// (prefiltered PUT variants). In-memory only — not persisted — so
+    /// entries recovered from disk come back as `None` and conservatively
+    /// mark the shard's negative filter incomplete.
+    pub prefilter: Option<u64>,
     /// Times this entry satisfied a GET (atomic so the read path never
     /// needs an exclusive borrow).
     hits: AtomicU64,
@@ -58,6 +63,7 @@ impl Clone for DictEntry {
             boxed_len: self.boxed_len,
             owner: self.owner,
             created_ms: self.created_ms,
+            prefilter: self.prefilter,
             hits: AtomicU64::new(self.hits()),
             last_touch: AtomicU64::new(self.last_touch.load(Ordering::Relaxed)),
             lru_seq: self.lru_seq,
@@ -161,6 +167,7 @@ impl MetadataDict {
         boxed_len: u32,
         owner: AppId,
         created_ms: u64,
+        prefilter: Option<u64>,
     ) -> Option<BlobId> {
         if self.entries.contains_key(&tag) {
             // First writer wins; reject the new blob.
@@ -179,6 +186,7 @@ impl MetadataDict {
                 boxed_len,
                 owner,
                 created_ms,
+                prefilter,
                 hits: AtomicU64::new(0),
                 last_touch: AtomicU64::new(seq),
                 lru_seq: seq,
@@ -274,6 +282,7 @@ mod tests {
             len,
             AppId(1),
             0,
+            Some(u64::from(n)),
         )
     }
 
@@ -321,6 +330,7 @@ mod tests {
             20,
             AppId(2),
             0,
+            None,
         );
         assert_eq!(rejected, Some(BlobId::from_raw(99)));
         assert_eq!(dict.peek(&tag(1)).unwrap().challenge, vec![1; 32]);

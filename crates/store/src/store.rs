@@ -14,8 +14,9 @@ use std::time::Instant;
 use speed_enclave::{BlobId, Enclave, EnclaveError, Platform, UntrustedMemory};
 use speed_telemetry::{names, Counter, Gauge, Histogram};
 use speed_wire::{
-    AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
-    MetricsFormat, PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,
+    AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, FilterBody, GetResponseBody,
+    Message, MetricsFormat, NegativeFilter, PutResponseBody, Record, ShardStatsBody,
+    StatsBody, SyncEntry,
 };
 
 use crate::backend::{MemoryBackend, RecoveryReport, StoreBackend};
@@ -144,6 +145,10 @@ struct StoreTelemetry {
     entries: Gauge,
     stored_bytes: Gauge,
     request_duration: Histogram,
+    filter_requests: Counter,
+    filter_inserts: Counter,
+    filter_incomplete: Counter,
+    filter_rebuilds: Counter,
     shards: Vec<ShardTelemetry>,
 }
 
@@ -219,6 +224,23 @@ impl StoreTelemetry {
             request_duration: registry.histogram(
                 names::STORE_REQUEST_DURATION_NS,
                 "Wall-clock service time of one store protocol message",
+            ),
+            filter_requests: registry.counter(
+                names::STORE_FILTER_REQUESTS_TOTAL,
+                "FILTER_REQUEST messages served (negative-filter snapshots shipped)",
+            ),
+            filter_inserts: registry.counter(
+                names::STORE_FILTER_INSERTS_TOTAL,
+                "Prefilter tags inserted into per-shard negative filters",
+            ),
+            filter_incomplete: registry.counter(
+                names::STORE_FILTER_INCOMPLETE_TOTAL,
+                "Insertions without a prefilter tag that degraded a shard filter \
+                 to incomplete",
+            ),
+            filter_rebuilds: registry.counter(
+                names::STORE_FILTER_REBUILDS_TOTAL,
+                "Negative-filter rebuilds from the dictionary index",
             ),
             shards,
         }
@@ -296,21 +318,28 @@ impl<G> Drop for Timed<'_, G> {
     }
 }
 
-/// One lock partition: its own dictionary, meta-heap slice, and counters.
+/// One lock partition: its own dictionary, meta-heap slice, negative
+/// filter, and counters.
 #[derive(Debug)]
 struct Shard {
     dict: RwLock<MetadataDict>,
     meta_heap: Mutex<MetaHeap>,
+    /// Negative-lookup filter over the prefilter tags of this shard's live
+    /// entries. Bits are only set, never cleared, while entries live
+    /// (eviction/expiry leave stale bits — false positives only); any insert
+    /// without a known prefilter marks it incomplete.
+    filter: Mutex<NegativeFilter>,
     evictions: AtomicU64,
     contention: AtomicU64,
     busy_ns: AtomicU64,
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(filter_capacity: usize) -> Self {
         Shard {
             dict: RwLock::new(MetadataDict::new()),
             meta_heap: Mutex::new(MetaHeap::default()),
+            filter: Mutex::new(NegativeFilter::with_capacity(filter_capacity as u64)),
             evictions: AtomicU64::new(0),
             contention: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
@@ -367,6 +396,9 @@ enum BatchPlan {
         blob: BlobId,
         boxed_len: u64,
         now_ms: u64,
+        /// Client-supplied prefilter tag (`None` for legacy PUT items, which
+        /// degrade the shard's negative filter to incomplete on insert).
+        prefilter: Option<u64>,
     },
     /// Denied host-side (quota); never enters the enclave.
     Denied {
@@ -413,6 +445,9 @@ pub struct ResultStore {
     counters: Counters,
     telemetry: StoreTelemetry,
     logical_ms: AtomicU64,
+    /// Bumped on every negative-filter mutation; shipped in
+    /// [`FilterBody::epoch`] so clients can tell how stale their copy is.
+    filter_epoch: AtomicU64,
     /// Durability backend under the dictionary ([`MemoryBackend`] unless
     /// the store was built with [`ResultStore::open`]).
     backend: Arc<dyn StoreBackend>,
@@ -431,11 +466,13 @@ impl ResultStore {
     pub fn new(platform: &Platform, config: StoreConfig) -> Result<Self, StoreError> {
         let enclave = platform.create_enclave(STORE_ENCLAVE_CODE)?;
         let shard_count = config.shards.max(1);
-        let shards: Box<[Shard]> = (0..shard_count).map(|_| Shard::new()).collect();
+        let shard_max_entries = config.max_entries.div_ceil(shard_count).max(1);
+        let shards: Box<[Shard]> =
+            (0..shard_count).map(|_| Shard::new(shard_max_entries)).collect();
         Ok(ResultStore {
             enclave,
             untrusted: Arc::clone(platform.untrusted()),
-            shard_max_entries: config.max_entries.div_ceil(shard_count).max(1),
+            shard_max_entries,
             shard_max_bytes: config.max_stored_bytes.div_ceil(shard_count as u64).max(1),
             quota: ShardedQuota::new(config.quota, shard_count),
             shards,
@@ -443,6 +480,7 @@ impl ResultStore {
             counters: Counters::default(),
             telemetry: StoreTelemetry::from_global(shard_count),
             logical_ms: AtomicU64::new(0),
+            filter_epoch: AtomicU64::new(0),
             backend: Arc::new(MemoryBackend),
             backend_logging: AtomicBool::new(true),
         })
@@ -472,6 +510,10 @@ impl ResultStore {
         store.backend_logging.store(false, Ordering::Relaxed);
         store.import_entries(recovery.entries);
         store.backend_logging.store(true, Ordering::Relaxed);
+        // Recovered entries carry no prefilter tags, so the import left the
+        // filters incomplete; rebuild them from the index so empty shards
+        // regain their (vacuously complete) absence proofs.
+        store.rebuild_filters();
         Ok((store, recovery.report))
     }
 
@@ -556,9 +598,27 @@ impl ResultStore {
                 if !self.config.access.permits(app) {
                     return Message::Error(format!("app {} not authorized", app.0));
                 }
-                let response = Message::PutResponse(self.handle_put(app, tag, record));
+                let response =
+                    Message::PutResponse(self.handle_put(app, tag, record, None));
                 self.maintain();
                 response
+            }
+            Message::PutPrefiltered { app, tag, prefilter, record } => {
+                if !self.config.access.permits(app) {
+                    return Message::Error(format!("app {} not authorized", app.0));
+                }
+                let response = Message::PutResponse(self.handle_put(
+                    app,
+                    tag,
+                    record,
+                    Some(prefilter),
+                ));
+                self.maintain();
+                response
+            }
+            Message::FilterRequest => {
+                self.telemetry.filter_requests.inc();
+                Message::FilterResponse(self.filter_snapshot())
             }
             Message::BatchRequest { app, items } => {
                 if !self.config.access.permits(app) {
@@ -583,7 +643,9 @@ impl ResultStore {
             Message::SyncBatch(entries) => {
                 let mut accepted = 0u64;
                 for entry in entries {
-                    if self.handle_put(AppId(u64::MAX), entry.tag, entry.record).accepted
+                    if self
+                        .handle_put(AppId(u64::MAX), entry.tag, entry.record, None)
+                        .accepted
                     {
                         accepted += 1;
                     }
@@ -690,7 +752,13 @@ impl ResultStore {
         )
     }
 
-    fn handle_put(&self, app: AppId, tag: CompTag, record: Record) -> PutResponseBody {
+    fn handle_put(
+        &self,
+        app: AppId,
+        tag: CompTag,
+        record: Record,
+        prefilter: Option<u64>,
+    ) -> PutResponseBody {
         self.counters.puts.fetch_add(1, Ordering::Relaxed);
         self.telemetry.puts.inc();
         let now_ms = self.tick();
@@ -735,6 +803,7 @@ impl ResultStore {
                     boxed_len as u32,
                     app,
                     now_ms,
+                    prefilter,
                 );
                 if rejected.is_some() {
                     // Entry already existed; give back the memory we took.
@@ -788,6 +857,7 @@ impl ResultStore {
                         };
                     }
                 }
+                self.note_filter_insert(shard, prefilter);
                 self.enforce_capacity(shard);
                 PutResponseBody { accepted: true, reason: None }
             }
@@ -859,7 +929,14 @@ impl ResultStore {
                     ret_len += 128;
                     plans.push(BatchPlan::Get { tag, now_ms });
                 }
-                BatchItem::Put { tag, record } => {
+                BatchItem::Put { .. } | BatchItem::PutPrefiltered { .. } => {
+                    let (tag, record, prefilter) = match item {
+                        BatchItem::Put { tag, record } => (tag, record, None),
+                        BatchItem::PutPrefiltered { tag, prefilter, record } => {
+                            (tag, record, Some(prefilter))
+                        }
+                        BatchItem::Get { .. } => unreachable!("matched above"),
+                    };
                     self.counters.puts.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.puts.inc();
                     if let Some(reason) = self.backend.read_only() {
@@ -889,6 +966,7 @@ impl ResultStore {
                         blob,
                         boxed_len,
                         now_ms,
+                        prefilter,
                     });
                 }
             }
@@ -1047,8 +1125,12 @@ impl ResultStore {
                             }
                         }
                     }
-                    if let Some(tag) = plan.tag() {
+                    if let BatchPlan::Put { tag, prefilter, .. } = &plan {
                         inserted_shards[self.shard_for_tag(tag)] = true;
+                        // Bits survive even if the group-commit flush below
+                        // rolls this item back: a stale bit is only a false
+                        // positive, which the filter contract permits.
+                        self.note_filter_insert(self.shard(tag), *prefilter);
                     }
                     results.push(BatchItemResult::accepted());
                 }
@@ -1180,6 +1262,7 @@ impl ResultStore {
                 blob,
                 boxed_len,
                 now_ms,
+                prefilter,
             } => {
                 let entry_footprint = 32 + challenge.len() + 120;
                 let mut meta_heap = lock_recover(&shard.meta_heap);
@@ -1195,6 +1278,7 @@ impl ResultStore {
                     *boxed_len as u32,
                     app,
                     *now_ms,
+                    *prefilter,
                 );
                 match rejected {
                     Some(orphan) => {
@@ -1265,6 +1349,61 @@ impl ResultStore {
         lock_recover(&shard.meta_heap).release(&self.enclave, footprint);
     }
 
+    /// Records a freshly inserted entry in its shard's negative filter: the
+    /// prefilter tag when the client supplied one, otherwise a conservative
+    /// downgrade to incomplete (the filter then answers "maybe" for every
+    /// key until rebuilt).
+    fn note_filter_insert(&self, shard: &Shard, prefilter: Option<u64>) {
+        {
+            let mut filter = lock_recover(&shard.filter);
+            match prefilter {
+                Some(tag) => {
+                    filter.insert(tag);
+                    self.telemetry.filter_inserts.inc();
+                }
+                None => {
+                    filter.mark_incomplete();
+                    self.telemetry.filter_incomplete.inc();
+                }
+            }
+        }
+        self.filter_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every shard's negative filter plus the
+    /// current filter epoch — the payload of a `FILTER_RESPONSE`.
+    pub fn filter_snapshot(&self) -> FilterBody {
+        FilterBody {
+            epoch: self.filter_epoch.load(Ordering::Relaxed),
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| lock_recover(&shard.filter).clone())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds every shard's negative filter from the dictionary index:
+    /// entries with known prefilter tags are re-inserted; any entry without
+    /// one leaves its shard's filter incomplete. Called after snapshot/WAL
+    /// recovery (recovered entries never carry prefilter tags, but emptied
+    /// shards regain their vacuously complete absence proofs).
+    pub fn rebuild_filters(&self) {
+        for shard in self.shards.iter() {
+            let mut filter = lock_recover(&shard.filter);
+            filter.clear();
+            let dict = shard.dict_observe();
+            for (_tag, entry) in dict.iter() {
+                match entry.prefilter {
+                    Some(tag) => filter.insert(tag),
+                    None => filter.mark_incomplete(),
+                }
+            }
+        }
+        self.telemetry.filter_rebuilds.inc();
+        self.filter_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Imports entries wholesale (snapshot restore), preserving hit counts.
     /// Entries route to shards by tag, so snapshots restore correctly into
     /// a store with any shard count. Returns how many entries were
@@ -1274,7 +1413,7 @@ impl ResultStore {
         for entry in entries {
             let hits = entry.hits;
             let tag = entry.tag;
-            let response = self.handle_put(AppId(u64::MAX), tag, entry.record);
+            let response = self.handle_put(AppId(u64::MAX), tag, entry.record, None);
             if response.accepted {
                 self.enclave.ecall("store_restore_hits", || {
                     self.shard(&tag).dict_read().restore_hits(&tag, hits);
@@ -2161,5 +2300,112 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.puts, 200);
         assert_eq!(stats.gets, 200);
+    }
+
+    #[test]
+    fn prefiltered_puts_feed_the_negative_filter() {
+        let (_p, store) = store();
+        let before = store.filter_snapshot();
+        assert_eq!(before.shards.len(), store.shard_count());
+        assert!(before.shards.iter().all(NegativeFilter::is_complete));
+        let shard = store.shard_for_tag(&tag(1));
+        // Empty complete filter proves absence outright.
+        assert!(!before.shards[shard].may_contain(0xAB));
+
+        let put = store.handle(Message::PutPrefiltered {
+            app: AppId(1),
+            tag: tag(1),
+            prefilter: 0xAB,
+            record: record(64, 3),
+        });
+        assert!(matches!(put, Message::PutResponse(body) if body.accepted));
+
+        let after = store.filter_snapshot();
+        assert!(after.epoch > before.epoch);
+        assert!(after.shards[shard].is_complete());
+        assert!(after.shards[shard].may_contain(0xAB));
+    }
+
+    #[test]
+    fn legacy_put_degrades_its_shard_filter_to_incomplete() {
+        let (_p, store) = store();
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(2),
+            record: record(64, 4),
+        });
+        let snap = store.filter_snapshot();
+        let shard = store.shard_for_tag(&tag(2));
+        assert!(!snap.shards[shard].is_complete());
+        // An incomplete filter answers "maybe" for everything.
+        assert!(snap.shards[shard].may_contain(0xFFFF));
+    }
+
+    #[test]
+    fn filter_request_returns_per_shard_snapshot() {
+        let (_p, store) = store();
+        match store.handle(Message::FilterRequest) {
+            Message::FilterResponse(body) => {
+                assert_eq!(body.shards.len(), store.shard_count());
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_leaves_filter_bits_set() {
+        let platform = Platform::new(CostModel::default_sgx());
+        let store =
+            ResultStore::new(&platform, StoreConfig::with_capacity(2, u64::MAX)).unwrap();
+        for n in 1..=3u8 {
+            let put = store.handle(Message::PutPrefiltered {
+                app: AppId(1),
+                tag: tag(n),
+                prefilter: u64::from(n),
+                record: record(16, n),
+            });
+            assert!(matches!(put, Message::PutResponse(body) if body.accepted));
+        }
+        assert!(store.evictions() >= 1);
+        let snap = store.filter_snapshot();
+        // The evicted entry's bits stay set (false positives only) and the
+        // filter stays complete: no absence claim ever turns false-negative.
+        assert!(snap.shards[0].is_complete());
+        for n in 1..=3u64 {
+            assert!(snap.shards[0].may_contain(n));
+        }
+    }
+
+    #[test]
+    fn rebuild_restores_complete_filters_for_emptied_shards() {
+        let (_p, store) = store();
+        store.handle(Message::PutRequest {
+            app: AppId(1),
+            tag: tag(3),
+            record: record(16, 5),
+        });
+        let shard = store.shard_for_tag(&tag(3));
+        assert!(!store.filter_snapshot().shards[shard].is_complete());
+        // Batch puts through the prefiltered item keep other shards exact.
+        let results = store.handle_batch(
+            AppId(1),
+            vec![BatchItem::PutPrefiltered {
+                tag: tag(4),
+                prefilter: 44,
+                record: record(16, 6),
+            }],
+        );
+        assert!(matches!(results[0].status, BatchStatus::Accepted));
+
+        // Rebuild from the index: the legacy entry still has no prefilter,
+        // so its shard stays incomplete; the prefiltered one is re-inserted.
+        store.rebuild_filters();
+        let snap = store.filter_snapshot();
+        assert!(!snap.shards[shard].is_complete());
+        let other = store.shard_for_tag(&tag(4));
+        if other != shard {
+            assert!(snap.shards[other].is_complete());
+            assert!(snap.shards[other].may_contain(44));
+        }
     }
 }

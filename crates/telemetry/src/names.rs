@@ -55,6 +55,21 @@ pub const RCE_ENCRYPT_DURATION_NS: &str = "rce_encrypt_duration_ns";
 /// Histogram (ns): in-enclave hot-tag cache lookup (hit or miss).
 pub const HOTCACHE_LOOKUP_DURATION_NS: &str = "hotcache_lookup_duration_ns";
 
+// --- speed-core: tiered tag pipeline (prefilter + negative filters) ---
+
+/// Histogram (ns): deriving the cheap 64-bit prefilter tag (length +
+/// sparse-sampled short hash) before any full SHA-256 work.
+pub const TAG_PREFILTER_DERIVE_DURATION_NS: &str = "tag_prefilter_derive_duration_ns";
+/// Counter: hot-cache probes skipped because the cache's prefilter set
+/// proved the tag could not be resident.
+pub const TAG_PREFILTER_CACHE_SKIPS_TOTAL: &str = "tag_prefilter_cache_skips_total";
+/// Counter: store round trips (and, on the lookup path, full SHA-256 tag
+/// derivations) skipped because the client's negative filter proved absence.
+pub const TAG_PREFILTER_STORE_SKIPS_TOTAL: &str = "tag_prefilter_store_skips_total";
+/// Counter: negative-filter snapshots fetched from the store (staleness
+/// budget refreshes).
+pub const TAG_PREFILTER_REFRESHES_TOTAL: &str = "tag_prefilter_refreshes_total";
+
 // --- speed-core resilience: the fault-tolerant store path ---
 
 /// Counter: round-trip attempts retried with backoff.
@@ -93,6 +108,18 @@ pub const STORE_ENTRIES: &str = "store_entries";
 pub const STORE_STORED_BYTES: &str = "store_stored_bytes";
 /// Histogram (ns): serving one protocol message in `ResultStore::handle`.
 pub const STORE_REQUEST_DURATION_NS: &str = "store_request_duration_ns";
+
+// --- speed-store: per-shard negative-lookup filters ---
+
+/// Counter: `FILTER_REQUEST` messages served (filter snapshots shipped).
+pub const STORE_FILTER_REQUESTS_TOTAL: &str = "store_filter_requests_total";
+/// Counter: prefilter tags inserted into a shard's negative filter.
+pub const STORE_FILTER_INSERTS_TOTAL: &str = "store_filter_inserts_total";
+/// Counter: insertions whose prefilter tag was unknown, marking the shard's
+/// filter incomplete (it answers "maybe" until rebuilt).
+pub const STORE_FILTER_INCOMPLETE_TOTAL: &str = "store_filter_incomplete_total";
+/// Counter: filter rebuilds from the live index (on open / after import).
+pub const STORE_FILTER_REBUILDS_TOTAL: &str = "store_filter_rebuilds_total";
 
 // --- speed-store durability: log backend, checkpoints, snapshots ---
 
@@ -187,6 +214,10 @@ pub const ALL: &[&str] = &[
     RCE_RECOVER_DURATION_NS,
     RCE_ENCRYPT_DURATION_NS,
     HOTCACHE_LOOKUP_DURATION_NS,
+    TAG_PREFILTER_DERIVE_DURATION_NS,
+    TAG_PREFILTER_CACHE_SKIPS_TOTAL,
+    TAG_PREFILTER_STORE_SKIPS_TOTAL,
+    TAG_PREFILTER_REFRESHES_TOTAL,
     RESILIENCE_RETRIES_TOTAL,
     RESILIENCE_RECONNECTS_TOTAL,
     RESILIENCE_BREAKER_TRANSITIONS_TOTAL,
@@ -203,6 +234,10 @@ pub const ALL: &[&str] = &[
     STORE_ENTRIES,
     STORE_STORED_BYTES,
     STORE_REQUEST_DURATION_NS,
+    STORE_FILTER_REQUESTS_TOTAL,
+    STORE_FILTER_INSERTS_TOTAL,
+    STORE_FILTER_INCOMPLETE_TOTAL,
+    STORE_FILTER_REBUILDS_TOTAL,
     STORE_WAL_APPENDS_TOTAL,
     STORE_WAL_APPENDED_BYTES_TOTAL,
     STORE_WAL_REPLAY_RECORDS_TOTAL,

@@ -6,8 +6,9 @@
 //! literature agree silent corruption likes to hide.
 
 use speed_wire::{
-    AppId, BatchItem, BatchItemResult, CompTag, GetResponseBody, Message, MetricsFormat,
-    PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry, COMP_TAG_LEN,
+    AppId, BatchItem, BatchItemResult, CompTag, FilterBody, GetResponseBody, Message,
+    MetricsFormat, NegativeFilter, PutResponseBody, Record, ShardStatsBody, StatsBody,
+    SyncEntry, COMP_TAG_LEN,
 };
 
 use crate::rng::TestRng;
@@ -48,12 +49,38 @@ pub fn record(rng: &mut TestRng, max_len: usize) -> Record {
     }
 }
 
-/// A random batch item (GET or PUT).
+/// A random batch item (GET, PUT, or prefilter-carrying PUT).
 pub fn batch_item(rng: &mut TestRng, max_record_len: usize) -> BatchItem {
-    if rng.chance(0.5) {
-        BatchItem::Get { tag: comp_tag(rng) }
-    } else {
-        BatchItem::Put { tag: comp_tag(rng), record: record(rng, max_record_len) }
+    match rng.range_u64(0, 2) {
+        0 => BatchItem::Get { tag: comp_tag(rng) },
+        1 => BatchItem::Put { tag: comp_tag(rng), record: record(rng, max_record_len) },
+        _ => BatchItem::PutPrefiltered {
+            tag: comp_tag(rng),
+            prefilter: rng.next_u64(),
+            record: record(rng, max_record_len),
+        },
+    }
+}
+
+/// A random negative filter: bounded size, random fill, sometimes marked
+/// incomplete (both completeness states reachable).
+pub fn negative_filter(rng: &mut TestRng) -> NegativeFilter {
+    let mut filter = NegativeFilter::new(rng.range_usize(64, 4096), rng.byte() % 8 + 1);
+    for _ in 0..rng.range_usize(0, 32) {
+        filter.insert(rng.next_u64());
+    }
+    if rng.chance(0.25) {
+        filter.mark_incomplete();
+    }
+    filter
+}
+
+/// A random filter snapshot with up to 8 shard filters.
+pub fn filter_body(rng: &mut TestRng) -> FilterBody {
+    let shard_count = rng.range_usize(0, 8);
+    FilterBody {
+        epoch: rng.next_u64(),
+        shards: (0..shard_count).map(|_| negative_filter(rng)).collect(),
     }
 }
 
@@ -104,7 +131,7 @@ pub fn sync_entry(rng: &mut TestRng, max_record_len: usize) -> SyncEntry {
 
 /// Number of distinct [`Message`] shapes [`message`] can produce (used by
 /// coverage assertions).
-pub const MESSAGE_SHAPES: u64 = 15;
+pub const MESSAGE_SHAPES: u64 = 18;
 
 /// A random protocol message covering every variant, including both
 /// found/not-found GET responses and both metrics formats. `max_record_len`
@@ -157,7 +184,15 @@ pub fn message(rng: &mut TestRng, max_record_len: usize) -> Message {
                 MetricsFormat::Jsonl
             },
         },
-        _ => Message::MetricsResponse(rng.ascii(128)),
+        14 => Message::MetricsResponse(rng.ascii(128)),
+        15 => Message::FilterRequest,
+        16 => Message::FilterResponse(filter_body(rng)),
+        _ => Message::PutPrefiltered {
+            app: app_id(rng),
+            tag: comp_tag(rng),
+            prefilter: rng.next_u64(),
+            record: record(rng, max_record_len),
+        },
     }
 }
 
@@ -186,7 +221,10 @@ mod tests {
                 Message::BatchResponse(_) => 12,
                 Message::MetricsRequest { .. } => 13,
                 Message::MetricsResponse(_) => 14,
-                _ => 15,
+                Message::FilterRequest => 15,
+                Message::FilterResponse(_) => 16,
+                Message::PutPrefiltered { .. } => 17,
+                _ => 18,
             };
             discriminants.insert(shape);
         }

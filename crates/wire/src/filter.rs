@@ -1,0 +1,371 @@
+//! Negative-lookup filters for the tiered tag pipeline.
+//!
+//! A [`NegativeFilter`] is a classic Bloom filter over 64-bit prefilter tags,
+//! maintained per shard by the `ResultStore` and shipped to clients in a
+//! [`FilterBody`]. Clients consult it *before* computing
+//! the full SHA-256 comp-tag: when a complete filter proves a prefilter tag
+//! absent, the input definitely has no stored result, so the client can skip
+//! both the full hash and the store round trip.
+//!
+//! The only invariant that matters for correctness is **conservatism**: a
+//! filter may claim "maybe present" for an absent key (false positive — the
+//! client just falls through to the normal tagged lookup), but it must never
+//! claim "absent" for a present key (false negative — that would silently
+//! disable deduplication or, worse, publish a duplicate). Two mechanisms
+//! enforce this:
+//!
+//! - Bloom bits are only ever set, never cleared, while entries live; evicted
+//!   or expired entries leave stale bits behind, which can only cause false
+//!   positives.
+//! - Any insertion whose prefilter tag is unknown (a legacy `PUT_REQUEST`, an
+//!   entry recovered from disk) marks the filter *incomplete*;
+//!   [`NegativeFilter::may_contain`] answers `true` for everything until the
+//!   filter is rebuilt.
+
+// hot-path: deny-clone
+
+use crate::codec::{Reader, WireDecode, WireEncode, WireError, Writer};
+
+/// Smallest permitted filter size in bytes (512 bits).
+pub const MIN_FILTER_BYTES: usize = 64;
+
+/// Largest permitted filter size in bytes (1 MiB = 2^23 bits), bounding both
+/// the store's resident cost per shard and the wire payload per refresh.
+pub const MAX_FILTER_BYTES: usize = 1 << 20;
+
+/// Largest permitted number of hash probes per key.
+pub const MAX_FILTER_HASHES: u8 = 16;
+
+/// Default number of hash probes per key (~0.6% false positives at 16 bits
+/// per entry).
+pub const DEFAULT_FILTER_HASHES: u8 = 4;
+
+const TARGET_BITS_PER_ENTRY: u64 = 10;
+
+/// A conservative Bloom filter over 64-bit prefilter tags.
+///
+/// See the [module docs](self) for the no-false-negative contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NegativeFilter {
+    /// Bit array; length in bytes is always a power of two within
+    /// [`MIN_FILTER_BYTES`]..=[`MAX_FILTER_BYTES`].
+    bits: Vec<u8>,
+    /// Number of hash probes per key.
+    hashes: u8,
+    /// Whether every live entry's prefilter tag has been inserted. While
+    /// `false`, the filter answers "maybe" for every key.
+    complete: bool,
+    /// Number of keys inserted since the filter was created or cleared.
+    entries: u64,
+}
+
+impl NegativeFilter {
+    /// Creates an empty, complete filter with at least `bit_count` bits
+    /// (rounded up to a power-of-two byte length and clamped to the
+    /// permitted size range) and `hashes` probes per key (clamped to
+    /// `1..=`[`MAX_FILTER_HASHES`]).
+    pub fn new(bit_count: usize, hashes: u8) -> Self {
+        let bytes = bit_count
+            .div_ceil(8)
+            .next_power_of_two()
+            .clamp(MIN_FILTER_BYTES, MAX_FILTER_BYTES);
+        NegativeFilter {
+            bits: vec![0u8; bytes],
+            hashes: hashes.clamp(1, MAX_FILTER_HASHES),
+            complete: true,
+            entries: 0,
+        }
+    }
+
+    /// Creates a filter sized for roughly `expected_entries` keys at ~10 bits
+    /// per entry, with the default probe count.
+    pub fn with_capacity(expected_entries: u64) -> Self {
+        let bits = expected_entries
+            .saturating_mul(TARGET_BITS_PER_ENTRY)
+            .min((MAX_FILTER_BYTES as u64) * 8) as usize;
+        NegativeFilter::new(bits, DEFAULT_FILTER_HASHES)
+    }
+
+    /// Inserts a prefilter tag.
+    pub fn insert(&mut self, key: u64) {
+        let mask = self.bits.len() * 8 - 1;
+        let (h1, h2) = probe_pair(key);
+        for i in 0..self.hashes as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) as usize) & mask;
+            self.bits[bit / 8] |= 1 << (bit % 8);
+        }
+        self.entries = self.entries.saturating_add(1);
+    }
+
+    /// Answers whether `key` may be present.
+    ///
+    /// `false` means *definitely absent* (valid only because the filter is
+    /// complete); `true` means "maybe" — an incomplete filter answers `true`
+    /// for every key.
+    pub fn may_contain(&self, key: u64) -> bool {
+        if !self.complete {
+            return true;
+        }
+        let mask = self.bits.len() * 8 - 1;
+        let (h1, h2) = probe_pair(key);
+        (0..self.hashes as u64).all(|i| {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) as usize) & mask;
+            self.bits[bit / 8] & (1 << (bit % 8)) != 0
+        })
+    }
+
+    /// Marks the filter incomplete: some live entry's prefilter tag is
+    /// unknown, so no absence claim can be made until a rebuild.
+    pub fn mark_incomplete(&mut self) {
+        self.complete = false;
+    }
+
+    /// Whether every live entry's prefilter tag is represented.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of keys inserted since creation or the last [`clear`][Self::clear].
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Size of the bit array in bits.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Resets to an empty, complete filter of the same shape.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.complete = true;
+        self.entries = 0;
+    }
+
+    /// ORs `other` into `self`, producing a filter that answers "maybe" for
+    /// any key either side might contain. The merge is complete only if both
+    /// sides are.
+    ///
+    /// Returns `false` (after conservatively marking `self` incomplete) if
+    /// the two filters have different shapes and cannot be merged bit-wise.
+    pub fn merge_from(&mut self, other: &NegativeFilter) -> bool {
+        if self.bits.len() != other.bits.len() || self.hashes != other.hashes {
+            self.complete = false;
+            return false;
+        }
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+        self.complete &= other.complete;
+        self.entries = self.entries.saturating_add(other.entries);
+        true
+    }
+}
+
+/// Derives the two independent hash values used for double hashing.
+///
+/// `h2` is forced odd so that for the power-of-two bit count the probe
+/// sequence `h1 + i*h2` walks distinct positions.
+fn probe_pair(key: u64) -> (u64, u64) {
+    let h1 = splitmix64(key);
+    let h2 = splitmix64(key ^ 0x9E37_79B9_7F4A_7C15) | 1;
+    (h1, h2)
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64→64-bit mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl WireEncode for NegativeFilter {
+    fn encode(&self, writer: &mut Writer) {
+        self.bits.encode(writer);
+        self.hashes.encode(writer);
+        self.complete.encode(writer);
+        self.entries.encode(writer);
+    }
+}
+
+impl WireDecode for NegativeFilter {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bits = Vec::<u8>::decode(reader)?;
+        if bits.len() < MIN_FILTER_BYTES
+            || bits.len() > MAX_FILTER_BYTES
+            || !bits.len().is_power_of_two()
+        {
+            return Err(WireError::LengthOverflow(bits.len() as u64));
+        }
+        let hashes = u8::decode(reader)?;
+        if hashes == 0 || hashes > MAX_FILTER_HASHES {
+            return Err(WireError::InvalidTag(hashes));
+        }
+        let complete = bool::decode(reader)?;
+        let entries = u64::decode(reader)?;
+        Ok(NegativeFilter { bits, hashes, complete, entries })
+    }
+}
+
+/// Payload of `FILTER_RESPONSE`: one negative filter per store shard plus the
+/// store's filter epoch (bumped on every insertion) so clients can tell how
+/// stale their copy is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterBody {
+    /// Monotonic insertion epoch at snapshot time.
+    pub epoch: u64,
+    /// Per-shard filters, indexed like the store's shards.
+    pub shards: Vec<NegativeFilter>,
+}
+
+impl WireEncode for FilterBody {
+    fn encode(&self, writer: &mut Writer) {
+        self.epoch.encode(writer);
+        let len = u32::try_from(self.shards.len()).expect("shard count exceeds u32");
+        len.encode(writer);
+        for shard in &self.shards {
+            shard.encode(writer);
+        }
+    }
+}
+
+impl WireDecode for FilterBody {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let epoch = u64::decode(reader)?;
+        let len = u32::decode(reader)? as usize;
+        // Defensive preallocation bound for hostile lengths.
+        let mut shards = Vec::with_capacity(len.min(256));
+        for _ in 0..len {
+            shards.push(NegativeFilter::decode(reader)?);
+        }
+        Ok(FilterBody { epoch, shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+
+    #[test]
+    fn inserted_keys_are_always_maybe_present() {
+        let mut f = NegativeFilter::new(1 << 12, 4);
+        for key in 0..10_000u64 {
+            f.insert(key.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        }
+        for key in 0..10_000u64 {
+            assert!(f.may_contain(key.wrapping_mul(0x2545_F491_4F6C_DD1D)));
+        }
+    }
+
+    #[test]
+    fn empty_complete_filter_proves_absence() {
+        let f = NegativeFilter::new(1 << 12, 4);
+        assert!(!f.may_contain(42));
+        assert!(f.is_complete());
+    }
+
+    #[test]
+    fn incomplete_filter_never_proves_absence() {
+        let mut f = NegativeFilter::new(1 << 12, 4);
+        f.mark_incomplete();
+        assert!(f.may_contain(42));
+        assert!(f.may_contain(0));
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded_at_design_load() {
+        let mut f = NegativeFilter::with_capacity(10_000);
+        for key in 0..10_000u64 {
+            f.insert(splitmix64(key));
+        }
+        let fp =
+            (0..100_000u64).filter(|k| f.may_contain(splitmix64(k + 1_000_000))).count();
+        // ~10 bits/entry, k=4 gives ~1.2% theoretical; allow generous slack.
+        assert!(fp < 5_000, "false positive rate too high: {fp}/100000");
+    }
+
+    #[test]
+    fn merge_unions_and_propagates_incompleteness() {
+        let mut a = NegativeFilter::new(1 << 12, 4);
+        let mut b = NegativeFilter::new(1 << 12, 4);
+        a.insert(1);
+        b.insert(2);
+        assert!(a.merge_from(&b));
+        assert!(a.may_contain(1));
+        assert!(a.may_contain(2));
+        assert!(a.is_complete());
+        b.mark_incomplete();
+        assert!(a.merge_from(&b));
+        assert!(!a.is_complete());
+    }
+
+    #[test]
+    fn merge_of_mismatched_shapes_degrades_to_incomplete() {
+        let mut a = NegativeFilter::new(1 << 12, 4);
+        let b = NegativeFilter::new(1 << 14, 4);
+        assert!(!a.merge_from(&b));
+        assert!(!a.is_complete());
+        assert!(a.may_contain(7));
+    }
+
+    #[test]
+    fn clear_restores_empty_complete_state() {
+        let mut f = NegativeFilter::new(1 << 12, 4);
+        f.insert(9);
+        f.mark_incomplete();
+        f.clear();
+        assert!(f.is_complete());
+        assert_eq!(f.entries(), 0);
+        assert!(!f.may_contain(9));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut f = NegativeFilter::new(1 << 12, 4);
+        f.insert(0xDEAD_BEEF);
+        f.mark_incomplete();
+        let body =
+            FilterBody { epoch: 7, shards: vec![f.clone(), NegativeFilter::new(64, 1)] };
+        let bytes = to_bytes(&body);
+        let back: FilterBody = from_bytes(&bytes).unwrap();
+        assert_eq!(back, body);
+    }
+
+    #[test]
+    fn decode_rejects_bad_shapes() {
+        let mut f = NegativeFilter::new(1 << 12, 4);
+        f.insert(1);
+        let good = to_bytes(&f);
+        // Truncations error rather than panic.
+        for cut in 0..good.len() {
+            assert!(from_bytes::<NegativeFilter>(&good[..cut]).is_err());
+        }
+        // A non-power-of-two bit vector is rejected.
+        let mut w = Writer::new();
+        vec![0u8; 65].encode(&mut w);
+        4u8.encode(&mut w);
+        true.encode(&mut w);
+        0u64.encode(&mut w);
+        assert!(from_bytes::<NegativeFilter>(&w.into_bytes()).is_err());
+        // Zero hash probes are rejected.
+        let mut w = Writer::new();
+        vec![0u8; 64].encode(&mut w);
+        0u8.encode(&mut w);
+        true.encode(&mut w);
+        0u64.encode(&mut w);
+        assert!(from_bytes::<NegativeFilter>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn sizing_clamps_to_permitted_range() {
+        assert_eq!(NegativeFilter::new(1, 4).bit_len(), MIN_FILTER_BYTES * 8);
+        assert_eq!(
+            NegativeFilter::with_capacity(u64::MAX).bit_len(),
+            MAX_FILTER_BYTES * 8
+        );
+        assert_eq!(NegativeFilter::new(0, 0).hashes, 1);
+        assert_eq!(NegativeFilter::new(0, 200).hashes, MAX_FILTER_HASHES);
+    }
+}

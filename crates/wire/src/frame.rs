@@ -5,6 +5,8 @@
 //! bytes. Frames are capped at [`MAX_FRAME_LEN`] to bound allocation under
 //! hostile input.
 
+// hot-path: deny-clone
+
 use std::io::{self, Read, Write};
 
 /// Maximum payload bytes per frame (64 MiB) — larger results should be
@@ -29,6 +31,33 @@ pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> io::Result<()> {
     let len = payload.len() as u32;
     writer.write_all(&len.to_le_bytes())?;
     writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Writes one frame whose payload is the concatenation of `parts`, without
+/// building an intermediate contiguous buffer.
+///
+/// This is the vectored sibling of [`write_frame`] for callers that hold a
+/// response as header + body slices: the length prefix covers the summed
+/// part lengths and each part is streamed in order.
+///
+/// # Errors
+///
+/// Returns an I/O error from the underlying writer, or
+/// [`io::ErrorKind::InvalidInput`] if the parts sum to more than
+/// [`MAX_FRAME_LEN`].
+pub fn write_frame_vectored<W: Write>(mut writer: W, parts: &[&[u8]]) -> io::Result<()> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if total > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {total} bytes exceeds limit"),
+        ));
+    }
+    writer.write_all(&(total as u32).to_le_bytes())?;
+    for part in parts {
+        writer.write_all(part)?;
+    }
     writer.flush()
 }
 
@@ -229,6 +258,34 @@ impl FrameWriter {
         }
         self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Queues one frame whose payload is the concatenation of `parts` —
+    /// vectored assembly straight into the send buffer, with no intermediate
+    /// payload `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidInput`] if the parts sum to more than
+    /// [`MAX_FRAME_LEN`]; nothing is queued in that case.
+    pub fn queue_vectored(&mut self, parts: &[&[u8]]) -> io::Result<()> {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if total > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {total} bytes exceeds limit"),
+            ));
+        }
+        if self.sent > 0 {
+            self.buf.drain(..self.sent);
+            self.sent = 0;
+        }
+        self.buf.reserve(4 + total);
+        self.buf.extend_from_slice(&(total as u32).to_le_bytes());
+        for part in parts {
+            self.buf.extend_from_slice(part);
+        }
         Ok(())
     }
 
@@ -466,5 +523,44 @@ mod tests {
         let err = writer.queue(&vec![0u8; MAX_FRAME_LEN + 1]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(!writer.has_pending());
+    }
+
+    #[test]
+    fn vectored_write_matches_concatenated_write() {
+        let parts: [&[u8]; 3] = [b"head", b"", b"tail bytes"];
+        let mut flat = Vec::new();
+        write_frame(&mut flat, b"headtail bytes").unwrap();
+        let mut vectored = Vec::new();
+        write_frame_vectored(&mut vectored, &parts).unwrap();
+        assert_eq!(vectored, flat);
+        assert_eq!(read_frame(Cursor::new(vectored)).unwrap(), b"headtail bytes");
+    }
+
+    #[test]
+    fn queue_vectored_matches_queue() {
+        let mut a = FrameWriter::new();
+        a.queue(b"headtail").unwrap();
+        let mut b = FrameWriter::new();
+        b.queue_vectored(&[b"head", b"tail"]).unwrap();
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        assert!(a.flush(&mut out_a).unwrap());
+        assert!(b.flush(&mut out_b).unwrap());
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn queue_vectored_rejects_oversize_sum() {
+        let big = vec![0u8; MAX_FRAME_LEN];
+        let mut writer = FrameWriter::new();
+        let err = writer.queue_vectored(&[&big, b"x"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(!writer.has_pending());
+    }
+
+    #[test]
+    fn vectored_write_rejects_oversize_sum() {
+        let big = vec![0u8; MAX_FRAME_LEN];
+        let err = write_frame_vectored(Vec::new(), &[&big, b"x"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

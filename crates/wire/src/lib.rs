@@ -23,11 +23,13 @@
 
 mod channel;
 mod codec;
+pub mod filter;
 pub mod frame;
 mod messages;
 
 pub use channel::{ChannelError, Role, SecureChannel, SessionAuthority};
 pub use codec::{Reader, WireDecode, WireEncode, WireError, Writer};
+pub use filter::{FilterBody, NegativeFilter};
 pub use messages::{
     AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
     MetricsFormat, PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,

@@ -1,6 +1,7 @@
 //! Protocol messages between `DedupRuntime` and `ResultStore` (§IV-B).
 
 use crate::codec::{Reader, WireDecode, WireEncode, WireError, Writer};
+use crate::filter::FilterBody;
 
 /// Length in bytes of a computation tag (SHA-256 output).
 pub const COMP_TAG_LEN: usize = 32;
@@ -260,6 +261,17 @@ pub enum BatchItem {
         /// The encrypted record.
         record: Record,
     },
+    /// Publish one freshly computed record together with its 64-bit
+    /// prefilter tag, so the store can keep its negative-lookup filters
+    /// complete (see [`crate::NegativeFilter`]).
+    PutPrefiltered {
+        /// The computation tag.
+        tag: CompTag,
+        /// The cheap prefilter tag of the same computation.
+        prefilter: u64,
+        /// The encrypted record.
+        record: Record,
+    },
 }
 
 impl BatchItem {
@@ -268,12 +280,16 @@ impl BatchItem {
         match self {
             BatchItem::Get { .. } => 1 + COMP_TAG_LEN,
             BatchItem::Put { record, .. } => 1 + COMP_TAG_LEN + record.wire_size(),
+            BatchItem::PutPrefiltered { record, .. } => {
+                1 + COMP_TAG_LEN + 8 + record.wire_size()
+            }
         }
     }
 }
 
 const BATCH_ITEM_GET: u8 = 0;
 const BATCH_ITEM_PUT: u8 = 1;
+const BATCH_ITEM_PUT_PREFILTERED: u8 = 2;
 
 impl WireEncode for BatchItem {
     fn encode(&self, writer: &mut Writer) {
@@ -287,6 +303,12 @@ impl WireEncode for BatchItem {
                 tag.encode(writer);
                 record.encode(writer);
             }
+            BatchItem::PutPrefiltered { tag, prefilter, record } => {
+                BATCH_ITEM_PUT_PREFILTERED.encode(writer);
+                tag.encode(writer);
+                prefilter.encode(writer);
+                record.encode(writer);
+            }
         }
     }
 }
@@ -297,6 +319,11 @@ impl WireDecode for BatchItem {
             BATCH_ITEM_GET => Ok(BatchItem::Get { tag: CompTag::decode(reader)? }),
             BATCH_ITEM_PUT => Ok(BatchItem::Put {
                 tag: CompTag::decode(reader)?,
+                record: Record::decode(reader)?,
+            }),
+            BATCH_ITEM_PUT_PREFILTERED => Ok(BatchItem::PutPrefiltered {
+                tag: CompTag::decode(reader)?,
+                prefilter: u64::decode(reader)?,
                 record: Record::decode(reader)?,
             }),
             other => Err(WireError::InvalidTag(other)),
@@ -452,6 +479,22 @@ pub enum Message {
     },
     /// Response to [`Message::MetricsRequest`]: the rendered registry.
     MetricsResponse(String),
+    /// Request a snapshot of the store's per-shard negative-lookup filters.
+    FilterRequest,
+    /// Response to [`Message::FilterRequest`].
+    FilterResponse(FilterBody),
+    /// Like [`Message::PutRequest`], but also carries the computation's
+    /// 64-bit prefilter tag so the store's negative filters stay complete.
+    PutPrefiltered {
+        /// Publishing application.
+        app: AppId,
+        /// The computation tag.
+        tag: CompTag,
+        /// The cheap prefilter tag of the same computation.
+        prefilter: u64,
+        /// The encrypted record.
+        record: Record,
+    },
 }
 
 const TAG_GET_REQUEST: u8 = 1;
@@ -467,6 +510,9 @@ const TAG_BATCH_REQUEST: u8 = 10;
 const TAG_BATCH_RESPONSE: u8 = 11;
 const TAG_METRICS_REQUEST: u8 = 12;
 const TAG_METRICS_RESPONSE: u8 = 13;
+const TAG_FILTER_REQUEST: u8 = 14;
+const TAG_FILTER_RESPONSE: u8 = 15;
+const TAG_PUT_PREFILTERED: u8 = 16;
 
 /// Encodes a `u32` length prefix followed by each element.
 fn encode_seq<T: WireEncode>(items: &[T], writer: &mut Writer) {
@@ -552,6 +598,18 @@ impl WireEncode for Message {
                 TAG_METRICS_RESPONSE.encode(writer);
                 rendered.encode(writer);
             }
+            Message::FilterRequest => TAG_FILTER_REQUEST.encode(writer),
+            Message::FilterResponse(body) => {
+                TAG_FILTER_RESPONSE.encode(writer);
+                body.encode(writer);
+            }
+            Message::PutPrefiltered { app, tag, prefilter, record } => {
+                TAG_PUT_PREFILTERED.encode(writer);
+                app.encode(writer);
+                tag.encode(writer);
+                prefilter.encode(writer);
+                record.encode(writer);
+            }
         }
     }
 }
@@ -600,6 +658,16 @@ impl WireDecode for Message {
                 Ok(Message::MetricsRequest { format: MetricsFormat::decode(reader)? })
             }
             TAG_METRICS_RESPONSE => Ok(Message::MetricsResponse(String::decode(reader)?)),
+            TAG_FILTER_REQUEST => Ok(Message::FilterRequest),
+            TAG_FILTER_RESPONSE => {
+                Ok(Message::FilterResponse(FilterBody::decode(reader)?))
+            }
+            TAG_PUT_PREFILTERED => Ok(Message::PutPrefiltered {
+                app: AppId::decode(reader)?,
+                tag: CompTag::decode(reader)?,
+                prefilter: u64::decode(reader)?,
+                record: Record::decode(reader)?,
+            }),
             other => Err(WireError::InvalidTag(other)),
         }
     }
@@ -685,6 +753,25 @@ mod tests {
             Message::MetricsRequest { format: MetricsFormat::Prometheus },
             Message::MetricsRequest { format: MetricsFormat::Jsonl },
             Message::MetricsResponse("# TYPE dedup_hits_total counter\n".into()),
+            Message::FilterRequest,
+            Message::FilterResponse(FilterBody {
+                epoch: 42,
+                shards: vec![crate::NegativeFilter::new(1 << 12, 4)],
+            }),
+            Message::PutPrefiltered {
+                app: AppId(11),
+                tag: CompTag::from_bytes([8; 32]),
+                prefilter: 0xFEED_FACE_CAFE_BEEF,
+                record: sample_record(),
+            },
+            Message::BatchRequest {
+                app: AppId(12),
+                items: vec![BatchItem::PutPrefiltered {
+                    tag: CompTag::from_bytes([9; 32]),
+                    prefilter: 77,
+                    record: sample_record(),
+                }],
+            },
         ];
         for msg in messages {
             let decoded: Message = from_bytes(&to_bytes(&msg)).unwrap();
@@ -718,6 +805,12 @@ mod tests {
         let put =
             BatchItem::Put { tag: CompTag::from_bytes([2; 32]), record: sample_record() };
         assert_eq!(put.wire_size(), to_bytes(&put).len());
+        let prefiltered = BatchItem::PutPrefiltered {
+            tag: CompTag::from_bytes([3; 32]),
+            prefilter: 0xABCD,
+            record: sample_record(),
+        };
+        assert_eq!(prefiltered.wire_size(), to_bytes(&prefiltered).len());
     }
 
     #[test]

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Grep lint: no new buffer copies on annotated hot paths.
+#
+# Any Rust source file carrying a `// hot-path: deny-clone` marker must not
+# call `.clone()` or `.to_vec()` except on lines annotated with
+# `// allow-clone: <reason>` — the annotation forces every copy on a hot
+# path to justify itself in review. Scanning stops at the first
+# `#[cfg(test)]` line of each file: test code clones freely.
+#
+# Usage: scripts/check_hotpath_clones.sh [repo-root]
+
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root"
+
+failures=0
+
+while IFS= read -r file; do
+    # Honest line numbers: walk the file once, stop at the test module.
+    offenses=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        (/\.clone\(\)/ || /\.to_vec\(\)/) && !/allow-clone:/ {
+            printf "%s:%d: %s\n", FILENAME, FNR, $0
+        }
+    ' "$file")
+    if [ -n "$offenses" ]; then
+        echo "$offenses"
+        failures=1
+    fi
+done < <(grep -rl --include='*.rs' '^// hot-path: deny-clone$' crates src 2>/dev/null)
+
+if [ "$failures" -ne 0 ]; then
+    echo >&2
+    echo "error: unannotated .clone()/.to_vec() on a deny-clone hot path." >&2
+    echo "Either remove the copy or justify it: // allow-clone: <reason>" >&2
+    exit 1
+fi
+
+echo "hot-path clone check: clean"

@@ -1,0 +1,296 @@
+//! Property suite for the tiered tag pipeline's negative-lookup filters.
+//!
+//! The load-bearing contract is conservatism: a filter may say "maybe" for
+//! an absent key (false positive — wasted recompute), but must NEVER say
+//! "definitely absent" for a present one (false negative — a correctness
+//! bug, because the runtime skips the store round trip on that answer).
+//! These properties drive random key sets, eviction pressure, shard
+//! merging, and crash reloads at the filter, and assert the no-false-
+//! negative side holds unconditionally while the false-positive side stays
+//! within its design budget. Failures shrink and print a
+//! `SPEED_TESTKIT_SEED=…` reproducer (see docs/TESTING.md).
+
+use std::sync::Arc;
+
+use speed_core::{prefilter_tag, DedupRuntime, FuncDesc, FuncIdentity, TrustedLibrary};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{LogBackend, LogConfig, ResultStore, StoreConfig};
+use speed_testkit::{check, TestRng};
+use speed_wire::{
+    AppId, CompTag, Message, NegativeFilter, Record, SessionAuthority, COMP_TAG_LEN,
+};
+
+/// Builds function identities for each code blob via a throwaway runtime
+/// (the only public path from code bytes to a `FuncIdentity`).
+fn identities(codes: &[Vec<u8>]) -> Vec<FuncIdentity> {
+    let platform = Platform::new(CostModel::no_sgx());
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let authority = Arc::new(SessionAuthority::new());
+    let mut library = TrustedLibrary::new("lib", "1");
+    for (index, code) in codes.iter().enumerate() {
+        library.register(format!("f{index}()"), code);
+    }
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"filter-props")
+        .in_process_store(store, authority)
+        .trusted_library(library)
+        .build()
+        .unwrap();
+    (0..codes.len())
+        .map(|index| {
+            rt.resolve(&FuncDesc::new("lib", "1", format!("f{index}()"))).unwrap()
+        })
+        .collect()
+}
+
+fn tag_of(seed: u8) -> CompTag {
+    CompTag::from_bytes([seed; COMP_TAG_LEN])
+}
+
+fn record_of(seed: u8, len: usize) -> Record {
+    Record {
+        challenge: vec![seed; 32],
+        wrapped_key: [seed; 16],
+        nonce: [seed; 12],
+        boxed_result: vec![seed; len],
+    }
+}
+
+/// Merges a store's per-shard filters into the single client-side view the
+/// runtime consults (OR of bits; incomplete if any shard is).
+fn merged_filter(store: &ResultStore) -> Option<NegativeFilter> {
+    let mut shards = store.filter_snapshot().shards.into_iter();
+    let mut merged = shards.next()?;
+    for shard in shards {
+        merged.merge_from(&shard);
+    }
+    Some(merged)
+}
+
+/// No false negatives, ever: whatever the filter geometry and whatever the
+/// key set, every inserted key answers "maybe".
+#[test]
+fn inserted_keys_are_never_denied() {
+    check(
+        "inserted_keys_are_never_denied",
+        0x5EED_6001,
+        |rng| {
+            let bits = rng.range_usize(1, 4096);
+            let hashes = rng.byte();
+            let keys: Vec<u64> =
+                (0..rng.range_usize(0, 600)).map(|_| rng.next_u64()).collect();
+            (bits, hashes, keys)
+        },
+        |case: &(usize, u8, Vec<u64>)| {
+            let (bits, hashes, keys) = case;
+            let mut filter = NegativeFilter::new(*bits, *hashes);
+            for &key in keys {
+                filter.insert(key);
+            }
+            for &key in keys {
+                assert!(
+                    filter.may_contain(key),
+                    "filter denied inserted key {key:#x} (bits={bits}, hashes={hashes})"
+                );
+            }
+        },
+    );
+}
+
+/// The same holds for real prefilter tags: keys produced by
+/// [`prefilter_tag`] over adversarially similar (func, input) pairs are
+/// never denied once inserted — including near-duplicate inputs that only
+/// differ outside the sampled regions.
+#[test]
+fn prefilter_tags_are_never_denied() {
+    check(
+        "prefilter_tags_are_never_denied",
+        0x5EED_6002,
+        |rng| {
+            let base_len = rng.range_usize(0, 2048);
+            let base = rng.bytes(base_len);
+            let cases: Vec<(Vec<u8>, Vec<u8>)> = (0..rng.range_usize(1, 12))
+                .map(|_| {
+                    let func_len = rng.range_usize(1, 24);
+                    let func = rng.bytes(func_len);
+                    let mut input = base.clone();
+                    // Perturb one byte so inputs cluster around `base` —
+                    // the regime where a weak sampler would collide or a
+                    // buggy filter would bit-alias.
+                    if !input.is_empty() {
+                        let at = rng.range_usize(0, input.len() - 1);
+                        input[at] = input[at].wrapping_add(rng.byte());
+                    }
+                    (func, input)
+                })
+                .collect();
+            cases
+        },
+        |cases: &Vec<(Vec<u8>, Vec<u8>)>| {
+            let funcs = identities(
+                &cases.iter().map(|(func, _)| func.clone()).collect::<Vec<_>>(),
+            );
+            let mut filter = NegativeFilter::with_capacity(cases.len() as u64);
+            let tags: Vec<u64> = cases
+                .iter()
+                .zip(&funcs)
+                .map(|((_, input), func)| prefilter_tag(func, input))
+                .collect();
+            for &tag in &tags {
+                filter.insert(tag);
+            }
+            for &tag in &tags {
+                assert!(filter.may_contain(tag), "prefilter tag {tag:#x} denied");
+            }
+        },
+    );
+}
+
+/// The false-positive side stays within the design budget: at the sized
+/// load (`with_capacity`, ~10 bits/entry, k=4 gives a theoretical ~1.2%
+/// rate), fresh keys are denied at least 95% of the time.
+#[test]
+fn false_positive_rate_stays_bounded() {
+    let mut rng = TestRng::new(0x5EED_6003);
+    for &n in &[64u64, 512, 4096] {
+        let mut filter = NegativeFilter::with_capacity(n);
+        let mut inserted = std::collections::HashSet::new();
+        while inserted.len() < n as usize {
+            let key = rng.next_u64();
+            filter.insert(key);
+            inserted.insert(key);
+        }
+        let probes = 10_000;
+        let mut false_positives = 0u32;
+        for _ in 0..probes {
+            let key = rng.next_u64();
+            if inserted.contains(&key) {
+                continue; // astronomically unlikely; keep the count honest
+            }
+            if filter.may_contain(key) {
+                false_positives += 1;
+            }
+        }
+        let rate = f64::from(false_positives) / f64::from(probes);
+        assert!(
+            rate < 0.05,
+            "FP rate {rate:.4} at n={n} exceeds the 5% budget \
+             (sized at ~10 bits/entry, k=4 → ~1.2% theoretical)"
+        );
+    }
+}
+
+/// Filter/index agreement under eviction pressure: drive a tiny store with
+/// prefiltered PUTs until entries churn out, and the merged filter must
+/// still answer "maybe" for every prefilter ever inserted this generation
+/// (eviction removes entries but never clears bits), while staying
+/// complete — a store fed only prefiltered PUTs keeps its absence proofs.
+#[test]
+fn eviction_never_creates_false_negatives() {
+    check(
+        "eviction_never_creates_false_negatives",
+        0x5EED_6004,
+        |rng| {
+            (0..rng.range_usize(1, 60))
+                .map(|_| (rng.byte(), rng.range_usize(1, 120)))
+                .collect::<Vec<(u8, usize)>>()
+        },
+        |puts: &Vec<(u8, usize)>| {
+            let platform = Platform::new(CostModel::no_sgx());
+            let store = ResultStore::new(
+                &platform,
+                StoreConfig::with_capacity(4, 400).with_shards(4),
+            )
+            .expect("store");
+            let app = AppId(7);
+            let mut inserted = Vec::new();
+            for &(seed, len) in puts {
+                let prefilter = u64::from(seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                store.handle(Message::PutPrefiltered {
+                    app,
+                    tag: tag_of(seed),
+                    prefilter,
+                    record: record_of(seed, len),
+                });
+                inserted.push(prefilter);
+                let merged = merged_filter(&store).expect("shards");
+                assert!(
+                    merged.is_complete(),
+                    "prefilter-only traffic must keep every shard complete"
+                );
+                for &tag in &inserted {
+                    assert!(
+                        merged.may_contain(tag),
+                        "merged filter denies {tag:#x} after eviction churn"
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Crash-reload conservatism: prefilter tags are deliberately not
+/// persisted, so a store recovered from checkpoint + WAL rebuilds its
+/// filters as *incomplete* — which must make them answer "maybe" for every
+/// key (recovered entries included), never "definitely absent".
+#[test]
+fn reload_rebuilds_filters_conservatively() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CASE: AtomicU64 = AtomicU64::new(0);
+
+    check(
+        "reload_rebuilds_filters_conservatively",
+        0x5EED_6005,
+        |rng| {
+            (0..rng.range_usize(1, 12))
+                .map(|_| (rng.byte(), rng.range_usize(1, 64)))
+                .collect::<Vec<(u8, usize)>>()
+        },
+        |puts: &Vec<(u8, usize)>| {
+            let platform = Platform::with_seed(CostModel::no_sgx(), Some(0xF1_73D));
+            let dir = std::env::temp_dir().join(format!(
+                "speed-filter-props-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let open = || {
+                let backend = Arc::new(LogBackend::new(LogConfig::new(&dir)));
+                ResultStore::open(&platform, StoreConfig::default(), backend)
+                    .expect("open")
+                    .0
+            };
+            let store = open();
+            let app = AppId(7);
+            for &(seed, len) in puts {
+                store.handle(Message::PutPrefiltered {
+                    app,
+                    tag: tag_of(seed),
+                    prefilter: u64::from(seed) << 17 | 1,
+                    record: record_of(seed, len),
+                });
+            }
+            assert!(
+                merged_filter(&store).expect("shards").is_complete(),
+                "pre-crash filter should be complete"
+            );
+            drop(store);
+
+            let restored = open();
+            let merged = merged_filter(&restored).expect("shards");
+            for &(seed, _) in puts {
+                assert!(
+                    merged.may_contain(u64::from(seed) << 17 | 1),
+                    "recovered entry's prefilter denied after reload"
+                );
+            }
+            // Stronger: an incomplete rebuild answers "maybe" universally.
+            assert!(
+                merged.may_contain(0xDEAD_BEEF_0BAD_F00D),
+                "rebuilt-from-recovery filter must stay conservative for all keys"
+            );
+            drop(restored);
+            let _ = std::fs::remove_dir_all(&dir);
+        },
+    );
+}

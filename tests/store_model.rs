@@ -28,9 +28,27 @@ const TAG_SPACE: u8 = 12;
 
 #[derive(Clone, Debug, PartialEq)]
 enum Op {
-    Get { tag: u8 },
-    Put { tag: u8, len: u8, fill: u8 },
-    Batch { items: Vec<Item> },
+    Get {
+        tag: u8,
+    },
+    Put {
+        tag: u8,
+        len: u8,
+        fill: u8,
+    },
+    /// A PUT carrying its prefilter tag (`Message::PutPrefiltered`), which
+    /// feeds the store's negative filter.
+    PutPre {
+        tag: u8,
+        len: u8,
+        fill: u8,
+    },
+    Batch {
+        items: Vec<Item>,
+    },
+    /// Fetches the filter snapshot and asserts the no-false-negative
+    /// invariant against every prefilter inserted this store generation.
+    FilterCheck,
     Reload,
 }
 
@@ -38,6 +56,38 @@ enum Op {
 enum Item {
     Get { tag: u8 },
     Put { tag: u8, len: u8, fill: u8 },
+}
+
+/// The deterministic prefilter tag a `PutPre { tag, .. }` op carries.
+fn prefilter_of(tag: u8) -> u64 {
+    u64::from(tag).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Tracks which prefilter tags were fed to the current store generation,
+/// and checks the store's merged filter never denies one of them (the
+/// conservative no-false-negative contract — bits are never cleared within
+/// a generation, not even by eviction).
+#[derive(Default)]
+struct FilterOracle {
+    inserted: std::collections::BTreeSet<u64>,
+}
+
+impl FilterOracle {
+    fn check(&self, store: &ResultStore, context: &str) {
+        let snapshot = store.filter_snapshot();
+        let mut shards = snapshot.shards.into_iter();
+        let Some(mut merged) = shards.next() else { return };
+        for shard in shards {
+            merged.merge_from(&shard);
+        }
+        for &prefilter in &self.inserted {
+            assert!(
+                merged.may_contain(prefilter),
+                "{context}: filter denies inserted prefilter {prefilter:#x} \
+                 (false negative)"
+            );
+        }
+    }
 }
 
 impl Shrink for Item {
@@ -80,6 +130,20 @@ impl Shrink for Op {
                 .into_iter()
                 .map(item_to_op)
                 .collect(),
+            Op::PutPre { tag, len, fill } => {
+                // A prefiltered PUT simplifies toward the legacy PUT first.
+                let mut out = vec![Op::Put { tag: *tag, len: *len, fill: *fill }];
+                out.extend(
+                    Item::Put { tag: *tag, len: *len, fill: *fill }
+                        .shrink()
+                        .into_iter()
+                        .map(|item| match item {
+                            Item::Get { tag } => Op::Get { tag },
+                            Item::Put { tag, len, fill } => Op::PutPre { tag, len, fill },
+                        }),
+                );
+                out
+            }
             Op::Batch { items } => {
                 // A batch simplifies toward its unbatched single ops, then
                 // element-wise via the Vec shrinker.
@@ -87,7 +151,7 @@ impl Shrink for Op {
                 out.extend(items.shrink().into_iter().map(|items| Op::Batch { items }));
                 out
             }
-            Op::Reload => Vec::new(),
+            Op::FilterCheck | Op::Reload => Vec::new(),
         }
     }
 }
@@ -112,11 +176,19 @@ fn gen_op(rng: &mut TestRng, with_reload: bool) -> Op {
     if with_reload && rng.chance(0.08) {
         return Op::Reload;
     }
+    if rng.chance(0.08) {
+        return Op::FilterCheck;
+    }
     if rng.chance(0.2) {
         let count = rng.range_usize(0, 6);
         return Op::Batch { items: (0..count).map(|_| gen_item(rng)).collect() };
     }
-    item_to_op(gen_item(rng))
+    let op = item_to_op(gen_item(rng));
+    // Half the single PUTs carry their prefilter tag.
+    match op {
+        Op::Put { tag, len, fill } if rng.chance(0.5) => Op::PutPre { tag, len, fill },
+        other => other,
+    }
 }
 
 fn gen_ops(rng: &mut TestRng, max_len: usize, with_reload: bool) -> Vec<Op> {
@@ -219,6 +291,7 @@ fn apply_op(
     platform: &Platform,
     store: ResultStore,
     model: &mut Model,
+    oracle: &mut FilterOracle,
     op: &Op,
     index: usize,
 ) -> ResultStore {
@@ -260,6 +333,42 @@ fn apply_op(
                 }
                 other => panic!("op {index}: unexpected PUT response {other:?}"),
             }
+        }
+        Op::PutPre { tag, len, fill } => {
+            let response = store.handle(Message::PutPrefiltered {
+                app,
+                tag: tag_of(*tag),
+                prefilter: prefilter_of(*tag),
+                record: record_of(*tag, *len, *fill),
+            });
+            let inserted = model.put(*tag, *len, *fill);
+            model.enforce_capacity();
+            // Conservative contract: once a prefilter has been offered to
+            // this generation, the filter may never deny it — duplicates
+            // land on entries whose shard is either already carrying the
+            // bits or marked incomplete (always-maybe), and eviction never
+            // clears bits.
+            oracle.inserted.insert(prefilter_of(*tag));
+            match response {
+                Message::PutResponse(body) => {
+                    assert!(body.accepted, "op {index}: PUT must be accepted");
+                    if inserted {
+                        assert_eq!(body.reason, None, "op {index}: fresh PUT reason");
+                    } else {
+                        assert!(
+                            body.reason
+                                .as_deref()
+                                .is_some_and(|r| r.contains("duplicate")),
+                            "op {index}: duplicate PUT reason, got {:?}",
+                            body.reason
+                        );
+                    }
+                }
+                other => panic!("op {index}: unexpected PUT response {other:?}"),
+            }
+        }
+        Op::FilterCheck => {
+            oracle.check(&store, &format!("op {index}"));
         }
         Op::Batch { items } => {
             let wire_items: Vec<BatchItem> = items
@@ -315,6 +424,9 @@ fn apply_op(
             )
             .expect("restore");
             model.reload();
+            // Restored entries import with unknown prefilters (shards go
+            // incomplete), so the oracle restarts with the generation.
+            oracle.inserted.clear();
             check_counters(&restored, model, &format!("op {index} (reload)"));
             return restored;
         }
@@ -340,8 +452,9 @@ fn store_matches_reference_model() {
             )
             .expect("store");
             let mut model = Model::default();
+            let mut oracle = FilterOracle::default();
             for (index, op) in ops.iter().enumerate() {
-                store = apply_op(&platform, store, &mut model, op, index);
+                store = apply_op(&platform, store, &mut model, &mut oracle, op, index);
             }
         },
     );
@@ -365,12 +478,27 @@ fn shard_count_is_transparent_without_eviction() {
                 ResultStore::new(&platform, roomy(1)).expect("single-shard store");
             let sharded = ResultStore::new(&platform, roomy(8)).expect("sharded store");
             let app = AppId(1);
+            let mut oracle = FilterOracle::default();
             for (index, op) in ops.iter().enumerate() {
+                if let Op::FilterCheck = op {
+                    // Raw filter snapshots are NOT shard-transparent (shape
+                    // and false-positive patterns differ by shard count);
+                    // only the no-false-negative contract must hold on both.
+                    oracle.check(&single, &format!("op {index} (single)"));
+                    oracle.check(&sharded, &format!("op {index} (sharded)"));
+                    continue;
+                }
                 let message = |()| match op {
                     Op::Get { tag } => Message::GetRequest { app, tag: tag_of(*tag) },
                     Op::Put { tag, len, fill } => Message::PutRequest {
                         app,
                         tag: tag_of(*tag),
+                        record: record_of(*tag, *len, *fill),
+                    },
+                    Op::PutPre { tag, len, fill } => Message::PutPrefiltered {
+                        app,
+                        tag: tag_of(*tag),
+                        prefilter: prefilter_of(*tag),
                         record: record_of(*tag, *len, *fill),
                     },
                     Op::Batch { items } => Message::BatchRequest {
@@ -386,8 +514,13 @@ fn shard_count_is_transparent_without_eviction() {
                             })
                             .collect(),
                     },
-                    Op::Reload => unreachable!("reloads disabled for this property"),
+                    Op::FilterCheck | Op::Reload => {
+                        unreachable!("handled above / disabled for this property")
+                    }
                 };
+                if let Op::PutPre { tag, .. } = op {
+                    oracle.inserted.insert(prefilter_of(*tag));
+                }
                 let a = single.handle(message(()));
                 let b = sharded.handle(message(()));
                 assert_eq!(a, b, "op {index}: shard-count divergence");
@@ -439,6 +572,7 @@ fn durable_backend_matches_model_across_crash_reloads() {
             let mut store = open();
             // tag -> first-written record; no eviction, so entries only grow.
             let mut model: BTreeMap<u8, Record> = BTreeMap::new();
+            let mut oracle = FilterOracle::default();
             let app = AppId(1);
             for (index, op) in ops.iter().enumerate() {
                 match op {
@@ -468,6 +602,23 @@ fn durable_backend_matches_model_across_crash_reloads() {
                         }
                         model.entry(*tag).or_insert_with(|| record_of(*tag, *len, *fill));
                     }
+                    Op::PutPre { tag, len, fill } => {
+                        let response = store.handle(Message::PutPrefiltered {
+                            app,
+                            tag: tag_of(*tag),
+                            prefilter: prefilter_of(*tag),
+                            record: record_of(*tag, *len, *fill),
+                        });
+                        match response {
+                            Message::PutResponse(body) => {
+                                assert!(body.accepted, "op {index}: {:?}", body.reason)
+                            }
+                            other => panic!("op {index}: unexpected {other:?}"),
+                        }
+                        model.entry(*tag).or_insert_with(|| record_of(*tag, *len, *fill));
+                        oracle.inserted.insert(prefilter_of(*tag));
+                    }
+                    Op::FilterCheck => oracle.check(&store, &format!("op {index}")),
                     Op::Batch { items } => {
                         let wire_items: Vec<BatchItem> = items
                             .iter()
@@ -517,6 +668,9 @@ fn durable_backend_matches_model_across_crash_reloads() {
                         // Crash-restart: everything not on disk is gone.
                         drop(store);
                         store = open();
+                        // Recovered entries re-enter via rebuild (prefilters
+                        // are not persisted), so the oracle restarts too.
+                        oracle.inserted.clear();
                         assert_eq!(
                             store.stats().entries,
                             model.len() as u64,
