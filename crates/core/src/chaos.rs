@@ -263,6 +263,68 @@ impl StoreClient for ChaosClient {
     }
 }
 
+/// A manual, deterministic outage control for one node: killed-node and
+/// partition scenarios need "node N is down *now*, up *then*", which a
+/// probabilistic [`FaultInjector`] cannot express. Share one switch
+/// between a node's connector (refuse to dial while down) and its
+/// [`SwitchedClient`] wrappers (fail established connections while down).
+#[derive(Debug, Default)]
+pub struct OutageSwitch {
+    down: AtomicBool,
+}
+
+impl OutageSwitch {
+    /// A switch in the *up* state.
+    pub fn new() -> Self {
+        OutageSwitch::default()
+    }
+
+    /// Flips the node down (every round-trip and dial fails) or back up.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+
+    /// Whether the node is currently down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`StoreClient`] wrapper that fails every round-trip while its
+/// [`OutageSwitch`] is down — the deterministic "kill this node" primitive
+/// used by the cluster chaos suite and the operator outage drill.
+pub struct SwitchedClient {
+    inner: Box<dyn StoreClient>,
+    switch: std::sync::Arc<OutageSwitch>,
+}
+
+impl fmt::Debug for SwitchedClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwitchedClient")
+            .field("down", &self.switch.is_down())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SwitchedClient {
+    /// Wraps `inner` under the shared outage `switch`.
+    pub fn new(
+        inner: Box<dyn StoreClient>,
+        switch: std::sync::Arc<OutageSwitch>,
+    ) -> Self {
+        SwitchedClient { inner, switch }
+    }
+}
+
+impl StoreClient for SwitchedClient {
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, CoreError> {
+        if self.switch.is_down() {
+            return Err(CoreError::Store(StoreError::Io("outage: node is down".into())));
+        }
+        self.inner.roundtrip(request)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +399,18 @@ mod tests {
         // A fresh instance (reconnect) works again.
         let mut fresh = ChaosClient::new(Box::new(AlwaysOk), injector);
         assert!(fresh.roundtrip(&request()).is_ok());
+    }
+
+    #[test]
+    fn switched_client_follows_its_switch() {
+        let switch = Arc::new(OutageSwitch::new());
+        let mut client = SwitchedClient::new(Box::new(AlwaysOk), Arc::clone(&switch));
+        assert!(client.roundtrip(&request()).is_ok());
+        switch.set_down(true);
+        assert!(client.roundtrip(&request()).is_err());
+        switch.set_down(false);
+        // Unlike a disconnect, flipping back up revives the same instance.
+        assert!(client.roundtrip(&request()).is_ok());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 
 pub mod chaos;
 mod client;
+pub mod cluster;
 mod deduplicable;
 mod error;
 mod func;
@@ -72,8 +73,12 @@ mod tag;
 
 pub use chaos::{
     ChaosClient, Fault, FaultConfig, FaultCounts, FaultInjector, FaultRates,
+    OutageSwitch, SwitchedClient,
 };
 pub use client::{InProcessClient, StoreClient, TcpClient};
+pub use cluster::{
+    ClusterBuilder, ClusterClient, ClusterConfig, ClusterCounts, HashRing, NodeId,
+};
 pub use deduplicable::Deduplicable;
 pub use error::CoreError;
 pub use func::{FuncDesc, FuncIdentity, TrustedLibrary};

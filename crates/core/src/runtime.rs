@@ -600,6 +600,20 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Routes every store round-trip through a multi-node
+    /// [`ClusterClient`](crate::cluster::ClusterClient): consistent-hash
+    /// routing, R-way replication, and per-node failover re-attestation.
+    /// Clones of the handle share ring, hints, and breaker state, so the
+    /// synchronous path and the asynchronous PUT worker cooperate; the
+    /// cluster already fails over between replicas, while
+    /// [`RuntimeBuilder::resilience`] composes on top as the outer line of
+    /// defence for whole-cluster outages.
+    pub fn cluster_store(self, cluster: crate::cluster::ClusterClient) -> Self {
+        self.client_factory(Box::new(move || {
+            Ok(Box::new(cluster.clone()) as Box<dyn StoreClient>)
+        }))
+    }
+
     /// Wraps every store client in the fault-tolerant resilience layer:
     /// retry with capped exponential backoff, transparent reconnect with
     /// re-attestation, a circuit breaker, and graceful degradation (GETs

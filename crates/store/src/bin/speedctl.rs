@@ -21,7 +21,10 @@ use std::sync::Arc;
 use speed_enclave::{CostModel, Platform};
 use speed_store::server::{ServerConfig, StoreServer, TcpStoreClient};
 use speed_store::{ResultStore, StoreConfig};
-use speed_wire::{AppId, CompTag, Message, MetricsFormat, Record, SessionAuthority};
+use speed_wire::{
+    AppId, CompTag, Message, MetricsFormat, Record, RingBody, RingNodeBody,
+    SessionAuthority,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -31,9 +34,11 @@ fn usage() -> ! {
                    [--max-bytes N] [--ttl-ms N] [--shards N] [--io-threads N]\n\
                    [--max-conns N] [--ring-slots N] [--no-switchless]\n\
                    [--metrics-jsonl PATH] [--data-dir PATH] [--checkpoint-every N]\n\
+                   [--node-id N --peers ID=HOST:PORT[,ID=HOST:PORT...]]\n\
            ping    --addr HOST:PORT --secret N [--count N]\n\
            stats   --addr HOST:PORT --secret N\n\
            metrics --addr HOST:PORT --secret N [--json]\n\
+           ring    --addr HOST:PORT --secret N\n\
            get     --addr HOST:PORT --secret N --tag HEX\n\
            put     --addr HOST:PORT --secret N --tag HEX --data STRING\n\
            bench   --addr HOST:PORT --secret N [--ops N] [--size BYTES]\n\
@@ -42,7 +47,10 @@ fn usage() -> ! {
            attestation trust from; --tag is zero-padded to 32 bytes\n\
            --data-dir enables the crash-safe log-structured backend: the\n\
            store recovers its contents from PATH on start and makes every\n\
-           acknowledged PUT durable (see docs/OPERATIONS.md)"
+           acknowledged PUT durable (see docs/OPERATIONS.md)\n\
+           --node-id/--peers advertise a cluster membership ring that\n\
+           ClusterClient callers fetch with `ring` (see docs/CLUSTER.md);\n\
+           every member must be started with the same member list"
     );
     std::process::exit(2)
 }
@@ -142,6 +150,47 @@ fn connect(flags: &Flags) -> TcpStoreClient {
     }
 }
 
+/// Parses a `--peers` list of `ID=HOST:PORT` pairs.
+fn parse_peers(spec: &str) -> Vec<(u32, String)> {
+    spec.split(',')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let Some((id, addr)) = pair.split_once('=') else {
+                eprintln!("--peers entries must look like ID=HOST:PORT, got `{pair}`");
+                usage();
+            };
+            match id.parse() {
+                Ok(id) => (id, addr.to_string()),
+                Err(_) => {
+                    eprintln!("invalid node id in --peers entry `{pair}`");
+                    usage();
+                }
+            }
+        })
+        .collect()
+}
+
+/// The membership ring a `serve --node-id/--peers` invocation advertises:
+/// this node plus every peer, all weight 1, version 1. Every member of a
+/// cluster is started with the same list, so they all advertise the same
+/// ring and a client may bootstrap from any of them.
+fn topology_from_flags(flags: &Flags, self_addr: &str) -> Option<RingBody> {
+    let node_id: u32 = flags.get_parsed("node-id")?;
+    let mut nodes =
+        vec![RingNodeBody { id: node_id, addr: self_addr.to_string(), weight: 1 }];
+    if let Some(spec) = flags.values.get("peers") {
+        for (id, addr) in parse_peers(spec) {
+            if nodes.iter().any(|n| n.id == id) {
+                eprintln!("duplicate node id {id} in --node-id/--peers");
+                usage();
+            }
+            nodes.push(RingNodeBody { id, addr, weight: 1 });
+        }
+    }
+    nodes.sort_by_key(|n| n.id);
+    Some(RingBody { version: 1, nodes })
+}
+
 fn cmd_serve(flags: &Flags) {
     let secret: u64 = flags.get_parsed("secret").unwrap_or_else(|| usage());
     let addr = flags.required("addr").to_string();
@@ -204,6 +253,11 @@ fn cmd_serve(flags: &Flags) {
         }
         None => Arc::new(ResultStore::new(&platform, config).expect("store fits in epc")),
     };
+    if let Some(topology) = topology_from_flags(flags, &addr) {
+        let members = topology.nodes.len();
+        store.set_topology(topology);
+        println!("cluster member: advertising a {members}-node ring (`speedctl ring`)");
+    }
     let authority = Arc::new(SessionAuthority::with_seed(secret));
     let server = StoreServer::spawn_with_config(
         Arc::clone(&store),
@@ -342,6 +396,35 @@ fn cmd_metrics(flags: &Flags) {
     }
 }
 
+fn cmd_ring(flags: &Flags) {
+    let mut client = connect(flags);
+    match client.roundtrip(&Message::RingRequest) {
+        Ok(Message::RingResponse(body)) => {
+            if body.nodes.is_empty() {
+                println!("standalone node: no membership ring advertised");
+                return;
+            }
+            println!("ring version {} ({} nodes)", body.version, body.nodes.len());
+            for node in &body.nodes {
+                let addr = if node.addr.is_empty() {
+                    "(in-process)"
+                } else {
+                    node.addr.as_str()
+                };
+                println!("  node {:>3}  weight {}  {addr}", node.id, node.weight);
+            }
+        }
+        Ok(other) => {
+            eprintln!("unexpected response: {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_get(flags: &Flags) {
     let tag = parse_tag(flags.required("tag"));
     let mut client = connect(flags);
@@ -447,6 +530,7 @@ fn main() {
         "ping" => cmd_ping(&flags),
         "stats" => cmd_stats(&flags),
         "metrics" => cmd_metrics(&flags),
+        "ring" => cmd_ring(&flags),
         "get" => cmd_get(&flags),
         "put" => cmd_put(&flags),
         "bench" => cmd_bench(&flags),
@@ -483,6 +567,28 @@ mod tests {
         let flags = Flags::parse(&args(&["--no-sgx", "--verbose"]));
         assert!(flags.has("no-sgx"));
         assert!(flags.has("verbose"));
+    }
+
+    #[test]
+    fn peers_parse_into_a_sorted_ring() {
+        let flags = Flags::parse(&args(&[
+            "--node-id",
+            "2",
+            "--peers",
+            "0=10.0.0.1:7700,1=10.0.0.2:7700",
+        ]));
+        let body = topology_from_flags(&flags, "10.0.0.3:7700").unwrap();
+        assert_eq!(body.version, 1);
+        let ids: Vec<u32> = body.nodes.iter().map(|n| n.id).collect();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(body.nodes[2].addr, "10.0.0.3:7700");
+        assert!(body.nodes.iter().all(|n| n.weight == 1));
+    }
+
+    #[test]
+    fn topology_absent_without_node_id() {
+        let flags = Flags::parse(&args(&["--addr", "127.0.0.1:7700"]));
+        assert!(topology_from_flags(&flags, "127.0.0.1:7700").is_none());
     }
 
     #[test]

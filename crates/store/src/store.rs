@@ -15,8 +15,8 @@ use speed_enclave::{BlobId, Enclave, EnclaveError, Platform, UntrustedMemory};
 use speed_telemetry::{names, Counter, Gauge, Histogram};
 use speed_wire::{
     AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, FilterBody, GetResponseBody,
-    Message, MetricsFormat, NegativeFilter, PutResponseBody, Record, ShardStatsBody,
-    StatsBody, SyncEntry,
+    Message, MetricsFormat, NegativeFilter, PutResponseBody, Record, RingBody,
+    ShardStatsBody, StatsBody, SyncEntry,
 };
 
 use crate::backend::{MemoryBackend, RecoveryReport, StoreBackend};
@@ -454,6 +454,10 @@ pub struct ResultStore {
     /// Cleared while recovered entries are re-imported on open so the
     /// replay itself is not logged back into the WAL.
     backend_logging: AtomicBool,
+    /// The cluster membership view this node advertises to `RING_REQUEST`
+    /// clients. Empty (version 0) on standalone nodes; set at startup by
+    /// `speedctl serve --node-id/--peers` or [`ResultStore::set_topology`].
+    topology: RwLock<RingBody>,
 }
 
 impl ResultStore {
@@ -483,6 +487,7 @@ impl ResultStore {
             filter_epoch: AtomicU64::new(0),
             backend: Arc::new(MemoryBackend),
             backend_logging: AtomicBool::new(true),
+            topology: RwLock::new(RingBody::default()),
         })
     }
 
@@ -568,6 +573,25 @@ impl ResultStore {
         self.shards.len()
     }
 
+    /// Installs the cluster membership view this node advertises to
+    /// `RING_REQUEST` clients (see `docs/CLUSTER.md`). A view whose
+    /// version is not newer than the current one is ignored, so stale
+    /// gossip cannot roll the topology back.
+    pub fn set_topology(&self, body: RingBody) -> bool {
+        let mut topology = self.topology.write().expect("topology lock poisoned");
+        if !topology.nodes.is_empty() && body.version <= topology.version {
+            return false;
+        }
+        *topology = body;
+        true
+    }
+
+    /// The cluster membership view this node currently advertises
+    /// (default/empty with version 0 on standalone nodes).
+    pub fn topology(&self) -> RingBody {
+        self.topology.read().expect("topology lock poisoned").clone()
+    }
+
     /// The shard `tag` routes to: its leading byte modulo the shard count.
     /// Tags are SHA-256 outputs, so the prefix is uniform across shards.
     pub fn shard_for_tag(&self, tag: &CompTag) -> usize {
@@ -637,6 +661,7 @@ impl ResultStore {
                     MetricsFormat::Jsonl => snapshot.render_jsonl(),
                 })
             }
+            Message::RingRequest => Message::RingResponse(self.topology()),
             Message::SyncPull { min_hits } => {
                 Message::SyncBatch(self.export_popular(min_hits))
             }

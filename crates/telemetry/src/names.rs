@@ -90,6 +90,36 @@ pub const RESILIENCE_REPLAY_DROPPED_TOTAL: &str = "resilience_replay_dropped_tot
 /// Gauge: PUTs currently parked in the replay queue.
 pub const RESILIENCE_REPLAY_QUEUE_DEPTH: &str = "resilience_replay_queue_depth";
 
+// --- speed-core cluster: consistent-hash routing and replication ---
+//
+// Per-node series carry a `node` label holding the numeric node id from
+// the cluster ring, so a 3-node client emits e.g. `cluster_node_up{node=0}`
+// … `{node=2}`. Sum (counters) or inspect per label as appropriate.
+
+/// Counter, label `node`: requests the cluster client routed to one node.
+pub const CLUSTER_ROUTED_REQUESTS_TOTAL: &str = "cluster_routed_requests_total";
+/// Counter, label `node`: requests that failed over past one unreachable
+/// replica to the next one on the ring.
+pub const CLUSTER_FAILOVERS_TOTAL: &str = "cluster_failovers_total";
+/// Counter: acknowledged PUTs parked as hints because a replica was down.
+pub const CLUSTER_HINTED_PUTS_TOTAL: &str = "cluster_hinted_puts_total";
+/// Counter: hinted PUTs delivered after re-routing through the current ring.
+pub const CLUSTER_HINTS_REPLAYED_TOTAL: &str = "cluster_hints_replayed_total";
+/// Counter: hinted PUTs evicted because the bounded hint queue overflowed.
+pub const CLUSTER_HINTS_DROPPED_TOTAL: &str = "cluster_hints_dropped_total";
+/// Gauge: PUTs currently parked in the cluster hint queue.
+pub const CLUSTER_HINT_QUEUE_DEPTH: &str = "cluster_hint_queue_depth";
+/// Gauge, label `node`: 1 while the node answered its last round-trip,
+/// 0 after a failure (last observation wins).
+pub const CLUSTER_NODE_UP: &str = "cluster_node_up";
+/// Gauge, label `node`: re-attested reconnects performed against one node
+/// (mirrors the node's `ResilienceStats::reconnects`).
+pub const CLUSTER_NODE_REATTESTATIONS: &str = "cluster_node_reattestations";
+/// Gauge: version of the ring the cluster client currently routes by.
+pub const CLUSTER_RING_VERSION: &str = "cluster_ring_version";
+/// Gauge: member nodes on the ring the cluster client currently routes by.
+pub const CLUSTER_RING_NODES: &str = "cluster_ring_nodes";
+
 // --- speed-store: the encrypted ResultStore ---
 
 /// Counter: GET requests served (single and batched).
@@ -226,6 +256,16 @@ pub const ALL: &[&str] = &[
     RESILIENCE_REPLAYED_PUTS_TOTAL,
     RESILIENCE_REPLAY_DROPPED_TOTAL,
     RESILIENCE_REPLAY_QUEUE_DEPTH,
+    CLUSTER_ROUTED_REQUESTS_TOTAL,
+    CLUSTER_FAILOVERS_TOTAL,
+    CLUSTER_HINTED_PUTS_TOTAL,
+    CLUSTER_HINTS_REPLAYED_TOTAL,
+    CLUSTER_HINTS_DROPPED_TOTAL,
+    CLUSTER_HINT_QUEUE_DEPTH,
+    CLUSTER_NODE_UP,
+    CLUSTER_NODE_REATTESTATIONS,
+    CLUSTER_RING_VERSION,
+    CLUSTER_RING_NODES,
     STORE_GETS_TOTAL,
     STORE_HITS_TOTAL,
     STORE_PUTS_TOTAL,

@@ -7,8 +7,8 @@
 
 use speed_wire::{
     AppId, BatchItem, BatchItemResult, CompTag, FilterBody, GetResponseBody, Message,
-    MetricsFormat, NegativeFilter, PutResponseBody, Record, ShardStatsBody, StatsBody,
-    SyncEntry, COMP_TAG_LEN,
+    MetricsFormat, NegativeFilter, PutResponseBody, Record, RingBody, RingNodeBody,
+    ShardStatsBody, StatsBody, SyncEntry, COMP_TAG_LEN,
 };
 
 use crate::rng::TestRng;
@@ -120,6 +120,24 @@ pub fn stats_body(rng: &mut TestRng) -> StatsBody {
     }
 }
 
+/// One random ring member (empty addresses reachable: in-process nodes).
+pub fn ring_node(rng: &mut TestRng) -> RingNodeBody {
+    RingNodeBody {
+        id: rng.range_u64(0, 15) as u32,
+        addr: if rng.chance(0.3) { String::new() } else { rng.ascii(16) },
+        weight: rng.range_u64(0, 4) as u32,
+    }
+}
+
+/// A random versioned ring view with up to 8 member nodes.
+pub fn ring_body(rng: &mut TestRng) -> RingBody {
+    let node_count = rng.range_usize(0, 8);
+    RingBody {
+        version: rng.next_u64(),
+        nodes: (0..node_count).map(|_| ring_node(rng)).collect(),
+    }
+}
+
 /// A random master-store sync entry.
 pub fn sync_entry(rng: &mut TestRng, max_record_len: usize) -> SyncEntry {
     SyncEntry {
@@ -131,7 +149,7 @@ pub fn sync_entry(rng: &mut TestRng, max_record_len: usize) -> SyncEntry {
 
 /// Number of distinct [`Message`] shapes [`message`] can produce (used by
 /// coverage assertions).
-pub const MESSAGE_SHAPES: u64 = 18;
+pub const MESSAGE_SHAPES: u64 = 20;
 
 /// A random protocol message covering every variant, including both
 /// found/not-found GET responses and both metrics formats. `max_record_len`
@@ -187,12 +205,14 @@ pub fn message(rng: &mut TestRng, max_record_len: usize) -> Message {
         14 => Message::MetricsResponse(rng.ascii(128)),
         15 => Message::FilterRequest,
         16 => Message::FilterResponse(filter_body(rng)),
-        _ => Message::PutPrefiltered {
+        17 => Message::PutPrefiltered {
             app: app_id(rng),
             tag: comp_tag(rng),
             prefilter: rng.next_u64(),
             record: record(rng, max_record_len),
         },
+        18 => Message::RingRequest,
+        _ => Message::RingResponse(ring_body(rng)),
     }
 }
 
@@ -224,7 +244,9 @@ mod tests {
                 Message::FilterRequest => 15,
                 Message::FilterResponse(_) => 16,
                 Message::PutPrefiltered { .. } => 17,
-                _ => 18,
+                Message::RingRequest => 18,
+                Message::RingResponse(_) => 19,
+                _ => 20,
             };
             discriminants.insert(shape);
         }

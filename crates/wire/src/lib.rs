@@ -32,8 +32,8 @@ pub use codec::{Reader, WireDecode, WireEncode, WireError, Writer};
 pub use filter::{FilterBody, NegativeFilter};
 pub use messages::{
     AppId, BatchItem, BatchItemResult, BatchStatus, CompTag, GetResponseBody, Message,
-    MetricsFormat, PutResponseBody, Record, ShardStatsBody, StatsBody, SyncEntry,
-    COMP_TAG_LEN,
+    MetricsFormat, PutResponseBody, Record, RingBody, RingNodeBody, ShardStatsBody,
+    StatsBody, SyncEntry, COMP_TAG_LEN,
 };
 
 /// Encodes any [`WireEncode`] value to a fresh byte vector.

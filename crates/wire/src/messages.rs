@@ -241,6 +241,61 @@ impl WireDecode for SyncEntry {
     }
 }
 
+/// One member of a cluster ring announced in a [`Message::RingResponse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingNodeBody {
+    /// Stable numeric node identity (survives address changes).
+    pub id: u32,
+    /// Dial address of the node's store server (`host:port`), empty for
+    /// in-process nodes.
+    pub addr: String,
+    /// Relative ring weight; a node with weight 2 owns roughly twice the
+    /// keyspace of a weight-1 node. Zero-weight nodes are ignored.
+    pub weight: u32,
+}
+
+impl WireEncode for RingNodeBody {
+    fn encode(&self, writer: &mut Writer) {
+        self.id.encode(writer);
+        self.addr.encode(writer);
+        self.weight.encode(writer);
+    }
+}
+
+impl WireDecode for RingNodeBody {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RingNodeBody {
+            id: u32::decode(reader)?,
+            addr: String::decode(reader)?,
+            weight: u32::decode(reader)?,
+        })
+    }
+}
+
+/// Body of a [`Message::RingResponse`]: one versioned view of the cluster
+/// membership. Clients rebuild their consistent-hash ring from this; a
+/// higher `version` always supersedes a lower one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RingBody {
+    /// Monotonic topology version; bumped on every membership change.
+    pub version: u64,
+    /// The member nodes, in no particular order.
+    pub nodes: Vec<RingNodeBody>,
+}
+
+impl WireEncode for RingBody {
+    fn encode(&self, writer: &mut Writer) {
+        self.version.encode(writer);
+        encode_seq(&self.nodes, writer);
+    }
+}
+
+impl WireDecode for RingBody {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RingBody { version: u64::decode(reader)?, nodes: decode_seq(reader)? })
+    }
+}
+
 /// One operation inside a [`Message::BatchRequest`].
 ///
 /// A batch carries N independent GET/PUT operations in one envelope so the
@@ -495,6 +550,11 @@ pub enum Message {
         /// The encrypted record.
         record: Record,
     },
+    /// Request the server's current view of the cluster membership ring.
+    RingRequest,
+    /// Response to [`Message::RingRequest`] (also pushed by operators via
+    /// `speedctl` when reconfiguring a cluster).
+    RingResponse(RingBody),
 }
 
 const TAG_GET_REQUEST: u8 = 1;
@@ -513,6 +573,8 @@ const TAG_METRICS_RESPONSE: u8 = 13;
 const TAG_FILTER_REQUEST: u8 = 14;
 const TAG_FILTER_RESPONSE: u8 = 15;
 const TAG_PUT_PREFILTERED: u8 = 16;
+const TAG_RING_REQUEST: u8 = 17;
+const TAG_RING_RESPONSE: u8 = 18;
 
 /// Encodes a `u32` length prefix followed by each element.
 fn encode_seq<T: WireEncode>(items: &[T], writer: &mut Writer) {
@@ -610,6 +672,11 @@ impl WireEncode for Message {
                 prefilter.encode(writer);
                 record.encode(writer);
             }
+            Message::RingRequest => TAG_RING_REQUEST.encode(writer),
+            Message::RingResponse(body) => {
+                TAG_RING_RESPONSE.encode(writer);
+                body.encode(writer);
+            }
         }
     }
 }
@@ -668,6 +735,8 @@ impl WireDecode for Message {
                 prefilter: u64::decode(reader)?,
                 record: Record::decode(reader)?,
             }),
+            TAG_RING_REQUEST => Ok(Message::RingRequest),
+            TAG_RING_RESPONSE => Ok(Message::RingResponse(RingBody::decode(reader)?)),
             other => Err(WireError::InvalidTag(other)),
         }
     }
@@ -772,6 +841,15 @@ mod tests {
                     record: sample_record(),
                 }],
             },
+            Message::RingRequest,
+            Message::RingResponse(RingBody::default()),
+            Message::RingResponse(RingBody {
+                version: 3,
+                nodes: vec![
+                    RingNodeBody { id: 0, addr: "10.0.0.1:7000".into(), weight: 1 },
+                    RingNodeBody { id: 1, addr: String::new(), weight: 2 },
+                ],
+            }),
         ];
         for msg in messages {
             let decoded: Message = from_bytes(&to_bytes(&msg)).unwrap();
@@ -831,6 +909,17 @@ mod tests {
                 },
             ],
         });
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Message>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_ring_response_fails_not_panics() {
+        let bytes = to_bytes(&Message::RingResponse(RingBody {
+            version: 9,
+            nodes: vec![RingNodeBody { id: 2, addr: "a:1".into(), weight: 1 }],
+        }));
         for cut in 0..bytes.len() {
             assert!(from_bytes::<Message>(&bytes[..cut]).is_err());
         }

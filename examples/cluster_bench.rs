@@ -1,0 +1,287 @@
+//! Benchmarks the distributed store mode and emits `BENCH_cluster.json`.
+//!
+//! Two questions, matching `docs/CLUSTER.md`:
+//!
+//! 1. **Scaling** — what does routing + R = 2 replication cost as the ring
+//!    grows from 1 to 3 in-process members? PUT pays one sealed round-trip
+//!    per replica (quorum-1 ack, secondary in the same call), GET pays
+//!    exactly one regardless of ring size, so PUT throughput should dip
+//!    when the ring first reaches R members and GET should stay flat.
+//! 2. **Failover latency** — with one member killed, how much does a GET
+//!    whose primary is the dead node pay for the failed dial before the
+//!    surviving replica answers?
+//!
+//! Every member is a real `ResultStore` behind an attested in-process
+//! channel, so the numbers include sealing/opening and the simulated SGX
+//! transition costs — the same stack the integration tests drive.
+//!
+//! ```text
+//! cargo run --release --example cluster_bench            # full run
+//! cargo run --release --example cluster_bench -- --smoke # CI smoke run
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use speed_core::{
+    BreakerConfig, ClusterClient, ClusterConfig, Connector, CoreError, InProcessClient,
+    NodeId, OutageSwitch, ResilienceConfig, RetryPolicy, StoreClient, SwitchedClient,
+};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{QuotaPolicy, ResultStore, StoreConfig};
+use speed_wire::{AppId, CompTag, Message, Record, SessionAuthority};
+
+const APP: AppId = AppId(0xBE7C);
+const NODE_COUNTS: [u32; 3] = [1, 2, 3];
+const RECORD_LEN: usize = 256;
+
+fn tag(i: u64) -> CompTag {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&i.to_le_bytes());
+    bytes[8] = 0xB5;
+    CompTag::from_bytes(bytes)
+}
+
+fn record(fill: u8) -> Record {
+    Record {
+        challenge: vec![fill; 32],
+        wrapped_key: [fill; 16],
+        nonce: [fill; 12],
+        boxed_result: vec![fill; RECORD_LEN],
+    }
+}
+
+fn node_resilience() -> ResilienceConfig {
+    ResilienceConfig {
+        retry: RetryPolicy::none(),
+        breaker: BreakerConfig {
+            failure_threshold: 1_000_000,
+            cooldown: Duration::from_millis(1),
+        },
+        call_budget: Duration::from_secs(5),
+        replay_capacity: 1,
+        jitter_seed: Some(0xB5),
+    }
+}
+
+struct Cluster {
+    client: ClusterClient,
+    switches: Vec<Arc<OutageSwitch>>,
+}
+
+fn build_cluster(nodes: u32) -> Cluster {
+    let platform = Platform::new(CostModel::default_sgx());
+    let authority = Arc::new(SessionAuthority::with_seed(0xBE7C));
+    let enclave = platform.create_enclave(b"cluster-bench").unwrap();
+    let mut builder = ClusterClient::builder(ClusterConfig {
+        node_resilience: node_resilience(),
+        ..ClusterConfig::default()
+    });
+    let mut switches = Vec::new();
+    for id in 0..nodes {
+        let store = Arc::new(
+            ResultStore::new(
+                &platform,
+                StoreConfig { quota: QuotaPolicy::unlimited(), ..StoreConfig::default() },
+            )
+            .unwrap(),
+        );
+        let switch = Arc::new(OutageSwitch::new());
+        let connector: Connector = {
+            let switch = Arc::clone(&switch);
+            let authority = Arc::clone(&authority);
+            let platform = Arc::clone(&platform);
+            let enclave = Arc::clone(&enclave);
+            Box::new(move || {
+                if switch.is_down() {
+                    return Err(CoreError::StoreUnavailable("node is down".into()));
+                }
+                let inner = InProcessClient::connect(
+                    Arc::clone(&store),
+                    &authority,
+                    &platform,
+                    &enclave,
+                )?;
+                Ok(Box::new(SwitchedClient::new(Box::new(inner), Arc::clone(&switch)))
+                    as Box<dyn StoreClient>)
+            })
+        };
+        builder = builder.node(id, connector);
+        switches.push(switch);
+    }
+    Cluster { client: builder.build().unwrap(), switches }
+}
+
+struct Run {
+    nodes: u32,
+    put_kops: f64,
+    put_wall_ms: f64,
+    get_kops: f64,
+    get_wall_ms: f64,
+}
+
+impl Run {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"nodes\": {}, \"put_kops_per_sec\": {:.1}, ",
+                "\"put_wall_ms\": {:.3}, \"get_kops_per_sec\": {:.1}, ",
+                "\"get_wall_ms\": {:.3}}}"
+            ),
+            self.nodes, self.put_kops, self.put_wall_ms, self.get_kops, self.get_wall_ms,
+        )
+    }
+}
+
+fn run_scaling(nodes: u32, ops: u64) -> Run {
+    let mut cluster = build_cluster(nodes);
+
+    let put_start = std::time::Instant::now();
+    for i in 0..ops {
+        let response = cluster
+            .client
+            .roundtrip(&Message::PutRequest { app: APP, tag: tag(i), record: record(7) })
+            .unwrap();
+        assert!(matches!(response, Message::PutResponse(ref b) if b.accepted));
+    }
+    let put_wall = put_start.elapsed().as_secs_f64();
+
+    let get_start = std::time::Instant::now();
+    for i in 0..ops {
+        let response = cluster
+            .client
+            .roundtrip(&Message::GetRequest { app: APP, tag: tag(i) })
+            .unwrap();
+        assert!(matches!(response, Message::GetResponse(ref b) if b.found));
+    }
+    let get_wall = get_start.elapsed().as_secs_f64();
+
+    Run {
+        nodes,
+        put_kops: ops as f64 / put_wall / 1e3,
+        put_wall_ms: put_wall * 1e3,
+        get_kops: ops as f64 / get_wall / 1e3,
+        get_wall_ms: get_wall * 1e3,
+    }
+}
+
+struct Failover {
+    baseline_get_us: f64,
+    failover_get_us: f64,
+    first_failover_us: f64,
+    penalty_factor: f64,
+}
+
+/// Kills one member of a warmed 3-node ring and times GETs whose primary
+/// is the dead node (each pays the failed dial + failover) against GETs on
+/// the same tags while the ring was healthy.
+fn run_failover(ops: u64) -> Failover {
+    let mut cluster = build_cluster(3);
+    for i in 0..ops {
+        let response = cluster
+            .client
+            .roundtrip(&Message::PutRequest { app: APP, tag: tag(i), record: record(9) })
+            .unwrap();
+        assert!(matches!(response, Message::PutResponse(ref b) if b.accepted));
+    }
+    let victim = NodeId(0);
+    let victim_tags: Vec<u64> =
+        (0..ops).filter(|&i| cluster.client.replicas_of(&tag(i))[0] == victim).collect();
+    assert!(!victim_tags.is_empty(), "no tags owned by the victim node");
+
+    let healthy_start = std::time::Instant::now();
+    for &i in &victim_tags {
+        let response = cluster
+            .client
+            .roundtrip(&Message::GetRequest { app: APP, tag: tag(i) })
+            .unwrap();
+        assert!(matches!(response, Message::GetResponse(ref b) if b.found));
+    }
+    let baseline_us =
+        healthy_start.elapsed().as_secs_f64() * 1e6 / victim_tags.len() as f64;
+
+    cluster.switches[0].set_down(true);
+    let mut first_us = 0.0;
+    let failover_start = std::time::Instant::now();
+    for (n, &i) in victim_tags.iter().enumerate() {
+        let one = std::time::Instant::now();
+        let response = cluster
+            .client
+            .roundtrip(&Message::GetRequest { app: APP, tag: tag(i) })
+            .unwrap();
+        assert!(matches!(response, Message::GetResponse(ref b) if b.found));
+        if n == 0 {
+            first_us = one.elapsed().as_secs_f64() * 1e6;
+        }
+    }
+    let failover_us =
+        failover_start.elapsed().as_secs_f64() * 1e6 / victim_tags.len() as f64;
+
+    Failover {
+        baseline_get_us: baseline_us,
+        failover_get_us: failover_us,
+        first_failover_us: first_us,
+        penalty_factor: failover_us / baseline_us.max(1e-9),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let ops: u64 = if smoke { 512 } else { 8192 };
+
+    println!(
+        "cluster bench: {ops} ops/phase, record {RECORD_LEN} B, R = 2 replication, \
+         rings of {NODE_COUNTS:?} in-process members{}",
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    // Warmup run so no measured ring pays first-allocation costs.
+    let _ = run_scaling(1, ops.min(256));
+
+    let runs: Vec<Run> = NODE_COUNTS.iter().map(|&n| run_scaling(n, ops)).collect();
+    for run in &runs {
+        println!(
+            "  nodes={} put {:>8.1} kops ({:>8.3} ms)  get {:>8.1} kops ({:>8.3} ms)",
+            run.nodes, run.put_kops, run.put_wall_ms, run.get_kops, run.get_wall_ms,
+        );
+    }
+
+    let failover = run_failover(ops.min(2048));
+    println!(
+        "  failover: healthy GET {:.1} us, failover GET {:.1} us \
+         ({:.2}x, first {:.1} us)",
+        failover.baseline_get_us,
+        failover.failover_get_us,
+        failover.penalty_factor,
+        failover.first_failover_us,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"cluster_scaling\",\n",
+            "  \"methodology\": \"wall-clock through ClusterClient over attested ",
+            "in-process members (simulated SGX transition costs included); PUT ",
+            "replicates to min(R, nodes) members per call, GET reads one replica; ",
+            "failover = GETs whose primary is a killed member, paying the failed ",
+            "dial before the surviving replica answers\",\n",
+            "  \"config\": {{\"ops_per_phase\": {}, \"record_bytes\": {}, ",
+            "\"replication\": 2, \"smoke\": {}}},\n",
+            "  \"runs\": [\n{}\n  ],\n",
+            "  \"failover\": {{\"baseline_get_us\": {:.1}, \"failover_get_us\": {:.1}, ",
+            "\"first_failover_us\": {:.1}, \"penalty_factor\": {:.2}}}\n",
+            "}}\n"
+        ),
+        ops,
+        RECORD_LEN,
+        smoke,
+        runs.iter().map(Run::to_json).collect::<Vec<_>>().join(",\n"),
+        failover.baseline_get_us,
+        failover.failover_get_us,
+        failover.first_failover_us,
+        failover.penalty_factor,
+    );
+    std::fs::write("BENCH_cluster.json", &json)?;
+    println!("wrote BENCH_cluster.json");
+    Ok(())
+}

@@ -699,6 +699,305 @@ fn durable_backend_matches_model_across_crash_reloads() {
     );
 }
 
+/// An op stream for the multi-node arm: flat store ops interleaved with
+/// node kills and rejoins. Execution semantics are defined for *any*
+/// sequence (shrinking may drop a `Kill` or `Rejoin`): `Kill` first heals
+/// the cluster (all up, hints drained) then downs one node, and `Rejoin`
+/// heals the cluster, so at most one node is ever down.
+#[derive(Clone, Debug, PartialEq)]
+enum ClusterOp {
+    Flat(Op),
+    Kill { node: u8 },
+    Rejoin,
+}
+
+impl Shrink for ClusterOp {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            ClusterOp::Flat(op) => op.shrink().into_iter().map(ClusterOp::Flat).collect(),
+            ClusterOp::Kill { .. } | ClusterOp::Rejoin => Vec::new(),
+        }
+    }
+}
+
+fn gen_cluster_ops(rng: &mut TestRng) -> Vec<ClusterOp> {
+    let len = rng.range_usize(0, 40);
+    let mut down = false;
+    let mut ops = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        if !down && rng.chance(0.12) {
+            ops.push(ClusterOp::Kill { node: rng.byte() % 3 });
+            down = true;
+        } else if down && rng.chance(0.3) {
+            ops.push(ClusterOp::Rejoin);
+            down = false;
+        } else {
+            ops.push(ClusterOp::Flat(gen_op(rng, false)));
+        }
+    }
+    // Converge at the end: the final state must match the flat model.
+    ops.push(ClusterOp::Rejoin);
+    ops
+}
+
+/// Multi-node arm of the differential tester: the same op sequence runs
+/// against a 3-node `ClusterClient` (R = 2, in-process stores, roomy
+/// capacity so eviction order cannot diverge across placements) and the
+/// flat map model — with a node killed and rejoined mid-sequence. While a
+/// node is down, write-quorum-1 PUTs and read-from-any GETs must keep
+/// every response identical to the flat model's; each rejoin drains the
+/// hinted PUTs, after which the killed node's replicas have converged.
+#[test]
+fn cluster_matches_flat_model_across_node_kill_and_rejoin() {
+    use speed_core::{
+        BreakerConfig, ClusterClient, ClusterConfig, Connector, InProcessClient,
+        OutageSwitch, ResilienceConfig, RetryPolicy, StoreClient, SwitchedClient,
+    };
+    use speed_wire::SessionAuthority;
+    use std::sync::Arc;
+
+    check(
+        "cluster_matches_flat_model_across_node_kill_and_rejoin",
+        0x5EED_0005,
+        gen_cluster_ops,
+        |ops: &Vec<ClusterOp>| {
+            let platform = Platform::new(CostModel::no_sgx());
+            let authority = Arc::new(SessionAuthority::with_seed(55));
+            let enclave = platform.create_enclave(b"cluster-model").unwrap();
+            let mut builder = ClusterClient::builder(ClusterConfig {
+                node_resilience: ResilienceConfig {
+                    retry: RetryPolicy::none(),
+                    breaker: BreakerConfig {
+                        // The property wants every failure visible as a
+                        // clean failover, never a fast-fail window.
+                        failure_threshold: 1_000_000,
+                        cooldown: std::time::Duration::from_millis(1),
+                    },
+                    ..ResilienceConfig::default()
+                },
+                ..ClusterConfig::default()
+            });
+            let mut switches = Vec::new();
+            for _ in 0..3u32 {
+                let store = Arc::new(
+                    ResultStore::new(
+                        &platform,
+                        StoreConfig::with_capacity(10_000, u64::MAX),
+                    )
+                    .unwrap(),
+                );
+                let switch = Arc::new(OutageSwitch::new());
+                let connector: Connector = {
+                    let switch = Arc::clone(&switch);
+                    let authority = Arc::clone(&authority);
+                    let platform = Arc::clone(&platform);
+                    let enclave = Arc::clone(&enclave);
+                    Box::new(move || {
+                        if switch.is_down() {
+                            return Err(speed_core::CoreError::StoreUnavailable(
+                                "node is down".into(),
+                            ));
+                        }
+                        let inner = InProcessClient::connect(
+                            Arc::clone(&store),
+                            &authority,
+                            &platform,
+                            &enclave,
+                        )?;
+                        Ok(Box::new(SwitchedClient::new(
+                            Box::new(inner),
+                            Arc::clone(&switch),
+                        )) as Box<dyn StoreClient>)
+                    })
+                };
+                builder = builder.node(switches.len() as u32, connector);
+                switches.push(switch);
+            }
+            let mut client = builder.build().unwrap();
+
+            let heal = |client: &ClusterClient, switches: &[Arc<OutageSwitch>]| {
+                for switch in switches {
+                    switch.set_down(false);
+                }
+                client.drain_hints();
+                assert_eq!(client.hint_depth(), 0, "heal left hints parked");
+            };
+
+            let mut model: BTreeMap<u8, Record> = BTreeMap::new();
+            let mut oracle = FilterOracle::default();
+            let mut any_down = false;
+            let app = AppId(1);
+            for (index, op) in ops.iter().enumerate() {
+                let flat_op = match op {
+                    ClusterOp::Kill { node } => {
+                        heal(&client, &switches);
+                        switches[usize::from(node % 3)].set_down(true);
+                        any_down = true;
+                        continue;
+                    }
+                    ClusterOp::Rejoin => {
+                        heal(&client, &switches);
+                        any_down = false;
+                        continue;
+                    }
+                    ClusterOp::Flat(flat_op) => flat_op,
+                };
+                match flat_op {
+                    Op::Get { tag } => {
+                        let response = client
+                            .roundtrip(&Message::GetRequest { app, tag: tag_of(*tag) })
+                            .expect("one replica of every tag is reachable");
+                        match response {
+                            Message::GetResponse(body) => assert_eq!(
+                                body.record,
+                                model.get(tag).cloned(),
+                                "op {index}: GET diverged"
+                            ),
+                            other => panic!("op {index}: unexpected {other:?}"),
+                        }
+                    }
+                    Op::Put { tag, len, fill } | Op::PutPre { tag, len, fill } => {
+                        let request = match flat_op {
+                            Op::Put { .. } => Message::PutRequest {
+                                app,
+                                tag: tag_of(*tag),
+                                record: record_of(*tag, *len, *fill),
+                            },
+                            _ => {
+                                oracle.inserted.insert(prefilter_of(*tag));
+                                Message::PutPrefiltered {
+                                    app,
+                                    tag: tag_of(*tag),
+                                    prefilter: prefilter_of(*tag),
+                                    record: record_of(*tag, *len, *fill),
+                                }
+                            }
+                        };
+                        let response = client
+                            .roundtrip(&request)
+                            .expect("write quorum 1 is always reachable");
+                        let inserted = !model.contains_key(tag);
+                        model.entry(*tag).or_insert_with(|| record_of(*tag, *len, *fill));
+                        match response {
+                            Message::PutResponse(body) => {
+                                assert!(body.accepted, "op {index}: {:?}", body.reason);
+                                // Up replicas hold complete data for their
+                                // tags (kills drain first), so even the
+                                // node-local duplicate verdict agrees.
+                                assert_eq!(
+                                    body.reason.is_none(),
+                                    inserted,
+                                    "op {index}: duplicate verdict diverged ({:?})",
+                                    body.reason
+                                );
+                            }
+                            other => panic!("op {index}: unexpected {other:?}"),
+                        }
+                    }
+                    Op::FilterCheck => {
+                        // The filter fan-out fails closed while a member is
+                        // down; the contract is only checkable when whole.
+                        match client.roundtrip(&Message::FilterRequest) {
+                            Ok(Message::FilterResponse(body)) => {
+                                let mut shards = body.shards.into_iter();
+                                if let Some(mut merged) = shards.next() {
+                                    for shard in shards {
+                                        merged.merge_from(&shard);
+                                    }
+                                    for &prefilter in &oracle.inserted {
+                                        assert!(
+                                            merged.may_contain(prefilter),
+                                            "op {index}: cluster filter union \
+                                             denies {prefilter:#x}"
+                                        );
+                                    }
+                                }
+                            }
+                            Ok(other) => panic!("op {index}: unexpected {other:?}"),
+                            Err(_) => assert!(
+                                any_down,
+                                "op {index}: filter refresh failed with all nodes up"
+                            ),
+                        }
+                    }
+                    Op::Batch { items } => {
+                        let wire_items: Vec<BatchItem> = items
+                            .iter()
+                            .map(|item| match item {
+                                Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                                Item::Put { tag, len, fill } => BatchItem::Put {
+                                    tag: tag_of(*tag),
+                                    record: record_of(*tag, *len, *fill),
+                                },
+                            })
+                            .collect();
+                        let response = client
+                            .roundtrip(&Message::BatchRequest { app, items: wire_items })
+                            .expect("every item has a reachable replica");
+                        let mut expected = Vec::with_capacity(items.len());
+                        for item in items {
+                            match item {
+                                Item::Get { tag } => {
+                                    expected.push(match model.get(tag) {
+                                        Some(record) => {
+                                            BatchItemResult::found(record.clone())
+                                        }
+                                        None => BatchItemResult::not_found(),
+                                    });
+                                }
+                                Item::Put { tag, len, fill } => {
+                                    if model.contains_key(tag) {
+                                        let mut dup = BatchItemResult::accepted();
+                                        dup.reason =
+                                            Some("duplicate: existing entry kept".into());
+                                        expected.push(dup);
+                                    } else {
+                                        model.insert(*tag, record_of(*tag, *len, *fill));
+                                        expected.push(BatchItemResult::accepted());
+                                    }
+                                }
+                            }
+                        }
+                        match response {
+                            Message::BatchResponse(results) => assert_eq!(
+                                results, expected,
+                                "op {index}: batch diverged"
+                            ),
+                            other => panic!("op {index}: unexpected {other:?}"),
+                        }
+                    }
+                    Op::Reload => unreachable!("disabled for the cluster arm"),
+                }
+            }
+            // Converged epilogue (the trailing Rejoin healed everything):
+            // every model entry is present on ALL of its replicas, so the
+            // kill + rejoin cycle lost nothing and handoff fully caught up.
+            let aggregate = match client.roundtrip(&Message::StatsRequest) {
+                Ok(Message::StatsResponse(stats)) => stats.entries,
+                other => panic!("stats fan-out failed: {other:?}"),
+            };
+            assert_eq!(
+                aggregate,
+                2 * model.len() as u64,
+                "every entry must live on exactly R = 2 replicas"
+            );
+            for (tag, record) in &model {
+                match client
+                    .roundtrip(&Message::GetRequest { app, tag: tag_of(*tag) })
+                    .unwrap()
+                {
+                    Message::GetResponse(body) => assert_eq!(
+                        body.record.as_ref(),
+                        Some(record),
+                        "epilogue: tag {tag} diverged"
+                    ),
+                    other => panic!("epilogue: unexpected {other:?}"),
+                }
+            }
+        },
+    );
+}
+
 /// Quota enforcement matches a simple prediction: with only
 /// `max_entries_per_app` limited, a PUT is denied exactly when the app
 /// already owns that many live entries (duplicates are charged then
