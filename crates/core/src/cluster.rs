@@ -423,6 +423,7 @@ fn unavailable(why: &str) -> CoreError {
 fn item_tag(item: &BatchItem) -> &CompTag {
     match item {
         BatchItem::Get { tag }
+        | BatchItem::GetPrefiltered { tag, .. }
         | BatchItem::Put { tag, .. }
         | BatchItem::PutPrefiltered { tag, .. } => tag,
     }
@@ -443,7 +444,7 @@ fn put_message_of(app: AppId, item: &BatchItem) -> Option<Message> {
                 record: record.clone(),
             })
         }
-        BatchItem::Get { .. } => None,
+        BatchItem::Get { .. } | BatchItem::GetPrefiltered { .. } => None,
     }
 }
 
@@ -624,7 +625,7 @@ impl ClusterShared {
         // again one sub-batch per node; failures become hints.
         let mut secondary: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for (i, item) in items.iter().enumerate() {
-            if matches!(item, BatchItem::Get { .. })
+            if matches!(item, BatchItem::Get { .. } | BatchItem::GetPrefiltered { .. })
                 || results[i].status != BatchStatus::Accepted
             {
                 continue;

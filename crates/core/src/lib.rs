@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod chunker;
 mod client;
 pub mod cluster;
 mod deduplicable;
@@ -69,12 +70,14 @@ pub mod rce;
 pub mod resilience;
 mod result_bytes;
 mod runtime;
+mod stream;
 mod tag;
 
 pub use chaos::{
     ChaosClient, Fault, FaultConfig, FaultCounts, FaultInjector, FaultRates,
     OutageSwitch, SwitchedClient,
 };
+pub use chunker::{chunk_all, Chunker, ChunkerConfig, ChunkerStats};
 pub use client::{InProcessClient, StoreClient, TcpClient};
 pub use cluster::{
     ClusterBuilder, ClusterClient, ClusterConfig, ClusterCounts, HashRing, NodeId,
@@ -94,4 +97,5 @@ pub use runtime::{
     BatchCall, BatchCompute, DedupMode, DedupOutcome, DedupRuntime, PrefilterConfig,
     RuntimeBuilder, RuntimeStats,
 };
+pub use stream::{StreamConfig, StreamOutcome, StreamSession, StreamStats};
 pub use tag::{secondary_key, tag_for};

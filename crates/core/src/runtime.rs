@@ -180,7 +180,7 @@ struct AtomicStats {
 /// aggregate the same events across every runtime in the process and add
 /// the latency histograms the scalar counters cannot express.
 #[derive(Clone, Debug)]
-struct RuntimeTelemetry {
+pub(crate) struct RuntimeTelemetry {
     calls: Counter,
     hits: Counter,
     misses: Counter,
@@ -201,6 +201,11 @@ struct RuntimeTelemetry {
     prefilter_cache_skips: Counter,
     prefilter_store_skips: Counter,
     prefilter_refreshes: Counter,
+    pub(crate) stream_chunks: Counter,
+    pub(crate) stream_chunk_hits: Counter,
+    pub(crate) stream_bytes: Counter,
+    pub(crate) stream_flush_duration: Histogram,
+    pub(crate) chunker_forced_cuts: Counter,
 }
 
 impl RuntimeTelemetry {
@@ -283,6 +288,26 @@ impl RuntimeTelemetry {
             prefilter_refreshes: reg.counter(
                 names::TAG_PREFILTER_REFRESHES_TOTAL,
                 "Negative-filter snapshots fetched from the store",
+            ),
+            stream_chunks: reg.counter(
+                names::STREAM_CHUNKS_TOTAL,
+                "Chunks processed by streaming dedup sessions",
+            ),
+            stream_chunk_hits: reg.counter(
+                names::STREAM_CHUNK_HITS_TOTAL,
+                "Stream chunks satisfied without executing the function",
+            ),
+            stream_bytes: reg.counter(
+                names::STREAM_BYTES_TOTAL,
+                "Input bytes consumed by streaming dedup sessions",
+            ),
+            stream_flush_duration: reg.histogram(
+                names::STREAM_FLUSH_DURATION_NS,
+                "One mid-stream or final chunk-batch flush",
+            ),
+            chunker_forced_cuts: reg.counter(
+                names::CHUNKER_FORCED_CUTS_TOTAL,
+                "Chunk cuts forced by the max bound instead of content",
             ),
         }
     }
@@ -424,7 +449,8 @@ impl AsyncPutter {
                                                     record,
                                                 });
                                             }
-                                            BatchItem::Get { .. } => {}
+                                            BatchItem::Get { .. }
+                                            | BatchItem::GetPrefiltered { .. } => {}
                                         }
                                     }
                                 }
@@ -870,6 +896,11 @@ impl DedupRuntime {
     /// The application's enclave.
     pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
+    }
+
+    /// Registry handles shared with the streaming session layer.
+    pub(crate) fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.telemetry
     }
 
     /// The application id used for store quota accounting.
@@ -1338,9 +1369,22 @@ impl DedupRuntime {
             let get_positions: Vec<usize> =
                 (0..pending.len()).filter(|&pos| !skip_get[pos]).collect();
             if !get_positions.is_empty() {
+                // With the filter tier enabled the GETs carry their
+                // prefilter tags, so the store can answer definite misses
+                // straight from its (authoritative, never stale) shard
+                // filters without dictionary-lock work — the server-side
+                // complement of the client's merged-filter skip above.
                 let get_items: Vec<BatchItem> = get_positions
                     .iter()
-                    .map(|&pos| BatchItem::Get { tag: tags[pending[pos]] })
+                    .map(|&pos| {
+                        let tag = tags[pending[pos]];
+                        match prefilter_of(pending[pos]) {
+                            Some(prefilter) => {
+                                BatchItem::GetPrefiltered { tag, prefilter }
+                            }
+                            None => BatchItem::Get { tag },
+                        }
+                    })
                     .collect();
                 let args_len = 48 * get_items.len();
                 let request =
@@ -1498,7 +1542,8 @@ impl DedupRuntime {
                                         record,
                                     });
                                 }
-                                BatchItem::Get { .. } => {}
+                                BatchItem::Get { .. }
+                                | BatchItem::GetPrefiltered { .. } => {}
                             }
                         }
                     }
@@ -1563,7 +1608,10 @@ impl DedupRuntime {
                                                     prefilter,
                                                     record,
                                                 }),
-                                                BatchItem::Get { .. } => None,
+                                                BatchItem::Get { .. }
+                                                | BatchItem::GetPrefiltered { .. } => {
+                                                    None
+                                                }
                                             };
                                             if let Some(message) = replayed {
                                                 self.stats

@@ -149,6 +149,7 @@ struct StoreTelemetry {
     filter_inserts: Counter,
     filter_incomplete: Counter,
     filter_rebuilds: Counter,
+    filter_batch_skips: Counter,
     shards: Vec<ShardTelemetry>,
 }
 
@@ -241,6 +242,11 @@ impl StoreTelemetry {
             filter_rebuilds: registry.counter(
                 names::STORE_FILTER_REBUILDS_TOTAL,
                 "Negative-filter rebuilds from the dictionary index",
+            ),
+            filter_batch_skips: registry.counter(
+                names::STORE_FILTER_BATCH_SKIPS_TOTAL,
+                "Prefiltered batch GETs answered not-found straight from the \
+                 shard's negative filter",
             ),
             shards,
         }
@@ -404,13 +410,16 @@ enum BatchPlan {
     Denied {
         reason: String,
     },
+    /// A prefiltered GET the shard's negative filter proved absent,
+    /// answered host-side without any dictionary-lock work in the ECALL.
+    FilteredMiss,
 }
 
 impl BatchPlan {
     fn tag(&self) -> Option<&CompTag> {
         match self {
             BatchPlan::Get { tag, .. } | BatchPlan::Put { tag, .. } => Some(tag),
-            BatchPlan::Denied { .. } => None,
+            BatchPlan::Denied { .. } | BatchPlan::FilteredMiss => None,
         }
     }
 }
@@ -944,6 +953,12 @@ impl ResultStore {
         let mut plans = Vec::with_capacity(items.len());
         let mut args_len = 0usize;
         let mut ret_len = 0usize;
+        // Tags written by earlier items of THIS batch: the filter probe
+        // below reads state from before the batch mutates, so a
+        // prefiltered GET behind an intra-batch PUT of the same tag must
+        // take the real dictionary path.
+        let mut batch_put_tags: std::collections::HashSet<CompTag> =
+            std::collections::HashSet::new();
         for item in items {
             let now_ms = self.tick();
             match item {
@@ -954,16 +969,43 @@ impl ResultStore {
                     ret_len += 128;
                     plans.push(BatchPlan::Get { tag, now_ms });
                 }
+                BatchItem::GetPrefiltered { tag, prefilter } => {
+                    self.counters.gets.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.gets.inc();
+                    // Filter-aware batch GET planning: a complete shard
+                    // filter that does not contain the prefilter tag proves
+                    // the tag is absent (the filter never yields a false
+                    // negative), so the item is settled right here — it
+                    // never joins a shard group inside the batch ECALL and
+                    // costs no dictionary-lock time.
+                    let proven_absent = !batch_put_tags.contains(&tag) && {
+                        let filter = lock_recover(&self.shard(&tag).filter);
+                        filter.is_complete() && !filter.may_contain(prefilter)
+                    };
+                    if proven_absent {
+                        self.telemetry.filter_batch_skips.inc();
+                        plans.push(BatchPlan::FilteredMiss);
+                    } else {
+                        args_len += 32;
+                        ret_len += 128;
+                        plans.push(BatchPlan::Get { tag, now_ms });
+                    }
+                }
                 BatchItem::Put { .. } | BatchItem::PutPrefiltered { .. } => {
                     let (tag, record, prefilter) = match item {
                         BatchItem::Put { tag, record } => (tag, record, None),
                         BatchItem::PutPrefiltered { tag, prefilter, record } => {
                             (tag, record, Some(prefilter))
                         }
-                        BatchItem::Get { .. } => unreachable!("matched above"),
+                        BatchItem::Get { .. } | BatchItem::GetPrefiltered { .. } => {
+                            unreachable!("matched above")
+                        }
                     };
                     self.counters.puts.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.puts.inc();
+                    // Conservative: recorded even if the PUT is denied below
+                    // (skipping the shortcut never changes an answer).
+                    batch_put_tags.insert(tag);
                     if let Some(reason) = self.backend.read_only() {
                         self.counters.rejected_puts.fetch_add(1, Ordering::Relaxed);
                         self.telemetry.rejected_puts.inc();
@@ -1009,12 +1051,18 @@ impl ResultStore {
                 for (index, plan) in plans.iter().enumerate() {
                     match plan.tag() {
                         Some(tag) => by_shard[self.shard_for_tag(tag)].push(index),
-                        None => {
-                            if let BatchPlan::Denied { reason } = plan {
+                        None => match plan {
+                            BatchPlan::Denied { reason } => {
                                 outcomes[index] =
                                     Some(BatchOutcome::Denied(reason.clone()));
                             }
-                        }
+                            BatchPlan::FilteredMiss => {
+                                outcomes[index] = Some(BatchOutcome::GetMiss);
+                            }
+                            BatchPlan::Get { .. } | BatchPlan::Put { .. } => {
+                                unreachable!("tagged plans route to a shard")
+                            }
+                        },
                     }
                 }
                 for (shard_index, indices) in by_shard.iter().enumerate() {
@@ -1257,6 +1305,7 @@ impl ResultStore {
     ) -> BatchOutcome {
         match plan {
             BatchPlan::Denied { reason } => BatchOutcome::Denied(reason.clone()),
+            BatchPlan::FilteredMiss => BatchOutcome::GetMiss,
             BatchPlan::Get { tag, now_ms } => {
                 if let Some(ttl) = self.config.ttl_ms {
                     let is_expired = dict.peek(tag).is_some_and(|entry| {

@@ -70,6 +70,22 @@ pub const TAG_PREFILTER_STORE_SKIPS_TOTAL: &str = "tag_prefilter_store_skips_tot
 /// budget refreshes).
 pub const TAG_PREFILTER_REFRESHES_TOTAL: &str = "tag_prefilter_refreshes_total";
 
+// --- speed-core: streaming chunked dedup (StreamSession + chunker) ---
+
+/// Counter: chunks processed by streaming dedup sessions.
+pub const STREAM_CHUNKS_TOTAL: &str = "stream_chunks_total";
+/// Counter: stream chunks satisfied without executing the function
+/// (store hit or in-enclave hot-cache hit).
+pub const STREAM_CHUNK_HITS_TOTAL: &str = "stream_chunk_hits_total";
+/// Counter: input bytes consumed by streaming dedup sessions.
+pub const STREAM_BYTES_TOTAL: &str = "stream_bytes_total";
+/// Histogram (ns): one mid-stream or final chunk-batch flush (an
+/// `execute_batch` call made by a `StreamSession`).
+pub const STREAM_FLUSH_DURATION_NS: &str = "stream_flush_duration_ns";
+/// Counter: chunk cuts forced by the `max` bound instead of found by the
+/// rolling-hash content test.
+pub const CHUNKER_FORCED_CUTS_TOTAL: &str = "chunker_forced_cuts_total";
+
 // --- speed-core resilience: the fault-tolerant store path ---
 
 /// Counter: round-trip attempts retried with backoff.
@@ -150,6 +166,10 @@ pub const STORE_FILTER_INSERTS_TOTAL: &str = "store_filter_inserts_total";
 pub const STORE_FILTER_INCOMPLETE_TOTAL: &str = "store_filter_incomplete_total";
 /// Counter: filter rebuilds from the live index (on open / after import).
 pub const STORE_FILTER_REBUILDS_TOTAL: &str = "store_filter_rebuilds_total";
+/// Counter: prefiltered batch-GET items answered "not found" straight from
+/// the shard's negative filter, without entering the batch ECALL's shard
+/// groups (filter-aware batch GET planning).
+pub const STORE_FILTER_BATCH_SKIPS_TOTAL: &str = "store_filter_batch_skips_total";
 
 // --- speed-store durability: log backend, checkpoints, snapshots ---
 
@@ -248,6 +268,11 @@ pub const ALL: &[&str] = &[
     TAG_PREFILTER_CACHE_SKIPS_TOTAL,
     TAG_PREFILTER_STORE_SKIPS_TOTAL,
     TAG_PREFILTER_REFRESHES_TOTAL,
+    STREAM_CHUNKS_TOTAL,
+    STREAM_CHUNK_HITS_TOTAL,
+    STREAM_BYTES_TOTAL,
+    STREAM_FLUSH_DURATION_NS,
+    CHUNKER_FORCED_CUTS_TOTAL,
     RESILIENCE_RETRIES_TOTAL,
     RESILIENCE_RECONNECTS_TOTAL,
     RESILIENCE_BREAKER_TRANSITIONS_TOTAL,
@@ -278,6 +303,7 @@ pub const ALL: &[&str] = &[
     STORE_FILTER_INSERTS_TOTAL,
     STORE_FILTER_INCOMPLETE_TOTAL,
     STORE_FILTER_REBUILDS_TOTAL,
+    STORE_FILTER_BATCH_SKIPS_TOTAL,
     STORE_WAL_APPENDS_TOTAL,
     STORE_WAL_APPENDED_BYTES_TOTAL,
     STORE_WAL_REPLAY_RECORDS_TOTAL,

@@ -15,6 +15,10 @@
 //! - [`wiregen`]: domain generators for the dedup protocol — tags,
 //!   records, batch items, whole [`speed_wire::Message`] envelopes, and
 //!   frames.
+//! - [`load`]: seeded open-loop load generation — Poisson arrivals,
+//!   Zipf-popular users/inputs, configurable repeat ratios, and a
+//!   deterministic G/G/c replay that turns measured service times into
+//!   p50/p99/p999 open-loop latency.
 //! - [`mutate`]: byte-level mutators (bit flips, truncation, splices,
 //!   hostile length prefixes) for fuzzing codecs.
 //! - [`fault`]: a fault-injecting filesystem behind the store's
@@ -48,6 +52,7 @@
 pub mod corpus;
 pub mod fault;
 pub mod gen;
+pub mod load;
 pub mod mutate;
 pub mod rng;
 pub mod runner;

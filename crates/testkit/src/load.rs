@@ -1,0 +1,433 @@
+//! Seeded open-loop load generation.
+//!
+//! Closed-loop harnesses (issue the next request when the previous one
+//! returns) hide queueing delay: the generator slows down exactly when the
+//! system does, so tail latency looks flat right up to collapse. An
+//! *open-loop* generator schedules arrivals from a Poisson process that
+//! does not care how the system is doing, and a request's latency is
+//! measured from its **scheduled arrival**, queueing included — the
+//! methodology of the SGX benchmarking literature this repo's BENCH files
+//! follow.
+//!
+//! [`LoadSchedule::generate`] builds the full request schedule up front
+//! from one seed: exponential inter-arrival times at a configured mean
+//! rate, a Zipf-popularity user population, and an input sequence with a
+//! configurable repeat (dedup-hit) ratio whose repeats are Zipf-biased
+//! toward popular inputs. The same seed always yields the identical
+//! schedule, so every benchmark row is replayable.
+//!
+//! [`replay_open_loop`] then turns per-request *service* times (measured
+//! any way the harness likes) into open-loop completion times against the
+//! arrival schedule for a given worker count, yielding p50/p99/p999
+//! latency and sustained throughput deterministically — no wall-clock
+//! pacing, so CI runs are stable.
+
+use crate::rng::TestRng;
+
+/// Configuration for one generated load schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadConfig {
+    /// Base seed; the entire schedule is a pure function of it.
+    pub seed: u64,
+    /// Mean arrival rate in requests per second (Poisson process).
+    pub rate_per_sec: f64,
+    /// Total requests to schedule.
+    pub requests: usize,
+    /// User population size (users are Zipf-popular).
+    pub users: usize,
+    /// Distinct input population size.
+    pub inputs: usize,
+    /// Zipf exponent for user and repeated-input popularity (0 =
+    /// uniform; ~1 is web-like skew).
+    pub zipf_s: f64,
+    /// Target fraction of requests that repeat an already-issued input —
+    /// the knob that sets the dedup hit ratio downstream.
+    pub hit_ratio: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 0x10AD_5EED,
+            rate_per_sec: 10_000.0,
+            requests: 10_000,
+            users: 1_000,
+            inputs: 1_000,
+            zipf_s: 1.0,
+            hit_ratio: 0.5,
+        }
+    }
+}
+
+/// One scheduled request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Scheduled arrival, nanoseconds since the start of the run.
+    pub arrival_ns: u64,
+    /// Issuing user (an index into the Zipf-ranked population).
+    pub user: usize,
+    /// Input index into the distinct-input corpus.
+    pub input: usize,
+    /// Whether the input repeats an earlier request in this schedule.
+    pub repeat: bool,
+}
+
+/// Zipf sampler over ranks `0..n`: rank `r` has weight `1/(r+1)^s`,
+/// sampled by binary search over the cumulative weights.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf population must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draws one rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut TestRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty population");
+        let u = unit_f64(rng) * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of one `u64`.
+fn unit_f64(rng: &mut TestRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A fully materialized open-loop request schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadSchedule {
+    config: LoadConfig,
+    requests: Vec<Request>,
+}
+
+impl LoadSchedule {
+    /// Generates the schedule — a pure function of `config` (and thus of
+    /// `config.seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive, populations are empty, or the
+    /// hit ratio is outside `[0, 1]`.
+    pub fn generate(config: LoadConfig) -> Self {
+        assert!(
+            config.rate_per_sec > 0.0 && config.rate_per_sec.is_finite(),
+            "arrival rate must be positive"
+        );
+        assert!((0.0..=1.0).contains(&config.hit_ratio), "hit ratio must be in [0, 1]");
+        let mut rng = TestRng::new(config.seed);
+        let users = Zipf::new(config.users, config.zipf_s);
+        let mean_gap_ns = 1e9 / config.rate_per_sec;
+
+        let mut requests = Vec::with_capacity(config.requests);
+        let mut clock_ns = 0u64;
+        let mut seen: Vec<usize> = Vec::new();
+        let mut next_fresh = 0usize;
+        for _ in 0..config.requests {
+            // Exponential inter-arrival: -ln(1-u) * mean.
+            let u = unit_f64(&mut rng);
+            let gap = (-(1.0 - u).ln() * mean_gap_ns).round();
+            clock_ns += gap as u64;
+
+            let user = users.sample(&mut rng);
+            let want_repeat = !seen.is_empty() && unit_f64(&mut rng) < config.hit_ratio;
+            let (input, repeat) = if want_repeat || next_fresh >= config.inputs {
+                // Zipf over first-seen order: early inputs stay popular.
+                let pick = Zipf::new(seen.len(), config.zipf_s).sample(&mut rng);
+                (seen[pick], true)
+            } else {
+                let fresh = next_fresh;
+                seen.push(fresh);
+                next_fresh += 1;
+                (fresh, false)
+            };
+            requests.push(Request { arrival_ns: clock_ns, user, input, repeat });
+        }
+        LoadSchedule { config, requests }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &LoadConfig {
+        &self.config
+    }
+
+    /// The scheduled requests, in arrival order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// The scheduled arrival instants, in order.
+    pub fn arrivals_ns(&self) -> Vec<u64> {
+        self.requests.iter().map(|r| r.arrival_ns).collect()
+    }
+
+    /// Fraction of requests that repeat an earlier input.
+    pub fn observed_repeat_ratio(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let repeats = self.requests.iter().filter(|r| r.repeat).count();
+        repeats as f64 / self.requests.len() as f64
+    }
+
+    /// Distinct inputs actually referenced.
+    pub fn distinct_inputs(&self) -> usize {
+        let mut seen: Vec<usize> = self.requests.iter().map(|r| r.input).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+/// Latency percentiles over one run, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Worst observed.
+    pub max_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+}
+
+/// The nearest-rank percentile of a **sorted** latency slice.
+pub fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
+}
+
+/// Summarizes latencies (sorts a copy; the input order is preserved).
+pub fn summarize(latencies_ns: &[u64]) -> LatencySummary {
+    if latencies_ns.is_empty() {
+        return LatencySummary::default();
+    }
+    let mut sorted = latencies_ns.to_vec();
+    sorted.sort_unstable();
+    let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+    LatencySummary {
+        p50_ns: percentile(&sorted, 50.0),
+        p99_ns: percentile(&sorted, 99.0),
+        p999_ns: percentile(&sorted, 99.9),
+        max_ns: *sorted.last().expect("non-empty"),
+        mean_ns: (sum / sorted.len() as u128) as u64,
+    }
+}
+
+/// The outcome of replaying one schedule at one offered rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpenLoopReport {
+    /// Requests replayed.
+    pub requests: usize,
+    /// Offered arrival rate implied by the schedule, requests/second.
+    pub offered_rate: f64,
+    /// Sustained completion throughput, requests/second.
+    pub throughput: f64,
+    /// Open-loop latency (completion minus **scheduled arrival**).
+    pub latency: LatencySummary,
+}
+
+/// Replays an arrival schedule against measured per-request service times
+/// through `workers` parallel servers (a deterministic G/G/c queue).
+///
+/// A request begins service at `max(its arrival, earliest worker free
+/// time)` and its latency counts from the scheduled arrival — queueing
+/// delay from an overloaded schedule shows up in the tail percentiles
+/// exactly as it would on the wire.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or `workers` is zero.
+pub fn replay_open_loop(
+    arrivals_ns: &[u64],
+    service_ns: &[u64],
+    workers: usize,
+) -> OpenLoopReport {
+    assert_eq!(arrivals_ns.len(), service_ns.len(), "one service time per arrival");
+    assert!(!arrivals_ns.is_empty(), "empty schedule");
+    assert!(workers > 0, "need at least one worker");
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut free_at: BinaryHeap<Reverse<u64>> =
+        (0..workers).map(|_| Reverse(0u64)).collect();
+    let mut latencies = Vec::with_capacity(arrivals_ns.len());
+    let mut last_finish = 0u64;
+    for (&arrival, &service) in arrivals_ns.iter().zip(service_ns) {
+        let Reverse(free) = free_at.pop().expect("worker heap never empties");
+        let start = arrival.max(free);
+        let finish = start + service;
+        free_at.push(Reverse(finish));
+        last_finish = last_finish.max(finish);
+        latencies.push(finish - arrival);
+    }
+    let first_arrival = arrivals_ns[0];
+    let span_ns = last_finish.saturating_sub(first_arrival).max(1);
+    let n = arrivals_ns.len();
+    let offered_span = arrivals_ns[n - 1].saturating_sub(first_arrival).max(1);
+    OpenLoopReport {
+        requests: n,
+        offered_rate: n as f64 * 1e9 / offered_span as f64,
+        throughput: n as f64 * 1e9 / span_ns as f64,
+        latency: summarize(&latencies),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LoadConfig {
+        LoadConfig {
+            seed: 0xABCD,
+            rate_per_sec: 1_000.0,
+            requests: 2_000,
+            users: 50,
+            inputs: 100,
+            zipf_s: 1.0,
+            hit_ratio: 0.6,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = LoadSchedule::generate(small());
+        let b = LoadSchedule::generate(small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let a = LoadSchedule::generate(small());
+        let b = LoadSchedule::generate(LoadConfig { seed: 0xABCE, ..small() });
+        assert_ne!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn arrivals_are_monotonic_and_indices_bounded() {
+        let schedule = LoadSchedule::generate(small());
+        let config = small();
+        let mut prev = 0u64;
+        for request in schedule.requests() {
+            assert!(request.arrival_ns >= prev);
+            prev = request.arrival_ns;
+            assert!(request.user < config.users);
+            assert!(request.input < config.inputs);
+        }
+    }
+
+    #[test]
+    fn repeat_ratio_tracks_config() {
+        // The input pool must be larger than the expected fresh draws
+        // (requests × (1 − hit_ratio)), or exhaustion forces extra repeats.
+        let config = LoadConfig { inputs: 2_000, ..small() };
+        let schedule = LoadSchedule::generate(config);
+        let observed = schedule.observed_repeat_ratio();
+        assert!((observed - 0.6).abs() < 0.1, "observed repeat ratio {observed}");
+    }
+
+    #[test]
+    fn exhausted_input_pool_forces_repeats() {
+        let config = LoadConfig { inputs: 10, hit_ratio: 0.0, ..small() };
+        let schedule = LoadSchedule::generate(config);
+        assert!(schedule.observed_repeat_ratio() > 0.9);
+        assert_eq!(schedule.distinct_inputs(), 10);
+    }
+
+    #[test]
+    fn mean_rate_tracks_config() {
+        let schedule = LoadSchedule::generate(small());
+        let requests = schedule.requests();
+        let span_s = requests.last().expect("non-empty").arrival_ns as f64 / 1e9;
+        let rate = requests.len() as f64 / span_s;
+        assert!(
+            (rate - 1_000.0).abs() < 100.0,
+            "mean arrival rate {rate} far from configured 1000/s"
+        );
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = TestRng::new(42);
+        let draws: Vec<usize> = (0..2_000).map(|_| zipf.sample(&mut rng)).collect();
+        let low = draws.iter().filter(|&&r| r < 10).count();
+        assert!(low > draws.len() / 3, "only {low} of {} draws in top 10", draws.len());
+        assert!(draws.iter().all(|&r| r < 100));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = TestRng::new(43);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 99.9), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing() {
+        // Two instant arrivals, one worker, 100ns service: the second
+        // request queues behind the first.
+        let report = replay_open_loop(&[0, 0], &[100, 100], 1);
+        assert_eq!(report.latency.p50_ns, 100);
+        assert_eq!(report.latency.max_ns, 200);
+        // Two workers: no queueing.
+        let report = replay_open_loop(&[0, 0], &[100, 100], 2);
+        assert_eq!(report.latency.max_ns, 100);
+    }
+
+    #[test]
+    fn overload_shows_in_the_tail() {
+        // Offered 1 req/100ns, service 150ns, one worker: the queue grows
+        // without bound, so late requests see far larger latency.
+        // Queueing delay grows ~50ns per request, so the tail sits near
+        // twice the median and far above the 150ns service time.
+        let arrivals: Vec<u64> = (0..1000).map(|i| i * 100).collect();
+        let service = vec![150u64; 1000];
+        let report = replay_open_loop(&arrivals, &service, 1);
+        assert!(report.latency.p999_ns > 100 * 150);
+        assert!(
+            report.latency.p999_ns as f64 > 1.8 * report.latency.p50_ns as f64,
+            "p999 {} vs p50 {}",
+            report.latency.p999_ns,
+            report.latency.p50_ns
+        );
+        assert!(report.throughput < report.offered_rate);
+    }
+}

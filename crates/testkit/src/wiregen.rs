@@ -49,11 +49,13 @@ pub fn record(rng: &mut TestRng, max_len: usize) -> Record {
     }
 }
 
-/// A random batch item (GET, PUT, or prefilter-carrying PUT).
+/// A random batch item (GET, prefilter-carrying GET, PUT, or
+/// prefilter-carrying PUT).
 pub fn batch_item(rng: &mut TestRng, max_record_len: usize) -> BatchItem {
-    match rng.range_u64(0, 2) {
+    match rng.range_u64(0, 3) {
         0 => BatchItem::Get { tag: comp_tag(rng) },
-        1 => BatchItem::Put { tag: comp_tag(rng), record: record(rng, max_record_len) },
+        1 => BatchItem::GetPrefiltered { tag: comp_tag(rng), prefilter: rng.next_u64() },
+        2 => BatchItem::Put { tag: comp_tag(rng), record: record(rng, max_record_len) },
         _ => BatchItem::PutPrefiltered {
             tag: comp_tag(rng),
             prefilter: rng.next_u64(),
@@ -251,6 +253,22 @@ mod tests {
             discriminants.insert(shape);
         }
         assert_eq!(discriminants.len() as u64, MESSAGE_SHAPES);
+    }
+
+    #[test]
+    fn batch_item_generator_reaches_every_variant() {
+        let mut rng = TestRng::new(0xBA7C4);
+        let mut shapes = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let shape = match batch_item(&mut rng, 32) {
+                BatchItem::Get { .. } => 0,
+                BatchItem::GetPrefiltered { .. } => 1,
+                BatchItem::Put { .. } => 2,
+                BatchItem::PutPrefiltered { .. } => 3,
+            };
+            shapes.insert(shape);
+        }
+        assert_eq!(shapes.len(), 4, "batch_item must cover all four shapes");
     }
 
     #[test]

@@ -309,6 +309,17 @@ pub enum BatchItem {
         /// The computation tag.
         tag: CompTag,
     },
+    /// Duplicate check for one tag, carrying its cheap 64-bit prefilter
+    /// tag so the store can answer a definite miss straight from the
+    /// shard's negative filter — without touching the shard's dictionary
+    /// lock inside the batch ECALL. Semantically identical to
+    /// [`BatchItem::Get`]; the prefilter is purely an accelerator.
+    GetPrefiltered {
+        /// The computation tag.
+        tag: CompTag,
+        /// The cheap prefilter tag of the same computation.
+        prefilter: u64,
+    },
     /// Publish one freshly computed record.
     Put {
         /// The computation tag.
@@ -334,6 +345,7 @@ impl BatchItem {
     pub fn wire_size(&self) -> usize {
         match self {
             BatchItem::Get { .. } => 1 + COMP_TAG_LEN,
+            BatchItem::GetPrefiltered { .. } => 1 + COMP_TAG_LEN + 8,
             BatchItem::Put { record, .. } => 1 + COMP_TAG_LEN + record.wire_size(),
             BatchItem::PutPrefiltered { record, .. } => {
                 1 + COMP_TAG_LEN + 8 + record.wire_size()
@@ -345,6 +357,7 @@ impl BatchItem {
 const BATCH_ITEM_GET: u8 = 0;
 const BATCH_ITEM_PUT: u8 = 1;
 const BATCH_ITEM_PUT_PREFILTERED: u8 = 2;
+const BATCH_ITEM_GET_PREFILTERED: u8 = 3;
 
 impl WireEncode for BatchItem {
     fn encode(&self, writer: &mut Writer) {
@@ -352,6 +365,11 @@ impl WireEncode for BatchItem {
             BatchItem::Get { tag } => {
                 BATCH_ITEM_GET.encode(writer);
                 tag.encode(writer);
+            }
+            BatchItem::GetPrefiltered { tag, prefilter } => {
+                BATCH_ITEM_GET_PREFILTERED.encode(writer);
+                tag.encode(writer);
+                prefilter.encode(writer);
             }
             BatchItem::Put { tag, record } => {
                 BATCH_ITEM_PUT.encode(writer);
@@ -372,6 +390,10 @@ impl WireDecode for BatchItem {
     fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         match u8::decode(reader)? {
             BATCH_ITEM_GET => Ok(BatchItem::Get { tag: CompTag::decode(reader)? }),
+            BATCH_ITEM_GET_PREFILTERED => Ok(BatchItem::GetPrefiltered {
+                tag: CompTag::decode(reader)?,
+                prefilter: u64::decode(reader)?,
+            }),
             BATCH_ITEM_PUT => Ok(BatchItem::Put {
                 tag: CompTag::decode(reader)?,
                 record: Record::decode(reader)?,

@@ -36,4 +36,4 @@ pub mod text;
 mod stream;
 
 pub use evolving::{EvolutionConfig, EvolvingCorpus};
-pub use stream::RequestStream;
+pub use stream::{overlap_corpus, OverlapConfig, RequestStream};

@@ -1,6 +1,9 @@
-//! Request streams with controllable redundancy.
+//! Request streams with controllable redundancy, and streaming corpora
+//! with controllable *partial* overlap.
 
 use speed_crypto::SystemRng;
+
+use crate::text::synthetic_text;
 
 /// Generates a sequence of indices into a base corpus such that a target
 /// fraction of requests are repeats of earlier ones — the workload shape
@@ -82,6 +85,88 @@ impl RequestStream {
     }
 }
 
+/// Configuration for an [`overlap_corpus`]: documents assembled from
+/// segments, where a fraction of segments comes from a shared pool.
+///
+/// No two documents are byte-identical (each carries at least one unique
+/// segment when `overlap < 1`), so *whole-call* dedup over the corpus
+/// scores zero hits — but shared segments give the content-defined
+/// chunker long identical regions, so *chunk-level* dedup scores roughly
+/// the `overlap` fraction. This is the workload shape that separates the
+/// streaming path from the whole-call path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverlapConfig {
+    /// Number of documents.
+    pub documents: usize,
+    /// Segments concatenated into each document.
+    pub segments_per_document: usize,
+    /// Bytes per segment (make this a few chunker `max` lengths so shared
+    /// runs survive boundary effects at segment joins).
+    pub segment_bytes: usize,
+    /// Size of the shared segment pool.
+    pub shared_pool: usize,
+    /// Fraction of each document's segments drawn from the shared pool
+    /// (the rest are unique to the document), in `[0, 1]`.
+    pub overlap: f64,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig {
+            documents: 16,
+            segments_per_document: 8,
+            segment_bytes: 4096,
+            shared_pool: 12,
+            overlap: 0.5,
+        }
+    }
+}
+
+/// Builds a deterministic corpus of partially overlapping documents.
+///
+/// Shared segments are drawn from a seeded pool with a Zipf-like bias
+/// (popular segments recur across many documents); unique segments are
+/// fresh compressible text. The same seed always yields byte-identical
+/// documents.
+///
+/// # Panics
+///
+/// Panics if any population is zero or `overlap` is outside `[0, 1]`.
+pub fn overlap_corpus(config: OverlapConfig, seed: u64) -> Vec<Vec<u8>> {
+    assert!(config.documents > 0, "need at least one document");
+    assert!(config.segments_per_document > 0, "need at least one segment");
+    assert!(config.segment_bytes > 0, "segments must be non-empty");
+    assert!(config.shared_pool > 0, "shared pool must be non-empty");
+    assert!((0.0..=1.0).contains(&config.overlap), "overlap must be in [0, 1]");
+
+    let pool: Vec<Vec<u8>> = (0..config.shared_pool)
+        .map(|i| {
+            synthetic_text(config.segment_bytes, seed ^ (0x9009 + i as u64)).into_bytes()
+        })
+        .collect();
+    let mut rng = SystemRng::seeded(seed ^ 0x0EE2_14B5);
+    let mut unique_counter = 0u64;
+    (0..config.documents)
+        .map(|_| {
+            let mut document =
+                Vec::with_capacity(config.segments_per_document * config.segment_bytes);
+            for _ in 0..config.segments_per_document {
+                if rng.gen_bool(config.overlap) {
+                    document.extend_from_slice(&pool[zipf_index(&mut rng, pool.len())]);
+                } else {
+                    unique_counter += 1;
+                    let segment = synthetic_text(
+                        config.segment_bytes,
+                        seed ^ (0xF00D_0000 + unique_counter),
+                    );
+                    document.extend_from_slice(segment.as_bytes());
+                }
+            }
+            document
+        })
+        .collect()
+}
+
 /// Samples an index in `[0, n)` with a Zipf-like bias toward low indices.
 fn zipf_index(rng: &mut SystemRng, n: usize) -> usize {
     debug_assert!(n > 0);
@@ -136,6 +221,76 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_distinct_panics() {
         let _ = RequestStream::new(0, 10, 0.5, 1);
+    }
+
+    #[test]
+    fn overlap_corpus_is_deterministic_and_sized() {
+        let config = OverlapConfig {
+            documents: 6,
+            segments_per_document: 4,
+            segment_bytes: 512,
+            shared_pool: 5,
+            overlap: 0.5,
+        };
+        let a = overlap_corpus(config, 11);
+        let b = overlap_corpus(config, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        for document in &a {
+            assert_eq!(document.len(), 4 * 512);
+        }
+        let c = overlap_corpus(config, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overlap_documents_share_segments_but_differ() {
+        let config = OverlapConfig {
+            documents: 8,
+            segments_per_document: 6,
+            segment_bytes: 1024,
+            shared_pool: 4,
+            overlap: 0.7,
+        };
+        let corpus = overlap_corpus(config, 3);
+        // Documents are pairwise distinct (whole-call dedup scores zero)...
+        for i in 0..corpus.len() {
+            for j in (i + 1)..corpus.len() {
+                assert_ne!(corpus[i], corpus[j], "documents {i} and {j} identical");
+            }
+        }
+        // ...yet segment-aligned slices recur across documents.
+        let mut segments = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for document in &corpus {
+            for segment in document.chunks(config.segment_bytes) {
+                segments.insert(segment.to_vec());
+                total += 1;
+            }
+        }
+        assert!(
+            segments.len() < total,
+            "expected shared segments: {} distinct of {total}",
+            segments.len()
+        );
+    }
+
+    #[test]
+    fn zero_overlap_yields_fully_distinct_segments() {
+        let config = OverlapConfig {
+            documents: 4,
+            segments_per_document: 3,
+            segment_bytes: 256,
+            shared_pool: 2,
+            overlap: 0.0,
+        };
+        let corpus = overlap_corpus(config, 9);
+        let mut segments = std::collections::HashSet::new();
+        for document in &corpus {
+            for segment in document.chunks(config.segment_bytes) {
+                assert!(segments.insert(segment.to_vec()), "unexpected shared segment");
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,21 @@ while IFS= read -r file; do
     fi
 done < <(grep -rl --include='*.rs' '^// hot-path: deny-clone$' crates src 2>/dev/null)
 
+# Files that must NEVER lose their marker: the streaming chunk path moves
+# every chunk result as a shared `ResultBytes`, and a quiet marker removal
+# would let per-chunk copies back in unseen.
+required_markers=(
+    crates/core/src/chunker.rs
+    crates/core/src/stream.rs
+    crates/core/src/result_bytes.rs
+)
+for file in "${required_markers[@]}"; do
+    if [ -f "$file" ] && ! grep -q '^// hot-path: deny-clone$' "$file"; then
+        echo "$file: missing required '// hot-path: deny-clone' marker"
+        failures=1
+    fi
+done
+
 if [ "$failures" -ne 0 ]; then
     echo >&2
     echo "error: unannotated .clone()/.to_vec() on a deny-clone hot path." >&2

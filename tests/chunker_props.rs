@@ -1,0 +1,187 @@
+//! Property suite for the content-defined chunker (`speed_core::chunker`).
+//!
+//! Three invariants the streaming dedup path depends on:
+//!
+//! 1. **Concatenation invariance** — chunk boundaries are a function of
+//!    the byte stream alone; pushing the stream in arbitrary fragment
+//!    sizes yields byte-identical chunks.
+//! 2. **Bound respect** — every chunk is within `[min, max]`, except a
+//!    final tail that may run short; chunks reassemble to the input.
+//! 3. **Edit re-synchronization** — a single-byte insert or delete
+//!    disturbs the chunking only locally: past a bounded window after
+//!    the edit, the chunk sequence of the edited stream is identical to
+//!    the original's.
+//!
+//! Failures print one-line `SPEED_TESTKIT_SEED=0x…` reproducers.
+
+use speed_core::chunker::GEAR_WINDOW;
+use speed_core::{chunk_all, Chunker, ChunkerConfig};
+use speed_testkit::{check, TestRng};
+
+const CONFIG: ChunkerConfig = ChunkerConfig::SMALL;
+
+/// Random bytes with occasional repeated runs, so both content-found and
+/// forced (max-bound) cuts are exercised.
+fn gen_data(rng: &mut TestRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = rng.range_usize(min_len, max_len);
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        if rng.chance(0.2) {
+            let run = rng.range_usize(1, CONFIG.max * 2);
+            let byte = rng.byte();
+            data.extend(std::iter::repeat_n(byte, run.min(len - data.len())));
+        } else {
+            let fresh = rng.range_usize(1, 512).min(len - data.len());
+            let mut piece = vec![0u8; fresh];
+            rng.fill(&mut piece);
+            data.extend_from_slice(&piece);
+        }
+    }
+    data
+}
+
+/// Cuts `data` into random fragments (including empty ones).
+fn gen_splits(rng: &mut TestRng, len: usize) -> Vec<usize> {
+    let mut splits = Vec::new();
+    let mut consumed = 0usize;
+    while consumed < len {
+        let piece = if rng.chance(0.1) {
+            0
+        } else {
+            rng.range_usize(1, 1500).min(len - consumed)
+        };
+        splits.push(piece);
+        consumed += piece;
+    }
+    splits
+}
+
+fn chunk_in_pieces(data: &[u8], splits: &[usize]) -> Vec<Vec<u8>> {
+    let mut chunker = Chunker::new(CONFIG);
+    let mut chunks = Vec::new();
+    let mut offset = 0usize;
+    for &piece in splits {
+        let end = (offset + piece).min(data.len());
+        chunker.push(&data[offset..end], |chunk| chunks.push(chunk));
+        offset = end;
+    }
+    chunker.push(&data[offset..], |chunk| chunks.push(chunk));
+    if let Some(tail) = chunker.finish() {
+        chunks.push(tail);
+    }
+    chunks
+}
+
+#[test]
+fn chunks_are_concatenation_invariant() {
+    check(
+        "chunker_concat_invariance",
+        0x5EED_1001,
+        |rng| {
+            let data = gen_data(rng, 0, 32 * 1024);
+            let splits = gen_splits(rng, data.len());
+            (data, splits)
+        },
+        |(data, splits)| {
+            let whole = chunk_all(CONFIG, data);
+            let pieces = chunk_in_pieces(data, splits);
+            assert_eq!(
+                pieces, whole,
+                "chunking in fragments diverged from whole-buffer chunking"
+            );
+        },
+    );
+}
+
+#[test]
+fn chunks_respect_bounds_and_reassemble() {
+    check(
+        "chunker_bounds",
+        0x5EED_1002,
+        |rng| gen_data(rng, 0, 48 * 1024),
+        |data| {
+            let chunks = chunk_all(CONFIG, data);
+            let rebuilt: Vec<u8> = chunks.concat();
+            assert_eq!(rebuilt, *data, "chunks must reassemble to the input");
+            for (i, chunk) in chunks.iter().enumerate() {
+                assert!(
+                    chunk.len() <= CONFIG.max,
+                    "chunk {i} length {} over max {}",
+                    chunk.len(),
+                    CONFIG.max
+                );
+                let is_tail = i + 1 == chunks.len();
+                assert!(
+                    is_tail || chunk.len() >= CONFIG.min,
+                    "non-tail chunk {i} length {} under min {}",
+                    chunk.len(),
+                    CONFIG.min
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn single_byte_edit_resynchronizes() {
+    check(
+        "chunker_edit_resync",
+        0x5EED_1003,
+        |rng| {
+            let data = gen_data(rng, 16 * 1024, 48 * 1024);
+            let pos = rng.range_usize(0, data.len() / 2);
+            let insert = rng.chance(0.5);
+            let byte = rng.byte();
+            (data, pos, insert, byte)
+        },
+        |(data, pos, insert, byte)| {
+            if data.is_empty() || *pos >= data.len() {
+                return; // shrunk out of range: vacuously true
+            }
+            let mut edited = data.clone();
+            if *insert {
+                edited.insert(*pos, *byte);
+            } else {
+                edited.remove(*pos);
+            }
+            let original = chunk_all(CONFIG, data);
+            let after = chunk_all(CONFIG, &edited);
+
+            // Length of the common chunk-list suffix, in bytes.
+            let common_suffix_bytes: usize = original
+                .iter()
+                .rev()
+                .zip(after.iter().rev())
+                .take_while(|(a, b)| a == b)
+                .map(|(a, _)| a.len())
+                .sum();
+            let disturbed = edited.len() - common_suffix_bytes;
+            // The edit may shift boundaries only while the rolling window
+            // still covers it, plus slack for min/max coupling between
+            // neighboring chunks. 8×max is deliberately generous — the
+            // property pins down *locality*, not the exact constant.
+            let bound = pos + 8 * CONFIG.max + GEAR_WINDOW + 1;
+            assert!(
+                disturbed <= bound,
+                "edit at {pos} disturbed {disturbed} bytes of chunking \
+                 (bound {bound}, stream {} bytes)",
+                edited.len()
+            );
+        },
+    );
+}
+
+#[test]
+fn forced_cuts_are_counted() {
+    // A constant stream has no content boundaries, so every full chunk is
+    // a forced cut at max.
+    let data = vec![7u8; CONFIG.max * 4];
+    let mut chunker = Chunker::new(CONFIG);
+    let mut chunks = Vec::new();
+    chunker.push(&data, |c| chunks.push(c));
+    let tail = chunker.finish();
+    let stats = chunker.stats();
+    assert_eq!(stats.bytes, data.len() as u64);
+    assert!(stats.forced_cuts >= 3, "forced cuts {}", stats.forced_cuts);
+    assert_eq!(stats.chunks as usize, chunks.len() + usize::from(tail.is_some()));
+}

@@ -54,8 +54,21 @@ enum Op {
 
 #[derive(Clone, Debug, PartialEq)]
 enum Item {
-    Get { tag: u8 },
-    Put { tag: u8, len: u8, fill: u8 },
+    Get {
+        tag: u8,
+    },
+    /// A batch GET carrying its prefilter tag
+    /// (`BatchItem::GetPrefiltered`): semantically identical to `Get` —
+    /// the store may answer it from the negative filter without touching
+    /// the dictionary, and this model holds it to exactly `Get`'s answers.
+    GetPre {
+        tag: u8,
+    },
+    Put {
+        tag: u8,
+        len: u8,
+        fill: u8,
+    },
 }
 
 /// The deterministic prefilter tag a `PutPre { tag, .. }` op carries.
@@ -95,6 +108,12 @@ impl Shrink for Item {
         match *self {
             Item::Get { tag } => {
                 tag.shrink().into_iter().map(|tag| Item::Get { tag }).collect()
+            }
+            Item::GetPre { tag } => {
+                // A prefiltered GET simplifies toward the legacy GET first.
+                let mut out = vec![Item::Get { tag }];
+                out.extend(tag.shrink().into_iter().map(|tag| Item::GetPre { tag }));
+                out
             }
             Item::Put { tag, len, fill } => {
                 let mut out = vec![Item::Get { tag }];
@@ -138,7 +157,7 @@ impl Shrink for Op {
                         .shrink()
                         .into_iter()
                         .map(|item| match item {
-                            Item::Get { tag } => Op::Get { tag },
+                            Item::Get { tag } | Item::GetPre { tag } => Op::Get { tag },
                             Item::Put { tag, len, fill } => Op::PutPre { tag, len, fill },
                         }),
                 );
@@ -158,7 +177,9 @@ impl Shrink for Op {
 
 fn item_to_op(item: Item) -> Op {
     match item {
-        Item::Get { tag } => Op::Get { tag },
+        // Single-message GETs have no prefiltered form; the prefiltered
+        // shape only exists inside batches.
+        Item::Get { tag } | Item::GetPre { tag } => Op::Get { tag },
         Item::Put { tag, len, fill } => Op::Put { tag, len, fill },
     }
 }
@@ -166,7 +187,11 @@ fn item_to_op(item: Item) -> Op {
 fn gen_item(rng: &mut TestRng) -> Item {
     let tag = rng.byte() % TAG_SPACE;
     if rng.chance(0.45) {
-        Item::Get { tag }
+        if rng.chance(0.5) {
+            Item::GetPre { tag }
+        } else {
+            Item::Get { tag }
+        }
     } else {
         Item::Put { tag, len: rng.byte(), fill: rng.byte() }
     }
@@ -375,6 +400,10 @@ fn apply_op(
                 .iter()
                 .map(|item| match item {
                     Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                    Item::GetPre { tag } => BatchItem::GetPrefiltered {
+                        tag: tag_of(*tag),
+                        prefilter: prefilter_of(*tag),
+                    },
                     Item::Put { tag, len, fill } => BatchItem::Put {
                         tag: tag_of(*tag),
                         record: record_of(*tag, *len, *fill),
@@ -388,10 +417,12 @@ fn apply_op(
             let mut inserted_any = false;
             for item in items {
                 match item {
-                    Item::Get { tag } => expected.push(match model.get(*tag) {
-                        Some(record) => BatchItemResult::found(record),
-                        None => BatchItemResult::not_found(),
-                    }),
+                    Item::Get { tag } | Item::GetPre { tag } => {
+                        expected.push(match model.get(*tag) {
+                            Some(record) => BatchItemResult::found(record),
+                            None => BatchItemResult::not_found(),
+                        });
+                    }
                     Item::Put { tag, len, fill } => {
                         if model.put(*tag, *len, *fill) {
                             inserted_any = true;
@@ -507,6 +538,10 @@ fn shard_count_is_transparent_without_eviction() {
                             .iter()
                             .map(|item| match item {
                                 Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                                Item::GetPre { tag } => BatchItem::GetPrefiltered {
+                                    tag: tag_of(*tag),
+                                    prefilter: prefilter_of(*tag),
+                                },
                                 Item::Put { tag, len, fill } => BatchItem::Put {
                                     tag: tag_of(*tag),
                                     record: record_of(*tag, *len, *fill),
@@ -624,6 +659,10 @@ fn durable_backend_matches_model_across_crash_reloads() {
                             .iter()
                             .map(|item| match item {
                                 Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                                Item::GetPre { tag } => BatchItem::GetPrefiltered {
+                                    tag: tag_of(*tag),
+                                    prefilter: prefilter_of(*tag),
+                                },
                                 Item::Put { tag, len, fill } => BatchItem::Put {
                                     tag: tag_of(*tag),
                                     record: record_of(*tag, *len, *fill),
@@ -635,7 +674,7 @@ fn durable_backend_matches_model_across_crash_reloads() {
                         let mut expected = Vec::with_capacity(items.len());
                         for item in items {
                             match item {
-                                Item::Get { tag } => {
+                                Item::Get { tag } | Item::GetPre { tag } => {
                                     expected.push(match model.get(tag) {
                                         Some(record) => {
                                             BatchItemResult::found(record.clone())
@@ -925,6 +964,10 @@ fn cluster_matches_flat_model_across_node_kill_and_rejoin() {
                             .iter()
                             .map(|item| match item {
                                 Item::Get { tag } => BatchItem::Get { tag: tag_of(*tag) },
+                                Item::GetPre { tag } => BatchItem::GetPrefiltered {
+                                    tag: tag_of(*tag),
+                                    prefilter: prefilter_of(*tag),
+                                },
                                 Item::Put { tag, len, fill } => BatchItem::Put {
                                     tag: tag_of(*tag),
                                     record: record_of(*tag, *len, *fill),
@@ -937,7 +980,7 @@ fn cluster_matches_flat_model_across_node_kill_and_rejoin() {
                         let mut expected = Vec::with_capacity(items.len());
                         for item in items {
                             match item {
-                                Item::Get { tag } => {
+                                Item::Get { tag } | Item::GetPre { tag } => {
                                     expected.push(match model.get(tag) {
                                         Some(record) => {
                                             BatchItemResult::found(record.clone())
@@ -992,6 +1035,145 @@ fn cluster_matches_flat_model_across_node_kill_and_rejoin() {
                         "epilogue: tag {tag} diverged"
                     ),
                     other => panic!("epilogue: unexpected {other:?}"),
+                }
+            }
+        },
+    );
+}
+
+/// The tag a chunk's bytes dedup under in the chunked-PUT arm: an FNV-1a
+/// hash of the content, repeated to fill the tag width. Content-derived,
+/// so the same chunk in two documents collides — which is the point.
+fn chunk_tag(chunk: &[u8]) -> CompTag {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &byte in chunk {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    let mut bytes = [0u8; COMP_TAG_LEN];
+    for slot in bytes.chunks_mut(8) {
+        slot.copy_from_slice(&hash.to_le_bytes()[..slot.len()]);
+    }
+    CompTag::from_bytes(bytes)
+}
+
+/// The record a chunk stores: deterministic in the chunk content, so the
+/// first-writer-wins rule is unobservable for identical chunks.
+fn chunk_record(chunk: &[u8]) -> Record {
+    let fill = chunk.first().copied().unwrap_or(0);
+    Record {
+        challenge: vec![fill; 32],
+        wrapped_key: [fill; 16],
+        nonce: [chunk.len() as u8; 12],
+        boxed_result: vec![fill.wrapping_add(1); 8 + chunk.len() % 24],
+    }
+}
+
+/// Chunked-PUT arm of the differential tester: documents assembled from a
+/// shared segment pool are content-chunked and PUT chunk-by-chunk in one
+/// batch per document. A flat model holding a per-chunk refcount predicts
+/// every response: the first PUT of a chunk's content is a fresh insert,
+/// every later one (same document, later document — any source) is a
+/// duplicate; store entry/byte stats track *distinct* chunks only, and
+/// every chunk reads back the first-written record.
+#[test]
+fn chunked_puts_match_flat_model_with_refcounts() {
+    use speed_core::{chunk_all, ChunkerConfig};
+
+    check(
+        "chunked_puts_match_flat_model_with_refcounts",
+        0x5EED_0006,
+        |rng| {
+            let pool_len = rng.range_usize(2, 6);
+            let pool: Vec<Vec<u8>> = (0..pool_len)
+                .map(|_| {
+                    let mut segment = vec![0u8; rng.range_usize(256, 2048)];
+                    rng.fill(&mut segment);
+                    segment
+                })
+                .collect();
+            let documents = rng.range_usize(1, 6);
+            let plans: Vec<Vec<usize>> = (0..documents)
+                .map(|_| {
+                    (0..rng.range_usize(1, 5))
+                        .map(|_| rng.range_usize(0, pool_len - 1))
+                        .collect()
+                })
+                .collect();
+            (pool, plans)
+        },
+        |(pool, plans): &(Vec<Vec<u8>>, Vec<Vec<usize>>)| {
+            if pool.is_empty() {
+                return; // shrunk to nothing: vacuously true
+            }
+            let platform = Platform::new(CostModel::no_sgx());
+            let store = ResultStore::new(
+                &platform,
+                StoreConfig::with_capacity(100_000, u64::MAX),
+            )
+            .expect("store");
+            let app = AppId(1);
+            // chunk tag -> (record, refcount).
+            let mut model: BTreeMap<CompTag, (Record, u64)> = BTreeMap::new();
+            let mut total_chunks = 0u64;
+            for (doc_index, plan) in plans.iter().enumerate() {
+                let document: Vec<u8> = plan
+                    .iter()
+                    .flat_map(|&i| pool[i % pool.len()].iter().copied())
+                    .collect();
+                let chunks = chunk_all(ChunkerConfig::SMALL, &document);
+                total_chunks += chunks.len() as u64;
+                let items: Vec<BatchItem> = chunks
+                    .iter()
+                    .map(|chunk| BatchItem::Put {
+                        tag: chunk_tag(chunk),
+                        record: chunk_record(chunk),
+                    })
+                    .collect();
+                let response = store.handle(Message::BatchRequest { app, items });
+                let mut expected = Vec::with_capacity(chunks.len());
+                for chunk in &chunks {
+                    let slot = model
+                        .entry(chunk_tag(chunk))
+                        .or_insert_with(|| (chunk_record(chunk), 0));
+                    slot.1 += 1;
+                    if slot.1 == 1 {
+                        expected.push(BatchItemResult::accepted());
+                    } else {
+                        let mut dup = BatchItemResult::accepted();
+                        dup.reason = Some("duplicate: existing entry kept".into());
+                        expected.push(dup);
+                    }
+                }
+                match response {
+                    Message::BatchResponse(results) => assert_eq!(
+                        results, expected,
+                        "document {doc_index}: chunked batch diverged"
+                    ),
+                    other => panic!("document {doc_index}: unexpected {other:?}"),
+                }
+            }
+            // Stats charge distinct chunks only; refcounts account for the
+            // rest of the traffic.
+            let stats = store.stats();
+            assert_eq!(stats.entries, model.len() as u64, "distinct-chunk count");
+            assert_eq!(
+                stats.stored_bytes,
+                model.values().map(|(r, _)| r.boxed_result.len() as u64).sum::<u64>(),
+                "stored bytes must charge each chunk once"
+            );
+            assert_eq!(
+                model.values().map(|(_, refs)| refs).sum::<u64>(),
+                total_chunks,
+                "refcounts must account for every chunk PUT"
+            );
+            // Every distinct chunk reads back its first-written record.
+            for (tag, (record, _)) in &model {
+                match store.handle(Message::GetRequest { app, tag: *tag }) {
+                    Message::GetResponse(body) => {
+                        assert_eq!(body.record.as_ref(), Some(record), "chunk readback")
+                    }
+                    other => panic!("unexpected GET response {other:?}"),
                 }
             }
         },

@@ -1,0 +1,273 @@
+//! Streaming chunked dedup, end to end: `execute_stream` must produce
+//! byte-identical reassembled output to whole-call `execute_raw` for any
+//! chunk-local computation — over a seeded partial-overlap corpus, across
+//! a mid-stream store outage, and across a crash-reload of the
+//! log-structured backend.
+//!
+//! The corpus is the workload shape the streaming path exists for: no two
+//! documents are byte-identical (whole-call dedup scores zero hits), but
+//! they share long segments (chunk-level dedup scores many).
+
+use std::sync::Arc;
+
+use speed_core::{
+    BreakerConfig, Connector, DedupOutcome, DedupRuntime, FuncDesc, InProcessClient,
+    OutageSwitch, ResilienceConfig, RetryPolicy, StoreClient, StreamConfig,
+    SwitchedClient, TrustedLibrary,
+};
+use speed_enclave::{CostModel, Platform};
+use speed_store::{LogBackend, LogConfig, QuotaPolicy, ResultStore, StoreConfig};
+use speed_wire::SessionAuthority;
+use speed_workloads::{overlap_corpus, OverlapConfig};
+
+fn library() -> TrustedLibrary {
+    let mut lib = TrustedLibrary::new("streamlib", "1.0");
+    lib.register("bytes shift(bytes)", b"shift code");
+    lib
+}
+
+fn desc() -> FuncDesc {
+    FuncDesc::new("streamlib", "1.0", "bytes shift(bytes)")
+}
+
+/// The marked computation: a byte-wise map, so it is chunk-local and the
+/// concatenation of per-chunk outputs equals the whole-input output —
+/// the precondition `open_stream` documents.
+fn shift(input: &[u8]) -> Vec<u8> {
+    input.iter().map(|b| b.wrapping_mul(31).wrapping_add(7)).collect()
+}
+
+/// Segments span several `ChunkerConfig::SMALL` max-lengths so shared
+/// runs survive boundary effects at segment joins.
+fn corpus(seed: u64) -> Vec<Vec<u8>> {
+    overlap_corpus(
+        OverlapConfig {
+            documents: 10,
+            segments_per_document: 6,
+            segment_bytes: 4096,
+            shared_pool: 8,
+            overlap: 0.5,
+        },
+        seed,
+    )
+}
+
+fn in_process_runtime(
+    platform: &Arc<Platform>,
+    store: &Arc<ResultStore>,
+    authority: &Arc<SessionAuthority>,
+    code: &[u8],
+) -> Arc<DedupRuntime> {
+    DedupRuntime::builder(Arc::clone(platform), code)
+        .in_process_store(Arc::clone(store), Arc::clone(authority))
+        .trusted_library(library())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn stream_matches_whole_call_and_finds_partial_overlap() {
+    let platform = Platform::new(CostModel::no_sgx());
+    let authority = Arc::new(SessionAuthority::with_seed(21));
+    // Separate stores so the two paths cannot feed each other results.
+    let stream_store =
+        Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let whole_store =
+        Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let stream_rt = in_process_runtime(&platform, &stream_store, &authority, b"s-app");
+    let whole_rt = in_process_runtime(&platform, &whole_store, &authority, b"w-app");
+    let stream_id = stream_rt.resolve(&desc()).unwrap();
+    let whole_id = whole_rt.resolve(&desc()).unwrap();
+
+    let documents = corpus(0x5EED_2001);
+    let mut chunk_hits = 0u64;
+    let mut chunks = 0u64;
+    for document in &documents {
+        let outcome = stream_rt
+            .execute_stream(stream_id, StreamConfig::SMALL, document, shift)
+            .unwrap();
+        let (whole, whole_outcome) =
+            whole_rt.execute_raw(&whole_id, document, shift).unwrap();
+        assert_eq!(
+            outcome.concat(),
+            whole,
+            "streaming output diverged from whole-call output"
+        );
+        assert_eq!(whole, shift(document));
+        assert_eq!(outcome.stats.bytes_in as usize, document.len());
+        assert_eq!(outcome.stats.bytes_out as usize, document.len());
+        // Documents are pairwise distinct, so the whole-call path never
+        // hits...
+        assert_eq!(whole_outcome, DedupOutcome::Miss);
+        chunk_hits += outcome.stats.chunk_hits;
+        chunks += outcome.stats.chunks;
+    }
+    // ...while shared segments make a healthy fraction of chunks hit.
+    assert_eq!(whole_rt.stats().hits, 0, "whole-call dedup must score zero");
+    assert!(
+        chunk_hits * 5 >= chunks,
+        "expected >=20% chunk-level hits on a 50%-overlap corpus, \
+         got {chunk_hits}/{chunks}"
+    );
+
+    // Second pass: every chunk is now known, so streams are pure hits and
+    // still reassemble correctly.
+    for document in &documents {
+        let outcome = stream_rt
+            .execute_stream(stream_id, StreamConfig::SMALL, document, |_| {
+                panic!("second pass must be served from dedup")
+            })
+            .unwrap();
+        assert_eq!(outcome.concat(), shift(document));
+        assert_eq!(outcome.stats.chunk_misses, 0);
+    }
+}
+
+#[test]
+fn stream_output_is_invariant_to_push_fragmentation() {
+    let platform = Platform::new(CostModel::no_sgx());
+    let authority = Arc::new(SessionAuthority::with_seed(22));
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let rt = in_process_runtime(&platform, &store, &authority, b"frag-app");
+    let identity = rt.resolve(&desc()).unwrap();
+    let document = corpus(0x5EED_2002).swap_remove(0);
+
+    let whole =
+        rt.execute_stream(identity, StreamConfig::SMALL, &document, shift).unwrap();
+    for fragment in [1usize, 17, 1000, 4096] {
+        let mut session = rt.open_stream(identity, StreamConfig::SMALL, shift);
+        for piece in document.chunks(fragment) {
+            session.push(piece).unwrap();
+        }
+        let pieced = session.finish().unwrap();
+        assert_eq!(pieced.concat(), whole.concat(), "fragment size {fragment}");
+        assert_eq!(pieced.stats.chunks, whole.stats.chunks);
+    }
+}
+
+#[test]
+fn stream_survives_mid_stream_store_outage() {
+    let platform = Platform::new(CostModel::no_sgx());
+    let authority = Arc::new(SessionAuthority::with_seed(23));
+    let store = Arc::new(ResultStore::new(&platform, StoreConfig::default()).unwrap());
+    let switch = Arc::new(OutageSwitch::new());
+    let connector: Connector = {
+        let platform = Arc::clone(&platform);
+        let authority = Arc::clone(&authority);
+        let store = Arc::clone(&store);
+        let switch = Arc::clone(&switch);
+        let enclave = platform.create_enclave(b"outage-client").unwrap();
+        Box::new(move || {
+            let inner = InProcessClient::connect(
+                Arc::clone(&store),
+                &authority,
+                &platform,
+                &enclave,
+            )?;
+            Ok(Box::new(SwitchedClient::new(Box::new(inner), Arc::clone(&switch)))
+                as Box<dyn StoreClient>)
+        })
+    };
+    let rt = DedupRuntime::builder(Arc::clone(&platform), b"outage-app")
+        .client_factory(connector)
+        .resilience(ResilienceConfig {
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig {
+                failure_threshold: u32::MAX,
+                cooldown: std::time::Duration::ZERO,
+            },
+            ..ResilienceConfig::default()
+        })
+        .trusted_library(library())
+        .build()
+        .unwrap();
+    let identity = rt.resolve(&desc()).unwrap();
+    let document = corpus(0x5EED_2003).swap_remove(1);
+    let (head, tail) = document.split_at(document.len() / 2);
+
+    // The store dies between two pushes of one session; the session must
+    // stay usable and the reassembled output must be exact.
+    let mut session = rt.open_stream(identity, StreamConfig::SMALL, shift);
+    session.push(head).unwrap();
+    let resolved_before_outage = session.chunks_resolved();
+    switch.set_down(true);
+    session.push(tail).unwrap();
+    let outcome = session.finish().unwrap();
+    assert_eq!(outcome.concat(), shift(&document));
+    assert!(
+        session_chunks(&outcome) > resolved_before_outage,
+        "outage-side chunks must still resolve"
+    );
+    assert!(
+        rt.stats().degraded_calls > 0,
+        "outage chunks must be marked degraded, not silently retried"
+    );
+
+    // Store comes back: the same document streams again, and the chunks
+    // computed *before* the outage (whose PUTs landed) hit.
+    switch.set_down(false);
+    let again =
+        rt.execute_stream(identity, StreamConfig::SMALL, &document, shift).unwrap();
+    assert_eq!(again.concat(), shift(&document));
+    assert!(again.stats.chunk_hits > 0, "pre-outage chunks must hit after recovery");
+}
+
+fn session_chunks(outcome: &speed_core::StreamOutcome) -> usize {
+    outcome.parts.len()
+}
+
+#[test]
+fn stream_chunks_survive_log_backend_crash_reload() {
+    let platform = Platform::with_seed(CostModel::no_sgx(), Some(0xC8A5_57E2));
+    let authority = Arc::new(SessionAuthority::with_seed(24));
+    let dir =
+        std::env::temp_dir().join(format!("speed-stream-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = StoreConfig::with_capacity(100_000, u64::MAX);
+    config.quota = QuotaPolicy::unlimited();
+
+    let documents = corpus(0x5EED_2004);
+    let (first_half, second_half) = documents.split_at(documents.len() / 2);
+
+    // Run 1: stream the first half, then "crash" (drop without shutdown —
+    // the WAL is the only survivor).
+    {
+        let backend = Arc::new(LogBackend::new(LogConfig::new(&dir)));
+        let (store, _report) =
+            ResultStore::open(&platform, config.clone(), backend).unwrap();
+        let store = Arc::new(store);
+        let rt = in_process_runtime(&platform, &store, &authority, b"crash-app");
+        let identity = rt.resolve(&desc()).unwrap();
+        for document in first_half {
+            let outcome = rt
+                .execute_stream(identity, StreamConfig::SMALL, document, shift)
+                .unwrap();
+            assert_eq!(outcome.concat(), shift(document));
+        }
+    }
+
+    // Run 2: replay the WAL into a fresh store; chunks from run 1 must be
+    // hits, and the rest of the corpus streams correctly.
+    let backend = Arc::new(LogBackend::new(LogConfig::new(&dir)));
+    let (store, _report) = ResultStore::open(&platform, config, backend).unwrap();
+    let store = Arc::new(store);
+    let rt = in_process_runtime(&platform, &store, &authority, b"crash-app");
+    let identity = rt.resolve(&desc()).unwrap();
+    let mut replayed_hits = 0u64;
+    for document in first_half {
+        let outcome =
+            rt.execute_stream(identity, StreamConfig::SMALL, document, shift).unwrap();
+        assert_eq!(outcome.concat(), shift(document));
+        replayed_hits += outcome.stats.chunk_hits;
+    }
+    assert!(
+        replayed_hits > 0,
+        "chunks stored before the crash must hit after WAL replay"
+    );
+    for document in second_half {
+        let outcome =
+            rt.execute_stream(identity, StreamConfig::SMALL, document, shift).unwrap();
+        assert_eq!(outcome.concat(), shift(document));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
